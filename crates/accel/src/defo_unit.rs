@@ -1,0 +1,148 @@
+//! Behavioral model of the Defo Unit (§V-B): the layer table and the
+//! compare logic steering the per-layer execution type.
+//!
+//! The paper sizes the table at **512 entries** (the largest evaluated
+//! model has 347 layers, rounded to a power of two), each **33 bits**:
+//! 16-bit first-time-step cycles, 16-bit second-time-step cycles, and a
+//! 1-bit later-step decision. Cycle counts saturate at the 16-bit maximum.
+//! The unit is a control structure only (0.01% of area) and does not scale
+//! with throughput.
+
+/// Number of layer-table entries.
+pub const TABLE_ENTRIES: usize = 512;
+/// Bits per entry: 16 + 16 + 1.
+pub const ENTRY_BITS: usize = 33;
+
+/// One 33-bit layer-table entry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LayerEntry {
+    /// First-time-step (original activation) cycles, saturated to 16 bits.
+    pub act_cycles: u16,
+    /// Second-time-step (difference processing) cycles, saturated.
+    pub diff_cycles: u16,
+    /// Later-step decision: `true` = keep difference processing.
+    pub use_diff: bool,
+}
+
+/// The Defo Unit's layer table plus compare logic.
+#[derive(Debug, Clone)]
+pub struct DefoUnit {
+    table: Vec<LayerEntry>,
+}
+
+impl Default for DefoUnit {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DefoUnit {
+    /// A Defo Unit with a cleared 512-entry table.
+    pub fn new() -> Self {
+        DefoUnit { table: vec![LayerEntry::default(); TABLE_ENTRIES] }
+    }
+
+    fn saturate(cycles: u64) -> u16 {
+        cycles.min(u16::MAX as u64) as u16
+    }
+
+    /// Records layer `l`'s first-time-step cycle count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` exceeds the table (a model with more than 512 layers —
+    /// beyond the paper's provisioning).
+    pub fn record_act(&mut self, l: usize, cycles: u64) {
+        self.table[l].act_cycles = Self::saturate(cycles);
+    }
+
+    /// Records layer `l`'s second-time-step cycle count and runs the
+    /// comparator: difference processing is kept iff it was strictly
+    /// cheaper than the recorded original-activation execution (Fig. 9).
+    pub fn record_diff_and_decide(&mut self, l: usize, cycles: u64) -> bool {
+        let e = &mut self.table[l];
+        e.diff_cycles = Self::saturate(cycles);
+        e.use_diff = e.diff_cycles < e.act_cycles;
+        e.use_diff
+    }
+
+    /// The stored decision for layer `l`.
+    pub fn use_diff(&self, l: usize) -> bool {
+        self.table[l].use_diff
+    }
+
+    /// Dynamic-Ditto update (§VI-C): while a layer runs in difference mode,
+    /// a later step's observed cycles can revoke the decision (one-way —
+    /// act-mode cycles stay observable but difference cycles do not).
+    pub fn observe_diff_cycles(&mut self, l: usize, cycles: u64) -> bool {
+        let e = &mut self.table[l];
+        if e.use_diff && Self::saturate(cycles) > e.act_cycles {
+            e.use_diff = false;
+        }
+        e.use_diff
+    }
+
+    /// Raw entry access (for reports).
+    pub fn entry(&self, l: usize) -> LayerEntry {
+        self.table[l]
+    }
+
+    /// Total table storage in bits (the paper's 512 × 33).
+    pub fn storage_bits(&self) -> usize {
+        TABLE_ENTRIES * ENTRY_BITS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_matches_paper_provisioning() {
+        let u = DefoUnit::new();
+        // The paper's provisioning: 512 entries cover the largest
+        // evaluated model's 347 layers.
+        let (entries, largest_model_layers) = (TABLE_ENTRIES, 347);
+        assert!(entries >= largest_model_layers);
+        assert_eq!(u.storage_bits(), 512 * 33);
+    }
+
+    #[test]
+    fn comparator_keeps_cheaper_mode() {
+        let mut u = DefoUnit::new();
+        u.record_act(0, 1000);
+        assert!(u.record_diff_and_decide(0, 400));
+        assert!(u.use_diff(0));
+        u.record_act(1, 300);
+        assert!(!u.record_diff_and_decide(1, 400));
+        assert!(!u.use_diff(1));
+        // Ties favour original activations (strict comparison).
+        u.record_act(2, 500);
+        assert!(!u.record_diff_and_decide(2, 500));
+    }
+
+    #[test]
+    fn cycles_saturate_at_16_bits() {
+        let mut u = DefoUnit::new();
+        u.record_act(0, 1_000_000);
+        assert_eq!(u.entry(0).act_cycles, u16::MAX);
+        // Saturated comparisons still behave sanely.
+        assert!(!u.record_diff_and_decide(0, 2_000_000));
+    }
+
+    #[test]
+    fn dynamic_revocation_is_one_way() {
+        let mut u = DefoUnit::new();
+        u.record_act(0, 500);
+        u.record_diff_and_decide(0, 100);
+        assert!(u.observe_diff_cycles(0, 200)); // still cheaper → keep
+        assert!(!u.observe_diff_cycles(0, 600)); // slower → revoke
+        assert!(!u.observe_diff_cycles(0, 50)); // revocation is permanent
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_layer_panics() {
+        DefoUnit::new().record_act(TABLE_ENTRIES, 1);
+    }
+}

@@ -1,0 +1,115 @@
+//! Workload drift injection for the Fig. 19 design-space exploration.
+//!
+//! §VI-C: "we adjust the value distribution of our benchmark to make the
+//! execution type threshold dynamic" — future models might show temporal
+//! similarity that varies across the time domain, so per-layer BOPs
+//! reduction would drift and a fixed step-2 Defo decision could go stale.
+//!
+//! [`inject_drift`] perturbs a captured trace's temporal histograms with a
+//! periodic redistribution: in "low-similarity" phases a fraction of zero
+//! and ≤4-bit differences is re-classified as full-bit-width, emulating
+//! similarity degradation without re-running the model.
+
+use ditto_core::trace::{StepStats, WorkloadTrace};
+use quant::BitWidthHistogram;
+
+/// Returns a copy of `trace` whose temporal-difference histograms drift
+/// periodically: at step `s`, a fraction `amplitude · (1 − cos(2πs/period))/2`
+/// of zero and low-4-bit elements is moved into the 8-bit bucket.
+///
+/// # Panics
+///
+/// Panics if `period` is zero or `amplitude` is outside `[0, 1]`.
+pub fn inject_drift(trace: &WorkloadTrace, amplitude: f64, period: usize) -> WorkloadTrace {
+    assert!(period > 0, "period must be positive");
+    assert!((0.0..=1.0).contains(&amplitude), "amplitude in [0,1]");
+    let mut out = trace.clone();
+    for (s, row) in out.steps.iter_mut().enumerate() {
+        let phase = 2.0 * std::f64::consts::PI * s as f64 / period as f64;
+        let f = amplitude * (1.0 - phase.cos()) / 2.0;
+        for st in row.iter_mut() {
+            degrade(st, f);
+        }
+    }
+    out
+}
+
+fn degrade(st: &mut StepStats, f: f64) {
+    if let Some(hists) = st.temporal.as_mut() {
+        for h in hists.iter_mut() {
+            let moved_zero = (h.zero as f64 * f) as u64;
+            let moved_low = (h.low4 as f64 * f) as u64;
+            *h = BitWidthHistogram {
+                zero: h.zero - moved_zero,
+                low4: h.low4 - moved_low,
+                full8: h.full8 + moved_zero + moved_low,
+                over8: h.over8,
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diffusion::{DiffusionModel, ModelKind, ModelScale};
+    use ditto_core::runner::{trace_model, ExecPolicy};
+
+    fn trace() -> WorkloadTrace {
+        let mut model = DiffusionModel::build(ModelKind::Bed, ModelScale::Tiny, 5);
+        model.steps = 24;
+        trace_model(&model, 0, ExecPolicy::Dense).unwrap().0
+    }
+
+    #[test]
+    fn zero_amplitude_is_identity() {
+        let t = trace();
+        let d = inject_drift(&t, 0.0, 8);
+        for (a, b) in t.steps.iter().flatten().zip(d.steps.iter().flatten()) {
+            assert_eq!(a.temporal_merged(), b.temporal_merged());
+        }
+    }
+
+    #[test]
+    fn drift_preserves_totals_and_moves_mass() {
+        let t = trace();
+        let d = inject_drift(&t, 0.8, 8);
+        let before = t.merged(ditto_core::trace::StatView::Temporal);
+        let after = d.merged(ditto_core::trace::StatView::Temporal);
+        assert_eq!(before.total(), after.total(), "element counts preserved");
+        assert!(after.full8 > before.full8, "mass moved to full bit-width");
+        assert!(after.zero < before.zero);
+    }
+
+    #[test]
+    fn drift_is_periodic_not_uniform() {
+        let t = trace();
+        let d = inject_drift(&t, 1.0, 12);
+        // Phase 0 steps keep their histograms; mid-period steps degrade.
+        let s0 = d.steps[12][0].temporal_merged();
+        let s0_orig = t.steps[12][0].temporal_merged();
+        assert_eq!(s0, s0_orig, "cos phase 0 → no degradation");
+        let mid = d.steps[6][0].temporal_merged().unwrap();
+        let mid_orig = t.steps[6][0].temporal_merged().unwrap();
+        assert!(mid.full8 >= mid_orig.full8);
+    }
+
+    #[test]
+    #[should_panic(expected = "period")]
+    fn zero_period_panics() {
+        inject_drift(&trace(), 0.5, 0);
+    }
+
+    #[test]
+    fn dynamic_ditto_adapts_better_under_drift() {
+        use crate::design::Design;
+        use crate::sim::simulate;
+        let t = inject_drift(&trace(), 0.9, 6);
+        let static_d = simulate(&Design::ditto(), &t);
+        let dynamic_d = simulate(&Design::dynamic_ditto(), &t);
+        let ideal = simulate(&Design::ideal_ditto(), &t);
+        // Fig. 19: both stay near ideal; dynamic at least matches static.
+        assert!(dynamic_d.cycles <= static_d.cycles * 1.02);
+        assert!(ideal.cycles <= dynamic_d.cycles * 1.0001);
+    }
+}

@@ -1,0 +1,57 @@
+//! Cycle-level accelerator simulator for the Ditto reproduction.
+//!
+//! Models every hardware design of the paper's evaluation (§V, §VI) on the
+//! workload traces captured by `ditto-core`:
+//!
+//! * [`config`] — Table III hardware configurations (iso-area PE counts,
+//!   SRAM, power, frequency) and the simulation scaling rule.
+//! * [`design`] — capability-flag design points: ITC, Diffy, Cambricon-D
+//!   (outlier PEs + sign-mask), Ditto, Ditto+, the Fig. 16 DS/DB ablations,
+//!   Ideal-/Dynamic-Ditto, and the Fig. 15 cross-application variants.
+//! * [`sim`] — the layer-granularity timing/energy simulator with Defo's
+//!   runtime execution-flow selection (static step-2 decision, Defo+,
+//!   dynamic, and oracle policies).
+//! * [`energy`] — activity-based energy model (compute / encoder / VPU /
+//!   Defo / SRAM / DRAM / static, the Fig. 13 stacked bars).
+//! * [`gpu`] — the A100 roofline reference.
+//! * [`drift`] — Fig. 19's value-distribution drift injection.
+//! * [`pipeline`] — a tile-level pipelined (DMA→EU→CU→VPU) timing model
+//!   validating the analytic per-layer bound and quantifying the cost of
+//!   bursty sparsity.
+//! * [`encoder`] / [`pe`] / [`vpu`] / [`defo_unit`] — bit-exact behavioral
+//!   models of the §V hardware components (Fig. 10–12): the Encoding
+//!   Unit's subtract/classify/reorder pipeline, the adder-tree PE with
+//!   paired-shifter nibble lanes, the Vector Processing Unit stages, and
+//!   the 512×33-bit Defo layer table.
+//!
+//! # Example
+//!
+//! ```
+//! use diffusion::{DiffusionModel, ModelKind, ModelScale};
+//! use ditto_core::runner::{trace_model, ExecPolicy};
+//! use accel::{design::Design, sim::simulate};
+//!
+//! let model = DiffusionModel::build(ModelKind::Ddpm, ModelScale::Tiny, 42);
+//! let (trace, _) = trace_model(&model, 0, ExecPolicy::Dense)?;
+//! let itc = simulate(&Design::itc(), &trace);
+//! let ditto = simulate(&Design::ditto(), &trace);
+//! assert!(ditto.cycles > 0.0 && itc.cycles > 0.0);
+//! # Ok::<(), tensor::TensorError>(())
+//! ```
+
+pub mod config;
+pub mod defo_unit;
+pub mod design;
+pub mod drift;
+pub mod encoder;
+pub mod energy;
+pub mod gpu;
+pub mod pe;
+pub mod pipeline;
+pub mod sim;
+pub mod vpu;
+
+pub use config::HwConfig;
+pub use design::{DefoMode, Design};
+pub use energy::EnergyBreakdown;
+pub use sim::{simulate, DefoReport, ExecMode, RunResult};

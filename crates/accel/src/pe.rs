@@ -1,0 +1,193 @@
+//! Behavioral model of the Compute Unit's processing element (§V-B,
+//! Fig. 12).
+//!
+//! Each PE holds **four 4-bit×8-bit multipliers** feeding an adder tree,
+//! with a shifter on the first adder stage **per multiplier pair** (the
+//! Encoding Unit reorders nibbles so every shifted operand lands on a
+//! shifter-equipped lane), and a partial-sum register — high and low parts
+//! of an 8-bit value need not meet in the same adder-tree pass because
+//! accumulation order is free (§V-B).
+//!
+//! [`ComputeUnit::matvec_delta`] drives an encoded difference stream
+//! through PEs against a weight column and must reproduce the reference
+//! integer kernels bit-exactly — the datapath-level proof of the Fig. 7
+//! numerical-equivalence claim, asserted in the tests.
+
+use crate::encoder::{EncodingUnit, LaneEntry};
+
+/// Lane width of one PE (four multipliers, Fig. 12).
+pub const LANES_PER_PE: usize = 4;
+
+/// One adder-tree processing element with a partial-sum register.
+#[derive(Debug, Clone, Default)]
+pub struct Pe {
+    partial_sum: i32,
+    issued_groups: u64,
+}
+
+impl Pe {
+    /// A fresh PE with a cleared partial-sum register.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Issues one group of up to four lane entries paired with their
+    /// weights; products are shifted per metadata and accumulated through
+    /// the adder tree into the partial-sum register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than [`LANES_PER_PE`] entries are issued at once.
+    pub fn issue(&mut self, group: &[(LaneEntry, i8)]) {
+        assert!(group.len() <= LANES_PER_PE, "a PE has four multipliers");
+        let mut tree = 0i32;
+        for (entry, weight) in group {
+            // 4-bit × 8-bit multiplier.
+            let product = entry.nibble as i32 * *weight as i32;
+            // First adder stage applies the shift for high nibbles.
+            tree += if entry.shift { product << 4 } else { product };
+        }
+        self.partial_sum += tree;
+        self.issued_groups += 1;
+    }
+
+    /// Reads and clears the partial-sum register.
+    pub fn drain(&mut self) -> i32 {
+        std::mem::take(&mut self.partial_sum)
+    }
+
+    /// Number of issue cycles consumed so far.
+    pub fn issue_cycles(&self) -> u64 {
+        self.issued_groups
+    }
+}
+
+/// A bank of PEs executing an encoded delta stream against weights — the
+/// Compute Unit datapath for one output feature.
+#[derive(Debug, Clone, Default)]
+pub struct ComputeUnit {
+    pe: Pe,
+}
+
+impl ComputeUnit {
+    /// A compute unit with one (behavioral) PE.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Computes `prev_out + Δx · w` for one output feature: encodes the
+    /// temporal difference of the activation stream, issues the reordered
+    /// lanes in groups of four against the per-element weights, and applies
+    /// the stage-3 summation.
+    ///
+    /// Returns `(output, issue_cycles)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if slice lengths disagree.
+    pub fn matvec_delta(
+        &mut self,
+        prev_out: i32,
+        current: &[i8],
+        previous: &[i8],
+        weights: &[i8],
+    ) -> (i32, u64) {
+        assert_eq!(current.len(), weights.len(), "one weight per activation");
+        let stream = EncodingUnit::new().encode(current, previous);
+        let start = self.pe.issue_cycles();
+        for group in stream.entries.chunks(LANES_PER_PE) {
+            let paired: Vec<(LaneEntry, i8)> =
+                group.iter().map(|&e| (e, weights[e.index])).collect();
+            self.pe.issue(&paired);
+        }
+        let delta_acc = self.pe.drain();
+        (prev_out + delta_acc, self.pe.issue_cycles() - start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quant::kernels::{int_matmul, widen};
+    use tensor::Rng;
+
+    fn rand_i8(n: usize, rng: &mut Rng) -> Vec<i8> {
+        (0..n).map(|_| (rng.next_below(255) as i32 - 127) as i8).collect()
+    }
+
+    #[test]
+    fn pe_shifts_high_nibbles() {
+        let mut pe = Pe::new();
+        // 100 = 6<<4 + 4: issue both nibbles against weight 3.
+        pe.issue(&[
+            (LaneEntry { nibble: 4, shift: false, index: 0 }, 3),
+            (LaneEntry { nibble: 6, shift: true, index: 0 }, 3),
+        ]);
+        assert_eq!(pe.drain(), 300);
+        assert_eq!(pe.issue_cycles(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "four multipliers")]
+    fn pe_rejects_oversized_groups() {
+        let e = LaneEntry { nibble: 1, shift: false, index: 0 };
+        Pe::new().issue(&[(e, 1); 5]);
+    }
+
+    #[test]
+    fn datapath_matches_integer_kernels() {
+        // EncodingUnit + PE == the reference delta kernel, bit for bit.
+        let mut rng = Rng::seed_from(9);
+        for _ in 0..25 {
+            let k = 1 + rng.next_below(48);
+            let prev = rand_i8(k, &mut rng);
+            let cur: Vec<i8> = prev
+                .iter()
+                .map(|&p| {
+                    let delta = rng.next_below(9) as i32 - 4;
+                    (p as i32 + delta).clamp(-127, 127) as i8
+                })
+                .collect();
+            let w = rand_i8(k, &mut rng);
+            let prev_out = int_matmul(&widen(&prev), &w, 1, k, 1)[0];
+            let expect = int_matmul(&widen(&cur), &w, 1, k, 1)[0];
+            let (got, _) = ComputeUnit::new().matvec_delta(prev_out, &cur, &prev, &w);
+            assert_eq!(got, expect);
+        }
+    }
+
+    #[test]
+    fn datapath_handles_full_range_deltas() {
+        // Extreme deltas (up to ±254) still compute exactly.
+        let prev = vec![-127i8, 127, 0, 64];
+        let cur = vec![127i8, -127, -127, -64];
+        let w = vec![11i8, -7, 3, 127];
+        let prev_out = int_matmul(&widen(&prev), &w, 1, 4, 1)[0];
+        let expect = int_matmul(&widen(&cur), &w, 1, 4, 1)[0];
+        let (got, cycles) = ComputeUnit::new().matvec_delta(prev_out, &cur, &prev, &w);
+        assert_eq!(got, expect);
+        assert!(cycles >= 2, "wide deltas need multiple issue groups");
+    }
+
+    #[test]
+    fn sparse_deltas_cost_fewer_cycles() {
+        let mut rng = Rng::seed_from(3);
+        let k = 64;
+        let base = rand_i8(k, &mut rng);
+        let w = rand_i8(k, &mut rng);
+        // Dense change on every element vs change on 10% of elements.
+        let dense: Vec<i8> = base.iter().map(|&p| p.wrapping_add(3).clamp(-127, 127)).collect();
+        let sparse: Vec<i8> = base
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| if i % 10 == 0 { (p as i32 + 3).clamp(-127, 127) as i8 } else { p })
+            .collect();
+        let prev_out = int_matmul(&widen(&base), &w, 1, k, 1)[0];
+        let (_, dense_cycles) = ComputeUnit::new().matvec_delta(prev_out, &dense, &base, &w);
+        let (_, sparse_cycles) = ComputeUnit::new().matvec_delta(prev_out, &sparse, &base, &w);
+        assert!(
+            sparse_cycles * 2 < dense_cycles,
+            "zero skipping must pay: {sparse_cycles} vs {dense_cycles}"
+        );
+    }
+}

@@ -1,0 +1,239 @@
+//! Tile-level pipelined timing model — the §V-A pipeline made explicit.
+//!
+//! The analytic model in [`crate::sim`] charges each layer
+//! `max(compute, dram/BW)`, assuming perfect overlap. This module checks
+//! that assumption with a four-stage tile pipeline:
+//!
+//! ```text
+//! DMA (inter-step tensors) → Encoding Unit → Compute Unit → VPU
+//! ```
+//!
+//! A layer's work is split into tiles; stage `s` of tile `i` starts when
+//! both stage `s` of tile `i−1` and stage `s−1` of tile `i` have finished
+//! (double buffering). With *uniform* tiles the pipeline converges to the
+//! analytic bound (plus fill latency). With *skewed* tiles — zero
+//! differences bunched into a few tiles, which real activations do exhibit
+//! — the Compute Unit idles behind bursty DMA and the pipeline runs
+//! longer than the analytic `max()`: the fidelity gap quantified by the
+//! `ablation_pipeline` bench target.
+
+use ditto_core::trace::{LayerMeta, StepStats};
+
+use crate::design::Design;
+use crate::sim::ExecMode;
+
+/// Tiling parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TileConfig {
+    /// Operand elements per tile.
+    pub tile_elems: u64,
+    /// Sparsity burstiness in `[0, 1]`: 0 distributes non-zero work
+    /// uniformly over tiles; 1 concentrates all non-zero work at the tail
+    /// of the tile stream (zeros first — the serializing case).
+    pub skew: f64,
+}
+
+impl Default for TileConfig {
+    fn default() -> Self {
+        TileConfig { tile_elems: 4096, skew: 0.0 }
+    }
+}
+
+/// Per-stage totals and the pipelined makespan of one layer execution.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PipelineResult {
+    /// Pipelined total cycles.
+    pub cycles: f64,
+    /// Sum of DMA stage service times.
+    pub dma_busy: f64,
+    /// Sum of Encoding Unit service times.
+    pub eu_busy: f64,
+    /// Sum of Compute Unit service times.
+    pub cu_busy: f64,
+    /// Sum of VPU service times.
+    pub vpu_busy: f64,
+    /// Number of tiles.
+    pub tiles: usize,
+}
+
+impl PipelineResult {
+    /// The stage bound: no schedule can beat the busiest stage.
+    pub fn stage_bound(&self) -> f64 {
+        self.dma_busy.max(self.eu_busy).max(self.cu_busy).max(self.vpu_busy)
+    }
+}
+
+/// Splits `total` units over `tiles` tiles with the configured skew.
+fn distribute(total: f64, tiles: usize, skew: f64) -> Vec<f64> {
+    let uniform = total / tiles as f64;
+    if skew <= 0.0 || tiles == 1 {
+        return vec![uniform; tiles];
+    }
+    // Blend uniform work with a *tail* spike: the serializing case is
+    // zero-heavy tiles first and the dense region last, so the Compute
+    // Unit sits idle behind the (uniform-rate) DMA stream and then cannot
+    // overlap its burst with anything.
+    let spike_width = ((1.0 - skew) * tiles as f64).ceil().max(1.0) as usize;
+    let mut out = vec![uniform * (1.0 - skew); tiles];
+    let spike_total = total * skew;
+    for slot in out.iter_mut().rev().take(spike_width) {
+        *slot += spike_total / spike_width as f64;
+    }
+    out
+}
+
+/// Simulates one layer execution in `mode` at tile granularity.
+///
+/// Service-time model per tile (consistent with the analytic
+/// [`crate::sim`] capacities):
+/// * DMA: the layer's inter-step DRAM traffic, spread evenly over tiles.
+/// * EU: one element per 4-bit lane per cycle (sized to feed the CU).
+/// * CU: issued multiplier slots at the design's lane capacity, with the
+///   non-zero work distributed per `cfg.skew`.
+/// * VPU: output elements at one quarter of the lane capacity.
+pub fn simulate_layer_pipeline(
+    design: &Design,
+    meta: &LayerMeta,
+    st: &StepStats,
+    mode: ExecMode,
+    cfg: TileConfig,
+) -> PipelineResult {
+    let elems = meta.elems.max(1);
+    let tiles = elems.div_ceil(cfg.tile_elems).max(1) as usize;
+    let lanes = design.hw.slots4_per_cycle().max(design.hw.macs8_per_cycle()).max(1e-9);
+    // Total issued slots and DRAM bytes, mirroring the analytic model.
+    let (total_slots, extra_bytes, enc_elems): (f64, f64, f64) = match mode {
+        ExecMode::Act => {
+            let slots = if design.hw.pe_a4w8 > 0 { 2.0 * meta.macs as f64 } else { meta.macs as f64 };
+            (slots, 0.0, 0.0)
+        }
+        ExecMode::Spatial => {
+            let h = &st.spa;
+            let slots = (h.low4 + 2 * h.full8 + 4 * h.over8) as f64 * meta.reuse as f64;
+            (slots, 0.0, elems as f64)
+        }
+        ExecMode::Temporal => {
+            let mut slots = 0.0;
+            let mut enc = 0.0;
+            if let Some(hists) = st.temporal.as_ref() {
+                for (h, sub) in hists.iter().zip(&meta.subops) {
+                    slots += (h.low4 + 2 * h.full8 + 4 * h.over8) as f64 * sub.reuse as f64;
+                    enc += sub.elems as f64;
+                }
+            }
+            (slots, meta.temporal_extra_bytes() as f64, enc)
+        }
+    };
+    let bw = design.hw.dram_bw_eff();
+    // Per-tile service times.
+    let dma_tiles = vec![extra_bytes / bw / tiles as f64; tiles];
+    let eu_tiles = vec![enc_elems / lanes / tiles as f64; tiles];
+    let cu_tiles = distribute(total_slots / lanes, tiles, cfg.skew);
+    let vpu_tiles = vec![meta.out_bytes as f64 / (lanes / 4.0) / tiles as f64; tiles];
+
+    // Pipeline recurrence.
+    let stages = [dma_tiles, eu_tiles, cu_tiles, vpu_tiles];
+    let mut finish = vec![[0.0f64; 4]; tiles];
+    for i in 0..tiles {
+        for s in 0..4 {
+            let prev_tile = if i > 0 { finish[i - 1][s] } else { 0.0 };
+            let prev_stage = if s > 0 { finish[i][s - 1] } else { 0.0 };
+            finish[i][s] = prev_tile.max(prev_stage) + stages[s][i];
+        }
+    }
+    PipelineResult {
+        cycles: finish[tiles - 1][3],
+        dma_busy: stages[0].iter().sum(),
+        eu_busy: stages[1].iter().sum(),
+        cu_busy: stages[2].iter().sum(),
+        vpu_busy: stages[3].iter().sum(),
+        tiles,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::synth;
+
+    fn layer_and_stats() -> (LayerMeta, StepStats) {
+        let t = synth::trace(1, 3, 500_000, 256, false);
+        (t.layers[0].clone(), t.steps[2][0].clone())
+    }
+
+    #[test]
+    fn uniform_pipeline_approaches_stage_bound() {
+        let (meta, st) = layer_and_stats();
+        let d = Design::ditto();
+        let r = simulate_layer_pipeline(&d, &meta, &st, ExecMode::Temporal, TileConfig::default());
+        assert!(r.tiles > 1);
+        // Makespan within fill-latency distance of the busiest stage.
+        let bound = r.stage_bound();
+        assert!(r.cycles >= bound);
+        assert!(
+            r.cycles <= bound * (1.0 + 4.0 / r.tiles as f64) + 1e-6,
+            "uniform tiles pipeline well: {} vs bound {bound}",
+            r.cycles
+        );
+    }
+
+    #[test]
+    fn skew_only_hurts() {
+        let (meta, st) = layer_and_stats();
+        let d = Design::ditto();
+        let base = simulate_layer_pipeline(&d, &meta, &st, ExecMode::Temporal, TileConfig::default());
+        let mut prev = base.cycles;
+        for skew in [0.25, 0.5, 0.75, 0.95] {
+            let r = simulate_layer_pipeline(
+                &d,
+                &meta,
+                &st,
+                ExecMode::Temporal,
+                TileConfig { skew, ..Default::default() },
+            );
+            assert!(r.cycles >= prev * 0.999, "skew {skew}: {} vs {prev}", r.cycles);
+            prev = r.cycles;
+            // Busy totals are skew-invariant (same work, different shape).
+            assert!((r.cu_busy - base.cu_busy).abs() < 1e-6 * base.cu_busy);
+        }
+    }
+
+    #[test]
+    fn act_mode_has_no_dma_or_eu_work() {
+        let (meta, st) = layer_and_stats();
+        let d = Design::ditto();
+        let r = simulate_layer_pipeline(&d, &meta, &st, ExecMode::Act, TileConfig::default());
+        assert_eq!(r.dma_busy, 0.0);
+        assert_eq!(r.eu_busy, 0.0);
+        assert!(r.cu_busy > 0.0);
+    }
+
+    #[test]
+    fn pipeline_tracks_analytic_model_on_uniform_tiles() {
+        // The analytic per-layer cost is max(compute, dram) (+ overhead);
+        // the uniform pipeline must agree within pipeline-fill tolerance.
+        let (meta, st) = layer_and_stats();
+        let d = Design::ditto();
+        let p = simulate_layer_pipeline(&d, &meta, &st, ExecMode::Temporal, TileConfig::default());
+        let analytic_compute = p.cu_busy; // same slot accounting by design
+        let analytic = analytic_compute.max(p.dma_busy);
+        let rel = (p.cycles - analytic) / analytic;
+        assert!(
+            (0.0..0.25).contains(&rel),
+            "pipeline {} vs analytic {analytic} (rel {rel})",
+            p.cycles
+        );
+    }
+
+    #[test]
+    fn distribute_conserves_work() {
+        for skew in [0.0, 0.3, 0.8, 1.0] {
+            let v = distribute(1000.0, 7, skew);
+            assert_eq!(v.len(), 7);
+            let sum: f64 = v.iter().sum();
+            assert!((sum - 1000.0).abs() < 1e-9, "skew {skew}");
+            assert!(v.iter().all(|&x| x >= 0.0));
+        }
+        assert_eq!(distribute(100.0, 1, 0.9), vec![100.0]);
+    }
+}

@@ -1,0 +1,615 @@
+//! The cycle-level simulator: layer-granularity timing driven by measured
+//! operand statistics, with Defo's runtime execution-flow selection.
+//!
+//! Timing model (Sparse-DySta-style, §VI-A): per layer and model call,
+//! compute cycles come from the issued multiplier slots given the design's
+//! sparsity/bit-width capabilities, and memory stall cycles from DRAM
+//! traffic that double-buffering could not hide:
+//!
+//! ```text
+//! total = compute + max(0, dram_bytes / BW − compute)
+//! ```
+//!
+//! Weights and intra-step activations live in the 192 MB SRAM; DRAM traffic
+//! consists of a spill fraction of layer I/O (paper-size activations exceed
+//! SRAM residency) plus the inter-step tensors of temporal difference
+//! processing — previous inputs at difference-calculation boundaries and
+//! previous outputs at summation boundaries (§IV-B), reduced to 1-bit sign
+//! masks at SiLU/GroupNorm boundaries by designs with sign-mask data flow.
+
+use ditto_core::trace::{LayerMeta, StepStats, WorkloadTrace};
+use quant::BitWidthHistogram;
+
+use crate::design::{DefoMode, Design};
+use crate::energy::{
+    EnergyBreakdown, E_DEFO_PJ, E_ENC_PJ, E_MAC8_PJ, E_SLOT4_PJ, E_SRAM_PJ, E_SUM_PJ, E_VPU_PJ,
+    STATIC_FRACTION,
+};
+
+/// Pipeline fill / drain overhead per layer (cycles).
+const PIPE_OVERHEAD: f64 = 8.0;
+
+/// Fraction of layer input+output bytes that spill to DRAM in *every*
+/// execution mode (paper-size activation tensors exceed SRAM residency
+/// across the layer sequence; identical for all designs so relative
+/// comparisons are fair).
+const DRAM_SPILL_FRACTION: f64 = 0.25;
+
+/// SRAM operand-fetch bytes billed per issued multiplier slot (register
+/// files amortize repeated operand reads ~8×).
+const FETCH_BYTES_PER_UNIT: f64 = 0.125;
+
+/// How a layer executes at one step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExecMode {
+    /// Original activations, full bit-width.
+    Act,
+    /// Spatial (row) differences.
+    Spatial,
+    /// Temporal (adjacent-step) differences.
+    Temporal,
+}
+
+/// Cost of one layer execution at one step.
+#[derive(Debug, Clone, Copy)]
+pub struct LayerStepSim {
+    /// Chosen execution mode.
+    pub mode: ExecMode,
+    /// Compute cycles (including pipeline overhead).
+    pub compute: f64,
+    /// Memory stall cycles (DRAM traffic not hidden behind compute).
+    pub stall: f64,
+    /// DRAM bytes moved.
+    pub dram_bytes: f64,
+    /// Total bytes moved (SRAM + DRAM) — the Fig. 8 / Fig. 14 metric.
+    pub total_bytes: f64,
+    /// Energy (static component added at run level).
+    pub energy: EnergyBreakdown,
+}
+
+impl LayerStepSim {
+    /// Total cycles of this layer execution.
+    pub fn cycles(&self) -> f64 {
+        self.compute + self.stall
+    }
+}
+
+/// Defo decision quality summary (Fig. 17).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DefoReport {
+    /// Fraction of layers whose execution type Defo changed back to the
+    /// fallback (original activations / spatial differences).
+    pub changed_ratio: f64,
+    /// Fraction of layers whose fixed decision matches the per-run oracle.
+    pub accuracy: f64,
+}
+
+/// Aggregate result of simulating one design on one traced workload.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Design name.
+    pub design: String,
+    /// Model abbreviation.
+    pub model: String,
+    /// Total cycles.
+    pub cycles: f64,
+    /// Compute component.
+    pub compute_cycles: f64,
+    /// Memory-stall component.
+    pub stall_cycles: f64,
+    /// Energy with the static component included.
+    pub energy: EnergyBreakdown,
+    /// Total DRAM bytes.
+    pub dram_bytes: f64,
+    /// Total bytes moved (SRAM + DRAM).
+    pub total_bytes: f64,
+    /// Defo summary, when the design runs a Defo policy.
+    pub defo: Option<DefoReport>,
+}
+
+impl RunResult {
+    /// Speedup of this run relative to `baseline` (same workload).
+    pub fn speedup_over(&self, baseline: &RunResult) -> f64 {
+        baseline.cycles / self.cycles
+    }
+
+    /// Energy of this run relative to `baseline`.
+    pub fn relative_energy(&self, baseline: &RunResult) -> f64 {
+        self.energy.total() / baseline.energy.total()
+    }
+}
+
+/// Issued slot units of a histogram under the design's capabilities.
+///
+/// Returns `(units4, macs8)`: work on the 4-bit lane array and on 8-bit MAC
+/// units (outlier PEs). Non-outlier 8-bit designs get everything as
+/// `macs8`.
+fn issue_units(design: &Design, h: &BitWidthHistogram) -> (f64, f64) {
+    let zero = h.zero as f64;
+    let low4 = h.low4 as f64;
+    let full8 = h.full8 as f64;
+    let over8 = h.over8 as f64;
+    if design.outlier_pe {
+        // Normal 4-bit PEs take zero/low4 (no skipping on Cambricon-D),
+        // outlier 8-bit PEs take the rest.
+        let normal = if design.zero_skip { low4 } else { zero + low4 };
+        (normal, full8 + 2.0 * over8)
+    } else if design.dyn_bitwidth {
+        let z = if design.zero_skip { 0.0 } else { zero };
+        (z + low4 + 2.0 * full8 + 4.0 * over8, 0.0)
+    } else {
+        // 8-bit MAC hardware (ITC-like / DS).
+        let z = if design.zero_skip { 0.0 } else { zero };
+        (0.0, z + low4 + full8 + 2.0 * over8)
+    }
+}
+
+/// Compute cycles given issued units on each PE class.
+fn unit_cycles(design: &Design, units4: f64, macs8: f64) -> f64 {
+    let c4 = if units4 > 0.0 { units4 / design.hw.slots4_per_cycle().max(1e-9) } else { 0.0 };
+    let c8 = if macs8 > 0.0 { macs8 / design.hw.macs8_per_cycle().max(1e-9) } else { 0.0 };
+    if design.outlier_pe {
+        // Normal and outlier arrays run in parallel; the slower bounds.
+        c4.max(c8)
+    } else {
+        c4 + c8
+    }
+}
+
+/// Cost of running `meta` in `mode` with statistics `st`.
+fn mode_cost(design: &Design, meta: &LayerMeta, st: &StepStats, mode: ExecMode) -> LayerStepSim {
+    let spill = DRAM_SPILL_FRACTION * (meta.in_bytes + meta.out_bytes) as f64;
+    let (units4, macs8, enc_elems, extra_dram, summed) = match mode {
+        ExecMode::Act => {
+            let macs = meta.macs as f64;
+            if design.outlier_pe {
+                // Only the outlier PEs can execute full 8-bit activations.
+                (0.0, macs, 0.0, 0.0, false)
+            } else if design.hw.pe_a8w8 > 0 {
+                (0.0, macs, 0.0, 0.0, false)
+            } else {
+                // 4-bit array pairs two multipliers per 8-bit value.
+                (2.0 * macs, 0.0, 0.0, 0.0, false)
+            }
+        }
+        ExecMode::Spatial => {
+            let (u4, m8) = issue_units(design, &st.spa);
+            (
+                u4 * meta.reuse as f64,
+                m8 * meta.reuse as f64,
+                meta.elems as f64,
+                0.0,
+                false,
+            )
+        }
+        ExecMode::Temporal => {
+            let hists = st.temporal.as_ref().expect("temporal stats required");
+            let mut u4 = 0.0;
+            let mut m8 = 0.0;
+            let mut enc = 0.0;
+            for (h, sub) in hists.iter().zip(&meta.subops) {
+                let (a, b) = issue_units(design, h);
+                u4 += a * sub.reuse as f64;
+                m8 += b * sub.reuse as f64;
+                enc += sub.elems as f64;
+            }
+            // Sign-mask data flow replaces the stored pre-non-linearity
+            // tensors at SiLU/GroupNorm boundaries with 1-bit sign masks,
+            // cutting the inter-step traffic to ~1/8 byte per element.
+            let covered = design.sign_mask && meta.sign_mask_covers();
+            let full_extra = meta.temporal_extra_bytes() as f64;
+            let extra = if covered { full_extra / 8.0 } else { full_extra };
+            (u4, m8, enc, extra, meta.needs_summation)
+        }
+    };
+    let compute = unit_cycles(design, units4, macs8) + PIPE_OVERHEAD;
+    let dram_bytes = spill + extra_dram;
+    // Spilled layer I/O streams with perfect prefetch (its addresses are
+    // static); only the inter-step difference tensors — produced late in
+    // the previous step and consumed immediately — resist overlap and
+    // stall the pipeline (§IV-B).
+    let stall = (extra_dram / design.hw.dram_bw_eff() - compute).max(0.0);
+    let total_bytes = meta.base_bytes() as f64 + extra_dram;
+    let energy = EnergyBreakdown {
+        compute: units4 * E_SLOT4_PJ
+            + macs8 * E_MAC8_PJ
+            + (units4 + macs8) * FETCH_BYTES_PER_UNIT * E_SRAM_PJ,
+        encoder: enc_elems * E_ENC_PJ,
+        vpu: meta.out_bytes as f64 * E_VPU_PJ
+            + if summed { meta.out_bytes as f64 * E_SUM_PJ } else { 0.0 },
+        defo: if design.defo == DefoMode::None { 0.0 } else { E_DEFO_PJ },
+        sram: total_bytes * E_SRAM_PJ,
+        dram: dram_bytes * crate::energy::E_DRAM_PJ,
+        static_: 0.0,
+    };
+    LayerStepSim { mode, compute, stall, dram_bytes, total_bytes, energy }
+}
+
+/// Whether temporal difference processing is available for this layer at
+/// this step under this design.
+fn temporal_ok(design: &Design, meta: &LayerMeta, st: &StepStats) -> bool {
+    design.temporal
+        && st.temporal.is_some()
+        && (!meta.kind.is_attention() || design.attention_diff)
+}
+
+/// Whether spatial difference processing is available for this layer.
+fn spatial_ok(design: &Design, meta: &LayerMeta) -> bool {
+    design.spatial && (!meta.kind.is_attention() || design.attention_diff)
+}
+
+/// The fallback (non-temporal) mode of a layer.
+fn fallback_mode(design: &Design, meta: &LayerMeta) -> ExecMode {
+    if design.defo.spatial_fallback() && spatial_ok(design, meta) {
+        ExecMode::Spatial
+    } else if design.defo == DefoMode::None && spatial_ok(design, meta) {
+        // Pure spatial designs (Diffy) always run spatially.
+        ExecMode::Spatial
+    } else {
+        ExecMode::Act
+    }
+}
+
+/// Simulates one design over a traced workload.
+pub fn simulate(design: &Design, trace: &WorkloadTrace) -> RunResult {
+    let n = trace.layer_count();
+    let steps = trace.step_count();
+    // Defo state.
+    let mut fallback_ref = vec![f64::INFINITY; n]; // fallback cycles (step 0)
+    let mut diff_ref = vec![f64::INFINITY; n]; // temporal cycles (step 1)
+    let mut decided_temporal = vec![true; n];
+    let mut dynamic_switched = vec![false; n];
+    // Oracle bookkeeping (steps ≥ 2): total candidate cycles per layer.
+    let mut oracle_temporal = vec![0.0f64; n];
+    let mut oracle_fallback = vec![0.0f64; n];
+    let mut oracle_steps = 0usize;
+
+    let mut result = RunResult {
+        design: design.name.clone(),
+        model: trace.model.clone(),
+        cycles: 0.0,
+        compute_cycles: 0.0,
+        stall_cycles: 0.0,
+        energy: EnergyBreakdown::default(),
+        dram_bytes: 0.0,
+        total_bytes: 0.0,
+        defo: None,
+    };
+
+    for s in 0..steps {
+        let row = &trace.steps[s];
+        if s >= 2 {
+            oracle_steps += 1;
+        }
+        for (l, (meta, st)) in trace.layers.iter().zip(row).enumerate() {
+            let fb = fallback_mode(design, meta);
+            let t_ok = temporal_ok(design, meta, st);
+            // Candidate costs for oracle / ideal / decision logic.
+            let fb_cost = mode_cost(design, meta, st, fb);
+            let t_cost = if t_ok { Some(mode_cost(design, meta, st, ExecMode::Temporal)) } else { None };
+            if s >= 2 {
+                oracle_fallback[l] += fb_cost.cycles();
+                oracle_temporal[l] += t_cost.map_or(fb_cost.cycles(), |c| c.cycles());
+            }
+            let chosen = match design.defo {
+                DefoMode::None => t_cost.unwrap_or(fb_cost),
+                DefoMode::Static | DefoMode::Plus => match s {
+                    0 => {
+                        fallback_ref[l] = fb_cost.cycles();
+                        fb_cost
+                    }
+                    1 => {
+                        let c = t_cost.unwrap_or(fb_cost);
+                        diff_ref[l] = c.cycles();
+                        decided_temporal[l] = t_ok && diff_ref[l] < fallback_ref[l];
+                        c
+                    }
+                    _ => {
+                        if decided_temporal[l] {
+                            t_cost.unwrap_or(fb_cost)
+                        } else {
+                            fb_cost
+                        }
+                    }
+                },
+                DefoMode::Dynamic => match s {
+                    0 => {
+                        fallback_ref[l] = fb_cost.cycles();
+                        fb_cost
+                    }
+                    _ => {
+                        if dynamic_switched[l] || !t_ok {
+                            decided_temporal[l] = false;
+                            fb_cost
+                        } else {
+                            let c = t_cost.unwrap_or(fb_cost);
+                            // One-way switch: once differences run slower
+                            // than the recorded original-activation cycles,
+                            // fall back for the rest of the run (§VI-C).
+                            if c.cycles() > fallback_ref[l] {
+                                dynamic_switched[l] = true;
+                            }
+                            decided_temporal[l] = true;
+                            c
+                        }
+                    }
+                },
+                DefoMode::Ideal | DefoMode::IdealPlus => match t_cost {
+                    Some(c) if c.cycles() <= fb_cost.cycles() => c,
+                    _ => fb_cost,
+                },
+            };
+            result.cycles += chosen.cycles();
+            result.compute_cycles += chosen.compute;
+            result.stall_cycles += chosen.stall;
+            result.dram_bytes += chosen.dram_bytes;
+            result.total_bytes += chosen.total_bytes;
+            result.energy.add(&chosen.energy);
+        }
+    }
+
+    // Static/leakage energy: a fraction of full-utilization dynamic power,
+    // billed over the elapsed cycles — faster designs spend less.
+    let static_rate = STATIC_FRACTION
+        * (design.hw.slots4_per_cycle() * E_SLOT4_PJ + design.hw.macs8_per_cycle() * E_MAC8_PJ);
+    result.energy.static_ = static_rate * result.cycles;
+
+    if design.defo != DefoMode::None {
+        let mut changed = 0usize;
+        let mut correct = 0usize;
+        for l in 0..n {
+            let defo_temporal = match design.defo {
+                DefoMode::Ideal | DefoMode::IdealPlus => oracle_temporal[l] <= oracle_fallback[l],
+                _ => decided_temporal[l],
+            };
+            if !defo_temporal {
+                changed += 1;
+            }
+            let oracle_says_temporal = oracle_temporal[l] <= oracle_fallback[l];
+            if defo_temporal == oracle_says_temporal {
+                correct += 1;
+            }
+        }
+        let _ = oracle_steps;
+        result.defo = Some(DefoReport {
+            changed_ratio: changed as f64 / n.max(1) as f64,
+            accuracy: correct as f64 / n.max(1) as f64,
+        });
+    }
+    result
+}
+
+/// Synthetic paper-magnitude workload traces for deterministic simulator
+/// tests and benchmarks (real-model integration happens in `tests/` and
+/// the bench binaries at `ModelScale::Small`).
+pub mod synth {
+    use ditto_core::trace::{LayerMeta, LinearKind, StepStats, SubOp, WorkloadTrace};
+    use quant::BitWidthHistogram;
+
+    /// Splits `elems` into a histogram with the given zero / low-4 / full-8
+    /// fractions (remainder over-8).
+    pub fn hist(elems: u64, zero: f64, low4: f64, full8: f64) -> BitWidthHistogram {
+        let z = (elems as f64 * zero) as u64;
+        let l = (elems as f64 * low4) as u64;
+        let f = (elems as f64 * full8) as u64;
+        BitWidthHistogram { zero: z, low4: l, full8: f, over8: elems - z - l - f }
+    }
+
+    /// A conv-like layer with paper-scale reuse.
+    pub fn conv_layer(name: &str, elems: u64, reuse: u64, covered: bool) -> LayerMeta {
+        LayerMeta {
+            node: 0,
+            name: name.into(),
+            kind: LinearKind::Conv,
+            macs: elems * reuse,
+            elems,
+            reuse,
+            subops: vec![SubOp { label: "dx".into(), elems, reuse }],
+            in_bytes: elems / 9, // im2col expands a raw input ~9×
+            weight_bytes: reuse * 64,
+            out_bytes: elems / 9,
+            needs_diff_calc: true,
+            needs_summation: true,
+            in_boundary: if covered { vec!["silu".into()] } else { vec!["gelu".into()] },
+            out_boundary: if covered { vec!["group_norm".into()] } else { vec!["softmax".into()] },
+        }
+    }
+
+    /// A trace of `layers` copies of one conv layer over `steps` calls,
+    /// with temporal deltas much narrower than activations.
+    pub fn trace(layers: usize, steps: usize, elems: u64, reuse: u64, covered: bool) -> WorkloadTrace {
+        let metas: Vec<LayerMeta> = (0..layers)
+            .map(|i| {
+                let mut m = conv_layer(&format!("conv.{i}"), elems, reuse, covered);
+                m.node = i;
+                m
+            })
+            .collect();
+        let mut step_rows = Vec::new();
+        for s in 0..steps {
+            let row: Vec<StepStats> = (0..layers)
+                .map(|_| StepStats {
+                    act: hist(elems, 0.10, 0.30, 0.60),
+                    spa: hist(elems, 0.15, 0.40, 0.40),
+                    temporal: if s == 0 {
+                        None
+                    } else {
+                        Some(vec![hist(elems, 0.50, 0.45, 0.05)])
+                    },
+                })
+                .collect();
+            step_rows.push(row);
+        }
+        WorkloadTrace { model: "SYNTH".to_string(), layers: metas, steps: step_rows }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::synth;
+    use super::*;
+
+    /// Paper-magnitude conv workload: 18.9M im2col elements, C_out 512.
+    fn paper_trace(steps: usize) -> WorkloadTrace {
+        synth::trace(8, steps, 1_000_000, 512, true)
+    }
+
+    #[test]
+    fn ditto_beats_itc_on_paper_magnitude_layers() {
+        let t = paper_trace(20);
+        let itc = simulate(&Design::itc(), &t);
+        let ditto = simulate(&Design::ditto(), &t);
+        let speedup = ditto.speedup_over(&itc);
+        assert!(
+            speedup > 1.2 && speedup < 4.0,
+            "Ditto speedup over ITC in the paper's regime: {speedup}"
+        );
+    }
+
+    #[test]
+    fn itc_has_no_stalls_or_encoder_energy() {
+        let t = paper_trace(5);
+        let itc = simulate(&Design::itc(), &t);
+        assert_eq!(itc.stall_cycles, 0.0);
+        assert_eq!(itc.energy.encoder, 0.0);
+        assert_eq!(itc.energy.defo, 0.0);
+        assert!(itc.defo.is_none());
+    }
+
+    #[test]
+    fn temporal_designs_move_more_bytes_than_itc() {
+        // Fig. 14's ordering on uncovered boundaries: Cam-D ≥ Ditto > ITC.
+        let t = synth::trace(8, 20, 1_000_000, 512, false);
+        let itc = simulate(&Design::itc(), &t);
+        let cam = simulate(&Design::cambricon_d(), &t);
+        let ditto = simulate(&Design::ditto(), &t);
+        assert!(cam.total_bytes > itc.total_bytes);
+        assert!(ditto.total_bytes > itc.total_bytes);
+        assert!(
+            ditto.total_bytes <= cam.total_bytes * 1.05,
+            "Defo keeps Ditto at or below Cam-D traffic: {} vs {}",
+            ditto.total_bytes,
+            cam.total_bytes
+        );
+    }
+
+    #[test]
+    fn ideal_is_at_least_as_fast_as_static_defo() {
+        let t = paper_trace(30);
+        let ditto = simulate(&Design::ditto(), &t);
+        let ideal = simulate(&Design::ideal_ditto(), &t);
+        assert!(ideal.cycles <= ditto.cycles * 1.0001, "{} vs {}", ideal.cycles, ditto.cycles);
+        // The paper reports static Defo reaching 98.8% of ideal.
+        assert!(ditto.cycles <= ideal.cycles * 1.25);
+    }
+
+    #[test]
+    fn defo_report_present_and_bounded() {
+        let t = paper_trace(30);
+        let r = simulate(&Design::ditto(), &t);
+        let d = r.defo.expect("ditto runs Defo");
+        assert!((0.0..=1.0).contains(&d.changed_ratio));
+        assert!((0.0..=1.0).contains(&d.accuracy));
+        assert!(d.accuracy > 0.5, "Defo accuracy {}", d.accuracy);
+    }
+
+    #[test]
+    fn outlier_act_mode_is_slow() {
+        // Cambricon-D's act-mode penalty: only outlier PEs run 8-bit.
+        let t = paper_trace(3);
+        let meta = &t.layers[0];
+        let st = &t.steps[0][0];
+        let cam_act = mode_cost(&Design::cambricon_d(), meta, st, ExecMode::Act);
+        let ditto_act = mode_cost(&Design::ditto(), meta, st, ExecMode::Act);
+        assert!(cam_act.compute > ditto_act.compute * 2.0);
+    }
+
+    #[test]
+    fn zero_skip_reduces_units() {
+        let h = BitWidthHistogram { zero: 100, low4: 10, full8: 5, over8: 0 };
+        let skip = issue_units(&Design::ditto(), &h);
+        let noskip = issue_units(&Design::db(), &h);
+        assert!(skip.0 < noskip.0);
+        // Ditto: 10 + 2*5 = 20; DB: 100 + 10 + 10 = 120.
+        assert_eq!(skip.0, 20.0);
+        assert_eq!(noskip.0, 120.0);
+    }
+
+    #[test]
+    fn ds_uses_8bit_macs() {
+        let h = BitWidthHistogram { zero: 50, low4: 10, full8: 5, over8: 1 };
+        let (u4, m8) = issue_units(&Design::ds(), &h);
+        assert_eq!(u4, 0.0);
+        assert_eq!(m8, 10.0 + 5.0 + 2.0);
+    }
+
+    #[test]
+    fn outlier_split_bottlenecks_on_outlier_pes() {
+        // >6.5% full-bit deltas saturate Cambricon-D's 2 552 outlier PEs
+        // relative to its 38 280 normal PEs — the §VI-B critique.
+        let heavy = synth::hist(1_000_000, 0.40, 0.40, 0.20);
+        let (u4, m8) = issue_units(&Design::cambricon_d(), &heavy);
+        let cam = Design::cambricon_d();
+        let norm_cycles = u4 / cam.hw.slots4_per_cycle();
+        let out_cycles = m8 / cam.hw.macs8_per_cycle();
+        assert!(out_cycles > norm_cycles, "outlier path dominates: {out_cycles} vs {norm_cycles}");
+    }
+
+    #[test]
+    fn sign_mask_waives_covered_extras() {
+        let covered = synth::trace(1, 3, 100_000, 64, true);
+        let meta = &covered.layers[0];
+        let st = &covered.steps[2][0];
+        let with_mask = mode_cost(&Design::cambricon_d(), meta, st, ExecMode::Temporal);
+        let without = mode_cost(&Design::db_ds_attn(), meta, st, ExecMode::Temporal);
+        assert!(with_mask.dram_bytes < without.dram_bytes);
+        // Uncovered boundaries get no waiver.
+        let uncovered = synth::trace(1, 3, 100_000, 64, false);
+        let m2 = &uncovered.layers[0];
+        let s2 = &uncovered.steps[2][0];
+        let cam_uncovered = mode_cost(&Design::cambricon_d(), m2, s2, ExecMode::Temporal);
+        assert_eq!(cam_uncovered.dram_bytes, without.dram_bytes);
+    }
+
+    #[test]
+    fn diffy_runs_spatial_everywhere() {
+        let t = paper_trace(5);
+        let diffy = simulate(&Design::diffy(), &t);
+        // Spatial-only: no temporal extra DRAM beyond the spill.
+        let spill_only: f64 = t
+            .layers
+            .iter()
+            .map(|m| DRAM_SPILL_FRACTION * (m.in_bytes + m.out_bytes) as f64)
+            .sum::<f64>()
+            * t.step_count() as f64;
+        assert!((diffy.dram_bytes - spill_only).abs() < 1e-6);
+    }
+
+    #[test]
+    fn defo_switches_memory_bound_layers_to_act() {
+        // Low-reuse layers are stall-bound in temporal mode; static Defo
+        // must change them back (Fig. 17's "Change" fraction).
+        let low_reuse = synth::trace(4, 10, 1_000_000, 8, false);
+        let r = simulate(&Design::ditto(), &low_reuse);
+        let d = r.defo.unwrap();
+        assert!(d.changed_ratio > 0.9, "all low-reuse layers change: {}", d.changed_ratio);
+        // And with high reuse nothing changes.
+        let high_reuse = paper_trace(10);
+        let r2 = simulate(&Design::ditto(), &high_reuse);
+        assert_eq!(r2.defo.unwrap().changed_ratio, 0.0);
+    }
+
+    #[test]
+    fn energy_breakdown_components_present_for_ditto() {
+        let t = paper_trace(10);
+        let r = simulate(&Design::ditto(), &t);
+        let e = r.energy;
+        assert!(e.compute > 0.0);
+        assert!(e.encoder > 0.0);
+        assert!(e.vpu > 0.0);
+        assert!(e.defo > 0.0);
+        assert!(e.sram > 0.0);
+        assert!(e.dram > 0.0);
+        assert!(e.static_ > 0.0);
+    }
+}

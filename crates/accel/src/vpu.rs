@@ -1,0 +1,145 @@
+//! Behavioral model of the Vector Processing Unit (§V-B).
+//!
+//! The VPU executes everything that is not a linear layer: dequantization
+//! of the 32-bit accumulators, the non-linear functions (SiLU, GeLU,
+//! softmax, normalizations), re-quantization to the 8-bit activation
+//! buffers, and the stage-3 **summation** of difference processing. Stages
+//! are selectively bypassed per layer (a layer with no non-linear
+//! consumer skips the function stage entirely, saving energy).
+
+use tensor::ops;
+use tensor::{Result, Tensor};
+
+/// Which non-linear function (if any) the VPU applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VpuFunction {
+    /// Pass-through (stage bypassed).
+    Bypass,
+    /// SiLU activation.
+    Silu,
+    /// GeLU activation.
+    Gelu,
+    /// Row-wise softmax (rank-2 input).
+    Softmax,
+}
+
+/// Operation counters for energy accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VpuCounters {
+    /// Dequantized elements.
+    pub dequant: u64,
+    /// Elements passed through a non-linear function.
+    pub nonlinear: u64,
+    /// Re-quantized elements.
+    pub quant: u64,
+    /// Summed elements (stage-3 of difference processing).
+    pub summation: u64,
+}
+
+/// The Vector Processing Unit.
+#[derive(Debug, Clone, Default)]
+pub struct VectorProcessingUnit {
+    counters: VpuCounters,
+}
+
+impl VectorProcessingUnit {
+    /// A VPU with cleared counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accumulated operation counters.
+    pub fn counters(&self) -> VpuCounters {
+        self.counters
+    }
+
+    /// Dequantizes i32 accumulators with `scale` into f32.
+    pub fn dequantize(&mut self, acc: &[i32], scale: f32, dims: &[usize]) -> Result<Tensor> {
+        self.counters.dequant += acc.len() as u64;
+        Tensor::from_vec(acc.iter().map(|&v| v as f32 * scale).collect(), dims)
+    }
+
+    /// Stage-3 summation: adds the previous step's output to a
+    /// difference-domain tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if operands disagree.
+    pub fn summation(&mut self, diff: &Tensor, prev: &Tensor) -> Result<Tensor> {
+        self.counters.summation += diff.len() as u64;
+        ops::add(diff, prev)
+    }
+
+    /// Applies (or bypasses) the configured non-linear function.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error from `Softmax` on non-rank-2 input.
+    pub fn apply(&mut self, f: VpuFunction, x: &Tensor) -> Result<Tensor> {
+        if f != VpuFunction::Bypass {
+            self.counters.nonlinear += x.len() as u64;
+        }
+        match f {
+            VpuFunction::Bypass => Ok(x.clone()),
+            VpuFunction::Silu => Ok(ops::silu(x)),
+            VpuFunction::Gelu => Ok(ops::gelu(x)),
+            VpuFunction::Softmax => ops::softmax_rows(x),
+        }
+    }
+
+    /// Re-quantizes to the 8-bit activation buffer with the given scale.
+    pub fn quantize(&mut self, x: &Tensor, scale: f32) -> quant::QTensor {
+        self.counters.quant += x.len() as u64;
+        quant::QTensor::quantize_with_scale(x, scale)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_pipeline_dequant_function_quant() {
+        let mut vpu = VectorProcessingUnit::new();
+        let acc = vec![127i32, -254, 0, 64];
+        let x = vpu.dequantize(&acc, 0.01, &[1, 4]).unwrap();
+        assert!((x.as_slice()[0] - 1.27).abs() < 1e-6);
+        let y = vpu.apply(VpuFunction::Silu, &x).unwrap();
+        let q = vpu.quantize(&y, 0.02);
+        assert_eq!(q.len(), 4);
+        let c = vpu.counters();
+        assert_eq!(c.dequant, 4);
+        assert_eq!(c.nonlinear, 4);
+        assert_eq!(c.quant, 4);
+        assert_eq!(c.summation, 0);
+    }
+
+    #[test]
+    fn bypass_skips_function_counting() {
+        let mut vpu = VectorProcessingUnit::new();
+        let x = Tensor::full(&[3], 1.5);
+        let y = vpu.apply(VpuFunction::Bypass, &x).unwrap();
+        assert_eq!(y, x);
+        assert_eq!(vpu.counters().nonlinear, 0);
+    }
+
+    #[test]
+    fn summation_matches_elementwise_add() {
+        let mut vpu = VectorProcessingUnit::new();
+        let d = Tensor::from_vec(vec![1.0, -2.0], &[2]).unwrap();
+        let p = Tensor::from_vec(vec![10.0, 20.0], &[2]).unwrap();
+        let s = vpu.summation(&d, &p).unwrap();
+        assert_eq!(s.as_slice(), &[11.0, 18.0]);
+        assert_eq!(vpu.counters().summation, 2);
+        assert!(vpu.summation(&d, &Tensor::zeros(&[3])).is_err());
+    }
+
+    #[test]
+    fn softmax_requires_rank2() {
+        let mut vpu = VectorProcessingUnit::new();
+        assert!(vpu.apply(VpuFunction::Softmax, &Tensor::zeros(&[4])).is_err());
+        let x = Tensor::zeros(&[2, 2]);
+        let y = vpu.apply(VpuFunction::Softmax, &x).unwrap();
+        assert!((y.as_slice()[0] - 0.5).abs() < 1e-6);
+    }
+}

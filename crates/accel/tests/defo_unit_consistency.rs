@@ -1,0 +1,68 @@
+//! Consistency between the analytic simulator's Defo policy and the
+//! behavioral Defo Unit: feeding the unit the same per-layer cycle counts
+//! the simulator measures must reproduce the simulator's decisions.
+
+use accel::defo_unit::DefoUnit;
+use accel::design::Design;
+use accel::sim::{simulate, synth};
+
+#[test]
+fn defo_unit_reproduces_simulator_decisions() {
+    // A trace mixing compute-bound (high reuse) and memory-bound (low
+    // reuse) layers so the step-2 decision is non-trivial.
+    // Sized so per-layer cycle counts fit the 16-bit table entries
+    // (the paper notes 16 bits suffice for its per-layer cycles).
+    let mut trace = synth::trace(4, 12, 100_000, 128, false);
+    let low = synth::trace(4, 12, 100_000, 4, false);
+    for (i, mut layer) in low.layers.into_iter().enumerate() {
+        layer.node = 4 + i;
+        layer.name = format!("low.{i}");
+        trace.layers.push(layer);
+    }
+    for (row, extra) in trace.steps.iter_mut().zip(low.steps) {
+        row.extend(extra);
+    }
+
+    let design = Design::ditto();
+    let run = simulate(&design, &trace);
+    let report = run.defo.expect("defo active");
+    assert!(report.changed_ratio > 0.0 && report.changed_ratio < 1.0, "mixed workload");
+
+    // Reconstruct the decision with the behavioral unit from the same
+    // per-layer mode costs the simulator computes internally: act cost at
+    // step 0, temporal cost at step 1 (we re-derive them through a
+    // one-layer simulation of each mode).
+    let mut unit = DefoUnit::new();
+    let mut unit_decisions = Vec::new();
+    for (l, meta) in trace.layers.iter().enumerate() {
+        // Single-layer sub-traces isolate per-layer costs exactly.
+        let sub = accel::sim::synth::trace(1, 2, meta.elems, meta.reuse, false);
+        let mut sub = sub;
+        sub.layers[0] = meta.clone();
+        sub.steps[0][0] = trace.steps[0][l].clone();
+        sub.steps[1][0] = trace.steps[1][l].clone();
+        // Simulating the two steps gives act (step 0) + temporal (step 1).
+        let two = simulate(&design, &sub);
+        // Derive step costs: ITC-free decomposition — run step 0 only.
+        let mut only_first = sub.clone();
+        only_first.steps.truncate(1);
+        let first = simulate(&design, &only_first);
+        let act_cycles = first.cycles;
+        let diff_cycles = two.cycles - first.cycles;
+        unit.record_act(l, act_cycles.round() as u64);
+        unit_decisions.push(unit.record_diff_and_decide(l, diff_cycles.round() as u64));
+    }
+    // High-reuse layers keep differences; low-reuse layers revert — and
+    // the behavioral table agrees with the simulator's aggregate ratio.
+    let unit_changed =
+        unit_decisions.iter().filter(|&&d| !d).count() as f64 / unit_decisions.len() as f64;
+    assert!(
+        (unit_changed - report.changed_ratio).abs() < 1e-9,
+        "behavioral unit {unit_changed} vs simulator {}",
+        report.changed_ratio
+    );
+    for (l, &d) in unit_decisions.iter().enumerate() {
+        let expect = trace.layers[l].reuse >= 128;
+        assert_eq!(d, expect, "layer {l} ({} reuse)", trace.layers[l].reuse);
+    }
+}

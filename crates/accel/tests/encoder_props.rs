@@ -1,0 +1,93 @@
+//! Property tests of the Encoding Unit / PE datapath: lossless reordering
+//! for arbitrary activation pairs and cost consistency with the abstract
+//! bit-width classification.
+
+use accel::encoder::{Control, EncodingUnit};
+use accel::pe::ComputeUnit;
+use proptest::prelude::*;
+use quant::kernels::{int_matmul, widen};
+use quant::BitWidthClass;
+
+fn i8_no_min(v: i8) -> i8 {
+    if v == -128 {
+        -127
+    } else {
+        v
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// encode → decode is the identity on differences for arbitrary
+    /// activation streams.
+    #[test]
+    fn encode_decode_roundtrip(
+        cur in proptest::collection::vec(any::<i8>().prop_map(i8_no_min), 0..64),
+        prev_seed in any::<u64>(),
+    ) {
+        let mut rng = tensor::Rng::seed_from(prev_seed);
+        let prev: Vec<i8> = cur.iter().map(|_| (rng.next_below(255) as i32 - 127) as i8).collect();
+        let enc = EncodingUnit::new().encode(&cur, &prev);
+        let decoded = enc.decode(cur.len());
+        let expect: Vec<i16> = cur.iter().zip(&prev).map(|(&c, &p)| c as i16 - p as i16).collect();
+        prop_assert_eq!(decoded, expect);
+        prop_assert_eq!(enc.controls.len(), cur.len());
+    }
+
+    /// Control signals agree with the abstract classifier, and lane slots
+    /// match its lane cost for non-over-8 values.
+    #[test]
+    fn controls_match_classifier(
+        cur in proptest::collection::vec(any::<i8>().prop_map(i8_no_min), 1..64),
+        prev in proptest::collection::vec(any::<i8>().prop_map(i8_no_min), 1..64),
+    ) {
+        let n = cur.len().min(prev.len());
+        let (cur, prev) = (&cur[..n], &prev[..n]);
+        let enc = EncodingUnit::new().encode(cur, prev);
+        let mut expected_slots = 0u64;
+        for (i, (&c, &p)) in cur.iter().zip(prev).enumerate() {
+            let d = c as i16 - p as i16;
+            match BitWidthClass::of(d) {
+                BitWidthClass::Zero => {
+                    prop_assert_eq!(enc.controls[i], Control::ZeroSkip);
+                    // contributes no slots
+                }
+                BitWidthClass::Low4 => {
+                    prop_assert_eq!(enc.controls[i], Control::EnqueueLow);
+                    expected_slots += 1;
+                }
+                BitWidthClass::Full8 => {
+                    prop_assert_eq!(enc.controls[i], Control::EnqueueBoth);
+                    expected_slots += 2;
+                }
+                BitWidthClass::Over8 => {
+                    prop_assert_eq!(enc.controls[i], Control::EnqueueBoth);
+                    // over-8 costs at least two slots plus extra passes.
+                    expected_slots += 2;
+                }
+            }
+        }
+        prop_assert!(enc.lane_slots() as u64 >= expected_slots);
+    }
+
+    /// The full datapath (encode + PE issue + summation) equals the dense
+    /// integer reference for arbitrary streams and weights.
+    #[test]
+    fn datapath_equals_reference(
+        k in 1usize..32,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = tensor::Rng::seed_from(seed);
+        let prev: Vec<i8> = (0..k).map(|_| (rng.next_below(255) as i32 - 127) as i8).collect();
+        let cur: Vec<i8> = (0..k).map(|_| (rng.next_below(255) as i32 - 127) as i8).collect();
+        let w: Vec<i8> = (0..k).map(|_| (rng.next_below(255) as i32 - 127) as i8).collect();
+        let prev_out = int_matmul(&widen(&prev), &w, 1, k, 1)[0];
+        let expect = int_matmul(&widen(&cur), &w, 1, k, 1)[0];
+        let (got, cycles) = ComputeUnit::new().matvec_delta(prev_out, &cur, &prev, &w);
+        prop_assert_eq!(got, expect);
+        // Cycle count is bounded by ceil(slots / 4) of the encoded stream.
+        let enc = EncodingUnit::new().encode(&cur, &prev);
+        prop_assert_eq!(cycles as usize, enc.lane_slots().div_ceil(4));
+    }
+}

@@ -1,0 +1,169 @@
+//! Property tests of the cycle simulator on randomized synthetic
+//! workloads: ordering invariants between designs and policies,
+//! monotonicity in sparsity, and accounting sanity.
+
+use accel::design::Design;
+use accel::sim::{simulate, synth};
+use ditto_core::trace::{StepStats, WorkloadTrace};
+use proptest::prelude::*;
+use quant::BitWidthHistogram;
+
+/// Random but well-formed synthetic trace.
+fn arb_trace() -> impl Strategy<Value = WorkloadTrace> {
+    (
+        1usize..6,        // layers
+        3usize..12,       // steps
+        1_000u64..200_000, // elems
+        prop_oneof![Just(8u64), Just(32), Just(128), Just(512)], // reuse
+        any::<bool>(),    // sign-mask-covered boundaries
+        0.0f64..0.9,      // zero fraction
+        0.0f64..0.5,      // low4 fraction (clamped against zero)
+    )
+        .prop_map(|(layers, steps, elems, reuse, covered, zero, low4)| {
+            let low4 = low4.min(0.95 - zero);
+            let full8 = (1.0 - zero - low4).max(0.0) * 0.9;
+            let mut t = synth::trace(layers, steps, elems, reuse, covered);
+            for row in t.steps.iter_mut() {
+                for st in row.iter_mut() {
+                    st.act = synth::hist(elems, 0.1, 0.3, 0.6);
+                    st.spa = synth::hist(elems, 0.15, 0.4, 0.4);
+                    if st.temporal.is_some() {
+                        st.temporal = Some(vec![synth::hist(elems, zero, low4, full8)]);
+                    }
+                }
+            }
+            t
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The oracle policy lower-bounds every realizable Defo policy.
+    #[test]
+    fn ideal_is_a_lower_bound(trace in arb_trace()) {
+        let ideal = simulate(&Design::ideal_ditto(), &trace).cycles;
+        for d in [Design::ditto(), Design::dynamic_ditto()] {
+            let c = simulate(&d, &trace).cycles;
+            prop_assert!(ideal <= c * (1.0 + 1e-9), "{}: {ideal} vs {c}", d.name);
+        }
+    }
+
+    /// Results are deterministic.
+    #[test]
+    fn simulation_is_deterministic(trace in arb_trace()) {
+        let a = simulate(&Design::ditto(), &trace);
+        let b = simulate(&Design::ditto(), &trace);
+        prop_assert_eq!(a.cycles, b.cycles);
+        prop_assert_eq!(a.energy.total(), b.energy.total());
+    }
+
+    /// ITC is insensitive to difference statistics (it never looks at
+    /// them): scrambling histograms leaves its cycle count unchanged.
+    #[test]
+    fn itc_ignores_difference_stats(trace in arb_trace()) {
+        let base = simulate(&Design::itc(), &trace).cycles;
+        let mut scrambled = trace.clone();
+        for row in scrambled.steps.iter_mut() {
+            for st in row.iter_mut() {
+                let n = st.act.total();
+                st.act = BitWidthHistogram { zero: n, ..Default::default() };
+                if let Some(h) = st.temporal.as_mut() {
+                    for hh in h.iter_mut() {
+                        *hh = BitWidthHistogram { zero: hh.total(), ..Default::default() };
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(base, simulate(&Design::itc(), &scrambled).cycles);
+    }
+
+    /// More zero deltas never increase the Ditto hardware's compute
+    /// cycles (zero skipping is monotone).
+    #[test]
+    fn zero_skip_is_monotone(trace in arb_trace()) {
+        let base = simulate(&Design::ideal_ditto(), &trace);
+        let mut sparser = trace.clone();
+        for row in sparser.steps.iter_mut() {
+            for st in row.iter_mut() {
+                if let Some(hists) = st.temporal.as_mut() {
+                    for h in hists.iter_mut() {
+                        // Move all full8 mass to zero.
+                        *h = BitWidthHistogram {
+                            zero: h.zero + h.full8,
+                            low4: h.low4,
+                            full8: 0,
+                            over8: h.over8,
+                        };
+                    }
+                }
+            }
+        }
+        let better = simulate(&Design::ideal_ditto(), &sparser);
+        prop_assert!(better.compute_cycles <= base.compute_cycles * (1.0 + 1e-9));
+        prop_assert!(better.cycles <= base.cycles * (1.0 + 1e-9));
+    }
+
+    /// Accounting sanity for every design: non-negative components that
+    /// add up.
+    #[test]
+    fn accounting_is_consistent(trace in arb_trace()) {
+        for d in [
+            Design::itc(),
+            Design::diffy(),
+            Design::cambricon_d(),
+            Design::ditto(),
+            Design::ditto_plus(),
+            Design::ds(),
+            Design::db(),
+        ] {
+            let r = simulate(&d, &trace);
+            prop_assert!(r.compute_cycles > 0.0, "{}", d.name);
+            prop_assert!(r.stall_cycles >= 0.0);
+            prop_assert!((r.cycles - r.compute_cycles - r.stall_cycles).abs() < 1e-6 * r.cycles);
+            prop_assert!(r.dram_bytes >= 0.0);
+            prop_assert!(r.total_bytes >= r.dram_bytes * 0.0);
+            let e = r.energy;
+            for v in [e.compute, e.encoder, e.vpu, e.defo, e.sram, e.dram, e.static_] {
+                prop_assert!(v >= 0.0);
+            }
+        }
+    }
+
+    /// Sign-mask can only reduce Cambricon-D's traffic and never below the
+    /// spill floor.
+    #[test]
+    fn sign_mask_reduces_traffic(trace in arb_trace()) {
+        let with_mask = simulate(&Design::cambricon_d(), &trace);
+        let mut no_mask = Design::cambricon_d();
+        no_mask.sign_mask = false;
+        let without = simulate(&no_mask, &trace);
+        prop_assert!(with_mask.dram_bytes <= without.dram_bytes * (1.0 + 1e-9));
+    }
+
+    /// Drift injection preserves element counts for any parameters.
+    #[test]
+    fn drift_preserves_element_counts(trace in arb_trace(), amp in 0.0f64..1.0, period in 1usize..16) {
+        let drifted = accel::drift::inject_drift(&trace, amp, period);
+        let a = trace.merged(ditto_core::trace::StatView::Temporal);
+        let b = drifted.merged(ditto_core::trace::StatView::Temporal);
+        prop_assert_eq!(a.total(), b.total());
+    }
+}
+
+/// Non-random regression: a trace whose stats make every layer
+/// memory-bound must drive Defo's changed ratio to 1.
+#[test]
+fn fully_memory_bound_trace_changes_everything() {
+    let t = synth::trace(3, 8, 10_000, 1, false);
+    let r = simulate(&Design::ditto(), &t);
+    assert_eq!(r.defo.unwrap().changed_ratio, 1.0);
+}
+
+/// StepStats default sanity used by the strategies above.
+#[test]
+fn default_stats_are_empty() {
+    let st = StepStats::default();
+    assert_eq!(st.act.total(), 0);
+    assert!(st.temporal.is_none());
+}

@@ -1,0 +1,91 @@
+//! Criterion micro-benchmarks of the integer kernels the Ditto algorithm
+//! is built on: dense A8W8 matmul vs the three-stage temporal-difference
+//! update at varying delta sparsity, the Encoding Unit's classification
+//! pass, and im2col lowering.
+//!
+//! These measure *host* (simulation) performance of the library, not the
+//! modeled accelerator — they document that the delta path's zero-skipping
+//! also pays off in software.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use quant::kernels::{delta_matmul_update, int_matmul, widen};
+use quant::BitWidthHistogram;
+use std::hint::black_box;
+use tensor::ops::{self, Conv2dParams};
+use tensor::{Rng, Tensor};
+
+const M: usize = 64;
+const K: usize = 256;
+const N: usize = 128;
+
+fn rand_i8(n: usize, rng: &mut Rng) -> Vec<i8> {
+    (0..n).map(|_| (rng.next_below(255) as i32 - 127) as i8).collect()
+}
+
+/// Deltas with the given zero fraction, remainder small 4-bit values.
+fn sparse_deltas(n: usize, zero_frac: f64, rng: &mut Rng) -> Vec<i16> {
+    (0..n)
+        .map(|_| {
+            if rng.next_f64() < zero_frac {
+                0
+            } else {
+                rng.next_below(15) as i16 - 7
+            }
+        })
+        .collect()
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = Rng::seed_from(1);
+    let a = rand_i8(M * K, &mut rng);
+    let w = rand_i8(K * N, &mut rng);
+    let mut g = c.benchmark_group("int_matmul");
+    g.bench_function("dense_a8w8", |b| {
+        let wa = widen(&a);
+        b.iter(|| int_matmul(black_box(&wa), black_box(&w), M, K, N))
+    });
+    let prev_out = int_matmul(&widen(&a), &w, M, K, N);
+    for zero_frac in [0.0, 0.5, 0.9] {
+        let deltas = sparse_deltas(M * K, zero_frac, &mut rng);
+        g.bench_with_input(
+            BenchmarkId::new("delta_update", format!("{:.0}%zero", zero_frac * 100.0)),
+            &deltas,
+            |b, d| b.iter(|| delta_matmul_update(black_box(&prev_out), black_box(d), &w, M, K, N)),
+        );
+    }
+    g.finish();
+}
+
+fn bench_encoder(c: &mut Criterion) {
+    let mut rng = Rng::seed_from(2);
+    let deltas = sparse_deltas(M * K, 0.5, &mut rng);
+    c.bench_function("encoding_unit_classify", |b| {
+        b.iter(|| BitWidthHistogram::from_deltas(black_box(&deltas)))
+    });
+}
+
+fn bench_im2col_and_conv(c: &mut Criterion) {
+    let mut rng = Rng::seed_from(3);
+    let x = Tensor::randn(&[32, 16, 16], &mut rng);
+    let w = Tensor::randn(&[32, 32, 3, 3], &mut rng);
+    let p = Conv2dParams::same3x3();
+    c.bench_function("im2col_32x16x16", |b| b.iter(|| ops::im2col(black_box(&x), p)));
+    c.bench_function("conv2d_direct_32x16x16", |b| {
+        b.iter(|| ops::conv2d(black_box(&x), &w, None, p))
+    });
+}
+
+fn bench_quantize(c: &mut Criterion) {
+    let mut rng = Rng::seed_from(4);
+    let x = Tensor::randn(&[64 * 256], &mut rng);
+    c.bench_function("quantize_dynamic_16k", |b| {
+        b.iter(|| quant::QTensor::quantize_dynamic(black_box(&x)))
+    });
+}
+
+criterion_group!(
+    name = kernels;
+    config = Criterion::default().sample_size(20);
+    targets = bench_matmul, bench_encoder, bench_im2col_and_conv, bench_quantize
+);
+criterion_main!(kernels);

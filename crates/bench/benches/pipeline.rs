@@ -1,0 +1,50 @@
+//! Criterion end-to-end pipeline benchmarks: tracing a reverse process
+//! through the Ditto execution engine and simulating accelerator designs
+//! over a captured trace.
+
+use accel::design::Design;
+use accel::sim::simulate;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use diffusion::{DiffusionModel, ModelKind, ModelScale, NullHook};
+use ditto_core::runner::{trace_model, ExecPolicy};
+use std::hint::black_box;
+
+fn bench_reverse_process(c: &mut Criterion) {
+    let model = DiffusionModel::build(ModelKind::Ddpm, ModelScale::Tiny, 8);
+    c.bench_function("reverse_process_fp32_tiny_ddpm", |b| {
+        b.iter(|| model.run_reverse(black_box(0), &mut NullHook).unwrap())
+    });
+}
+
+fn bench_trace(c: &mut Criterion) {
+    let model = DiffusionModel::build(ModelKind::Ddpm, ModelScale::Tiny, 8);
+    let mut g = c.benchmark_group("trace_tiny_ddpm");
+    g.sample_size(10);
+    for (policy, label) in [(ExecPolicy::Dense, "dense"), (ExecPolicy::TemporalDelta, "delta")] {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &policy, |b, &p| {
+            b.iter(|| trace_model(black_box(&model), 0, p).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let model = DiffusionModel::build(ModelKind::Sdm, ModelScale::Tiny, 8);
+    let (trace, _) = trace_model(&model, 0, ExecPolicy::Dense).unwrap();
+    let mut g = c.benchmark_group("simulate_tiny_sdm");
+    for design in [Design::itc(), Design::cambricon_d(), Design::ditto(), Design::ideal_ditto()] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(design.name.clone()),
+            &design,
+            |b, d| b.iter(|| simulate(black_box(d), black_box(&trace))),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = pipeline;
+    config = Criterion::default().sample_size(10);
+    targets = bench_reverse_process, bench_trace, bench_simulator
+);
+criterion_main!(pipeline);

@@ -1,0 +1,4 @@
+//! Ablation/extension experiment; see crates/bench/src/ablations.rs.
+fn main() {
+    bench::ablations::bandwidth();
+}

@@ -1,0 +1,4 @@
+//! Tile-pipeline fidelity ablation; see crates/bench/src/ablations.rs.
+fn main() {
+    bench::ablations::pipeline_fidelity();
+}

@@ -1,0 +1,9 @@
+//! Calibration-granularity ablation; optional model abbreviation argument.
+fn main() {
+    let pick = std::env::args().nth(1).unwrap_or_else(|| "DDPM".to_string());
+    let kind = diffusion::ModelKind::all()
+        .into_iter()
+        .find(|k| k.abbr().eq_ignore_ascii_case(&pick))
+        .expect("unknown model abbreviation");
+    bench::ablations::quantization(kind);
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper experiment; see DESIGN.md §3.
+fn main() {
+    bench::experiments::fig19();
+}

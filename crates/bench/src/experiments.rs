@@ -1,0 +1,585 @@
+//! One function per paper experiment; the `src/bin/` binaries are thin
+//! wrappers. Every function prints the same rows/series the paper reports.
+
+use accel::design::Design;
+use accel::drift::inject_drift;
+use accel::gpu::simulate_gpu;
+use accel::sim::{simulate, RunResult};
+use accel::HwConfig;
+use diffusion::{metrics, ModelKind};
+use ditto_core::analysis;
+use ditto_core::runner::{build_quantizer, DittoHook, ExecPolicy};
+use ditto_core::trace::StatView;
+
+use crate::report::{banner, f2, f3, pct, Table};
+use crate::suite::{build_model, cached_similarity, cached_trace, MODELS};
+
+/// Table I: evaluated models, datasets and samplers.
+pub fn table1() {
+    banner("Table I", "Evaluated Models, Datasets, and Samplers");
+    let mut t = Table::new(["Abbr.", "Dataset", "Sampler", "Steps", "Linear layers", "MACs/step"]);
+    for &kind in &MODELS {
+        let model = build_model(kind);
+        let trace = cached_trace(kind);
+        t.row([
+            kind.abbr().to_string(),
+            kind.dataset().to_string(),
+            format!("{:?}", model.sampler),
+            model.steps.to_string(),
+            trace.layer_count().to_string(),
+            format!("{:.1}M", trace.macs_per_step() as f64 / 1e6),
+        ]);
+    }
+    t.print();
+}
+
+/// Fig. 3a: cosine similarity of adjacent-step inputs for the two layers
+/// the paper plots (SDM `conv-in` and `up.0.0.skip`).
+pub fn fig03a() {
+    banner("Fig. 3a", "Adjacent-step cosine similarity of SDM conv-in / up.0.0.skip");
+    let r = cached_similarity(ModelKind::Sdm);
+    let mut t = Table::new(["Layer", "step 25→24", "step 2→1", "mean over run"]);
+    for name in ["conv-in", "up.0.0.skip"] {
+        let l = r.layer_named(name).expect("paper layer exists");
+        let series = &r.temporal_cosine[l];
+        let n = series.len();
+        // Step indices counted from the end of the run (the paper's time
+        // steps count down; step 1 is the last).
+        let at = |steps_from_end: usize| series[n - steps_from_end];
+        let mean: f32 = series.iter().sum::<f32>() / n as f32;
+        t.row([
+            name.to_string(),
+            f3(at(24) as f64),
+            f3(at(1) as f64),
+            f3(mean as f64),
+        ]);
+    }
+    t.print();
+    println!("(paper: 0.9997 / 0.9972 for conv-in, 0.9934 / 0.948 for up.0.0.skip)");
+}
+
+/// Fig. 3b: average temporal vs spatial cosine similarity per model.
+pub fn fig03b() {
+    banner("Fig. 3b", "Average temporal and spatial similarity of activations");
+    let mut t = Table::new(["Model", "Temporal", "Spatial"]);
+    let (mut st, mut ss) = (0.0, 0.0);
+    for &kind in &MODELS {
+        let r = cached_similarity(kind);
+        st += r.mean_temporal();
+        ss += r.mean_spatial();
+        t.row([kind.abbr().to_string(), f3(r.mean_temporal()), f3(r.mean_spatial())]);
+    }
+    let n = MODELS.len() as f64;
+    t.row(["AVG.".to_string(), f3(st / n), f3(ss / n)]);
+    t.print();
+    println!("(paper: temporal 0.983 avg, ≥0.947 per model; spatial 0.31 avg)");
+}
+
+/// Fig. 4a: per-step value ranges of activations and temporal differences
+/// for SDM conv-in / up.0.0.skip (sampled at the paper's tick positions).
+pub fn fig04a() {
+    banner("Fig. 4a", "Value ranges across time steps (SDM conv-in / up.0.0.skip)");
+    let r = cached_similarity(ModelKind::Sdm);
+    for name in ["conv-in", "up.0.0.skip"] {
+        let l = r.layer_named(name).expect("paper layer exists");
+        let act = &r.act_range[l];
+        let diff = &r.diff_range[l];
+        let mut t = Table::new(["Series", "50'", "40", "30", "20", "10", "1", "mean"]);
+        let n = act.len();
+        let pick = |v: &[f32], steps_from_end: usize| v[n.saturating_sub(steps_from_end + 1).min(v.len() - 1)];
+        let mean = |v: &[f32]| v.iter().sum::<f32>() as f64 / v.len() as f64;
+        t.row([
+            format!("{name} activation"),
+            f2(act[0] as f64),
+            f2(pick(act, 40) as f64),
+            f2(pick(act, 30) as f64),
+            f2(pick(act, 20) as f64),
+            f2(pick(act, 10) as f64),
+            f2(*act.last().unwrap() as f64),
+            f2(mean(act)),
+        ]);
+        let nd = diff.len();
+        let pickd = |steps_from_end: usize| diff[nd.saturating_sub(steps_from_end + 1).min(nd - 1)];
+        t.row([
+            format!("{name} temporal diff"),
+            f2(diff[0] as f64),
+            f2(pickd(40) as f64),
+            f2(pickd(30) as f64),
+            f2(pickd(20) as f64),
+            f2(pickd(10) as f64),
+            f2(*diff.last().unwrap() as f64),
+            f2(mean(diff)),
+        ]);
+        t.print();
+    }
+    println!("(paper: conv-in act range 4.73 avg vs diff 0.23; up.0.0.skip 21.88 vs 4.83)");
+}
+
+/// Fig. 4b: average value range of activations vs temporal differences.
+pub fn fig04b() {
+    banner("Fig. 4b", "Average value range of activations and temporal differences");
+    let mut t = Table::new(["Model", "Activation", "Temporal diff", "Ratio"]);
+    let (mut sa, mut sd) = (0.0, 0.0);
+    for &kind in &MODELS {
+        let r = cached_similarity(kind);
+        let (a, d) = (r.mean_act_range(), r.mean_diff_range());
+        sa += a;
+        sd += d;
+        t.row([kind.abbr().to_string(), f2(a), f2(d), format!("{:.2}x", a / d)]);
+    }
+    let n = MODELS.len() as f64;
+    t.row(["AVG.".to_string(), f2(sa / n), f2(sd / n), format!("{:.2}x", sa / sd)]);
+    t.print();
+    println!("(paper: 8.96x narrower on average; 25.02x for DDPM, 2.44x for CHUR)");
+}
+
+/// Fig. 5: bit-width requirement of activations / spatial / temporal
+/// differences.
+pub fn fig05() {
+    banner("Fig. 5", "Bit-width requirement (zero / 4-bit / over-4-bit)");
+    let mut t = Table::new(["Model", "View", "Zero", "4-bit", "Over 4-bit"]);
+    let mut avg = [[0.0f64; 3]; 3];
+    for &kind in &MODELS {
+        let trace = cached_trace(kind);
+        for (vi, (view, label)) in [
+            (StatView::Activation, "Act."),
+            (StatView::Spatial, "Spa Diff."),
+            (StatView::Temporal, "Temp Diff."),
+        ]
+        .iter()
+        .enumerate()
+        {
+            let b = analysis::bitwidth_breakdown(&trace, *view);
+            avg[vi][0] += b.zero;
+            avg[vi][1] += b.low4;
+            avg[vi][2] += b.over4;
+            t.row([
+                kind.abbr().to_string(),
+                label.to_string(),
+                pct(b.zero),
+                pct(b.low4),
+                pct(b.over4),
+            ]);
+        }
+    }
+    let n = MODELS.len() as f64;
+    for (vi, label) in ["Act.", "Spa Diff.", "Temp Diff."].iter().enumerate() {
+        t.row([
+            "AVG.".to_string(),
+            label.to_string(),
+            pct(avg[vi][0] / n),
+            pct(avg[vi][1] / n),
+            pct(avg[vi][2] / n),
+        ]);
+    }
+    t.print();
+    println!("(paper: temporal diffs 44.48% zero, 96.01% ≤4-bit incl. zero; act 42.28% over-4-bit)");
+}
+
+/// Fig. 6a: relative BOPs of the three processing methods.
+pub fn fig06a() {
+    banner("Fig. 6a", "Relative BOPs (normalized to the original quantized model)");
+    let mut t = Table::new(["Model", "Activation", "Spatial diff", "Temporal diff"]);
+    let (mut ss, mut st) = (0.0, 0.0);
+    for &kind in &MODELS {
+        let trace = cached_trace(kind);
+        let spa = analysis::relative_bops(&trace, StatView::Spatial);
+        let tmp = analysis::relative_bops(&trace, StatView::Temporal);
+        ss += spa;
+        st += tmp;
+        t.row([kind.abbr().to_string(), f3(1.0), f3(spa), f3(tmp)]);
+    }
+    let n = MODELS.len() as f64;
+    t.row(["AVG.".to_string(), f3(1.0), f3(ss / n), f3(st / n)]);
+    t.print();
+    println!("(paper: temporal 53.3% fewer BOPs than original, 23.1% fewer than spatial)");
+}
+
+/// Fig. 6b: per-adjacent-step relative BOPs in SDM for the two paper
+/// layers.
+pub fn fig06b() {
+    banner("Fig. 6b", "Per-step relative BOPs of temporal differences (SDM)");
+    let trace = cached_trace(ModelKind::Sdm);
+    for name in ["conv-in", "up.0.0.skip"] {
+        let series = analysis::per_step_relative_bops(&trace, name).expect("layer exists");
+        let n = series.len();
+        let mut t = Table::new(["Layer", "50'~50", "41~40", "31~30", "21~20", "11~10", "2~1", "mean(2..)"]);
+        let pick = |steps_from_end: usize| series[n - 1 - steps_from_end.min(n - 1)];
+        let mean: f64 = series[1..].iter().sum::<f64>() / (n - 1) as f64;
+        t.row([
+            name.to_string(),
+            f3(series[1]),
+            f3(pick(40)),
+            f3(pick(30)),
+            f3(pick(20)),
+            f3(pick(10)),
+            f3(pick(1)),
+            f3(mean),
+        ]);
+        t.print();
+    }
+    println!("(paper: consistent reduction across steps; final steps save least but stay below 1.0)");
+}
+
+/// Fig. 8: relative memory accesses of naive temporal difference
+/// processing (before Defo).
+pub fn fig08() {
+    banner("Fig. 8", "Relative memory accesses of temporal difference processing");
+    let mut t = Table::new(["Model", "Activation", "Temporal diff (naive)", "After Defo static bypass"]);
+    let (mut sn, mut sd) = (0.0, 0.0);
+    for &kind in &MODELS {
+        let trace = cached_trace(kind);
+        let naive = analysis::naive_temporal_memory_ratio(&trace);
+        let defo = analysis::defo_temporal_memory_ratio(&trace);
+        sn += naive;
+        sd += defo;
+        t.row([kind.abbr().to_string(), f2(1.0), f2(naive), f2(defo)]);
+    }
+    let n = MODELS.len() as f64;
+    t.row(["AVG.".to_string(), f2(1.0), f2(sn / n), f2(sd / n)]);
+    t.print();
+    println!("(paper: 2.75x more accesses on average for naive temporal processing)");
+}
+
+/// Table II: generation quality of FP32 vs Ditto (proxy metrics — see
+/// DESIGN.md §1; relative degradation is the comparable quantity).
+pub fn table2(samples: usize) {
+    banner("Table II", "Accuracy of diffusion models (proxy metrics)");
+    let mut t = Table::new(["Model", "pFID (FP32 vs Ditto)", "pFID (FP32 reseed floor)", "pIS FP32", "pIS Ditto", "pCS FP32", "pCS Ditto"]);
+    for &kind in &MODELS {
+        let model = build_model(kind);
+        let quantizer = build_quantizer(&model, 100).expect("calibration");
+        let mut fp32_set = Vec::new();
+        let mut ditto_set = Vec::new();
+        let mut fp32_reseed = Vec::new();
+        for s in 0..samples as u64 {
+            let seed = 100 + s;
+            fp32_set.push(model.run_reverse(seed, &mut diffusion::NullHook).expect("fp32"));
+            let mut hook = DittoHook::new(&model, quantizer.clone(), ExecPolicy::Dense);
+            ditto_set.push(model.run_reverse(seed, &mut hook).expect("ditto"));
+            fp32_reseed
+                .push(model.run_reverse(200 + s, &mut diffusion::NullHook).expect("fp32 reseed"));
+        }
+        let fid = metrics::pseudo_fid(&fp32_set, &ditto_set, 7);
+        let fid_floor = metrics::pseudo_fid(&fp32_set, &fp32_reseed, 7);
+        let is_fp = metrics::pseudo_is(&fp32_set, 7);
+        let is_dt = metrics::pseudo_is(&ditto_set, 7);
+        let (cs_fp, cs_dt) = match model.sample_inputs(100).1 {
+            Some(cond) => (
+                f3(metrics::pseudo_clip_score(&fp32_set, &cond, 7)),
+                f3(metrics::pseudo_clip_score(&ditto_set, &cond, 7)),
+            ),
+            None => ("-".to_string(), "-".to_string()),
+        };
+        t.row([
+            kind.abbr().to_string(),
+            format!("{fid:.4}"),
+            format!("{fid_floor:.4}"),
+            f3(is_fp),
+            f3(is_dt),
+            cs_fp,
+            cs_dt,
+        ]);
+    }
+    t.print();
+    println!("(paper: Ditto preserves FP32 quality; here pFID(FP32,Ditto) should sit at or below the reseed floor)");
+}
+
+/// Table III: hardware configurations.
+pub fn table3() {
+    banner("Table III", "Hardware configurations");
+    let mut t = Table::new(["Hardware", "# of PE", "Bit-width", "Power (W)", "SRAM (MB)", "Area (mm2)", "Freq"]);
+    for hw in HwConfig::table3() {
+        let (pes, bits) = match (hw.pe_a4w8, hw.pe_a8w8) {
+            (0, p8) => (format!("{p8}"), "A8W8".to_string()),
+            (p4, 0) => (format!("{p4}"), "A4W8".to_string()),
+            (p4, p8) => (format!("normal-{p4} outlier-{p8}"), "A4W8+A8W8".to_string()),
+        };
+        t.row([
+            hw.name.to_string(),
+            pes,
+            bits,
+            f2(hw.power_w),
+            hw.sram_mb.to_string(),
+            f2(hw.area_mm2),
+            format!("{}GHz", hw.freq_ghz),
+        ]);
+    }
+    t.print();
+}
+
+fn fig13_designs() -> Vec<Design> {
+    Design::fig13_set()
+}
+
+/// Fig. 13: speedup (top) and relative energy (bottom) of every hardware
+/// design, normalized to ITC.
+pub fn fig13() {
+    banner("Fig. 13", "Speedup and relative energy vs ITC");
+    let designs = fig13_designs();
+    let mut t = Table::new(["Model", "GPU", "ITC", "Diffy", "Cam-D", "Ditto", "Ditto+"]);
+    let mut e = Table::new(["Model", "GPU", "ITC", "Diffy", "Cam-D", "Ditto", "Ditto+"]);
+    let mut sums = vec![0.0f64; designs.len() + 1];
+    let mut esums = vec![0.0f64; designs.len() + 1];
+    for &kind in &MODELS {
+        let trace = cached_trace(kind);
+        let itc = simulate(&Design::itc(), &trace);
+        let gpu = simulate_gpu(&trace);
+        let mut srow = vec![kind.abbr().to_string(), f2(gpu.speedup_over(&itc)), f2(1.0)];
+        let mut erow = vec![kind.abbr().to_string(), f2(gpu.relative_energy(&itc)), f2(1.0)];
+        sums[0] += gpu.speedup_over(&itc);
+        esums[0] += gpu.relative_energy(&itc);
+        for (i, d) in designs.iter().enumerate().skip(1) {
+            let r = simulate(d, &trace);
+            sums[i] += r.speedup_over(&itc);
+            esums[i] += r.relative_energy(&itc);
+            srow.push(f2(r.speedup_over(&itc)));
+            erow.push(f2(r.relative_energy(&itc)));
+        }
+        t.row(srow);
+        e.row(erow);
+    }
+    let n = MODELS.len() as f64;
+    let mut avg_s = vec!["AVG.".to_string(), f2(sums[0] / n), f2(1.0)];
+    let mut avg_e = vec!["AVG.".to_string(), f2(esums[0] / n), f2(1.0)];
+    for i in 1..designs.len() {
+        avg_s.push(f2(sums[i] / n));
+        avg_e.push(f2(esums[i] / n));
+    }
+    t.row(avg_s);
+    e.row(avg_e);
+    println!("-- speedup (top; normalized to ITC) --");
+    t.print();
+    println!("-- relative energy (bottom; normalized to ITC) --");
+    e.print();
+    // Energy breakdown of the Ditto hardware (the stacked-bar content).
+    let mut b = Table::new(["Model", "CU", "EU", "VPU", "Defo", "SRAM", "DRAM", "static"]);
+    for &kind in &MODELS {
+        let trace = cached_trace(kind);
+        let r = simulate(&Design::ditto(), &trace);
+        let f = r.energy.fractions();
+        b.row([
+            kind.abbr().to_string(),
+            pct(f[0]),
+            pct(f[1]),
+            pct(f[2]),
+            pct(f[3]),
+            pct(f[4]),
+            pct(f[5]),
+            pct(f[6]),
+        ]);
+    }
+    println!("-- Ditto energy breakdown --");
+    b.print();
+    println!("(paper: Ditto 1.5x speedup / 17.74% energy saving over ITC; Ditto+ 1.06x over Ditto;");
+    println!(" Ditto 1.56x over Cambricon-D, 43.24% energy saving vs Cam-D; GPU avg speedup 0.18, energy 55x)");
+}
+
+/// Fig. 14: relative memory accesses of the hardware designs.
+pub fn fig14() {
+    banner("Fig. 14", "Relative memory accesses (normalized to ITC)");
+    let mut t = Table::new(["Model", "ITC", "Cam-D", "Ditto", "Ditto+"]);
+    let mut sums = [0.0f64; 3];
+    for &kind in &MODELS {
+        let trace = cached_trace(kind);
+        let itc = simulate(&Design::itc(), &trace);
+        let cam = simulate(&Design::cambricon_d(), &trace);
+        let ditto = simulate(&Design::ditto(), &trace);
+        let plus = simulate(&Design::ditto_plus(), &trace);
+        let r = [
+            cam.total_bytes / itc.total_bytes,
+            ditto.total_bytes / itc.total_bytes,
+            plus.total_bytes / itc.total_bytes,
+        ];
+        for (s, v) in sums.iter_mut().zip(r) {
+            *s += v;
+        }
+        t.row([kind.abbr().to_string(), f2(1.0), f2(r[0]), f2(r[1]), f2(r[2])]);
+    }
+    let n = MODELS.len() as f64;
+    t.row(["AVG.".to_string(), f2(1.0), f2(sums[0] / n), f2(sums[1] / n), f2(sums[2] / n)]);
+    t.print();
+    println!("(paper: Cam-D 1.95x, Ditto 1.56x, Ditto+ 1.36x)");
+}
+
+/// Fig. 15: cross-applying software techniques between Cambricon-D and
+/// Ditto (normalized to the original Cambricon-D).
+pub fn fig15() {
+    banner("Fig. 15", "Cross-application of software techniques (vs Org. Cam-D)");
+    let designs = Design::fig15_set();
+    let mut header = vec!["Model".to_string()];
+    header.extend(designs.iter().map(|d| d.name.clone()));
+    let mut t = Table::new(header);
+    let mut sums = vec![0.0f64; designs.len()];
+    for &kind in &MODELS {
+        let trace = cached_trace(kind);
+        let base = simulate(&designs[0], &trace);
+        let mut row = vec![kind.abbr().to_string()];
+        for (i, d) in designs.iter().enumerate() {
+            let r = simulate(d, &trace);
+            let s = r.speedup_over(&base);
+            sums[i] += s;
+            row.push(f2(s));
+        }
+        t.row(row);
+    }
+    let n = MODELS.len() as f64;
+    let mut avg = vec!["AVG.".to_string()];
+    avg.extend(sums.iter().map(|s| f2(s / n)));
+    t.row(avg);
+    t.print();
+    println!("(paper: Cam-D +Ditto techniques 1.16x; Ditto +sign-mask 1.068x, Ditto+ +sign-mask 1.055x;");
+    println!(" all Cam-D variants stay below the Ditto hardware)");
+}
+
+/// Fig. 16: cycle-count breakdown (compute vs memory stall) for the design
+/// ablations, relative to ITC.
+pub fn fig16() {
+    banner("Fig. 16", "Cycle counts of Ditto hardware variants (relative to ITC)");
+    let designs = Design::fig16_set();
+    let mut header = vec!["Model".to_string(), "metric".to_string()];
+    header.extend(designs.iter().map(|d| d.name.clone()));
+    let mut t = Table::new(header);
+    for &kind in &MODELS {
+        let trace = cached_trace(kind);
+        let itc = simulate(&Design::itc(), &trace);
+        let mut comp = vec![kind.abbr().to_string(), "compute".to_string()];
+        let mut stall = vec![kind.abbr().to_string(), "mem stall".to_string()];
+        for d in &designs {
+            let r = simulate(d, &trace);
+            comp.push(f2(r.compute_cycles / itc.cycles));
+            stall.push(f2(r.stall_cycles / itc.cycles));
+        }
+        t.row(comp);
+        t.row(stall);
+    }
+    t.print();
+    println!("(paper: DS/DB suffer large memory stalls; Ditto cuts stalls 39.24% vs DB&DS&Attn,");
+    println!(" for an 18.32% performance gain)");
+}
+
+/// Fig. 17: Defo execution-type changes and prediction accuracy.
+pub fn fig17() {
+    banner("Fig. 17", "Defo layer execution-type changes (top) and accuracy (bottom)");
+    let mut t = Table::new(["Model", "Defo change", "Defo accuracy", "Defo+ change", "Defo+ accuracy"]);
+    let mut sums = [0.0f64; 4];
+    for &kind in &MODELS {
+        let trace = cached_trace(kind);
+        let d = simulate(&Design::ditto(), &trace).defo.expect("defo");
+        let p = simulate(&Design::ditto_plus(), &trace).defo.expect("defo+");
+        let vals = [d.changed_ratio, d.accuracy, p.changed_ratio, p.accuracy];
+        for (s, v) in sums.iter_mut().zip(vals) {
+            *s += v;
+        }
+        t.row([
+            kind.abbr().to_string(),
+            pct(vals[0]),
+            pct(vals[1]),
+            pct(vals[2]),
+            pct(vals[3]),
+        ]);
+    }
+    let n = MODELS.len() as f64;
+    t.row([
+        "AVG.".to_string(),
+        pct(sums[0] / n),
+        pct(sums[1] / n),
+        pct(sums[2] / n),
+        pct(sums[3] / n),
+    ]);
+    t.print();
+    println!("(paper: Defo changes 14.4% of layers with 92% accuracy; Defo+ 38.29% with 88.11%)");
+}
+
+/// Fig. 18: Ditto vs oracle-Defo (Ideal) designs.
+pub fn fig18() {
+    banner("Fig. 18", "Ditto vs Ideal-Ditto (speedup over ITC)");
+    let mut t = Table::new(["Model", "ITC", "Ditto", "Ideal-Ditto", "Ditto+", "Ideal-Ditto+"]);
+    let mut fracs = (0.0f64, 0.0f64);
+    for &kind in &MODELS {
+        let trace = cached_trace(kind);
+        let itc = simulate(&Design::itc(), &trace);
+        let ditto = simulate(&Design::ditto(), &trace);
+        let ideal = simulate(&Design::ideal_ditto(), &trace);
+        let plus = simulate(&Design::ditto_plus(), &trace);
+        let ideal_plus = simulate(&Design::ideal_ditto_plus(), &trace);
+        fracs.0 += ideal.cycles / ditto.cycles;
+        fracs.1 += ideal_plus.cycles / plus.cycles;
+        t.row([
+            kind.abbr().to_string(),
+            f2(1.0),
+            f2(ditto.speedup_over(&itc)),
+            f2(ideal.speedup_over(&itc)),
+            f2(plus.speedup_over(&itc)),
+            f2(ideal_plus.speedup_over(&itc)),
+        ]);
+    }
+    let n = MODELS.len() as f64;
+    t.print();
+    println!(
+        "Ditto reaches {:.1}% of Ideal-Ditto, Ditto+ {:.1}% of Ideal-Ditto+ (paper: 98.8% / 95.8%)",
+        100.0 * fracs.0 / n,
+        100.0 * fracs.1 / n
+    );
+}
+
+/// Fig. 19: Dynamic-Ditto under injected value-distribution drift.
+pub fn fig19() {
+    banner("Fig. 19", "Defo under drifting temporal similarity (speedup vs ITC / accuracy)");
+    let mut t = Table::new(["Model", "Ditto", "Dyn.-Ditto", "Ideal-Ditto", "Ditto acc", "Dyn acc"]);
+    let mut rel = (0.0f64, 0.0f64);
+    for &kind in &MODELS {
+        let trace = cached_trace(kind);
+        // Drift amplitude/period chosen to flip marginal layers mid-run.
+        let drifted = inject_drift(&trace, 0.6, (trace.step_count() / 2).max(2));
+        let itc = simulate(&Design::itc(), &drifted);
+        let ditto = simulate(&Design::ditto(), &drifted);
+        let dynd = simulate(&Design::dynamic_ditto(), &drifted);
+        let ideal = simulate(&Design::ideal_ditto(), &drifted);
+        rel.0 += ditto.cycles / ideal.cycles;
+        rel.1 += dynd.cycles / ideal.cycles;
+        t.row([
+            kind.abbr().to_string(),
+            f2(ditto.speedup_over(&itc)),
+            f2(dynd.speedup_over(&itc)),
+            f2(ideal.speedup_over(&itc)),
+            pct(ditto.defo.unwrap().accuracy),
+            pct(dynd.defo.unwrap().accuracy),
+        ]);
+    }
+    let n = MODELS.len() as f64;
+    t.print();
+    println!(
+        "Ideal-relative performance: Ditto {:.1}%, Dynamic-Ditto {:.1}% (paper: 98.03% / 98.18%; accuracy drops ~7%)",
+        100.0 * n / rel.0,
+        100.0 * n / rel.1
+    );
+}
+
+/// Helper for binaries: simulate one design over the whole suite and
+/// return (design name, per-model results).
+pub fn simulate_suite(design: &Design) -> Vec<RunResult> {
+    MODELS.iter().map(|&k| simulate(design, &cached_trace(k))).collect()
+}
+
+/// Runs every experiment in paper order.
+pub fn all() {
+    table1();
+    fig03a();
+    fig03b();
+    fig04a();
+    fig04b();
+    fig05();
+    fig06a();
+    fig06b();
+    fig08();
+    table2(3);
+    table3();
+    fig13();
+    fig14();
+    fig15();
+    fig16();
+    fig17();
+    fig18();
+    fig19();
+}

@@ -1,0 +1,22 @@
+//! Benchmark harness regenerating every table and figure of the paper's
+//! evaluation (§VI).
+//!
+//! Each binary in `src/bin/` reproduces one experiment and prints the same
+//! rows/series the paper reports (see DESIGN.md §3 for the index). The
+//! heavy inputs — per-model workload traces and similarity reports from
+//! full reverse-process runs at `ModelScale::Small` with the paper's step
+//! counts — are cached as JSON under `target/ditto-cache/` so the full
+//! figure suite runs in seconds after the first trace pass.
+//!
+//! Run everything with:
+//!
+//! ```bash
+//! cargo run --release -p bench --bin all_experiments
+//! ```
+
+pub mod report;
+pub mod suite;
+
+pub use suite::{cached_similarity, cached_trace, Suite, MODELS};
+pub mod ablations;
+pub mod experiments;

@@ -1,0 +1,118 @@
+//! The benchmark suite: the seven Table I models with cached traces.
+
+use std::fs;
+use std::path::PathBuf;
+
+use diffusion::{DiffusionModel, ModelKind, ModelScale};
+use ditto_core::runner::{trace_model, ExecPolicy};
+use ditto_core::similarity::{SimilarityHook, SimilarityReport};
+use ditto_core::trace::WorkloadTrace;
+
+/// The Table I benchmark order.
+pub const MODELS: [ModelKind; 7] = [
+    ModelKind::Ddpm,
+    ModelKind::Bed,
+    ModelKind::Chur,
+    ModelKind::Img,
+    ModelKind::Sdm,
+    ModelKind::Dit,
+    ModelKind::Latte,
+];
+
+/// Seed used for model weights across the whole experiment suite.
+pub const WEIGHT_SEED: u64 = 42;
+/// Seed used for the traced generation run.
+pub const SAMPLE_SEED: u64 = 0;
+
+fn cache_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/ditto-cache");
+    fs::create_dir_all(&dir).expect("create cache dir");
+    dir
+}
+
+fn load_json<T: serde::de::DeserializeOwned>(name: &str) -> Option<T> {
+    let path = cache_dir().join(name);
+    let bytes = fs::read(path).ok()?;
+    serde_json::from_slice(&bytes).ok()
+}
+
+fn store_json<T: serde::Serialize>(name: &str, value: &T) {
+    let path = cache_dir().join(name);
+    let bytes = serde_json::to_vec(value).expect("serialize cache");
+    fs::write(path, bytes).expect("write cache");
+}
+
+/// Builds the model instance used throughout the experiments.
+pub fn build_model(kind: ModelKind) -> DiffusionModel {
+    DiffusionModel::build(kind, ModelScale::Small, WEIGHT_SEED)
+}
+
+/// Returns the cached workload trace for `kind`, computing (and caching) it
+/// on first use. One trace = one full reverse process at the paper's step
+/// count, with Q-Diffusion-style calibration for the UNet models.
+pub fn cached_trace(kind: ModelKind) -> WorkloadTrace {
+    let name = format!("trace-{}.json", kind.abbr());
+    if let Some(t) = load_json::<WorkloadTrace>(&name) {
+        return t;
+    }
+    eprintln!("[suite] tracing {} (one-time, cached afterwards)...", kind.abbr());
+    let model = build_model(kind);
+    let (trace, _) = trace_model(&model, SAMPLE_SEED, ExecPolicy::Dense).expect("trace");
+    store_json(&name, &trace);
+    trace
+}
+
+/// Returns the cached similarity report for `kind` (Fig. 3 / Fig. 4 data).
+pub fn cached_similarity(kind: ModelKind) -> SimilarityReport {
+    let name = format!("similarity-{}.json", kind.abbr());
+    if let Some(r) = load_json::<SimilarityReport>(&name) {
+        return r;
+    }
+    eprintln!("[suite] similarity pass for {} (one-time, cached)...", kind.abbr());
+    let model = build_model(kind);
+    let mut hook = SimilarityHook::new();
+    model.run_reverse(SAMPLE_SEED, &mut hook).expect("similarity run");
+    let report = hook.into_report();
+    store_json(&name, &report);
+    report
+}
+
+/// Convenience bundle of all cached inputs.
+#[derive(Debug)]
+pub struct Suite {
+    /// Traces in [`MODELS`] order.
+    pub traces: Vec<WorkloadTrace>,
+}
+
+impl Suite {
+    /// Loads (or computes) every model's trace.
+    pub fn load() -> Self {
+        Suite { traces: MODELS.iter().map(|&k| cached_trace(k)).collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_list_matches_table1() {
+        assert_eq!(MODELS.len(), 7);
+        assert_eq!(MODELS[0].abbr(), "DDPM");
+        assert_eq!(MODELS[6].abbr(), "Latte");
+    }
+
+    #[test]
+    fn cache_roundtrip() {
+        // Use a Tiny trace to avoid heavy work in unit tests.
+        let model = DiffusionModel::build(ModelKind::Ddpm, ModelScale::Tiny, 1);
+        let (trace, _) = trace_model(&model, 0, ExecPolicy::Dense).unwrap();
+        store_json("test-roundtrip.json", &trace);
+        let back: WorkloadTrace = load_json("test-roundtrip.json").unwrap();
+        assert_eq!(back.layer_count(), trace.layer_count());
+        assert_eq!(back.step_count(), trace.step_count());
+        assert_eq!(back.merged(ditto_core::trace::StatView::Temporal),
+                   trace.merged(ditto_core::trace::StatView::Temporal));
+    }
+}

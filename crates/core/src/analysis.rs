@@ -1,0 +1,206 @@
+//! Algorithm-level aggregate analyses: Fig. 5 (bit-width requirement),
+//! Fig. 6 (BOPs), Fig. 8 (memory-access overhead of naive temporal
+//! difference processing).
+
+use quant::{BitWidthHistogram, BopsModel};
+
+use crate::trace::{StatView, WorkloadTrace};
+
+/// Fig. 5 bar: fraction of elements that are zero / ≤4-bit / >4-bit under
+/// one processing view.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BitwidthBreakdown {
+    /// Fraction of exact zeros.
+    pub zero: f64,
+    /// Fraction of non-zero values representable in 4 bits.
+    pub low4: f64,
+    /// Fraction requiring more than 4 bits.
+    pub over4: f64,
+}
+
+impl BitwidthBreakdown {
+    /// Builds a breakdown from a histogram.
+    pub fn from_histogram(h: &BitWidthHistogram) -> Self {
+        BitwidthBreakdown {
+            zero: h.zero_ratio(),
+            low4: h.low4_ratio(),
+            over4: h.over4_ratio(),
+        }
+    }
+}
+
+/// Computes the Fig. 5 breakdown of a trace under a view.
+pub fn bitwidth_breakdown(trace: &WorkloadTrace, view: StatView) -> BitwidthBreakdown {
+    BitwidthBreakdown::from_histogram(&trace.merged(view))
+}
+
+/// Total BOPs of one view over the whole run. The `Activation` view is the
+/// original quantized model executed densely (the paper's reference bar in
+/// Fig. 6a — value statistics of activations are *analysed* in Fig. 5 but
+/// not *exploited* by the baseline). The temporal view bills the first
+/// model call at full (dense) cost — the Ditto algorithm executes the
+/// first time step with original activations (§IV-A).
+pub fn total_bops(trace: &WorkloadTrace, view: StatView) -> u64 {
+    let model = BopsModel::a8w8();
+    let mut total = 0u64;
+    for step_row in &trace.steps {
+        for (meta, st) in trace.layers.iter().zip(step_row) {
+            total += match view {
+                StatView::Activation => model.dense_bops(meta.macs),
+                StatView::Spatial => model.histogram_bops(&st.spa, meta.reuse),
+                StatView::Temporal => match &st.temporal {
+                    Some(hists) => hists
+                        .iter()
+                        .zip(&meta.subops)
+                        .map(|(h, sub)| model.histogram_bops(h, sub.reuse))
+                        .sum(),
+                    None => model.dense_bops(meta.macs),
+                },
+            };
+        }
+    }
+    total
+}
+
+/// Dense (no sparsity, full bit-width) BOPs of the whole run.
+pub fn dense_bops(trace: &WorkloadTrace) -> u64 {
+    BopsModel::a8w8().dense_bops(trace.macs_per_step()) * trace.step_count() as u64
+}
+
+/// Fig. 6a bar: BOPs of a view relative to dense A8W8 execution.
+pub fn relative_bops(trace: &WorkloadTrace, view: StatView) -> f64 {
+    let d = dense_bops(trace);
+    if d == 0 {
+        return 0.0;
+    }
+    total_bops(trace, view) as f64 / d as f64
+}
+
+/// Fig. 6b series: per-step relative BOPs of the temporal view for one
+/// layer (by name), versus that layer's dense cost.
+pub fn per_step_relative_bops(trace: &WorkloadTrace, layer_name: &str) -> Option<Vec<f64>> {
+    let idx = trace.layers.iter().position(|l| l.name == layer_name)?;
+    let meta = &trace.layers[idx];
+    let model = BopsModel::a8w8();
+    let dense = model.dense_bops(meta.macs) as f64;
+    Some(
+        trace
+            .steps
+            .iter()
+            .map(|row| {
+                let st = &row[idx];
+                let b = match &st.temporal {
+                    Some(hists) => hists
+                        .iter()
+                        .zip(&meta.subops)
+                        .map(|(h, sub)| model.histogram_bops(h, sub.reuse))
+                        .sum::<u64>(),
+                    None => model.dense_bops(meta.macs),
+                };
+                b as f64 / dense
+            })
+            .collect(),
+    )
+}
+
+/// Fig. 8 bar: total memory accesses of *naive* temporal difference
+/// processing (previous input and output stored/loaded around **every**
+/// linear layer — no Defo dependency bypassing) relative to
+/// original-activation processing.
+pub fn naive_temporal_memory_ratio(trace: &WorkloadTrace) -> f64 {
+    let mut base = 0u64;
+    let mut naive = 0u64;
+    for meta in &trace.layers {
+        base += meta.base_bytes();
+        // Naive: every layer stores+loads its previous input (8-bit) and
+        // previous output (partial-sum precision), boundary or not.
+        naive += meta.base_bytes()
+            + 2 * meta.in_bytes
+            + 2 * crate::trace::LayerMeta::OUTPUT_STATE_BYTES * meta.out_bytes;
+    }
+    if base == 0 {
+        return 0.0;
+    }
+    naive as f64 / base as f64
+}
+
+/// Memory accesses with Defo's static dependency bypassing (differences and
+/// summations only at non-linear boundaries), relative to
+/// original-activation processing. Compare with
+/// [`naive_temporal_memory_ratio`] to see the bypass win.
+pub fn defo_temporal_memory_ratio(trace: &WorkloadTrace) -> f64 {
+    let mut base = 0u64;
+    let mut with_defo = 0u64;
+    for meta in &trace.layers {
+        base += meta.base_bytes();
+        with_defo += meta.base_bytes() + meta.temporal_extra_bytes();
+    }
+    if base == 0 {
+        return 0.0;
+    }
+    with_defo as f64 / base as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{trace_model, ExecPolicy};
+    use diffusion::{DiffusionModel, ModelKind, ModelScale};
+
+    fn trace(kind: ModelKind) -> WorkloadTrace {
+        let model = DiffusionModel::build(kind, ModelScale::Tiny, 31);
+        trace_model(&model, 1, ExecPolicy::Dense).unwrap().0
+    }
+
+    #[test]
+    fn breakdown_fractions_sum_to_one() {
+        let t = trace(ModelKind::Ddpm);
+        for view in [StatView::Activation, StatView::Spatial, StatView::Temporal] {
+            let b = bitwidth_breakdown(&t, view);
+            assert!((b.zero + b.low4 + b.over4 - 1.0).abs() < 1e-9, "{view:?}");
+        }
+    }
+
+    #[test]
+    fn temporal_bops_lowest_activation_highest() {
+        // Fig. 6a's ordering: Temporal < Spatial ≤ Activation < dense.
+        // Needs a denser schedule than Tiny's default for temporal deltas
+        // to narrow (adjacent steps must actually be adjacent).
+        let mut model = DiffusionModel::build(ModelKind::Bed, ModelScale::Tiny, 31);
+        model.steps = 40;
+        let t = trace_model(&model, 1, ExecPolicy::Dense).unwrap().0;
+        let act = relative_bops(&t, StatView::Activation);
+        let spa = relative_bops(&t, StatView::Spatial);
+        let tmp = relative_bops(&t, StatView::Temporal);
+        assert!((act - 1.0).abs() < 1e-9, "activation view is the dense reference");
+        assert!(tmp < spa, "temporal {tmp} must beat spatial {spa}");
+        assert!(spa < act, "spatial {spa} must beat dense {act}");
+    }
+
+    #[test]
+    fn per_step_bops_start_dense_then_drop() {
+        let t = trace(ModelKind::Ddpm);
+        let series = per_step_relative_bops(&t, "conv-in").unwrap();
+        assert_eq!(series.len(), t.step_count());
+        assert!((series[0] - 1.0).abs() < 1e-9, "first step is dense");
+        let later_mean: f64 = series[1..].iter().sum::<f64>() / (series.len() - 1) as f64;
+        assert!(later_mean < series[0], "later steps save BOPs: {later_mean}");
+    }
+
+    #[test]
+    fn unknown_layer_is_none() {
+        let t = trace(ModelKind::Ddpm);
+        assert!(per_step_relative_bops(&t, "no-such-layer").is_none());
+    }
+
+    #[test]
+    fn memory_ratios_ordered() {
+        // naive > defo ≥ 1: Defo only removes overhead, never adds.
+        let t = trace(ModelKind::Sdm);
+        let naive = naive_temporal_memory_ratio(&t);
+        let defo = defo_temporal_memory_ratio(&t);
+        assert!(naive > 1.5, "naive overhead substantial: {naive}");
+        assert!(defo < naive, "defo {defo} reduces naive {naive}");
+        assert!(defo >= 1.0);
+    }
+}

@@ -1,0 +1,48 @@
+//! The Ditto algorithm (HPCA 2025) — temporal difference processing for
+//! quantized diffusion models.
+//!
+//! This crate is the paper's primary contribution:
+//!
+//! * [`runner`] — the Ditto execution engine: grid-pinned A8W8 quantized
+//!   execution of every linear layer, the exact three-stage difference path
+//!   of Fig. 7 (delta → reduced-bit-width sparse matmul → summation), the
+//!   attention decomposition `Q_t·K_tᵀ = Q_{t+1}K_{t+1}ᵀ + Q_t·ΔKᵀ +
+//!   ΔQ·K_{t+1}ᵀ`, and workload-trace capture through executor hooks.
+//! * [`defo`] — Defo's static computing-graph analysis: value-domain
+//!   propagation, difference-calculation and summation boundaries, and the
+//!   non-linear kinds at each boundary (used to model Cambricon-D's
+//!   sign-mask coverage). The *runtime* half of Defo (cycle-based execution
+//!   type selection) lives in the `accel` crate next to the cycle model it
+//!   compares.
+//! * [`similarity`] — the §II-B analyses: temporal/spatial cosine
+//!   similarity and value ranges (Fig. 3, Fig. 4).
+//! * [`analysis`] — bit-width requirement, BOPs and memory-overhead
+//!   aggregations (Fig. 5, Fig. 6, Fig. 8).
+//! * [`trace`] — the per-layer, per-step statistics format every consumer
+//!   shares.
+//!
+//! # Example
+//!
+//! ```
+//! use diffusion::{DiffusionModel, ModelKind, ModelScale};
+//! use ditto_core::runner::{trace_model, ExecPolicy};
+//! use ditto_core::trace::StatView;
+//!
+//! let model = DiffusionModel::build(ModelKind::Ddpm, ModelScale::Tiny, 42);
+//! let (trace, _sample) = trace_model(&model, 0, ExecPolicy::Dense)?;
+//! let temporal = trace.merged(StatView::Temporal);
+//! // Most temporal differences fit in 4 bits or are zero.
+//! assert!(temporal.le4_ratio() > 0.5);
+//! # Ok::<(), tensor::TensorError>(())
+//! ```
+
+pub mod analysis;
+pub mod defo;
+pub mod runner;
+pub mod similarity;
+pub mod trace;
+
+pub use defo::{analyze, DefoStatic, Domain, LayerBoundary};
+pub use runner::{build_quantizer, trace_model, CalibrationHook, DittoHook, ExecPolicy};
+pub use similarity::{SimilarityHook, SimilarityReport};
+pub use trace::{LayerMeta, LinearKind, StatView, StepStats, SubOp, WorkloadTrace};

@@ -1,0 +1,229 @@
+//! Value-similarity and value-range analyses (§II-B, Fig. 3 / Fig. 4).
+//!
+//! [`SimilarityHook`] observes the f32 inputs of every linear layer during
+//! a reverse-process run and records, per layer and per adjacent step pair:
+//!
+//! * **temporal cosine similarity** between the layer's inputs at
+//!   consecutive model calls (Fig. 3);
+//! * **spatial cosine similarity** between consecutive rows of the operand
+//!   matrix — im2col windows for convolutions, token rows for FC and
+//!   attention (the Diffy-style spatial axis, Fig. 3b);
+//! * **value range** of the original activations and of the temporal
+//!   differences (Fig. 4).
+
+use std::collections::HashMap;
+
+use diffusion::{LayerOp, LinearHook, Node, NodeId, StepInfo};
+use tensor::ops;
+use tensor::{stats, Tensor};
+
+/// Per-layer, per-step similarity and range records of one traced run.
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+pub struct SimilarityReport {
+    /// Layer names in execution order.
+    pub names: Vec<String>,
+    /// `temporal_cosine[l][s]` — cosine between layer `l`'s inputs at model
+    /// calls `s` and `s+1`.
+    pub temporal_cosine: Vec<Vec<f32>>,
+    /// `spatial_cosine[l][s]` — mean cosine between consecutive operand
+    /// rows at model call `s`.
+    pub spatial_cosine: Vec<Vec<f32>>,
+    /// `act_range[l][s]` — value range (max−min) of the original operand.
+    pub act_range: Vec<Vec<f32>>,
+    /// `diff_range[l][s]` — value range of the temporal difference between
+    /// calls `s` and `s+1`.
+    pub diff_range: Vec<Vec<f32>>,
+}
+
+impl SimilarityReport {
+    /// Mean temporal cosine over all layers and step pairs (a Fig. 3b bar).
+    pub fn mean_temporal(&self) -> f64 {
+        mean2(&self.temporal_cosine)
+    }
+
+    /// Mean spatial cosine over all layers and steps (a Fig. 3b bar).
+    pub fn mean_spatial(&self) -> f64 {
+        mean2(&self.spatial_cosine)
+    }
+
+    /// Mean activation value range (a Fig. 4b bar).
+    pub fn mean_act_range(&self) -> f64 {
+        mean2(&self.act_range)
+    }
+
+    /// Mean temporal-difference value range (a Fig. 4b bar).
+    pub fn mean_diff_range(&self) -> f64 {
+        mean2(&self.diff_range)
+    }
+
+    /// Index of the layer named `name`, if present.
+    pub fn layer_named(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == name)
+    }
+}
+
+fn mean2(v: &[Vec<f32>]) -> f64 {
+    let (mut sum, mut n) = (0.0f64, 0u64);
+    for row in v {
+        for &x in row {
+            sum += x as f64;
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+/// The observing hook producing a [`SimilarityReport`].
+#[derive(Debug, Default)]
+pub struct SimilarityHook {
+    report: SimilarityReport,
+    index: HashMap<NodeId, usize>,
+    prev: HashMap<NodeId, Tensor>,
+}
+
+impl SimilarityHook {
+    /// Creates an empty hook.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes the hook, returning the report.
+    pub fn into_report(self) -> SimilarityReport {
+        self.report
+    }
+
+    fn layer_row(&mut self, node: &Node) -> usize {
+        if let Some(&i) = self.index.get(&node.id) {
+            return i;
+        }
+        let i = self.report.names.len();
+        self.report.names.push(node.name.clone());
+        self.report.temporal_cosine.push(Vec::new());
+        self.report.spatial_cosine.push(Vec::new());
+        self.report.act_range.push(Vec::new());
+        self.report.diff_range.push(Vec::new());
+        self.index.insert(node.id, i);
+        i
+    }
+}
+
+/// The primary operand in matrix form: im2col for convs, the tensor itself
+/// for rank-2 operands.
+fn operand_matrix(node: &Node, inputs: &[&Tensor]) -> Tensor {
+    match &node.op {
+        LayerOp::Conv2d { params, .. } => {
+            ops::im2col(inputs[0], *params).expect("conv input is rank 3")
+        }
+        _ => inputs[0].clone(),
+    }
+}
+
+/// Mean cosine similarity between consecutive rows of a rank-2 tensor.
+fn row_similarity(m: &Tensor) -> f32 {
+    let rows = m.dims()[0];
+    if rows < 2 {
+        return 1.0;
+    }
+    let mut sum = 0.0f64;
+    for r in 1..rows {
+        sum += stats::cosine_similarity(m.row(r - 1), m.row(r)) as f64;
+    }
+    (sum / (rows - 1) as f64) as f32
+}
+
+impl LinearHook for SimilarityHook {
+    fn observe(&mut self, node: &Node, _step: StepInfo, inputs: &[&Tensor], _out: &Tensor) {
+        if !node.op.is_linear_layer() {
+            return;
+        }
+        let mat = operand_matrix(node, inputs);
+        let row = self.layer_row(node);
+        self.report.act_range[row].push(stats::value_range(mat.as_slice()));
+        self.report.spatial_cosine[row].push(row_similarity(&mat));
+        if let Some(prev) = self.prev.get(&node.id) {
+            if prev.dims() == mat.dims() {
+                self.report.temporal_cosine[row]
+                    .push(stats::tensor_cosine(prev, &mat));
+                let diff: Vec<f32> = mat
+                    .as_slice()
+                    .iter()
+                    .zip(prev.as_slice())
+                    .map(|(&a, &b)| a - b)
+                    .collect();
+                self.report.diff_range[row].push(stats::value_range(&diff));
+            }
+        }
+        self.prev.insert(node.id, mat);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diffusion::{DiffusionModel, ModelKind, ModelScale};
+
+    fn report(kind: ModelKind) -> SimilarityReport {
+        let model = DiffusionModel::build(kind, ModelScale::Tiny, 21);
+        let mut hook = SimilarityHook::new();
+        model.run_reverse(1, &mut hook).unwrap();
+        hook.into_report()
+    }
+
+    #[test]
+    fn temporal_similarity_is_high_and_beats_spatial() {
+        // The paper's core claim (Fig. 3b): temporal similarity ≈ 0.98,
+        // far above spatial similarity. Temporal similarity scales with
+        // step density, so this test uses a denser schedule than Tiny's
+        // default (the Small-scale experiments use the full paper counts).
+        let mut model = DiffusionModel::build(ModelKind::Bed, ModelScale::Tiny, 21);
+        model.steps = 40;
+        let mut hook = SimilarityHook::new();
+        model.run_reverse(1, &mut hook).unwrap();
+        let r = hook.into_report();
+        let t = r.mean_temporal();
+        let s = r.mean_spatial();
+        assert!(t > 0.85, "temporal similarity {t}");
+        assert!(t > s, "temporal {t} must exceed spatial {s}");
+    }
+
+    #[test]
+    fn diff_range_is_narrower_than_act_range() {
+        // Fig. 4b: temporal differences have a much narrower range.
+        let r = report(ModelKind::Ddpm);
+        let act = r.mean_act_range();
+        let diff = r.mean_diff_range();
+        assert!(diff < act, "diff range {diff} must be below act range {act}");
+    }
+
+    #[test]
+    fn paper_named_layers_exist() {
+        let r = report(ModelKind::Sdm);
+        assert!(r.layer_named("conv-in").is_some());
+        assert!(r.layer_named("up.0.0.skip").is_some());
+    }
+
+    #[test]
+    fn per_layer_counts_match_steps() {
+        let model = DiffusionModel::build(ModelKind::Img, ModelScale::Tiny, 22);
+        let calls = model.model_calls();
+        let mut hook = SimilarityHook::new();
+        model.run_reverse(0, &mut hook).unwrap();
+        let r = hook.into_report();
+        for l in 0..r.names.len() {
+            assert_eq!(r.act_range[l].len(), calls);
+            assert_eq!(r.temporal_cosine[l].len(), calls - 1);
+        }
+    }
+
+    #[test]
+    fn row_similarity_edge_cases() {
+        let single = Tensor::zeros(&[1, 4]);
+        assert_eq!(row_similarity(&single), 1.0);
+        let anti = Tensor::from_vec(vec![1.0, 1.0, -1.0, -1.0], &[2, 2]).unwrap();
+        assert!((row_similarity(&anti) + 1.0).abs() < 1e-6);
+    }
+}

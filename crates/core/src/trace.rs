@@ -1,0 +1,314 @@
+//! Workload traces: per-layer, per-step value statistics.
+//!
+//! One reverse-process run under the [`crate::runner::DittoHook`] produces a
+//! [`WorkloadTrace`]: static metadata for every linear layer
+//! ([`LayerMeta`]) plus, for every model call, the bit-width histograms of
+//! the layer's operands under the three processing methods the paper
+//! compares (original activations, spatial differences, temporal
+//! differences). Everything downstream — the Fig. 5/6/8 analyses and the
+//! cycle-level hardware simulator — consumes this trace, mirroring the
+//! paper's methodology of driving the Sparse-DySta simulator with real
+//! activation data captured through hooks (§VI-A).
+
+use diffusion::NodeId;
+use quant::BitWidthHistogram;
+
+/// Which kind of linear layer a record describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum LinearKind {
+    /// 2-D convolution (classified in the im2col domain).
+    Conv,
+    /// Fully connected layer.
+    Fc,
+    /// Attention score matmul `Q·Kᵀ`.
+    MatmulQk,
+    /// Attention value matmul `P·V`.
+    MatmulPv,
+}
+
+impl LinearKind {
+    /// Whether this is one of the two attention matmuls (both operands
+    /// change across steps → two difference sub-operations, §IV-A).
+    pub fn is_attention(self) -> bool {
+        matches!(self, LinearKind::MatmulQk | LinearKind::MatmulPv)
+    }
+}
+
+/// A difference sub-operation of a layer (§IV-A).
+///
+/// Convolution / FC layers have exactly one (`ΔX × W`). Attention layers
+/// have two: `Q_t·ΔKᵀ` (operand ΔK) and `ΔQ·K_{t+1}ᵀ` (operand ΔQ), and
+/// analogously for `P·V`.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct SubOp {
+    /// Label for reports ("dx", "dk", "dq", "dv", "dp").
+    pub label: String,
+    /// Number of classified operand elements.
+    pub elems: u64,
+    /// MACs each operand element participates in.
+    pub reuse: u64,
+}
+
+impl SubOp {
+    /// MACs of this sub-operation.
+    pub fn macs(&self) -> u64 {
+        self.elems * self.reuse
+    }
+}
+
+/// Static (step-invariant) description of one linear layer.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct LayerMeta {
+    /// Graph node id.
+    pub node: NodeId,
+    /// Layer name (e.g. `conv-in`, `up.0.0.skip`).
+    pub name: String,
+    /// Layer kind.
+    pub kind: LinearKind,
+    /// Dense MACs of one execution.
+    pub macs: u64,
+    /// Classified primary-operand elements for original-activation /
+    /// spatial processing (im2col elements for convs, input elements for
+    /// FC, Q elements for attention).
+    pub elems: u64,
+    /// MACs per primary-operand element (`macs / elems`).
+    pub reuse: u64,
+    /// Difference sub-operations in temporal-difference mode.
+    pub subops: Vec<SubOp>,
+    /// Input activation bytes (8-bit, raw tensor — not im2col-expanded).
+    pub in_bytes: u64,
+    /// Weight bytes (0 for attention matmuls).
+    pub weight_bytes: u64,
+    /// Output activation bytes (8-bit, after VPU re-quantization).
+    pub out_bytes: u64,
+    /// Defo static analysis: the layer's operand arrives in the original
+    /// domain, so temporal-difference mode must load the stored previous
+    /// input and subtract (extra memory traffic).
+    pub needs_diff_calc: bool,
+    /// Defo static analysis: the layer's difference-domain output must be
+    /// summed with the stored previous output before a non-linear consumer
+    /// (extra memory traffic).
+    pub needs_summation: bool,
+    /// Kinds of non-linear producers feeding this layer (empty if the
+    /// operand stays in the difference domain).
+    pub in_boundary: Vec<String>,
+    /// Kinds of non-linear consumers of this layer's difference region.
+    pub out_boundary: Vec<String>,
+}
+
+impl LayerMeta {
+    /// Bytes per element of inter-step *output* state: summation must add
+    /// the previous pre-non-linearity output at partial-sum precision (the
+    /// storage cost sign-mask data flow was invented to avoid), modeled as
+    /// 16-bit.
+    pub const OUTPUT_STATE_BYTES: u64 = 2;
+
+    /// Extra bytes moved per step when this layer runs in
+    /// temporal-difference mode: store+load of the previous input at a
+    /// difference-calculation boundary, store+load of the previous output
+    /// (at [`Self::OUTPUT_STATE_BYTES`] per element) at a summation
+    /// boundary (§IV-B; the source of Fig. 8's memory-overhead ratio).
+    ///
+    /// Attention matmuls always pay the input side: their decomposition
+    /// `Q_t·ΔKᵀ + ΔQ·K_{t+1}ᵀ` consumes the *original* operands of both
+    /// steps ("treated as weight", §IV-A), so current operands must persist
+    /// to the next step and previous ones be re-loaded, regardless of the
+    /// producing layers' value domain.
+    pub fn temporal_extra_bytes(&self) -> u64 {
+        let input_side = if self.needs_diff_calc || self.kind.is_attention() {
+            2 * self.in_bytes
+        } else {
+            0
+        };
+        let output_side = if self.needs_summation {
+            2 * Self::OUTPUT_STATE_BYTES * self.out_bytes
+        } else {
+            0
+        };
+        input_side + output_side
+    }
+
+    /// Base bytes moved by any processing mode: input + weights + output.
+    pub fn base_bytes(&self) -> u64 {
+        self.in_bytes + self.weight_bytes + self.out_bytes
+    }
+
+    /// Whether the sign-mask data flow of Cambricon-D can absorb this
+    /// layer's boundary non-linearities (it supports only SiLU and Group
+    /// Normalization; §V / §VII).
+    pub fn sign_mask_covers(&self) -> bool {
+        self.in_boundary
+            .iter()
+            .chain(&self.out_boundary)
+            .all(|k| *k == "silu" || *k == "group_norm")
+    }
+}
+
+/// Per-step, per-layer operand statistics.
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+pub struct StepStats {
+    /// Bit-width histogram of the original (quantized) primary operand.
+    pub act: BitWidthHistogram,
+    /// Histogram under spatial (row-wise, Diffy-style) differencing —
+    /// includes the dense base row classified at its activation bit-width.
+    pub spa: BitWidthHistogram,
+    /// Histograms of each temporal-difference sub-operation's operand;
+    /// `None` for the first model call (no previous step exists).
+    pub temporal: Option<Vec<BitWidthHistogram>>,
+}
+
+impl StepStats {
+    /// Merged temporal histogram across sub-operations, if present.
+    pub fn temporal_merged(&self) -> Option<BitWidthHistogram> {
+        self.temporal.as_ref().map(|v| {
+            let mut h = BitWidthHistogram::new();
+            for s in v {
+                h.merge(s);
+            }
+            h
+        })
+    }
+}
+
+/// A complete per-run workload trace.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct WorkloadTrace {
+    /// Table I abbreviation of the traced model.
+    pub model: String,
+    /// Static metadata per linear layer (execution order).
+    pub layers: Vec<LayerMeta>,
+    /// `steps[s][l]` = statistics of layer `l` at model call `s`.
+    pub steps: Vec<Vec<StepStats>>,
+}
+
+impl WorkloadTrace {
+    /// Number of model calls traced.
+    pub fn step_count(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Number of linear layers.
+    pub fn layer_count(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Total dense MACs of one model call.
+    pub fn macs_per_step(&self) -> u64 {
+        self.layers.iter().map(|l| l.macs).sum()
+    }
+
+    /// Merged histogram over all layers and all steps for a chosen view.
+    pub fn merged(&self, view: StatView) -> BitWidthHistogram {
+        let mut h = BitWidthHistogram::new();
+        for step in &self.steps {
+            for s in step {
+                match view {
+                    StatView::Activation => h.merge(&s.act),
+                    StatView::Spatial => h.merge(&s.spa),
+                    StatView::Temporal => {
+                        if let Some(m) = s.temporal_merged() {
+                            h.merge(&m);
+                        } else {
+                            // First step executes with original activations.
+                            h.merge(&s.act);
+                        }
+                    }
+                }
+            }
+        }
+        h
+    }
+}
+
+/// Which operand view to aggregate (the three bars of Fig. 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StatView {
+    /// Original activations.
+    Activation,
+    /// Spatial (Diffy-style row) differences.
+    Spatial,
+    /// Temporal (adjacent-time-step) differences.
+    Temporal,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(in_b: u64, out_b: u64, diff: bool, sum: bool) -> LayerMeta {
+        LayerMeta {
+            node: 0,
+            name: "l".into(),
+            kind: LinearKind::Fc,
+            macs: 100,
+            elems: 10,
+            reuse: 10,
+            subops: vec![SubOp { label: "dx".into(), elems: 10, reuse: 10 }],
+            in_bytes: in_b,
+            weight_bytes: 5,
+            out_bytes: out_b,
+            needs_diff_calc: diff,
+            needs_summation: sum,
+            in_boundary: vec![],
+            out_boundary: vec![],
+        }
+    }
+
+    #[test]
+    fn extra_bytes_by_boundaries() {
+        // Input side: 2 × in_bytes. Output side: 2 × 2 B/elem × out_bytes
+        // (16-bit partial-sum state).
+        assert_eq!(meta(10, 20, true, true).temporal_extra_bytes(), 20 + 80);
+        assert_eq!(meta(10, 20, true, false).temporal_extra_bytes(), 20);
+        assert_eq!(meta(10, 20, false, true).temporal_extra_bytes(), 80);
+        assert_eq!(meta(10, 20, false, false).temporal_extra_bytes(), 0);
+        assert_eq!(meta(10, 20, false, false).base_bytes(), 35);
+    }
+
+    #[test]
+    fn attention_always_pays_input_side() {
+        let mut m = meta(10, 20, false, false);
+        m.kind = LinearKind::MatmulQk;
+        assert_eq!(m.temporal_extra_bytes(), 20);
+    }
+
+    #[test]
+    fn sign_mask_coverage() {
+        let mut m = meta(1, 1, true, true);
+        m.in_boundary = vec!["silu".into()];
+        m.out_boundary = vec!["group_norm".into()];
+        assert!(m.sign_mask_covers());
+        m.out_boundary.push("softmax".into());
+        assert!(!m.sign_mask_covers());
+    }
+
+    #[test]
+    fn subop_macs() {
+        assert_eq!(SubOp { label: "dk".into(), elems: 4, reuse: 3 }.macs(), 12);
+    }
+
+    #[test]
+    fn merged_views_fall_back_to_act_for_first_step() {
+        let mut s0 = StepStats::default();
+        s0.act.push(quant::BitWidthClass::Full8);
+        let mut s1 = StepStats::default();
+        s1.act.push(quant::BitWidthClass::Full8);
+        s1.temporal = Some(vec![BitWidthHistogram::from_deltas(&[0])]);
+        let trace = WorkloadTrace {
+            model: "TEST".into(),
+            layers: vec![meta(1, 1, true, true)],
+            steps: vec![vec![s0], vec![s1]],
+        };
+        let t = trace.merged(StatView::Temporal);
+        assert_eq!(t.full8, 1); // step 0 act fallback
+        assert_eq!(t.zero, 1); // step 1 temporal
+        let a = trace.merged(StatView::Activation);
+        assert_eq!(a.full8, 2);
+    }
+
+    #[test]
+    fn attention_kinds() {
+        assert!(LinearKind::MatmulQk.is_attention());
+        assert!(!LinearKind::Conv.is_attention());
+    }
+}

@@ -1,0 +1,298 @@
+//! Noise schedules and samplers: DDIM and PLMS (per Table I), plus the
+//! stochastic ancestral DDPM sampler for completeness.
+
+use tensor::ops;
+use tensor::{Result, Rng, Tensor};
+
+/// A forward-process noise schedule (ᾱ curve) over the training horizon.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    alpha_bars: Vec<f64>,
+}
+
+impl Schedule {
+    /// The standard linear-β schedule (β from 1e-4 to 0.02) over
+    /// `train_steps` steps, as used by DDPM/LDM/Stable-Diffusion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `train_steps` is zero.
+    pub fn linear(train_steps: usize) -> Self {
+        assert!(train_steps > 0, "schedule needs at least one step");
+        let (beta0, beta1) = (1e-4, 0.02);
+        let mut alpha_bars = Vec::with_capacity(train_steps);
+        let mut prod = 1.0f64;
+        for i in 0..train_steps {
+            let beta = beta0 + (beta1 - beta0) * i as f64 / (train_steps - 1).max(1) as f64;
+            prod *= 1.0 - beta;
+            alpha_bars.push(prod);
+        }
+        Schedule { alpha_bars }
+    }
+
+    /// Number of training steps.
+    pub fn train_steps(&self) -> usize {
+        self.alpha_bars.len()
+    }
+
+    /// ᾱ at training step `t`; `t == usize::MAX` (the "before time zero"
+    /// sentinel) returns 1.0.
+    pub fn alpha_bar(&self, t: usize) -> f64 {
+        if t == usize::MAX {
+            1.0
+        } else {
+            self.alpha_bars[t]
+        }
+    }
+
+    /// The `steps` evenly spaced training-step indices a sampler visits, in
+    /// descending order (largest noise first), e.g. DDIM sub-sampling.
+    pub fn sample_times(&self, steps: usize) -> Vec<usize> {
+        assert!(steps >= 1 && steps <= self.train_steps());
+        let t = self.train_steps();
+        let mut out: Vec<usize> = (0..steps)
+            .map(|i| i * t / steps)
+            .collect();
+        out.reverse();
+        out
+    }
+}
+
+/// Which sampler drives the reverse process (Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SamplerKind {
+    /// Deterministic DDIM (η = 0).
+    Ddim,
+    /// Pseudo linear multi-step (PLMS); its warm-up performs one extra
+    /// model evaluation — the "50′ extra step" of Fig. 4a.
+    Plms,
+}
+
+impl SamplerKind {
+    /// Total number of *model evaluations* for a schedule of `steps`
+    /// sampler steps (PLMS adds one warm-up evaluation).
+    pub fn model_calls(self, steps: usize) -> usize {
+        match self {
+            SamplerKind::Ddim => steps,
+            SamplerKind::Plms => steps + 1,
+        }
+    }
+}
+
+/// One deterministic DDIM update from training time `t` to `t_prev`
+/// (`usize::MAX` sentinel = final step to clean data).
+///
+/// # Errors
+///
+/// Propagates shape mismatches between `x` and `eps`.
+pub fn ddim_update(
+    x: &Tensor,
+    eps: &Tensor,
+    schedule: &Schedule,
+    t: usize,
+    t_prev: usize,
+) -> Result<Tensor> {
+    let ab_t = schedule.alpha_bar(t);
+    let ab_prev = schedule.alpha_bar(t_prev);
+    let sqrt_ab_t = ab_t.sqrt() as f32;
+    let sqrt_one_minus_ab_t = (1.0 - ab_t).sqrt() as f32;
+    // x0 = (x − √(1−ᾱ_t)·ε) / √ᾱ_t
+    let x0 = x
+        .zip_with(eps, move |xv, ev| (xv - sqrt_one_minus_ab_t * ev) / sqrt_ab_t)?
+        // Clamping x0 to the data range keeps random-weight models stable,
+        // exactly as reference samplers clip predicted x0.
+        .map(|v| v.clamp(-3.0, 3.0));
+    let sqrt_ab_prev = ab_prev.sqrt() as f32;
+    let sqrt_one_minus_ab_prev = (1.0 - ab_prev).sqrt() as f32;
+    // x_{t_prev} = √ᾱ_prev·x0 + √(1−ᾱ_prev)·ε
+    ops::add(
+        &ops::scale(&x0, sqrt_ab_prev),
+        &ops::scale(eps, sqrt_one_minus_ab_prev),
+    )
+}
+
+/// One stochastic ancestral DDPM update from training time `t` to
+/// `t_prev`: the DDIM posterior mean plus `σ_t`-scaled fresh Gaussian
+/// noise (η = 1 in the DDIM family). The final step (`t_prev ==
+/// usize::MAX`) adds no noise.
+///
+/// # Errors
+///
+/// Propagates shape mismatches between `x` and `eps`.
+pub fn ddpm_update(
+    x: &Tensor,
+    eps: &Tensor,
+    schedule: &Schedule,
+    t: usize,
+    t_prev: usize,
+    rng: &mut Rng,
+) -> Result<Tensor> {
+    let ab_t = schedule.alpha_bar(t);
+    let ab_prev = schedule.alpha_bar(t_prev);
+    // σ_t² = (1−ᾱ_prev)/(1−ᾱ_t) · (1 − ᾱ_t/ᾱ_prev)  (DDIM eq. 16, η = 1).
+    let sigma = if t_prev == usize::MAX {
+        0.0
+    } else {
+        (((1.0 - ab_prev) / (1.0 - ab_t)) * (1.0 - ab_t / ab_prev)).max(0.0).sqrt()
+    };
+    let sqrt_ab_t = ab_t.sqrt() as f32;
+    let sqrt_one_minus_ab_t = (1.0 - ab_t).sqrt() as f32;
+    let x0 = x
+        .zip_with(eps, move |xv, ev| (xv - sqrt_one_minus_ab_t * ev) / sqrt_ab_t)?
+        .map(|v| v.clamp(-3.0, 3.0));
+    let dir_coeff = (1.0 - ab_prev - sigma * sigma).max(0.0).sqrt() as f32;
+    let mut out = ops::add(
+        &ops::scale(&x0, ab_prev.sqrt() as f32),
+        &ops::scale(eps, dir_coeff),
+    )?;
+    if sigma > 0.0 {
+        let noise = Tensor::randn(out.dims(), rng);
+        out = ops::add(&out, &ops::scale(&noise, sigma as f32))?;
+    }
+    Ok(out)
+}
+
+/// PLMS multi-step ε extrapolation given the newest prediction and the
+/// history of previous predictions (most recent first). Implements the
+/// Adams–Bashforth coefficients of Liu et al. (the paper's SDM sampler).
+///
+/// # Errors
+///
+/// Propagates shape mismatches between history entries.
+pub fn plms_combine(eps_t: &Tensor, history: &[Tensor]) -> Result<Tensor> {
+    match history.len() {
+        0 => Ok(eps_t.clone()),
+        1 => {
+            // (3·e_t − e_{t−1}) / 2
+            let a = ops::scale(eps_t, 3.0 / 2.0);
+            let b = ops::scale(&history[0], -1.0 / 2.0);
+            ops::add(&a, &b)
+        }
+        2 => {
+            // (23·e_t − 16·e_{t−1} + 5·e_{t−2}) / 12
+            let mut acc = ops::scale(eps_t, 23.0 / 12.0);
+            acc = ops::add(&acc, &ops::scale(&history[0], -16.0 / 12.0))?;
+            ops::add(&acc, &ops::scale(&history[1], 5.0 / 12.0))
+        }
+        _ => {
+            // (55·e_t − 59·e_{t−1} + 37·e_{t−2} − 9·e_{t−3}) / 24
+            let mut acc = ops::scale(eps_t, 55.0 / 24.0);
+            acc = ops::add(&acc, &ops::scale(&history[0], -59.0 / 24.0))?;
+            acc = ops::add(&acc, &ops::scale(&history[1], 37.0 / 24.0))?;
+            ops::add(&acc, &ops::scale(&history[2], -9.0 / 24.0))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_schedule_is_decreasing() {
+        let s = Schedule::linear(100);
+        assert_eq!(s.train_steps(), 100);
+        for t in 1..100 {
+            assert!(s.alpha_bar(t) < s.alpha_bar(t - 1));
+        }
+        assert!(s.alpha_bar(0) < 1.0);
+        assert_eq!(s.alpha_bar(usize::MAX), 1.0);
+    }
+
+    #[test]
+    fn sample_times_descending_and_bounded() {
+        let s = Schedule::linear(1000);
+        let ts = s.sample_times(50);
+        assert_eq!(ts.len(), 50);
+        assert!(ts.windows(2).all(|w| w[0] > w[1]));
+        assert!(*ts.first().unwrap() < 1000);
+        assert_eq!(*ts.last().unwrap(), 0);
+    }
+
+    #[test]
+    fn ddim_pure_signal_is_fixed_point() {
+        // With ε = 0 the update just rescales toward the clean data.
+        let s = Schedule::linear(100);
+        let x = Tensor::full(&[4], 0.5);
+        let eps = Tensor::zeros(&[4]);
+        let y = ddim_update(&x, &eps, &s, 50, 25).unwrap();
+        let expect = (s.alpha_bar(25).sqrt() / s.alpha_bar(50).sqrt()) as f32 * 0.5;
+        for &v in y.as_slice() {
+            assert!((v - expect).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn ddim_final_step_removes_noise_term() {
+        let s = Schedule::linear(100);
+        let x = Tensor::full(&[2], 1.0);
+        let eps = Tensor::full(&[2], 1.0);
+        let y = ddim_update(&x, &eps, &s, 0, usize::MAX).unwrap();
+        // ᾱ_prev = 1 → output is exactly the (clamped) x0 estimate.
+        let ab = s.alpha_bar(0);
+        let x0 = (1.0 - (1.0 - ab).sqrt() as f32) / ab.sqrt() as f32;
+        assert!((y.as_slice()[0] - x0.clamp(-3.0, 3.0)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn ddpm_update_is_ddim_plus_noise() {
+        let s = Schedule::linear(100);
+        let x = Tensor::full(&[8], 0.5);
+        let eps = Tensor::full(&[8], 0.2);
+        let mut rng = Rng::seed_from(1);
+        let stochastic = ddpm_update(&x, &eps, &s, 50, 25, &mut rng).unwrap();
+        let mut rng2 = Rng::seed_from(2);
+        let other = ddpm_update(&x, &eps, &s, 50, 25, &mut rng2).unwrap();
+        // Different noise draws differ; both stay finite.
+        assert_ne!(stochastic.as_slice(), other.as_slice());
+        assert!(stochastic.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn ddpm_final_step_is_deterministic() {
+        let s = Schedule::linear(100);
+        let x = Tensor::full(&[4], 0.5);
+        let eps = Tensor::zeros(&[4]);
+        let mut r1 = Rng::seed_from(1);
+        let mut r2 = Rng::seed_from(999);
+        let a = ddpm_update(&x, &eps, &s, 0, usize::MAX, &mut r1).unwrap();
+        let b = ddpm_update(&x, &eps, &s, 0, usize::MAX, &mut r2).unwrap();
+        assert_eq!(a, b, "no noise is added on the final step");
+        // And σ = 0 makes it coincide with DDIM.
+        let ddim = ddim_update(&x, &eps, &s, 0, usize::MAX).unwrap();
+        assert_eq!(a, ddim);
+    }
+
+    #[test]
+    fn plms_orders() {
+        let e = Tensor::full(&[2], 1.0);
+        let h1 = Tensor::full(&[2], 2.0);
+        let h2 = Tensor::full(&[2], 3.0);
+        let h3 = Tensor::full(&[2], 4.0);
+        assert_eq!(plms_combine(&e, &[]).unwrap().as_slice()[0], 1.0);
+        assert!((plms_combine(&e, std::slice::from_ref(&h1)).unwrap().as_slice()[0] - 0.5).abs() < 1e-6);
+        let o2 = plms_combine(&e, &[h1.clone(), h2.clone()]).unwrap().as_slice()[0];
+        assert!((o2 - (23.0 - 32.0 + 15.0) / 12.0).abs() < 1e-5);
+        let o3 = plms_combine(&e, &[h1, h2, h3]).unwrap().as_slice()[0];
+        assert!((o3 - (55.0 - 118.0 + 111.0 - 36.0) / 24.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn plms_constant_eps_is_identity() {
+        // If ε never changes, every multistep combination returns it.
+        let e = Tensor::full(&[3], 0.7);
+        for hist_len in 0..4 {
+            let hist = vec![e.clone(); hist_len];
+            let out = plms_combine(&e, &hist).unwrap();
+            for &v in out.as_slice() {
+                assert!((v - 0.7).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn model_calls_counts_plms_warmup() {
+        assert_eq!(SamplerKind::Ddim.model_calls(50), 50);
+        assert_eq!(SamplerKind::Plms.model_calls(50), 51);
+    }
+}

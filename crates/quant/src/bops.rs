@@ -1,0 +1,118 @@
+//! Bit Operations (BOPs) accounting — the metric behind Fig. 5 and Fig. 6.
+//!
+//! Following the paper (which follows UNIQ and Q-Diffusion), one
+//! multiply-accumulate between an `a`-bit activation and a `w`-bit weight
+//! costs `a × w` BOPs. Temporal/spatial difference processing reduces BOPs
+//! by shrinking `a` per element (0, 4, 8 or 16 bits) while `w` stays 8-bit.
+
+use crate::bitwidth::BitWidthHistogram;
+
+/// BOPs model for A?W8 layers.
+///
+/// # Example
+///
+/// ```
+/// use quant::{BopsModel, BitWidthHistogram};
+///
+/// let m = BopsModel::a8w8();
+/// // 10 elements, each reused across 3 output features → 30 MACs dense.
+/// let dense = m.dense_bops(30);
+/// let h = BitWidthHistogram { zero: 5, low4: 4, full8: 1, over8: 0 };
+/// let diff = m.histogram_bops(&h, 3);
+/// assert!(diff < dense);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BopsModel {
+    /// Weight bit-width (8 throughout the paper).
+    pub weight_bits: u64,
+    /// Full activation bit-width (8 throughout the paper).
+    pub act_bits: u64,
+}
+
+impl BopsModel {
+    /// The paper's A8W8 configuration.
+    pub fn a8w8() -> Self {
+        BopsModel { weight_bits: 8, act_bits: 8 }
+    }
+
+    /// BOPs of executing `macs` dense full-bit-width MACs.
+    pub fn dense_bops(&self, macs: u64) -> u64 {
+        macs * self.act_bits * self.weight_bits
+    }
+
+    /// BOPs of difference processing described by a per-element bit-width
+    /// histogram, where each classified element participates in `reuse`
+    /// MACs (e.g. the output-feature count for an FC layer, or
+    /// `C_out` for an im2col convolution row element).
+    pub fn histogram_bops(&self, h: &BitWidthHistogram, reuse: u64) -> u64 {
+        let per_element_bits = h.low4 * 4 + h.full8 * 8 + h.over8 * 16;
+        per_element_bits * self.weight_bits * reuse
+    }
+
+    /// Relative BOPs of a histogram versus dense processing of the same
+    /// element count (`1.0` = no saving). Returns `0.0` for empty input.
+    pub fn relative_bops(&self, h: &BitWidthHistogram) -> f64 {
+        let total = h.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let diff = (h.low4 * 4 + h.full8 * 8 + h.over8 * 16) * self.weight_bits;
+        let dense = total * self.act_bits * self.weight_bits;
+        diff as f64 / dense as f64
+    }
+}
+
+impl Default for BopsModel {
+    fn default() -> Self {
+        BopsModel::a8w8()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_bops_scale() {
+        let m = BopsModel::a8w8();
+        assert_eq!(m.dense_bops(1), 64);
+        assert_eq!(m.dense_bops(100), 6400);
+    }
+
+    #[test]
+    fn histogram_bops_counts_bits() {
+        let m = BopsModel::a8w8();
+        let h = BitWidthHistogram { zero: 10, low4: 2, full8: 1, over8: 1 };
+        // (2*4 + 1*8 + 1*16) * 8 * reuse.
+        assert_eq!(m.histogram_bops(&h, 1), 32 * 8);
+        assert_eq!(m.histogram_bops(&h, 5), 32 * 8 * 5);
+    }
+
+    #[test]
+    fn all_zero_histogram_is_free() {
+        let m = BopsModel::a8w8();
+        let h = BitWidthHistogram { zero: 100, ..Default::default() };
+        assert_eq!(m.histogram_bops(&h, 7), 0);
+        assert_eq!(m.relative_bops(&h), 0.0);
+    }
+
+    #[test]
+    fn relative_bops_dense_equivalent() {
+        let m = BopsModel::a8w8();
+        let h = BitWidthHistogram { zero: 0, low4: 0, full8: 10, over8: 0 };
+        assert_eq!(m.relative_bops(&h), 1.0);
+    }
+
+    #[test]
+    fn relative_bops_half_for_low4() {
+        let m = BopsModel::a8w8();
+        let h = BitWidthHistogram { zero: 0, low4: 10, full8: 0, over8: 0 };
+        assert_eq!(m.relative_bops(&h), 0.5);
+    }
+
+    #[test]
+    fn relative_bops_empty_is_zero() {
+        let m = BopsModel::a8w8();
+        assert_eq!(m.relative_bops(&BitWidthHistogram::new()), 0.0);
+    }
+}

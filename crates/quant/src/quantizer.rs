@@ -1,0 +1,122 @@
+//! Quantization policies: dynamic and calibrated static.
+
+use crate::calib::CalibrationTable;
+use crate::qtensor::QTensor;
+use tensor::Tensor;
+
+/// Which quantization policy a model uses (§VI-A: Q-Diffusion-style static
+/// calibration for the UNet models, dynamic quantization for DiT/Latte).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QuantMode {
+    /// Per-call abs-max scaling.
+    Dynamic,
+    /// Scales looked up from an offline calibration table, keyed by layer
+    /// and time-step cluster.
+    Static,
+}
+
+/// A quantizer that turns `f32` layer inputs into [`QTensor`]s according to
+/// a [`QuantMode`].
+///
+/// # Example
+///
+/// ```
+/// use quant::{Quantizer, QuantMode};
+/// use tensor::Tensor;
+///
+/// let q = Quantizer::dynamic();
+/// let x = Tensor::from_vec(vec![1.0, -0.5], &[2])?;
+/// let qx = q.quantize(&x, 0, 0);
+/// assert_eq!(qx.data()[0], 127);
+/// # Ok::<(), tensor::TensorError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Quantizer {
+    mode: QuantMode,
+    table: Option<CalibrationTable>,
+}
+
+impl Quantizer {
+    /// A dynamic quantizer (no calibration needed).
+    pub fn dynamic() -> Self {
+        Quantizer { mode: QuantMode::Dynamic, table: None }
+    }
+
+    /// A static quantizer backed by an offline calibration table.
+    pub fn with_table(table: CalibrationTable) -> Self {
+        Quantizer { mode: QuantMode::Static, table: Some(table) }
+    }
+
+    /// The active policy.
+    pub fn mode(&self) -> QuantMode {
+        self.mode
+    }
+
+    /// The calibration table, if static.
+    pub fn table(&self) -> Option<&CalibrationTable> {
+        self.table.as_ref()
+    }
+
+    /// Quantizes layer `layer`'s input at time-step index `step`.
+    ///
+    /// Dynamic mode ignores `layer`/`step`. Static mode looks up the
+    /// calibrated scale; a layer/step never seen in calibration falls back
+    /// to dynamic scaling (the same graceful fallback Q-Diffusion's
+    /// implementation applies for uncovered shapes).
+    pub fn quantize(&self, x: &Tensor, layer: usize, step: usize) -> QTensor {
+        match self.mode {
+            QuantMode::Dynamic => QTensor::quantize_dynamic(x),
+            QuantMode::Static => {
+                let scale = self
+                    .table
+                    .as_ref()
+                    .and_then(|t| t.scale_for(layer, step));
+                match scale {
+                    Some(s) => QTensor::quantize_with_scale(x, s),
+                    None => QTensor::quantize_dynamic(x),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calib::Calibrator;
+
+    #[test]
+    fn dynamic_ignores_layer_step() {
+        let q = Quantizer::dynamic();
+        let x = Tensor::from_vec(vec![2.0], &[1]).unwrap();
+        let a = q.quantize(&x, 0, 0);
+        let b = q.quantize(&x, 9, 9);
+        assert_eq!(a, b);
+        assert_eq!(q.mode(), QuantMode::Dynamic);
+    }
+
+    #[test]
+    fn static_uses_calibrated_scale() {
+        let mut cal = Calibrator::new(4);
+        // Layer 0 sees range 2.0 at every step.
+        for step in 0..8 {
+            cal.observe(0, step, 2.0);
+        }
+        let table = cal.finish(2);
+        let q = Quantizer::with_table(table);
+        let x = Tensor::from_vec(vec![1.0], &[1]).unwrap();
+        let qx = q.quantize(&x, 0, 3);
+        // Scale maps 2.0 → 127, so 1.0 → ~64.
+        assert_eq!(qx.data()[0], 64);
+    }
+
+    #[test]
+    fn static_falls_back_to_dynamic_for_unknown_layer() {
+        let mut cal = Calibrator::new(1);
+        cal.observe(0, 0, 1.0);
+        let q = Quantizer::with_table(cal.finish(1));
+        let x = Tensor::from_vec(vec![4.0], &[1]).unwrap();
+        let qx = q.quantize(&x, 99, 0);
+        assert_eq!(qx.data()[0], 127); // dynamic abs-max behaviour
+    }
+}

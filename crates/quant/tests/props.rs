@@ -1,0 +1,115 @@
+//! Property tests for the quantization stack: exactness of difference
+//! processing in the integer domain, quantization error bounds, and
+//! histogram invariants.
+
+use proptest::prelude::*;
+use quant::kernels::{delta_matmul_update, int_matmul, widen};
+use quant::{BitWidthClass, BitWidthHistogram, BopsModel, QTensor};
+use tensor::Tensor;
+
+fn i8_vec(n: usize) -> impl Strategy<Value = Vec<i8>> {
+    proptest::collection::vec(any::<i8>().prop_map(|v| if v == -128 { -127 } else { v }), n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Dense integer execution and delta-update execution are bit-identical
+    /// for arbitrary previous/current activations (the §IV-A equivalence).
+    #[test]
+    fn delta_processing_bit_exact(
+        m in 1usize..4, k in 1usize..6, n in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = tensor::Rng::seed_from(seed);
+        let prev: Vec<i8> = (0..m * k).map(|_| (rng.next_below(255) as i32 - 127) as i8).collect();
+        let curr: Vec<i8> = (0..m * k).map(|_| (rng.next_below(255) as i32 - 127) as i8).collect();
+        let w: Vec<i8> = (0..k * n).map(|_| (rng.next_below(255) as i32 - 127) as i8).collect();
+        let delta: Vec<i16> = curr.iter().zip(&prev).map(|(&c, &p)| c as i16 - p as i16).collect();
+        let out_prev = int_matmul(&widen(&prev), &w, m, k, n);
+        let dense = int_matmul(&widen(&curr), &w, m, k, n);
+        let via = delta_matmul_update(&out_prev, &delta, &w, m, k, n);
+        prop_assert_eq!(dense, via);
+    }
+
+    /// Quantize→dequantize error is bounded by half a quantization step.
+    #[test]
+    fn quant_error_bounded(vals in proptest::collection::vec(-100.0f32..100.0, 1..64)) {
+        let n = vals.len();
+        let x = Tensor::from_vec(vals, &[n]).unwrap();
+        let q = QTensor::quantize_dynamic(&x);
+        let y = q.dequantize();
+        for (a, b) in x.as_slice().iter().zip(y.as_slice()) {
+            prop_assert!((a - b).abs() <= q.scale() * 0.5 + 1e-5);
+        }
+    }
+
+    /// Quantization is scale-equivariant: quantizing c*x dynamically gives
+    /// the same levels as quantizing x (for c > 0).
+    #[test]
+    fn dynamic_quant_scale_invariant(
+        vals in proptest::collection::vec(-10.0f32..10.0, 1..32),
+        c in 0.5f32..20.0,
+    ) {
+        let n = vals.len();
+        let x = Tensor::from_vec(vals.clone(), &[n]).unwrap();
+        let xs = Tensor::from_vec(vals.iter().map(|v| v * c).collect(), &[n]).unwrap();
+        let qa = QTensor::quantize_dynamic(&x);
+        let qb = QTensor::quantize_dynamic(&xs);
+        for (a, b) in qa.data().iter().zip(qb.data()) {
+            prop_assert!((a - b).abs() <= 1, "levels {a} vs {b}");
+        }
+    }
+
+    /// Histogram buckets partition the data: counts sum to the total and
+    /// every value lands in exactly the bucket its magnitude implies.
+    #[test]
+    fn histogram_partitions(deltas in proptest::collection::vec(-254i16..=254, 0..256)) {
+        let h = BitWidthHistogram::from_deltas(&deltas);
+        prop_assert_eq!(h.total(), deltas.len() as u64);
+        let zero = deltas.iter().filter(|&&d| d == 0).count() as u64;
+        let low4 = deltas.iter().filter(|&&d| d != 0 && (-8..=7).contains(&d)).count() as u64;
+        prop_assert_eq!(h.zero, zero);
+        prop_assert_eq!(h.low4, low4);
+        let ratios = h.zero_ratio() + h.low4_ratio() + h.over4_ratio();
+        if !deltas.is_empty() {
+            prop_assert!((ratios - 1.0).abs() < 1e-9);
+        }
+    }
+
+    /// BOPs of difference processing never exceed dense BOPs when no delta
+    /// needs more than 8 bits.
+    #[test]
+    fn bops_never_worse_without_over8(deltas in proptest::collection::vec(-127i16..=127, 1..256)) {
+        let h = BitWidthHistogram::from_deltas(&deltas);
+        let m = BopsModel::a8w8();
+        prop_assert!(m.relative_bops(&h) <= 1.0);
+    }
+
+    /// Spatial delta rows reconstruct the original tensor by prefix sums.
+    #[test]
+    fn spatial_delta_reconstructs(rows in 1usize..6, cols in 1usize..6, data in i8_vec(36)) {
+        let need = rows * cols;
+        prop_assume!(need <= data.len());
+        let q = QTensor::from_parts(data[..need].to_vec(), &[rows, cols], 1.0);
+        let (base, deltas) = q.spatial_delta_rows();
+        let mut cur: Vec<i16> = base.iter().map(|&v| v as i16).collect();
+        prop_assert_eq!(&cur[..], &q.data()[..cols].iter().map(|&v| v as i16).collect::<Vec<_>>()[..]);
+        for r in 1..rows {
+            for c in 0..cols {
+                cur[c] += deltas[(r - 1) * cols + c];
+                prop_assert_eq!(cur[c], q.data()[r * cols + c] as i16);
+            }
+        }
+    }
+
+    /// Lane cost is monotone in bit-width class.
+    #[test]
+    fn lane_cost_monotone(v in -254i16..=254) {
+        let c = BitWidthClass::of(v);
+        let cost = c.lane_cost();
+        prop_assert!(cost <= 4);
+        if v == 0 { prop_assert_eq!(cost, 0); }
+        if v != 0 { prop_assert!(cost >= 1); }
+    }
+}

@@ -1,0 +1,122 @@
+//! Non-linear activation functions used by the Fig. 2 block structures.
+//!
+//! These are the "non-linear functions" Defo must detect: applying them to a
+//! temporal *difference* is not numerically equivalent to applying them to
+//! the original activations, so difference processing has to be closed
+//! (summed back) before any of these run.
+
+use crate::{Result, Tensor};
+
+/// Logistic sigmoid `1 / (1 + e^{-x})`.
+pub fn sigmoid(x: &Tensor) -> Tensor {
+    x.map(|v| 1.0 / (1.0 + (-v).exp()))
+}
+
+/// SiLU / swish: `x * sigmoid(x)` — the ResNet-block activation.
+pub fn silu(x: &Tensor) -> Tensor {
+    x.map(|v| v / (1.0 + (-v).exp()))
+}
+
+/// GeLU (tanh approximation) — the transformer-block MLP activation.
+pub fn gelu(x: &Tensor) -> Tensor {
+    x.map(|v| {
+        let c = (2.0f32 / std::f32::consts::PI).sqrt();
+        0.5 * v * (1.0 + (c * (v + 0.044_715 * v * v * v)).tanh())
+    })
+}
+
+/// Row-wise softmax of a rank-2 tensor — the attention-score non-linearity.
+///
+/// Uses the max-subtraction trick for numerical stability.
+///
+/// # Errors
+///
+/// Returns a rank error if `x` is not rank 2.
+pub fn softmax_rows(x: &Tensor) -> Result<Tensor> {
+    x.shape().expect_rank(2)?;
+    let (rows, cols) = (x.dims()[0], x.dims()[1]);
+    let mut out = Tensor::zeros(&[rows, cols]);
+    let xv = x.as_slice();
+    let ov = out.as_mut_slice();
+    for r in 0..rows {
+        let row = &xv[r * cols..(r + 1) * cols];
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let orow = &mut ov[r * cols..(r + 1) * cols];
+        let mut sum = 0.0;
+        for (o, &v) in orow.iter_mut().zip(row) {
+            let e = (v - max).exp();
+            *o = e;
+            sum += e;
+        }
+        for o in orow.iter_mut() {
+            *o /= sum;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_range_and_symmetry() {
+        let x = Tensor::from_vec(vec![-10.0, 0.0, 10.0], &[3]).unwrap();
+        let y = sigmoid(&x);
+        assert!(y.as_slice()[0] < 0.001);
+        assert!((y.as_slice()[1] - 0.5).abs() < 1e-6);
+        assert!(y.as_slice()[2] > 0.999);
+    }
+
+    #[test]
+    fn silu_matches_definition() {
+        let x = Tensor::from_vec(vec![-1.0, 0.0, 2.0], &[3]).unwrap();
+        let y = silu(&x);
+        let s = sigmoid(&x);
+        for i in 0..3 {
+            let expect = x.as_slice()[i] * s.as_slice()[i];
+            assert!((y.as_slice()[i] - expect).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gelu_known_values() {
+        let x = Tensor::from_vec(vec![0.0, 1.0, -1.0], &[3]).unwrap();
+        let y = gelu(&x);
+        assert_eq!(y.as_slice()[0], 0.0);
+        assert!((y.as_slice()[1] - 0.8412).abs() < 1e-3);
+        assert!((y.as_slice()[2] + 0.1588).abs() < 1e-3);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 1000.0, 1000.0, 1000.0], &[2, 3]).unwrap();
+        let y = softmax_rows(&x).unwrap();
+        for r in 0..2 {
+            let sum: f32 = y.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+        // Large equal logits must not produce NaN.
+        assert!((y.at(&[1, 0]) - 1.0 / 3.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn softmax_is_monotone_in_logits() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]).unwrap();
+        let y = softmax_rows(&x).unwrap();
+        assert!(y.as_slice()[0] < y.as_slice()[1]);
+        assert!(y.as_slice()[1] < y.as_slice()[2]);
+    }
+
+    #[test]
+    fn nonlinearity_breaks_distributivity() {
+        // Documents *why* Defo must close differences before non-linear
+        // functions: f(x + d) != f(x) + f(d) in general.
+        let x = Tensor::from_vec(vec![1.0], &[1]).unwrap();
+        let d = Tensor::from_vec(vec![1.0], &[1]).unwrap();
+        let sum = x.zip_with(&d, |a, b| a + b).unwrap();
+        let lhs = silu(&sum).as_slice()[0];
+        let rhs = silu(&x).as_slice()[0] + silu(&d).as_slice()[0];
+        assert!((lhs - rhs).abs() > 0.1);
+    }
+}

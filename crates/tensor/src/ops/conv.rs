@@ -1,0 +1,238 @@
+//! 2-D convolution for NCHW tensors.
+
+use crate::{Result, Tensor, TensorError};
+
+/// Parameters of a 2-D convolution.
+///
+/// Only square kernels/strides/padding are needed by the Fig. 2 block
+/// structures (1×1 and 3×3 convolutions, stride 1 or 2, "same" padding).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Conv2dParams {
+    /// Kernel height and width.
+    pub kernel: usize,
+    /// Stride in both dimensions.
+    pub stride: usize,
+    /// Zero padding on every border.
+    pub padding: usize,
+}
+
+impl Conv2dParams {
+    /// 3×3, stride 1, padding 1 — the workhorse ResNet-block convolution.
+    pub fn same3x3() -> Self {
+        Conv2dParams { kernel: 3, stride: 1, padding: 1 }
+    }
+
+    /// 1×1 pointwise convolution.
+    pub fn pointwise() -> Self {
+        Conv2dParams { kernel: 1, stride: 1, padding: 0 }
+    }
+
+    /// Output spatial extent for input extent `n`.
+    pub fn out_extent(&self, n: usize) -> usize {
+        (n + 2 * self.padding - self.kernel) / self.stride + 1
+    }
+}
+
+impl Default for Conv2dParams {
+    fn default() -> Self {
+        Conv2dParams::same3x3()
+    }
+}
+
+/// Direct 2-D convolution.
+///
+/// `input` is `[C_in, H, W]`, `weight` is `[C_out, C_in, K, K]`, optional
+/// `bias` is `[C_out]`; output is `[C_out, H_out, W_out]`. (Batch size is
+/// always 1 in the reproduction; the simulator scales counts instead.)
+///
+/// # Errors
+///
+/// Returns shape/rank errors if operands are inconsistent.
+pub fn conv2d(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    params: Conv2dParams,
+) -> Result<Tensor> {
+    input.shape().expect_rank(3)?;
+    weight.shape().expect_rank(4)?;
+    let (c_in, h, w) = (input.dims()[0], input.dims()[1], input.dims()[2]);
+    let (c_out, wc_in, kh, kw) = (
+        weight.dims()[0],
+        weight.dims()[1],
+        weight.dims()[2],
+        weight.dims()[3],
+    );
+    if wc_in != c_in || kh != params.kernel || kw != params.kernel {
+        return Err(TensorError::ShapeMismatch {
+            left: input.dims().to_vec(),
+            right: weight.dims().to_vec(),
+        });
+    }
+    if let Some(b) = bias {
+        b.shape().expect_rank(1)?;
+        if b.len() != c_out {
+            return Err(TensorError::LengthMismatch { expected: c_out, actual: b.len() });
+        }
+    }
+    let ho = params.out_extent(h);
+    let wo = params.out_extent(w);
+    let mut out = Tensor::zeros(&[c_out, ho, wo]);
+    let iv = input.as_slice();
+    let wv = weight.as_slice();
+    let ov = out.as_mut_slice();
+    let k = params.kernel;
+    for co in 0..c_out {
+        let b = bias.map_or(0.0, |b| b.as_slice()[co]);
+        for oy in 0..ho {
+            for ox in 0..wo {
+                let mut acc = b;
+                for ci in 0..c_in {
+                    for ky in 0..k {
+                        let iy = (oy * params.stride + ky) as isize - params.padding as isize;
+                        if iy < 0 || iy as usize >= h {
+                            continue;
+                        }
+                        for kx in 0..k {
+                            let ix =
+                                (ox * params.stride + kx) as isize - params.padding as isize;
+                            if ix < 0 || ix as usize >= w {
+                                continue;
+                            }
+                            let ival = iv[ci * h * w + iy as usize * w + ix as usize];
+                            let wval = wv[((co * c_in + ci) * k + ky) * k + kx];
+                            acc += ival * wval;
+                        }
+                    }
+                }
+                ov[co * ho * wo + oy * wo + ox] = acc;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Lowers a `[C, H, W]` input into an im2col matrix of shape
+/// `[H_out*W_out, C*K*K]`, so convolution becomes a matmul against the
+/// reshaped weight `[C*K*K, C_out]`.
+///
+/// This is the layout the Ditto hardware operates on: each im2col row is a
+/// "sliding window", and Diffy's spatial differences are taken between
+/// consecutive rows of exactly this matrix.
+///
+/// # Errors
+///
+/// Returns a rank error if `input` is not rank 3.
+pub fn im2col(input: &Tensor, params: Conv2dParams) -> Result<Tensor> {
+    input.shape().expect_rank(3)?;
+    let (c, h, w) = (input.dims()[0], input.dims()[1], input.dims()[2]);
+    let ho = params.out_extent(h);
+    let wo = params.out_extent(w);
+    let k = params.kernel;
+    let cols = c * k * k;
+    let mut out = Tensor::zeros(&[ho * wo, cols]);
+    let iv = input.as_slice();
+    let ov = out.as_mut_slice();
+    for oy in 0..ho {
+        for ox in 0..wo {
+            let row = oy * wo + ox;
+            for ci in 0..c {
+                for ky in 0..k {
+                    let iy = (oy * params.stride + ky) as isize - params.padding as isize;
+                    for kx in 0..k {
+                        let ix = (ox * params.stride + kx) as isize - params.padding as isize;
+                        let col = (ci * k + ky) * k + kx;
+                        let val = if iy < 0 || iy as usize >= h || ix < 0 || ix as usize >= w {
+                            0.0
+                        } else {
+                            iv[ci * h * w + iy as usize * w + ix as usize]
+                        };
+                        ov[row * cols + col] = val;
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::matmul;
+    use crate::Rng;
+
+    #[test]
+    fn pointwise_is_channel_mix() {
+        // 1x1 conv over a 2-channel 2x2 input equals a per-pixel matmul.
+        let input = Tensor::from_vec((1..=8).map(|x| x as f32).collect(), &[2, 2, 2]).unwrap();
+        let weight = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2, 1, 1]).unwrap();
+        let out = conv2d(&input, &weight, None, Conv2dParams::pointwise()).unwrap();
+        assert_eq!(out.dims(), &[2, 2, 2]);
+        // out[0] = 1*in[0] + 2*in[1]; first pixel: 1*1 + 2*5 = 11.
+        assert_eq!(out.at(&[0, 0, 0]), 11.0);
+        // out[1] = 3*in[0] + 4*in[1]; first pixel: 3*1 + 4*5 = 23.
+        assert_eq!(out.at(&[1, 0, 0]), 23.0);
+    }
+
+    #[test]
+    fn bias_added() {
+        let input = Tensor::full(&[1, 2, 2], 0.0);
+        let weight = Tensor::zeros(&[3, 1, 1, 1]);
+        let bias = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).unwrap();
+        let out = conv2d(&input, &weight, Some(&bias), Conv2dParams::pointwise()).unwrap();
+        assert_eq!(out.at(&[0, 1, 1]), 1.0);
+        assert_eq!(out.at(&[2, 0, 0]), 3.0);
+    }
+
+    #[test]
+    fn same_padding_keeps_extent() {
+        let input = Tensor::full(&[1, 5, 5], 1.0);
+        let weight = Tensor::full(&[1, 1, 3, 3], 1.0);
+        let out = conv2d(&input, &weight, None, Conv2dParams::same3x3()).unwrap();
+        assert_eq!(out.dims(), &[1, 5, 5]);
+        // Center pixel sees all nine taps; corner only four.
+        assert_eq!(out.at(&[0, 2, 2]), 9.0);
+        assert_eq!(out.at(&[0, 0, 0]), 4.0);
+    }
+
+    #[test]
+    fn stride_two_halves_extent() {
+        let p = Conv2dParams { kernel: 3, stride: 2, padding: 1 };
+        assert_eq!(p.out_extent(8), 4);
+        let input = Tensor::full(&[1, 8, 8], 1.0);
+        let weight = Tensor::full(&[1, 1, 3, 3], 1.0);
+        let out = conv2d(&input, &weight, None, p).unwrap();
+        assert_eq!(out.dims(), &[1, 4, 4]);
+    }
+
+    #[test]
+    fn im2col_matmul_matches_direct() {
+        let mut rng = Rng::seed_from(3);
+        let input = Tensor::randn(&[3, 6, 6], &mut rng);
+        let weight = Tensor::randn(&[4, 3, 3, 3], &mut rng);
+        let p = Conv2dParams::same3x3();
+        let direct = conv2d(&input, &weight, None, p).unwrap();
+
+        let cols = im2col(&input, p).unwrap();
+        let wmat = weight.reshape(&[4, 27]).unwrap().transpose().unwrap();
+        let prod = matmul(&cols, &wmat).unwrap(); // [H*W, C_out]
+        for co in 0..4 {
+            for pix in 0..36 {
+                let d = direct.as_slice()[co * 36 + pix];
+                let m = prod.as_slice()[pix * 4 + co];
+                assert!((d - m).abs() < 1e-4, "mismatch at co={co} pix={pix}: {d} vs {m}");
+            }
+        }
+    }
+
+    #[test]
+    fn shape_errors() {
+        let input = Tensor::zeros(&[2, 4, 4]);
+        let weight = Tensor::zeros(&[3, 5, 3, 3]); // wrong C_in
+        assert!(conv2d(&input, &weight, None, Conv2dParams::same3x3()).is_err());
+        let weight_ok = Tensor::zeros(&[3, 2, 3, 3]);
+        let bad_bias = Tensor::zeros(&[2]);
+        assert!(conv2d(&input, &weight_ok, Some(&bad_bias), Conv2dParams::same3x3()).is_err());
+    }
+}

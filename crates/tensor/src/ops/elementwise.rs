@@ -1,0 +1,73 @@
+//! Element-wise arithmetic helpers.
+
+use crate::{Result, Tensor};
+
+/// Element-wise sum of two same-shaped tensors.
+///
+/// # Errors
+///
+/// Returns a shape mismatch error if shapes differ.
+pub fn add(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    a.zip_with(b, |x, y| x + y)
+}
+
+/// Element-wise difference `a - b`.
+///
+/// This is the "calculate difference" stage of the Ditto algorithm when
+/// applied to floating-point traces (the quantized path lives in `quant`).
+///
+/// # Errors
+///
+/// Returns a shape mismatch error if shapes differ.
+pub fn sub(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    a.zip_with(b, |x, y| x - y)
+}
+
+/// Element-wise (Hadamard) product.
+///
+/// # Errors
+///
+/// Returns a shape mismatch error if shapes differ.
+pub fn mul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    a.zip_with(b, |x, y| x * y)
+}
+
+/// Multiplies every element by `s`.
+pub fn scale(a: &Tensor, s: f32) -> Tensor {
+    a.map(|x| x * s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: Vec<f32>) -> Tensor {
+        let n = v.len();
+        Tensor::from_vec(v, &[n]).unwrap()
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = t(vec![1.0, -2.0, 3.0]);
+        let b = t(vec![0.5, 0.5, -0.5]);
+        let s = add(&a, &b).unwrap();
+        let back = sub(&s, &b).unwrap();
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn mul_and_scale() {
+        let a = t(vec![1.0, 2.0, 3.0]);
+        let b = t(vec![2.0, 2.0, 2.0]);
+        assert_eq!(mul(&a, &b).unwrap(), scale(&a, 2.0));
+    }
+
+    #[test]
+    fn shape_mismatch() {
+        let a = t(vec![1.0]);
+        let b = t(vec![1.0, 2.0]);
+        assert!(add(&a, &b).is_err());
+        assert!(sub(&a, &b).is_err());
+        assert!(mul(&a, &b).is_err());
+    }
+}

@@ -1,0 +1,139 @@
+//! Matrix multiplication kernels.
+
+use crate::{Result, Tensor, TensorError};
+
+/// Multiplies two rank-2 tensors: `[m, k] × [k, n] → [m, n]`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] if either operand is not rank 2, or
+/// [`TensorError::MatmulDimMismatch`] if inner dimensions disagree.
+///
+/// # Example
+///
+/// ```
+/// use tensor::{Tensor, ops::matmul};
+///
+/// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+/// let b = Tensor::eye(2);
+/// assert_eq!(matmul(&a, &b)?, a);
+/// # Ok::<(), tensor::TensorError>(())
+/// ```
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    a.shape().expect_rank(2)?;
+    b.shape().expect_rank(2)?;
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let (k2, n) = (b.dims()[0], b.dims()[1]);
+    if k != k2 {
+        return Err(TensorError::MatmulDimMismatch { left_cols: k, right_rows: k2 });
+    }
+    let mut out = Tensor::zeros(&[m, n]);
+    let av = a.as_slice();
+    let bv = b.as_slice();
+    let ov = out.as_mut_slice();
+    // ikj loop order: the inner loop streams contiguous rows of B and OUT.
+    for i in 0..m {
+        for kk in 0..k {
+            let aik = av[i * k + kk];
+            if aik == 0.0 {
+                continue;
+            }
+            let brow = &bv[kk * n..(kk + 1) * n];
+            let orow = &mut ov[i * n..(i + 1) * n];
+            for j in 0..n {
+                orow[j] += aik * brow[j];
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Multiplies a rank-2 matrix by a rank-1 vector: `[m, k] × [k] → [m]`.
+///
+/// # Errors
+///
+/// Returns a rank or dimension mismatch error as for [`matmul`].
+pub fn matvec(a: &Tensor, x: &Tensor) -> Result<Tensor> {
+    a.shape().expect_rank(2)?;
+    x.shape().expect_rank(1)?;
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    if x.len() != k {
+        return Err(TensorError::MatmulDimMismatch { left_cols: k, right_rows: x.len() });
+    }
+    let mut out = Tensor::zeros(&[m]);
+    let av = a.as_slice();
+    let xv = x.as_slice();
+    let ov = out.as_mut_slice();
+    for i in 0..m {
+        let row = &av[i * k..(i + 1) * k];
+        ov[i] = row.iter().zip(xv).map(|(&w, &v)| w * v).sum();
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: Vec<f32>, d: &[usize]) -> Tensor {
+        Tensor::from_vec(v, d).unwrap()
+    }
+
+    #[test]
+    fn known_product() {
+        let a = t(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let b = t(vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0], &[3, 2]);
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = t(vec![1.5, -2.0, 0.0, 4.0], &[2, 2]);
+        assert_eq!(matmul(&a, &Tensor::eye(2)).unwrap(), a);
+        assert_eq!(matmul(&Tensor::eye(2), &a).unwrap(), a);
+    }
+
+    #[test]
+    fn dim_mismatch_errors() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 2]);
+        assert!(matches!(
+            matmul(&a, &b),
+            Err(TensorError::MatmulDimMismatch { left_cols: 3, right_rows: 4 })
+        ));
+        assert!(matmul(&Tensor::zeros(&[2]), &a).is_err());
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = t(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let x = t(vec![1.0, 0.5, -1.0], &[3]);
+        let y = matvec(&a, &x).unwrap();
+        let xm = x.reshape(&[3, 1]).unwrap();
+        let ym = matmul(&a, &xm).unwrap();
+        assert_eq!(y.as_slice(), ym.as_slice());
+    }
+
+    #[test]
+    fn matvec_errors() {
+        let a = Tensor::zeros(&[2, 3]);
+        assert!(matvec(&a, &Tensor::zeros(&[4])).is_err());
+        assert!(matvec(&a, &Tensor::zeros(&[2, 2])).is_err());
+    }
+
+    #[test]
+    fn distributive_over_addition() {
+        // The identity the Ditto algorithm relies on: (X + D) W = XW + DW.
+        let x = t(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let d = t(vec![0.5, -0.5, 0.25, 0.0], &[2, 2]);
+        let w = t(vec![2.0, 0.0, 1.0, 3.0], &[2, 2]);
+        let lhs = matmul(&x.zip_with(&d, |a, b| a + b).unwrap(), &w).unwrap();
+        let xw = matmul(&x, &w).unwrap();
+        let dw = matmul(&d, &w).unwrap();
+        let rhs = xw.zip_with(&dw, |a, b| a + b).unwrap();
+        for (l, r) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            assert!((l - r).abs() < 1e-5);
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! Layer kernels used by denoising models.
+//!
+//! Each sub-module implements one family of operations with plain,
+//! auditable loops; correctness is asserted against naive references and
+//! algebraic properties (see the crate's `tests/`). The Ditto algorithm's
+//! core identity — distributivity of linear kernels over operand sums — is
+//! property-tested in `tests/props.rs`.
+
+pub mod activation;
+pub mod conv;
+pub mod elementwise;
+pub mod matmul;
+pub mod norm;
+pub mod pool;
+
+pub use activation::{gelu, sigmoid, silu, softmax_rows};
+pub use conv::{conv2d, im2col, Conv2dParams};
+pub use elementwise::{add, mul, scale, sub};
+pub use matmul::{matmul, matvec};
+pub use norm::{group_norm, layer_norm};
+pub use pool::{avg_pool2d, global_avg_pool};

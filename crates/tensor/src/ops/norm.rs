@@ -1,0 +1,152 @@
+//! Group and layer normalization.
+
+use crate::{Result, Tensor, TensorError};
+
+/// Group normalization over a `[C, H, W]` tensor.
+///
+/// Channels are split into `groups` contiguous groups; each group is
+/// normalized to zero mean / unit variance, then scaled and shifted by the
+/// per-channel `gamma` and `beta`.
+///
+/// # Errors
+///
+/// Returns an error if the input is not rank 3, `groups` does not divide the
+/// channel count, or `gamma`/`beta` are not `[C]`.
+pub fn group_norm(
+    x: &Tensor,
+    groups: usize,
+    gamma: &Tensor,
+    beta: &Tensor,
+    eps: f32,
+) -> Result<Tensor> {
+    x.shape().expect_rank(3)?;
+    let (c, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2]);
+    if groups == 0 || c % groups != 0 {
+        return Err(TensorError::InvalidArgument(format!(
+            "groups {groups} must divide channels {c}"
+        )));
+    }
+    if gamma.len() != c || beta.len() != c {
+        return Err(TensorError::LengthMismatch { expected: c, actual: gamma.len() });
+    }
+    let per = c / groups;
+    let plane = h * w;
+    let mut out = Tensor::zeros(&[c, h, w]);
+    let xv = x.as_slice();
+    let ov = out.as_mut_slice();
+    let gv = gamma.as_slice();
+    let bv = beta.as_slice();
+    for g in 0..groups {
+        let start = g * per * plane;
+        let end = (g + 1) * per * plane;
+        let slice = &xv[start..end];
+        let n = slice.len() as f32;
+        let mean = slice.iter().sum::<f32>() / n;
+        let var = slice.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / n;
+        let inv = 1.0 / (var + eps).sqrt();
+        for ci in 0..per {
+            let ch = g * per + ci;
+            for p in 0..plane {
+                let idx = ch * plane + p;
+                ov[idx] = (xv[idx] - mean) * inv * gv[ch] + bv[ch];
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Layer normalization over the last dimension of a rank-2 tensor
+/// `[tokens, features]`.
+///
+/// # Errors
+///
+/// Returns an error if the input is not rank 2 or `gamma`/`beta` are not
+/// `[features]`.
+pub fn layer_norm(x: &Tensor, gamma: &Tensor, beta: &Tensor, eps: f32) -> Result<Tensor> {
+    x.shape().expect_rank(2)?;
+    let (rows, cols) = (x.dims()[0], x.dims()[1]);
+    if gamma.len() != cols || beta.len() != cols {
+        return Err(TensorError::LengthMismatch { expected: cols, actual: gamma.len() });
+    }
+    let mut out = Tensor::zeros(&[rows, cols]);
+    let xv = x.as_slice();
+    let ov = out.as_mut_slice();
+    let gv = gamma.as_slice();
+    let bv = beta.as_slice();
+    for r in 0..rows {
+        let row = &xv[r * cols..(r + 1) * cols];
+        let mean = row.iter().sum::<f32>() / cols as f32;
+        let var = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / cols as f32;
+        let inv = 1.0 / (var + eps).sqrt();
+        let orow = &mut ov[r * cols..(r + 1) * cols];
+        for c in 0..cols {
+            orow[c] = (row[c] - mean) * inv * gv[c] + bv[c];
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rng;
+
+    #[test]
+    fn group_norm_normalizes() {
+        let mut rng = Rng::seed_from(11);
+        let x = Tensor::randn(&[4, 3, 3], &mut rng).map(|v| v * 5.0 + 2.0);
+        let gamma = Tensor::full(&[4], 1.0);
+        let beta = Tensor::zeros(&[4]);
+        let y = group_norm(&x, 2, &gamma, &beta, 1e-5).unwrap();
+        // Each group of 2 channels should have ~zero mean, ~unit variance.
+        for g in 0..2 {
+            let s = &y.as_slice()[g * 18..(g + 1) * 18];
+            let mean = s.iter().sum::<f32>() / 18.0;
+            let var = s.iter().map(|&v| (v - mean).powi(2)).sum::<f32>() / 18.0;
+            assert!(mean.abs() < 1e-4, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "var {var}");
+        }
+    }
+
+    #[test]
+    fn group_norm_gamma_beta_applied() {
+        let x = Tensor::from_vec(vec![1.0, -1.0, 1.0, -1.0], &[1, 2, 2]).unwrap();
+        let gamma = Tensor::from_vec(vec![2.0], &[1]).unwrap();
+        let beta = Tensor::from_vec(vec![3.0], &[1]).unwrap();
+        let y = group_norm(&x, 1, &gamma, &beta, 1e-9).unwrap();
+        // Normalized values are ±1, so y = ±2 + 3.
+        assert!((y.as_slice()[0] - 5.0).abs() < 1e-3);
+        assert!((y.as_slice()[1] - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn group_norm_errors() {
+        let x = Tensor::zeros(&[4, 2, 2]);
+        let g1 = Tensor::full(&[4], 1.0);
+        let b1 = Tensor::zeros(&[4]);
+        assert!(group_norm(&x, 3, &g1, &b1, 1e-5).is_err()); // 3 ∤ 4
+        assert!(group_norm(&x, 0, &g1, &b1, 1e-5).is_err());
+        let short = Tensor::zeros(&[2]);
+        assert!(group_norm(&x, 2, &short, &short, 1e-5).is_err());
+    }
+
+    #[test]
+    fn layer_norm_rows_independent() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 100.0, 200.0, 300.0], &[2, 3]).unwrap();
+        let gamma = Tensor::full(&[3], 1.0);
+        let beta = Tensor::zeros(&[3]);
+        let y = layer_norm(&x, &gamma, &beta, 1e-5).unwrap();
+        // Both rows normalize to the same pattern despite 100x scale.
+        for c in 0..3 {
+            assert!((y.at(&[0, c]) - y.at(&[1, c])).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn layer_norm_errors() {
+        let x = Tensor::zeros(&[2, 3]);
+        let bad = Tensor::zeros(&[2]);
+        assert!(layer_norm(&x, &bad, &bad, 1e-5).is_err());
+        assert!(layer_norm(&Tensor::zeros(&[3]), &bad, &bad, 1e-5).is_err());
+    }
+}

@@ -1,0 +1,85 @@
+//! Pooling operations (used by the CHUR attention pooling path in Fig. 2).
+
+use crate::{Result, Tensor, TensorError};
+
+/// Average pooling with a square window and equal stride over `[C, H, W]`.
+///
+/// # Errors
+///
+/// Returns an error if the input is not rank 3 or the window does not tile
+/// the spatial extent.
+pub fn avg_pool2d(x: &Tensor, window: usize) -> Result<Tensor> {
+    x.shape().expect_rank(3)?;
+    let (c, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2]);
+    if window == 0 || h % window != 0 || w % window != 0 {
+        return Err(TensorError::InvalidArgument(format!(
+            "window {window} must tile {h}x{w}"
+        )));
+    }
+    let (ho, wo) = (h / window, w / window);
+    let mut out = Tensor::zeros(&[c, ho, wo]);
+    let xv = x.as_slice();
+    let ov = out.as_mut_slice();
+    let inv = 1.0 / (window * window) as f32;
+    for ci in 0..c {
+        for oy in 0..ho {
+            for ox in 0..wo {
+                let mut acc = 0.0;
+                for ky in 0..window {
+                    for kx in 0..window {
+                        acc += xv[ci * h * w + (oy * window + ky) * w + (ox * window + kx)];
+                    }
+                }
+                ov[ci * ho * wo + oy * wo + ox] = acc * inv;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Global average pool: `[C, H, W] → [C]`.
+///
+/// # Errors
+///
+/// Returns a rank error if the input is not rank 3.
+pub fn global_avg_pool(x: &Tensor) -> Result<Tensor> {
+    x.shape().expect_rank(3)?;
+    let (c, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2]);
+    let plane = h * w;
+    let mut out = Tensor::zeros(&[c]);
+    let xv = x.as_slice();
+    let ov = out.as_mut_slice();
+    for ci in 0..c {
+        ov[ci] = xv[ci * plane..(ci + 1) * plane].iter().sum::<f32>() / plane as f32;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn avg_pool_halves() {
+        let x = Tensor::from_vec((0..16).map(|v| v as f32).collect(), &[1, 4, 4]).unwrap();
+        let y = avg_pool2d(&x, 2).unwrap();
+        assert_eq!(y.dims(), &[1, 2, 2]);
+        // Top-left window: (0+1+4+5)/4 = 2.5.
+        assert_eq!(y.at(&[0, 0, 0]), 2.5);
+    }
+
+    #[test]
+    fn avg_pool_errors() {
+        let x = Tensor::zeros(&[1, 5, 5]);
+        assert!(avg_pool2d(&x, 2).is_err());
+        assert!(avg_pool2d(&x, 0).is_err());
+    }
+
+    #[test]
+    fn global_pool_means() {
+        let x = Tensor::from_vec(vec![1.0, 3.0, 5.0, 7.0, 2.0, 2.0, 2.0, 2.0], &[2, 2, 2])
+            .unwrap();
+        let y = global_avg_pool(&x).unwrap();
+        assert_eq!(y.as_slice(), &[4.0, 2.0]);
+    }
+}

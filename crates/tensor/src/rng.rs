@@ -1,0 +1,151 @@
+//! Seeded, dependency-free pseudo-random number generation.
+//!
+//! Every stochastic choice in the reproduction (weight init, initial
+//! latents, conditioning) flows through [`Rng`], so a fixed seed reproduces
+//! every number in EXPERIMENTS.md bit-for-bit.
+
+/// A SplitMix64 pseudo-random generator with uniform and Gaussian sampling.
+///
+/// SplitMix64 passes BigCrush for the statistical quality needed here and is
+/// trivially portable — no platform or dependency variance can perturb the
+/// experiments.
+///
+/// # Example
+///
+/// ```
+/// use tensor::Rng;
+///
+/// let mut rng = Rng::seed_from(1);
+/// let x = rng.next_f32();
+/// assert!((0.0..1.0).contains(&x));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+    /// Cached second Box-Muller sample.
+    spare_normal: Option<f32>,
+}
+
+impl Rng {
+    /// Creates a generator from a seed. Equal seeds yield equal streams.
+    pub fn seed_from(seed: u64) -> Self {
+        Rng { state: seed, spare_normal: None }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        // SplitMix64 (Steele et al.), public-domain constants.
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f32` in `[0, 1)`.
+    pub fn next_f32(&mut self) -> f32 {
+        // 24 high-quality mantissa bits.
+        (self.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn next_below(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "bound must be positive");
+        // Modulo bias is negligible for the bounds used here (<< 2^32).
+        (self.next_u64() % bound as u64) as usize
+    }
+
+    /// Standard-normal sample via Box-Muller.
+    pub fn next_normal(&mut self) -> f32 {
+        if let Some(z) = self.spare_normal.take() {
+            return z;
+        }
+        // Avoid ln(0).
+        let u1 = (1.0 - self.next_f64()).max(f64::MIN_POSITIVE);
+        let u2 = self.next_f64();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare_normal = Some((r * theta.sin()) as f32);
+        (r * theta.cos()) as f32
+    }
+
+    /// Forks an independent generator; the fork's stream is decorrelated
+    /// from the parent by hashing one parent output.
+    pub fn fork(&mut self) -> Rng {
+        Rng::seed_from(self.next_u64() ^ 0xA5A5_A5A5_DEAD_BEEF)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism() {
+        let mut a = Rng::seed_from(123);
+        let mut b = Rng::seed_from(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Rng::seed_from(1);
+        let mut b = Rng::seed_from(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn uniform_bounds() {
+        let mut rng = Rng::seed_from(9);
+        for _ in 0..10_000 {
+            let x = rng.next_f32();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn next_below_bounds() {
+        let mut rng = Rng::seed_from(9);
+        for _ in 0..1000 {
+            assert!(rng.next_below(7) < 7);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn next_below_zero_panics() {
+        Rng::seed_from(0).next_below(0);
+    }
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut rng = Rng::seed_from(77);
+        let n = 50_000;
+        let samples: Vec<f32> = (0..n).map(|_| rng.next_normal()).collect();
+        let mean = samples.iter().sum::<f32>() / n as f32;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn fork_decorrelates() {
+        let mut parent = Rng::seed_from(5);
+        let mut child = parent.fork();
+        // Streams should not be identical.
+        let p: Vec<u64> = (0..8).map(|_| parent.next_u64()).collect();
+        let c: Vec<u64> = (0..8).map(|_| child.next_u64()).collect();
+        assert_ne!(p, c);
+    }
+}

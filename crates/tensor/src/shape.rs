@@ -1,0 +1,214 @@
+//! N-dimensional shapes and row-major stride arithmetic.
+
+use crate::{Result, TensorError};
+
+/// An N-dimensional tensor shape.
+///
+/// Shapes are stored as a list of dimension extents and interpreted
+/// row-major (the last dimension is contiguous). A rank-0 shape is a scalar
+/// with volume 1.
+///
+/// # Example
+///
+/// ```
+/// use tensor::Shape;
+///
+/// let s = Shape::new(&[2, 3, 4]);
+/// assert_eq!(s.volume(), 24);
+/// assert_eq!(s.strides(), vec![12, 4, 1]);
+/// assert_eq!(s.linear_index(&[1, 2, 3]), 23);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from dimension extents.
+    pub fn new(dims: &[usize]) -> Self {
+        Shape { dims: dims.to_vec() }
+    }
+
+    /// Creates a scalar (rank-0) shape.
+    pub fn scalar() -> Self {
+        Shape { dims: Vec::new() }
+    }
+
+    /// The dimension extents.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements.
+    pub fn volume(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Extent of dimension `axis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis >= rank()`.
+    pub fn dim(&self, axis: usize) -> usize {
+        self.dims[axis]
+    }
+
+    /// Row-major strides (in elements) of each dimension.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1; self.dims.len()];
+        for i in (0..self.dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.dims[i + 1];
+        }
+        strides
+    }
+
+    /// Flattens a multi-index into a linear (row-major) offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` has the wrong rank or any coordinate is out of
+    /// bounds (debug assertions).
+    pub fn linear_index(&self, index: &[usize]) -> usize {
+        debug_assert_eq!(index.len(), self.dims.len(), "index rank mismatch");
+        let mut offset = 0;
+        let mut stride = 1;
+        for axis in (0..self.dims.len()).rev() {
+            debug_assert!(index[axis] < self.dims[axis], "index out of bounds");
+            offset += index[axis] * stride;
+            stride *= self.dims[axis];
+        }
+        offset
+    }
+
+    /// Checks this shape has exactly `rank` dimensions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] otherwise.
+    pub fn expect_rank(&self, rank: usize) -> Result<()> {
+        if self.rank() == rank {
+            Ok(())
+        } else {
+            Err(TensorError::RankMismatch { expected: rank, actual: self.rank() })
+        }
+    }
+
+    /// Checks two shapes are identical.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] otherwise.
+    pub fn expect_same(&self, other: &Shape) -> Result<()> {
+        if self == other {
+            Ok(())
+        } else {
+            Err(TensorError::ShapeMismatch {
+                left: self.dims.clone(),
+                right: other.dims.clone(),
+            })
+        }
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape { dims }
+    }
+}
+
+impl std::fmt::Display for Shape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, "x")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volume_and_rank() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.volume(), 24);
+        assert_eq!(s.rank(), 3);
+        assert_eq!(s.dim(1), 3);
+    }
+
+    #[test]
+    fn scalar_shape() {
+        let s = Shape::scalar();
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.volume(), 1);
+        assert_eq!(s.linear_index(&[]), 0);
+    }
+
+    #[test]
+    fn strides_row_major() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+    }
+
+    #[test]
+    fn linear_index_roundtrip() {
+        let s = Shape::new(&[3, 5, 7]);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..3 {
+            for j in 0..5 {
+                for k in 0..7 {
+                    let lin = s.linear_index(&[i, j, k]);
+                    assert!(lin < s.volume());
+                    assert!(seen.insert(lin), "duplicate linear index");
+                }
+            }
+        }
+        assert_eq!(seen.len(), s.volume());
+    }
+
+    #[test]
+    fn expect_rank_errors() {
+        let s = Shape::new(&[2, 2]);
+        assert!(s.expect_rank(2).is_ok());
+        assert!(matches!(
+            s.expect_rank(3),
+            Err(TensorError::RankMismatch { expected: 3, actual: 2 })
+        ));
+    }
+
+    #[test]
+    fn expect_same_errors() {
+        let a = Shape::new(&[2, 2]);
+        let b = Shape::new(&[2, 3]);
+        assert!(a.expect_same(&a.clone()).is_ok());
+        assert!(a.expect_same(&b).is_err());
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Shape::new(&[2, 3]).to_string(), "[2x3]");
+        assert_eq!(Shape::scalar().to_string(), "[]");
+    }
+
+    #[test]
+    fn zero_dim_volume() {
+        let s = Shape::new(&[2, 0, 4]);
+        assert_eq!(s.volume(), 0);
+    }
+}

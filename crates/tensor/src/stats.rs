@@ -1,0 +1,129 @@
+//! Statistics underpinning the paper's §II-B / §III analyses.
+//!
+//! * [`cosine_similarity`] — the similarity metric of Fig. 3.
+//! * [`value_range`] — the max−min range of Fig. 4.
+//! * [`mean`], [`variance`] — used by proxy quality metrics.
+
+use crate::Tensor;
+
+/// Cosine similarity between two equal-length slices, in `[-1, 1]`.
+///
+/// Returns `1.0` when both vectors are all-zero (identical), and `0.0` when
+/// exactly one is all-zero, mirroring the "no information" convention used
+/// in the paper's similarity heat maps.
+pub fn cosine_similarity(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "cosine similarity requires equal lengths");
+    let mut dot = 0.0f64;
+    let mut na = 0.0f64;
+    let mut nb = 0.0f64;
+    for (&x, &y) in a.iter().zip(b) {
+        dot += x as f64 * y as f64;
+        na += x as f64 * x as f64;
+        nb += y as f64 * y as f64;
+    }
+    if na == 0.0 && nb == 0.0 {
+        return 1.0;
+    }
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    (dot / (na.sqrt() * nb.sqrt())) as f32
+}
+
+/// Cosine similarity between two tensors' flattened data.
+pub fn tensor_cosine(a: &Tensor, b: &Tensor) -> f32 {
+    cosine_similarity(a.as_slice(), b.as_slice())
+}
+
+/// Value range (`max − min`) of a slice; `0.0` for empty input.
+pub fn value_range(data: &[f32]) -> f32 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    let mut min = f32::INFINITY;
+    let mut max = f32::NEG_INFINITY;
+    for &v in data {
+        min = min.min(v);
+        max = max.max(v);
+    }
+    max - min
+}
+
+/// Arithmetic mean; `0.0` for empty input.
+pub fn mean(data: &[f32]) -> f32 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    data.iter().sum::<f32>() / data.len() as f32
+}
+
+/// Population variance; `0.0` for empty input.
+pub fn variance(data: &[f32]) -> f32 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    let m = mean(data);
+    data.iter().map(|&v| (v - m) * (v - m)).sum::<f32>() / data.len() as f32
+}
+
+/// Maximum absolute value; `0.0` for empty input.
+pub fn abs_max(data: &[f32]) -> f32 {
+    data.iter().fold(0.0f32, |acc, &v| acc.max(v.abs()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cosine_identical_is_one() {
+        let v = [1.0, 2.0, 3.0];
+        assert!((cosine_similarity(&v, &v) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_opposite_is_minus_one() {
+        let a = [1.0, -2.0];
+        let b = [-1.0, 2.0];
+        assert!((cosine_similarity(&a, &b) + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_orthogonal_is_zero() {
+        let a = [1.0, 0.0];
+        let b = [0.0, 5.0];
+        assert!(cosine_similarity(&a, &b).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_zero_conventions() {
+        let z = [0.0, 0.0];
+        let v = [1.0, 1.0];
+        assert_eq!(cosine_similarity(&z, &z), 1.0);
+        assert_eq!(cosine_similarity(&z, &v), 0.0);
+    }
+
+    #[test]
+    fn range_mean_variance() {
+        let d = [1.0, 3.0, 5.0];
+        assert_eq!(value_range(&d), 4.0);
+        assert_eq!(mean(&d), 3.0);
+        assert!((variance(&d) - 8.0 / 3.0).abs() < 1e-6);
+        assert_eq!(value_range(&[]), 0.0);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+    }
+
+    #[test]
+    fn abs_max_works() {
+        assert_eq!(abs_max(&[-3.0, 2.0]), 3.0);
+        assert_eq!(abs_max(&[]), 0.0);
+    }
+
+    #[test]
+    fn tensor_cosine_matches_slice() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        let b = Tensor::from_vec(vec![2.0, 4.0], &[2]).unwrap();
+        assert!((tensor_cosine(&a, &b) - 1.0).abs() < 1e-6);
+    }
+}

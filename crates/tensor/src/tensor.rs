@@ -1,0 +1,338 @@
+//! Dense row-major `f32` tensors.
+
+use crate::rng::Rng;
+use crate::{Result, Shape, TensorError};
+
+/// A dense, row-major tensor of `f32` values.
+///
+/// `Tensor` is the universal currency of the diffusion framework: layer
+/// inputs, outputs, weights and activation traces are all `Tensor`s. It is
+/// deliberately simple — owned contiguous storage, explicit shape — because
+/// the reproduction favours determinism and auditability over peak
+/// performance.
+///
+/// # Example
+///
+/// ```
+/// use tensor::Tensor;
+///
+/// let t = Tensor::zeros(&[2, 3]);
+/// assert_eq!(t.len(), 6);
+/// assert_eq!(t.shape().dims(), &[2, 3]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor from a data vector and a shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if `data.len()` does not equal
+    /// the shape volume.
+    pub fn from_vec(data: Vec<f32>, dims: &[usize]) -> Result<Self> {
+        let shape = Shape::new(dims);
+        if data.len() != shape.volume() {
+            return Err(TensorError::LengthMismatch {
+                expected: shape.volume(),
+                actual: data.len(),
+            });
+        }
+        Ok(Tensor { shape, data })
+    }
+
+    /// Creates a tensor of zeros.
+    pub fn zeros(dims: &[usize]) -> Self {
+        let shape = Shape::new(dims);
+        let data = vec![0.0; shape.volume()];
+        Tensor { shape, data }
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn full(dims: &[usize], value: f32) -> Self {
+        let shape = Shape::new(dims);
+        let data = vec![value; shape.volume()];
+        Tensor { shape, data }
+    }
+
+    /// Creates the `n`×`n` identity matrix.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Tensor::zeros(&[n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// Creates a tensor of i.i.d. standard-normal samples from `rng`.
+    pub fn randn(dims: &[usize], rng: &mut Rng) -> Self {
+        let shape = Shape::new(dims);
+        let data = (0..shape.volume()).map(|_| rng.next_normal()).collect();
+        Tensor { shape, data }
+    }
+
+    /// Creates a tensor of uniform samples in `[lo, hi)` from `rng`.
+    pub fn rand_uniform(dims: &[usize], lo: f32, hi: f32, rng: &mut Rng) -> Self {
+        let shape = Shape::new(dims);
+        let data = (0..shape.volume())
+            .map(|_| lo + (hi - lo) * rng.next_f32())
+            .collect();
+        Tensor { shape, data }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Dimension extents (shorthand for `shape().dims()`).
+    pub fn dims(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrow the underlying data, row-major.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutably borrow the underlying data, row-major.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consume the tensor and return its data vector.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element at a multi-index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index rank or coordinates are out of bounds.
+    pub fn at(&self, index: &[usize]) -> f32 {
+        self.data[self.shape.linear_index(index)]
+    }
+
+    /// Sets the element at a multi-index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index rank or coordinates are out of bounds.
+    pub fn set(&mut self, index: &[usize], value: f32) {
+        let i = self.shape.linear_index(index);
+        self.data[i] = value;
+    }
+
+    /// Returns a tensor with the same data and a new shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if the new shape's volume
+    /// differs from the element count.
+    pub fn reshape(&self, dims: &[usize]) -> Result<Tensor> {
+        let new_shape = Shape::new(dims);
+        if new_shape.volume() != self.len() {
+            return Err(TensorError::LengthMismatch {
+                expected: new_shape.volume(),
+                actual: self.len(),
+            });
+        }
+        Ok(Tensor { shape: new_shape, data: self.data.clone() })
+    }
+
+    /// Applies `f` to every element, returning a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().copied().map(f).collect(),
+        }
+    }
+
+    /// Combines two same-shaped tensors element-wise with `f`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn zip_with(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Result<Tensor> {
+        self.shape.expect_same(&other.shape)?;
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Ok(Tensor { shape: self.shape.clone(), data })
+    }
+
+    /// 2-D transpose.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] if the tensor is not rank 2.
+    pub fn transpose(&self) -> Result<Tensor> {
+        self.shape.expect_rank(2)?;
+        let (rows, cols) = (self.shape.dim(0), self.shape.dim(1));
+        let mut out = Tensor::zeros(&[cols, rows]);
+        for r in 0..rows {
+            for c in 0..cols {
+                out.data[c * rows + r] = self.data[r * cols + c];
+            }
+        }
+        Ok(out)
+    }
+
+    /// View of row `r` of a rank-2 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2 or `r` is out of bounds.
+    pub fn row(&self, r: usize) -> &[f32] {
+        assert_eq!(self.shape.rank(), 2, "row() requires a rank-2 tensor");
+        let cols = self.shape.dim(1);
+        &self.data[r * cols..(r + 1) * cols]
+    }
+
+    /// Concatenates tensors along axis 0. All inputs must agree on the
+    /// remaining dimensions.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `parts` is empty or trailing dimensions disagree.
+    pub fn concat0(parts: &[&Tensor]) -> Result<Tensor> {
+        let first = parts
+            .first()
+            .ok_or_else(|| TensorError::InvalidArgument("concat of zero tensors".into()))?;
+        let tail = &first.dims()[1..];
+        let mut rows = 0;
+        for p in parts {
+            if &p.dims()[1..] != tail {
+                return Err(TensorError::ShapeMismatch {
+                    left: first.dims().to_vec(),
+                    right: p.dims().to_vec(),
+                });
+            }
+            rows += p.dims()[0];
+        }
+        let mut dims = vec![rows];
+        dims.extend_from_slice(tail);
+        let mut data = Vec::with_capacity(Shape::new(&dims).volume());
+        for p in parts {
+            data.extend_from_slice(p.as_slice());
+        }
+        Ok(Tensor { shape: Shape::new(&dims), data })
+    }
+}
+
+impl Default for Tensor {
+    /// An empty scalar-shaped tensor is not useful; default is a `[0]` vector.
+    fn default() -> Self {
+        Tensor::zeros(&[0])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_checks_length() {
+        assert!(Tensor::from_vec(vec![1.0; 6], &[2, 3]).is_ok());
+        assert!(matches!(
+            Tensor::from_vec(vec![1.0; 5], &[2, 3]),
+            Err(TensorError::LengthMismatch { expected: 6, actual: 5 })
+        ));
+    }
+
+    #[test]
+    fn zeros_full_eye() {
+        assert!(Tensor::zeros(&[3]).as_slice().iter().all(|&x| x == 0.0));
+        assert!(Tensor::full(&[3], 2.5).as_slice().iter().all(|&x| x == 2.5));
+        let eye = Tensor::eye(3);
+        assert_eq!(eye.at(&[0, 0]), 1.0);
+        assert_eq!(eye.at(&[0, 1]), 0.0);
+        assert_eq!(eye.at(&[2, 2]), 1.0);
+    }
+
+    #[test]
+    fn randn_is_deterministic() {
+        let mut r1 = Rng::seed_from(42);
+        let mut r2 = Rng::seed_from(42);
+        let a = Tensor::randn(&[16], &mut r1);
+        let b = Tensor::randn(&[16], &mut r2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rand_uniform_in_range() {
+        let mut rng = Rng::seed_from(7);
+        let t = Tensor::rand_uniform(&[100], -2.0, 3.0, &mut rng);
+        assert!(t.as_slice().iter().all(|&x| (-2.0..3.0).contains(&x)));
+    }
+
+    #[test]
+    fn at_and_set() {
+        let mut t = Tensor::zeros(&[2, 3]);
+        t.set(&[1, 2], 9.0);
+        assert_eq!(t.at(&[1, 2]), 9.0);
+        assert_eq!(t.as_slice()[5], 9.0);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec((0..6).map(|x| x as f32).collect(), &[2, 3]).unwrap();
+        let r = t.reshape(&[3, 2]).unwrap();
+        assert_eq!(r.as_slice(), t.as_slice());
+        assert!(t.reshape(&[4, 2]).is_err());
+    }
+
+    #[test]
+    fn map_and_zip_with() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        let b = Tensor::from_vec(vec![10.0, 20.0], &[2]).unwrap();
+        assert_eq!(a.map(|x| x * 2.0).as_slice(), &[2.0, 4.0]);
+        assert_eq!(a.zip_with(&b, |x, y| x + y).unwrap().as_slice(), &[11.0, 22.0]);
+        let c = Tensor::zeros(&[3]);
+        assert!(a.zip_with(&c, |x, _| x).is_err());
+    }
+
+    #[test]
+    fn transpose_rank2() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let tt = t.transpose().unwrap();
+        assert_eq!(tt.dims(), &[3, 2]);
+        assert_eq!(tt.at(&[2, 1]), t.at(&[1, 2]));
+        assert!(Tensor::zeros(&[2, 2, 2]).transpose().is_err());
+    }
+
+    #[test]
+    fn row_view() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        assert_eq!(t.row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn concat0_works() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[1, 2]).unwrap();
+        let b = Tensor::from_vec(vec![3.0, 4.0, 5.0, 6.0], &[2, 2]).unwrap();
+        let c = Tensor::concat0(&[&a, &b]).unwrap();
+        assert_eq!(c.dims(), &[3, 2]);
+        assert_eq!(c.as_slice(), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let bad = Tensor::zeros(&[1, 3]);
+        assert!(Tensor::concat0(&[&a, &bad]).is_err());
+        assert!(Tensor::concat0(&[]).is_err());
+    }
+}

@@ -1,0 +1,136 @@
+//! Property-based tests for the tensor substrate.
+//!
+//! The central property — distributivity of linear kernels over operand
+//! sums — is the algebraic foundation of the Ditto algorithm (§IV-A), so it
+//! is exercised here on randomized shapes and values.
+
+use proptest::prelude::*;
+use tensor::ops::{self, Conv2dParams};
+use tensor::{stats, Rng, Tensor};
+
+fn approx_eq(a: &Tensor, b: &Tensor, tol: f32) -> bool {
+    a.dims() == b.dims()
+        && a.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .all(|(&x, &y)| (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())))
+}
+
+fn small_vals(n: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-8.0f32..8.0, n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// (X + D) · W == X·W + D·W — the Ditto distributive identity.
+    #[test]
+    fn matmul_distributes_over_addition(
+        m in 1usize..5, k in 1usize..5, n in 1usize..5, seed in 0u64..1000
+    ) {
+        let mut rng = Rng::seed_from(seed);
+        let x = Tensor::randn(&[m, k], &mut rng);
+        let d = Tensor::randn(&[m, k], &mut rng);
+        let w = Tensor::randn(&[k, n], &mut rng);
+        let sum = ops::add(&x, &d).unwrap();
+        let lhs = ops::matmul(&sum, &w).unwrap();
+        let rhs = ops::add(
+            &ops::matmul(&x, &w).unwrap(),
+            &ops::matmul(&d, &w).unwrap(),
+        ).unwrap();
+        prop_assert!(approx_eq(&lhs, &rhs, 1e-4));
+    }
+
+    /// conv2d(x + d) == conv2d(x) + conv2d(d) when bias is folded once.
+    #[test]
+    fn conv_distributes_over_addition(c_in in 1usize..3, hw in 2usize..6, seed in 0u64..1000) {
+        let mut rng = Rng::seed_from(seed);
+        let x = Tensor::randn(&[c_in, hw, hw], &mut rng);
+        let d = Tensor::randn(&[c_in, hw, hw], &mut rng);
+        let w = Tensor::randn(&[2, c_in, 3, 3], &mut rng);
+        let p = Conv2dParams::same3x3();
+        let sum = ops::add(&x, &d).unwrap();
+        let lhs = ops::conv2d(&sum, &w, None, p).unwrap();
+        let rhs = ops::add(
+            &ops::conv2d(&x, &w, None, p).unwrap(),
+            &ops::conv2d(&d, &w, None, p).unwrap(),
+        ).unwrap();
+        prop_assert!(approx_eq(&lhs, &rhs, 1e-3));
+    }
+
+    /// Matmul is associative with the identity and respects transposition:
+    /// (A·B)^T == B^T · A^T.
+    #[test]
+    fn matmul_transpose_identity(m in 1usize..4, k in 1usize..4, n in 1usize..4, seed in 0u64..500) {
+        let mut rng = Rng::seed_from(seed);
+        let a = Tensor::randn(&[m, k], &mut rng);
+        let b = Tensor::randn(&[k, n], &mut rng);
+        let ab_t = ops::matmul(&a, &b).unwrap().transpose().unwrap();
+        let bt_at = ops::matmul(&b.transpose().unwrap(), &a.transpose().unwrap()).unwrap();
+        prop_assert!(approx_eq(&ab_t, &bt_at, 1e-4));
+    }
+
+    /// im2col + matmul equals direct convolution.
+    #[test]
+    fn im2col_equals_direct(c_in in 1usize..3, hw in 3usize..6, c_out in 1usize..3, seed in 0u64..500) {
+        let mut rng = Rng::seed_from(seed);
+        let x = Tensor::randn(&[c_in, hw, hw], &mut rng);
+        let w = Tensor::randn(&[c_out, c_in, 3, 3], &mut rng);
+        let p = Conv2dParams::same3x3();
+        let direct = ops::conv2d(&x, &w, None, p).unwrap();
+        let cols = ops::im2col(&x, p).unwrap();
+        let wmat = w.reshape(&[c_out, c_in * 9]).unwrap().transpose().unwrap();
+        let gemm = ops::matmul(&cols, &wmat).unwrap();
+        for co in 0..c_out {
+            for pix in 0..hw * hw {
+                let dv = direct.as_slice()[co * hw * hw + pix];
+                let gv = gemm.as_slice()[pix * c_out + co];
+                prop_assert!((dv - gv).abs() < 1e-3 * (1.0 + dv.abs()));
+            }
+        }
+    }
+
+    /// Cosine similarity is symmetric, bounded, and scale-invariant.
+    #[test]
+    fn cosine_properties(v in small_vals(16), scale in 0.1f32..10.0) {
+        let w: Vec<f32> = v.iter().map(|&x| x * scale).collect();
+        let sim_self = stats::cosine_similarity(&v, &w);
+        prop_assert!(sim_self >= 0.999 || v.iter().all(|&x| x == 0.0));
+        let u: Vec<f32> = v.iter().rev().copied().collect();
+        let s1 = stats::cosine_similarity(&v, &u);
+        let s2 = stats::cosine_similarity(&u, &v);
+        prop_assert!((s1 - s2).abs() < 1e-6);
+        prop_assert!((-1.0001..=1.0001).contains(&s1));
+    }
+
+    /// Softmax rows always sum to 1 and are positive.
+    #[test]
+    fn softmax_rows_are_distributions(rows in 1usize..4, cols in 1usize..8, seed in 0u64..500) {
+        let mut rng = Rng::seed_from(seed);
+        let x = Tensor::randn(&[rows, cols], &mut rng).map(|v| v * 10.0);
+        let y = ops::softmax_rows(&x).unwrap();
+        for r in 0..rows {
+            let s: f32 = y.row(r).iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-4);
+            prop_assert!(y.row(r).iter().all(|&p| p >= 0.0));
+        }
+    }
+
+    /// Group norm output has ~zero mean / ~unit variance per group with
+    /// identity affine parameters.
+    #[test]
+    fn group_norm_standardizes(groups in 1usize..3, seed in 0u64..200) {
+        let c = groups * 2;
+        let mut rng = Rng::seed_from(seed);
+        let x = Tensor::randn(&[c, 4, 4], &mut rng).map(|v| v * 3.0 + 1.0);
+        let gamma = Tensor::full(&[c], 1.0);
+        let beta = Tensor::zeros(&[c]);
+        let y = ops::group_norm(&x, groups, &gamma, &beta, 1e-5).unwrap();
+        let per = (c / groups) * 16;
+        for g in 0..groups {
+            let s = &y.as_slice()[g * per..(g + 1) * per];
+            prop_assert!(stats::mean(s).abs() < 1e-3);
+            prop_assert!((stats::variance(s) - 1.0).abs() < 0.05);
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Accelerator design-space comparison on one workload.
+//!
+//! Traces the DiT benchmark once, then simulates every hardware design of
+//! the paper — GPU, ITC, Diffy, Cambricon-D, Ditto, Ditto+, the Fig. 16
+//! ablations and the oracle designs — printing speedup, energy, memory
+//! traffic and cycle breakdowns side by side.
+//!
+//! ```bash
+//! cargo run --release --example accelerator_comparison [DDPM|BED|CHUR|IMG|SDM|DiT|Latte]
+//! ```
+
+use accel::design::Design;
+use accel::gpu::simulate_gpu;
+use accel::sim::simulate;
+use diffusion::{DiffusionModel, ModelKind, ModelScale};
+use ditto_core::runner::{trace_model, ExecPolicy};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let pick = std::env::args().nth(1).unwrap_or_else(|| "DiT".to_string());
+    let kind = ModelKind::all()
+        .into_iter()
+        .find(|k| k.abbr().eq_ignore_ascii_case(&pick))
+        .ok_or("unknown model abbreviation")?;
+    let model = DiffusionModel::build(kind, ModelScale::Small, 42);
+    println!("tracing {} ({} steps)...", kind.abbr(), model.steps);
+    let (trace, _) = trace_model(&model, 0, ExecPolicy::Dense)?;
+
+    let itc = simulate(&Design::itc(), &trace);
+    println!(
+        "\n{:<28} {:>8} {:>8} {:>10} {:>10} {:>8}",
+        "design", "speedup", "energy", "compute", "stall", "mem"
+    );
+    let gpu = simulate_gpu(&trace);
+    println!(
+        "{:<28} {:>8.2} {:>8.2} {:>10.0} {:>10.0} {:>7.2}x",
+        gpu.design,
+        gpu.speedup_over(&itc),
+        gpu.relative_energy(&itc),
+        gpu.compute_cycles,
+        gpu.stall_cycles,
+        gpu.total_bytes / itc.total_bytes
+    );
+    let mut designs = vec![Design::itc(), Design::diffy(), Design::cambricon_d()];
+    designs.extend(Design::fig16_set());
+    designs.push(Design::ideal_ditto());
+    designs.push(Design::dynamic_ditto());
+    for d in designs {
+        let r = simulate(&d, &trace);
+        print!(
+            "{:<28} {:>8.2} {:>8.2} {:>10.0} {:>10.0} {:>7.2}x",
+            r.design,
+            r.speedup_over(&itc),
+            r.relative_energy(&itc),
+            r.compute_cycles,
+            r.stall_cycles,
+            r.total_bytes / itc.total_bytes
+        );
+        if let Some(defo) = r.defo {
+            print!(
+                "   (Defo: changed {:.0}%, accuracy {:.0}%)",
+                defo.changed_ratio * 100.0,
+                defo.accuracy * 100.0
+            );
+        }
+        println!();
+    }
+    Ok(())
+}

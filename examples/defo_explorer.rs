@@ -1,0 +1,73 @@
+//! Defo explorer: inspect the execution-flow optimizer layer by layer.
+//!
+//! Shows Defo's two halves on the BED benchmark: the *static* computing-
+//! graph analysis (which layers need difference calculation / summation and
+//! which non-linear functions sit at their boundaries), and the *runtime*
+//! step-2 decision (which layers are changed back to original-activation
+//! execution because temporal difference processing would be
+//! memory-bound).
+//!
+//! ```bash
+//! cargo run --release --example defo_explorer
+//! ```
+
+use accel::design::Design;
+use accel::sim::simulate;
+use diffusion::{DiffusionModel, ModelKind, ModelScale};
+use ditto_core::defo::analyze;
+use ditto_core::runner::{trace_model, ExecPolicy};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = DiffusionModel::build(ModelKind::Bed, ModelScale::Small, 42);
+
+    // Static half: dependency analysis on the computing graph (§IV-B).
+    let defo = analyze(&model.graph);
+    println!("static analysis of {} linear layers:", defo.boundaries.len());
+    println!("{:<22} {:>9} {:>9}  boundaries", "layer", "diff-calc", "summation");
+    for b in &defo.boundaries {
+        let node = model.graph.node(b.node);
+        let mut kinds: Vec<&str> = b
+            .in_boundary
+            .iter()
+            .chain(&b.out_boundary)
+            .map(String::as_str)
+            .collect();
+        kinds.dedup();
+        println!(
+            "{:<22} {:>9} {:>9}  {}",
+            node.name,
+            if b.needs_diff_calc { "yes" } else { "-" },
+            if b.needs_summation { "yes" } else { "-" },
+            kinds.join(",")
+        );
+    }
+    let bypassed = defo
+        .boundaries
+        .iter()
+        .filter(|b| !b.needs_diff_calc || !b.needs_summation)
+        .count();
+    println!(
+        "\n{} of {} layers have at least one boundary bypassed by the dependency check",
+        bypassed,
+        defo.boundaries.len()
+    );
+
+    // Runtime half: trace the workload and watch the step-2 decision.
+    println!("\ntracing workload ({} steps)...", model.steps);
+    let (trace, _) = trace_model(&model, 0, ExecPolicy::Dense)?;
+    let ditto = simulate(&Design::ditto(), &trace);
+    let ideal = simulate(&Design::ideal_ditto(), &trace);
+    let report = ditto.defo.expect("Defo active");
+    println!(
+        "Defo changed {:.1}% of layers back to original-activation execution ({:.1}% accuracy vs oracle)",
+        report.changed_ratio * 100.0,
+        report.accuracy * 100.0
+    );
+    println!(
+        "cycles: Ditto {:.0} vs Ideal {:.0} -> {:.1}% of the oracle flow",
+        ditto.cycles,
+        ideal.cycles,
+        100.0 * ideal.cycles / ditto.cycles
+    );
+    Ok(())
+}

@@ -1,0 +1,6 @@
+//! Umbrella crate re-exporting the Ditto reproduction public API.
+pub use accel;
+pub use diffusion;
+pub use ditto_core;
+pub use quant;
+pub use tensor;

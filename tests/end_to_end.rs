@@ -1,0 +1,87 @@
+//! Cross-crate integration: model zoo → Ditto runner → analyses →
+//! hardware simulator, at `ModelScale::Tiny` for test speed.
+
+use accel::design::Design;
+use accel::gpu::simulate_gpu;
+use accel::sim::simulate;
+use diffusion::{DiffusionModel, ModelKind, ModelScale};
+use ditto_core::analysis;
+use ditto_core::runner::{trace_model, ExecPolicy};
+use ditto_core::trace::StatView;
+
+fn tiny(kind: ModelKind) -> DiffusionModel {
+    DiffusionModel::build(kind, ModelScale::Tiny, 4242)
+}
+
+#[test]
+fn every_benchmark_traces_and_simulates() {
+    for kind in ModelKind::all() {
+        let model = tiny(kind);
+        let (trace, sample) = trace_model(&model, 1, ExecPolicy::Dense).expect("trace");
+        assert_eq!(sample.dims(), &model.latent_dims[..], "{kind:?}");
+        assert!(sample.as_slice().iter().all(|v| v.is_finite()), "{kind:?}");
+        assert_eq!(trace.step_count(), model.model_calls(), "{kind:?}");
+        assert!(trace.macs_per_step() > 0);
+        // Every design must produce a well-formed result.
+        for design in [
+            Design::itc(),
+            Design::diffy(),
+            Design::cambricon_d(),
+            Design::ditto(),
+            Design::ditto_plus(),
+            Design::ideal_ditto(),
+            Design::dynamic_ditto(),
+        ] {
+            let r = simulate(&design, &trace);
+            assert!(r.cycles > 0.0, "{kind:?}/{}", r.design);
+            assert!(r.energy.total() > 0.0, "{kind:?}/{}", r.design);
+            assert!(r.cycles >= r.compute_cycles, "{kind:?}/{}", r.design);
+        }
+        let gpu = simulate_gpu(&trace);
+        assert!(gpu.cycles > 0.0);
+    }
+}
+
+#[test]
+fn analyses_are_internally_consistent() {
+    for kind in [ModelKind::Ddpm, ModelKind::Sdm, ModelKind::Latte] {
+        let model = tiny(kind);
+        let (trace, _) = trace_model(&model, 2, ExecPolicy::Dense).expect("trace");
+        // BOPs: dense is an upper bound for difference views; temporal
+        // first step equals dense per-layer.
+        let dense = analysis::dense_bops(&trace);
+        assert_eq!(analysis::total_bops(&trace, StatView::Activation), dense);
+        assert!(analysis::total_bops(&trace, StatView::Temporal) <= dense);
+        // Histogram partitions.
+        for view in [StatView::Activation, StatView::Spatial, StatView::Temporal] {
+            let b = analysis::bitwidth_breakdown(&trace, view);
+            assert!((b.zero + b.low4 + b.over4 - 1.0).abs() < 1e-9, "{kind:?} {view:?}");
+        }
+        // Memory overhead ordering: naive ≥ defo ≥ 1.
+        let naive = analysis::naive_temporal_memory_ratio(&trace);
+        let defo = analysis::defo_temporal_memory_ratio(&trace);
+        assert!(naive >= defo && defo >= 1.0, "{kind:?}: {naive} vs {defo}");
+    }
+}
+
+#[test]
+fn ideal_defo_bounds_all_policies() {
+    let model = tiny(ModelKind::Bed);
+    let (trace, _) = trace_model(&model, 3, ExecPolicy::Dense).expect("trace");
+    let ideal = simulate(&Design::ideal_ditto(), &trace).cycles;
+    for design in [Design::ditto(), Design::dynamic_ditto()] {
+        let c = simulate(&design, &trace).cycles;
+        assert!(ideal <= c + 1e-6, "{}: ideal {ideal} vs {c}", design.name);
+    }
+}
+
+#[test]
+fn umbrella_crate_reexports_work() {
+    // The root crate exposes the full public API.
+    let _ = ditto_repro::diffusion::ModelKind::all();
+    let _ = ditto_repro::accel::HwConfig::table3();
+    let h = ditto_repro::quant::BitWidthHistogram::from_deltas(&[0, 1, 100]);
+    assert_eq!(h.total(), 3);
+    let t = ditto_repro::tensor::Tensor::zeros(&[2, 2]);
+    assert_eq!(t.len(), 4);
+}

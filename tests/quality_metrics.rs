@@ -1,0 +1,47 @@
+//! Table II pipeline integration: proxy quality metrics on real
+//! FP32-vs-Ditto sample sets.
+
+use diffusion::{metrics, DiffusionModel, ModelKind, ModelScale, NullHook};
+use ditto_core::runner::{build_quantizer, DittoHook, ExecPolicy};
+
+#[test]
+fn ditto_quality_sits_near_the_reseed_floor() {
+    // Generate small FP32 and Ditto sample sets and check the relative
+    // claim of Table II: quantized-Ditto degradation is comparable to the
+    // spread between independent FP32 sample sets.
+    let model = DiffusionModel::build(ModelKind::Ddpm, ModelScale::Tiny, 5);
+    let quantizer = build_quantizer(&model, 50).unwrap();
+    let mut fp32 = Vec::new();
+    let mut ditto = Vec::new();
+    let mut reseed = Vec::new();
+    for s in 0..4u64 {
+        fp32.push(model.run_reverse(50 + s, &mut NullHook).unwrap());
+        let mut hook = DittoHook::new(&model, quantizer.clone(), ExecPolicy::Dense);
+        ditto.push(model.run_reverse(50 + s, &mut hook).unwrap());
+        reseed.push(model.run_reverse(90 + s, &mut NullHook).unwrap());
+    }
+    let fid_ditto = metrics::pseudo_fid(&fp32, &ditto, 3);
+    let fid_floor = metrics::pseudo_fid(&fp32, &reseed, 3);
+    assert!(
+        fid_ditto <= fid_floor * 2.0 + 0.05,
+        "Ditto pFID {fid_ditto} should sit near the reseed floor {fid_floor}"
+    );
+    // Inception proxies should be close between modes.
+    let is_fp = metrics::pseudo_is(&fp32, 3);
+    let is_dt = metrics::pseudo_is(&ditto, 3);
+    assert!((is_fp - is_dt).abs() / is_fp < 0.25, "{is_fp} vs {is_dt}");
+}
+
+#[test]
+fn conditional_model_clip_proxy_is_stable() {
+    let model = DiffusionModel::build(ModelKind::Img, ModelScale::Tiny, 6);
+    let (_, cond) = model.sample_inputs(10);
+    let cond = cond.expect("IMG is conditional");
+    let quantizer = build_quantizer(&model, 10).unwrap();
+    let fp32 = vec![model.run_reverse(10, &mut NullHook).unwrap()];
+    let mut hook = DittoHook::new(&model, quantizer, ExecPolicy::Dense);
+    let ditto = vec![model.run_reverse(10, &mut hook).unwrap()];
+    let cs_fp = metrics::pseudo_clip_score(&fp32, &cond, 9);
+    let cs_dt = metrics::pseudo_clip_score(&ditto, &cond, 9);
+    assert!((cs_fp - cs_dt).abs() < 0.1, "{cs_fp} vs {cs_dt}");
+}
