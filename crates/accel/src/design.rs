@@ -185,11 +185,7 @@ impl Design {
 
     /// Fig. 15 variant: original Cambricon-D (no attention differences).
     pub fn cambricon_d_original() -> Self {
-        Design {
-            name: "Org. Cam-D".into(),
-            attention_diff: false,
-            ..Self::cambricon_d()
-        }
+        Design { name: "Org. Cam-D".into(), attention_diff: false, ..Self::cambricon_d() }
     }
 
     /// Fig. 15 variant: Cambricon-D + attention differences.
@@ -229,13 +225,7 @@ impl Design {
     /// The Fig. 13 comparison set (hardware designs; the GPU is handled by
     /// [`crate::gpu`]).
     pub fn fig13_set() -> Vec<Design> {
-        vec![
-            Self::itc(),
-            Self::diffy(),
-            Self::cambricon_d(),
-            Self::ditto(),
-            Self::ditto_plus(),
-        ]
+        vec![Self::itc(), Self::diffy(), Self::cambricon_d(), Self::ditto(), Self::ditto_plus()]
     }
 
     /// The Fig. 16 ablation set.

@@ -50,11 +50,7 @@ impl EncodedStream {
     pub fn decode(&self, len: usize) -> Vec<i16> {
         let mut out = vec![0i16; len];
         for e in &self.entries {
-            let contribution = if e.shift {
-                (e.nibble as i16) << 4
-            } else {
-                e.nibble as i16
-            };
+            let contribution = if e.shift { (e.nibble as i16) << 4 } else { e.nibble as i16 };
             out[e.index] += contribution;
         }
         out
@@ -161,11 +157,8 @@ mod tests {
     fn roundtrip(current: &[i8], previous: &[i8]) {
         let enc = EncodingUnit::new().encode(current, previous);
         let decoded = enc.decode(current.len());
-        let expect: Vec<i16> = current
-            .iter()
-            .zip(previous)
-            .map(|(&c, &p)| c as i16 - p as i16)
-            .collect();
+        let expect: Vec<i16> =
+            current.iter().zip(previous).map(|(&c, &p)| c as i16 - p as i16).collect();
         assert_eq!(decoded, expect);
     }
 
@@ -225,11 +218,7 @@ mod tests {
     fn nibble_split_is_exact_for_all_i16_in_range() {
         for d in -254i16..=254 {
             let parts = EncodingUnit::nibbles(d);
-            let sum: i16 = parts
-                .iter()
-                .enumerate()
-                .map(|(i, &p)| (p as i16) << (4 * i))
-                .sum();
+            let sum: i16 = parts.iter().enumerate().map(|(i, &p)| (p as i16) << (4 * i)).sum();
             assert_eq!(sum, d, "nibble split of {d}");
             assert!(parts.iter().all(|&p| (-8..=7).contains(&p)));
         }

@@ -54,4 +54,4 @@ pub mod vpu;
 pub use config::HwConfig;
 pub use design::{DefoMode, Design};
 pub use energy::EnergyBreakdown;
-pub use sim::{simulate, DefoReport, ExecMode, RunResult};
+pub use sim::{simulate, simulate_designs, DefoReport, ExecMode, RunResult};

@@ -104,7 +104,8 @@ pub fn simulate_layer_pipeline(
     // Total issued slots and DRAM bytes, mirroring the analytic model.
     let (total_slots, extra_bytes, enc_elems): (f64, f64, f64) = match mode {
         ExecMode::Act => {
-            let slots = if design.hw.pe_a4w8 > 0 { 2.0 * meta.macs as f64 } else { meta.macs as f64 };
+            let slots =
+                if design.hw.pe_a4w8 > 0 { 2.0 * meta.macs as f64 } else { meta.macs as f64 };
             (slots, 0.0, 0.0)
         }
         ExecMode::Spatial => {
@@ -181,7 +182,8 @@ mod tests {
     fn skew_only_hurts() {
         let (meta, st) = layer_and_stats();
         let d = Design::ditto();
-        let base = simulate_layer_pipeline(&d, &meta, &st, ExecMode::Temporal, TileConfig::default());
+        let base =
+            simulate_layer_pipeline(&d, &meta, &st, ExecMode::Temporal, TileConfig::default());
         let mut prev = base.cycles;
         for skew in [0.25, 0.5, 0.75, 0.95] {
             let r = simulate_layer_pipeline(

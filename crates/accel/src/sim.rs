@@ -174,13 +174,7 @@ fn mode_cost(design: &Design, meta: &LayerMeta, st: &StepStats, mode: ExecMode) 
         }
         ExecMode::Spatial => {
             let (u4, m8) = issue_units(design, &st.spa);
-            (
-                u4 * meta.reuse as f64,
-                m8 * meta.reuse as f64,
-                meta.elems as f64,
-                0.0,
-                false,
-            )
+            (u4 * meta.reuse as f64, m8 * meta.reuse as f64, meta.elems as f64, 0.0, false)
         }
         ExecMode::Temporal => {
             let hists = st.temporal.as_ref().expect("temporal stats required");
@@ -228,9 +222,7 @@ fn mode_cost(design: &Design, meta: &LayerMeta, st: &StepStats, mode: ExecMode) 
 /// Whether temporal difference processing is available for this layer at
 /// this step under this design.
 fn temporal_ok(design: &Design, meta: &LayerMeta, st: &StepStats) -> bool {
-    design.temporal
-        && st.temporal.is_some()
-        && (!meta.kind.is_attention() || design.attention_diff)
+    design.temporal && st.temporal.is_some() && (!meta.kind.is_attention() || design.attention_diff)
 }
 
 /// Whether spatial difference processing is available for this layer.
@@ -286,7 +278,8 @@ pub fn simulate(design: &Design, trace: &WorkloadTrace) -> RunResult {
             let t_ok = temporal_ok(design, meta, st);
             // Candidate costs for oracle / ideal / decision logic.
             let fb_cost = mode_cost(design, meta, st, fb);
-            let t_cost = if t_ok { Some(mode_cost(design, meta, st, ExecMode::Temporal)) } else { None };
+            let t_cost =
+                if t_ok { Some(mode_cost(design, meta, st, ExecMode::Temporal)) } else { None };
             if s >= 2 {
                 oracle_fallback[l] += fb_cost.cycles();
                 oracle_temporal[l] += t_cost.map_or(fb_cost.cycles(), |c| c.cycles());
@@ -379,6 +372,70 @@ pub fn simulate(design: &Design, trace: &WorkloadTrace) -> RunResult {
     result
 }
 
+/// Simulates many designs over one traced workload concurrently.
+///
+/// This is the multi-design sweep entry point: every Table III design point
+/// is an independent, read-only pass over the trace, so the sweep fans out
+/// across `std::thread::available_parallelism()` worker threads pulling
+/// design indices from a shared counter. (The workspace builds without a
+/// crates registry, so the fan-out uses `std::thread::scope` rather than an
+/// external thread pool such as rayon.)
+///
+/// Results come back in `designs` order and are **bit-identical** to
+/// calling [`simulate`] sequentially: [`simulate`] is a pure function of
+/// `(design, trace)` — no shared mutable state, no RNG, no
+/// reduction-order-dependent float accumulation across designs — and each
+/// design's accumulation happens entirely on one thread.
+///
+/// # Example
+///
+/// ```
+/// use accel::design::Design;
+/// use accel::sim::{simulate, simulate_designs, synth};
+///
+/// let trace = synth::trace(4, 6, 100_000, 64, true);
+/// let designs = [Design::itc(), Design::ditto(), Design::ditto_plus()];
+/// let results = simulate_designs(&designs, &trace);
+/// assert_eq!(results.len(), 3);
+/// assert_eq!(results[1].cycles, simulate(&designs[1], &trace).cycles);
+/// ```
+pub fn simulate_designs(designs: &[Design], trace: &WorkloadTrace) -> Vec<RunResult> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc;
+
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(designs.len());
+    if workers <= 1 {
+        return designs.iter().map(|d| simulate(d, trace)).collect();
+    }
+
+    let mut slots: Vec<Option<RunResult>> = designs.iter().map(|_| None).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        let (tx, rx) = mpsc::channel();
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= designs.len() {
+                    break;
+                }
+                // A send only fails if the receiver is gone, which would
+                // mean the collection loop below panicked already.
+                let _ = tx.send((i, simulate(&designs[i], trace)));
+            });
+        }
+        drop(tx);
+        for (i, result) in rx {
+            slots[i] = Some(result);
+        }
+    });
+    slots.into_iter().map(|r| r.expect("every design index was simulated")).collect()
+}
+
 /// Synthetic paper-magnitude workload traces for deterministic simulator
 /// tests and benchmarks (real-model integration happens in `tests/` and
 /// the bench binaries at `ModelScale::Small`).
@@ -417,7 +474,13 @@ pub mod synth {
 
     /// A trace of `layers` copies of one conv layer over `steps` calls,
     /// with temporal deltas much narrower than activations.
-    pub fn trace(layers: usize, steps: usize, elems: u64, reuse: u64, covered: bool) -> WorkloadTrace {
+    pub fn trace(
+        layers: usize,
+        steps: usize,
+        elems: u64,
+        reuse: u64,
+        covered: bool,
+    ) -> WorkloadTrace {
         let metas: Vec<LayerMeta> = (0..layers)
             .map(|i| {
                 let mut m = conv_layer(&format!("conv.{i}"), elems, reuse, covered);
@@ -431,11 +494,7 @@ pub mod synth {
                 .map(|_| StepStats {
                     act: hist(elems, 0.10, 0.30, 0.60),
                     spa: hist(elems, 0.15, 0.40, 0.40),
-                    temporal: if s == 0 {
-                        None
-                    } else {
-                        Some(vec![hist(elems, 0.50, 0.45, 0.05)])
-                    },
+                    temporal: if s == 0 { None } else { Some(vec![hist(elems, 0.50, 0.45, 0.05)]) },
                 })
                 .collect();
             step_rows.push(row);

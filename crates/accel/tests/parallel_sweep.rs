@@ -1,0 +1,110 @@
+//! `simulate_designs` must be a drop-in parallel replacement for a loop of
+//! sequential `simulate` calls: same order, bit-identical numbers.
+
+use accel::design::Design;
+use accel::sim::{simulate, simulate_designs, synth, RunResult};
+
+/// Every public design constructor: the Fig. 13 comparison set, the
+/// Fig. 16 DS/DB ablations, the Fig. 15 cross-application variants, and
+/// the ideal / dynamic Defo policies.
+fn all_designs() -> Vec<Design> {
+    vec![
+        Design::itc(),
+        Design::diffy(),
+        Design::cambricon_d(),
+        Design::ditto(),
+        Design::ditto_plus(),
+        Design::ds(),
+        Design::db(),
+        Design::db_ds(),
+        Design::db_ds_attn(),
+        Design::ideal_ditto(),
+        Design::ideal_ditto_plus(),
+        Design::dynamic_ditto(),
+        Design::cambricon_d_original(),
+        Design::cambricon_d_attn(),
+        Design::cambricon_d_attn_defo(),
+        Design::cambricon_d_attn_defo_plus(),
+        Design::ditto_sign_mask(),
+        Design::ditto_plus_sign_mask(),
+    ]
+}
+
+/// Asserts f64 equality at the bit level (no tolerance: the parallel path
+/// must not reorder any accumulation).
+#[track_caller]
+fn assert_bits(label: &str, design: &str, a: f64, b: f64) {
+    assert_eq!(
+        a.to_bits(),
+        b.to_bits(),
+        "{design}: {label} differs between parallel and sequential ({a} vs {b})"
+    );
+}
+
+fn assert_identical(design: &Design, par: &RunResult, seq: &RunResult) {
+    assert_eq!(par.design, seq.design);
+    assert_eq!(par.design, design.name);
+    assert_eq!(par.model, seq.model);
+    let d = &design.name;
+    assert_bits("cycles", d, par.cycles, seq.cycles);
+    assert_bits("compute_cycles", d, par.compute_cycles, seq.compute_cycles);
+    assert_bits("stall_cycles", d, par.stall_cycles, seq.stall_cycles);
+    assert_bits("dram_bytes", d, par.dram_bytes, seq.dram_bytes);
+    assert_bits("total_bytes", d, par.total_bytes, seq.total_bytes);
+    for (label, p, s) in [
+        ("energy.compute", par.energy.compute, seq.energy.compute),
+        ("energy.encoder", par.energy.encoder, seq.energy.encoder),
+        ("energy.vpu", par.energy.vpu, seq.energy.vpu),
+        ("energy.defo", par.energy.defo, seq.energy.defo),
+        ("energy.sram", par.energy.sram, seq.energy.sram),
+        ("energy.dram", par.energy.dram, seq.energy.dram),
+        ("energy.static", par.energy.static_, seq.energy.static_),
+    ] {
+        assert_bits(label, d, p, s);
+    }
+    match (&par.defo, &seq.defo) {
+        (None, None) => {}
+        (Some(p), Some(s)) => {
+            assert_bits("defo.changed_ratio", d, p.changed_ratio, s.changed_ratio);
+            assert_bits("defo.accuracy", d, p.accuracy, s.accuracy);
+        }
+        _ => panic!("{d}: Defo report presence differs between parallel and sequential"),
+    }
+}
+
+#[test]
+fn parallel_sweep_is_bit_identical_to_sequential() {
+    let designs = all_designs();
+    // Covered and uncovered sign-mask boundaries exercise different DRAM
+    // accounting; both reuse regimes exercise both Defo decisions.
+    for (covered, reuse) in [(true, 512), (false, 8)] {
+        let trace = synth::trace(6, 12, 200_000, reuse, covered);
+        let parallel = simulate_designs(&designs, &trace);
+        assert_eq!(parallel.len(), designs.len());
+        for (design, par) in designs.iter().zip(&parallel) {
+            let seq = simulate(design, &trace);
+            assert_identical(design, par, &seq);
+        }
+    }
+}
+
+#[test]
+fn parallel_sweep_repeated_runs_are_stable() {
+    let designs = all_designs();
+    let trace = synth::trace(4, 8, 100_000, 128, true);
+    let a = simulate_designs(&designs, &trace);
+    let b = simulate_designs(&designs, &trace);
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.cycles.to_bits(), y.cycles.to_bits());
+        assert_eq!(x.energy.total().to_bits(), y.energy.total().to_bits());
+    }
+}
+
+#[test]
+fn empty_and_single_design_sweeps() {
+    let trace = synth::trace(2, 4, 50_000, 64, true);
+    assert!(simulate_designs(&[], &trace).is_empty());
+    let one = simulate_designs(&[Design::ditto()], &trace);
+    assert_eq!(one.len(), 1);
+    assert_eq!(one[0].cycles.to_bits(), simulate(&Design::ditto(), &trace).cycles.to_bits());
+}

@@ -11,13 +11,13 @@ use quant::BitWidthHistogram;
 /// Random but well-formed synthetic trace.
 fn arb_trace() -> impl Strategy<Value = WorkloadTrace> {
     (
-        1usize..6,        // layers
-        3usize..12,       // steps
-        1_000u64..200_000, // elems
+        1usize..6,                                               // layers
+        3usize..12,                                              // steps
+        1_000u64..200_000,                                       // elems
         prop_oneof![Just(8u64), Just(32), Just(128), Just(512)], // reuse
-        any::<bool>(),    // sign-mask-covered boundaries
-        0.0f64..0.9,      // zero fraction
-        0.0f64..0.5,      // low4 fraction (clamped against zero)
+        any::<bool>(),                                           // sign-mask-covered boundaries
+        0.0f64..0.9,                                             // zero fraction
+        0.0f64..0.5, // low4 fraction (clamped against zero)
     )
         .prop_map(|(layers, steps, elems, reuse, covered, zero, low4)| {
             let low4 = low4.min(0.95 - zero);

@@ -25,13 +25,7 @@ fn rand_i8(n: usize, rng: &mut Rng) -> Vec<i8> {
 /// Deltas with the given zero fraction, remainder small 4-bit values.
 fn sparse_deltas(n: usize, zero_frac: f64, rng: &mut Rng) -> Vec<i16> {
     (0..n)
-        .map(|_| {
-            if rng.next_f64() < zero_frac {
-                0
-            } else {
-                rng.next_below(15) as i16 - 7
-            }
-        })
+        .map(|_| if rng.next_f64() < zero_frac { 0 } else { rng.next_below(15) as i16 - 7 })
         .collect()
 }
 

@@ -33,11 +33,9 @@ fn bench_simulator(c: &mut Criterion) {
     let (trace, _) = trace_model(&model, 0, ExecPolicy::Dense).unwrap();
     let mut g = c.benchmark_group("simulate_tiny_sdm");
     for design in [Design::itc(), Design::cambricon_d(), Design::ditto(), Design::ideal_ditto()] {
-        g.bench_with_input(
-            BenchmarkId::from_parameter(design.name.clone()),
-            &design,
-            |b, d| b.iter(|| simulate(black_box(d), black_box(&trace))),
-        );
+        g.bench_with_input(BenchmarkId::from_parameter(design.name.clone()), &design, |b, d| {
+            b.iter(|| simulate(black_box(d), black_box(&trace)))
+        });
     }
     g.finish();
 }

@@ -14,7 +14,7 @@
 //!   (Defo sees `Upsample2x` as difference-transparent).
 
 use accel::design::Design;
-use accel::sim::simulate;
+use accel::sim::{simulate, simulate_designs};
 use diffusion::models::build_hierarchical_unet;
 use diffusion::{metrics, DiffusionModel, ModelKind, ModelScale, NullHook};
 use ditto_core::analysis;
@@ -29,17 +29,27 @@ use crate::suite::cached_trace;
 pub fn bandwidth() {
     banner("Ablation A1", "DRAM bandwidth sensitivity (SDM workload)");
     let trace = cached_trace(ModelKind::Sdm);
-    let mut t = Table::new(["DRAM BW (B/cyc @1GHz)", "Ditto speedup vs ITC", "Defo change", "stall share"]);
-    for bw in [32.0, 64.0, 128.0, 256.0, 512.0, 1024.0] {
-        let mut itc = Design::itc();
-        itc.hw.dram_bw = bw;
-        let mut ditto = Design::ditto();
-        ditto.hw.dram_bw = bw;
-        let r_itc = simulate(&itc, &trace);
-        let r = simulate(&ditto, &trace);
+    let mut t =
+        Table::new(["DRAM BW (B/cyc @1GHz)", "Ditto speedup vs ITC", "Defo change", "stall share"]);
+    // The whole (bandwidth × design) grid is one parallel sweep: ITC and
+    // Ditto variants at each bandwidth, interleaved pairwise.
+    const BWS: [f64; 6] = [32.0, 64.0, 128.0, 256.0, 512.0, 1024.0];
+    let grid: Vec<Design> = BWS
+        .iter()
+        .flat_map(|&bw| {
+            let mut itc = Design::itc();
+            itc.hw.dram_bw = bw;
+            let mut ditto = Design::ditto();
+            ditto.hw.dram_bw = bw;
+            [itc, ditto]
+        })
+        .collect();
+    let results = simulate_designs(&grid, &trace);
+    for (bw, pair) in BWS.iter().zip(results.chunks_exact(2)) {
+        let (r_itc, r) = (&pair[0], &pair[1]);
         t.row([
             format!("{bw}"),
-            f2(r.speedup_over(&r_itc)),
+            f2(r.speedup_over(r_itc)),
             pct(r.defo.unwrap().changed_ratio),
             pct(r.stall_cycles / r.cycles),
         ]);
@@ -57,7 +67,13 @@ pub fn quantization(kind: ModelKind) {
         model.run_reverse(0, &mut NullHook).expect("fp32"),
         model.run_reverse(1, &mut NullHook).expect("fp32"),
     ];
-    let mut t = Table::new(["Grid policy", "Temporal zero", "Temporal ≤4-bit", "Rel. BOPs", "pFID vs FP32"]);
+    let mut t = Table::new([
+        "Grid policy",
+        "Temporal zero",
+        "Temporal ≤4-bit",
+        "Rel. BOPs",
+        "pFID vs FP32",
+    ]);
     let configs: Vec<(String, Quantizer)> = {
         let mut v = Vec::new();
         for clusters in [1usize, 2, 8, 32] {
@@ -210,8 +226,10 @@ pub fn hierarchy() {
     t.row(["linear layers".to_string(), trace.layer_count().to_string()]);
     t.row(["temporal zero ratio".to_string(), pct(temporal.zero_ratio())]);
     t.row(["temporal ≤4-bit ratio".to_string(), pct(temporal.le4_ratio())]);
-    t.row(["relative BOPs (temporal)".to_string(),
-           f3(analysis::relative_bops(&trace, StatView::Temporal))]);
+    t.row([
+        "relative BOPs (temporal)".to_string(),
+        f3(analysis::relative_bops(&trace, StatView::Temporal)),
+    ]);
     t.row(["Ditto speedup vs ITC".to_string(), f2(ditto.speedup_over(&itc))]);
     t.row(["Defo change ratio".to_string(), pct(ditto.defo.unwrap().changed_ratio)]);
     t.print();

@@ -1,4 +1,5 @@
 //! Regenerates the paper experiment; see DESIGN.md §3.
 fn main() {
-    bench::experiments::fig03a();bench::experiments::fig03b();
+    bench::experiments::fig03a();
+    bench::experiments::fig03b();
 }

@@ -1,4 +1,5 @@
 //! Regenerates the paper experiment; see DESIGN.md §3.
 fn main() {
-    bench::experiments::fig04a();bench::experiments::fig04b();
+    bench::experiments::fig04a();
+    bench::experiments::fig04b();
 }

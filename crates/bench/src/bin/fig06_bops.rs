@@ -1,4 +1,5 @@
 //! Regenerates the paper experiment; see DESIGN.md §3.
 fn main() {
-    bench::experiments::fig06a();bench::experiments::fig06b();
+    bench::experiments::fig06a();
+    bench::experiments::fig06b();
 }

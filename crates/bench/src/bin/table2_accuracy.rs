@@ -1,9 +1,6 @@
 //! Regenerates Table II (proxy quality metrics); see DESIGN.md §1/§3.
 //! Pass a sample-count argument to change set sizes (default 3).
 fn main() {
-    let samples = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(3);
+    let samples = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(3);
     bench::experiments::table2(samples);
 }

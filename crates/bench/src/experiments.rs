@@ -4,7 +4,7 @@
 use accel::design::Design;
 use accel::drift::inject_drift;
 use accel::gpu::simulate_gpu;
-use accel::sim::{simulate, RunResult};
+use accel::sim::{simulate, simulate_designs, RunResult};
 use accel::HwConfig;
 use diffusion::{metrics, ModelKind};
 use ditto_core::analysis;
@@ -47,12 +47,7 @@ pub fn fig03a() {
         // steps count down; step 1 is the last).
         let at = |steps_from_end: usize| series[n - steps_from_end];
         let mean: f32 = series.iter().sum::<f32>() / n as f32;
-        t.row([
-            name.to_string(),
-            f3(at(24) as f64),
-            f3(at(1) as f64),
-            f3(mean as f64),
-        ]);
+        t.row([name.to_string(), f3(at(24) as f64), f3(at(1) as f64), f3(mean as f64)]);
     }
     t.print();
     println!("(paper: 0.9997 / 0.9972 for conv-in, 0.9934 / 0.948 for up.0.0.skip)");
@@ -86,7 +81,9 @@ pub fn fig04a() {
         let diff = &r.diff_range[l];
         let mut t = Table::new(["Series", "50'", "40", "30", "20", "10", "1", "mean"]);
         let n = act.len();
-        let pick = |v: &[f32], steps_from_end: usize| v[n.saturating_sub(steps_from_end + 1).min(v.len() - 1)];
+        let pick = |v: &[f32], steps_from_end: usize| {
+            v[n.saturating_sub(steps_from_end + 1).min(v.len() - 1)]
+        };
         let mean = |v: &[f32]| v.iter().sum::<f32>() as f64 / v.len() as f64;
         t.row([
             format!("{name} activation"),
@@ -173,7 +170,9 @@ pub fn fig05() {
         ]);
     }
     t.print();
-    println!("(paper: temporal diffs 44.48% zero, 96.01% ≤4-bit incl. zero; act 42.28% over-4-bit)");
+    println!(
+        "(paper: temporal diffs 44.48% zero, 96.01% ≤4-bit incl. zero; act 42.28% over-4-bit)"
+    );
 }
 
 /// Fig. 6a: relative BOPs of the three processing methods.
@@ -203,7 +202,8 @@ pub fn fig06b() {
     for name in ["conv-in", "up.0.0.skip"] {
         let series = analysis::per_step_relative_bops(&trace, name).expect("layer exists");
         let n = series.len();
-        let mut t = Table::new(["Layer", "50'~50", "41~40", "31~30", "21~20", "11~10", "2~1", "mean(2..)"]);
+        let mut t =
+            Table::new(["Layer", "50'~50", "41~40", "31~30", "21~20", "11~10", "2~1", "mean(2..)"]);
         let pick = |steps_from_end: usize| series[n - 1 - steps_from_end.min(n - 1)];
         let mean: f64 = series[1..].iter().sum::<f64>() / (n - 1) as f64;
         t.row([
@@ -218,14 +218,17 @@ pub fn fig06b() {
         ]);
         t.print();
     }
-    println!("(paper: consistent reduction across steps; final steps save least but stay below 1.0)");
+    println!(
+        "(paper: consistent reduction across steps; final steps save least but stay below 1.0)"
+    );
 }
 
 /// Fig. 8: relative memory accesses of naive temporal difference
 /// processing (before Defo).
 pub fn fig08() {
     banner("Fig. 8", "Relative memory accesses of temporal difference processing");
-    let mut t = Table::new(["Model", "Activation", "Temporal diff (naive)", "After Defo static bypass"]);
+    let mut t =
+        Table::new(["Model", "Activation", "Temporal diff (naive)", "After Defo static bypass"]);
     let (mut sn, mut sd) = (0.0, 0.0);
     for &kind in &MODELS {
         let trace = cached_trace(kind);
@@ -245,7 +248,15 @@ pub fn fig08() {
 /// DESIGN.md §1; relative degradation is the comparable quantity).
 pub fn table2(samples: usize) {
     banner("Table II", "Accuracy of diffusion models (proxy metrics)");
-    let mut t = Table::new(["Model", "pFID (FP32 vs Ditto)", "pFID (FP32 reseed floor)", "pIS FP32", "pIS Ditto", "pCS FP32", "pCS Ditto"]);
+    let mut t = Table::new([
+        "Model",
+        "pFID (FP32 vs Ditto)",
+        "pFID (FP32 reseed floor)",
+        "pIS FP32",
+        "pIS Ditto",
+        "pCS FP32",
+        "pCS Ditto",
+    ]);
     for &kind in &MODELS {
         let model = build_model(kind);
         let quantizer = build_quantizer(&model, 100).expect("calibration");
@@ -288,7 +299,15 @@ pub fn table2(samples: usize) {
 /// Table III: hardware configurations.
 pub fn table3() {
     banner("Table III", "Hardware configurations");
-    let mut t = Table::new(["Hardware", "# of PE", "Bit-width", "Power (W)", "SRAM (MB)", "Area (mm2)", "Freq"]);
+    let mut t = Table::new([
+        "Hardware",
+        "# of PE",
+        "Bit-width",
+        "Power (W)",
+        "SRAM (MB)",
+        "Area (mm2)",
+        "Freq",
+    ]);
     for hw in HwConfig::table3() {
         let (pes, bits) = match (hw.pe_a4w8, hw.pe_a8w8) {
             (0, p8) => (format!("{p8}"), "A8W8".to_string()),
@@ -323,18 +342,19 @@ pub fn fig13() {
     let mut esums = vec![0.0f64; designs.len() + 1];
     for &kind in &MODELS {
         let trace = cached_trace(kind);
-        let itc = simulate(&Design::itc(), &trace);
+        // `designs[0]` is ITC, the normalization baseline.
+        let results = simulate_designs(&designs, &trace);
+        let itc = &results[0];
         let gpu = simulate_gpu(&trace);
-        let mut srow = vec![kind.abbr().to_string(), f2(gpu.speedup_over(&itc)), f2(1.0)];
-        let mut erow = vec![kind.abbr().to_string(), f2(gpu.relative_energy(&itc)), f2(1.0)];
-        sums[0] += gpu.speedup_over(&itc);
-        esums[0] += gpu.relative_energy(&itc);
-        for (i, d) in designs.iter().enumerate().skip(1) {
-            let r = simulate(d, &trace);
-            sums[i] += r.speedup_over(&itc);
-            esums[i] += r.relative_energy(&itc);
-            srow.push(f2(r.speedup_over(&itc)));
-            erow.push(f2(r.relative_energy(&itc)));
+        let mut srow = vec![kind.abbr().to_string(), f2(gpu.speedup_over(itc)), f2(1.0)];
+        let mut erow = vec![kind.abbr().to_string(), f2(gpu.relative_energy(itc)), f2(1.0)];
+        sums[0] += gpu.speedup_over(itc);
+        esums[0] += gpu.relative_energy(itc);
+        for (i, r) in results.iter().enumerate().skip(1) {
+            sums[i] += r.speedup_over(itc);
+            esums[i] += r.relative_energy(itc);
+            srow.push(f2(r.speedup_over(itc)));
+            erow.push(f2(r.relative_energy(itc)));
         }
         t.row(srow);
         e.row(erow);
@@ -371,7 +391,9 @@ pub fn fig13() {
     }
     println!("-- Ditto energy breakdown --");
     b.print();
-    println!("(paper: Ditto 1.5x speedup / 17.74% energy saving over ITC; Ditto+ 1.06x over Ditto;");
+    println!(
+        "(paper: Ditto 1.5x speedup / 17.74% energy saving over ITC; Ditto+ 1.06x over Ditto;"
+    );
     println!(" Ditto 1.56x over Cambricon-D, 43.24% energy saving vs Cam-D; GPU avg speedup 0.18, energy 55x)");
 }
 
@@ -382,10 +404,12 @@ pub fn fig14() {
     let mut sums = [0.0f64; 3];
     for &kind in &MODELS {
         let trace = cached_trace(kind);
-        let itc = simulate(&Design::itc(), &trace);
-        let cam = simulate(&Design::cambricon_d(), &trace);
-        let ditto = simulate(&Design::ditto(), &trace);
-        let plus = simulate(&Design::ditto_plus(), &trace);
+        let [itc, cam, ditto, plus]: [RunResult; 4] = simulate_designs(
+            &[Design::itc(), Design::cambricon_d(), Design::ditto(), Design::ditto_plus()],
+            &trace,
+        )
+        .try_into()
+        .expect("four designs in, four results out");
         let r = [
             cam.total_bytes / itc.total_bytes,
             ditto.total_bytes / itc.total_bytes,
@@ -413,11 +437,11 @@ pub fn fig15() {
     let mut sums = vec![0.0f64; designs.len()];
     for &kind in &MODELS {
         let trace = cached_trace(kind);
-        let base = simulate(&designs[0], &trace);
+        let results = simulate_designs(&designs, &trace);
+        let base = &results[0];
         let mut row = vec![kind.abbr().to_string()];
-        for (i, d) in designs.iter().enumerate() {
-            let r = simulate(d, &trace);
-            let s = r.speedup_over(&base);
+        for (i, r) in results.iter().enumerate() {
+            let s = r.speedup_over(base);
             sums[i] += s;
             row.push(f2(s));
         }
@@ -428,7 +452,9 @@ pub fn fig15() {
     avg.extend(sums.iter().map(|s| f2(s / n)));
     t.row(avg);
     t.print();
-    println!("(paper: Cam-D +Ditto techniques 1.16x; Ditto +sign-mask 1.068x, Ditto+ +sign-mask 1.055x;");
+    println!(
+        "(paper: Cam-D +Ditto techniques 1.16x; Ditto +sign-mask 1.068x, Ditto+ +sign-mask 1.055x;"
+    );
     println!(" all Cam-D variants stay below the Ditto hardware)");
 }
 
@@ -440,13 +466,16 @@ pub fn fig16() {
     let mut header = vec!["Model".to_string(), "metric".to_string()];
     header.extend(designs.iter().map(|d| d.name.clone()));
     let mut t = Table::new(header);
+    // One sweep covers the normalization baseline and every ablation.
+    let mut sweep = vec![Design::itc()];
+    sweep.extend(designs.iter().cloned());
     for &kind in &MODELS {
         let trace = cached_trace(kind);
-        let itc = simulate(&Design::itc(), &trace);
+        let results = simulate_designs(&sweep, &trace);
+        let itc = &results[0];
         let mut comp = vec![kind.abbr().to_string(), "compute".to_string()];
         let mut stall = vec![kind.abbr().to_string(), "mem stall".to_string()];
-        for d in &designs {
-            let r = simulate(d, &trace);
+        for r in &results[1..] {
             comp.push(f2(r.compute_cycles / itc.cycles));
             stall.push(f2(r.stall_cycles / itc.cycles));
         }
@@ -461,23 +490,19 @@ pub fn fig16() {
 /// Fig. 17: Defo execution-type changes and prediction accuracy.
 pub fn fig17() {
     banner("Fig. 17", "Defo layer execution-type changes (top) and accuracy (bottom)");
-    let mut t = Table::new(["Model", "Defo change", "Defo accuracy", "Defo+ change", "Defo+ accuracy"]);
+    let mut t =
+        Table::new(["Model", "Defo change", "Defo accuracy", "Defo+ change", "Defo+ accuracy"]);
     let mut sums = [0.0f64; 4];
     for &kind in &MODELS {
         let trace = cached_trace(kind);
-        let d = simulate(&Design::ditto(), &trace).defo.expect("defo");
-        let p = simulate(&Design::ditto_plus(), &trace).defo.expect("defo+");
+        let results = simulate_designs(&[Design::ditto(), Design::ditto_plus()], &trace);
+        let d = results[0].defo.expect("defo");
+        let p = results[1].defo.expect("defo+");
         let vals = [d.changed_ratio, d.accuracy, p.changed_ratio, p.accuracy];
         for (s, v) in sums.iter_mut().zip(vals) {
             *s += v;
         }
-        t.row([
-            kind.abbr().to_string(),
-            pct(vals[0]),
-            pct(vals[1]),
-            pct(vals[2]),
-            pct(vals[3]),
-        ]);
+        t.row([kind.abbr().to_string(), pct(vals[0]), pct(vals[1]), pct(vals[2]), pct(vals[3])]);
     }
     let n = MODELS.len() as f64;
     t.row([
@@ -498,11 +523,18 @@ pub fn fig18() {
     let mut fracs = (0.0f64, 0.0f64);
     for &kind in &MODELS {
         let trace = cached_trace(kind);
-        let itc = simulate(&Design::itc(), &trace);
-        let ditto = simulate(&Design::ditto(), &trace);
-        let ideal = simulate(&Design::ideal_ditto(), &trace);
-        let plus = simulate(&Design::ditto_plus(), &trace);
-        let ideal_plus = simulate(&Design::ideal_ditto_plus(), &trace);
+        let [itc, ditto, ideal, plus, ideal_plus]: [RunResult; 5] = simulate_designs(
+            &[
+                Design::itc(),
+                Design::ditto(),
+                Design::ideal_ditto(),
+                Design::ditto_plus(),
+                Design::ideal_ditto_plus(),
+            ],
+            &trace,
+        )
+        .try_into()
+        .expect("five designs in, five results out");
         fracs.0 += ideal.cycles / ditto.cycles;
         fracs.1 += ideal_plus.cycles / plus.cycles;
         t.row([
@@ -532,10 +564,12 @@ pub fn fig19() {
         let trace = cached_trace(kind);
         // Drift amplitude/period chosen to flip marginal layers mid-run.
         let drifted = inject_drift(&trace, 0.6, (trace.step_count() / 2).max(2));
-        let itc = simulate(&Design::itc(), &drifted);
-        let ditto = simulate(&Design::ditto(), &drifted);
-        let dynd = simulate(&Design::dynamic_ditto(), &drifted);
-        let ideal = simulate(&Design::ideal_ditto(), &drifted);
+        let [itc, ditto, dynd, ideal]: [RunResult; 4] = simulate_designs(
+            &[Design::itc(), Design::ditto(), Design::dynamic_ditto(), Design::ideal_ditto()],
+            &drifted,
+        )
+        .try_into()
+        .expect("four designs in, four results out");
         rel.0 += ditto.cycles / ideal.cycles;
         rel.1 += dynd.cycles / ideal.cycles;
         t.row([

@@ -25,21 +25,20 @@ pub const WEIGHT_SEED: u64 = 42;
 pub const SAMPLE_SEED: u64 = 0;
 
 fn cache_dir() -> PathBuf {
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("../../target/ditto-cache");
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/ditto-cache");
     fs::create_dir_all(&dir).expect("create cache dir");
     dir
 }
 
-fn load_json<T: serde::de::DeserializeOwned>(name: &str) -> Option<T> {
+fn load_json<T: ditto_core::jsonio::FromJson>(name: &str) -> Option<T> {
     let path = cache_dir().join(name);
     let bytes = fs::read(path).ok()?;
-    serde_json::from_slice(&bytes).ok()
+    ditto_core::jsonio::from_slice(&bytes).ok()
 }
 
-fn store_json<T: serde::Serialize>(name: &str, value: &T) {
+fn store_json<T: ditto_core::jsonio::ToJson>(name: &str, value: &T) {
     let path = cache_dir().join(name);
-    let bytes = serde_json::to_vec(value).expect("serialize cache");
+    let bytes = ditto_core::jsonio::to_vec(value);
     fs::write(path, bytes).expect("write cache");
 }
 
@@ -112,7 +111,9 @@ mod tests {
         let back: WorkloadTrace = load_json("test-roundtrip.json").unwrap();
         assert_eq!(back.layer_count(), trace.layer_count());
         assert_eq!(back.step_count(), trace.step_count());
-        assert_eq!(back.merged(ditto_core::trace::StatView::Temporal),
-                   trace.merged(ditto_core::trace::StatView::Temporal));
+        assert_eq!(
+            back.merged(ditto_core::trace::StatView::Temporal),
+            trace.merged(ditto_core::trace::StatView::Temporal)
+        );
     }
 }

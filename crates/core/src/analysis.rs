@@ -21,11 +21,7 @@ pub struct BitwidthBreakdown {
 impl BitwidthBreakdown {
     /// Builds a breakdown from a histogram.
     pub fn from_histogram(h: &BitWidthHistogram) -> Self {
-        BitwidthBreakdown {
-            zero: h.zero_ratio(),
-            low4: h.low4_ratio(),
-            over4: h.over4_ratio(),
-        }
+        BitwidthBreakdown { zero: h.zero_ratio(), low4: h.low4_ratio(), over4: h.over4_ratio() }
     }
 }
 

@@ -180,7 +180,14 @@ fn collect_summation_consumers(
             }
             OpClass::Transparent => {
                 if domains[c] == Domain::Diff {
-                    collect_summation_consumers(graph, consumers, domains, c, kinds, needs_summation);
+                    collect_summation_consumers(
+                        graph,
+                        consumers,
+                        domains,
+                        c,
+                        kinds,
+                        needs_summation,
+                    );
                 } else {
                     // Mixing junction: our diff operand meets an original
                     // operand — must materialize originals first.
@@ -222,7 +229,9 @@ mod tests {
         let b1 = &a.boundaries[0];
         assert!(b1.needs_diff_calc);
         assert!(!b1.needs_summation);
-        assert!(b1.in_boundary.is_empty()); // input, not a non-linear fn
+        // (in_boundary empty: the producer is the graph input, not a
+        // non-linear fn.)
+        assert!(b1.in_boundary.is_empty());
         // fc2: operand from fc1 (diff domain) → no diff calc; consumer is
         // SiLU → summation with kind recorded.
         let b2 = &a.boundaries[1];
@@ -311,10 +320,7 @@ mod tests {
         let sdm = DiffusionModel::build(ModelKind::Sdm, ModelScale::Tiny, 1);
         let a = analyze(&sdm.graph);
         let non_silu_gn = a.boundaries.iter().any(|b| {
-            b.in_boundary
-                .iter()
-                .chain(&b.out_boundary)
-                .any(|k| *k != "silu" && *k != "group_norm")
+            b.in_boundary.iter().chain(&b.out_boundary).any(|k| *k != "silu" && *k != "group_norm")
         });
         assert!(non_silu_gn, "SDM uses GeLU/Softmax/LayerNorm boundaries");
     }

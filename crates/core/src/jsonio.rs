@@ -1,0 +1,730 @@
+//! Dependency-free JSON (de)serialization for the cacheable trace types.
+//!
+//! The build environment cannot reach a crates registry, so `serde` /
+//! `serde_json` are unavailable; this module provides exactly the
+//! serialization the workspace needs — the `bench` crate's on-disk cache of
+//! [`WorkloadTrace`]s and [`SimilarityReport`]s under `target/ditto-cache/`.
+//! The emitted shape matches what `#[derive(serde::Serialize)]` would
+//! produce (objects keyed by field name, enums as variant-name strings), so
+//! swapping the real serde back in later will read existing caches.
+
+use crate::similarity::SimilarityReport;
+use crate::trace::{LayerMeta, LinearKind, StepStats, SubOp, WorkloadTrace};
+use quant::BitWidthHistogram;
+
+/// A parsed JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number without a fractional part or exponent, kept exact.
+    Int(i128),
+    /// Any other number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, in insertion order.
+    Obj(Vec<(String, Value)>),
+}
+
+/// Decode failure: what was expected and where it went wrong.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError(pub String);
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, JsonError> {
+    Err(JsonError(msg.into()))
+}
+
+impl Value {
+    /// Looks up a field of an object.
+    pub fn get(&self, key: &str) -> Result<&Value, JsonError> {
+        match self {
+            Value::Obj(fields) => fields
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .ok_or_else(|| JsonError(format!("missing field `{key}`"))),
+            _ => err(format!("expected object with field `{key}`")),
+        }
+    }
+}
+
+// --------------------------------------------------------------------------
+// Writer
+// --------------------------------------------------------------------------
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_value(out: &mut String, v: &Value) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::Num(n) => {
+            if n.is_finite() {
+                // `{}` prints the shortest representation that round-trips.
+                out.push_str(&n.to_string());
+            } else {
+                // JSON has no NaN/Inf; `null` decodes back to NaN.
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_escaped(out, s),
+        Value::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(out, item);
+            }
+            out.push(']');
+        }
+        Value::Obj(fields) => {
+            out.push('{');
+            for (i, (k, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(out, k);
+                out.push(':');
+                write_value(out, val);
+            }
+            out.push('}');
+        }
+    }
+}
+
+// --------------------------------------------------------------------------
+// Parser
+// --------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            err(format!("expected `{}` at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str, v: Value) -> Result<Value, JsonError> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(v)
+        } else {
+            err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return err("unterminated string");
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(s),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return err("unterminated escape");
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => s.push('"'),
+                        b'\\' => s.push('\\'),
+                        b'/' => s.push('/'),
+                        b'n' => s.push('\n'),
+                        b'r' => s.push('\r'),
+                        b't' => s.push('\t'),
+                        b'b' => s.push('\u{8}'),
+                        b'f' => s.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| JsonError("truncated \\u escape".into()))?;
+                            let code = std::str::from_utf8(hex)
+                                .ok()
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| JsonError("bad \\u escape".into()))?;
+                            self.pos += 4;
+                            // Surrogate pairs never occur in our own output;
+                            // map lone surrogates to the replacement char.
+                            s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return err("unknown escape"),
+                    }
+                }
+                _ => {
+                    // Collect the full UTF-8 sequence starting at `b`.
+                    let start = self.pos - 1;
+                    let len = match b {
+                        _ if b < 0x80 => 1,
+                        _ if b >> 5 == 0b110 => 2,
+                        _ if b >> 4 == 0b1110 => 3,
+                        _ => 4,
+                    };
+                    let chunk = self
+                        .bytes
+                        .get(start..start + len)
+                        .ok_or_else(|| JsonError("truncated utf-8".into()))?;
+                    let text = std::str::from_utf8(chunk)
+                        .map_err(|_| JsonError("invalid utf-8".into()))?;
+                    s.push_str(text);
+                    self.pos = start + len;
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, JsonError> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| JsonError("invalid number".into()))?;
+        if let Ok(i) = text.parse::<i128>() {
+            return Ok(Value::Int(i));
+        }
+        match text.parse::<f64>() {
+            Ok(n) => Ok(Value::Num(n)),
+            Err(_) => err(format!("invalid number `{text}`")),
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, JsonError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.eat_keyword("null", Value::Null),
+            Some(b't') => self.eat_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.eat_keyword("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::Str(self.parse_string()?)),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                loop {
+                    items.push(self.parse_value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Value::Arr(items));
+                        }
+                        _ => return err(format!("bad array at byte {}", self.pos)),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut fields = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.parse_string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    let val = self.parse_value()?;
+                    fields.push((key, val));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Value::Obj(fields));
+                        }
+                        _ => return err(format!("bad object at byte {}", self.pos)),
+                    }
+                }
+            }
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
+            _ => err(format!("unexpected byte at {}", self.pos)),
+        }
+    }
+}
+
+/// Parses one JSON document (trailing whitespace allowed).
+pub fn parse(bytes: &[u8]) -> Result<Value, JsonError> {
+    let mut p = Parser { bytes, pos: 0 };
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != bytes.len() {
+        return err(format!("trailing data at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+// --------------------------------------------------------------------------
+// Encode / decode traits
+// --------------------------------------------------------------------------
+
+/// Types encodable to a JSON [`Value`].
+pub trait ToJson {
+    /// Encodes `self`.
+    fn to_json(&self) -> Value;
+}
+
+/// Types decodable from a JSON [`Value`].
+pub trait FromJson: Sized {
+    /// Decodes a value of `Self`.
+    fn from_json(v: &Value) -> Result<Self, JsonError>;
+}
+
+/// Serializes to bytes (compact, no trailing newline).
+pub fn to_vec<T: ToJson>(value: &T) -> Vec<u8> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_json());
+    out.into_bytes()
+}
+
+/// Deserializes from bytes.
+pub fn from_slice<T: FromJson>(bytes: &[u8]) -> Result<T, JsonError> {
+    T::from_json(&parse(bytes)?)
+}
+
+macro_rules! impl_json_uint {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Value {
+                Value::Int(*self as i128)
+            }
+        }
+
+        impl FromJson for $t {
+            fn from_json(v: &Value) -> Result<Self, JsonError> {
+                match v {
+                    Value::Int(i) => <$t>::try_from(*i)
+                        .map_err(|_| JsonError(format!("{i} out of range for {}", stringify!($t)))),
+                    _ => err(concat!("expected ", stringify!($t))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_json_uint!(u64, usize);
+
+impl ToJson for bool {
+    fn to_json(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl FromJson for bool {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => err("expected bool"),
+        }
+    }
+}
+
+impl ToJson for f32 {
+    fn to_json(&self) -> Value {
+        Value::Num(*self as f64)
+    }
+}
+
+impl FromJson for f32 {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        match v {
+            Value::Num(n) => Ok(*n as f32),
+            Value::Int(i) => Ok(*i as f32),
+            Value::Null => Ok(f32::NAN),
+            _ => err("expected number"),
+        }
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl FromJson for String {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => err("expected string"),
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Value {
+        Value::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        match v {
+            Value::Arr(items) => items.iter().map(T::from_json).collect(),
+            _ => err("expected array"),
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Value {
+        match self {
+            Some(v) => v.to_json(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: FromJson> FromJson for Option<T> {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_json(other)?)),
+        }
+    }
+}
+
+/// Builds an object from `("field", value)` pairs.
+macro_rules! obj {
+    ($(($key:literal, $val:expr)),* $(,)?) => {
+        Value::Obj(vec![$(($key.to_string(), $val)),*])
+    };
+}
+
+impl ToJson for BitWidthHistogram {
+    fn to_json(&self) -> Value {
+        obj![
+            ("zero", self.zero.to_json()),
+            ("low4", self.low4.to_json()),
+            ("full8", self.full8.to_json()),
+            ("over8", self.over8.to_json()),
+        ]
+    }
+}
+
+impl FromJson for BitWidthHistogram {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        Ok(BitWidthHistogram {
+            zero: u64::from_json(v.get("zero")?)?,
+            low4: u64::from_json(v.get("low4")?)?,
+            full8: u64::from_json(v.get("full8")?)?,
+            over8: u64::from_json(v.get("over8")?)?,
+        })
+    }
+}
+
+impl ToJson for LinearKind {
+    fn to_json(&self) -> Value {
+        let name = match self {
+            LinearKind::Conv => "Conv",
+            LinearKind::Fc => "Fc",
+            LinearKind::MatmulQk => "MatmulQk",
+            LinearKind::MatmulPv => "MatmulPv",
+        };
+        Value::Str(name.to_string())
+    }
+}
+
+impl FromJson for LinearKind {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        match v {
+            Value::Str(s) => match s.as_str() {
+                "Conv" => Ok(LinearKind::Conv),
+                "Fc" => Ok(LinearKind::Fc),
+                "MatmulQk" => Ok(LinearKind::MatmulQk),
+                "MatmulPv" => Ok(LinearKind::MatmulPv),
+                other => err(format!("unknown LinearKind `{other}`")),
+            },
+            _ => err("expected LinearKind string"),
+        }
+    }
+}
+
+impl ToJson for SubOp {
+    fn to_json(&self) -> Value {
+        obj![
+            ("label", self.label.to_json()),
+            ("elems", self.elems.to_json()),
+            ("reuse", self.reuse.to_json()),
+        ]
+    }
+}
+
+impl FromJson for SubOp {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        Ok(SubOp {
+            label: String::from_json(v.get("label")?)?,
+            elems: u64::from_json(v.get("elems")?)?,
+            reuse: u64::from_json(v.get("reuse")?)?,
+        })
+    }
+}
+
+impl ToJson for LayerMeta {
+    fn to_json(&self) -> Value {
+        obj![
+            ("node", self.node.to_json()),
+            ("name", self.name.to_json()),
+            ("kind", self.kind.to_json()),
+            ("macs", self.macs.to_json()),
+            ("elems", self.elems.to_json()),
+            ("reuse", self.reuse.to_json()),
+            ("subops", self.subops.to_json()),
+            ("in_bytes", self.in_bytes.to_json()),
+            ("weight_bytes", self.weight_bytes.to_json()),
+            ("out_bytes", self.out_bytes.to_json()),
+            ("needs_diff_calc", self.needs_diff_calc.to_json()),
+            ("needs_summation", self.needs_summation.to_json()),
+            ("in_boundary", self.in_boundary.to_json()),
+            ("out_boundary", self.out_boundary.to_json()),
+        ]
+    }
+}
+
+impl FromJson for LayerMeta {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        Ok(LayerMeta {
+            node: FromJson::from_json(v.get("node")?)?,
+            name: FromJson::from_json(v.get("name")?)?,
+            kind: FromJson::from_json(v.get("kind")?)?,
+            macs: FromJson::from_json(v.get("macs")?)?,
+            elems: FromJson::from_json(v.get("elems")?)?,
+            reuse: FromJson::from_json(v.get("reuse")?)?,
+            subops: FromJson::from_json(v.get("subops")?)?,
+            in_bytes: FromJson::from_json(v.get("in_bytes")?)?,
+            weight_bytes: FromJson::from_json(v.get("weight_bytes")?)?,
+            out_bytes: FromJson::from_json(v.get("out_bytes")?)?,
+            needs_diff_calc: FromJson::from_json(v.get("needs_diff_calc")?)?,
+            needs_summation: FromJson::from_json(v.get("needs_summation")?)?,
+            in_boundary: FromJson::from_json(v.get("in_boundary")?)?,
+            out_boundary: FromJson::from_json(v.get("out_boundary")?)?,
+        })
+    }
+}
+
+impl ToJson for StepStats {
+    fn to_json(&self) -> Value {
+        obj![
+            ("act", self.act.to_json()),
+            ("spa", self.spa.to_json()),
+            ("temporal", self.temporal.to_json()),
+        ]
+    }
+}
+
+impl FromJson for StepStats {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        Ok(StepStats {
+            act: FromJson::from_json(v.get("act")?)?,
+            spa: FromJson::from_json(v.get("spa")?)?,
+            temporal: FromJson::from_json(v.get("temporal")?)?,
+        })
+    }
+}
+
+impl ToJson for WorkloadTrace {
+    fn to_json(&self) -> Value {
+        obj![
+            ("model", self.model.to_json()),
+            ("layers", self.layers.to_json()),
+            ("steps", self.steps.to_json()),
+        ]
+    }
+}
+
+impl FromJson for WorkloadTrace {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        Ok(WorkloadTrace {
+            model: FromJson::from_json(v.get("model")?)?,
+            layers: FromJson::from_json(v.get("layers")?)?,
+            steps: FromJson::from_json(v.get("steps")?)?,
+        })
+    }
+}
+
+impl ToJson for SimilarityReport {
+    fn to_json(&self) -> Value {
+        obj![
+            ("names", self.names.to_json()),
+            ("temporal_cosine", self.temporal_cosine.to_json()),
+            ("spatial_cosine", self.spatial_cosine.to_json()),
+            ("act_range", self.act_range.to_json()),
+            ("diff_range", self.diff_range.to_json()),
+        ]
+    }
+}
+
+impl FromJson for SimilarityReport {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        Ok(SimilarityReport {
+            names: FromJson::from_json(v.get("names")?)?,
+            temporal_cosine: FromJson::from_json(v.get("temporal_cosine")?)?,
+            spatial_cosine: FromJson::from_json(v.get("spatial_cosine")?)?,
+            act_range: FromJson::from_json(v.get("act_range")?)?,
+            diff_range: FromJson::from_json(v.get("diff_range")?)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{LayerMeta, LinearKind, StepStats, SubOp, WorkloadTrace};
+
+    fn sample_trace() -> WorkloadTrace {
+        let meta = LayerMeta {
+            node: 3,
+            name: "conv \"quoted\"\nname".into(),
+            kind: LinearKind::MatmulQk,
+            macs: 1 << 60,
+            elems: 128,
+            reuse: 1 << 53,
+            subops: vec![SubOp { label: "dk".into(), elems: 7, reuse: 2 }],
+            in_bytes: 11,
+            weight_bytes: 0,
+            out_bytes: 13,
+            needs_diff_calc: true,
+            needs_summation: false,
+            in_boundary: vec!["silu".into()],
+            out_boundary: vec![],
+        };
+        let st = StepStats {
+            act: BitWidthHistogram { zero: 1, low4: 2, full8: 3, over8: 4 },
+            spa: BitWidthHistogram::default(),
+            temporal: Some(vec![BitWidthHistogram { zero: 9, low4: 0, full8: 0, over8: 0 }]),
+        };
+        WorkloadTrace {
+            model: "SDM".into(),
+            layers: vec![meta],
+            steps: vec![vec![StepStats::default()], vec![st]],
+        }
+    }
+
+    #[test]
+    fn trace_roundtrips_exactly() {
+        let t = sample_trace();
+        let bytes = to_vec(&t);
+        let back: WorkloadTrace = from_slice(&bytes).unwrap();
+        assert_eq!(back.model, t.model);
+        assert_eq!(back.layers.len(), 1);
+        let (a, b) = (&back.layers[0], &t.layers[0]);
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.kind, b.kind);
+        assert_eq!(a.macs, b.macs);
+        assert_eq!(a.reuse, b.reuse);
+        assert_eq!(a.subops, b.subops);
+        assert!(back.steps[0][0].temporal.is_none());
+        assert_eq!(back.steps[1][0].temporal.as_ref().unwrap()[0].zero, 9);
+        assert_eq!(back.steps[1][0].act.over8, 4);
+    }
+
+    #[test]
+    fn similarity_report_roundtrips_floats() {
+        let r = SimilarityReport {
+            names: vec!["conv-in".into()],
+            temporal_cosine: vec![vec![0.999_7, -1.0, 0.0]],
+            spatial_cosine: vec![vec![0.31]],
+            act_range: vec![vec![21.88, f32::MIN_POSITIVE]],
+            diff_range: vec![vec![4.83e-12]],
+        };
+        let back: SimilarityReport = from_slice(&to_vec(&r)).unwrap();
+        assert_eq!(back.names, r.names);
+        assert_eq!(back.temporal_cosine, r.temporal_cosine);
+        assert_eq!(back.act_range, r.act_range);
+        assert_eq!(back.diff_range, r.diff_range);
+    }
+
+    #[test]
+    fn non_finite_floats_become_null_then_nan() {
+        let r = SimilarityReport {
+            names: vec!["l".into()],
+            temporal_cosine: vec![vec![f32::NAN]],
+            spatial_cosine: vec![vec![]],
+            act_range: vec![vec![]],
+            diff_range: vec![vec![]],
+        };
+        let back: SimilarityReport = from_slice(&to_vec(&r)).unwrap();
+        assert!(back.temporal_cosine[0][0].is_nan());
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse(b"{").is_err());
+        assert!(parse(b"[1, 2,]").is_err());
+        assert!(parse(b"nulls").is_err());
+        assert!(parse(b"\"unterminated").is_err());
+        assert!(from_slice::<WorkloadTrace>(b"{\"model\": 3}").is_err());
+    }
+
+    #[test]
+    fn parser_accepts_whitespace_and_escapes() {
+        let v = parse(b" { \"a\" : [ 1 , -2.5e3 , \"x\\u0041\\n\" ] } ").unwrap();
+        assert_eq!(
+            v.get("a").unwrap(),
+            &Value::Arr(vec![Value::Int(1), Value::Num(-2500.0), Value::Str("xA\n".into()),])
+        );
+    }
+}

@@ -38,6 +38,7 @@
 
 pub mod analysis;
 pub mod defo;
+pub mod jsonio;
 pub mod runner;
 pub mod similarity;
 pub mod trace;

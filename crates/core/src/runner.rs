@@ -80,10 +80,7 @@ struct LayerState {
 /// across time-step clusters (§VI-A).
 fn regrid_levels(levels: &[i8], old: f32, new: f32) -> Vec<i8> {
     let ratio = old / new;
-    levels
-        .iter()
-        .map(|&v| (v as f32 * ratio).round().clamp(-127.0, 127.0) as i8)
-        .collect()
+    levels.iter().map(|&v| (v as f32 * ratio).round().clamp(-127.0, 127.0) as i8).collect()
 }
 
 /// The Ditto execution hook. See the module docs.
@@ -105,11 +102,7 @@ impl DittoHook {
     /// analysis up front.
     pub fn new(model: &DiffusionModel, quantizer: Quantizer, policy: ExecPolicy) -> Self {
         let defo = analyze(&model.graph);
-        let boundaries = defo
-            .boundaries
-            .into_iter()
-            .map(|b| (b.node, b))
-            .collect();
+        let boundaries = defo.boundaries.into_iter().map(|b| (b.node, b)).collect();
         DittoHook {
             quantizer,
             policy,
@@ -125,11 +118,7 @@ impl DittoHook {
 
     /// Consumes the hook, returning the captured workload trace.
     pub fn into_trace(self) -> WorkloadTrace {
-        WorkloadTrace {
-            model: self.model_abbr.to_string(),
-            layers: self.metas,
-            steps: self.steps,
-        }
+        WorkloadTrace { model: self.model_abbr.to_string(), layers: self.metas, steps: self.steps }
     }
 
     fn ensure_step_row(&mut self, step: usize) {
@@ -139,13 +128,7 @@ impl DittoHook {
     }
 
     /// Resolves (or pins) the activation grid scale for a layer operand.
-    fn grid_scale(
-        &mut self,
-        node: NodeId,
-        step: usize,
-        x: &Tensor,
-        secondary: bool,
-    ) -> f32 {
+    fn grid_scale(&mut self, node: NodeId, step: usize, x: &Tensor, secondary: bool) -> f32 {
         // Static calibration tables already cluster steps; use their scale
         // directly (constant within a cluster, so deltas stay exact).
         // Secondary attention operands are keyed off the same node with a
@@ -241,8 +224,7 @@ impl DittoHook {
         if let Some(&idx) = self.layer_index.get(&node.id) {
             return idx;
         }
-        let (needs_diff_calc, needs_summation, in_boundary, out_boundary) =
-            self.boundary(node.id);
+        let (needs_diff_calc, needs_summation, in_boundary, out_boundary) = self.boundary(node.id);
         let idx = self.metas.len();
         self.metas.push(LayerMeta {
             node: node.id,
@@ -320,12 +302,8 @@ impl DittoHook {
         let act = BitWidthHistogram::from_activations(qa.data());
         let spa = spatial_hist(qa.data(), m, k);
         let (temporal, deltas) = if has_prev {
-            let d: Vec<i16> = qa
-                .data()
-                .iter()
-                .zip(&st.prev_a)
-                .map(|(&c, &p)| c as i16 - p as i16)
-                .collect();
+            let d: Vec<i16> =
+                qa.data().iter().zip(&st.prev_a).map(|(&c, &p)| c as i16 - p as i16).collect();
             (Some(vec![BitWidthHistogram::from_deltas(&d)]), Some(d))
         } else {
             (None, None)
@@ -417,17 +395,10 @@ impl DittoHook {
         let act = BitWidthHistogram::from_activations(qa.data());
         let spa = spatial_hist(qa.data(), m, red);
         let (temporal, delta_pair) = if has_prev {
-            let da: Vec<i16> = qa
-                .data()
-                .iter()
-                .zip(&st.prev_a)
-                .map(|(&c, &p)| c as i16 - p as i16)
-                .collect();
-            let db: Vec<i16> = b_mat
-                .iter()
-                .zip(&st.prev_b)
-                .map(|(&c, &p)| c as i16 - p as i16)
-                .collect();
+            let da: Vec<i16> =
+                qa.data().iter().zip(&st.prev_a).map(|(&c, &p)| c as i16 - p as i16).collect();
+            let db: Vec<i16> =
+                b_mat.iter().zip(&st.prev_b).map(|(&c, &p)| c as i16 - p as i16).collect();
             (
                 Some(vec![
                     BitWidthHistogram::from_deltas(&db),
@@ -483,7 +454,13 @@ fn spatial_hist(data: &[i8], rows: usize, cols: usize) -> BitWidthHistogram {
 }
 
 /// im2col on quantized levels; padding contributes exact zeros.
-fn im2col_i8(data: &[i8], c: usize, h: usize, w: usize, p: Conv2dParams) -> (Vec<i8>, usize, usize) {
+fn im2col_i8(
+    data: &[i8],
+    c: usize,
+    h: usize,
+    w: usize,
+    p: Conv2dParams,
+) -> (Vec<i8>, usize, usize) {
     let ho = p.out_extent(h);
     let wo = p.out_extent(w);
     let k = p.kernel;
@@ -499,7 +476,8 @@ fn im2col_i8(data: &[i8], c: usize, h: usize, w: usize, p: Conv2dParams) -> (Vec
                         let ix = (ox * p.stride + kx) as isize - p.padding as isize;
                         let col = (ci * k + ky) * k + kx;
                         if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w {
-                            out[row * cols + col] = data[ci * h * w + iy as usize * w + ix as usize];
+                            out[row * cols + col] =
+                                data[ci * h * w + iy as usize * w + ix as usize];
                         }
                     }
                 }
@@ -553,14 +531,8 @@ impl LinearHook for DittoHook {
             LayerOp::Linear { .. } => {
                 let x = inputs[0];
                 let qw = self.quantize_weight(node);
-                let (acc, out_scale) = self.run_weighted(
-                    node,
-                    s,
-                    LinearKind::Fc,
-                    x,
-                    x.len() as u64,
-                    &qw,
-                );
+                let (acc, out_scale) =
+                    self.run_weighted(node, s, LinearKind::Fc, x, x.len() as u64, &qw);
                 let (m, n) = (x.dims()[0], qw.n);
                 let mut out = Tensor::zeros(&[m, n]);
                 let ov = out.as_mut_slice();
@@ -627,8 +599,7 @@ impl LinearHook for CalibrationHook {
         if !node.op.is_linear_layer() {
             return;
         }
-        self.cal
-            .observe(node.id, step.step_index, stats::abs_max(inputs[0].as_slice()));
+        self.cal.observe(node.id, step.step_index, stats::abs_max(inputs[0].as_slice()));
         if inputs.len() > 1 {
             // Secondary attention operand under its offset key.
             self.cal.observe(
@@ -669,10 +640,7 @@ pub fn trace_model(
 /// # Errors
 ///
 /// Propagates executor errors from the calibration run.
-pub fn build_quantizer(
-    model: &DiffusionModel,
-    calib_seed: u64,
-) -> tensor::Result<Quantizer> {
+pub fn build_quantizer(model: &DiffusionModel, calib_seed: u64) -> tensor::Result<Quantizer> {
     if model.kind.uses_dynamic_quant() {
         Ok(Quantizer::dynamic())
     } else {
@@ -790,11 +758,7 @@ mod tests {
     fn conv_layers_classified_in_im2col_domain() {
         let model = DiffusionModel::build(ModelKind::Ddpm, ModelScale::Tiny, 12);
         let (trace, _) = trace_model(&model, 6, ExecPolicy::Dense).unwrap();
-        let conv = trace
-            .layers
-            .iter()
-            .find(|l| l.kind == LinearKind::Conv)
-            .unwrap();
+        let conv = trace.layers.iter().find(|l| l.kind == LinearKind::Conv).unwrap();
         // im2col elements = K² × raw elements for stride-1 same conv.
         assert!(conv.elems >= conv.in_bytes, "{} vs {}", conv.elems, conv.in_bytes);
         assert_eq!(conv.macs, conv.elems * conv.reuse);

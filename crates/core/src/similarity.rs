@@ -18,7 +18,7 @@ use tensor::ops;
 use tensor::{stats, Tensor};
 
 /// Per-layer, per-step similarity and range records of one traced run.
-#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct SimilarityReport {
     /// Layer names in execution order.
     pub names: Vec<String>,
@@ -146,14 +146,9 @@ impl LinearHook for SimilarityHook {
         self.report.spatial_cosine[row].push(row_similarity(&mat));
         if let Some(prev) = self.prev.get(&node.id) {
             if prev.dims() == mat.dims() {
-                self.report.temporal_cosine[row]
-                    .push(stats::tensor_cosine(prev, &mat));
-                let diff: Vec<f32> = mat
-                    .as_slice()
-                    .iter()
-                    .zip(prev.as_slice())
-                    .map(|(&a, &b)| a - b)
-                    .collect();
+                self.report.temporal_cosine[row].push(stats::tensor_cosine(prev, &mat));
+                let diff: Vec<f32> =
+                    mat.as_slice().iter().zip(prev.as_slice()).map(|(&a, &b)| a - b).collect();
                 self.report.diff_range[row].push(stats::value_range(&diff));
             }
         }

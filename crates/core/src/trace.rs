@@ -14,7 +14,7 @@ use diffusion::NodeId;
 use quant::BitWidthHistogram;
 
 /// Which kind of linear layer a record describes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LinearKind {
     /// 2-D convolution (classified in the im2col domain).
     Conv,
@@ -39,7 +39,7 @@ impl LinearKind {
 /// Convolution / FC layers have exactly one (`ΔX × W`). Attention layers
 /// have two: `Q_t·ΔKᵀ` (operand ΔK) and `ΔQ·K_{t+1}ᵀ` (operand ΔQ), and
 /// analogously for `P·V`.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SubOp {
     /// Label for reports ("dx", "dk", "dq", "dv", "dp").
     pub label: String,
@@ -57,7 +57,7 @@ impl SubOp {
 }
 
 /// Static (step-invariant) description of one linear layer.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct LayerMeta {
     /// Graph node id.
     pub node: NodeId,
@@ -115,16 +115,10 @@ impl LayerMeta {
     /// to the next step and previous ones be re-loaded, regardless of the
     /// producing layers' value domain.
     pub fn temporal_extra_bytes(&self) -> u64 {
-        let input_side = if self.needs_diff_calc || self.kind.is_attention() {
-            2 * self.in_bytes
-        } else {
-            0
-        };
-        let output_side = if self.needs_summation {
-            2 * Self::OUTPUT_STATE_BYTES * self.out_bytes
-        } else {
-            0
-        };
+        let input_side =
+            if self.needs_diff_calc || self.kind.is_attention() { 2 * self.in_bytes } else { 0 };
+        let output_side =
+            if self.needs_summation { 2 * Self::OUTPUT_STATE_BYTES * self.out_bytes } else { 0 };
         input_side + output_side
     }
 
@@ -145,7 +139,7 @@ impl LayerMeta {
 }
 
 /// Per-step, per-layer operand statistics.
-#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct StepStats {
     /// Bit-width histogram of the original (quantized) primary operand.
     pub act: BitWidthHistogram,
@@ -171,7 +165,7 @@ impl StepStats {
 }
 
 /// A complete per-run workload trace.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct WorkloadTrace {
     /// Table I abbreviation of the traced model.
     pub model: String,

@@ -169,7 +169,7 @@ impl<'a> BlockCtx<'a> {
         c: usize,
         heads: usize,
     ) -> NodeId {
-        assert!(heads > 0 && c % heads == 0, "heads must divide the feature width");
+        assert!(heads > 0 && c.is_multiple_of(heads), "heads must divide the feature width");
         let n = |s: &str| format!("{name}.{s}");
         let hd = c / heads;
         let normed = self.layer_norm(&n("norm"), x, c);
@@ -255,11 +255,7 @@ impl<'a> BlockCtx<'a> {
         let s = self.g.add(n("adaln.silu"), LayerOp::SiLU, &[cond]);
         let m = self.linear(&n("adaln.fc"), s, c, 6 * c);
         let chunk = |ctx: &mut Self, i: usize, label: &str| {
-            ctx.g.add(
-                n(label),
-                LayerOp::SliceCols { start: i * c, len: c },
-                &[m],
-            )
+            ctx.g.add(n(label), LayerOp::SliceCols { start: i * c, len: c }, &[m])
         };
         let shift_msa = chunk(self, 0, "shift_msa");
         let scale_msa = chunk(self, 1, "scale_msa");

@@ -80,11 +80,8 @@ pub fn forward(
 ) -> Result<Tensor> {
     let mut values: Vec<Option<Tensor>> = vec![None; graph.len()];
     for node in graph.nodes() {
-        let inputs: Vec<&Tensor> = node
-            .inputs
-            .iter()
-            .map(|&i| values[i].as_ref().expect("topological order"))
-            .collect();
+        let inputs: Vec<&Tensor> =
+            node.inputs.iter().map(|&i| values[i].as_ref().expect("topological order")).collect();
         let out = eval_node(node, &inputs, bindings, step, hook)?;
         hook.observe(node, step, &inputs, &out);
         values[node.id] = Some(out);
@@ -245,10 +242,7 @@ fn to_tokens(x: &Tensor) -> Result<Tensor> {
 fn to_spatial(x: &Tensor, c: usize, h: usize, w: usize) -> Result<Tensor> {
     x.shape().expect_rank(2)?;
     if x.dims() != [h * w, c] {
-        return Err(TensorError::ShapeMismatch {
-            left: x.dims().to_vec(),
-            right: vec![h * w, c],
-        });
+        return Err(TensorError::ShapeMismatch { left: x.dims().to_vec(), right: vec![h * w, c] });
     }
     let mut out = Tensor::zeros(&[c, h, w]);
     let xv = x.as_slice();
@@ -274,8 +268,7 @@ fn slice_cols(x: &Tensor, start: usize, len: usize) -> Result<Tensor> {
     let xv = x.as_slice();
     let ov = out.as_mut_slice();
     for r in 0..rows {
-        ov[r * len..(r + 1) * len]
-            .copy_from_slice(&xv[r * cols + start..r * cols + start + len]);
+        ov[r * len..(r + 1) * len].copy_from_slice(&xv[r * cols + start..r * cols + start + len]);
     }
     Ok(out)
 }
@@ -311,8 +304,7 @@ fn concat_cols(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     let mut out = Tensor::zeros(&[rows, ca + cb]);
     let ov = out.as_mut_slice();
     for r in 0..rows {
-        ov[r * (ca + cb)..r * (ca + cb) + ca]
-            .copy_from_slice(&a.as_slice()[r * ca..(r + 1) * ca]);
+        ov[r * (ca + cb)..r * (ca + cb) + ca].copy_from_slice(&a.as_slice()[r * ca..(r + 1) * ca]);
         ov[r * (ca + cb) + ca..(r + 1) * (ca + cb)]
             .copy_from_slice(&b.as_slice()[r * cb..(r + 1) * cb]);
     }
@@ -384,11 +376,7 @@ mod tests {
     fn forward_identity_linear() {
         let mut g = LayerGraph::new();
         let x = g.add("x", LayerOp::Input(InputKind::Latent), &[]);
-        let l = g.add(
-            "fc",
-            LayerOp::Linear { weight: Tensor::eye(3), bias: None },
-            &[x],
-        );
+        let l = g.add("fc", LayerOp::Linear { weight: Tensor::eye(3), bias: None }, &[x]);
         g.set_output(l);
         let latent = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]).unwrap();
         let out = forward(
@@ -443,8 +431,7 @@ mod tests {
         g.set_output(s);
         let latent = Tensor::zeros(&[1, 2]);
         let mut c = Counter(0);
-        forward(&g, &Bindings { latent: &latent, context: None, t: 0.0 }, step0(), &mut c)
-            .unwrap();
+        forward(&g, &Bindings { latent: &latent, context: None, t: 0.0 }, step0(), &mut c).unwrap();
         assert_eq!(c.0, 2);
     }
 
@@ -470,10 +457,7 @@ mod tests {
         // Upsample2x is classified difference-transparent.
         let b = Tensor::full(&[1, 2, 2], 0.5);
         let lhs = upsample2x(&x.zip_with(&b, |p, q| p + q).unwrap()).unwrap();
-        let rhs = upsample2x(&x)
-            .unwrap()
-            .zip_with(&upsample2x(&b).unwrap(), |p, q| p + q)
-            .unwrap();
+        let rhs = upsample2x(&x).unwrap().zip_with(&upsample2x(&b).unwrap(), |p, q| p + q).unwrap();
         assert_eq!(lhs, rhs);
     }
 

@@ -90,11 +90,7 @@ impl LayerGraph {
 
     /// Ids of all Ditto-targetable linear layers, in execution order.
     pub fn linear_layers(&self) -> Vec<NodeId> {
-        self.nodes
-            .iter()
-            .filter(|n| n.op.is_linear_layer())
-            .map(|n| n.id)
-            .collect()
+        self.nodes.iter().filter(|n| n.op.is_linear_layer()).map(|n| n.id).collect()
     }
 
     /// Direct consumers of each node (adjacency in the forward direction).
@@ -156,9 +152,7 @@ impl LayerGraph {
             stack.extend_from_slice(&self.nodes[id].inputs);
         }
         assert!(
-            self.inputs_of(InputKind::Latent)
-                .iter()
-                .any(|&i| reachable[i]),
+            self.inputs_of(InputKind::Latent).iter().any(|&i| reachable[i]),
             "latent input does not reach the output"
         );
     }

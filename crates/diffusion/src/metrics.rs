@@ -69,10 +69,7 @@ pub fn pseudo_fid(set_a: &[Tensor], set_b: &[Tensor], proj_seed: u64) -> f64 {
 /// Panics if `set` is empty.
 pub fn pseudo_is(set: &[Tensor], proj_seed: u64) -> f64 {
     assert!(!set.is_empty(), "need samples");
-    let probs: Vec<Vec<f64>> = set
-        .iter()
-        .map(|s| softmax64(&features(s, proj_seed)))
-        .collect();
+    let probs: Vec<Vec<f64>> = set.iter().map(|s| softmax64(&features(s, proj_seed))).collect();
     let mut marginal = vec![0.0f64; FEATURE_DIM];
     for p in &probs {
         for i in 0..FEATURE_DIM {
@@ -148,9 +145,7 @@ mod tests {
 
     fn sample_set(seed: u64, n: usize, shift: f32) -> Vec<Tensor> {
         let mut rng = Rng::seed_from(seed);
-        (0..n)
-            .map(|_| Tensor::randn(&[32], &mut rng).map(|v| v + shift))
-            .collect()
+        (0..n).map(|_| Tensor::randn(&[32], &mut rng).map(|v| v + shift)).collect()
     }
 
     #[test]

@@ -285,8 +285,7 @@ impl DiffusionModel {
                         call_idx += 1;
                         ops::scale(&ops::add(&eps_t, &eps_mid)?, 0.5)
                     } else {
-                        let recent: Vec<Tensor> =
-                            history.iter().rev().take(3).cloned().collect();
+                        let recent: Vec<Tensor> = history.iter().rev().take(3).cloned().collect();
                         plms_combine(&eps_t, &recent)?
                     };
                     x = ddim_update(&x, &eps_prime, &self.schedule, t, t_prev)?;
@@ -430,10 +429,7 @@ enum UnetConditioning {
     /// Plain self-attention block (DDPM/BED/CHUR).
     None,
     /// Conditional latent transformer blocks (IMG/SDM).
-    Cross {
-        ctx_dim: usize,
-        blocks: usize,
-    },
+    Cross { ctx_dim: usize, blocks: usize },
 }
 
 /// Shared UNet skeleton: conv-in → ResNet down blocks → attention /
@@ -471,11 +467,8 @@ fn unet(
                 tk = ctx.cond_transformer_block(&format!("mid.tf.{b}"), tk, cin, 2 * c, ctx_dim);
             }
             let tk = ctx.linear("mid.proj_out", tk, 2 * c, 2 * c);
-            let sp = ctx.g.add(
-                "mid.to_spatial",
-                LayerOp::ToSpatial { c: 2 * c, h: hw, w: hw },
-                &[tk],
-            );
+            let sp =
+                ctx.g.add("mid.to_spatial", LayerOp::ToSpatial { c: 2 * c, h: hw, w: hw }, &[tk]);
             // The "extra linear layer" conv closing the block (Fig. 2).
             let sp = ctx.conv("mid.conv_out", sp, 2 * c, 2 * c, Conv2dParams::pointwise());
             ctx.g.add("mid.residual", LayerOp::Add, &[sp, mid])
@@ -497,7 +490,15 @@ fn unet(
 }
 
 /// DiT skeleton with uniformly named blocks.
-fn dit(ctx: &mut BlockCtx<'_>, c_io: usize, dim: usize, h: usize, w: usize, depth: usize, prefix: &str) {
+fn dit(
+    ctx: &mut BlockCtx<'_>,
+    c_io: usize,
+    dim: usize,
+    h: usize,
+    w: usize,
+    depth: usize,
+    prefix: &str,
+) {
     let names: Vec<String> = (0..depth).map(|i| format!("{prefix}.{i}")).collect();
     let refs: Vec<&str> = names.iter().map(String::as_str).collect();
     dit_named(ctx, c_io, dim, h, w, &refs);
@@ -506,7 +507,14 @@ fn dit(ctx: &mut BlockCtx<'_>, c_io: usize, dim: usize, h: usize, w: usize, dept
 /// DiT/Latte skeleton: patch-embedding conv → adaLN transformer blocks →
 /// final modulated linear → unpatchify. `block_names` sets both depth and
 /// block naming (Latte alternates `spatial.*` / `temporal.*`).
-fn dit_named(ctx: &mut BlockCtx<'_>, c_io: usize, dim: usize, h: usize, w: usize, block_names: &[&str]) {
+fn dit_named(
+    ctx: &mut BlockCtx<'_>,
+    c_io: usize,
+    dim: usize,
+    h: usize,
+    w: usize,
+    block_names: &[&str],
+) {
     let p = 2;
     let (hp, wp) = (h / p, w / p);
     let x = ctx.g.add("input", LayerOp::Input(InputKind::Latent), &[]);
@@ -515,24 +523,15 @@ fn dit_named(ctx: &mut BlockCtx<'_>, c_io: usize, dim: usize, h: usize, w: usize
     let temb = ctx.time_embedding(t, 16, dim);
     // Class conditioning enters additively, as in DiT.
     let cond = ctx.g.add("cond", LayerOp::Add, &[temb, cin]);
-    let patches = ctx.conv(
-        "patch_embed",
-        x,
-        c_io,
-        dim,
-        Conv2dParams { kernel: p, stride: p, padding: 0 },
-    );
+    let patches =
+        ctx.conv("patch_embed", x, c_io, dim, Conv2dParams { kernel: p, stride: p, padding: 0 });
     let mut tokens = ctx.g.add("to_tokens", LayerOp::ToTokens, &[patches]);
     for name in block_names {
         tokens = ctx.dit_block(name, tokens, cond, dim);
     }
     let normed = ctx.layer_norm("final.norm", tokens, dim);
     let out = ctx.linear("final.proj", normed, dim, p * p * c_io);
-    let img = ctx.g.add(
-        "final.unpatchify",
-        LayerOp::Unpatchify { c: c_io, hp, wp, p },
-        &[out],
-    );
+    let img = ctx.g.add("final.unpatchify", LayerOp::Unpatchify { c: c_io, hp, wp, p }, &[out]);
     // ε̂ = x + γ·net(x, t), as in the UNet skeleton.
     let scaled = ctx.g.add("final.scale", LayerOp::Scale(EPS_RESIDUAL_GAIN), &[img]);
     let eps = ctx.g.add("final.residual", LayerOp::Add, &[scaled, x]);
@@ -579,7 +578,13 @@ mod tests {
             max_idx: usize,
         }
         impl LinearHook for CallCounter {
-            fn observe(&mut self, _n: &crate::graph::Node, s: StepInfo, _i: &[&Tensor], _o: &Tensor) {
+            fn observe(
+                &mut self,
+                _n: &crate::graph::Node,
+                s: StepInfo,
+                _i: &[&Tensor],
+                _o: &Tensor,
+            ) {
                 self.max_idx = self.max_idx.max(s.step_index);
             }
         }
@@ -630,12 +635,7 @@ mod tests {
     fn dit_is_pure_transformer() {
         let dit = DiffusionModel::build(ModelKind::Dit, ModelScale::Tiny, 1);
         // No group norm / SiLU-conv ResNet machinery except patch embed conv.
-        let convs = dit
-            .graph
-            .nodes()
-            .iter()
-            .filter(|n| n.op.kind_name() == "conv2d")
-            .count();
+        let convs = dit.graph.nodes().iter().filter(|n| n.op.kind_name() == "conv2d").count();
         assert_eq!(convs, 1, "only the patch embedding is a conv");
         assert!(!dit.graph.nodes().iter().any(|n| n.op.kind_name() == "group_norm"));
     }

@@ -261,8 +261,7 @@ mod tests {
 
     #[test]
     fn classification_matches_paper_families() {
-        assert!(LayerOp::Linear { weight: Tensor::zeros(&[1, 1]), bias: None }
-            .is_linear_layer());
+        assert!(LayerOp::Linear { weight: Tensor::zeros(&[1, 1]), bias: None }.is_linear_layer());
         assert!(LayerOp::MatmulQK.is_linear_layer());
         assert!(LayerOp::MatmulPV.is_linear_layer());
         assert!(LayerOp::SiLU.is_nonlinear());

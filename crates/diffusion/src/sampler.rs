@@ -50,9 +50,7 @@ impl Schedule {
     pub fn sample_times(&self, steps: usize) -> Vec<usize> {
         assert!(steps >= 1 && steps <= self.train_steps());
         let t = self.train_steps();
-        let mut out: Vec<usize> = (0..steps)
-            .map(|i| i * t / steps)
-            .collect();
+        let mut out: Vec<usize> = (0..steps).map(|i| i * t / steps).collect();
         out.reverse();
         out
     }
@@ -105,10 +103,7 @@ pub fn ddim_update(
     let sqrt_ab_prev = ab_prev.sqrt() as f32;
     let sqrt_one_minus_ab_prev = (1.0 - ab_prev).sqrt() as f32;
     // x_{t_prev} = √ᾱ_prev·x0 + √(1−ᾱ_prev)·ε
-    ops::add(
-        &ops::scale(&x0, sqrt_ab_prev),
-        &ops::scale(eps, sqrt_one_minus_ab_prev),
-    )
+    ops::add(&ops::scale(&x0, sqrt_ab_prev), &ops::scale(eps, sqrt_one_minus_ab_prev))
 }
 
 /// One stochastic ancestral DDPM update from training time `t` to
@@ -141,10 +136,7 @@ pub fn ddpm_update(
         .zip_with(eps, move |xv, ev| (xv - sqrt_one_minus_ab_t * ev) / sqrt_ab_t)?
         .map(|v| v.clamp(-3.0, 3.0));
     let dir_coeff = (1.0 - ab_prev - sigma * sigma).max(0.0).sqrt() as f32;
-    let mut out = ops::add(
-        &ops::scale(&x0, ab_prev.sqrt() as f32),
-        &ops::scale(eps, dir_coeff),
-    )?;
+    let mut out = ops::add(&ops::scale(&x0, ab_prev.sqrt() as f32), &ops::scale(eps, dir_coeff))?;
     if sigma > 0.0 {
         let noise = Tensor::randn(out.dims(), rng);
         out = ops::add(&out, &ops::scale(&noise, sigma as f32))?;
@@ -270,7 +262,9 @@ mod tests {
         let h2 = Tensor::full(&[2], 3.0);
         let h3 = Tensor::full(&[2], 4.0);
         assert_eq!(plms_combine(&e, &[]).unwrap().as_slice()[0], 1.0);
-        assert!((plms_combine(&e, std::slice::from_ref(&h1)).unwrap().as_slice()[0] - 0.5).abs() < 1e-6);
+        assert!(
+            (plms_combine(&e, std::slice::from_ref(&h1)).unwrap().as_slice()[0] - 0.5).abs() < 1e-6
+        );
         let o2 = plms_combine(&e, &[h1.clone(), h2.clone()]).unwrap().as_slice()[0];
         assert!((o2 - (23.0 - 32.0 + 15.0) / 12.0).abs() < 1e-5);
         let o3 = plms_combine(&e, &[h1, h2, h3]).unwrap().as_slice()[0];

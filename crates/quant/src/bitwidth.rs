@@ -71,7 +71,7 @@ impl BitWidthClass {
 ///
 /// This is the per-layer statistic the Encoding Unit produces and everything
 /// downstream (BOPs model, cycle model, Fig. 5) consumes.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct BitWidthHistogram {
     /// Count of exactly-zero values.
     pub zero: u64,

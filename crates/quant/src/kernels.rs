@@ -53,11 +53,7 @@ pub fn delta_matmul_update(
 ) -> Vec<i32> {
     assert_eq!(prev_out.len(), m * n, "previous output length");
     let delta_out = int_matmul(delta, w, m, k, n);
-    prev_out
-        .iter()
-        .zip(&delta_out)
-        .map(|(&p, &d)| p + d)
-        .collect()
+    prev_out.iter().zip(&delta_out).map(|(&p, &d)| p + d).collect()
 }
 
 /// Exact attention-score decomposition (§IV-A, attention layers):
@@ -146,11 +142,7 @@ mod tests {
         let w = rand_i8(k * n, &mut rng);
         // Current = prev + small delta.
         let delta: Vec<i16> = (0..m * k).map(|_| rng.next_below(7) as i16 - 3).collect();
-        let curr: Vec<i16> = prev
-            .iter()
-            .zip(&delta)
-            .map(|(&p, &d)| p as i16 + d)
-            .collect();
+        let curr: Vec<i16> = prev.iter().zip(&delta).map(|(&p, &d)| p as i16 + d).collect();
         let dense_prev = int_matmul(&widen(&prev), &w, m, k, n);
         let dense_curr = int_matmul(&curr, &w, m, k, n);
         let via_delta = delta_matmul_update(&dense_prev, &delta, &w, m, k, n);
@@ -167,11 +159,7 @@ mod tests {
         assert_eq!(out_t1, vec![906, 738, 1236, 384, 296, 544, 499, 487, 1126]);
 
         let act_t: Vec<i16> = vec![120, 117, 84, 47, 43, 37, 20, 71, 95];
-        let delta: Vec<i16> = act_t
-            .iter()
-            .zip(&act_t1)
-            .map(|(&a, &b)| a - b)
-            .collect();
+        let delta: Vec<i16> = act_t.iter().zip(&act_t1).map(|(&a, &b)| a - b).collect();
         assert_eq!(delta, vec![0, 3, 0, -4, 0, 0, -68, -6, -1]);
         let out_t = delta_matmul_update(&out_t1, &delta, &weight, 3, 3, 3);
         assert_eq!(out_t, int_matmul(&act_t, &weight, 3, 3, 3));
@@ -205,8 +193,7 @@ mod tests {
 
         let prev_scores = int_scores(&q_prev, &k_prev_t, m, d, n);
         let dense = int_scores(&q_t, &k_t_t, m, d, n);
-        let via_delta =
-            attention_delta_scores(&prev_scores, &q_t, &dq, &k_prev_t, &dk_t, m, d, n);
+        let via_delta = attention_delta_scores(&prev_scores, &q_t, &dq, &k_prev_t, &dk_t, m, d, n);
         assert_eq!(dense, via_delta, "attention decomposition must be bit-exact");
     }
 

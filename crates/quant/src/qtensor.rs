@@ -135,11 +135,7 @@ impl QTensor {
             (self.scale - prev.scale).abs() <= f32::EPSILON * self.scale.abs(),
             "delta requires equal scales; requantize first"
         );
-        self.data
-            .iter()
-            .zip(&prev.data)
-            .map(|(&a, &b)| a as i16 - b as i16)
-            .collect()
+        self.data.iter().zip(&prev.data).map(|(&a, &b)| a as i16 - b as i16).collect()
     }
 
     /// Row-wise spatial differences along axis 0 of a rank-2 view:

@@ -67,10 +67,7 @@ impl Quantizer {
         match self.mode {
             QuantMode::Dynamic => QTensor::quantize_dynamic(x),
             QuantMode::Static => {
-                let scale = self
-                    .table
-                    .as_ref()
-                    .and_then(|t| t.scale_for(layer, step));
+                let scale = self.table.as_ref().and_then(|t| t.scale_for(layer, step));
                 match scale {
                     Some(s) => QTensor::quantize_with_scale(x, s),
                     None => QTensor::quantize_dynamic(x),

@@ -1,0 +1,227 @@
+//! A minimal wall-clock stand-in for the subset of the
+//! [`criterion`](https://docs.rs/criterion) API this workspace uses.
+//!
+//! The build environment has no access to a crates registry, so the real
+//! criterion cannot be vendored. The shim keeps the bench sources unchanged
+//! and `cargo bench` runnable: each benchmark warms up, then runs an
+//! adaptive number of iterations (at least the configured sample size, at
+//! least a few milliseconds of wall time) and prints mean ns/iter. There is
+//! no statistical analysis, outlier rejection, or HTML report.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Minimum measured wall time per benchmark before reporting.
+const MIN_MEASURE: Duration = Duration::from_millis(20);
+/// Hard cap so a slow benchmark cannot stall the suite.
+const MAX_MEASURE: Duration = Duration::from_secs(3);
+
+/// Benchmark identifier: a function name plus an optional parameter label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId { label: format!("{function}/{parameter}") }
+    }
+
+    /// Just the parameter (criterion prefixes the group name; so do we).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { label: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Times one benchmark routine.
+pub struct Bencher {
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly and prints the mean time per iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..2 {
+            std::hint::black_box(routine());
+        }
+        let floor = self.sample_size.max(10) as u64;
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            std::hint::black_box(routine());
+            iters += 1;
+            let elapsed = start.elapsed();
+            if (iters >= floor && elapsed >= MIN_MEASURE) || elapsed >= MAX_MEASURE {
+                break;
+            }
+        }
+        let ns = start.elapsed().as_nanos() as f64 / iters as f64;
+        println!("    time: {} /iter ({iters} iterations)", human_ns(ns));
+    }
+}
+
+fn human_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// The benchmark manager.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the minimum iteration count per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        println!("{}", id.into().label);
+        f(&mut Bencher { sample_size: self.sample_size });
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), sample_size: self.sample_size, _parent: self }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the minimum iteration count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        println!("{}/{}", self.name, id.into().label);
+        f(&mut Bencher { sample_size: self.sample_size });
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        println!("{}/{}", self.name, id.into().label);
+        f(&mut Bencher { sample_size: self.sample_size }, input);
+        self
+    }
+
+    /// Ends the group (reporting is immediate in the shim; this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's two forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = <$crate::Criterion as ::core::default::Default>::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generates `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+/// Re-export matching `criterion::black_box` (the real crate deprecates it
+/// in favor of `std::hint::black_box`, which is what this is).
+pub use std::hint::black_box;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut calls = 0u64;
+        Criterion::default().sample_size(5).bench_function("smoke", |b| b.iter(|| calls += 1));
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn group_runs_with_input() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(5);
+        let mut total = 0u64;
+        g.bench_with_input(BenchmarkId::from_parameter("p"), &3u64, |b, &x| b.iter(|| total += x));
+        g.finish();
+        assert!(total >= 3);
+    }
+
+    #[test]
+    fn human_ns_formats_scales() {
+        assert!(human_ns(5.0).ends_with("ns"));
+        assert!(human_ns(5_000.0).ends_with("µs"));
+        assert!(human_ns(5_000_000.0).ends_with("ms"));
+        assert!(human_ns(5e9).ends_with('s'));
+    }
+}

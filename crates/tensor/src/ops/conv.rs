@@ -57,12 +57,8 @@ pub fn conv2d(
     input.shape().expect_rank(3)?;
     weight.shape().expect_rank(4)?;
     let (c_in, h, w) = (input.dims()[0], input.dims()[1], input.dims()[2]);
-    let (c_out, wc_in, kh, kw) = (
-        weight.dims()[0],
-        weight.dims()[1],
-        weight.dims()[2],
-        weight.dims()[3],
-    );
+    let (c_out, wc_in, kh, kw) =
+        (weight.dims()[0], weight.dims()[1], weight.dims()[2], weight.dims()[3]);
     if wc_in != c_in || kh != params.kernel || kw != params.kernel {
         return Err(TensorError::ShapeMismatch {
             left: input.dims().to_vec(),
@@ -94,8 +90,7 @@ pub fn conv2d(
                             continue;
                         }
                         for kx in 0..k {
-                            let ix =
-                                (ox * params.stride + kx) as isize - params.padding as isize;
+                            let ix = (ox * params.stride + kx) as isize - params.padding as isize;
                             if ix < 0 || ix as usize >= w {
                                 continue;
                             }

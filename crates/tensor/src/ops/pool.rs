@@ -12,9 +12,7 @@ pub fn avg_pool2d(x: &Tensor, window: usize) -> Result<Tensor> {
     x.shape().expect_rank(3)?;
     let (c, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2]);
     if window == 0 || h % window != 0 || w % window != 0 {
-        return Err(TensorError::InvalidArgument(format!(
-            "window {window} must tile {h}x{w}"
-        )));
+        return Err(TensorError::InvalidArgument(format!("window {window} must tile {h}x{w}")));
     }
     let (ho, wo) = (h / window, w / window);
     let mut out = Tensor::zeros(&[c, ho, wo]);
@@ -77,8 +75,7 @@ mod tests {
 
     #[test]
     fn global_pool_means() {
-        let x = Tensor::from_vec(vec![1.0, 3.0, 5.0, 7.0, 2.0, 2.0, 2.0, 2.0], &[2, 2, 2])
-            .unwrap();
+        let x = Tensor::from_vec(vec![1.0, 3.0, 5.0, 7.0, 2.0, 2.0, 2.0, 2.0], &[2, 2, 2]).unwrap();
         let y = global_avg_pool(&x).unwrap();
         assert_eq!(y.as_slice(), &[4.0, 2.0]);
     }

@@ -107,10 +107,7 @@ impl Shape {
         if self == other {
             Ok(())
         } else {
-            Err(TensorError::ShapeMismatch {
-                left: self.dims.clone(),
-                right: other.dims.clone(),
-            })
+            Err(TensorError::ShapeMismatch { left: self.dims.clone(), right: other.dims.clone() })
         }
     }
 }

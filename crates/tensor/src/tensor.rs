@@ -77,9 +77,7 @@ impl Tensor {
     /// Creates a tensor of uniform samples in `[lo, hi)` from `rng`.
     pub fn rand_uniform(dims: &[usize], lo: f32, hi: f32, rng: &mut Rng) -> Self {
         let shape = Shape::new(dims);
-        let data = (0..shape.volume())
-            .map(|_| lo + (hi - lo) * rng.next_f32())
-            .collect();
+        let data = (0..shape.volume()).map(|_| lo + (hi - lo) * rng.next_f32()).collect();
         Tensor { shape, data }
     }
 
@@ -156,10 +154,7 @@ impl Tensor {
 
     /// Applies `f` to every element, returning a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor {
-            shape: self.shape.clone(),
-            data: self.data.iter().copied().map(f).collect(),
-        }
+        Tensor { shape: self.shape.clone(), data: self.data.iter().copied().map(f).collect() }
     }
 
     /// Combines two same-shaped tensors element-wise with `f`.
@@ -169,12 +164,7 @@ impl Tensor {
     /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
     pub fn zip_with(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Result<Tensor> {
         self.shape.expect_same(&other.shape)?;
-        let data = self
-            .data
-            .iter()
-            .zip(&other.data)
-            .map(|(&a, &b)| f(a, b))
-            .collect();
+        let data = self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect();
         Ok(Tensor { shape: self.shape.clone(), data })
     }
 

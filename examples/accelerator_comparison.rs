@@ -11,7 +11,7 @@
 
 use accel::design::Design;
 use accel::gpu::simulate_gpu;
-use accel::sim::simulate;
+use accel::sim::simulate_designs;
 use diffusion::{DiffusionModel, ModelKind, ModelScale};
 use ditto_core::runner::{trace_model, ExecPolicy};
 
@@ -25,7 +25,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("tracing {} ({} steps)...", kind.abbr(), model.steps);
     let (trace, _) = trace_model(&model, 0, ExecPolicy::Dense)?;
 
-    let itc = simulate(&Design::itc(), &trace);
+    let mut designs = vec![Design::itc(), Design::diffy(), Design::cambricon_d()];
+    designs.extend(Design::fig16_set());
+    designs.push(Design::ideal_ditto());
+    designs.push(Design::dynamic_ditto());
+    // One parallel sweep over the whole design space; results come back in
+    // `designs` order, bit-identical to sequential simulation.
+    let results = simulate_designs(&designs, &trace);
+    let itc = results[0].clone();
     println!(
         "\n{:<28} {:>8} {:>8} {:>10} {:>10} {:>8}",
         "design", "speedup", "energy", "compute", "stall", "mem"
@@ -40,12 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         gpu.stall_cycles,
         gpu.total_bytes / itc.total_bytes
     );
-    let mut designs = vec![Design::itc(), Design::diffy(), Design::cambricon_d()];
-    designs.extend(Design::fig16_set());
-    designs.push(Design::ideal_ditto());
-    designs.push(Design::dynamic_ditto());
-    for d in designs {
-        let r = simulate(&d, &trace);
+    for r in results {
         print!(
             "{:<28} {:>8.2} {:>8.2} {:>10.0} {:>10.0} {:>7.2}x",
             r.design,

@@ -26,12 +26,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{:<22} {:>9} {:>9}  boundaries", "layer", "diff-calc", "summation");
     for b in &defo.boundaries {
         let node = model.graph.node(b.node);
-        let mut kinds: Vec<&str> = b
-            .in_boundary
-            .iter()
-            .chain(&b.out_boundary)
-            .map(String::as_str)
-            .collect();
+        let mut kinds: Vec<&str> =
+            b.in_boundary.iter().chain(&b.out_boundary).map(String::as_str).collect();
         kinds.dedup();
         println!(
             "{:<22} {:>9} {:>9}  {}",
@@ -41,11 +37,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             kinds.join(",")
         );
     }
-    let bypassed = defo
-        .boundaries
-        .iter()
-        .filter(|b| !b.needs_diff_calc || !b.needs_summation)
-        .count();
+    let bypassed =
+        defo.boundaries.iter().filter(|b| !b.needs_diff_calc || !b.needs_summation).count();
     println!(
         "\n{} of {} layers have at least one boundary bypassed by the dependency check",
         bypassed,

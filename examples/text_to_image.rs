@@ -26,7 +26,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // embeddings; constant across all time steps.
     let (_, context) = model.sample_inputs(7);
     let context = context.expect("SDM is conditional");
-    println!("context: {} tokens x {} features (constant across steps)", context.dims()[0], context.dims()[1]);
+    println!(
+        "context: {} tokens x {} features (constant across steps)",
+        context.dims()[0],
+        context.dims()[1]
+    );
 
     // Trace a Ditto generation and inspect the cross-attention K projection:
     // constant context => all-zero temporal differences.
@@ -50,9 +54,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Quality check vs FP32 (Table II proxies).
-    let fp32: Vec<_> = (0..3)
-        .map(|s| model.run_reverse(7 + s, &mut NullHook))
-        .collect::<Result<_, _>>()?;
+    let fp32: Vec<_> =
+        (0..3).map(|s| model.run_reverse(7 + s, &mut NullHook)).collect::<Result<_, _>>()?;
     let quantizer = build_quantizer(&model, 7)?;
     let ditto: Vec<_> = (0..3)
         .map(|s| {
@@ -66,7 +69,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         metrics::pseudo_clip_score(&fp32, &context, 11),
         metrics::pseudo_clip_score(&ditto, &context, 11),
     );
-    println!("sample dims {:?}, finite: {}", ditto_sample.dims(),
-             ditto_sample.as_slice().iter().all(|v| v.is_finite()));
+    println!(
+        "sample dims {:?}, finite: {}",
+        ditto_sample.dims(),
+        ditto_sample.as_slice().iter().all(|v| v.is_finite())
+    );
     Ok(())
 }

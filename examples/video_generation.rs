@@ -22,16 +22,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "Latte: {} steps over a [{}] latent clip (two frames side by side)",
         model.steps,
-        model
-            .latent_dims
-            .iter()
-            .map(ToString::to_string)
-            .collect::<Vec<_>>()
-            .join("x"),
+        model.latent_dims.iter().map(ToString::to_string).collect::<Vec<_>>().join("x"),
     );
     let (trace, clip) = trace_model(&model, 0, ExecPolicy::Dense)?;
-    println!("generated clip: {:?}, finite: {}", clip.dims(),
-             clip.as_slice().iter().all(|v| v.is_finite()));
+    println!(
+        "generated clip: {:?}, finite: {}",
+        clip.dims(),
+        clip.as_slice().iter().all(|v| v.is_finite())
+    );
 
     // Per-block-family difference statistics.
     for family in ["spatial", "temporal"] {

@@ -36,12 +36,8 @@ fn unet_models_have_sign_mask_covered_layers_transformers_do_not() {
     // Only the tiny time-embedding MLP has a SiLU boundary in DiT; the
     // transformer blocks are all LN/GeLU/Softmax, where sign-mask is
     // powerless — count coverage by bytes, the quantity that matters.
-    let covered_bytes: u64 = t
-        .layers
-        .iter()
-        .filter(|l| l.sign_mask_covers())
-        .map(|l| l.temporal_extra_bytes())
-        .sum();
+    let covered_bytes: u64 =
+        t.layers.iter().filter(|l| l.sign_mask_covers()).map(|l| l.temporal_extra_bytes()).sum();
     let total_bytes: u64 = t.layers.iter().map(|l| l.temporal_extra_bytes()).sum();
     assert!(
         (covered_bytes as f64) < 0.05 * total_bytes as f64,
@@ -53,7 +49,9 @@ fn unet_models_have_sign_mask_covered_layers_transformers_do_not() {
 fn defo_reports_consistent_across_policies() {
     let model = DiffusionModel::build(ModelKind::Chur, ModelScale::Tiny, 2);
     let (trace, _) = trace_model(&model, 0, ExecPolicy::Dense).unwrap();
-    for design in [Design::ditto(), Design::ditto_plus(), Design::dynamic_ditto(), Design::ideal_ditto()] {
+    for design in
+        [Design::ditto(), Design::ditto_plus(), Design::dynamic_ditto(), Design::ideal_ditto()]
+    {
         let r = simulate(&design, &trace);
         let d = r.defo.expect("defo report");
         assert!((0.0..=1.0).contains(&d.changed_ratio), "{}", design.name);

@@ -69,6 +69,8 @@ fn traces_are_deterministic() {
     let (a, sa) = trace_model(&model, 1, ExecPolicy::Dense).unwrap();
     let (b, sb) = trace_model(&model, 1, ExecPolicy::Dense).unwrap();
     assert_eq!(sa, sb);
-    assert_eq!(a.merged(ditto_core::trace::StatView::Temporal),
-               b.merged(ditto_core::trace::StatView::Temporal));
+    assert_eq!(
+        a.merged(ditto_core::trace::StatView::Temporal),
+        b.merged(ditto_core::trace::StatView::Temporal)
+    );
 }
