@@ -1,0 +1,68 @@
+//! Cache-cold / cache-warm smoke test for the binary trace cache.
+//!
+//! Runs a Tiny-scale trace + design sweep twice against one cache
+//! directory (point `DITTO_CACHE_DIR` at a fresh directory for a genuinely
+//! cold first pass, as CI does) and asserts that the second pass loads
+//! *every* trace from the binary cache and reproduces the identical sweep
+//! results — i.e. the cache is both hit and faithful.
+
+use std::time::Instant;
+
+use accel::design::Design;
+use accel::sim::simulate_designs;
+use bench::{Suite, TraceSource, CACHE_DIR_ENV, MODELS};
+use diffusion::ModelScale;
+
+fn sweep(suite: &Suite) -> Vec<(String, String, f64)> {
+    let designs = [Design::itc(), Design::cambricon_d(), Design::ditto()];
+    suite
+        .traces
+        .iter()
+        .flat_map(|trace| {
+            simulate_designs(&designs, trace)
+                .into_iter()
+                .map(|r| (r.design.clone(), r.model.clone(), r.cycles))
+        })
+        .collect()
+}
+
+fn main() {
+    match std::env::var(CACHE_DIR_ENV) {
+        Ok(dir) => println!("cache dir: {dir}"),
+        Err(_) => {
+            println!("cache dir: default (target/ditto-cache); set {CACHE_DIR_ENV} for a cold run")
+        }
+    }
+
+    let t0 = Instant::now();
+    let first = Suite::load_scaled(ModelScale::Tiny);
+    let cold = t0.elapsed();
+    let first_results = sweep(&first);
+    println!(
+        "pass 1: {} traces ({} cache hit(s)) + sweep in {:.2?}",
+        first.traces.len(),
+        first.sources.iter().filter(|s| s.is_cache_hit()).count(),
+        cold
+    );
+
+    let t1 = Instant::now();
+    let second = Suite::load_scaled(ModelScale::Tiny);
+    let warm = t1.elapsed();
+    let second_results = sweep(&second);
+    println!("pass 2: {} traces + sweep in {:.2?}", second.traces.len(), warm);
+
+    for (kind, source) in MODELS.iter().zip(&second.sources) {
+        assert_eq!(
+            *source,
+            TraceSource::BinCache,
+            "{} was not served from the binary cache on the warm pass",
+            kind.abbr()
+        );
+    }
+    assert_eq!(first_results, second_results, "cache-loaded traces changed the sweep results");
+    println!(
+        "OK: all {} traces loaded from the binary cache; {} sweep results identical",
+        second.traces.len(),
+        second_results.len()
+    );
+}

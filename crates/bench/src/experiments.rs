@@ -12,11 +12,22 @@ use ditto_core::runner::{build_quantizer, DittoHook, ExecPolicy};
 use ditto_core::trace::StatView;
 
 use crate::report::{banner, f2, f3, pct, Table};
-use crate::suite::{build_model, cached_similarity, cached_trace, MODELS};
+use crate::suite::{build_model, cached_similarity, cached_trace, Suite, MODELS};
+
+/// Ensures every model's trace is cached on disk before a per-model
+/// `cached_trace` loop, fanning missing traces out across cores via the
+/// parallel [`Suite::load`]. Once per process: later calls are free.
+fn warm_suite() {
+    static WARM: std::sync::Once = std::sync::Once::new();
+    WARM.call_once(|| {
+        let _ = Suite::load();
+    });
+}
 
 /// Table I: evaluated models, datasets and samplers.
 pub fn table1() {
     banner("Table I", "Evaluated Models, Datasets, and Samplers");
+    warm_suite();
     let mut t = Table::new(["Abbr.", "Dataset", "Sampler", "Steps", "Linear layers", "MACs/step"]);
     for &kind in &MODELS {
         let model = build_model(kind);
@@ -134,6 +145,7 @@ pub fn fig04b() {
 /// differences.
 pub fn fig05() {
     banner("Fig. 5", "Bit-width requirement (zero / 4-bit / over-4-bit)");
+    warm_suite();
     let mut t = Table::new(["Model", "View", "Zero", "4-bit", "Over 4-bit"]);
     let mut avg = [[0.0f64; 3]; 3];
     for &kind in &MODELS {
@@ -178,6 +190,7 @@ pub fn fig05() {
 /// Fig. 6a: relative BOPs of the three processing methods.
 pub fn fig06a() {
     banner("Fig. 6a", "Relative BOPs (normalized to the original quantized model)");
+    warm_suite();
     let mut t = Table::new(["Model", "Activation", "Spatial diff", "Temporal diff"]);
     let (mut ss, mut st) = (0.0, 0.0);
     for &kind in &MODELS {
@@ -198,6 +211,7 @@ pub fn fig06a() {
 /// layers.
 pub fn fig06b() {
     banner("Fig. 6b", "Per-step relative BOPs of temporal differences (SDM)");
+    warm_suite();
     let trace = cached_trace(ModelKind::Sdm);
     for name in ["conv-in", "up.0.0.skip"] {
         let series = analysis::per_step_relative_bops(&trace, name).expect("layer exists");
@@ -227,6 +241,7 @@ pub fn fig06b() {
 /// processing (before Defo).
 pub fn fig08() {
     banner("Fig. 8", "Relative memory accesses of temporal difference processing");
+    warm_suite();
     let mut t =
         Table::new(["Model", "Activation", "Temporal diff (naive)", "After Defo static bypass"]);
     let (mut sn, mut sd) = (0.0, 0.0);
@@ -335,6 +350,7 @@ fn fig13_designs() -> Vec<Design> {
 /// design, normalized to ITC.
 pub fn fig13() {
     banner("Fig. 13", "Speedup and relative energy vs ITC");
+    warm_suite();
     let designs = fig13_designs();
     let mut t = Table::new(["Model", "GPU", "ITC", "Diffy", "Cam-D", "Ditto", "Ditto+"]);
     let mut e = Table::new(["Model", "GPU", "ITC", "Diffy", "Cam-D", "Ditto", "Ditto+"]);
@@ -400,6 +416,7 @@ pub fn fig13() {
 /// Fig. 14: relative memory accesses of the hardware designs.
 pub fn fig14() {
     banner("Fig. 14", "Relative memory accesses (normalized to ITC)");
+    warm_suite();
     let mut t = Table::new(["Model", "ITC", "Cam-D", "Ditto", "Ditto+"]);
     let mut sums = [0.0f64; 3];
     for &kind in &MODELS {
@@ -430,6 +447,7 @@ pub fn fig14() {
 /// Ditto (normalized to the original Cambricon-D).
 pub fn fig15() {
     banner("Fig. 15", "Cross-application of software techniques (vs Org. Cam-D)");
+    warm_suite();
     let designs = Design::fig15_set();
     let mut header = vec!["Model".to_string()];
     header.extend(designs.iter().map(|d| d.name.clone()));
@@ -462,6 +480,7 @@ pub fn fig15() {
 /// ablations, relative to ITC.
 pub fn fig16() {
     banner("Fig. 16", "Cycle counts of Ditto hardware variants (relative to ITC)");
+    warm_suite();
     let designs = Design::fig16_set();
     let mut header = vec!["Model".to_string(), "metric".to_string()];
     header.extend(designs.iter().map(|d| d.name.clone()));
@@ -490,6 +509,7 @@ pub fn fig16() {
 /// Fig. 17: Defo execution-type changes and prediction accuracy.
 pub fn fig17() {
     banner("Fig. 17", "Defo layer execution-type changes (top) and accuracy (bottom)");
+    warm_suite();
     let mut t =
         Table::new(["Model", "Defo change", "Defo accuracy", "Defo+ change", "Defo+ accuracy"]);
     let mut sums = [0.0f64; 4];
@@ -519,6 +539,7 @@ pub fn fig17() {
 /// Fig. 18: Ditto vs oracle-Defo (Ideal) designs.
 pub fn fig18() {
     banner("Fig. 18", "Ditto vs Ideal-Ditto (speedup over ITC)");
+    warm_suite();
     let mut t = Table::new(["Model", "ITC", "Ditto", "Ideal-Ditto", "Ditto+", "Ideal-Ditto+"]);
     let mut fracs = (0.0f64, 0.0f64);
     for &kind in &MODELS {
@@ -558,6 +579,7 @@ pub fn fig18() {
 /// Fig. 19: Dynamic-Ditto under injected value-distribution drift.
 pub fn fig19() {
     banner("Fig. 19", "Defo under drifting temporal similarity (speedup vs ITC / accuracy)");
+    warm_suite();
     let mut t = Table::new(["Model", "Ditto", "Dyn.-Ditto", "Ideal-Ditto", "Ditto acc", "Dyn acc"]);
     let mut rel = (0.0f64, 0.0f64);
     for &kind in &MODELS {
@@ -593,6 +615,7 @@ pub fn fig19() {
 /// Helper for binaries: simulate one design over the whole suite and
 /// return (design name, per-model results).
 pub fn simulate_suite(design: &Design) -> Vec<RunResult> {
+    warm_suite();
     MODELS.iter().map(|&k| simulate(design, &cached_trace(k))).collect()
 }
 

@@ -5,8 +5,11 @@
 //! rows/series the paper reports (see DESIGN.md §3 for the index). The
 //! heavy inputs — per-model workload traces and similarity reports from
 //! full reverse-process runs at `ModelScale::Small` with the paper's step
-//! counts — are cached as JSON under `target/ditto-cache/` so the full
-//! figure suite runs in seconds after the first trace pass.
+//! counts — are computed in parallel across models and cached in the
+//! versioned binary format of `ditto_core::binio` under
+//! `target/ditto-cache/` (override with `DITTO_CACHE_DIR`), so the full
+//! figure suite runs in seconds after the first trace pass. Legacy JSON
+//! caches are migrated to binary on first read.
 //!
 //! Run everything with:
 //!
@@ -17,6 +20,8 @@
 pub mod report;
 pub mod suite;
 
-pub use suite::{cached_similarity, cached_trace, Suite, MODELS};
+pub use suite::{
+    cached_similarity, cached_trace, cached_trace_scaled, Suite, TraceSource, CACHE_DIR_ENV, MODELS,
+};
 pub mod ablations;
 pub mod experiments;

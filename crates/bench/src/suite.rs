@@ -1,7 +1,21 @@
 //! The benchmark suite: the seven Table I models with cached traces.
+//!
+//! Traces and similarity reports are cached on disk in the versioned
+//! little-endian binary format of [`ditto_core::binio`] (`trace-*.bin`,
+//! `similarity-*.bin`). Legacy JSON caches (`trace-*.json`) from earlier
+//! revisions are read once and migrated to `.bin`; corrupt or truncated
+//! cache files of either format are treated as misses and re-traced. The
+//! cache directory defaults to `target/ditto-cache` and can be redirected
+//! with the `DITTO_CACHE_DIR` environment variable.
+//!
+//! [`Suite::load`] fans the per-model trace work out across CPU cores with
+//! `std::thread::scope` (the same worker-queue pattern as
+//! `accel::sim::simulate_designs`), which collapses first-run latency —
+//! previously dominated by the single-threaded Small-scale SDM pass — and
+//! reports which traces were cache hits versus freshly traced.
 
 use std::fs;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 use diffusion::{DiffusionModel, ModelKind, ModelScale};
 use ditto_core::runner::{trace_model, ExecPolicy};
@@ -24,22 +38,64 @@ pub const WEIGHT_SEED: u64 = 42;
 /// Seed used for the traced generation run.
 pub const SAMPLE_SEED: u64 = 0;
 
+/// Environment variable overriding the on-disk cache location.
+pub const CACHE_DIR_ENV: &str = "DITTO_CACHE_DIR";
+
 fn cache_dir() -> PathBuf {
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/ditto-cache");
+    let dir = std::env::var_os(CACHE_DIR_ENV).map(PathBuf::from).unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/ditto-cache")
+    });
     fs::create_dir_all(&dir).expect("create cache dir");
     dir
 }
 
-fn load_json<T: ditto_core::jsonio::FromJson>(name: &str) -> Option<T> {
-    let path = cache_dir().join(name);
-    let bytes = fs::read(path).ok()?;
-    ditto_core::jsonio::from_slice(&bytes).ok()
+/// How a cached artifact was obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceSource {
+    /// Loaded from the binary cache.
+    BinCache,
+    /// Migrated from a legacy JSON cache file (and re-stored as binary).
+    JsonMigrated,
+    /// No usable cache entry: traced from scratch (then cached as binary).
+    Traced,
 }
 
-fn store_json<T: ditto_core::jsonio::ToJson>(name: &str, value: &T) {
-    let path = cache_dir().join(name);
-    let bytes = ditto_core::jsonio::to_vec(value);
-    fs::write(path, bytes).expect("write cache");
+impl TraceSource {
+    /// Whether the artifact came from disk rather than a fresh trace.
+    pub fn is_cache_hit(self) -> bool {
+        !matches!(self, TraceSource::Traced)
+    }
+}
+
+/// Cache file stem for a model at a scale. `Small` keeps the historical
+/// un-suffixed names so existing caches stay valid; other scales are
+/// namespaced to avoid clashing with them.
+fn cache_stem(prefix: &str, kind: ModelKind, scale: ModelScale) -> String {
+    match scale {
+        ModelScale::Small => format!("{prefix}-{}", kind.abbr()),
+        ModelScale::Tiny => format!("{prefix}-tiny-{}", kind.abbr()),
+    }
+}
+
+fn load_bin<T: ditto_core::binio::FromBin>(dir: &Path, name: &str) -> Option<T> {
+    let path = dir.join(name);
+    let bytes = fs::read(&path).ok()?;
+    match ditto_core::binio::from_slice(&bytes) {
+        Ok(v) => Some(v),
+        Err(e) => {
+            eprintln!("[suite] discarding unreadable cache {}: {e}", path.display());
+            None
+        }
+    }
+}
+
+fn store_bin<T: ditto_core::binio::ToBin>(dir: &Path, name: &str, value: &T) {
+    fs::write(dir.join(name), ditto_core::binio::to_vec(value)).expect("write cache");
+}
+
+fn load_json<T: ditto_core::jsonio::FromJson>(dir: &Path, name: &str) -> Option<T> {
+    let bytes = fs::read(dir.join(name)).ok()?;
+    ditto_core::jsonio::from_slice(&bytes).ok()
 }
 
 /// Builds the model instance used throughout the experiments.
@@ -47,25 +103,48 @@ pub fn build_model(kind: ModelKind) -> DiffusionModel {
     DiffusionModel::build(kind, ModelScale::Small, WEIGHT_SEED)
 }
 
+fn trace_in_dir(dir: &Path, kind: ModelKind, scale: ModelScale) -> (WorkloadTrace, TraceSource) {
+    let stem = cache_stem("trace", kind, scale);
+    let bin_name = format!("{stem}.bin");
+    if let Some(t) = load_bin::<WorkloadTrace>(dir, &bin_name) {
+        return (t, TraceSource::BinCache);
+    }
+    // One-shot migration: read a legacy JSON cache and persist it as binary
+    // so the JSON is never parsed again.
+    if let Some(t) = load_json::<WorkloadTrace>(dir, &format!("{stem}.json")) {
+        store_bin(dir, &bin_name, &t);
+        return (t, TraceSource::JsonMigrated);
+    }
+    eprintln!("[suite] tracing {} (one-time, cached afterwards)...", kind.abbr());
+    let model = DiffusionModel::build(kind, scale, WEIGHT_SEED);
+    let (trace, _) = trace_model(&model, SAMPLE_SEED, ExecPolicy::Dense).expect("trace");
+    store_bin(dir, &bin_name, &trace);
+    (trace, TraceSource::Traced)
+}
+
 /// Returns the cached workload trace for `kind`, computing (and caching) it
 /// on first use. One trace = one full reverse process at the paper's step
 /// count, with Q-Diffusion-style calibration for the UNet models.
 pub fn cached_trace(kind: ModelKind) -> WorkloadTrace {
-    let name = format!("trace-{}.json", kind.abbr());
-    if let Some(t) = load_json::<WorkloadTrace>(&name) {
-        return t;
-    }
-    eprintln!("[suite] tracing {} (one-time, cached afterwards)...", kind.abbr());
-    let model = build_model(kind);
-    let (trace, _) = trace_model(&model, SAMPLE_SEED, ExecPolicy::Dense).expect("trace");
-    store_json(&name, &trace);
-    trace
+    cached_trace_scaled(kind, ModelScale::Small).0
+}
+
+/// [`cached_trace`] at an explicit scale, also reporting where the trace
+/// came from (used by `Suite::load` reporting and the CI cache smoke test).
+pub fn cached_trace_scaled(kind: ModelKind, scale: ModelScale) -> (WorkloadTrace, TraceSource) {
+    trace_in_dir(&cache_dir(), kind, scale)
 }
 
 /// Returns the cached similarity report for `kind` (Fig. 3 / Fig. 4 data).
 pub fn cached_similarity(kind: ModelKind) -> SimilarityReport {
-    let name = format!("similarity-{}.json", kind.abbr());
-    if let Some(r) = load_json::<SimilarityReport>(&name) {
+    let dir = cache_dir();
+    let stem = cache_stem("similarity", kind, ModelScale::Small);
+    let bin_name = format!("{stem}.bin");
+    if let Some(r) = load_bin::<SimilarityReport>(&dir, &bin_name) {
+        return r;
+    }
+    if let Some(r) = load_json::<SimilarityReport>(&dir, &format!("{stem}.json")) {
+        store_bin(&dir, &bin_name, &r);
         return r;
     }
     eprintln!("[suite] similarity pass for {} (one-time, cached)...", kind.abbr());
@@ -73,7 +152,7 @@ pub fn cached_similarity(kind: ModelKind) -> SimilarityReport {
     let mut hook = SimilarityHook::new();
     model.run_reverse(SAMPLE_SEED, &mut hook).expect("similarity run");
     let report = hook.into_report();
-    store_json(&name, &report);
+    store_bin(&dir, &bin_name, &report);
     report
 }
 
@@ -82,18 +161,86 @@ pub fn cached_similarity(kind: ModelKind) -> SimilarityReport {
 pub struct Suite {
     /// Traces in [`MODELS`] order.
     pub traces: Vec<WorkloadTrace>,
+    /// Where each trace came from, in [`MODELS`] order.
+    pub sources: Vec<TraceSource>,
 }
 
 impl Suite {
-    /// Loads (or computes) every model's trace.
+    /// Loads (or computes) every model's trace at the experiment scale.
     pub fn load() -> Self {
-        Suite { traces: MODELS.iter().map(|&k| cached_trace(k)).collect() }
+        Self::load_scaled(ModelScale::Small)
+    }
+
+    /// Loads every model's trace at `scale`, fanning the per-model work out
+    /// across CPU cores, and reports cache hits vs fresh traces.
+    pub fn load_scaled(scale: ModelScale) -> Self {
+        let suite = Self::load_in_dir(&cache_dir(), scale);
+        let hits = suite.sources.iter().filter(|s| s.is_cache_hit()).count();
+        eprintln!(
+            "[suite] {} traces loaded: {hits} cache hit(s), {} freshly traced",
+            suite.traces.len(),
+            suite.traces.len() - hits
+        );
+        suite
+    }
+
+    fn load_in_dir(dir: &Path, scale: ModelScale) -> Self {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::mpsc;
+
+        let workers = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+            .min(MODELS.len());
+        let mut slots: Vec<Option<(WorkloadTrace, TraceSource)>> =
+            MODELS.iter().map(|_| None).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            let (tx, rx) = mpsc::channel();
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let next = &next;
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= MODELS.len() {
+                        break;
+                    }
+                    // A send only fails if the receiver is gone, which would
+                    // mean the collection loop below panicked already.
+                    let _ = tx.send((i, trace_in_dir(dir, MODELS[i], scale)));
+                });
+            }
+            drop(tx);
+            for (i, result) in rx {
+                slots[i] = Some(result);
+            }
+        });
+        let (traces, sources) =
+            slots.into_iter().map(|r| r.expect("every model index was traced")).unzip();
+        Suite { traces, sources }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ditto_core::trace::StatView;
+
+    /// A unique throwaway cache directory (tests must not touch the shared
+    /// `target/ditto-cache`, and env-var overrides would race across the
+    /// parallel test harness).
+    fn temp_cache(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("ditto-suite-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("create temp cache dir");
+        dir
+    }
+
+    fn tiny_trace() -> WorkloadTrace {
+        let model = DiffusionModel::build(ModelKind::Ddpm, ModelScale::Tiny, 1);
+        trace_model(&model, 0, ExecPolicy::Dense).unwrap().0
+    }
 
     #[test]
     fn model_list_matches_table1() {
@@ -103,17 +250,81 @@ mod tests {
     }
 
     #[test]
-    fn cache_roundtrip() {
-        // Use a Tiny trace to avoid heavy work in unit tests.
-        let model = DiffusionModel::build(ModelKind::Ddpm, ModelScale::Tiny, 1);
-        let (trace, _) = trace_model(&model, 0, ExecPolicy::Dense).unwrap();
-        store_json("test-roundtrip.json", &trace);
-        let back: WorkloadTrace = load_json("test-roundtrip.json").unwrap();
+    fn binary_cache_roundtrip() {
+        // Mirrors the original JSON cache_roundtrip test on the binary
+        // path: store, load, and compare layer/step/merged-histogram views.
+        let dir = temp_cache("roundtrip");
+        let trace = tiny_trace();
+        store_bin(&dir, "test-roundtrip.bin", &trace);
+        let back: WorkloadTrace = load_bin(&dir, "test-roundtrip.bin").unwrap();
         assert_eq!(back.layer_count(), trace.layer_count());
         assert_eq!(back.step_count(), trace.step_count());
-        assert_eq!(
-            back.merged(ditto_core::trace::StatView::Temporal),
-            trace.merged(ditto_core::trace::StatView::Temporal)
-        );
+        for view in [StatView::Activation, StatView::Spatial, StatView::Temporal] {
+            assert_eq!(back.merged(view), trace.merged(view));
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cold_then_warm_then_corrupt() {
+        let dir = temp_cache("lifecycle");
+        // Cold: no cache entry → traced.
+        let (t0, s0) = trace_in_dir(&dir, ModelKind::Ddpm, ModelScale::Tiny);
+        assert_eq!(s0, TraceSource::Traced);
+        assert!(dir.join("trace-tiny-DDPM.bin").exists());
+        // Warm: binary cache hit, same content.
+        let (t1, s1) = trace_in_dir(&dir, ModelKind::Ddpm, ModelScale::Tiny);
+        assert_eq!(s1, TraceSource::BinCache);
+        assert_eq!(t1.layer_count(), t0.layer_count());
+        assert_eq!(t1.step_count(), t0.step_count());
+        assert_eq!(t1.merged(StatView::Temporal), t0.merged(StatView::Temporal));
+        // Corrupt: truncated file falls back to re-tracing, not a panic,
+        // and heals the cache.
+        let bytes = fs::read(dir.join("trace-tiny-DDPM.bin")).unwrap();
+        fs::write(dir.join("trace-tiny-DDPM.bin"), &bytes[..bytes.len() / 2]).unwrap();
+        let (t2, s2) = trace_in_dir(&dir, ModelKind::Ddpm, ModelScale::Tiny);
+        assert_eq!(s2, TraceSource::Traced);
+        assert_eq!(t2.merged(StatView::Temporal), t0.merged(StatView::Temporal));
+        let (_, s3) = trace_in_dir(&dir, ModelKind::Ddpm, ModelScale::Tiny);
+        assert_eq!(s3, TraceSource::BinCache, "cache healed after corruption");
+        // Garbage (wrong magic) also falls back.
+        fs::write(dir.join("trace-tiny-DDPM.bin"), b"not a cache file").unwrap();
+        let (_, s4) = trace_in_dir(&dir, ModelKind::Ddpm, ModelScale::Tiny);
+        assert_eq!(s4, TraceSource::Traced);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn legacy_json_cache_migrates_to_binary() {
+        let dir = temp_cache("migrate");
+        let trace = tiny_trace();
+        fs::write(dir.join("trace-tiny-DDPM.json"), ditto_core::jsonio::to_vec(&trace)).unwrap();
+        let (t, source) = trace_in_dir(&dir, ModelKind::Ddpm, ModelScale::Tiny);
+        assert_eq!(source, TraceSource::JsonMigrated);
+        assert_eq!(t.merged(StatView::Temporal), trace.merged(StatView::Temporal));
+        assert!(dir.join("trace-tiny-DDPM.bin").exists(), "migration writes the binary cache");
+        // Second load prefers the migrated binary.
+        let (_, source) = trace_in_dir(&dir, ModelKind::Ddpm, ModelScale::Tiny);
+        assert_eq!(source, TraceSource::BinCache);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn parallel_load_matches_sequential_and_reports_sources() {
+        let dir = temp_cache("parallel");
+        let cold = Suite::load_in_dir(&dir, ModelScale::Tiny);
+        assert_eq!(cold.traces.len(), MODELS.len());
+        assert!(cold.sources.iter().all(|s| *s == TraceSource::Traced));
+        let warm = Suite::load_in_dir(&dir, ModelScale::Tiny);
+        assert!(warm.sources.iter().all(|s| *s == TraceSource::BinCache));
+        for (i, (w, c)) in warm.traces.iter().zip(&cold.traces).enumerate() {
+            // Traces come back in MODELS order regardless of which worker
+            // finished first, identical to the freshly computed ones.
+            assert_eq!(w.model, MODELS[i].abbr());
+            assert_eq!(w.layer_count(), c.layer_count());
+            assert_eq!(w.step_count(), c.step_count());
+            assert_eq!(w.merged(StatView::Temporal), c.merged(StatView::Temporal));
+        }
+        let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -20,6 +20,9 @@
 //!   aggregations (Fig. 5, Fig. 6, Fig. 8).
 //! * [`trace`] — the per-layer, per-step statistics format every consumer
 //!   shares.
+//! * [`binio`] / [`jsonio`] — the versioned little-endian binary codec the
+//!   trace cache uses, and the legacy JSON codec kept for migration and
+//!   human inspection.
 //!
 //! # Example
 //!
@@ -37,6 +40,7 @@
 //! ```
 
 pub mod analysis;
+pub mod binio;
 pub mod defo;
 pub mod jsonio;
 pub mod runner;

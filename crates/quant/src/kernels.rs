@@ -5,6 +5,78 @@
 //! accumulator values to dense integer execution (§IV-A, Fig. 7). The
 //! activation operand is taken in the `i16` difference domain so the same
 //! kernel serves dense (`i8` widened) and delta execution.
+//!
+//! The hot kernels are register-tiled: [`MR`] activation rows share each
+//! streamed weight row from L1 and their `i32` accumulator rows stay
+//! cache-resident across the depth loop, while the per-row zero-skip fast
+//! path of delta execution is preserved. `i32` addition is associative
+//! (wrapping), and the tiling keeps each output element's products in
+//! ascending-`k` order anyway, so results are bit-identical to the scalar
+//! loops — which remain available in [`reference`] and are asserted
+//! equivalent in tests and bench setup.
+
+/// Activation rows processed together by the tiled kernels. Each `B`/weight
+/// row streamed from memory is reused `MR` times, and the `MR` live `i32`
+/// output rows stay in L1 across the whole depth loop.
+const MR: usize = 4;
+
+/// Weight element count below which the row-blocked tiling is skipped: a
+/// `B` that small stays cache-resident across the plain streaming loop, so
+/// blocking only adds overhead. Either order is bit-identical (`i32`
+/// wrapping addition is associative), so this is purely a perf dispatch.
+const B_ELEMS_BLOCK_THRESHOLD: usize = 1 << 14;
+
+/// Accumulates `a [m,k] × b [k,n]` on top of `out [m,n]` with `i32`
+/// accumulation, register-tiled over [`MR`] rows, skipping zero activation
+/// values (the delta fast path).
+///
+/// Generic over the weight element (`i8` dense weights, `i16` attention
+/// operands) so both monomorphize to the same tiled loop nest.
+fn accumulate_matmul<W: Copy + Into<i32>>(
+    out: &mut [i32],
+    a: &[i16],
+    b: &[W],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    debug_assert_eq!(out.len(), m * n);
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    if k * n <= B_ELEMS_BLOCK_THRESHOLD || m < 2 {
+        // Small B: the streaming `ikj` order wins (see threshold doc).
+        for i in 0..m {
+            for kk in 0..k {
+                let av = a[i * k + kk] as i32;
+                if av == 0 {
+                    continue;
+                }
+                let brow = &b[kk * n..(kk + 1) * n];
+                let orow = &mut out[i * n..(i + 1) * n];
+                for j in 0..n {
+                    orow[j] += av * brow[j].into();
+                }
+            }
+        }
+        return;
+    }
+    for ib in (0..m).step_by(MR) {
+        let ie = (ib + MR).min(m);
+        for kk in 0..k {
+            let brow = &b[kk * n..kk * n + n];
+            for i in ib..ie {
+                let av = a[i * k + kk] as i32;
+                if av == 0 {
+                    continue;
+                }
+                let orow = &mut out[i * n..i * n + n];
+                for j in 0..n {
+                    orow[j] += av * brow[j].into();
+                }
+            }
+        }
+    }
+}
 
 /// Dense integer matmul: `a [m,k] (i16 domain) × w [k,n] (i8) → i32 [m,n]`.
 ///
@@ -15,19 +87,7 @@ pub fn int_matmul(a: &[i16], w: &[i8], m: usize, k: usize, n: usize) -> Vec<i32>
     assert_eq!(a.len(), m * k, "activation length");
     assert_eq!(w.len(), k * n, "weight length");
     let mut out = vec![0i32; m * n];
-    for i in 0..m {
-        for kk in 0..k {
-            let av = a[i * k + kk] as i32;
-            if av == 0 {
-                continue;
-            }
-            let wrow = &w[kk * n..(kk + 1) * n];
-            let orow = &mut out[i * n..(i + 1) * n];
-            for j in 0..n {
-                orow[j] += av * wrow[j] as i32;
-            }
-        }
-    }
+    accumulate_matmul(&mut out, a, w, m, k, n);
     out
 }
 
@@ -39,6 +99,10 @@ pub fn widen(acts: &[i8]) -> Vec<i16> {
 /// Delta-processing matmul: given the previous step's output accumulators
 /// and the temporal delta of the inputs, reconstructs the current output as
 /// `prev_out + delta × w` (stage 2 + stage 3 of the Ditto algorithm).
+///
+/// The delta product accumulates directly into a clone of `prev_out` —
+/// summation (stage 3) is fused into the sparse matmul (stage 2), saving
+/// the O(m·n) intermediate the two-pass formulation would materialize.
 ///
 /// # Panics
 ///
@@ -52,8 +116,11 @@ pub fn delta_matmul_update(
     n: usize,
 ) -> Vec<i32> {
     assert_eq!(prev_out.len(), m * n, "previous output length");
-    let delta_out = int_matmul(delta, w, m, k, n);
-    prev_out.iter().zip(&delta_out).map(|(&p, &d)| p + d).collect()
+    assert_eq!(delta.len(), m * k, "delta length");
+    assert_eq!(w.len(), k * n, "weight length");
+    let mut out = prev_out.to_vec();
+    accumulate_matmul(&mut out, delta, w, m, k, n);
+    out
 }
 
 /// Exact attention-score decomposition (§IV-A, attention layers):
@@ -88,33 +155,92 @@ pub fn attention_delta_scores(
     assert_eq!(dk_t.len(), d * n);
     let mut out = prev_scores.to_vec();
     // Q_t · ΔK^T
-    accumulate_i16_matmul(&mut out, q_t, dk_t, m, d, n);
+    accumulate_matmul(&mut out, q_t, dk_t, m, d, n);
     // ΔQ · K_{t+1}^T
-    accumulate_i16_matmul(&mut out, dq, k_prev_t, m, d, n);
+    accumulate_matmul(&mut out, dq, k_prev_t, m, d, n);
     out
-}
-
-fn accumulate_i16_matmul(out: &mut [i32], a: &[i16], b: &[i16], m: usize, k: usize, n: usize) {
-    for i in 0..m {
-        for kk in 0..k {
-            let av = a[i * k + kk] as i32;
-            if av == 0 {
-                continue;
-            }
-            let brow = &b[kk * n..(kk + 1) * n];
-            let orow = &mut out[i * n..(i + 1) * n];
-            for j in 0..n {
-                orow[j] += av * brow[j] as i32;
-            }
-        }
-    }
 }
 
 /// Reference dense score computation `Q · Kᵀ` in the integer domain.
 pub fn int_scores(q: &[i16], k_t: &[i16], m: usize, d: usize, n: usize) -> Vec<i32> {
+    assert_eq!(q.len(), m * d);
+    assert_eq!(k_t.len(), d * n);
     let mut out = vec![0i32; m * n];
-    accumulate_i16_matmul(&mut out, q, k_t, m, d, n);
+    accumulate_matmul(&mut out, q, k_t, m, d, n);
     out
+}
+
+/// The pre-tiling scalar kernels, kept verbatim as the bit-identity ground
+/// truth for tests and the scalar-vs-tiled benchmark comparisons.
+pub mod reference {
+    /// Scalar dense integer matmul (the original `ikj` loop).
+    ///
+    /// # Panics
+    ///
+    /// Panics if slice lengths are inconsistent with the given dimensions.
+    pub fn int_matmul(a: &[i16], w: &[i8], m: usize, k: usize, n: usize) -> Vec<i32> {
+        assert_eq!(a.len(), m * k, "activation length");
+        assert_eq!(w.len(), k * n, "weight length");
+        let mut out = vec![0i32; m * n];
+        for i in 0..m {
+            for kk in 0..k {
+                let av = a[i * k + kk] as i32;
+                if av == 0 {
+                    continue;
+                }
+                let wrow = &w[kk * n..(kk + 1) * n];
+                let orow = &mut out[i * n..(i + 1) * n];
+                for j in 0..n {
+                    orow[j] += av * wrow[j] as i32;
+                }
+            }
+        }
+        out
+    }
+
+    /// Scalar delta update: separate delta matmul, then an O(m·n) zip-add
+    /// (the allocation the fused kernel avoids).
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent dimensions.
+    pub fn delta_matmul_update(
+        prev_out: &[i32],
+        delta: &[i16],
+        w: &[i8],
+        m: usize,
+        k: usize,
+        n: usize,
+    ) -> Vec<i32> {
+        assert_eq!(prev_out.len(), m * n, "previous output length");
+        let delta_out = int_matmul(delta, w, m, k, n);
+        prev_out.iter().zip(&delta_out).map(|(&p, &d)| p + d).collect()
+    }
+
+    /// Scalar `i16 × i16 → i32` accumulation (the original attention inner
+    /// loop).
+    pub fn accumulate_i16_matmul(
+        out: &mut [i32],
+        a: &[i16],
+        b: &[i16],
+        m: usize,
+        k: usize,
+        n: usize,
+    ) {
+        for i in 0..m {
+            for kk in 0..k {
+                let av = a[i * k + kk] as i32;
+                if av == 0 {
+                    continue;
+                }
+                let brow = &b[kk * n..(kk + 1) * n];
+                let orow = &mut out[i * n..(i + 1) * n];
+                for j in 0..n {
+                    orow[j] += av * brow[j] as i32;
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -126,12 +252,57 @@ mod tests {
         (0..n).map(|_| (rng.next_below(255) as i32 - 127) as i8).collect()
     }
 
+    fn rand_i16(n: usize, rng: &mut Rng) -> Vec<i16> {
+        (0..n).map(|_| rng.next_below(511) as i16 - 255).collect()
+    }
+
     #[test]
     fn int_matmul_known() {
         // [1 2; 3 4] × [1 0; 0 1] = same.
         let a = vec![1i16, 2, 3, 4];
         let w = vec![1i8, 0, 0, 1];
         assert_eq!(int_matmul(&a, &w, 2, 2, 2), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn tiled_matches_reference_bitwise() {
+        // Shapes around the MR tile boundary and the streaming-vs-blocked
+        // dispatch threshold (k·n vs 2^14), with delta-grade sparsity.
+        let mut rng = Rng::seed_from(77);
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 5, 4),
+            (4, 8, 8),
+            (5, 16, 3),
+            (13, 64, 17),
+            (16, 7, 1),
+            (9, 300, 60),
+            (5, 600, 33),
+        ] {
+            let a: Vec<i16> = rand_i16(m * k, &mut rng)
+                .into_iter()
+                .map(|v| if rng.next_f64() < 0.4 { 0 } else { v })
+                .collect();
+            let w = rand_i8(k * n, &mut rng);
+            assert_eq!(
+                int_matmul(&a, &w, m, k, n),
+                reference::int_matmul(&a, &w, m, k, n),
+                "tiled int_matmul diverged at {m}x{k}x{n}"
+            );
+            let prev: Vec<i32> =
+                (0..m * n).map(|_| rng.next_below(1 << 20) as i32 - (1 << 19)).collect();
+            assert_eq!(
+                delta_matmul_update(&prev, &a, &w, m, k, n),
+                reference::delta_matmul_update(&prev, &a, &w, m, k, n),
+                "fused delta update diverged at {m}x{k}x{n}"
+            );
+            let b = rand_i16(k * n, &mut rng);
+            let mut tiled = prev.clone();
+            accumulate_matmul(&mut tiled, &a, &b, m, k, n);
+            let mut scalar = prev.clone();
+            reference::accumulate_i16_matmul(&mut scalar, &a, &b, m, k, n);
+            assert_eq!(tiled, scalar, "tiled i16 accumulate diverged at {m}x{k}x{n}");
+        }
     }
 
     #[test]
@@ -210,5 +381,11 @@ mod tests {
     #[should_panic(expected = "activation length")]
     fn int_matmul_length_check() {
         int_matmul(&[0i16; 3], &[0i8; 4], 2, 2, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "delta length")]
+    fn delta_update_length_check() {
+        delta_matmul_update(&[0i32; 4], &[0i16; 3], &[0i8; 4], 2, 2, 2);
     }
 }

@@ -32,6 +32,34 @@ proptest! {
         prop_assert_eq!(dense, via);
     }
 
+    /// The tiled kernels are bit-identical to the scalar reference loops on
+    /// arbitrary shapes and sparsity (larger shapes than the exactness test
+    /// above, straddling the register-tile boundary).
+    #[test]
+    fn tiled_kernels_match_reference(
+        m in 1usize..12, k in 1usize..24, n in 1usize..12,
+        zero_pct in 0u32..100, seed in any::<u64>(),
+    ) {
+        let mut rng = tensor::Rng::seed_from(seed);
+        let a: Vec<i16> = (0..m * k)
+            .map(|_| {
+                if rng.next_below(100) < zero_pct as usize { 0 }
+                else { rng.next_below(511) as i16 - 255 }
+            })
+            .collect();
+        let w: Vec<i8> = (0..k * n).map(|_| (rng.next_below(255) as i32 - 127) as i8).collect();
+        prop_assert_eq!(
+            int_matmul(&a, &w, m, k, n),
+            quant::kernels::reference::int_matmul(&a, &w, m, k, n)
+        );
+        let prev: Vec<i32> =
+            (0..m * n).map(|_| rng.next_below(1 << 16) as i32 - (1 << 15)).collect();
+        prop_assert_eq!(
+            delta_matmul_update(&prev, &a, &w, m, k, n),
+            quant::kernels::reference::delta_matmul_update(&prev, &a, &w, m, k, n)
+        );
+    }
+
     /// Quantize→dequantize error is bounded by half a quantization step.
     #[test]
     fn quant_error_bounded(vals in proptest::collection::vec(-100.0f32..100.0, 1..64)) {

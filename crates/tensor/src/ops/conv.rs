@@ -1,6 +1,20 @@
 //! 2-D convolution for NCHW tensors.
+//!
+//! [`conv2d`] routes large convolutions through im2col + the tiled matmul
+//! ([`super::matmul`]'s accumulation kernel), which is the layout the Ditto
+//! hardware operates on anyway; tiny shapes stay on the direct loop
+//! ([`conv2d_direct`]) where the lowering overhead would dominate. Both
+//! paths accumulate each output element's products in the same order
+//! (bias first, then ascending `(c_in, ky, kx)`), so they produce exactly
+//! equal results — see the `im2col_route_bitwise_matches_direct` test.
 
+use crate::ops::matmul::matmul_acc;
 use crate::{Result, Tensor, TensorError};
+
+/// Dense-MAC threshold above which [`conv2d`] lowers to im2col + tiled
+/// matmul. Below it the im2col materialization (plus weight transpose and
+/// output de-interleave) costs more than the direct loops save.
+const IM2COL_MAC_THRESHOLD: usize = 1 << 14;
 
 /// Parameters of a 2-D convolution.
 ///
@@ -39,21 +53,13 @@ impl Default for Conv2dParams {
     }
 }
 
-/// Direct 2-D convolution.
-///
-/// `input` is `[C_in, H, W]`, `weight` is `[C_out, C_in, K, K]`, optional
-/// `bias` is `[C_out]`; output is `[C_out, H_out, W_out]`. (Batch size is
-/// always 1 in the reproduction; the simulator scales counts instead.)
-///
-/// # Errors
-///
-/// Returns shape/rank errors if operands are inconsistent.
-pub fn conv2d(
+/// Validates conv2d operand shapes, returning `(c_in, h, w, c_out)`.
+fn check_conv2d_shapes(
     input: &Tensor,
     weight: &Tensor,
     bias: Option<&Tensor>,
     params: Conv2dParams,
-) -> Result<Tensor> {
+) -> Result<(usize, usize, usize, usize)> {
     input.shape().expect_rank(3)?;
     weight.shape().expect_rank(4)?;
     let (c_in, h, w) = (input.dims()[0], input.dims()[1], input.dims()[2]);
@@ -71,6 +77,50 @@ pub fn conv2d(
             return Err(TensorError::LengthMismatch { expected: c_out, actual: b.len() });
         }
     }
+    Ok((c_in, h, w, c_out))
+}
+
+/// 2-D convolution.
+///
+/// `input` is `[C_in, H, W]`, `weight` is `[C_out, C_in, K, K]`, optional
+/// `bias` is `[C_out]`; output is `[C_out, H_out, W_out]`. (Batch size is
+/// always 1 in the reproduction; the simulator scales counts instead.)
+///
+/// Large shapes are lowered through [`conv2d_im2col`]; tiny ones run
+/// [`conv2d_direct`]. Both produce exactly equal results.
+///
+/// # Errors
+///
+/// Returns shape/rank errors if operands are inconsistent.
+pub fn conv2d(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    params: Conv2dParams,
+) -> Result<Tensor> {
+    let (c_in, h, w, c_out) = check_conv2d_shapes(input, weight, bias, params)?;
+    let k = params.kernel;
+    let macs = c_out * params.out_extent(h) * params.out_extent(w) * c_in * k * k;
+    if macs >= IM2COL_MAC_THRESHOLD {
+        conv2d_im2col(input, weight, bias, params)
+    } else {
+        conv2d_direct(input, weight, bias, params)
+    }
+}
+
+/// Direct (sliding-window loop) 2-D convolution — the reference kernel, and
+/// the fast path for tiny shapes.
+///
+/// # Errors
+///
+/// Returns shape/rank errors if operands are inconsistent.
+pub fn conv2d_direct(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    params: Conv2dParams,
+) -> Result<Tensor> {
+    let (c_in, h, w, c_out) = check_conv2d_shapes(input, weight, bias, params)?;
     let ho = params.out_extent(h);
     let wo = params.out_extent(w);
     let mut out = Tensor::zeros(&[c_out, ho, wo]);
@@ -102,6 +152,76 @@ pub fn conv2d(
                 }
                 ov[co * ho * wo + oy * wo + ox] = acc;
             }
+        }
+    }
+    Ok(out)
+}
+
+/// 2-D convolution lowered to im2col + the tiled matmul kernel.
+///
+/// The `[H_out*W_out, C_in*K*K]` im2col matrix multiplies the transposed
+/// weight `[C_in*K*K, C_out]` into a pixel-major `[H_out*W_out, C_out]`
+/// product (initialized with the bias, so bias is the first addend exactly
+/// as in [`conv2d_direct`]), which is then de-interleaved to channel-major
+/// `[C_out, H_out, W_out]`.
+///
+/// Exactness: for every output element, the im2col column order equals the
+/// direct loop's `(c_in, ky, kx)` order and padding taps contribute nothing
+/// on both paths (skipped vs materialized as zeros the matmul zero-skips).
+/// Zero *activations* are skipped here but add an exact `±0.0` on the
+/// direct path; with finite operands that never changes a value, so the
+/// two paths are equal (`==`) everywhere and bit-identical in tests. The
+/// one reachable divergence is the sign of a zero: a `-0.0` accumulator
+/// (e.g. a `-0.0` bias) stays `-0.0` here but flips to `+0.0` on the
+/// direct path when a zero-activation product is added — numerically
+/// equal, differing only in `to_bits()`.
+///
+/// # Errors
+///
+/// Returns shape/rank errors if operands are inconsistent.
+pub fn conv2d_im2col(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    params: Conv2dParams,
+) -> Result<Tensor> {
+    let (c_in, h, w, c_out) = check_conv2d_shapes(input, weight, bias, params)?;
+    let k = params.kernel;
+    let ho = params.out_extent(h);
+    let wo = params.out_extent(w);
+    let pixels = ho * wo;
+    let ckk = c_in * k * k;
+
+    let cols = im2col(input, params)?;
+
+    // Transpose the weight to [C_in*K*K, C_out] so output channels are the
+    // matmul's streaming dimension.
+    let wv = weight.as_slice();
+    let mut wt = vec![0.0f32; ckk * c_out];
+    for co in 0..c_out {
+        for col in 0..ckk {
+            wt[col * c_out + co] = wv[co * ckk + col];
+        }
+    }
+
+    // Pixel-major product, seeded with the bias (the direct loop's first
+    // addend) before accumulation.
+    let mut prod = vec![0.0f32; pixels * c_out];
+    if let Some(b) = bias {
+        let bv = b.as_slice();
+        for row in prod.chunks_exact_mut(c_out) {
+            row.copy_from_slice(bv);
+        }
+    }
+    matmul_acc(&mut prod, cols.as_slice(), &wt, pixels, ckk, c_out);
+
+    // De-interleave to channel-major NCHW.
+    let mut out = Tensor::zeros(&[c_out, ho, wo]);
+    let ov = out.as_mut_slice();
+    for pix in 0..pixels {
+        let prow = &prod[pix * c_out..(pix + 1) * c_out];
+        for (co, &v) in prow.iter().enumerate() {
+            ov[co * pixels + pix] = v;
         }
     }
     Ok(out)
@@ -199,6 +319,53 @@ mod tests {
         let weight = Tensor::full(&[1, 1, 3, 3], 1.0);
         let out = conv2d(&input, &weight, None, p).unwrap();
         assert_eq!(out.dims(), &[1, 4, 4]);
+    }
+
+    #[test]
+    fn im2col_route_bitwise_matches_direct() {
+        // Every shape class the UNets produce: pointwise, 3x3 same,
+        // stride-2, with and without bias, small and routing-sized. The two
+        // paths must agree bit for bit — the Ditto equivalence chain sits on
+        // top of these kernels.
+        let mut rng = Rng::seed_from(7);
+        let cases = [
+            (1usize, 4usize, 3usize, Conv2dParams::pointwise()),
+            (3, 6, 4, Conv2dParams::same3x3()),
+            (8, 12, 16, Conv2dParams::same3x3()),
+            (16, 16, 32, Conv2dParams { kernel: 3, stride: 2, padding: 1 }),
+            (32, 16, 32, Conv2dParams::same3x3()),
+        ];
+        for &(c_in, hw, c_out, p) in &cases {
+            let input = Tensor::randn(&[c_in, hw, hw], &mut rng);
+            let weight = Tensor::randn(&[c_out, c_in, p.kernel, p.kernel], &mut rng);
+            let bias = Tensor::randn(&[c_out], &mut rng);
+            for b in [None, Some(&bias)] {
+                let direct = conv2d_direct(&input, &weight, b, p).unwrap();
+                let lowered = conv2d_im2col(&input, &weight, b, p).unwrap();
+                let routed = conv2d(&input, &weight, b, p).unwrap();
+                assert_eq!(direct.dims(), lowered.dims());
+                for (d, l) in direct.as_slice().iter().zip(lowered.as_slice()) {
+                    assert_eq!(
+                        d.to_bits(),
+                        l.to_bits(),
+                        "im2col path diverged at c_in={c_in} hw={hw} c_out={c_out}"
+                    );
+                }
+                assert_eq!(routed, direct);
+            }
+        }
+    }
+
+    #[test]
+    fn im2col_route_error_paths_match_direct() {
+        let input = Tensor::zeros(&[2, 4, 4]);
+        let weight = Tensor::zeros(&[3, 5, 3, 3]); // wrong C_in
+        assert!(conv2d_im2col(&input, &weight, None, Conv2dParams::same3x3()).is_err());
+        let weight_ok = Tensor::zeros(&[3, 2, 3, 3]);
+        let bad_bias = Tensor::zeros(&[2]);
+        assert!(
+            conv2d_im2col(&input, &weight_ok, Some(&bad_bias), Conv2dParams::same3x3()).is_err()
+        );
     }
 
     #[test]

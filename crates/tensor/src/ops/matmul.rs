@@ -1,6 +1,80 @@
 //! Matrix multiplication kernels.
+//!
+//! The public entry points ([`matmul`], [`matvec`]) are cache-blocked,
+//! autovectorization-friendly tiled kernels. Tiling only *reorders which
+//! output rows are visited when*; for every individual output element the
+//! products are still accumulated in ascending `k` order with the same
+//! zero-skip as the scalar loops, so results are exactly those of the
+//! reference kernels ([`matmul_scalar`], [`matvec_scalar`]) — a requirement
+//! inherited from the Ditto equivalence claim, which rests on exact
+//! accumulator values end to end.
 
 use crate::{Result, Tensor, TensorError};
+
+/// Rows of the left operand processed together by the tiled kernels. Each
+/// streamed row of `B` is reused `MR` times from L1 instead of being
+/// re-fetched per output row, and the `MR` live output rows (≤ `MR`·n·4
+/// bytes) stay cache-resident across the whole `k` loop.
+const MR: usize = 8;
+
+/// Columns-of-`A` (depth) block. Bounds the slice of `B` rows streamed per
+/// row block to `KC`·n·4 bytes so it survives in L2 across row blocks.
+const KC: usize = 256;
+
+/// `B` element count below which the row-blocked tiling is not worth it:
+/// a `B` this small stays cache-resident across the plain streaming loop,
+/// so blocking only adds loop overhead and a strided `A` access pattern.
+/// Both orders are bit-identical per output element, so this is purely a
+/// performance dispatch.
+const B_ELEMS_BLOCK_THRESHOLD: usize = 1 << 14;
+
+/// Accumulates `a [m,k] × b [k,n]` on top of `out [m,n]` in place.
+///
+/// `out` may carry initial values (zeros for a plain matmul, a broadcast
+/// bias for the im2col convolution path). For each output element the
+/// contributions arrive in ascending `k` order and `a` zeros are skipped,
+/// exactly like the scalar reference kernel.
+pub(crate) fn matmul_acc(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(out.len(), m * n);
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    if k * n <= B_ELEMS_BLOCK_THRESHOLD || m < 2 {
+        // Small B: the streaming `ikj` order wins (see threshold doc).
+        for i in 0..m {
+            for kk in 0..k {
+                let aik = a[i * k + kk];
+                if aik == 0.0 {
+                    continue;
+                }
+                let brow = &b[kk * n..(kk + 1) * n];
+                let orow = &mut out[i * n..(i + 1) * n];
+                for j in 0..n {
+                    orow[j] += aik * brow[j];
+                }
+            }
+        }
+        return;
+    }
+    for ib in (0..m).step_by(MR) {
+        let ie = (ib + MR).min(m);
+        for kb in (0..k).step_by(KC) {
+            let ke = (kb + KC).min(k);
+            for kk in kb..ke {
+                let brow = &b[kk * n..kk * n + n];
+                for i in ib..ie {
+                    let aik = a[i * k + kk];
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    let orow = &mut out[i * n..i * n + n];
+                    for j in 0..n {
+                        orow[j] += aik * brow[j];
+                    }
+                }
+            }
+        }
+    }
+}
 
 /// Multiplies two rank-2 tensors: `[m, k] × [k, n] → [m, n]`.
 ///
@@ -20,6 +94,25 @@ use crate::{Result, Tensor, TensorError};
 /// # Ok::<(), tensor::TensorError>(())
 /// ```
 pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    a.shape().expect_rank(2)?;
+    b.shape().expect_rank(2)?;
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let (k2, n) = (b.dims()[0], b.dims()[1]);
+    if k != k2 {
+        return Err(TensorError::MatmulDimMismatch { left_cols: k, right_rows: k2 });
+    }
+    let mut out = Tensor::zeros(&[m, n]);
+    matmul_acc(out.as_mut_slice(), a.as_slice(), b.as_slice(), m, k, n);
+    Ok(out)
+}
+
+/// Scalar reference matmul: the pre-tiling `ikj` loop, kept as the ground
+/// truth the tiled kernel is tested (and benchmarked) against.
+///
+/// # Errors
+///
+/// Same error conditions as [`matmul`].
+pub fn matmul_scalar(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     a.shape().expect_rank(2)?;
     b.shape().expect_rank(2)?;
     let (m, k) = (a.dims()[0], a.dims()[1]);
@@ -50,10 +143,56 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
 
 /// Multiplies a rank-2 matrix by a rank-1 vector: `[m, k] × [k] → [m]`.
 ///
+/// Four output rows are computed per pass so the streamed `x` vector is
+/// reused from L1; each row's dot product still accumulates sequentially in
+/// ascending `k` order, matching [`matvec_scalar`] exactly.
+///
 /// # Errors
 ///
 /// Returns a rank or dimension mismatch error as for [`matmul`].
 pub fn matvec(a: &Tensor, x: &Tensor) -> Result<Tensor> {
+    a.shape().expect_rank(2)?;
+    x.shape().expect_rank(1)?;
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    if x.len() != k {
+        return Err(TensorError::MatmulDimMismatch { left_cols: k, right_rows: x.len() });
+    }
+    let mut out = Tensor::zeros(&[m]);
+    let av = a.as_slice();
+    let xv = x.as_slice();
+    let ov = out.as_mut_slice();
+    let mut i = 0;
+    while i + 4 <= m {
+        let r0 = &av[i * k..(i + 1) * k];
+        let r1 = &av[(i + 1) * k..(i + 2) * k];
+        let r2 = &av[(i + 2) * k..(i + 3) * k];
+        let r3 = &av[(i + 3) * k..(i + 4) * k];
+        let (mut a0, mut a1, mut a2, mut a3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+        for (kk, &xk) in xv.iter().enumerate() {
+            a0 += r0[kk] * xk;
+            a1 += r1[kk] * xk;
+            a2 += r2[kk] * xk;
+            a3 += r3[kk] * xk;
+        }
+        ov[i] = a0;
+        ov[i + 1] = a1;
+        ov[i + 2] = a2;
+        ov[i + 3] = a3;
+        i += 4;
+    }
+    for i in i..m {
+        let row = &av[i * k..(i + 1) * k];
+        ov[i] = row.iter().zip(xv).map(|(&w, &v)| w * v).sum();
+    }
+    Ok(out)
+}
+
+/// Scalar reference matvec: one sequential dot product per output row.
+///
+/// # Errors
+///
+/// Same error conditions as [`matvec`].
+pub fn matvec_scalar(a: &Tensor, x: &Tensor) -> Result<Tensor> {
     a.shape().expect_rank(2)?;
     x.shape().expect_rank(1)?;
     let (m, k) = (a.dims()[0], a.dims()[1]);
@@ -74,6 +213,7 @@ pub fn matvec(a: &Tensor, x: &Tensor) -> Result<Tensor> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Rng;
 
     fn t(v: Vec<f32>, d: &[usize]) -> Tensor {
         Tensor::from_vec(v, d).unwrap()
@@ -103,6 +243,52 @@ mod tests {
             Err(TensorError::MatmulDimMismatch { left_cols: 3, right_rows: 4 })
         ));
         assert!(matmul(&Tensor::zeros(&[2]), &a).is_err());
+        assert!(matmul_scalar(&a, &b).is_err());
+    }
+
+    #[test]
+    fn tiled_bitwise_matches_scalar() {
+        // Shapes straddling the MR/KC tile boundaries and the
+        // streaming-vs-blocked dispatch threshold (k·n vs 2^14), including
+        // sparse operands that exercise the zero-skip path.
+        let mut rng = Rng::seed_from(11);
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (7, 3, 5),
+            (8, 256, 16),
+            (9, 257, 3),
+            (17, 300, 33),
+            (16, 512, 8),
+            (10, 520, 40),
+            (33, 257, 65),
+        ] {
+            let mut a = Tensor::randn(&[m, k], &mut rng);
+            for v in a.as_mut_slice().iter_mut() {
+                if rng.next_f64() < 0.3 {
+                    *v = 0.0;
+                }
+            }
+            let b = Tensor::randn(&[k, n], &mut rng);
+            let tiled = matmul(&a, &b).unwrap();
+            let scalar = matmul_scalar(&a, &b).unwrap();
+            for (x, y) in tiled.as_slice().iter().zip(scalar.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "tiled matmul diverged at {m}x{k}x{n}");
+            }
+        }
+    }
+
+    #[test]
+    fn matvec_bitwise_matches_scalar() {
+        let mut rng = Rng::seed_from(12);
+        for &(m, k) in &[(1, 1), (3, 7), (4, 64), (13, 129), (32, 300)] {
+            let a = Tensor::randn(&[m, k], &mut rng);
+            let x = Tensor::randn(&[k], &mut rng);
+            let tiled = matvec(&a, &x).unwrap();
+            let scalar = matvec_scalar(&a, &x).unwrap();
+            for (x, y) in tiled.as_slice().iter().zip(scalar.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "tiled matvec diverged at {m}x{k}");
+            }
+        }
     }
 
     #[test]
@@ -120,6 +306,18 @@ mod tests {
         let a = Tensor::zeros(&[2, 3]);
         assert!(matvec(&a, &Tensor::zeros(&[4])).is_err());
         assert!(matvec(&a, &Tensor::zeros(&[2, 2])).is_err());
+        assert!(matvec_scalar(&a, &Tensor::zeros(&[4])).is_err());
+    }
+
+    #[test]
+    fn matmul_acc_respects_initial_values() {
+        // The conv path seeds `out` with the bias; accumulation must add on
+        // top rather than overwrite.
+        let a = t(vec![1.0, 2.0], &[1, 2]);
+        let b = t(vec![3.0, 4.0], &[2, 1]);
+        let mut out = [10.0f32];
+        matmul_acc(&mut out, a.as_slice(), b.as_slice(), 1, 2, 1);
+        assert_eq!(out[0], 10.0 + 3.0 + 8.0);
     }
 
     #[test]

@@ -1,10 +1,14 @@
 //! Layer kernels used by denoising models.
 //!
-//! Each sub-module implements one family of operations with plain,
-//! auditable loops; correctness is asserted against naive references and
-//! algebraic properties (see the crate's `tests/`). The Ditto algorithm's
-//! core identity — distributivity of linear kernels over operand sums — is
-//! property-tested in `tests/props.rs`.
+//! The hot kernels ([`matmul`], [`matvec`], [`conv2d`]) are cache-blocked
+//! tiled implementations that produce *exactly* the reference results: the
+//! per-output-element accumulation order of the scalar loops is preserved,
+//! so the Ditto equivalence claim (which rests on exact accumulator values)
+//! survives the optimization. The scalar references stay available
+//! ([`matmul_scalar`], [`matvec_scalar`], [`conv2d_direct`]) as ground
+//! truth for tests and benchmarks. Algebraic properties — including the
+//! Ditto core identity, distributivity of linear kernels over operand
+//! sums — are property-tested in `tests/props.rs`.
 
 pub mod activation;
 pub mod conv;
@@ -14,8 +18,8 @@ pub mod norm;
 pub mod pool;
 
 pub use activation::{gelu, sigmoid, silu, softmax_rows};
-pub use conv::{conv2d, im2col, Conv2dParams};
+pub use conv::{conv2d, conv2d_direct, conv2d_im2col, im2col, Conv2dParams};
 pub use elementwise::{add, mul, scale, sub};
-pub use matmul::{matmul, matvec};
+pub use matmul::{matmul, matmul_scalar, matvec, matvec_scalar};
 pub use norm::{group_norm, layer_norm};
 pub use pool::{avg_pool2d, global_avg_pool};

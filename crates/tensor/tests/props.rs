@@ -90,6 +90,50 @@ proptest! {
         }
     }
 
+    /// The tiled matmul is bit-identical to the scalar reference on random
+    /// shapes straddling the tile boundaries, including sparse operands.
+    #[test]
+    fn tiled_matmul_bitwise_equals_scalar(
+        m in 1usize..20, k in 1usize..40, n in 1usize..20, seed in 0u64..1000
+    ) {
+        let mut rng = Rng::seed_from(seed);
+        let mut a = Tensor::randn(&[m, k], &mut rng);
+        for v in a.as_mut_slice().iter_mut() {
+            if rng.next_f64() < 0.25 { *v = 0.0; }
+        }
+        let b = Tensor::randn(&[k, n], &mut rng);
+        let tiled = ops::matmul(&a, &b).unwrap();
+        let scalar = ops::matmul_scalar(&a, &b).unwrap();
+        for (x, y) in tiled.as_slice().iter().zip(scalar.as_slice()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+        let x = Tensor::randn(&[k], &mut rng);
+        let mv = ops::matvec(&a, &x).unwrap();
+        let mv_ref = ops::matvec_scalar(&a, &x).unwrap();
+        for (x, y) in mv.as_slice().iter().zip(mv_ref.as_slice()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    /// The im2col-lowered convolution is bit-identical to the direct loop.
+    #[test]
+    fn im2col_conv_bitwise_equals_direct(
+        c_in in 1usize..4, hw in 3usize..8, c_out in 1usize..4,
+        stride in 1usize..3, seed in 0u64..1000
+    ) {
+        let mut rng = Rng::seed_from(seed);
+        let p = Conv2dParams { kernel: 3, stride, padding: 1 };
+        let x = Tensor::randn(&[c_in, hw, hw], &mut rng);
+        let w = Tensor::randn(&[c_out, c_in, 3, 3], &mut rng);
+        let b = Tensor::randn(&[c_out], &mut rng);
+        let direct = ops::conv2d_direct(&x, &w, Some(&b), p).unwrap();
+        let lowered = ops::conv2d_im2col(&x, &w, Some(&b), p).unwrap();
+        prop_assert_eq!(direct.dims(), lowered.dims());
+        for (d, l) in direct.as_slice().iter().zip(lowered.as_slice()) {
+            prop_assert_eq!(d.to_bits(), l.to_bits());
+        }
+    }
+
     /// Cosine similarity is symmetric, bounded, and scale-invariant.
     #[test]
     fn cosine_properties(v in small_vals(16), scale in 0.1f32..10.0) {
