@@ -240,6 +240,39 @@ impl Design {
         ]
     }
 
+    /// Every public design constructor: the Fig. 13 comparison set, the
+    /// Fig. 16 DS/DB ablations, the Fig. 15 cross-application variants,
+    /// and the ideal / dynamic Defo policies. This is the design namespace
+    /// the `serve` front-end resolves request names against.
+    pub fn catalog() -> Vec<Design> {
+        vec![
+            Self::itc(),
+            Self::diffy(),
+            Self::cambricon_d(),
+            Self::ditto(),
+            Self::ditto_plus(),
+            Self::ds(),
+            Self::db(),
+            Self::db_ds(),
+            Self::db_ds_attn(),
+            Self::ideal_ditto(),
+            Self::ideal_ditto_plus(),
+            Self::dynamic_ditto(),
+            Self::cambricon_d_original(),
+            Self::cambricon_d_attn(),
+            Self::cambricon_d_attn_defo(),
+            Self::cambricon_d_attn_defo_plus(),
+            Self::ditto_sign_mask(),
+            Self::ditto_plus_sign_mask(),
+        ]
+    }
+
+    /// Looks a design up by its display name (case-insensitive), e.g.
+    /// `"Ditto+"` or `"Cam-D"`.
+    pub fn from_name(name: &str) -> Option<Design> {
+        Self::catalog().into_iter().find(|d| d.name.eq_ignore_ascii_case(name))
+    }
+
     /// The Fig. 15 cross-application set.
     pub fn fig15_set() -> Vec<Design> {
         vec![
@@ -293,5 +326,19 @@ mod tests {
     #[test]
     fn fig15_set_has_eight_variants() {
         assert_eq!(Design::fig15_set().len(), 8);
+    }
+
+    #[test]
+    fn catalog_names_are_unique_and_resolvable() {
+        let catalog = Design::catalog();
+        assert_eq!(catalog.len(), 18);
+        for d in &catalog {
+            let found = Design::from_name(&d.name).expect("every catalog name resolves");
+            assert_eq!(found.name, d.name);
+        }
+        let names: std::collections::HashSet<_> = catalog.iter().map(|d| &d.name).collect();
+        assert_eq!(names.len(), catalog.len(), "catalog names collide");
+        assert!(Design::from_name("ditto+").is_some(), "lookup is case-insensitive");
+        assert!(Design::from_name("no-such-design").is_none());
     }
 }

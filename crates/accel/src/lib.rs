@@ -11,6 +11,12 @@
 //! * [`sim`] — the layer-granularity timing/energy simulator with Defo's
 //!   runtime execution-flow selection (static step-2 decision, Defo+,
 //!   dynamic, and oracle policies).
+//! * [`grid`] — the (design × model) sweep engine: the full evaluation
+//!   grid as a work-stealing job pool, returning a structured, serializable
+//!   [`grid::SweepReport`] bit-identical to the sequential nested loop.
+//! * [`pool`] — the shared work-stealing job pool ([`grid`], the
+//!   single-trace [`sim::simulate_designs`] sweep, and `bench`'s parallel
+//!   trace loader all run on it).
 //! * [`energy`] — activity-based energy model (compute / encoder / VPU /
 //!   Defo / SRAM / DRAM / static, the Fig. 13 stacked bars).
 //! * [`gpu`] — the A100 roofline reference.
@@ -46,12 +52,15 @@ pub mod drift;
 pub mod encoder;
 pub mod energy;
 pub mod gpu;
+pub mod grid;
 pub mod pe;
 pub mod pipeline;
+pub mod pool;
 pub mod sim;
 pub mod vpu;
 
 pub use config::HwConfig;
 pub use design::{DefoMode, Design};
 pub use energy::EnergyBreakdown;
+pub use grid::{CellResult, SweepError, SweepReport, SweepSpec};
 pub use sim::{simulate, simulate_designs, DefoReport, ExecMode, RunResult};

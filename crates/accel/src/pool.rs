@@ -1,0 +1,91 @@
+//! A minimal work-stealing job pool over `std::thread::scope`.
+//!
+//! Every parallel sweep in the workspace has the same shape: a fixed list
+//! of independent, pure jobs whose results must come back **in index
+//! order** and **bit-identical** to a sequential loop. This module is that
+//! shape, extracted once: worker threads pull job indices from a shared
+//! atomic counter (natural work stealing — a worker that finishes early
+//! simply claims the next index), each job runs entirely on one thread (so
+//! no float accumulation is ever reordered), and results are collected by
+//! index. Used by [`crate::sim::simulate_designs`], the
+//! [`crate::grid`] (design × model) engine, and `bench`'s parallel trace
+//! loader. (The workspace builds without a crates registry, so this stands
+//! in for an external thread pool such as rayon.)
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// The default worker count: one per available core.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
+}
+
+/// Runs `jobs` invocations of `f` (one per index `0..jobs`) across at most
+/// `workers` threads, returning results in index order.
+///
+/// With one worker (or one job) this degenerates to a plain sequential
+/// loop — no threads are spawned. Results are identical either way as long
+/// as `f` is a pure function of its index.
+pub fn run_indexed<T, F>(jobs: usize, workers: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = workers.clamp(1, jobs.max(1));
+    if workers <= 1 || jobs <= 1 {
+        return (0..jobs).map(f).collect();
+    }
+    let mut slots: Vec<Option<T>> = (0..jobs).map(|_| None).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        let (tx, rx) = mpsc::channel();
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs {
+                    break;
+                }
+                // A send only fails if the receiver is gone, which would
+                // mean the collection loop below panicked already.
+                let _ = tx.send((i, f(i)));
+            });
+        }
+        drop(tx);
+        for (i, result) in rx {
+            slots[i] = Some(result);
+        }
+    });
+    slots.into_iter().map(|r| r.expect("every job index ran")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_index_order() {
+        for workers in [1, 2, 3, 8, 64] {
+            let out = run_indexed(20, workers, |i| i * i);
+            assert_eq!(out, (0..20).map(|i| i * i).collect::<Vec<_>>(), "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn zero_and_single_job_edge_cases() {
+        assert!(run_indexed(0, 4, |i| i).is_empty());
+        assert_eq!(run_indexed(1, 4, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        use std::sync::atomic::AtomicU32;
+        let counts: Vec<AtomicU32> = (0..100).map(|_| AtomicU32::new(0)).collect();
+        run_indexed(100, 7, |i| counts[i].fetch_add(1, Ordering::Relaxed));
+        for (i, c) in counts.iter().enumerate() {
+            assert_eq!(c.load(Ordering::Relaxed), 1, "job {i}");
+        }
+    }
+}

@@ -25,6 +25,7 @@ use crate::energy::{
     EnergyBreakdown, E_DEFO_PJ, E_ENC_PJ, E_MAC8_PJ, E_SLOT4_PJ, E_SRAM_PJ, E_SUM_PJ, E_VPU_PJ,
     STATIC_FRACTION,
 };
+use crate::grid::SweepError;
 
 /// Pipeline fill / drain overhead per layer (cycles).
 const PIPE_OVERHEAD: f64 = 8.0;
@@ -374,18 +375,24 @@ pub fn simulate(design: &Design, trace: &WorkloadTrace) -> RunResult {
 
 /// Simulates many designs over one traced workload concurrently.
 ///
-/// This is the multi-design sweep entry point: every Table III design point
+/// This is the single-trace sweep entry point: every Table III design point
 /// is an independent, read-only pass over the trace, so the sweep fans out
-/// across `std::thread::available_parallelism()` worker threads pulling
-/// design indices from a shared counter. (The workspace builds without a
-/// crates registry, so the fan-out uses `std::thread::scope` rather than an
-/// external thread pool such as rayon.)
+/// over the work-stealing [`crate::pool`] (worker threads pulling design
+/// indices from a shared counter; the full (design × model) grid lives in
+/// [`crate::grid`]).
 ///
 /// Results come back in `designs` order and are **bit-identical** to
 /// calling [`simulate`] sequentially: [`simulate`] is a pure function of
 /// `(design, trace)` — no shared mutable state, no RNG, no
 /// reduction-order-dependent float accumulation across designs — and each
 /// design's accumulation happens entirely on one thread.
+///
+/// # Errors
+///
+/// Returns [`SweepError`] — the same non-panicking error path as
+/// [`crate::grid::run`] — for an empty design list or a degenerate trace
+/// (no layers, no steps, or ragged per-step stat rows), instead of the
+/// previous ad-hoc behavior (silently empty results / NaN metrics).
 ///
 /// # Example
 ///
@@ -395,45 +402,23 @@ pub fn simulate(design: &Design, trace: &WorkloadTrace) -> RunResult {
 ///
 /// let trace = synth::trace(4, 6, 100_000, 64, true);
 /// let designs = [Design::itc(), Design::ditto(), Design::ditto_plus()];
-/// let results = simulate_designs(&designs, &trace);
+/// let results = simulate_designs(&designs, &trace)?;
 /// assert_eq!(results.len(), 3);
 /// assert_eq!(results[1].cycles, simulate(&designs[1], &trace).cycles);
+/// assert!(simulate_designs(&[], &trace).is_err());
+/// # Ok::<(), accel::grid::SweepError>(())
 /// ```
-pub fn simulate_designs(designs: &[Design], trace: &WorkloadTrace) -> Vec<RunResult> {
-    use std::sync::atomic::{AtomicUsize, Ordering};
-    use std::sync::mpsc;
-
-    let workers = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(designs.len());
-    if workers <= 1 {
-        return designs.iter().map(|d| simulate(d, trace)).collect();
+pub fn simulate_designs(
+    designs: &[Design],
+    trace: &WorkloadTrace,
+) -> Result<Vec<RunResult>, SweepError> {
+    if designs.is_empty() {
+        return Err(SweepError::EmptyDesigns);
     }
-
-    let mut slots: Vec<Option<RunResult>> = designs.iter().map(|_| None).collect();
-    let next = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        let (tx, rx) = mpsc::channel();
-        for _ in 0..workers {
-            let tx = tx.clone();
-            let next = &next;
-            scope.spawn(move || loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= designs.len() {
-                    break;
-                }
-                // A send only fails if the receiver is gone, which would
-                // mean the collection loop below panicked already.
-                let _ = tx.send((i, simulate(&designs[i], trace)));
-            });
-        }
-        drop(tx);
-        for (i, result) in rx {
-            slots[i] = Some(result);
-        }
-    });
-    slots.into_iter().map(|r| r.expect("every design index was simulated")).collect()
+    crate::grid::validate_trace(trace)?;
+    Ok(crate::pool::run_indexed(designs.len(), crate::pool::default_workers(), |i| {
+        simulate(&designs[i], trace)
+    }))
 }
 
 /// Synthetic paper-magnitude workload traces for deterministic simulator

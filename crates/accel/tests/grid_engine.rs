@@ -1,0 +1,100 @@
+//! `grid::run` must be a drop-in parallel replacement for the sequential
+//! (design × model) nested loop: same cell order, bit-identical numbers,
+//! regardless of worker count.
+
+use accel::design::Design;
+use accel::gpu::simulate_gpu;
+use accel::grid::{self, SweepSpec};
+use accel::sim::simulate;
+use diffusion::{DiffusionModel, ModelKind, ModelScale};
+use ditto_core::runner::{trace_model, ExecPolicy};
+use ditto_core::trace::WorkloadTrace;
+
+/// Tiny-scale traces of all seven Table I models (no disk cache — this is
+/// the raw trace pipeline, so the test is hermetic).
+fn all_model_traces() -> Vec<WorkloadTrace> {
+    ModelKind::all()
+        .into_iter()
+        .map(|kind| {
+            let model = DiffusionModel::build(kind, ModelScale::Tiny, 42);
+            trace_model(&model, 0, ExecPolicy::Dense).expect("trace").0
+        })
+        .collect()
+}
+
+#[test]
+fn full_grid_is_bit_identical_to_sequential_nested_loop() {
+    let designs = Design::catalog();
+    assert_eq!(designs.len(), 18, "every public design constructor");
+    let traces = all_model_traces();
+    let spec = SweepSpec::new(designs.clone(), traces.iter().collect());
+    let report = grid::run(&spec).expect("valid sweep");
+
+    assert_eq!(report.cells.len(), 18 * traces.len());
+    for (m, trace) in traces.iter().enumerate() {
+        assert_eq!(report.models[m], trace.model);
+        let gpu = simulate_gpu(trace);
+        assert_eq!(report.gpu(m).cycles.to_bits(), gpu.cycles.to_bits());
+        for (d, design) in designs.iter().enumerate() {
+            let cell = report.cell(d, m);
+            let seq = simulate(design, trace);
+            assert_eq!(cell.run.design, design.name);
+            assert_eq!(cell.run.model, trace.model);
+            for (label, a, b) in [
+                ("cycles", cell.run.cycles, seq.cycles),
+                ("compute", cell.run.compute_cycles, seq.compute_cycles),
+                ("stall", cell.run.stall_cycles, seq.stall_cycles),
+                ("dram_bytes", cell.run.dram_bytes, seq.dram_bytes),
+                ("total_bytes", cell.run.total_bytes, seq.total_bytes),
+                ("energy", cell.run.energy.total(), seq.energy.total()),
+                ("speedup_vs_gpu", cell.speedup_vs_gpu, gpu.cycles / seq.cycles),
+            ] {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "{}/{}: {label} differs between grid and sequential ({a} vs {b})",
+                    design.name,
+                    trace.model
+                );
+            }
+            match (&cell.run.defo, &seq.defo) {
+                (None, None) => {}
+                (Some(p), Some(s)) => {
+                    assert_eq!(p.changed_ratio.to_bits(), s.changed_ratio.to_bits());
+                    assert_eq!(p.accuracy.to_bits(), s.accuracy.to_bits());
+                }
+                _ => panic!("{}/{}: Defo presence differs", design.name, trace.model),
+            }
+        }
+    }
+}
+
+#[test]
+fn grid_is_deterministic_across_worker_counts() {
+    // Synthetic traces keep this fast; the point is scheduling, not models.
+    use accel::sim::synth;
+    let traces = [synth::trace(5, 9, 150_000, 512, true), synth::trace(3, 7, 80_000, 8, false)];
+    let spec = SweepSpec::new(Design::catalog(), traces.iter().collect());
+    let reference = grid::run_with_workers(&spec, 1).expect("sequential baseline");
+    for workers in [2, 3, 4, 16, 64] {
+        let report = grid::run_with_workers(&spec, workers).expect("valid sweep");
+        assert_eq!(report.designs, reference.designs);
+        assert_eq!(report.models, reference.models);
+        for (a, b) in report.cells.iter().zip(&reference.cells) {
+            assert_eq!(a.design, b.design);
+            assert_eq!(a.model, b.model);
+            assert_eq!(
+                a.run.cycles.to_bits(),
+                b.run.cycles.to_bits(),
+                "workers={workers}: {}/{} cycles drifted",
+                a.run.design,
+                a.run.model
+            );
+            assert_eq!(a.run.energy.total().to_bits(), b.run.energy.total().to_bits());
+            assert_eq!(a.speedup_vs_gpu.to_bits(), b.speedup_vs_gpu.to_bits());
+        }
+        for (a, b) in report.gpu.iter().zip(&reference.gpu) {
+            assert_eq!(a.cycles.to_bits(), b.cycles.to_bits());
+        }
+    }
+}

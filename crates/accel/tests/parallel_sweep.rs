@@ -2,32 +2,12 @@
 //! sequential `simulate` calls: same order, bit-identical numbers.
 
 use accel::design::Design;
+use accel::grid::SweepError;
 use accel::sim::{simulate, simulate_designs, synth, RunResult};
 
-/// Every public design constructor: the Fig. 13 comparison set, the
-/// Fig. 16 DS/DB ablations, the Fig. 15 cross-application variants, and
-/// the ideal / dynamic Defo policies.
+/// Every public design constructor (the serve-front-end catalog).
 fn all_designs() -> Vec<Design> {
-    vec![
-        Design::itc(),
-        Design::diffy(),
-        Design::cambricon_d(),
-        Design::ditto(),
-        Design::ditto_plus(),
-        Design::ds(),
-        Design::db(),
-        Design::db_ds(),
-        Design::db_ds_attn(),
-        Design::ideal_ditto(),
-        Design::ideal_ditto_plus(),
-        Design::dynamic_ditto(),
-        Design::cambricon_d_original(),
-        Design::cambricon_d_attn(),
-        Design::cambricon_d_attn_defo(),
-        Design::cambricon_d_attn_defo_plus(),
-        Design::ditto_sign_mask(),
-        Design::ditto_plus_sign_mask(),
-    ]
+    Design::catalog()
 }
 
 /// Asserts f64 equality at the bit level (no tolerance: the parallel path
@@ -79,7 +59,7 @@ fn parallel_sweep_is_bit_identical_to_sequential() {
     // accounting; both reuse regimes exercise both Defo decisions.
     for (covered, reuse) in [(true, 512), (false, 8)] {
         let trace = synth::trace(6, 12, 200_000, reuse, covered);
-        let parallel = simulate_designs(&designs, &trace);
+        let parallel = simulate_designs(&designs, &trace).unwrap();
         assert_eq!(parallel.len(), designs.len());
         for (design, par) in designs.iter().zip(&parallel) {
             let seq = simulate(design, &trace);
@@ -92,8 +72,8 @@ fn parallel_sweep_is_bit_identical_to_sequential() {
 fn parallel_sweep_repeated_runs_are_stable() {
     let designs = all_designs();
     let trace = synth::trace(4, 8, 100_000, 128, true);
-    let a = simulate_designs(&designs, &trace);
-    let b = simulate_designs(&designs, &trace);
+    let a = simulate_designs(&designs, &trace).unwrap();
+    let b = simulate_designs(&designs, &trace).unwrap();
     for (x, y) in a.iter().zip(&b) {
         assert_eq!(x.cycles.to_bits(), y.cycles.to_bits());
         assert_eq!(x.energy.total().to_bits(), y.energy.total().to_bits());
@@ -103,8 +83,25 @@ fn parallel_sweep_repeated_runs_are_stable() {
 #[test]
 fn empty_and_single_design_sweeps() {
     let trace = synth::trace(2, 4, 50_000, 64, true);
-    assert!(simulate_designs(&[], &trace).is_empty());
-    let one = simulate_designs(&[Design::ditto()], &trace);
+    // An empty design list is an error, not a silent empty result.
+    assert_eq!(simulate_designs(&[], &trace).unwrap_err(), SweepError::EmptyDesigns);
+    let one = simulate_designs(&[Design::ditto()], &trace).unwrap();
     assert_eq!(one.len(), 1);
     assert_eq!(one[0].cycles.to_bits(), simulate(&Design::ditto(), &trace).cycles.to_bits());
+}
+
+#[test]
+fn degenerate_traces_are_errors_not_nans() {
+    let mut no_steps = synth::trace(2, 4, 50_000, 64, true);
+    no_steps.steps.clear();
+    assert_eq!(
+        simulate_designs(&[Design::itc()], &no_steps).unwrap_err(),
+        SweepError::EmptyTrace { model: "SYNTH".into() }
+    );
+    let mut ragged = synth::trace(3, 4, 50_000, 64, true);
+    ragged.steps[2].truncate(1);
+    assert_eq!(
+        simulate_designs(&[Design::itc()], &ragged).unwrap_err(),
+        SweepError::MismatchedTrace { model: "SYNTH".into(), step: 2, expected: 3, actual: 1 }
+    );
 }

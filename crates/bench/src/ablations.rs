@@ -14,25 +14,32 @@
 //!   (Defo sees `Upsample2x` as difference-transparent).
 
 use accel::design::Design;
-use accel::sim::{simulate, simulate_designs};
+use accel::sim::simulate;
 use diffusion::models::build_hierarchical_unet;
 use diffusion::{metrics, DiffusionModel, ModelKind, ModelScale, NullHook};
 use ditto_core::analysis;
 use ditto_core::runner::{CalibrationHook, DittoHook, ExecPolicy};
-use ditto_core::trace::StatView;
+use ditto_core::trace::{StatView, WorkloadTrace};
 use quant::Quantizer;
 
 use crate::report::{banner, f2, f3, pct, Table};
-use crate::suite::cached_trace;
+use crate::suite::Suite;
+use crate::sweep::sweep_traces;
+
+/// The SDM workload from the process-wide warm suite.
+fn sdm_trace() -> &'static WorkloadTrace {
+    Suite::shared(ModelScale::Small).trace(ModelKind::Sdm)
+}
 
 /// DRAM-bandwidth sensitivity sweep on the SDM workload.
 pub fn bandwidth() {
     banner("Ablation A1", "DRAM bandwidth sensitivity (SDM workload)");
-    let trace = cached_trace(ModelKind::Sdm);
+    let trace = sdm_trace();
     let mut t =
         Table::new(["DRAM BW (B/cyc @1GHz)", "Ditto speedup vs ITC", "Defo change", "stall share"]);
-    // The whole (bandwidth × design) grid is one parallel sweep: ITC and
-    // Ditto variants at each bandwidth, interleaved pairwise.
+    // The whole (bandwidth × design) grid is one parallel sweep on the
+    // grid engine: ITC and Ditto variants at each bandwidth, interleaved
+    // pairwise along the design axis.
     const BWS: [f64; 6] = [32.0, 64.0, 128.0, 256.0, 512.0, 1024.0];
     let grid: Vec<Design> = BWS
         .iter()
@@ -44,9 +51,9 @@ pub fn bandwidth() {
             [itc, ditto]
         })
         .collect();
-    let results = simulate_designs(&grid, &trace);
-    for (bw, pair) in BWS.iter().zip(results.chunks_exact(2)) {
-        let (r_itc, r) = (&pair[0], &pair[1]);
+    let report = sweep_traces(grid, vec![trace]).expect("bandwidth sweep");
+    for (bw, pair) in BWS.iter().zip(report.cells.chunks_exact(2)) {
+        let (r_itc, r) = (&pair[0].run, &pair[1].run);
         t.row([
             format!("{bw}"),
             f2(r.speedup_over(r_itc)),
@@ -177,7 +184,7 @@ pub fn pipeline_fidelity() {
     use accel::pipeline::{simulate_layer_pipeline, TileConfig};
     use accel::sim::ExecMode;
     banner("Ablation A3", "Analytic bound vs tile pipeline under bursty sparsity (SDM)");
-    let trace = cached_trace(ModelKind::Sdm);
+    let trace = sdm_trace();
     // The largest temporal-mode conv layer at a mid-run step.
     // The most memory-bound temporal layer: where DMA and compute are
     // comparable, bursty sparsity serializes the pipeline.

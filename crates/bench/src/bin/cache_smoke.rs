@@ -20,6 +20,7 @@ fn sweep(suite: &Suite) -> Vec<(String, String, f64)> {
         .iter()
         .flat_map(|trace| {
             simulate_designs(&designs, trace)
+                .expect("suite traces are non-degenerate")
                 .into_iter()
                 .map(|r| (r.design.clone(), r.model.clone(), r.cycles))
         })

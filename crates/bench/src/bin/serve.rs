@@ -1,0 +1,129 @@
+//! Concurrent sweep-serving front-end.
+//!
+//! Reads line-delimited JSON sweep requests (see [`bench::sweep`] for the
+//! wire protocol) from stdin — or from a batch file with `--batch FILE` —
+//! executes them concurrently, and streams one JSON response line per
+//! request to stdout *as each request finishes* (responses may be
+//! reordered; match them by `id`). All requests share one warm
+//! [`bench::Suite`] per scale and therefore one on-disk trace cache: the
+//! first request at a scale pays the load, every later one reuses the
+//! in-memory traces, and each response reports the suite's cache-hit
+//! count. Human-readable progress goes to stderr.
+//!
+//! ```bash
+//! printf '%s\n' \
+//!   '{"id":"a","designs":["ITC","Ditto"],"models":["DDPM"],"scale":"tiny"}' \
+//!   '{"id":"b","scale":"tiny"}' \
+//!   | cargo run --release -p bench --bin serve
+//! ```
+
+use std::io::{BufRead, BufReader, Write as _};
+use std::sync::{mpsc, Mutex};
+
+use bench::report::sweep_summary;
+use bench::sweep::parse_request;
+use bench::{sweep, Suite};
+
+/// Writes one response line atomically: `StdoutLock` is held across the
+/// write and flush, so concurrent workers cannot interleave lines.
+fn print_line(line: &str) {
+    let stdout = std::io::stdout();
+    let mut handle = stdout.lock();
+    let _ = writeln!(handle, "{line}");
+    let _ = handle.flush();
+}
+
+/// Parses, runs, and renders one request line; returns the response line
+/// and whether the request succeeded.
+fn handle(line: &str) -> (String, bool) {
+    match parse_request(line) {
+        Err(e) => (sweep::response_err(&sweep::request_id(line), &e), false),
+        Ok(req) => match req.sweep.run() {
+            Ok(report) => {
+                let hits = Suite::shared(req.sweep.scale).cache_hits();
+                eprintln!("[serve] {}: {}", req.id, sweep_summary(&report));
+                (sweep::response_ok(&req.id, &report, hits), true)
+            }
+            Err(e) => (sweep::response_err(&req.id, &e.to_string()), false),
+        },
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut batch: Option<String> = None;
+    // Each request already fans its grid cells out across every core via
+    // `accel::grid`, so request-level concurrency exists to overlap
+    // requests' serial sections (parsing, rendering, GPU passes), not to
+    // add parallelism — a small pool avoids quadratic thread
+    // oversubscription (requests × cores). `--workers` overrides.
+    let mut workers = accel::pool::default_workers().min(4);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--batch" => batch = Some(args.next().expect("--batch needs a file path")),
+            "--workers" => {
+                workers = args
+                    .next()
+                    .and_then(|w| w.parse().ok())
+                    .expect("--workers needs a positive integer")
+            }
+            other => {
+                eprintln!("unknown argument `{other}`; usage: serve [--batch FILE] [--workers N]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let workers = workers.max(1);
+
+    let input: Box<dyn BufRead> = match &batch {
+        Some(path) => Box::new(BufReader::new(
+            std::fs::File::open(path).unwrap_or_else(|e| panic!("open {path}: {e}")),
+        )),
+        None => Box::new(BufReader::new(std::io::stdin())),
+    };
+
+    let (tx, rx) = mpsc::channel::<String>();
+    let rx = Mutex::new(rx);
+    let (served, failed) = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for _ in 0..workers {
+            let rx = &rx;
+            handles.push(scope.spawn(move || {
+                let mut ok = 0usize;
+                let mut err = 0usize;
+                loop {
+                    // Take one request off the queue; hold the lock only
+                    // for the recv so other workers stream in parallel.
+                    let line = match rx.lock().expect("request queue").recv() {
+                        Ok(line) => line,
+                        Err(_) => break, // queue closed and drained
+                    };
+                    let (response, success) = handle(&line);
+                    print_line(&response);
+                    if success {
+                        ok += 1;
+                    } else {
+                        err += 1;
+                    }
+                }
+                (ok, err)
+            }));
+        }
+        for line in input.lines() {
+            let line = line.expect("read request line");
+            if line.trim().is_empty() {
+                continue;
+            }
+            tx.send(line).expect("workers alive");
+        }
+        drop(tx);
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker"))
+            .fold((0usize, 0usize), |(a, b), (ok, err)| (a + ok, b + err))
+    });
+    eprintln!("[serve] done: {served} request(s) served, {failed} failed");
+    if failed > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,37 +1,43 @@
 //! One function per paper experiment; the `src/bin/` binaries are thin
 //! wrappers. Every function prints the same rows/series the paper reports.
+//!
+//! The simulation experiments (fig13–fig19) are declarative: each one
+//! names its design set, runs it over the whole Table I suite as one
+//! (design × model) grid on [`accel::grid`] (via [`crate::sweep`]), and
+//! renders its figure from the structured [`SweepReport`] — the
+//! `*_render` functions are pure formatting, exercised byte-for-byte
+//! against a sequential reference in `tests/golden_figures.rs`. All trace
+//! access goes through the process-wide warm [`Suite::shared`].
+
+use std::fmt::Write as _;
 
 use accel::design::Design;
 use accel::drift::inject_drift;
-use accel::gpu::simulate_gpu;
-use accel::sim::{simulate, simulate_designs, RunResult};
+use accel::grid::SweepReport;
+use accel::sim::RunResult;
 use accel::HwConfig;
-use diffusion::{metrics, ModelKind};
+use diffusion::{metrics, ModelKind, ModelScale};
 use ditto_core::analysis;
 use ditto_core::runner::{build_quantizer, DittoHook, ExecPolicy};
 use ditto_core::trace::StatView;
 
-use crate::report::{banner, f2, f3, pct, Table};
-use crate::suite::{build_model, cached_similarity, cached_trace, Suite, MODELS};
+use crate::report::{banner, banner_str, f2, f3, pct, Table};
+use crate::suite::{build_model, cached_similarity, Suite, MODELS};
+use crate::sweep::{paper_sweep, sweep_traces};
 
-/// Ensures every model's trace is cached on disk before a per-model
-/// `cached_trace` loop, fanning missing traces out across cores via the
-/// parallel [`Suite::load`]. Once per process: later calls are free.
-fn warm_suite() {
-    static WARM: std::sync::Once = std::sync::Once::new();
-    WARM.call_once(|| {
-        let _ = Suite::load();
-    });
+/// The warm suite at the experiment scale.
+fn suite() -> &'static Suite {
+    Suite::shared(ModelScale::Small)
 }
 
 /// Table I: evaluated models, datasets and samplers.
 pub fn table1() {
     banner("Table I", "Evaluated Models, Datasets, and Samplers");
-    warm_suite();
+    let suite = suite();
     let mut t = Table::new(["Abbr.", "Dataset", "Sampler", "Steps", "Linear layers", "MACs/step"]);
     for &kind in &MODELS {
         let model = build_model(kind);
-        let trace = cached_trace(kind);
+        let trace = suite.trace(kind);
         t.row([
             kind.abbr().to_string(),
             kind.dataset().to_string(),
@@ -145,11 +151,11 @@ pub fn fig04b() {
 /// differences.
 pub fn fig05() {
     banner("Fig. 5", "Bit-width requirement (zero / 4-bit / over-4-bit)");
-    warm_suite();
+    let suite = suite();
     let mut t = Table::new(["Model", "View", "Zero", "4-bit", "Over 4-bit"]);
     let mut avg = [[0.0f64; 3]; 3];
     for &kind in &MODELS {
-        let trace = cached_trace(kind);
+        let trace = suite.trace(kind);
         for (vi, (view, label)) in [
             (StatView::Activation, "Act."),
             (StatView::Spatial, "Spa Diff."),
@@ -158,7 +164,7 @@ pub fn fig05() {
         .iter()
         .enumerate()
         {
-            let b = analysis::bitwidth_breakdown(&trace, *view);
+            let b = analysis::bitwidth_breakdown(trace, *view);
             avg[vi][0] += b.zero;
             avg[vi][1] += b.low4;
             avg[vi][2] += b.over4;
@@ -190,13 +196,13 @@ pub fn fig05() {
 /// Fig. 6a: relative BOPs of the three processing methods.
 pub fn fig06a() {
     banner("Fig. 6a", "Relative BOPs (normalized to the original quantized model)");
-    warm_suite();
+    let suite = suite();
     let mut t = Table::new(["Model", "Activation", "Spatial diff", "Temporal diff"]);
     let (mut ss, mut st) = (0.0, 0.0);
     for &kind in &MODELS {
-        let trace = cached_trace(kind);
-        let spa = analysis::relative_bops(&trace, StatView::Spatial);
-        let tmp = analysis::relative_bops(&trace, StatView::Temporal);
+        let trace = suite.trace(kind);
+        let spa = analysis::relative_bops(trace, StatView::Spatial);
+        let tmp = analysis::relative_bops(trace, StatView::Temporal);
         ss += spa;
         st += tmp;
         t.row([kind.abbr().to_string(), f3(1.0), f3(spa), f3(tmp)]);
@@ -211,10 +217,9 @@ pub fn fig06a() {
 /// layers.
 pub fn fig06b() {
     banner("Fig. 6b", "Per-step relative BOPs of temporal differences (SDM)");
-    warm_suite();
-    let trace = cached_trace(ModelKind::Sdm);
+    let trace = suite().trace(ModelKind::Sdm);
     for name in ["conv-in", "up.0.0.skip"] {
-        let series = analysis::per_step_relative_bops(&trace, name).expect("layer exists");
+        let series = analysis::per_step_relative_bops(trace, name).expect("layer exists");
         let n = series.len();
         let mut t =
             Table::new(["Layer", "50'~50", "41~40", "31~30", "21~20", "11~10", "2~1", "mean(2..)"]);
@@ -241,14 +246,14 @@ pub fn fig06b() {
 /// processing (before Defo).
 pub fn fig08() {
     banner("Fig. 8", "Relative memory accesses of temporal difference processing");
-    warm_suite();
+    let suite = suite();
     let mut t =
         Table::new(["Model", "Activation", "Temporal diff (naive)", "After Defo static bypass"]);
     let (mut sn, mut sd) = (0.0, 0.0);
     for &kind in &MODELS {
-        let trace = cached_trace(kind);
-        let naive = analysis::naive_temporal_memory_ratio(&trace);
-        let defo = analysis::defo_temporal_memory_ratio(&trace);
+        let trace = suite.trace(kind);
+        let naive = analysis::naive_temporal_memory_ratio(trace);
+        let defo = analysis::defo_temporal_memory_ratio(trace);
         sn += naive;
         sd += defo;
         t.row([kind.abbr().to_string(), f2(1.0), f2(naive), f2(defo)]);
@@ -342,60 +347,58 @@ pub fn table3() {
     t.print();
 }
 
-fn fig13_designs() -> Vec<Design> {
-    Design::fig13_set()
-}
-
 /// Fig. 13: speedup (top) and relative energy (bottom) of every hardware
 /// design, normalized to ITC.
 pub fn fig13() {
-    banner("Fig. 13", "Speedup and relative energy vs ITC");
-    warm_suite();
-    let designs = fig13_designs();
+    print!("{}", fig13_render(&paper_sweep(Design::fig13_set())));
+}
+
+/// Renders Fig. 13 from a structured sweep over [`Design::fig13_set`]
+/// (design 0 must be ITC, design 3 Ditto).
+pub fn fig13_render(r: &SweepReport) -> String {
+    let mut out = banner_str("Fig. 13", "Speedup and relative energy vs ITC");
+    let designs = r.designs.len();
     let mut t = Table::new(["Model", "GPU", "ITC", "Diffy", "Cam-D", "Ditto", "Ditto+"]);
     let mut e = Table::new(["Model", "GPU", "ITC", "Diffy", "Cam-D", "Ditto", "Ditto+"]);
-    let mut sums = vec![0.0f64; designs.len() + 1];
-    let mut esums = vec![0.0f64; designs.len() + 1];
-    for &kind in &MODELS {
-        let trace = cached_trace(kind);
-        // `designs[0]` is ITC, the normalization baseline.
-        let results = simulate_designs(&designs, &trace);
-        let itc = &results[0];
-        let gpu = simulate_gpu(&trace);
-        let mut srow = vec![kind.abbr().to_string(), f2(gpu.speedup_over(itc)), f2(1.0)];
-        let mut erow = vec![kind.abbr().to_string(), f2(gpu.relative_energy(itc)), f2(1.0)];
+    let mut sums = vec![0.0f64; designs + 1];
+    let mut esums = vec![0.0f64; designs + 1];
+    for (mi, model) in r.models.iter().enumerate() {
+        // Design 0 is ITC, the normalization baseline.
+        let row = r.model_row(mi);
+        let itc = &row[0].run;
+        let gpu = r.gpu(mi);
+        let mut srow = vec![model.clone(), f2(gpu.speedup_over(itc)), f2(1.0)];
+        let mut erow = vec![model.clone(), f2(gpu.relative_energy(itc)), f2(1.0)];
         sums[0] += gpu.speedup_over(itc);
         esums[0] += gpu.relative_energy(itc);
-        for (i, r) in results.iter().enumerate().skip(1) {
-            sums[i] += r.speedup_over(itc);
-            esums[i] += r.relative_energy(itc);
-            srow.push(f2(r.speedup_over(itc)));
-            erow.push(f2(r.relative_energy(itc)));
+        for (i, c) in row.iter().enumerate().skip(1) {
+            sums[i] += c.run.speedup_over(itc);
+            esums[i] += c.run.relative_energy(itc);
+            srow.push(f2(c.run.speedup_over(itc)));
+            erow.push(f2(c.run.relative_energy(itc)));
         }
         t.row(srow);
         e.row(erow);
     }
-    let n = MODELS.len() as f64;
+    let n = r.models.len() as f64;
     let mut avg_s = vec!["AVG.".to_string(), f2(sums[0] / n), f2(1.0)];
     let mut avg_e = vec!["AVG.".to_string(), f2(esums[0] / n), f2(1.0)];
-    for i in 1..designs.len() {
+    for i in 1..designs {
         avg_s.push(f2(sums[i] / n));
         avg_e.push(f2(esums[i] / n));
     }
     t.row(avg_s);
     e.row(avg_e);
-    println!("-- speedup (top; normalized to ITC) --");
-    t.print();
-    println!("-- relative energy (bottom; normalized to ITC) --");
-    e.print();
+    let _ = writeln!(out, "-- speedup (top; normalized to ITC) --");
+    out.push_str(&t.to_markdown());
+    let _ = writeln!(out, "-- relative energy (bottom; normalized to ITC) --");
+    out.push_str(&e.to_markdown());
     // Energy breakdown of the Ditto hardware (the stacked-bar content).
     let mut b = Table::new(["Model", "CU", "EU", "VPU", "Defo", "SRAM", "DRAM", "static"]);
-    for &kind in &MODELS {
-        let trace = cached_trace(kind);
-        let r = simulate(&Design::ditto(), &trace);
-        let f = r.energy.fractions();
+    for (mi, model) in r.models.iter().enumerate() {
+        let f = r.cell(3, mi).run.energy.fractions();
         b.row([
-            kind.abbr().to_string(),
+            model.clone(),
             pct(f[0]),
             pct(f[1]),
             pct(f[2]),
@@ -405,126 +408,145 @@ pub fn fig13() {
             pct(f[6]),
         ]);
     }
-    println!("-- Ditto energy breakdown --");
-    b.print();
-    println!(
+    let _ = writeln!(out, "-- Ditto energy breakdown --");
+    out.push_str(&b.to_markdown());
+    let _ = writeln!(
+        out,
         "(paper: Ditto 1.5x speedup / 17.74% energy saving over ITC; Ditto+ 1.06x over Ditto;"
     );
-    println!(" Ditto 1.56x over Cambricon-D, 43.24% energy saving vs Cam-D; GPU avg speedup 0.18, energy 55x)");
+    let _ = writeln!(out, " Ditto 1.56x over Cambricon-D, 43.24% energy saving vs Cam-D; GPU avg speedup 0.18, energy 55x)");
+    out
 }
 
 /// Fig. 14: relative memory accesses of the hardware designs.
 pub fn fig14() {
-    banner("Fig. 14", "Relative memory accesses (normalized to ITC)");
-    warm_suite();
+    let designs = vec![Design::itc(), Design::cambricon_d(), Design::ditto(), Design::ditto_plus()];
+    print!("{}", fig14_render(&paper_sweep(designs)));
+}
+
+/// Renders Fig. 14 from a sweep over `[ITC, Cam-D, Ditto, Ditto+]`.
+pub fn fig14_render(r: &SweepReport) -> String {
+    let mut out = banner_str("Fig. 14", "Relative memory accesses (normalized to ITC)");
     let mut t = Table::new(["Model", "ITC", "Cam-D", "Ditto", "Ditto+"]);
     let mut sums = [0.0f64; 3];
-    for &kind in &MODELS {
-        let trace = cached_trace(kind);
-        let [itc, cam, ditto, plus]: [RunResult; 4] = simulate_designs(
-            &[Design::itc(), Design::cambricon_d(), Design::ditto(), Design::ditto_plus()],
-            &trace,
-        )
-        .try_into()
-        .expect("four designs in, four results out");
-        let r = [
-            cam.total_bytes / itc.total_bytes,
-            ditto.total_bytes / itc.total_bytes,
-            plus.total_bytes / itc.total_bytes,
+    for (mi, model) in r.models.iter().enumerate() {
+        let row = r.model_row(mi);
+        let itc = &row[0].run;
+        let ratios = [
+            row[1].run.total_bytes / itc.total_bytes,
+            row[2].run.total_bytes / itc.total_bytes,
+            row[3].run.total_bytes / itc.total_bytes,
         ];
-        for (s, v) in sums.iter_mut().zip(r) {
+        for (s, v) in sums.iter_mut().zip(ratios) {
             *s += v;
         }
-        t.row([kind.abbr().to_string(), f2(1.0), f2(r[0]), f2(r[1]), f2(r[2])]);
+        t.row([model.clone(), f2(1.0), f2(ratios[0]), f2(ratios[1]), f2(ratios[2])]);
     }
-    let n = MODELS.len() as f64;
+    let n = r.models.len() as f64;
     t.row(["AVG.".to_string(), f2(1.0), f2(sums[0] / n), f2(sums[1] / n), f2(sums[2] / n)]);
-    t.print();
-    println!("(paper: Cam-D 1.95x, Ditto 1.56x, Ditto+ 1.36x)");
+    out.push_str(&t.to_markdown());
+    let _ = writeln!(out, "(paper: Cam-D 1.95x, Ditto 1.56x, Ditto+ 1.36x)");
+    out
 }
 
 /// Fig. 15: cross-applying software techniques between Cambricon-D and
 /// Ditto (normalized to the original Cambricon-D).
 pub fn fig15() {
-    banner("Fig. 15", "Cross-application of software techniques (vs Org. Cam-D)");
-    warm_suite();
-    let designs = Design::fig15_set();
+    print!("{}", fig15_render(&paper_sweep(Design::fig15_set())));
+}
+
+/// Renders Fig. 15 from a sweep over [`Design::fig15_set`] (design 0 is
+/// the original Cambricon-D baseline).
+pub fn fig15_render(r: &SweepReport) -> String {
+    let mut out = banner_str("Fig. 15", "Cross-application of software techniques (vs Org. Cam-D)");
     let mut header = vec!["Model".to_string()];
-    header.extend(designs.iter().map(|d| d.name.clone()));
+    header.extend(r.designs.iter().cloned());
     let mut t = Table::new(header);
-    let mut sums = vec![0.0f64; designs.len()];
-    for &kind in &MODELS {
-        let trace = cached_trace(kind);
-        let results = simulate_designs(&designs, &trace);
-        let base = &results[0];
-        let mut row = vec![kind.abbr().to_string()];
-        for (i, r) in results.iter().enumerate() {
-            let s = r.speedup_over(base);
+    let mut sums = vec![0.0f64; r.designs.len()];
+    for (mi, model) in r.models.iter().enumerate() {
+        let row = r.model_row(mi);
+        let base = &row[0].run;
+        let mut cells = vec![model.clone()];
+        for (i, c) in row.iter().enumerate() {
+            let s = c.run.speedup_over(base);
             sums[i] += s;
-            row.push(f2(s));
+            cells.push(f2(s));
         }
-        t.row(row);
+        t.row(cells);
     }
-    let n = MODELS.len() as f64;
+    let n = r.models.len() as f64;
     let mut avg = vec!["AVG.".to_string()];
     avg.extend(sums.iter().map(|s| f2(s / n)));
     t.row(avg);
-    t.print();
-    println!(
+    out.push_str(&t.to_markdown());
+    let _ = writeln!(
+        out,
         "(paper: Cam-D +Ditto techniques 1.16x; Ditto +sign-mask 1.068x, Ditto+ +sign-mask 1.055x;"
     );
-    println!(" all Cam-D variants stay below the Ditto hardware)");
+    let _ = writeln!(out, " all Cam-D variants stay below the Ditto hardware)");
+    out
 }
 
 /// Fig. 16: cycle-count breakdown (compute vs memory stall) for the design
 /// ablations, relative to ITC.
 pub fn fig16() {
-    banner("Fig. 16", "Cycle counts of Ditto hardware variants (relative to ITC)");
-    warm_suite();
-    let designs = Design::fig16_set();
-    let mut header = vec!["Model".to_string(), "metric".to_string()];
-    header.extend(designs.iter().map(|d| d.name.clone()));
-    let mut t = Table::new(header);
     // One sweep covers the normalization baseline and every ablation.
-    let mut sweep = vec![Design::itc()];
-    sweep.extend(designs.iter().cloned());
-    for &kind in &MODELS {
-        let trace = cached_trace(kind);
-        let results = simulate_designs(&sweep, &trace);
-        let itc = &results[0];
-        let mut comp = vec![kind.abbr().to_string(), "compute".to_string()];
-        let mut stall = vec![kind.abbr().to_string(), "mem stall".to_string()];
-        for r in &results[1..] {
-            comp.push(f2(r.compute_cycles / itc.cycles));
-            stall.push(f2(r.stall_cycles / itc.cycles));
+    let mut designs = vec![Design::itc()];
+    designs.extend(Design::fig16_set());
+    print!("{}", fig16_render(&paper_sweep(designs)));
+}
+
+/// Renders Fig. 16 from a sweep over `[ITC] + fig16_set` (design 0 is the
+/// ITC normalization baseline; the ablations follow).
+pub fn fig16_render(r: &SweepReport) -> String {
+    let mut out =
+        banner_str("Fig. 16", "Cycle counts of Ditto hardware variants (relative to ITC)");
+    let mut header = vec!["Model".to_string(), "metric".to_string()];
+    header.extend(r.designs[1..].iter().cloned());
+    let mut t = Table::new(header);
+    for (mi, model) in r.models.iter().enumerate() {
+        let row = r.model_row(mi);
+        let itc = &row[0].run;
+        let mut comp = vec![model.clone(), "compute".to_string()];
+        let mut stall = vec![model.clone(), "mem stall".to_string()];
+        for c in &row[1..] {
+            comp.push(f2(c.run.compute_cycles / itc.cycles));
+            stall.push(f2(c.run.stall_cycles / itc.cycles));
         }
         t.row(comp);
         t.row(stall);
     }
-    t.print();
-    println!("(paper: DS/DB suffer large memory stalls; Ditto cuts stalls 39.24% vs DB&DS&Attn,");
-    println!(" for an 18.32% performance gain)");
+    out.push_str(&t.to_markdown());
+    let _ = writeln!(
+        out,
+        "(paper: DS/DB suffer large memory stalls; Ditto cuts stalls 39.24% vs DB&DS&Attn,"
+    );
+    let _ = writeln!(out, " for an 18.32% performance gain)");
+    out
 }
 
 /// Fig. 17: Defo execution-type changes and prediction accuracy.
 pub fn fig17() {
-    banner("Fig. 17", "Defo layer execution-type changes (top) and accuracy (bottom)");
-    warm_suite();
+    print!("{}", fig17_render(&paper_sweep(vec![Design::ditto(), Design::ditto_plus()])));
+}
+
+/// Renders Fig. 17 from a sweep over `[Ditto, Ditto+]`.
+pub fn fig17_render(r: &SweepReport) -> String {
+    let mut out =
+        banner_str("Fig. 17", "Defo layer execution-type changes (top) and accuracy (bottom)");
     let mut t =
         Table::new(["Model", "Defo change", "Defo accuracy", "Defo+ change", "Defo+ accuracy"]);
     let mut sums = [0.0f64; 4];
-    for &kind in &MODELS {
-        let trace = cached_trace(kind);
-        let results = simulate_designs(&[Design::ditto(), Design::ditto_plus()], &trace);
-        let d = results[0].defo.expect("defo");
-        let p = results[1].defo.expect("defo+");
+    for (mi, model) in r.models.iter().enumerate() {
+        let d = r.cell(0, mi).run.defo.expect("defo");
+        let p = r.cell(1, mi).run.defo.expect("defo+");
         let vals = [d.changed_ratio, d.accuracy, p.changed_ratio, p.accuracy];
         for (s, v) in sums.iter_mut().zip(vals) {
             *s += v;
         }
-        t.row([kind.abbr().to_string(), pct(vals[0]), pct(vals[1]), pct(vals[2]), pct(vals[3])]);
+        t.row([model.clone(), pct(vals[0]), pct(vals[1]), pct(vals[2]), pct(vals[3])]);
     }
-    let n = MODELS.len() as f64;
+    let n = r.models.len() as f64;
     t.row([
         "AVG.".to_string(),
         pct(sums[0] / n),
@@ -532,91 +554,113 @@ pub fn fig17() {
         pct(sums[2] / n),
         pct(sums[3] / n),
     ]);
-    t.print();
-    println!("(paper: Defo changes 14.4% of layers with 92% accuracy; Defo+ 38.29% with 88.11%)");
+    out.push_str(&t.to_markdown());
+    let _ = writeln!(
+        out,
+        "(paper: Defo changes 14.4% of layers with 92% accuracy; Defo+ 38.29% with 88.11%)"
+    );
+    out
 }
 
 /// Fig. 18: Ditto vs oracle-Defo (Ideal) designs.
 pub fn fig18() {
-    banner("Fig. 18", "Ditto vs Ideal-Ditto (speedup over ITC)");
-    warm_suite();
+    let designs = vec![
+        Design::itc(),
+        Design::ditto(),
+        Design::ideal_ditto(),
+        Design::ditto_plus(),
+        Design::ideal_ditto_plus(),
+    ];
+    print!("{}", fig18_render(&paper_sweep(designs)));
+}
+
+/// Renders Fig. 18 from a sweep over
+/// `[ITC, Ditto, Ideal-Ditto, Ditto+, Ideal-Ditto+]`.
+pub fn fig18_render(r: &SweepReport) -> String {
+    let mut out = banner_str("Fig. 18", "Ditto vs Ideal-Ditto (speedup over ITC)");
     let mut t = Table::new(["Model", "ITC", "Ditto", "Ideal-Ditto", "Ditto+", "Ideal-Ditto+"]);
     let mut fracs = (0.0f64, 0.0f64);
-    for &kind in &MODELS {
-        let trace = cached_trace(kind);
-        let [itc, ditto, ideal, plus, ideal_plus]: [RunResult; 5] = simulate_designs(
-            &[
-                Design::itc(),
-                Design::ditto(),
-                Design::ideal_ditto(),
-                Design::ditto_plus(),
-                Design::ideal_ditto_plus(),
-            ],
-            &trace,
-        )
-        .try_into()
-        .expect("five designs in, five results out");
+    for (mi, model) in r.models.iter().enumerate() {
+        let row = r.model_row(mi);
+        let [itc, ditto, ideal, plus, ideal_plus] =
+            [&row[0].run, &row[1].run, &row[2].run, &row[3].run, &row[4].run];
         fracs.0 += ideal.cycles / ditto.cycles;
         fracs.1 += ideal_plus.cycles / plus.cycles;
         t.row([
-            kind.abbr().to_string(),
+            model.clone(),
             f2(1.0),
-            f2(ditto.speedup_over(&itc)),
-            f2(ideal.speedup_over(&itc)),
-            f2(plus.speedup_over(&itc)),
-            f2(ideal_plus.speedup_over(&itc)),
+            f2(ditto.speedup_over(itc)),
+            f2(ideal.speedup_over(itc)),
+            f2(plus.speedup_over(itc)),
+            f2(ideal_plus.speedup_over(itc)),
         ]);
     }
-    let n = MODELS.len() as f64;
-    t.print();
-    println!(
+    let n = r.models.len() as f64;
+    out.push_str(&t.to_markdown());
+    let _ = writeln!(
+        out,
         "Ditto reaches {:.1}% of Ideal-Ditto, Ditto+ {:.1}% of Ideal-Ditto+ (paper: 98.8% / 95.8%)",
         100.0 * fracs.0 / n,
         100.0 * fracs.1 / n
     );
+    out
 }
 
 /// Fig. 19: Dynamic-Ditto under injected value-distribution drift.
 pub fn fig19() {
-    banner("Fig. 19", "Defo under drifting temporal similarity (speedup vs ITC / accuracy)");
-    warm_suite();
+    let suite = suite();
+    // Drift amplitude/period chosen to flip marginal layers mid-run.
+    let drifted: Vec<_> = MODELS
+        .iter()
+        .map(|&kind| {
+            let trace = suite.trace(kind);
+            inject_drift(trace, 0.6, (trace.step_count() / 2).max(2))
+        })
+        .collect();
+    let designs =
+        vec![Design::itc(), Design::ditto(), Design::dynamic_ditto(), Design::ideal_ditto()];
+    let report = sweep_traces(designs, drifted.iter().collect()).expect("drift sweep");
+    print!("{}", fig19_render(&report));
+}
+
+/// Renders Fig. 19 from a sweep over `[ITC, Ditto, Dyn.-Ditto,
+/// Ideal-Ditto]` on drift-injected traces.
+pub fn fig19_render(r: &SweepReport) -> String {
+    let mut out = banner_str(
+        "Fig. 19",
+        "Defo under drifting temporal similarity (speedup vs ITC / accuracy)",
+    );
     let mut t = Table::new(["Model", "Ditto", "Dyn.-Ditto", "Ideal-Ditto", "Ditto acc", "Dyn acc"]);
     let mut rel = (0.0f64, 0.0f64);
-    for &kind in &MODELS {
-        let trace = cached_trace(kind);
-        // Drift amplitude/period chosen to flip marginal layers mid-run.
-        let drifted = inject_drift(&trace, 0.6, (trace.step_count() / 2).max(2));
-        let [itc, ditto, dynd, ideal]: [RunResult; 4] = simulate_designs(
-            &[Design::itc(), Design::ditto(), Design::dynamic_ditto(), Design::ideal_ditto()],
-            &drifted,
-        )
-        .try_into()
-        .expect("four designs in, four results out");
+    for (mi, model) in r.models.iter().enumerate() {
+        let row = r.model_row(mi);
+        let [itc, ditto, dynd, ideal] = [&row[0].run, &row[1].run, &row[2].run, &row[3].run];
         rel.0 += ditto.cycles / ideal.cycles;
         rel.1 += dynd.cycles / ideal.cycles;
         t.row([
-            kind.abbr().to_string(),
-            f2(ditto.speedup_over(&itc)),
-            f2(dynd.speedup_over(&itc)),
-            f2(ideal.speedup_over(&itc)),
+            model.clone(),
+            f2(ditto.speedup_over(itc)),
+            f2(dynd.speedup_over(itc)),
+            f2(ideal.speedup_over(itc)),
             pct(ditto.defo.unwrap().accuracy),
             pct(dynd.defo.unwrap().accuracy),
         ]);
     }
-    let n = MODELS.len() as f64;
-    t.print();
-    println!(
+    let n = r.models.len() as f64;
+    out.push_str(&t.to_markdown());
+    let _ = writeln!(
+        out,
         "Ideal-relative performance: Ditto {:.1}%, Dynamic-Ditto {:.1}% (paper: 98.03% / 98.18%; accuracy drops ~7%)",
         100.0 * n / rel.0,
         100.0 * n / rel.1
     );
+    out
 }
 
 /// Helper for binaries: simulate one design over the whole suite and
 /// return (design name, per-model results).
 pub fn simulate_suite(design: &Design) -> Vec<RunResult> {
-    warm_suite();
-    MODELS.iter().map(|&k| simulate(design, &cached_trace(k))).collect()
+    paper_sweep(vec![design.clone()]).cells.into_iter().map(|c| c.run).collect()
 }
 
 /// Runs every experiment in paper order.

@@ -1,6 +1,12 @@
 //! Benchmark harness regenerating every table and figure of the paper's
 //! evaluation (§VI).
 //!
+//! The simulation figures are declarative (design × model) sweeps
+//! ([`sweep::SweepRequest`]) executed by the work-stealing grid engine in
+//! [`accel::grid`] over one process-wide warm [`Suite`]; `--bin serve`
+//! accepts many such sweeps concurrently as line-delimited JSON and
+//! streams structured results as they finish.
+//!
 //! Each binary in `src/bin/` reproduces one experiment and prints the same
 //! rows/series the paper reports (see DESIGN.md §3 for the index). The
 //! heavy inputs — per-model workload traces and similarity reports from
@@ -25,3 +31,6 @@ pub use suite::{
 };
 pub mod ablations;
 pub mod experiments;
+pub mod sweep;
+
+pub use sweep::{paper_sweep, sweep_traces, ServeRequest, SweepRequest};

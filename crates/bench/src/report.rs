@@ -1,6 +1,10 @@
-//! Markdown table / series printing shared by the experiment binaries.
+//! Markdown table / series printing shared by the experiment binaries,
+//! plus rendering of structured [`SweepReport`]s (per-model best design,
+//! geometric-mean speedups) for the `serve` front-end and summaries.
 
 use std::fmt::Write as _;
+
+use accel::grid::SweepReport;
 
 /// A simple markdown table builder.
 #[derive(Debug, Clone, Default)]
@@ -79,9 +83,57 @@ pub fn pct(v: f64) -> String {
     format!("{:.1}%", v * 100.0)
 }
 
+/// An experiment banner as a string (leading blank line, trailing newline).
+pub fn banner_str(id: &str, caption: &str) -> String {
+    format!("\n=== {id}: {caption} ===\n")
+}
+
 /// Prints an experiment banner.
 pub fn banner(id: &str, caption: &str) {
-    println!("\n=== {id}: {caption} ===");
+    print!("{}", banner_str(id, caption));
+}
+
+/// Renders a sweep as a per-model speedup table over the first design
+/// (the baseline column), with a geometric-mean row and a per-model
+/// best-design column.
+pub fn sweep_speedup_table(report: &SweepReport) -> Table {
+    let mut header = vec!["Model".to_string()];
+    header.extend(report.designs.iter().cloned());
+    header.push("best".to_string());
+    let mut t = Table::new(header);
+    for (m, model) in report.models.iter().enumerate() {
+        let base = &report.cell(0, m).run;
+        let mut row = vec![model.clone()];
+        for d in 0..report.designs.len() {
+            row.push(f2(report.cell(d, m).run.speedup_over(base)));
+        }
+        row.push(report.designs[report.best_design(m)].clone());
+        t.row(row);
+    }
+    let mut geo = vec!["GEOMEAN".to_string()];
+    for d in 0..report.designs.len() {
+        geo.push(f2(report.geomean_speedup(d, 0)));
+    }
+    geo.push(String::new());
+    t.row(geo);
+    t
+}
+
+/// One-paragraph sweep summary: grid shape, fastest design per model, and
+/// the best geometric-mean speedup over the first (baseline) design.
+pub fn sweep_summary(report: &SweepReport) -> String {
+    let best_geo = (0..report.designs.len())
+        .map(|d| (d, report.geomean_speedup(d, 0)))
+        .max_by(|(_, a), (_, b)| a.total_cmp(b))
+        .expect("report has designs");
+    format!(
+        "{} designs x {} models; best geomean speedup vs {}: {} at {:.2}x",
+        report.designs.len(),
+        report.models.len(),
+        report.designs[0],
+        report.designs[best_geo.0],
+        best_geo.1
+    )
 }
 
 #[cfg(test)]
@@ -108,5 +160,22 @@ mod tests {
         assert_eq!(f3(1.23456), "1.235");
         assert_eq!(f2(1.234), "1.23");
         assert_eq!(pct(0.1234), "12.3%");
+    }
+
+    #[test]
+    fn sweep_rendering_and_summary() {
+        use accel::design::Design;
+        use accel::grid::{self, SweepSpec};
+        use accel::sim::synth;
+        let trace = synth::trace(3, 5, 100_000, 256, true);
+        let report =
+            grid::run(&SweepSpec::new(vec![Design::itc(), Design::ditto()], vec![&trace])).unwrap();
+        let md = sweep_speedup_table(&report).to_markdown();
+        assert!(md.contains("GEOMEAN"), "{md}");
+        assert!(md.contains("Ditto"), "{md}");
+        assert!(md.contains("| best"), "{md}");
+        let s = sweep_summary(&report);
+        assert!(s.contains("2 designs x 1 models"), "{s}");
+        assert!(s.contains("vs ITC"), "{s}");
     }
 }

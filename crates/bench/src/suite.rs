@@ -2,22 +2,30 @@
 //!
 //! Traces and similarity reports are cached on disk in the versioned
 //! little-endian binary format of [`ditto_core::binio`] (`trace-*.bin`,
-//! `similarity-*.bin`). Legacy JSON caches (`trace-*.json`) from earlier
-//! revisions are read once and migrated to `.bin`; corrupt or truncated
-//! cache files of either format are treated as misses and re-traced. The
-//! cache directory defaults to `target/ditto-cache` and can be redirected
-//! with the `DITTO_CACHE_DIR` environment variable.
+//! `similarity-*.bin`). A trace cache entry carries a **model fingerprint**
+//! header — an FNV-1a digest of the model definition it was traced from
+//! (graph structure, op parameters, weight shapes, sampler, step count,
+//! seeds) — so editing a model definition invalidates its cached trace
+//! instead of serving stale data. Legacy JSON caches (`trace-*.json`) from
+//! earlier revisions are read once and migrated to `.bin`; corrupt,
+//! truncated, or fingerprint-mismatched cache files are treated as misses
+//! and re-traced. The cache directory defaults to `target/ditto-cache` and
+//! can be redirected with the `DITTO_CACHE_DIR` environment variable.
 //!
-//! [`Suite::load`] fans the per-model trace work out across CPU cores with
-//! `std::thread::scope` (the same worker-queue pattern as
-//! `accel::sim::simulate_designs`), which collapses first-run latency —
-//! previously dominated by the single-threaded Small-scale SDM pass — and
-//! reports which traces were cache hits versus freshly traced.
+//! [`Suite::load`] fans the per-model trace work out across CPU cores on
+//! the shared work-stealing pool ([`accel::pool`]), which collapses
+//! first-run latency — previously dominated by the single-threaded
+//! Small-scale SDM pass — and reports which traces were cache hits versus
+//! freshly traced. [`Suite::shared`] keeps one warm suite per scale for
+//! the whole process: the experiment drivers and the `serve` front-end all
+//! read the same in-memory traces instead of re-deserializing per call.
 
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
 
 use diffusion::{DiffusionModel, ModelKind, ModelScale};
+use ditto_core::binio::{BinError, FromBin, Reader, ToBin};
 use ditto_core::runner::{trace_model, ExecPolicy};
 use ditto_core::similarity::{SimilarityHook, SimilarityReport};
 use ditto_core::trace::WorkloadTrace;
@@ -103,23 +111,91 @@ pub fn build_model(kind: ModelKind) -> DiffusionModel {
     DiffusionModel::build(kind, ModelScale::Small, WEIGHT_SEED)
 }
 
+/// On-disk form of a cached trace: the fingerprint of the model definition
+/// it was traced from, then the trace itself. A fingerprint mismatch at
+/// load time is a cache miss — stale traces from an edited model cannot be
+/// served. (Pre-fingerprint cache files fail to decode as this wrapper and
+/// are likewise re-traced once.)
+struct CachedTrace {
+    fingerprint: u64,
+    trace: WorkloadTrace,
+}
+
+impl ToBin for CachedTrace {
+    fn write(&self, out: &mut Vec<u8>) {
+        self.fingerprint.write(out);
+        self.trace.write(out);
+    }
+}
+
+impl FromBin for CachedTrace {
+    fn read(r: &mut Reader<'_>) -> Result<Self, BinError> {
+        Ok(CachedTrace { fingerprint: FromBin::read(r)?, trace: FromBin::read(r)? })
+    }
+}
+
+/// Fingerprint of everything a cached trace depends on: the model's graph
+/// structure digest (op parameters and weight shapes included), sampler,
+/// step count, latent/context dims, the suite seeds, and the execution
+/// policy. Weight *values* are excluded — they are a pure function of
+/// [`WEIGHT_SEED`], which is hashed.
+fn fingerprint_of(model: &DiffusionModel) -> u64 {
+    let mut h = model.graph.structure_digest();
+    let mut eat = |bytes: &[u8]| {
+        h = diffusion::graph::fnv1a_fold(h, bytes);
+    };
+    eat(model.kind.abbr().as_bytes());
+    eat(format!("{:?}", model.sampler).as_bytes());
+    eat(&(model.steps as u64).to_le_bytes());
+    for &d in &model.latent_dims {
+        eat(&(d as u64).to_le_bytes());
+    }
+    for d in model.context_dims.iter().flatten() {
+        eat(&(*d as u64).to_le_bytes());
+    }
+    eat(&WEIGHT_SEED.to_le_bytes());
+    eat(&SAMPLE_SEED.to_le_bytes());
+    eat(b"Dense");
+    h
+}
+
 fn trace_in_dir(dir: &Path, kind: ModelKind, scale: ModelScale) -> (WorkloadTrace, TraceSource) {
     let stem = cache_stem("trace", kind, scale);
     let bin_name = format!("{stem}.bin");
-    if let Some(t) = load_bin::<WorkloadTrace>(dir, &bin_name) {
-        return (t, TraceSource::BinCache);
+    let model = DiffusionModel::build(kind, scale, WEIGHT_SEED);
+    let fingerprint = fingerprint_of(&model);
+    let mut saw_stale_bin = false;
+    if let Some(c) = load_bin::<CachedTrace>(dir, &bin_name) {
+        if c.fingerprint == fingerprint {
+            return (c.trace, TraceSource::BinCache);
+        }
+        saw_stale_bin = true;
+        eprintln!(
+            "[suite] cache {bin_name} was traced from a different {} definition \
+             ({:016x} != {:016x}); re-tracing",
+            kind.abbr(),
+            c.fingerprint,
+            fingerprint
+        );
     }
     // One-shot migration: read a legacy JSON cache and persist it as binary
-    // so the JSON is never parsed again.
-    if let Some(t) = load_json::<WorkloadTrace>(dir, &format!("{stem}.json")) {
-        store_bin(dir, &bin_name, &t);
-        return (t, TraceSource::JsonMigrated);
+    // so the JSON is never parsed again. JSON caches predate fingerprints
+    // and are stamped with the current model's fingerprint on trust — but
+    // never after a binary entry just failed the fingerprint check: the
+    // model definitely changed, so a same-era JSON would launder stale
+    // data as fingerprint-valid.
+    if !saw_stale_bin {
+        if let Some(t) = load_json::<WorkloadTrace>(dir, &format!("{stem}.json")) {
+            let cached = CachedTrace { fingerprint, trace: t };
+            store_bin(dir, &bin_name, &cached);
+            return (cached.trace, TraceSource::JsonMigrated);
+        }
     }
     eprintln!("[suite] tracing {} (one-time, cached afterwards)...", kind.abbr());
-    let model = DiffusionModel::build(kind, scale, WEIGHT_SEED);
     let (trace, _) = trace_model(&model, SAMPLE_SEED, ExecPolicy::Dense).expect("trace");
-    store_bin(dir, &bin_name, &trace);
-    (trace, TraceSource::Traced)
+    let cached = CachedTrace { fingerprint, trace };
+    store_bin(dir, &bin_name, &cached);
+    (cached.trace, TraceSource::Traced)
 }
 
 /// Returns the cached workload trace for `kind`, computing (and caching) it
@@ -175,48 +251,53 @@ impl Suite {
     /// across CPU cores, and reports cache hits vs fresh traces.
     pub fn load_scaled(scale: ModelScale) -> Self {
         let suite = Self::load_in_dir(&cache_dir(), scale);
-        let hits = suite.sources.iter().filter(|s| s.is_cache_hit()).count();
         eprintln!(
-            "[suite] {} traces loaded: {hits} cache hit(s), {} freshly traced",
+            "[suite] {} traces loaded: {} cache hit(s), {} freshly traced",
             suite.traces.len(),
-            suite.traces.len() - hits
+            suite.cache_hits(),
+            suite.traces.len() - suite.cache_hits()
         );
         suite
     }
 
-    fn load_in_dir(dir: &Path, scale: ModelScale) -> Self {
-        use std::sync::atomic::{AtomicUsize, Ordering};
-        use std::sync::mpsc;
+    /// The process-wide warm suite for `scale`, loaded on first use.
+    ///
+    /// Every consumer — the experiment drivers, the ablations, each
+    /// concurrent `serve` request — shares the same in-memory traces, so a
+    /// trace is deserialized (or computed) at most once per process
+    /// instead of once per `cached_trace` call.
+    pub fn shared(scale: ModelScale) -> &'static Suite {
+        static SMALL: OnceLock<Suite> = OnceLock::new();
+        static TINY: OnceLock<Suite> = OnceLock::new();
+        match scale {
+            ModelScale::Small => SMALL.get_or_init(|| Suite::load_scaled(ModelScale::Small)),
+            ModelScale::Tiny => TINY.get_or_init(|| Suite::load_scaled(ModelScale::Tiny)),
+        }
+    }
 
-        let workers = std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1)
-            .min(MODELS.len());
-        let mut slots: Vec<Option<(WorkloadTrace, TraceSource)>> =
-            MODELS.iter().map(|_| None).collect();
-        let next = AtomicUsize::new(0);
-        std::thread::scope(|scope| {
-            let (tx, rx) = mpsc::channel();
-            for _ in 0..workers {
-                let tx = tx.clone();
-                let next = &next;
-                scope.spawn(move || loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= MODELS.len() {
-                        break;
-                    }
-                    // A send only fails if the receiver is gone, which would
-                    // mean the collection loop below panicked already.
-                    let _ = tx.send((i, trace_in_dir(dir, MODELS[i], scale)));
-                });
-            }
-            drop(tx);
-            for (i, result) in rx {
-                slots[i] = Some(result);
-            }
-        });
+    /// The trace of one Table I model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` is not in [`MODELS`] (all seven benchmarks are).
+    pub fn trace(&self, kind: ModelKind) -> &WorkloadTrace {
+        let i = MODELS.iter().position(|&k| k == kind).expect("kind is a Table I model");
+        &self.traces[i]
+    }
+
+    /// How many traces were served from the on-disk cache rather than
+    /// freshly traced.
+    pub fn cache_hits(&self) -> usize {
+        self.sources.iter().filter(|s| s.is_cache_hit()).count()
+    }
+
+    fn load_in_dir(dir: &Path, scale: ModelScale) -> Self {
         let (traces, sources) =
-            slots.into_iter().map(|r| r.expect("every model index was traced")).unzip();
+            accel::pool::run_indexed(MODELS.len(), accel::pool::default_workers(), |i| {
+                trace_in_dir(dir, MODELS[i], scale)
+            })
+            .into_iter()
+            .unzip();
         Suite { traces, sources }
     }
 }
@@ -292,6 +373,54 @@ mod tests {
         let (_, s4) = trace_in_dir(&dir, ModelKind::Ddpm, ModelScale::Tiny);
         assert_eq!(s4, TraceSource::Traced);
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn changed_model_definition_misses_cache() {
+        let dir = temp_cache("fingerprint");
+        let (t0, s0) = trace_in_dir(&dir, ModelKind::Ddpm, ModelScale::Tiny);
+        assert_eq!(s0, TraceSource::Traced);
+        // Simulate a cache entry written by an *older/edited* model
+        // definition: same trace payload, different fingerprint header.
+        let stale = CachedTrace { fingerprint: 0xDEAD_BEEF, trace: t0.clone() };
+        store_bin(&dir, "trace-tiny-DDPM.bin", &stale);
+        let (t1, s1) = trace_in_dir(&dir, ModelKind::Ddpm, ModelScale::Tiny);
+        assert_eq!(s1, TraceSource::Traced, "a changed model config must miss the cache");
+        assert_eq!(t1.merged(StatView::Temporal), t0.merged(StatView::Temporal));
+        // The re-trace heals the cache with the current fingerprint.
+        let (_, s2) = trace_in_dir(&dir, ModelKind::Ddpm, ModelScale::Tiny);
+        assert_eq!(s2, TraceSource::BinCache);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_bin_blocks_json_migration() {
+        // A fingerprint-mismatched .bin proves the model changed; a legacy
+        // .json sitting beside it is same-era-or-older and must NOT be
+        // migrated (that would stamp stale data with the new fingerprint).
+        let dir = temp_cache("stale-json");
+        let (t0, _) = trace_in_dir(&dir, ModelKind::Ddpm, ModelScale::Tiny);
+        fs::write(dir.join("trace-tiny-DDPM.json"), ditto_core::jsonio::to_vec(&t0)).unwrap();
+        let stale = CachedTrace { fingerprint: 0xDEAD_BEEF, trace: t0 };
+        store_bin(&dir, "trace-tiny-DDPM.bin", &stale);
+        let (_, source) = trace_in_dir(&dir, ModelKind::Ddpm, ModelScale::Tiny);
+        assert_eq!(source, TraceSource::Traced, "stale bin must force a re-trace, not migration");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fingerprint_tracks_model_definition() {
+        let tiny = fingerprint_of(&DiffusionModel::build(ModelKind::Ddpm, ModelScale::Tiny, 42));
+        // Deterministic across rebuilds of the same definition.
+        assert_eq!(
+            tiny,
+            fingerprint_of(&DiffusionModel::build(ModelKind::Ddpm, ModelScale::Tiny, 42))
+        );
+        // Scale changes dims/steps, kind changes the whole graph.
+        let small = fingerprint_of(&DiffusionModel::build(ModelKind::Ddpm, ModelScale::Small, 42));
+        assert_ne!(tiny, small);
+        let other = fingerprint_of(&DiffusionModel::build(ModelKind::Dit, ModelScale::Tiny, 42));
+        assert_ne!(tiny, other);
     }
 
     #[test]

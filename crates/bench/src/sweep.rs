@@ -1,0 +1,293 @@
+//! Declarative (design × model) sweeps over the benchmark suite, and the
+//! line-delimited JSON protocol the `serve` front-end speaks.
+//!
+//! A [`SweepRequest`] names the three axes of a sweep — designs, Table I
+//! models, and the model scale — and [`SweepRequest::run`] resolves the
+//! traces through the process-wide warm [`Suite`] before handing the grid
+//! to the work-stealing engine in [`accel::grid`]. Every experiment driver
+//! (fig13–fig19) and every concurrent `serve` request is one of these.
+//!
+//! # Wire protocol (`bench --bin serve`)
+//!
+//! One request per line, one JSON response per line, streamed as requests
+//! finish:
+//!
+//! ```json
+//! {"id":"r1","designs":["ITC","Ditto","Ditto+"],"models":["DDPM","SDM"],"scale":"small"}
+//! ```
+//!
+//! `designs` defaults to the Fig. 13 comparison set, `models` to all seven
+//! Table I benchmarks, and `scale` to `"small"` (the experiment scale;
+//! `"tiny"` is the CI/test scale). Responses carry the full serialized
+//! [`SweepReport`] plus summary fields (per-model best design, geometric-
+//! mean speedups vs the first requested design, suite cache hits).
+
+use accel::design::Design;
+use accel::grid::{self, SweepError, SweepReport, SweepSpec};
+use diffusion::{ModelKind, ModelScale};
+use ditto_core::jsonio::{self, ToJson, Value};
+use ditto_core::trace::WorkloadTrace;
+
+use crate::suite::{Suite, MODELS};
+
+/// One declarative sweep: which designs, which models, at which scale.
+#[derive(Debug, Clone)]
+pub struct SweepRequest {
+    /// Design points to simulate (report column order).
+    pub designs: Vec<Design>,
+    /// Table I models to simulate on (report row order).
+    pub models: Vec<ModelKind>,
+    /// Trace scale: `Small` for the paper experiments, `Tiny` for CI.
+    pub scale: ModelScale,
+}
+
+impl SweepRequest {
+    /// A request over explicit axes.
+    pub fn new(designs: Vec<Design>, models: Vec<ModelKind>, scale: ModelScale) -> Self {
+        SweepRequest { designs, models, scale }
+    }
+
+    /// Executes the sweep on the shared warm suite for `self.scale`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SweepError`] for empty axes or degenerate traces.
+    pub fn run(&self) -> Result<SweepReport, SweepError> {
+        let suite = Suite::shared(self.scale);
+        let traces: Vec<&WorkloadTrace> = self.models.iter().map(|&k| suite.trace(k)).collect();
+        grid::run(&SweepSpec::new(self.designs.clone(), traces))
+    }
+}
+
+/// Runs `designs` over the whole Table I suite at the experiment scale —
+/// the shape every fig13–fig19 driver declares.
+pub fn paper_sweep(designs: Vec<Design>) -> SweepReport {
+    SweepRequest::new(designs, MODELS.to_vec(), ModelScale::Small)
+        .run()
+        .expect("paper sweeps have non-empty axes and suite-validated traces")
+}
+
+/// Runs `designs` over explicit traces (e.g. the drift-injected Fig. 19
+/// workloads) on the grid engine.
+///
+/// # Errors
+///
+/// Returns [`SweepError`] for empty axes or degenerate traces.
+pub fn sweep_traces(
+    designs: Vec<Design>,
+    traces: Vec<&WorkloadTrace>,
+) -> Result<SweepReport, SweepError> {
+    grid::run(&SweepSpec::new(designs, traces))
+}
+
+// --------------------------------------------------------------------------
+// Serve protocol
+// --------------------------------------------------------------------------
+
+/// A parsed serve request: client-chosen id plus the sweep to run.
+#[derive(Debug, Clone)]
+pub struct ServeRequest {
+    /// Echoed verbatim in the response so clients can match streamed
+    /// out-of-order responses to requests.
+    pub id: String,
+    /// The sweep to execute.
+    pub sweep: SweepRequest,
+}
+
+fn parse_scale(s: &str) -> Result<ModelScale, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "small" => Ok(ModelScale::Small),
+        "tiny" => Ok(ModelScale::Tiny),
+        other => Err(format!("unknown scale `{other}` (expected `small` or `tiny`)")),
+    }
+}
+
+fn parse_names(v: &Value, what: &str) -> Result<Vec<String>, String> {
+    match v {
+        Value::Arr(items) => items
+            .iter()
+            .map(|i| match i {
+                Value::Str(s) => Ok(s.clone()),
+                _ => Err(format!("{what} entries must be strings")),
+            })
+            .collect(),
+        _ => Err(format!("`{what}` must be an array of names")),
+    }
+}
+
+/// Parses one line of the serve wire protocol into a [`ServeRequest`].
+///
+/// # Errors
+///
+/// Returns a human-readable message for malformed JSON, unknown design or
+/// model names, or a bad scale; the server reports it in an `ok: false`
+/// response instead of dying.
+pub fn parse_request(line: &str) -> Result<ServeRequest, String> {
+    let v = jsonio::parse(line.as_bytes()).map_err(|e| e.to_string())?;
+    let id = match v.get("id") {
+        Ok(Value::Str(s)) => s.clone(),
+        Ok(Value::Int(i)) => i.to_string(),
+        Ok(_) => return Err("`id` must be a string or integer".into()),
+        Err(_) => return Err("request is missing `id`".into()),
+    };
+    let designs = match v.get("designs") {
+        Ok(field) => parse_names(field, "designs")?
+            .iter()
+            .map(|name| Design::from_name(name).ok_or_else(|| format!("unknown design `{name}`")))
+            .collect::<Result<Vec<_>, _>>()?,
+        Err(_) => Design::fig13_set(),
+    };
+    let models = match v.get("models") {
+        Ok(field) => parse_names(field, "models")?
+            .iter()
+            .map(|name| {
+                MODELS
+                    .iter()
+                    .copied()
+                    .find(|k| k.abbr().eq_ignore_ascii_case(name))
+                    .ok_or_else(|| format!("unknown model `{name}`"))
+            })
+            .collect::<Result<Vec<_>, _>>()?,
+        Err(_) => MODELS.to_vec(),
+    };
+    let scale = match v.get("scale") {
+        Ok(Value::Str(s)) => parse_scale(s)?,
+        Ok(_) => return Err("`scale` must be a string".into()),
+        Err(_) => ModelScale::Small,
+    };
+    Ok(ServeRequest { id, sweep: SweepRequest::new(designs, models, scale) })
+}
+
+/// Best-effort id extraction from a (possibly malformed) request line, so
+/// error responses can still be matched to their request.
+pub fn request_id(line: &str) -> String {
+    match jsonio::parse(line.as_bytes()) {
+        Ok(v) => match v.get("id") {
+            Ok(Value::Str(s)) => s.clone(),
+            Ok(Value::Int(i)) => i.to_string(),
+            _ => String::new(),
+        },
+        Err(_) => String::new(),
+    }
+}
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+/// Renders a successful response line: the request id, suite cache-hit
+/// count, summary aggregations, and the full serialized report.
+pub fn response_ok(id: &str, report: &SweepReport, cache_hits: usize) -> String {
+    let best: Vec<Value> = report
+        .models
+        .iter()
+        .enumerate()
+        .map(|(m, model)| {
+            obj(vec![
+                ("model", Value::Str(model.clone())),
+                ("design", Value::Str(report.designs[report.best_design(m)].clone())),
+            ])
+        })
+        .collect();
+    let geomean: Vec<Value> = (0..report.designs.len())
+        .map(|d| {
+            obj(vec![
+                ("design", Value::Str(report.designs[d].clone())),
+                ("speedup_vs_baseline", report.geomean_speedup(d, 0).to_json()),
+            ])
+        })
+        .collect();
+    let v = obj(vec![
+        ("id", Value::Str(id.to_string())),
+        ("ok", Value::Bool(true)),
+        ("cache_hits", cache_hits.to_json()),
+        ("best_design", Value::Arr(best)),
+        ("geomean", Value::Arr(geomean)),
+        ("report", report.to_json()),
+    ]);
+    String::from_utf8(jsonio::to_vec(&v)).expect("jsonio writes UTF-8")
+}
+
+/// Renders a failure response line.
+pub fn response_err(id: &str, error: &str) -> String {
+    let v = obj(vec![
+        ("id", Value::Str(id.to_string())),
+        ("ok", Value::Bool(false)),
+        ("error", Value::Str(error.to_string())),
+    ]);
+    String::from_utf8(jsonio::to_vec(&v)).expect("jsonio writes UTF-8")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_full_request() {
+        let r = parse_request(
+            r#"{"id":"r1","designs":["Ditto","cam-d"],"models":["DDPM","sdm"],"scale":"tiny"}"#,
+        )
+        .unwrap();
+        assert_eq!(r.id, "r1");
+        assert_eq!(r.sweep.designs.len(), 2);
+        assert_eq!(r.sweep.designs[0].name, "Ditto");
+        assert_eq!(r.sweep.designs[1].name, "Cam-D");
+        assert_eq!(r.sweep.models, vec![ModelKind::Ddpm, ModelKind::Sdm]);
+        assert_eq!(r.sweep.scale, ModelScale::Tiny);
+    }
+
+    #[test]
+    fn parse_defaults() {
+        let r = parse_request(r#"{"id": 7}"#).unwrap();
+        assert_eq!(r.id, "7");
+        assert_eq!(r.sweep.designs.len(), Design::fig13_set().len());
+        assert_eq!(r.sweep.models.len(), MODELS.len());
+        assert_eq!(r.sweep.scale, ModelScale::Small);
+    }
+
+    #[test]
+    fn parse_rejects_bad_requests() {
+        assert!(parse_request("not json").is_err());
+        assert!(parse_request(r#"{"designs":["Ditto"]}"#).unwrap_err().contains("id"));
+        assert!(parse_request(r#"{"id":"x","designs":["Warp9"]}"#)
+            .unwrap_err()
+            .contains("unknown design"));
+        assert!(parse_request(r#"{"id":"x","models":["GPT"]}"#)
+            .unwrap_err()
+            .contains("unknown model"));
+        assert!(parse_request(r#"{"id":"x","scale":"huge"}"#)
+            .unwrap_err()
+            .contains("unknown scale"));
+    }
+
+    #[test]
+    fn request_id_is_best_effort() {
+        assert_eq!(request_id(r#"{"id":"x","designs":["Warp9"]}"#), "x");
+        assert_eq!(request_id(r#"{"id":42}"#), "42");
+        assert_eq!(request_id("not json"), "");
+        assert_eq!(request_id(r#"{"designs":[]}"#), "");
+    }
+
+    #[test]
+    fn responses_are_single_line_json() {
+        use accel::sim::synth;
+        let trace = synth::trace(2, 4, 50_000, 128, true);
+        let report = sweep_traces(vec![Design::itc(), Design::ditto()], vec![&trace]).unwrap();
+        let ok = response_ok("r9", &report, 7);
+        assert!(!ok.contains('\n'));
+        let v = jsonio::parse(ok.as_bytes()).unwrap();
+        assert_eq!(v.get("id").unwrap(), &Value::Str("r9".into()));
+        assert_eq!(v.get("ok").unwrap(), &Value::Bool(true));
+        assert_eq!(v.get("cache_hits").unwrap(), &Value::Int(7));
+        assert!(matches!(v.get("report").unwrap(), Value::Obj(_)));
+        // The embedded report round-trips through the typed decoder.
+        let back: SweepReport =
+            ditto_core::jsonio::FromJson::from_json(v.get("report").unwrap()).unwrap();
+        assert_eq!(back.designs, report.designs);
+
+        let err = response_err("r9", "boom");
+        let v = jsonio::parse(err.as_bytes()).unwrap();
+        assert_eq!(v.get("ok").unwrap(), &Value::Bool(false));
+        assert_eq!(v.get("error").unwrap(), &Value::Str("boom".into()));
+    }
+}

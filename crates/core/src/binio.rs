@@ -17,6 +17,7 @@
 //! |-------------|----------------------------------------------|
 //! | `u64`       | 8 bytes                                      |
 //! | `f32`       | 4 bytes (IEEE-754 bits, exact round-trip)    |
+//! | `f64`       | 8 bytes (IEEE-754 bits, exact round-trip)    |
 //! | `bool`      | 1 byte, `0`/`1`                              |
 //! | `String`    | `u32` byte length + UTF-8 bytes              |
 //! | `Vec<T>`    | `u32` element count + elements               |
@@ -179,6 +180,18 @@ impl ToBin for f32 {
 impl FromBin for f32 {
     fn read(r: &mut Reader<'_>) -> Result<Self, BinError> {
         Ok(f32::from_le_bytes(r.take(4)?.try_into().expect("4-byte chunk")))
+    }
+}
+
+impl ToBin for f64 {
+    fn write(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+}
+
+impl FromBin for f64 {
+    fn read(r: &mut Reader<'_>) -> Result<Self, BinError> {
+        Ok(f64::from_le_bytes(r.take(8)?.try_into().expect("8-byte chunk")))
     }
 }
 

@@ -382,6 +382,38 @@ impl FromJson for bool {
     }
 }
 
+impl ToJson for Value {
+    fn to_json(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl FromJson for Value {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        Ok(v.clone())
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Value {
+        Value::Num(*self)
+    }
+}
+
+impl FromJson for f64 {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        match v {
+            Value::Num(n) => Ok(*n),
+            // Integral f64s print without a fractional part and parse back
+            // as Int; i128 → f64 is exact for every value we emit.
+            Value::Int(i) => Ok(*i as f64),
+            // JSON has no NaN/Inf; the writer emits `null` for them.
+            Value::Null => Ok(f64::NAN),
+            _ => err("expected number"),
+        }
+    }
+}
+
 impl ToJson for f32 {
     fn to_json(&self) -> Value {
         Value::Num(*self as f64)

@@ -9,6 +9,22 @@ use crate::op::{InputKind, LayerOp, OpClass};
 /// Identifier of a node within its graph (index into the node list).
 pub type NodeId = usize;
 
+/// The FNV-1a 64-bit offset basis — the starting hash for
+/// [`fnv1a_fold`] chains.
+pub const FNV1A_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Folds `bytes` into an FNV-1a 64-bit hash state. Shared by
+/// [`LayerGraph::structure_digest`] and `bench`'s model fingerprint so the
+/// two hashes cannot drift apart.
+pub fn fnv1a_fold(mut hash: u64, bytes: &[u8]) -> u64 {
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
 /// One operation instance in the denoising model.
 #[derive(Debug, Clone)]
 pub struct Node {
@@ -127,6 +143,31 @@ impl LayerGraph {
         c
     }
 
+    /// A 64-bit FNV-1a digest of the graph *structure*: node names, op
+    /// signatures ([`LayerOp::signature`] — variant, scalar parameters,
+    /// weight shapes), edges, and the output id. Weight values are
+    /// excluded: they are a pure function of the build seed, which cache
+    /// keys hash alongside this digest. `bench`'s trace cache uses it to
+    /// invalidate cached traces whenever a model definition changes.
+    pub fn structure_digest(&self) -> u64 {
+        fn eat(h: &mut u64, bytes: &[u8]) {
+            *h = fnv1a_fold(*h, bytes);
+        }
+        let mut h = FNV1A_OFFSET;
+        for n in &self.nodes {
+            eat(&mut h, n.name.as_bytes());
+            eat(&mut h, &[0xFF]);
+            eat(&mut h, n.op.signature().as_bytes());
+            eat(&mut h, &[0xFE]);
+            for &i in &n.inputs {
+                eat(&mut h, &(i as u64).to_le_bytes());
+            }
+            eat(&mut h, &[0xFD]);
+        }
+        eat(&mut h, &(self.output.map_or(u64::MAX, |o| o as u64)).to_le_bytes());
+        h
+    }
+
     /// Validates graph invariants; called by model builders after
     /// construction.
     ///
@@ -241,6 +282,30 @@ mod tests {
     #[test]
     fn validate_accepts_wellformed() {
         tiny_graph().validate();
+    }
+
+    #[test]
+    fn structure_digest_tracks_definition_changes() {
+        let g = tiny_graph();
+        // Deterministic and clone-stable.
+        assert_eq!(g.structure_digest(), g.structure_digest());
+        assert_eq!(g.clone().structure_digest(), g.structure_digest());
+        // A renamed node changes the digest.
+        let mut renamed = g.clone();
+        renamed.nodes[1].name = "fc-renamed".into();
+        assert_ne!(renamed.structure_digest(), g.structure_digest());
+        // A different op parameterization changes the digest (3×3 weight
+        // instead of 2×2), but same weight *values* do not matter.
+        let mut rewired = g.clone();
+        rewired.nodes[1].op = LayerOp::Linear { weight: Tensor::eye(3), bias: None };
+        assert_ne!(rewired.structure_digest(), g.structure_digest());
+        let mut same_shape = g.clone();
+        same_shape.nodes[1].op = LayerOp::Linear { weight: Tensor::full(&[2, 2], 5.0), bias: None };
+        assert_eq!(same_shape.structure_digest(), g.structure_digest());
+        // An extra node changes the digest.
+        let mut grown = g.clone();
+        grown.add("extra", LayerOp::GeLU, &[2]);
+        assert_ne!(grown.structure_digest(), g.structure_digest());
     }
 
     #[test]

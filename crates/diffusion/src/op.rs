@@ -253,6 +253,45 @@ impl LayerOp {
             LayerOp::Unpatchify { .. } => "unpatchify",
         }
     }
+
+    /// A structural signature of this op: [`Self::kind_name`] plus scalar
+    /// parameters and weight/bias *shapes* (not values — parameter values
+    /// are a pure function of the build seed, which model fingerprints
+    /// hash separately). Feeds [`crate::graph::LayerGraph::structure_digest`].
+    pub fn signature(&self) -> String {
+        fn dims(t: &Tensor) -> String {
+            let strs: Vec<String> = t.dims().iter().map(usize::to_string).collect();
+            strs.join("x")
+        }
+        fn opt_dims(t: &Option<Tensor>) -> String {
+            t.as_ref().map_or_else(|| "-".to_string(), dims)
+        }
+        let kind = self.kind_name();
+        match self {
+            LayerOp::TimestepEmbed { dim } => format!("{kind}({dim})"),
+            LayerOp::Conv2d { weight, bias, params } => format!(
+                "{kind}(w={},b={},k={},s={},p={})",
+                dims(weight),
+                opt_dims(bias),
+                params.kernel,
+                params.stride,
+                params.padding
+            ),
+            LayerOp::Linear { weight, bias } => {
+                format!("{kind}(w={},b={})", dims(weight), opt_dims(bias))
+            }
+            LayerOp::GroupNorm { groups, gamma, .. } => {
+                format!("{kind}(g={groups},c={})", dims(gamma))
+            }
+            LayerOp::LayerNorm { gamma, .. } => format!("{kind}(c={})", dims(gamma)),
+            LayerOp::Scale(s) => format!("{kind}({:08x})", s.to_bits()),
+            LayerOp::AvgPool { window } => format!("{kind}({window})"),
+            LayerOp::SliceCols { start, len } => format!("{kind}({start},{len})"),
+            LayerOp::ToSpatial { c, h, w } => format!("{kind}({c},{h},{w})"),
+            LayerOp::Unpatchify { c, hp, wp, p } => format!("{kind}({c},{hp},{wp},{p})"),
+            _ => kind.to_string(),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -8,8 +8,27 @@
 //! (bias first, then ascending `(c_in, ky, kx)`), so they produce exactly
 //! equal results — see the `im2col_route_bitwise_matches_direct` test.
 
+use std::cell::RefCell;
+
 use crate::ops::matmul::matmul_acc;
 use crate::{Result, Tensor, TensorError};
+
+thread_local! {
+    /// Reusable scratch for the im2col lowering: the im2col matrix, the
+    /// transposed weight, and the pixel-major product. The trace path runs
+    /// thousands of convolutions per reverse process; reusing these
+    /// buffers cuts three large allocations per call. Safe because every
+    /// call fully overwrites each buffer element it reads (see
+    /// `scratch_reuse_is_bit_identical`).
+    static IM2COL_SCRATCH: RefCell<Im2colScratch> = RefCell::new(Im2colScratch::default());
+}
+
+#[derive(Default)]
+struct Im2colScratch {
+    cols: Vec<f32>,
+    wt: Vec<f32>,
+    prod: Vec<f32>,
+}
 
 /// Dense-MAC threshold above which [`conv2d`] lowers to im2col + tiled
 /// matmul. Below it the im2col materialization (plus weight transpose and
@@ -192,39 +211,50 @@ pub fn conv2d_im2col(
     let pixels = ho * wo;
     let ckk = c_in * k * k;
 
-    let cols = im2col(input, params)?;
+    IM2COL_SCRATCH.with(|scratch| {
+        let s = &mut *scratch.borrow_mut();
 
-    // Transpose the weight to [C_in*K*K, C_out] so output channels are the
-    // matmul's streaming dimension.
-    let wv = weight.as_slice();
-    let mut wt = vec![0.0f32; ckk * c_out];
-    for co in 0..c_out {
-        for col in 0..ckk {
-            wt[col * c_out + co] = wv[co * ckk + col];
-        }
-    }
+        // Every element of `cols` is written by the lowering (padding taps
+        // are stored as explicit zeros), so reuse cannot leak state.
+        s.cols.resize(pixels * ckk, 0.0);
+        im2col_into(input, params, &mut s.cols);
 
-    // Pixel-major product, seeded with the bias (the direct loop's first
-    // addend) before accumulation.
-    let mut prod = vec![0.0f32; pixels * c_out];
-    if let Some(b) = bias {
-        let bv = b.as_slice();
-        for row in prod.chunks_exact_mut(c_out) {
-            row.copy_from_slice(bv);
+        // Transpose the weight to [C_in*K*K, C_out] so output channels are
+        // the matmul's streaming dimension; fully overwritten.
+        let wv = weight.as_slice();
+        s.wt.resize(ckk * c_out, 0.0);
+        for co in 0..c_out {
+            for col in 0..ckk {
+                s.wt[col * c_out + co] = wv[co * ckk + col];
+            }
         }
-    }
-    matmul_acc(&mut prod, cols.as_slice(), &wt, pixels, ckk, c_out);
 
-    // De-interleave to channel-major NCHW.
-    let mut out = Tensor::zeros(&[c_out, ho, wo]);
-    let ov = out.as_mut_slice();
-    for pix in 0..pixels {
-        let prow = &prod[pix * c_out..(pix + 1) * c_out];
-        for (co, &v) in prow.iter().enumerate() {
-            ov[co * pixels + pix] = v;
+        // Pixel-major product, seeded with the bias (the direct loop's
+        // first addend) before accumulation — every row is either bias-
+        // copied or zero-filled, exactly like a fresh buffer.
+        s.prod.resize(pixels * c_out, 0.0);
+        match bias {
+            Some(b) => {
+                let bv = b.as_slice();
+                for row in s.prod.chunks_exact_mut(c_out) {
+                    row.copy_from_slice(bv);
+                }
+            }
+            None => s.prod.fill(0.0),
         }
-    }
-    Ok(out)
+        matmul_acc(&mut s.prod, &s.cols, &s.wt, pixels, ckk, c_out);
+
+        // De-interleave to channel-major NCHW.
+        let mut out = Tensor::zeros(&[c_out, ho, wo]);
+        let ov = out.as_mut_slice();
+        for pix in 0..pixels {
+            let prow = &s.prod[pix * c_out..(pix + 1) * c_out];
+            for (co, &v) in prow.iter().enumerate() {
+                ov[co * pixels + pix] = v;
+            }
+        }
+        Ok(out)
+    })
 }
 
 /// Lowers a `[C, H, W]` input into an im2col matrix of shape
@@ -243,11 +273,24 @@ pub fn im2col(input: &Tensor, params: Conv2dParams) -> Result<Tensor> {
     let (c, h, w) = (input.dims()[0], input.dims()[1], input.dims()[2]);
     let ho = params.out_extent(h);
     let wo = params.out_extent(w);
+    let cols = c * params.kernel * params.kernel;
+    let mut out = Tensor::zeros(&[ho * wo, cols]);
+    im2col_into(input, params, out.as_mut_slice());
+    Ok(out)
+}
+
+/// [`im2col`] into a caller-provided buffer of exactly
+/// `H_out*W_out * C*K*K` elements (rank already validated). Writes every
+/// element — padding taps become explicit zeros — so a reused scratch
+/// buffer behaves exactly like a fresh one.
+fn im2col_into(input: &Tensor, params: Conv2dParams, ov: &mut [f32]) {
+    let (c, h, w) = (input.dims()[0], input.dims()[1], input.dims()[2]);
+    let ho = params.out_extent(h);
+    let wo = params.out_extent(w);
     let k = params.kernel;
     let cols = c * k * k;
-    let mut out = Tensor::zeros(&[ho * wo, cols]);
+    debug_assert_eq!(ov.len(), ho * wo * cols);
     let iv = input.as_slice();
-    let ov = out.as_mut_slice();
     for oy in 0..ho {
         for ox in 0..wo {
             let row = oy * wo + ox;
@@ -268,7 +311,6 @@ pub fn im2col(input: &Tensor, params: Conv2dParams) -> Result<Tensor> {
             }
         }
     }
-    Ok(out)
 }
 
 #[cfg(test)]
@@ -352,6 +394,39 @@ mod tests {
                     );
                 }
                 assert_eq!(routed, direct);
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical() {
+        // The thread-local im2col scratch is reused across calls of
+        // *different* shapes (grow, shrink, regrow) and bias modes; every
+        // call must still match the fresh-buffer reference — the direct
+        // loop — bit for bit, and repeating a call must reproduce its own
+        // output exactly.
+        let mut rng = Rng::seed_from(11);
+        let cases = [
+            (16usize, 16usize, 32usize, Conv2dParams::same3x3()),
+            (2, 5, 3, Conv2dParams::pointwise()),
+            (32, 16, 32, Conv2dParams::same3x3()),
+            (4, 7, 6, Conv2dParams { kernel: 3, stride: 2, padding: 1 }),
+            (16, 16, 32, Conv2dParams::same3x3()),
+        ];
+        for &(c_in, hw, c_out, p) in &cases {
+            let input = Tensor::randn(&[c_in, hw, hw], &mut rng);
+            let weight = Tensor::randn(&[c_out, c_in, p.kernel, p.kernel], &mut rng);
+            let bias = Tensor::randn(&[c_out], &mut rng);
+            for b in [None, Some(&bias)] {
+                let direct = conv2d_direct(&input, &weight, b, p).unwrap();
+                let first = conv2d_im2col(&input, &weight, b, p).unwrap();
+                let second = conv2d_im2col(&input, &weight, b, p).unwrap();
+                for ((d, f), s) in
+                    direct.as_slice().iter().zip(first.as_slice()).zip(second.as_slice())
+                {
+                    assert_eq!(d.to_bits(), f.to_bits(), "reused scratch diverged from fresh");
+                    assert_eq!(f.to_bits(), s.to_bits(), "repeat call not reproducible");
+                }
             }
         }
     }

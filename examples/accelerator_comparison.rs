@@ -31,7 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     designs.push(Design::dynamic_ditto());
     // One parallel sweep over the whole design space; results come back in
     // `designs` order, bit-identical to sequential simulation.
-    let results = simulate_designs(&designs, &trace);
+    let results = simulate_designs(&designs, &trace)?;
     let itc = results[0].clone();
     println!(
         "\n{:<28} {:>8} {:>8} {:>10} {:>10} {:>8}",
