@@ -215,6 +215,20 @@ impl SweepReport {
     }
 }
 
+/// Simulates one grid cell as a pure function of `(design, trace)` and the
+/// model's precomputed GPU reference, returning the run result and the
+/// speedup over that reference.
+///
+/// [`run_with_workers`] and the `serve` cell scheduler both go through this
+/// exact function, which is what makes memoized cross-request serving
+/// bit-identical to a fresh grid run: a cell's value never depends on which
+/// engine (or which request) computed it.
+pub fn simulate_cell(design: &Design, trace: &WorkloadTrace, gpu: &RunResult) -> (RunResult, f64) {
+    let run = simulate(design, trace);
+    let speedup_vs_gpu = gpu.cycles / run.cycles;
+    (run, speedup_vs_gpu)
+}
+
 /// Executes the full grid with one worker per available core.
 ///
 /// # Errors
@@ -243,8 +257,8 @@ pub fn run_with_workers(spec: &SweepSpec<'_>, workers: usize) -> Result<SweepRep
     let gpu = pool::run_indexed(spec.traces.len(), workers, |m| simulate_gpu(spec.traces[m]));
     let cells = pool::run_indexed(spec.cell_count(), workers, |i| {
         let (model, design) = (i / d, i % d);
-        let run = simulate(&spec.designs[design], spec.traces[model]);
-        let speedup_vs_gpu = gpu[model].cycles / run.cycles;
+        let (run, speedup_vs_gpu) =
+            simulate_cell(&spec.designs[design], spec.traces[model], &gpu[model]);
         CellResult { design, model, run, speedup_vs_gpu }
     });
     Ok(SweepReport {

@@ -62,5 +62,5 @@ pub mod vpu;
 pub use config::HwConfig;
 pub use design::{DefoMode, Design};
 pub use energy::EnergyBreakdown;
-pub use grid::{CellResult, SweepError, SweepReport, SweepSpec};
+pub use grid::{simulate_cell, CellResult, SweepError, SweepReport, SweepSpec};
 pub use sim::{simulate, simulate_designs, DefoReport, ExecMode, RunResult};

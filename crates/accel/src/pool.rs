@@ -12,8 +12,9 @@
 //! loader. (The workspace builds without a crates registry, so this stands
 //! in for an external thread pool such as rayon.)
 
+use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 
 /// The default worker count: one per available core.
 pub fn default_workers() -> usize {
@@ -61,6 +62,125 @@ where
     slots.into_iter().map(|r| r.expect("every job index ran")).collect()
 }
 
+// --------------------------------------------------------------------------
+// Priority pool
+// --------------------------------------------------------------------------
+
+/// One queued [`PriorityPool`] job: a boxed closure ranked by priority,
+/// FIFO within a priority level.
+struct QueuedJob {
+    priority: i64,
+    /// Submission sequence number; lower = submitted earlier.
+    seq: u64,
+    run: Box<dyn FnOnce() + Send>,
+}
+
+impl PartialEq for QueuedJob {
+    fn eq(&self, other: &Self) -> bool {
+        self.priority == other.priority && self.seq == other.seq
+    }
+}
+
+impl Eq for QueuedJob {}
+
+impl PartialOrd for QueuedJob {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for QueuedJob {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap: higher priority wins; within a
+        // priority, the *lower* sequence number (earlier submission) wins.
+        self.priority.cmp(&other.priority).then(other.seq.cmp(&self.seq))
+    }
+}
+
+struct PoolState {
+    queue: BinaryHeap<QueuedJob>,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    available: Condvar,
+    seq: AtomicUsize,
+}
+
+/// A persistent worker pool that executes submitted jobs in **priority
+/// order**: higher [`submit`](PriorityPool::submit) priorities run first,
+/// and jobs of equal priority run in submission (FIFO) order. This is the
+/// long-lived complement to the batch-shaped [`run_indexed`]: callers that
+/// receive work over time (the `serve` cell scheduler) feed it here and
+/// synchronize on their own completion state.
+///
+/// Ordering is a dequeue guarantee, not a completion guarantee — with more
+/// than one worker, a low-priority job already running is not preempted by
+/// a later high-priority submission.
+pub struct PriorityPool {
+    shared: Arc<PoolShared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl PriorityPool {
+    /// Spawns a pool with `workers` threads (clamped to at least one).
+    pub fn new(workers: usize) -> Self {
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState { queue: BinaryHeap::new(), shutdown: false }),
+            available: Condvar::new(),
+            seq: AtomicUsize::new(0),
+        });
+        let workers = (0..workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || loop {
+                    let job = {
+                        let mut state = shared.state.lock().expect("pool state");
+                        loop {
+                            if let Some(job) = state.queue.pop() {
+                                break job;
+                            }
+                            if state.shutdown {
+                                return;
+                            }
+                            state = shared.available.wait(state).expect("pool state");
+                        }
+                    };
+                    (job.run)();
+                })
+            })
+            .collect();
+        PriorityPool { shared, workers }
+    }
+
+    /// Enqueues `job` at `priority` (higher runs sooner; FIFO within a
+    /// level). The job runs on one worker thread exactly once.
+    pub fn submit(&self, priority: i64, job: impl FnOnce() + Send + 'static) {
+        let seq = self.shared.seq.fetch_add(1, Ordering::Relaxed) as u64;
+        let mut state = self.shared.state.lock().expect("pool state");
+        state.queue.push(QueuedJob { priority, seq, run: Box::new(job) });
+        drop(state);
+        self.shared.available.notify_one();
+    }
+
+    /// The number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+}
+
+impl Drop for PriorityPool {
+    /// Drains the remaining queue, then joins every worker.
+    fn drop(&mut self) {
+        self.shared.state.lock().expect("pool state").shutdown = true;
+        self.shared.available.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -84,6 +204,46 @@ mod tests {
         use std::sync::atomic::AtomicU32;
         let counts: Vec<AtomicU32> = (0..100).map(|_| AtomicU32::new(0)).collect();
         run_indexed(100, 7, |i| counts[i].fetch_add(1, Ordering::Relaxed));
+        for (i, c) in counts.iter().enumerate() {
+            assert_eq!(c.load(Ordering::Relaxed), 1, "job {i}");
+        }
+    }
+
+    #[test]
+    fn priority_pool_dequeues_by_priority_then_fifo() {
+        // One worker, gated by an initial job that blocks until every other
+        // job is queued, so the dequeue order is fully determined.
+        let pool = PriorityPool::new(1);
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let (log_tx, log_rx) = mpsc::channel::<&'static str>();
+        pool.submit(i64::MAX, move || {
+            gate_rx.recv().expect("gate opens");
+        });
+        for (priority, tag) in [(0, "a0"), (5, "b5"), (0, "c0"), (-3, "d-3"), (5, "e5"), (9, "f9")]
+        {
+            let log = log_tx.clone();
+            pool.submit(priority, move || log.send(tag).expect("log alive"));
+        }
+        gate_tx.send(()).expect("worker waiting on gate");
+        drop(log_tx);
+        let order: Vec<_> = log_rx.iter().collect();
+        assert_eq!(order, vec!["f9", "b5", "e5", "a0", "c0", "d-3"]);
+    }
+
+    #[test]
+    fn priority_pool_runs_every_job_across_workers() {
+        use std::sync::atomic::AtomicU32;
+        let counts: Vec<_> = (0..64).map(|_| Arc::new(AtomicU32::new(0))).collect();
+        {
+            let pool = PriorityPool::new(5);
+            for (i, c) in counts.iter().enumerate() {
+                let c = Arc::clone(c);
+                pool.submit((i % 3) as i64, move || {
+                    c.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            // Drop drains the queue and joins the workers.
+        }
         for (i, c) in counts.iter().enumerate() {
             assert_eq!(c.load(Ordering::Relaxed), 1, "job {i}");
         }

@@ -49,12 +49,80 @@ pub const SAMPLE_SEED: u64 = 0;
 /// Environment variable overriding the on-disk cache location.
 pub const CACHE_DIR_ENV: &str = "DITTO_CACHE_DIR";
 
+/// Environment variable bounding the total bytes of cached `trace-*.bin`
+/// files; the oldest-mtime entries are evicted first once the cap is
+/// exceeded (see [`sweep_cache_dir`]).
+pub const CACHE_MAX_BYTES_ENV: &str = "DITTO_CACHE_MAX_BYTES";
+
+/// Default trace-cache size cap: generous (16 GiB) so eviction only ever
+/// triggers when explicitly configured or on genuinely huge sweeps.
+pub const DEFAULT_CACHE_MAX_BYTES: u64 = 16 * 1024 * 1024 * 1024;
+
 fn cache_dir() -> PathBuf {
     let dir = std::env::var_os(CACHE_DIR_ENV).map(PathBuf::from).unwrap_or_else(|| {
         PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/ditto-cache")
     });
     fs::create_dir_all(&dir).expect("create cache dir");
     dir
+}
+
+fn cache_max_bytes() -> u64 {
+    std::env::var(CACHE_MAX_BYTES_ENV)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_CACHE_MAX_BYTES)
+}
+
+/// Best-effort mtime refresh marking a cache entry as recently used (the
+/// LRU clock for [`sweep_cache_dir`]). Failure is harmless: the entry
+/// merely keeps its older timestamp.
+fn touch(path: &Path) {
+    if let Ok(f) = fs::File::options().append(true).open(path) {
+        let _ = f.set_modified(std::time::SystemTime::now());
+    }
+}
+
+/// Bounds the cache directory's `trace-*.bin` footprint to `max_bytes` by
+/// deleting the least-recently-used entries first (LRU by mtime: a cache
+/// *hit* re-stamps the entry's mtime via [`touch`], so the timestamp
+/// tracks last use, not creation). Other cache artifacts —
+/// `similarity-*.bin`, legacy `trace-*.json` — are never touched. Returns
+/// how many files were evicted.
+pub fn sweep_cache_dir(dir: &Path, max_bytes: u64) -> usize {
+    let Ok(entries) = fs::read_dir(dir) else { return 0 };
+    let mut traces: Vec<(PathBuf, u64, std::time::SystemTime)> = entries
+        .flatten()
+        .filter_map(|e| {
+            let name = e.file_name().to_string_lossy().into_owned();
+            if !(name.starts_with("trace-") && name.ends_with(".bin")) {
+                return None;
+            }
+            let meta = e.metadata().ok()?;
+            Some((e.path(), meta.len(), meta.modified().ok()?))
+        })
+        .collect();
+    let mut total: u64 = traces.iter().map(|(_, size, _)| size).sum();
+    if total <= max_bytes {
+        return 0;
+    }
+    // Oldest first; ties (same-mtime filesystems) break by name so the
+    // eviction order is deterministic.
+    traces.sort_by(|a, b| a.2.cmp(&b.2).then_with(|| a.0.cmp(&b.0)));
+    let mut evicted = 0;
+    for (path, size, _) in traces {
+        if total <= max_bytes {
+            break;
+        }
+        match fs::remove_file(&path) {
+            Ok(()) => {
+                eprintln!("[suite] cache over {max_bytes} B cap: evicted {}", path.display());
+                total -= size;
+                evicted += 1;
+            }
+            Err(e) => eprintln!("[suite] failed to evict {}: {e}", path.display()),
+        }
+    }
+    evicted
 }
 
 /// How a cached artifact was obtained.
@@ -159,7 +227,11 @@ fn fingerprint_of(model: &DiffusionModel) -> u64 {
     h
 }
 
-fn trace_in_dir(dir: &Path, kind: ModelKind, scale: ModelScale) -> (WorkloadTrace, TraceSource) {
+fn trace_in_dir(
+    dir: &Path,
+    kind: ModelKind,
+    scale: ModelScale,
+) -> (WorkloadTrace, TraceSource, u64) {
     let stem = cache_stem("trace", kind, scale);
     let bin_name = format!("{stem}.bin");
     let model = DiffusionModel::build(kind, scale, WEIGHT_SEED);
@@ -167,7 +239,8 @@ fn trace_in_dir(dir: &Path, kind: ModelKind, scale: ModelScale) -> (WorkloadTrac
     let mut saw_stale_bin = false;
     if let Some(c) = load_bin::<CachedTrace>(dir, &bin_name) {
         if c.fingerprint == fingerprint {
-            return (c.trace, TraceSource::BinCache);
+            touch(&dir.join(&bin_name));
+            return (c.trace, TraceSource::BinCache, fingerprint);
         }
         saw_stale_bin = true;
         eprintln!(
@@ -188,14 +261,14 @@ fn trace_in_dir(dir: &Path, kind: ModelKind, scale: ModelScale) -> (WorkloadTrac
         if let Some(t) = load_json::<WorkloadTrace>(dir, &format!("{stem}.json")) {
             let cached = CachedTrace { fingerprint, trace: t };
             store_bin(dir, &bin_name, &cached);
-            return (cached.trace, TraceSource::JsonMigrated);
+            return (cached.trace, TraceSource::JsonMigrated, fingerprint);
         }
     }
     eprintln!("[suite] tracing {} (one-time, cached afterwards)...", kind.abbr());
     let (trace, _) = trace_model(&model, SAMPLE_SEED, ExecPolicy::Dense).expect("trace");
     let cached = CachedTrace { fingerprint, trace };
     store_bin(dir, &bin_name, &cached);
-    (cached.trace, TraceSource::Traced)
+    (cached.trace, TraceSource::Traced, fingerprint)
 }
 
 /// Returns the cached workload trace for `kind`, computing (and caching) it
@@ -208,7 +281,8 @@ pub fn cached_trace(kind: ModelKind) -> WorkloadTrace {
 /// [`cached_trace`] at an explicit scale, also reporting where the trace
 /// came from (used by `Suite::load` reporting and the CI cache smoke test).
 pub fn cached_trace_scaled(kind: ModelKind, scale: ModelScale) -> (WorkloadTrace, TraceSource) {
-    trace_in_dir(&cache_dir(), kind, scale)
+    let (trace, source, _) = trace_in_dir(&cache_dir(), kind, scale);
+    (trace, source)
 }
 
 /// Returns the cached similarity report for `kind` (Fig. 3 / Fig. 4 data).
@@ -239,7 +313,25 @@ pub struct Suite {
     pub traces: Vec<WorkloadTrace>,
     /// Where each trace came from, in [`MODELS`] order.
     pub sources: Vec<TraceSource>,
+    /// Model-definition fingerprint of each trace, in [`MODELS`] order —
+    /// the same digest stored in the `trace-*.bin` cache header, exposed so
+    /// serving layers can key cross-request memo tables on it.
+    pub fingerprints: Vec<u64>,
+    /// How many `trace-*.bin` files the post-load LRU sweep evicted to
+    /// respect [`CACHE_MAX_BYTES_ENV`] (0 unless the cap was exceeded).
+    pub evictions: usize,
 }
+
+/// The process-wide warm suites behind [`Suite::shared`], one per scale.
+static SHARED_SMALL: OnceLock<Suite> = OnceLock::new();
+static SHARED_TINY: OnceLock<Suite> = OnceLock::new();
+
+/// Whether a completed shared load is still waiting for some successful
+/// response to report it (see [`Suite::take_warm_credit`]).
+static WARM_UNREPORTED_SMALL: std::sync::atomic::AtomicBool =
+    std::sync::atomic::AtomicBool::new(false);
+static WARM_UNREPORTED_TINY: std::sync::atomic::AtomicBool =
+    std::sync::atomic::AtomicBool::new(false);
 
 impl Suite {
     /// Loads (or computes) every model's trace at the experiment scale.
@@ -248,14 +340,18 @@ impl Suite {
     }
 
     /// Loads every model's trace at `scale`, fanning the per-model work out
-    /// across CPU cores, and reports cache hits vs fresh traces.
+    /// across CPU cores, and reports cache hits vs fresh traces plus any
+    /// LRU evictions the [`CACHE_MAX_BYTES_ENV`] cap forced.
     pub fn load_scaled(scale: ModelScale) -> Self {
-        let suite = Self::load_in_dir(&cache_dir(), scale);
+        let dir = cache_dir();
+        let mut suite = Self::load_in_dir(&dir, scale);
+        suite.evictions = sweep_cache_dir(&dir, cache_max_bytes());
         eprintln!(
-            "[suite] {} traces loaded: {} cache hit(s), {} freshly traced",
+            "[suite] {} traces loaded: {} cache hit(s), {} freshly traced, {} evicted by size cap",
             suite.traces.len(),
             suite.cache_hits(),
-            suite.traces.len() - suite.cache_hits()
+            suite.traces.len() - suite.cache_hits(),
+            suite.evictions
         );
         suite
     }
@@ -267,12 +363,46 @@ impl Suite {
     /// trace is deserialized (or computed) at most once per process
     /// instead of once per `cached_trace` call.
     pub fn shared(scale: ModelScale) -> &'static Suite {
-        static SMALL: OnceLock<Suite> = OnceLock::new();
-        static TINY: OnceLock<Suite> = OnceLock::new();
-        match scale {
-            ModelScale::Small => SMALL.get_or_init(|| Suite::load_scaled(ModelScale::Small)),
-            ModelScale::Tiny => TINY.get_or_init(|| Suite::load_scaled(ModelScale::Tiny)),
+        Self::shared_observed(scale).0
+    }
+
+    /// [`Suite::shared`], additionally reporting whether **this call** is
+    /// the one that performed the load (`true` for exactly one caller per
+    /// scale per process). A completed load also arms
+    /// [`Suite::take_warm_credit`] — serving layers should prefer that
+    /// (claimed only when a response actually reports the warm-up) so the
+    /// credit is not lost if the warming request itself fails.
+    pub fn shared_observed(scale: ModelScale) -> (&'static Suite, bool) {
+        let cell = match scale {
+            ModelScale::Small => &SHARED_SMALL,
+            ModelScale::Tiny => &SHARED_TINY,
+        };
+        let mut warmed = false;
+        let suite = cell.get_or_init(|| {
+            warmed = true;
+            Suite::load_scaled(scale)
+        });
+        if warmed {
+            Self::warm_unreported(scale).store(true, std::sync::atomic::Ordering::SeqCst);
         }
+        (suite, warmed)
+    }
+
+    fn warm_unreported(scale: ModelScale) -> &'static std::sync::atomic::AtomicBool {
+        match scale {
+            ModelScale::Small => &WARM_UNREPORTED_SMALL,
+            ModelScale::Tiny => &WARM_UNREPORTED_TINY,
+        }
+    }
+
+    /// Claims the one-time credit for having warmed the shared suite at
+    /// `scale`: returns `true` exactly once after a completed shared load,
+    /// for the first claimant. Serving layers call this when building a
+    /// **successful** response, so the warm-up's hit/fresh split is
+    /// guaranteed to reach a client even when the request that happened to
+    /// trigger the load failed for unrelated reasons.
+    pub fn take_warm_credit(scale: ModelScale) -> bool {
+        Self::warm_unreported(scale).swap(false, std::sync::atomic::Ordering::SeqCst)
     }
 
     /// The trace of one Table I model.
@@ -281,8 +411,20 @@ impl Suite {
     ///
     /// Panics if `kind` is not in [`MODELS`] (all seven benchmarks are).
     pub fn trace(&self, kind: ModelKind) -> &WorkloadTrace {
-        let i = MODELS.iter().position(|&k| k == kind).expect("kind is a Table I model");
-        &self.traces[i]
+        &self.traces[Self::index_of(kind)]
+    }
+
+    /// The model-definition fingerprint of one Table I model's trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` is not in [`MODELS`] (all seven benchmarks are).
+    pub fn fingerprint(&self, kind: ModelKind) -> u64 {
+        self.fingerprints[Self::index_of(kind)]
+    }
+
+    fn index_of(kind: ModelKind) -> usize {
+        MODELS.iter().position(|&k| k == kind).expect("kind is a Table I model")
     }
 
     /// How many traces were served from the on-disk cache rather than
@@ -292,13 +434,21 @@ impl Suite {
     }
 
     fn load_in_dir(dir: &Path, scale: ModelScale) -> Self {
-        let (traces, sources) =
-            accel::pool::run_indexed(MODELS.len(), accel::pool::default_workers(), |i| {
-                trace_in_dir(dir, MODELS[i], scale)
-            })
-            .into_iter()
-            .unzip();
-        Suite { traces, sources }
+        let loaded = accel::pool::run_indexed(MODELS.len(), accel::pool::default_workers(), |i| {
+            trace_in_dir(dir, MODELS[i], scale)
+        });
+        let mut suite = Suite {
+            traces: Vec::with_capacity(loaded.len()),
+            sources: Vec::with_capacity(loaded.len()),
+            fingerprints: Vec::with_capacity(loaded.len()),
+            evictions: 0,
+        };
+        for (trace, source, fingerprint) in loaded {
+            suite.traces.push(trace);
+            suite.sources.push(source);
+            suite.fingerprints.push(fingerprint);
+        }
+        suite
     }
 }
 
@@ -350,11 +500,11 @@ mod tests {
     fn cold_then_warm_then_corrupt() {
         let dir = temp_cache("lifecycle");
         // Cold: no cache entry → traced.
-        let (t0, s0) = trace_in_dir(&dir, ModelKind::Ddpm, ModelScale::Tiny);
+        let (t0, s0, _) = trace_in_dir(&dir, ModelKind::Ddpm, ModelScale::Tiny);
         assert_eq!(s0, TraceSource::Traced);
         assert!(dir.join("trace-tiny-DDPM.bin").exists());
         // Warm: binary cache hit, same content.
-        let (t1, s1) = trace_in_dir(&dir, ModelKind::Ddpm, ModelScale::Tiny);
+        let (t1, s1, _) = trace_in_dir(&dir, ModelKind::Ddpm, ModelScale::Tiny);
         assert_eq!(s1, TraceSource::BinCache);
         assert_eq!(t1.layer_count(), t0.layer_count());
         assert_eq!(t1.step_count(), t0.step_count());
@@ -363,14 +513,14 @@ mod tests {
         // and heals the cache.
         let bytes = fs::read(dir.join("trace-tiny-DDPM.bin")).unwrap();
         fs::write(dir.join("trace-tiny-DDPM.bin"), &bytes[..bytes.len() / 2]).unwrap();
-        let (t2, s2) = trace_in_dir(&dir, ModelKind::Ddpm, ModelScale::Tiny);
+        let (t2, s2, _) = trace_in_dir(&dir, ModelKind::Ddpm, ModelScale::Tiny);
         assert_eq!(s2, TraceSource::Traced);
         assert_eq!(t2.merged(StatView::Temporal), t0.merged(StatView::Temporal));
-        let (_, s3) = trace_in_dir(&dir, ModelKind::Ddpm, ModelScale::Tiny);
+        let (_, s3, _) = trace_in_dir(&dir, ModelKind::Ddpm, ModelScale::Tiny);
         assert_eq!(s3, TraceSource::BinCache, "cache healed after corruption");
         // Garbage (wrong magic) also falls back.
         fs::write(dir.join("trace-tiny-DDPM.bin"), b"not a cache file").unwrap();
-        let (_, s4) = trace_in_dir(&dir, ModelKind::Ddpm, ModelScale::Tiny);
+        let (_, s4, _) = trace_in_dir(&dir, ModelKind::Ddpm, ModelScale::Tiny);
         assert_eq!(s4, TraceSource::Traced);
         let _ = fs::remove_dir_all(&dir);
     }
@@ -378,17 +528,17 @@ mod tests {
     #[test]
     fn changed_model_definition_misses_cache() {
         let dir = temp_cache("fingerprint");
-        let (t0, s0) = trace_in_dir(&dir, ModelKind::Ddpm, ModelScale::Tiny);
+        let (t0, s0, _) = trace_in_dir(&dir, ModelKind::Ddpm, ModelScale::Tiny);
         assert_eq!(s0, TraceSource::Traced);
         // Simulate a cache entry written by an *older/edited* model
         // definition: same trace payload, different fingerprint header.
         let stale = CachedTrace { fingerprint: 0xDEAD_BEEF, trace: t0.clone() };
         store_bin(&dir, "trace-tiny-DDPM.bin", &stale);
-        let (t1, s1) = trace_in_dir(&dir, ModelKind::Ddpm, ModelScale::Tiny);
+        let (t1, s1, _) = trace_in_dir(&dir, ModelKind::Ddpm, ModelScale::Tiny);
         assert_eq!(s1, TraceSource::Traced, "a changed model config must miss the cache");
         assert_eq!(t1.merged(StatView::Temporal), t0.merged(StatView::Temporal));
         // The re-trace heals the cache with the current fingerprint.
-        let (_, s2) = trace_in_dir(&dir, ModelKind::Ddpm, ModelScale::Tiny);
+        let (_, s2, _) = trace_in_dir(&dir, ModelKind::Ddpm, ModelScale::Tiny);
         assert_eq!(s2, TraceSource::BinCache);
         let _ = fs::remove_dir_all(&dir);
     }
@@ -399,11 +549,11 @@ mod tests {
         // .json sitting beside it is same-era-or-older and must NOT be
         // migrated (that would stamp stale data with the new fingerprint).
         let dir = temp_cache("stale-json");
-        let (t0, _) = trace_in_dir(&dir, ModelKind::Ddpm, ModelScale::Tiny);
+        let (t0, _, _) = trace_in_dir(&dir, ModelKind::Ddpm, ModelScale::Tiny);
         fs::write(dir.join("trace-tiny-DDPM.json"), ditto_core::jsonio::to_vec(&t0)).unwrap();
         let stale = CachedTrace { fingerprint: 0xDEAD_BEEF, trace: t0 };
         store_bin(&dir, "trace-tiny-DDPM.bin", &stale);
-        let (_, source) = trace_in_dir(&dir, ModelKind::Ddpm, ModelScale::Tiny);
+        let (_, source, _) = trace_in_dir(&dir, ModelKind::Ddpm, ModelScale::Tiny);
         assert_eq!(source, TraceSource::Traced, "stale bin must force a re-trace, not migration");
         let _ = fs::remove_dir_all(&dir);
     }
@@ -428,12 +578,12 @@ mod tests {
         let dir = temp_cache("migrate");
         let trace = tiny_trace();
         fs::write(dir.join("trace-tiny-DDPM.json"), ditto_core::jsonio::to_vec(&trace)).unwrap();
-        let (t, source) = trace_in_dir(&dir, ModelKind::Ddpm, ModelScale::Tiny);
+        let (t, source, _) = trace_in_dir(&dir, ModelKind::Ddpm, ModelScale::Tiny);
         assert_eq!(source, TraceSource::JsonMigrated);
         assert_eq!(t.merged(StatView::Temporal), trace.merged(StatView::Temporal));
         assert!(dir.join("trace-tiny-DDPM.bin").exists(), "migration writes the binary cache");
         // Second load prefers the migrated binary.
-        let (_, source) = trace_in_dir(&dir, ModelKind::Ddpm, ModelScale::Tiny);
+        let (_, source, _) = trace_in_dir(&dir, ModelKind::Ddpm, ModelScale::Tiny);
         assert_eq!(source, TraceSource::BinCache);
         let _ = fs::remove_dir_all(&dir);
     }
@@ -454,6 +604,95 @@ mod tests {
             assert_eq!(w.step_count(), c.step_count());
             assert_eq!(w.merged(StatView::Temporal), c.merged(StatView::Temporal));
         }
+        // Fingerprints come back too, and match a direct recomputation.
+        assert_eq!(warm.fingerprints, cold.fingerprints);
+        assert_eq!(
+            warm.fingerprint(ModelKind::Ddpm),
+            fingerprint_of(&DiffusionModel::build(ModelKind::Ddpm, ModelScale::Tiny, WEIGHT_SEED))
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Writes a fake trace cache entry of `size` bytes and nudges its mtime
+    /// ordering by creation order (a short sleep keeps mtimes distinct on
+    /// coarse-granularity filesystems).
+    fn fake_trace_file(dir: &Path, name: &str, size: usize) {
+        fs::write(dir.join(name), vec![0u8; size]).expect("write fake trace");
+        std::thread::sleep(std::time::Duration::from_millis(15));
+    }
+
+    #[test]
+    fn lru_sweep_evicts_oldest_first_under_tiny_cap() {
+        let dir = temp_cache("lru");
+        fake_trace_file(&dir, "trace-old.bin", 100);
+        fake_trace_file(&dir, "trace-mid.bin", 100);
+        fake_trace_file(&dir, "trace-new.bin", 100);
+        // Non-trace artifacts are exempt from both accounting and eviction.
+        fake_trace_file(&dir, "similarity-DDPM.bin", 10_000);
+        fake_trace_file(&dir, "trace-legacy.json", 10_000);
+
+        // Under the cap: nothing happens.
+        assert_eq!(sweep_cache_dir(&dir, 300), 0);
+        assert!(dir.join("trace-old.bin").exists());
+
+        // 300 B of traces against a 250 B cap: exactly the oldest goes.
+        assert_eq!(sweep_cache_dir(&dir, 250), 1);
+        assert!(!dir.join("trace-old.bin").exists(), "oldest-mtime entry is evicted first");
+        assert!(dir.join("trace-mid.bin").exists());
+        assert!(dir.join("trace-new.bin").exists());
+
+        // 200 B left against a 10 B cap: both remaining traces go, the
+        // similarity report and legacy JSON stay.
+        assert_eq!(sweep_cache_dir(&dir, 10), 2);
+        assert!(!dir.join("trace-mid.bin").exists());
+        assert!(!dir.join("trace-new.bin").exists());
+        assert!(dir.join("similarity-DDPM.bin").exists());
+        assert!(dir.join("trace-legacy.json").exists());
+
+        // Idempotent on an empty (or missing) cache.
+        assert_eq!(sweep_cache_dir(&dir, 10), 0);
+        let _ = fs::remove_dir_all(&dir);
+        assert_eq!(sweep_cache_dir(&dir, 10), 0);
+    }
+
+    #[test]
+    fn cache_hits_refresh_mtime_so_hot_entries_survive_lru() {
+        let dir = temp_cache("lru-touch");
+        let (_, s0, _) = trace_in_dir(&dir, ModelKind::Ddpm, ModelScale::Tiny);
+        assert_eq!(s0, TraceSource::Traced);
+        let path = dir.join("trace-tiny-DDPM.bin");
+        let created = fs::metadata(&path).unwrap().modified().unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        // A hit must re-stamp the entry as recently used...
+        let (_, s1, _) = trace_in_dir(&dir, ModelKind::Ddpm, ModelScale::Tiny);
+        assert_eq!(s1, TraceSource::BinCache);
+        let after_hit = fs::metadata(&path).unwrap().modified().unwrap();
+        assert!(after_hit > created, "a cache hit must refresh mtime (LRU, not FIFO)");
+        // ...so an older-but-newer-created idle entry is evicted first.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        fs::write(dir.join("trace-idle.bin"), vec![0u8; 64]).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let (_, s2, _) = trace_in_dir(&dir, ModelKind::Ddpm, ModelScale::Tiny);
+        assert_eq!(s2, TraceSource::BinCache);
+        let hot_size = fs::metadata(&path).unwrap().len();
+        assert_eq!(sweep_cache_dir(&dir, hot_size), 1, "only the idle entry must go");
+        assert!(path.exists(), "the recently used entry survives");
+        assert!(!dir.join("trace-idle.bin").exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lru_sweep_eviction_is_a_cache_miss_not_corruption() {
+        let dir = temp_cache("lru-miss");
+        let (t0, s0, _) = trace_in_dir(&dir, ModelKind::Ddpm, ModelScale::Tiny);
+        assert_eq!(s0, TraceSource::Traced);
+        // A 1-byte cap evicts the freshly written entry...
+        assert_eq!(sweep_cache_dir(&dir, 1), 1);
+        assert!(!dir.join("trace-tiny-DDPM.bin").exists());
+        // ...and the next load simply re-traces, bit-identically.
+        let (t1, s1, _) = trace_in_dir(&dir, ModelKind::Ddpm, ModelScale::Tiny);
+        assert_eq!(s1, TraceSource::Traced);
+        assert_eq!(t1.merged(StatView::Temporal), t0.merged(StatView::Temporal));
         let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -92,6 +92,11 @@ pub struct ServeRequest {
     pub id: String,
     /// The sweep to execute.
     pub sweep: SweepRequest,
+    /// Scheduling priority: higher-priority requests' cells are dequeued
+    /// first by `ditto-serve`'s cell scheduler; equal priorities run FIFO.
+    /// Defaults to 0. Best-effort — already-running cells are never
+    /// preempted, and results are bit-identical regardless of order.
+    pub priority: i64,
 }
 
 fn parse_scale(s: &str) -> Result<ModelScale, String> {
@@ -99,6 +104,15 @@ fn parse_scale(s: &str) -> Result<ModelScale, String> {
         "small" => Ok(ModelScale::Small),
         "tiny" => Ok(ModelScale::Tiny),
         other => Err(format!("unknown scale `{other}` (expected `small` or `tiny`)")),
+    }
+}
+
+/// The wire name of a scale (`"small"` / `"tiny"`), as accepted by the
+/// request parser and used to namespace scheduler memo keys.
+pub fn scale_name(scale: ModelScale) -> &'static str {
+    match scale {
+        ModelScale::Small => "small",
+        ModelScale::Tiny => "tiny",
     }
 }
 
@@ -155,7 +169,13 @@ pub fn parse_request(line: &str) -> Result<ServeRequest, String> {
         Ok(_) => return Err("`scale` must be a string".into()),
         Err(_) => ModelScale::Small,
     };
-    Ok(ServeRequest { id, sweep: SweepRequest::new(designs, models, scale) })
+    let priority = match v.get("priority") {
+        Ok(Value::Int(i)) => i64::try_from(*i)
+            .map_err(|_| format!("`priority` {i} out of range for a 64-bit integer"))?,
+        Ok(_) => return Err("`priority` must be an integer".into()),
+        Err(_) => 0,
+    };
+    Ok(ServeRequest { id, sweep: SweepRequest::new(designs, models, scale), priority })
 }
 
 /// Best-effort id extraction from a (possibly malformed) request line, so
@@ -171,13 +191,82 @@ pub fn request_id(line: &str) -> String {
     }
 }
 
+/// Best-effort priority extraction from a request line (0 when absent or
+/// malformed) — used to order `--batch` files without fully parsing them.
+pub fn request_priority(line: &str) -> i64 {
+    match jsonio::parse(line.as_bytes()) {
+        Ok(v) => match v.get("priority") {
+            Ok(Value::Int(i)) => i64::try_from(*i).unwrap_or(0),
+            _ => 0,
+        },
+        Err(_) => 0,
+    }
+}
+
+/// Per-request-observed cache accounting carried in every successful
+/// response. Each counter describes what **this** request saw, not
+/// process-wide totals (the historical `cache_hits` field repeated the
+/// shared warm suite's hit count on every response, even for requests that
+/// arrived long after another request had warmed it).
+///
+/// Cell counters partition the request's (design × model) cells:
+/// `cells_total == cells_memo + cells_coalesced + cells_simulated`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HitAccounting {
+    /// Cells this request asked for.
+    pub cells_total: usize,
+    /// Cells served from the cross-request memo table (already completed
+    /// by an earlier request).
+    pub cells_memo: usize,
+    /// Cells another in-flight request was already simulating; this
+    /// request waited for that simulation instead of duplicating it.
+    pub cells_coalesced: usize,
+    /// Cells this request simulated itself (first toucher).
+    pub cells_simulated: usize,
+    /// Whether this request is the one that triggered the shared suite
+    /// load for its scale (true for at most one request per scale per
+    /// process).
+    pub suite_warmed: bool,
+    /// Of the suite load this request performed: traces served from the
+    /// on-disk cache. 0 when `suite_warmed` is false.
+    pub suite_cache_hits: usize,
+    /// Of the suite load this request performed: traces freshly traced.
+    /// 0 when `suite_warmed` is false.
+    pub suite_fresh: usize,
+    /// Legacy process-wide field: the shared warm suite's total on-disk
+    /// cache hits, regardless of which request warmed it. Kept for
+    /// compatibility with pre-`ditto-serve` clients.
+    pub process_suite_hits: usize,
+}
+
+impl HitAccounting {
+    /// Accounting for an engine without a cross-request memo (the
+    /// standalone `bench --bin serve` path): every cell is simulated.
+    pub fn all_simulated(cells_total: usize) -> Self {
+        HitAccounting { cells_total, cells_simulated: cells_total, ..Default::default() }
+    }
+
+    /// Fills the suite-observation fields from a [`Suite::shared_observed`]
+    /// result.
+    pub fn with_suite(mut self, suite: &Suite, warmed: bool) -> Self {
+        self.suite_warmed = warmed;
+        if warmed {
+            self.suite_cache_hits = suite.cache_hits();
+            self.suite_fresh = suite.traces.len() - suite.cache_hits();
+        }
+        self.process_suite_hits = suite.cache_hits();
+        self
+    }
+}
+
 fn obj(fields: Vec<(&str, Value)>) -> Value {
     Value::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
 }
 
-/// Renders a successful response line: the request id, suite cache-hit
-/// count, summary aggregations, and the full serialized report.
-pub fn response_ok(id: &str, report: &SweepReport, cache_hits: usize) -> String {
+/// Renders a successful response line: the request id, per-request cache
+/// accounting, summary aggregations, and the full serialized report. See
+/// the README protocol spec for the field-by-field schema.
+pub fn response_ok(id: &str, report: &SweepReport, hits: &HitAccounting) -> String {
     let best: Vec<Value> = report
         .models
         .iter()
@@ -197,10 +286,23 @@ pub fn response_ok(id: &str, report: &SweepReport, cache_hits: usize) -> String 
             ])
         })
         .collect();
+    let cells = obj(vec![
+        ("total", hits.cells_total.to_json()),
+        ("memo_hits", hits.cells_memo.to_json()),
+        ("coalesced", hits.cells_coalesced.to_json()),
+        ("simulated", hits.cells_simulated.to_json()),
+    ]);
+    let suite = obj(vec![
+        ("warmed_by_this_request", hits.suite_warmed.to_json()),
+        ("trace_cache_hits", hits.suite_cache_hits.to_json()),
+        ("freshly_traced", hits.suite_fresh.to_json()),
+    ]);
     let v = obj(vec![
         ("id", Value::Str(id.to_string())),
         ("ok", Value::Bool(true)),
-        ("cache_hits", cache_hits.to_json()),
+        ("cache_hits", hits.process_suite_hits.to_json()),
+        ("cells", cells),
+        ("suite", suite),
         ("best_design", Value::Arr(best)),
         ("geomean", Value::Arr(geomean)),
         ("report", report.to_json()),
@@ -234,6 +336,7 @@ mod tests {
         assert_eq!(r.sweep.designs[1].name, "Cam-D");
         assert_eq!(r.sweep.models, vec![ModelKind::Ddpm, ModelKind::Sdm]);
         assert_eq!(r.sweep.scale, ModelScale::Tiny);
+        assert_eq!(r.priority, 0);
     }
 
     #[test]
@@ -243,6 +346,19 @@ mod tests {
         assert_eq!(r.sweep.designs.len(), Design::fig13_set().len());
         assert_eq!(r.sweep.models.len(), MODELS.len());
         assert_eq!(r.sweep.scale, ModelScale::Small);
+        assert_eq!(r.priority, 0);
+    }
+
+    #[test]
+    fn parse_priority() {
+        let r = parse_request(r#"{"id":"p","priority":9,"scale":"tiny"}"#).unwrap();
+        assert_eq!(r.priority, 9);
+        let r = parse_request(r#"{"id":"n","priority":-3}"#).unwrap();
+        assert_eq!(r.priority, -3);
+        assert!(parse_request(r#"{"id":"x","priority":"high"}"#).unwrap_err().contains("priority"));
+        assert_eq!(request_priority(r#"{"id":"p","priority":9}"#), 9);
+        assert_eq!(request_priority(r#"{"id":"p"}"#), 0);
+        assert_eq!(request_priority("not json"), 0);
     }
 
     #[test]
@@ -273,12 +389,31 @@ mod tests {
         use accel::sim::synth;
         let trace = synth::trace(2, 4, 50_000, 128, true);
         let report = sweep_traces(vec![Design::itc(), Design::ditto()], vec![&trace]).unwrap();
-        let ok = response_ok("r9", &report, 7);
+        let hits = HitAccounting {
+            cells_total: 2,
+            cells_memo: 1,
+            cells_coalesced: 0,
+            cells_simulated: 1,
+            suite_warmed: true,
+            suite_cache_hits: 7,
+            suite_fresh: 0,
+            process_suite_hits: 7,
+        };
+        let ok = response_ok("r9", &report, &hits);
         assert!(!ok.contains('\n'));
         let v = jsonio::parse(ok.as_bytes()).unwrap();
         assert_eq!(v.get("id").unwrap(), &Value::Str("r9".into()));
         assert_eq!(v.get("ok").unwrap(), &Value::Bool(true));
         assert_eq!(v.get("cache_hits").unwrap(), &Value::Int(7));
+        let cells = v.get("cells").unwrap();
+        assert_eq!(cells.get("total").unwrap(), &Value::Int(2));
+        assert_eq!(cells.get("memo_hits").unwrap(), &Value::Int(1));
+        assert_eq!(cells.get("coalesced").unwrap(), &Value::Int(0));
+        assert_eq!(cells.get("simulated").unwrap(), &Value::Int(1));
+        let suite = v.get("suite").unwrap();
+        assert_eq!(suite.get("warmed_by_this_request").unwrap(), &Value::Bool(true));
+        assert_eq!(suite.get("trace_cache_hits").unwrap(), &Value::Int(7));
+        assert_eq!(suite.get("freshly_traced").unwrap(), &Value::Int(0));
         assert!(matches!(v.get("report").unwrap(), Value::Obj(_)));
         // The embedded report round-trips through the typed decoder.
         let back: SweepReport =

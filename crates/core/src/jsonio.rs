@@ -318,6 +318,86 @@ pub fn parse(bytes: &[u8]) -> Result<Value, JsonError> {
 }
 
 // --------------------------------------------------------------------------
+// Streamed line framing
+// --------------------------------------------------------------------------
+
+/// Accumulates bytes from a non-blocking stream and yields complete
+/// newline-terminated frames — the framing layer of the line-delimited JSON
+/// wire protocol the serve front-ends speak.
+///
+/// A socket read may end mid-line; [`push`](Self::push) buffers whatever
+/// arrived and [`next_line`](Self::next_line) returns each completed line
+/// (without its terminator, with a trailing `\r` stripped so `CRLF` clients
+/// work) as soon as its `\n` shows up. Bytes after the last newline stay
+/// buffered for the next read.
+///
+/// ```
+/// use ditto_core::jsonio::LineFramer;
+///
+/// let mut f = LineFramer::new();
+/// f.push(b"{\"id\":1}\n{\"id\"");
+/// assert_eq!(f.next_line(), Some("{\"id\":1}".to_string()));
+/// assert_eq!(f.next_line(), None);
+/// f.push(b":2}\r\n");
+/// assert_eq!(f.next_line(), Some("{\"id\":2}".to_string()));
+/// ```
+#[derive(Debug, Default)]
+pub struct LineFramer {
+    buf: Vec<u8>,
+    /// Start of the first unconsumed byte in `buf`.
+    start: usize,
+}
+
+impl LineFramer {
+    /// An empty framer.
+    pub fn new() -> Self {
+        LineFramer::default()
+    }
+
+    /// Appends freshly read bytes to the frame buffer.
+    pub fn push(&mut self, bytes: &[u8]) {
+        // Reclaim consumed space before growing (keeps long-lived
+        // connections from accumulating dead prefix bytes).
+        if self.start > 0 && self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        } else if self.start > 4096 {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pops the next complete line, if one is buffered. Invalid UTF-8 is
+    /// replaced rather than erroring (the JSON parser downstream rejects
+    /// such lines with a proper error response).
+    pub fn next_line(&mut self) -> Option<String> {
+        let rest = &self.buf[self.start..];
+        let nl = rest.iter().position(|&b| b == b'\n')?;
+        let mut line = &rest[..nl];
+        if line.last() == Some(&b'\r') {
+            line = &line[..line.len() - 1];
+        }
+        let text = String::from_utf8_lossy(line).into_owned();
+        self.start += nl + 1;
+        Some(text)
+    }
+
+    /// Bytes buffered but not yet consumed as complete lines (callers use
+    /// this to enforce a maximum line length on untrusted peers).
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Whether a complete (newline-terminated) line is currently buffered
+    /// — i.e. whether [`next_line`](Self::next_line) would return `Some`
+    /// without consuming anything.
+    pub fn has_line(&self) -> bool {
+        self.buf[self.start..].contains(&b'\n')
+    }
+}
+
+// --------------------------------------------------------------------------
 // Encode / decode traits
 // --------------------------------------------------------------------------
 
@@ -345,7 +425,7 @@ pub fn from_slice<T: FromJson>(bytes: &[u8]) -> Result<T, JsonError> {
     T::from_json(&parse(bytes)?)
 }
 
-macro_rules! impl_json_uint {
+macro_rules! impl_json_int {
     ($($t:ty),*) => {$(
         impl ToJson for $t {
             fn to_json(&self) -> Value {
@@ -365,7 +445,7 @@ macro_rules! impl_json_uint {
     )*};
 }
 
-impl_json_uint!(u64, usize);
+impl_json_int!(u64, usize, i64);
 
 impl ToJson for bool {
     fn to_json(&self) -> Value {
@@ -749,6 +829,57 @@ mod tests {
         assert!(parse(b"nulls").is_err());
         assert!(parse(b"\"unterminated").is_err());
         assert!(from_slice::<WorkloadTrace>(b"{\"model\": 3}").is_err());
+    }
+
+    #[test]
+    fn signed_ints_roundtrip() {
+        for v in [0i64, -1, 42, i64::MIN, i64::MAX] {
+            let bytes = to_vec(&v);
+            let back: i64 = from_slice(&bytes).unwrap();
+            assert_eq!(back, v);
+        }
+        assert!(from_slice::<i64>(b"170141183460469231731687303715884105727").is_err());
+        assert!(from_slice::<u64>(b"-3").is_err());
+    }
+
+    #[test]
+    fn line_framer_handles_partial_reads() {
+        let mut f = LineFramer::new();
+        f.push(b"abc");
+        assert_eq!(f.next_line(), None);
+        assert_eq!(f.buffered(), 3);
+        f.push(b"\ndef\r\ngh");
+        assert_eq!(f.next_line(), Some("abc".into()));
+        assert_eq!(f.next_line(), Some("def".into()));
+        assert_eq!(f.next_line(), None);
+        assert_eq!(f.buffered(), 2);
+        // One byte at a time still frames correctly.
+        for &b in b"i\n" {
+            f.push(&[b]);
+        }
+        assert_eq!(f.next_line(), Some("ghi".into()));
+        assert_eq!(f.buffered(), 0);
+        // Empty lines are yielded (the server skips blank requests itself).
+        f.push(b"\n\nx\n");
+        assert_eq!(f.next_line(), Some(String::new()));
+        assert_eq!(f.next_line(), Some(String::new()));
+        assert_eq!(f.next_line(), Some("x".into()));
+        assert_eq!(f.next_line(), None);
+    }
+
+    #[test]
+    fn line_framer_reclaims_consumed_space() {
+        let mut f = LineFramer::new();
+        for i in 0..2000 {
+            f.push(format!("line-{i}\n").as_bytes());
+            assert_eq!(f.next_line(), Some(format!("line-{i}")));
+        }
+        assert_eq!(f.buffered(), 0);
+        f.push(b"tail");
+        assert_eq!(f.buffered(), 4);
+        assert_eq!(f.next_line(), None);
+        f.push(b"\n");
+        assert_eq!(f.next_line(), Some("tail".into()));
     }
 
     #[test]

@@ -1,0 +1,86 @@
+//! The suite-backed protocol handler: the glue between the wire protocol
+//! (`bench::sweep`), the process-wide warm trace suite (`bench::Suite`),
+//! and the memoizing cell scheduler ([`crate::sched`]).
+
+use std::sync::Arc;
+
+use bench::report::sweep_summary;
+use bench::sweep::{parse_request, request_id, response_err, response_ok, scale_name};
+use bench::{HitAccounting, Suite};
+
+use crate::sched::{CellStats, ModelInput, Scheduler, SweepJob};
+use crate::server::App;
+
+/// [`App`] implementation serving real sweep requests: parses the JSON
+/// protocol, resolves model names against the shared warm [`Suite`] for
+/// the requested scale, runs the cells through the scheduler, and renders
+/// the response with per-request-observed cache accounting.
+pub struct SuiteApp {
+    sched: Arc<Scheduler>,
+}
+
+impl SuiteApp {
+    /// An app over its own scheduler with `workers` simulation threads.
+    pub fn new(workers: usize) -> Self {
+        SuiteApp { sched: Arc::new(Scheduler::new(workers)) }
+    }
+
+    /// The underlying scheduler (e.g. for dedup counters in logs/tests).
+    pub fn scheduler(&self) -> &Scheduler {
+        &self.sched
+    }
+}
+
+impl App for SuiteApp {
+    fn handle(&self, line: &str) -> String {
+        let req = match parse_request(line) {
+            Ok(req) => req,
+            Err(e) => return response_err(&request_id(line), &e),
+        };
+        // Loading may warm the suite; the credit for reporting the
+        // warm-up is claimed only once a response can actually carry it
+        // (below), so a failing warmer does not swallow the stats.
+        let (suite, _) = Suite::shared_observed(req.sweep.scale);
+        let job = SweepJob {
+            designs: req.sweep.designs.clone(),
+            models: req
+                .sweep
+                .models
+                .iter()
+                .map(|&kind| ModelInput {
+                    trace: suite.trace(kind),
+                    fingerprint: suite.fingerprint(kind),
+                })
+                .collect(),
+            scale: scale_name(req.sweep.scale).to_string(),
+            priority: req.priority,
+        };
+        match self.sched.run(&job) {
+            Ok((report, stats)) => {
+                let CellStats { total, memo_hits, coalesced, simulated } = stats;
+                let hits = HitAccounting {
+                    cells_total: total,
+                    cells_memo: memo_hits,
+                    cells_coalesced: coalesced,
+                    cells_simulated: simulated,
+                    ..HitAccounting::default()
+                }
+                .with_suite(suite, Suite::take_warm_credit(req.sweep.scale));
+                eprintln!(
+                    "[ditto-serve] {} (prio {}): {}; cells {}/{} from memo, {} coalesced, \
+                     {} simulated ({} unique process-wide)",
+                    req.id,
+                    req.priority,
+                    sweep_summary(&report),
+                    memo_hits,
+                    total,
+                    coalesced,
+                    simulated,
+                    self.sched.unique_cells_simulated()
+                );
+                response_ok(&req.id, &report, &hits)
+            }
+            Err(e) => response_err(&req.id, &e.to_string()),
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! `ditto-serve`: the socket-based serving subsystem.
+//!
+//! Where `bench --bin serve` executes line-delimited sweep requests from
+//! stdin, this crate serves the same wire protocol over TCP with three
+//! properties the stdin loop could not offer:
+//!
+//! * **A non-blocking front-end** ([`server`]): one reactor thread
+//!   multiplexes every connection through a minimal dependency-free
+//!   [`reactor`] — raw `epoll` on Linux with a portable `poll(2)`
+//!   fallback — framing partial reads/writes and streaming each response
+//!   as its request finishes.
+//! * **Priority scheduling** ([`sched`]): requests carry an optional
+//!   `priority`; their grid cells are fed to a shared
+//!   [`accel::pool::PriorityPool`] that dequeues high-priority work first
+//!   (FIFO within a level).
+//! * **Cross-request memoization** ([`sched`]): each request is decomposed
+//!   into (design × model × scale) cells that are deduplicated against a
+//!   process-wide memo table — completed cells are served from memory,
+//!   in-flight cells pick up additional waiters — so N clients asking for
+//!   overlapping sweeps cost **one simulation per unique cell**, while
+//!   every response stays bit-identical to a fresh [`accel::grid::run`].
+//!
+//! The binary (`cargo run -p serve --bin ditto-serve`) wires the
+//! suite-backed [`app::SuiteApp`] into the server; the library pieces are
+//! independently reusable (and tested) with arbitrary [`server::App`]s and
+//! synthetic traces.
+//!
+//! # Example
+//!
+//! A trivial echo-style app on a random loopback port:
+//!
+//! ```
+//! use std::io::{BufRead, BufReader, Write};
+//! use std::sync::Arc;
+//!
+//! let app = Arc::new(|line: &str| format!("echo:{line}"));
+//! let handle = serve::server::spawn(app, serve::server::ServerConfig::default())?;
+//!
+//! let mut conn = std::net::TcpStream::connect(handle.addr())?;
+//! conn.write_all(b"hello\n")?;
+//! let mut response = String::new();
+//! BufReader::new(conn.try_clone()?).read_line(&mut response)?;
+//! assert_eq!(response, "echo:hello\n");
+//!
+//! handle.shutdown()?;
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+pub mod app;
+pub mod reactor;
+pub mod sched;
+pub mod server;
+
+pub use app::SuiteApp;
+pub use reactor::{Backend, Poller, Waker};
+pub use sched::{CellStats, ModelInput, SchedError, Scheduler, SweepJob};
+pub use server::{spawn, App, ServerConfig, ServerHandle};

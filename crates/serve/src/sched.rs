@@ -1,0 +1,646 @@
+//! The cell scheduler: priority execution and cross-request memoization
+//! of (design × model × scale) grid cells.
+//!
+//! Every serve request decomposes into independent cells — exactly the
+//! cells [`accel::grid::run`] would simulate — and concurrent requests
+//! routinely overlap (many clients asking for the same designs on the same
+//! models). The scheduler makes each **unique** cell cost one simulation
+//! process-wide:
+//!
+//! * a cell another request already completed is served from the memo
+//!   table (a *memo hit*);
+//! * a cell another request is currently simulating gets this request as
+//!   an additional waiter instead of a duplicate job (*coalesced*);
+//! * only first-touched cells are submitted to the shared
+//!   [`accel::pool::PriorityPool`], ordered by the request's `priority`
+//!   (FIFO within a level).
+//!
+//! Results are **bit-identical** to [`accel::grid::run`] on the same axes:
+//! each cell is computed once, on one thread, by the same pure
+//! [`accel::grid::simulate_cell`] function the grid engine itself uses, so
+//! it cannot matter which request (or which engine) computed it first.
+//!
+//! Memo keys include the model-definition **fingerprint** of the trace
+//! (the digest the on-disk cache stores, see `bench::suite`): two models
+//! that happen to share a name but differ in definition can never serve
+//! each other's cells.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use accel::design::Design;
+use accel::gpu::simulate_gpu;
+use accel::grid::{simulate_cell, CellResult, SweepError, SweepReport, SweepSpec};
+use accel::pool::PriorityPool;
+use accel::sim::RunResult;
+use ditto_core::trace::WorkloadTrace;
+
+// --------------------------------------------------------------------------
+// Memo table with in-flight coalescing
+// --------------------------------------------------------------------------
+
+/// A memo slot: empty while its value is being computed, then fulfilled
+/// exactly once.
+struct Slot<V> {
+    state: Mutex<Option<Arc<V>>>,
+    done: Condvar,
+}
+
+impl<V> Slot<V> {
+    fn new() -> Self {
+        Slot { state: Mutex::new(None), done: Condvar::new() }
+    }
+
+    fn fulfill(&self, value: V) -> Arc<V> {
+        let value = Arc::new(value);
+        let mut state = self.state.lock().expect("memo slot");
+        debug_assert!(state.is_none(), "memo slot fulfilled twice");
+        *state = Some(Arc::clone(&value));
+        drop(state);
+        self.done.notify_all();
+        value
+    }
+
+    fn wait(&self) -> Arc<V> {
+        let mut state = self.state.lock().expect("memo slot");
+        loop {
+            if let Some(v) = state.as_ref() {
+                return Arc::clone(v);
+            }
+            state = self.done.wait(state).expect("memo slot");
+        }
+    }
+}
+
+/// What [`Memo::claim`] found for a key.
+enum Claim<V> {
+    /// Completed earlier; the value is immediately available.
+    Hit(Arc<V>),
+    /// Another claimant is computing it; wait on the slot.
+    InFlight(Arc<Slot<V>>),
+    /// This claim is the first: the caller must compute and fulfill the
+    /// slot (everyone else now waits on it).
+    Mine(Arc<Slot<V>>),
+}
+
+/// A concurrent memo table whose entries are computed at most once, with
+/// waiters coalescing onto in-flight computations. Successful entries are
+/// never evicted — the value domain (simulated cells for a handful of
+/// scales × 18 designs × 7 models) is small and each value is a few
+/// hundred bytes — but a claimant whose computation fails [`remove`]s its
+/// key so the cell can be retried.
+struct Memo<K, V> {
+    map: Mutex<HashMap<K, Arc<Slot<V>>>>,
+}
+
+impl<K: Eq + Hash + Clone, V> Memo<K, V> {
+    fn new() -> Self {
+        Memo { map: Mutex::new(HashMap::new()) }
+    }
+
+    fn claim(&self, key: &K) -> Claim<V> {
+        let mut map = self.map.lock().expect("memo map");
+        if let Some(slot) = map.get(key) {
+            let slot = Arc::clone(slot);
+            drop(map);
+            // Fulfilled already? Then it is a plain hit, not a wait.
+            let state = slot.state.lock().expect("memo slot");
+            return match state.as_ref() {
+                Some(v) => Claim::Hit(Arc::clone(v)),
+                None => {
+                    drop(state);
+                    Claim::InFlight(slot)
+                }
+            };
+        }
+        let slot = Arc::new(Slot::new());
+        map.insert(key.clone(), Arc::clone(&slot));
+        Claim::Mine(slot)
+    }
+
+    /// Claims `key` and computes it inline when first: the calling thread
+    /// runs `f`, every concurrent caller blocks until it finishes. Returns
+    /// the value and whether this call computed it.
+    fn get_or_compute(&self, key: &K, f: impl FnOnce() -> V) -> (Arc<V>, bool) {
+        match self.claim(key) {
+            Claim::Hit(v) => (v, false),
+            Claim::InFlight(slot) => (slot.wait(), false),
+            Claim::Mine(slot) => (slot.fulfill(f()), true),
+        }
+    }
+
+    /// Forgets `key` so the next claim recomputes it. Called by a
+    /// computing claimant whose computation *failed*, before fulfilling
+    /// its slot with the error: waiters already attached to the failed
+    /// slot observe the error, later claimants retry fresh.
+    fn remove(&self, key: &K) {
+        self.map.lock().expect("memo map").remove(key);
+    }
+}
+
+/// Renders a `catch_unwind` payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+// --------------------------------------------------------------------------
+// Scheduler
+// --------------------------------------------------------------------------
+
+/// Memo key of one grid cell. The fingerprint binds the cell to the exact
+/// model definition its trace came from.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CellKey {
+    design: String,
+    model: String,
+    scale: String,
+    fingerprint: u64,
+}
+
+/// Memo key of one model's GPU reference run.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct GpuKey {
+    model: String,
+    scale: String,
+    fingerprint: u64,
+}
+
+/// A cell's memoized value: the simulation result and its speedup over the
+/// model's GPU reference — or the message of a panic caught while
+/// computing it (the key is evicted on failure, so later requests retry).
+type CellValue = Result<(RunResult, f64), String>;
+
+/// A GPU reference's memoized value (same failure semantics as
+/// [`CellValue`]).
+type GpuValue = Result<RunResult, String>;
+
+/// Why a job could not produce a report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchedError {
+    /// Invalid sweep axes or degenerate traces — the same conditions
+    /// [`accel::grid::run`] rejects.
+    Sweep(SweepError),
+    /// A cell (or its GPU reference) panicked while simulating. The memo
+    /// entry was discarded, so a later request retries it fresh.
+    CellFailed {
+        /// `design × model` label of the failed cell.
+        cell: String,
+        /// The caught panic message.
+        message: String,
+    },
+}
+
+impl From<SweepError> for SchedError {
+    fn from(e: SweepError) -> Self {
+        SchedError::Sweep(e)
+    }
+}
+
+impl std::fmt::Display for SchedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchedError::Sweep(e) => e.fmt(f),
+            SchedError::CellFailed { cell, message } => {
+                write!(f, "cell {cell} failed: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SchedError {}
+
+/// One model-axis entry of a [`SweepJob`]: the trace to simulate on plus
+/// the fingerprint of the model definition it was traced from.
+///
+/// Traces are `&'static` because the scheduler's workers outlive any one
+/// request: production traces live in the process-wide warm
+/// `bench::Suite`, and tests leak their small synthetic traces.
+#[derive(Debug, Clone, Copy)]
+pub struct ModelInput {
+    /// The traced workload (row of the sweep grid).
+    pub trace: &'static WorkloadTrace,
+    /// Model-definition digest (`bench::Suite::fingerprint`); part of the
+    /// memo key so a changed definition can never hit a stale cell.
+    pub fingerprint: u64,
+}
+
+/// A fully resolved sweep plus its scheduling metadata — the scheduler's
+/// analogue of [`accel::grid::SweepSpec`].
+#[derive(Debug, Clone)]
+pub struct SweepJob {
+    /// Design axis, in report column order.
+    pub designs: Vec<Design>,
+    /// Model axis, in report row order.
+    pub models: Vec<ModelInput>,
+    /// Scale tag namespacing the memo keys (`"small"`, `"tiny"`, or any
+    /// test-chosen label).
+    pub scale: String,
+    /// Dequeue priority for this job's first-touched cells: higher runs
+    /// sooner, FIFO within a level.
+    pub priority: i64,
+}
+
+/// Per-request cell accounting: how each of a job's cells was obtained.
+/// `total == memo_hits + coalesced + simulated`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CellStats {
+    /// Cells the job asked for.
+    pub total: usize,
+    /// Served from the completed memo table.
+    pub memo_hits: usize,
+    /// Joined another request's in-flight simulation.
+    pub coalesced: usize,
+    /// Simulated by this job (first toucher).
+    pub simulated: usize,
+}
+
+/// Memo tables and counters shared with pool workers (they outlive
+/// `&self` borrows — jobs capture an `Arc` of this).
+struct SchedShared {
+    cells: Memo<CellKey, CellValue>,
+    gpus: Memo<GpuKey, GpuValue>,
+    cells_simulated: AtomicUsize,
+    gpus_simulated: AtomicUsize,
+}
+
+impl SchedShared {
+    /// The memoized GPU reference for a model, computed inline (under
+    /// `catch_unwind`) by the first caller. A caught panic evicts the key
+    /// so later requests retry; the computing caller and anyone who
+    /// coalesced onto it observe the error.
+    fn gpu_ref(&self, gkey: &GpuKey, trace: &'static WorkloadTrace) -> Arc<GpuValue> {
+        let (gpu, computed) = self.gpus.get_or_compute(gkey, || {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| simulate_gpu(trace)))
+                .map_err(panic_message)
+        });
+        if computed {
+            match gpu.as_ref() {
+                Ok(_) => {
+                    self.gpus_simulated.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(_) => self.gpus.remove(gkey),
+            }
+        }
+        gpu
+    }
+}
+
+/// The cell scheduler: a priority worker pool plus the process-wide memo
+/// tables. One instance serves every connection of a `ditto-serve`
+/// process.
+pub struct Scheduler {
+    pool: PriorityPool,
+    shared: Arc<SchedShared>,
+}
+
+impl Scheduler {
+    /// A scheduler with `workers` simulation threads (clamped to ≥ 1).
+    pub fn new(workers: usize) -> Self {
+        Scheduler {
+            pool: PriorityPool::new(workers),
+            shared: Arc::new(SchedShared {
+                cells: Memo::new(),
+                gpus: Memo::new(),
+                cells_simulated: AtomicUsize::new(0),
+                gpus_simulated: AtomicUsize::new(0),
+            }),
+        }
+    }
+
+    /// Executes one job: claims every cell against the memo, submits only
+    /// first-touched cells to the priority pool, waits for stragglers, and
+    /// assembles a [`SweepReport`] bit-identical to
+    /// [`accel::grid::run`] on the same axes.
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::Sweep`] for the same conditions the grid engine
+    /// rejects (empty axes, degenerate traces); [`SchedError::CellFailed`]
+    /// when a simulation panicked (the memo forgets the cell so a retry is
+    /// possible — the pool worker survives either way).
+    pub fn run(&self, job: &SweepJob) -> Result<(SweepReport, CellStats), SchedError> {
+        SweepSpec::new(job.designs.clone(), job.models.iter().map(|m| m.trace).collect())
+            .validate()?;
+        let d = job.designs.len();
+        let mut stats = CellStats { total: d * job.models.len(), ..CellStats::default() };
+
+        // Claim phase: never blocks. Cells are claimed model-major (the
+        // report's cell order), so FIFO dequeue within a priority level
+        // follows report order too.
+        enum Pending {
+            Ready(Arc<CellValue>),
+            Waiting(Arc<Slot<CellValue>>),
+        }
+        let mut pending = Vec::with_capacity(stats.total);
+        for model in &job.models {
+            let gkey = GpuKey {
+                model: model.trace.model.clone(),
+                scale: job.scale.clone(),
+                fingerprint: model.fingerprint,
+            };
+            for design in &job.designs {
+                let key = CellKey {
+                    design: design.name.clone(),
+                    model: model.trace.model.clone(),
+                    scale: job.scale.clone(),
+                    fingerprint: model.fingerprint,
+                };
+                match self.shared.cells.claim(&key) {
+                    Claim::Hit(v) => {
+                        stats.memo_hits += 1;
+                        pending.push(Pending::Ready(v));
+                    }
+                    Claim::InFlight(slot) => {
+                        stats.coalesced += 1;
+                        pending.push(Pending::Waiting(slot));
+                    }
+                    Claim::Mine(slot) => {
+                        stats.simulated += 1;
+                        let design = design.clone();
+                        let trace = model.trace;
+                        let gkey = gkey.clone();
+                        let cell_key = key.clone();
+                        let shared = Arc::clone(&self.shared);
+                        let job_slot = Arc::clone(&slot);
+                        self.pool.submit(job.priority, move || {
+                            // The GPU reference is computed inline by the
+                            // first worker that needs it; concurrent cells
+                            // of the same model wait on an actively running
+                            // computation (never on a queued job), so the
+                            // pool cannot deadlock.
+                            let value: CellValue = match shared.gpu_ref(&gkey, trace).as_ref() {
+                                Err(m) => Err(format!("GPU reference failed: {m}")),
+                                Ok(gpu) => {
+                                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                        simulate_cell(&design, trace, gpu)
+                                    }))
+                                    .map_err(panic_message)
+                                }
+                            };
+                            match &value {
+                                Ok(_) => {
+                                    shared.cells_simulated.fetch_add(1, Ordering::Relaxed);
+                                }
+                                // A failed cell is evicted before its slot
+                                // resolves, so later requests retry while
+                                // current waiters see the error.
+                                Err(_) => shared.cells.remove(&cell_key),
+                            }
+                            job_slot.fulfill(value);
+                        });
+                        pending.push(Pending::Waiting(slot));
+                    }
+                }
+            }
+        }
+
+        // Collect phase: block until every cell of this job is fulfilled.
+        let values: Vec<Arc<CellValue>> = pending
+            .into_iter()
+            .map(|p| match p {
+                Pending::Ready(v) => v,
+                Pending::Waiting(slot) => slot.wait(),
+            })
+            .collect();
+
+        // Assembly: model-major cells plus the per-model GPU reference
+        // column, exactly like `grid::run`. Every model's GPU run is
+        // already memoized by the time its last cell fulfilled (the
+        // `gpu_ref` below is a hit in practice, but stays total).
+        let mut cells = Vec::with_capacity(values.len());
+        for (i, v) in values.iter().enumerate() {
+            let (design, model) = (i % d, i / d);
+            match v.as_ref() {
+                Ok((run, speedup_vs_gpu)) => cells.push(CellResult {
+                    design,
+                    model,
+                    run: run.clone(),
+                    speedup_vs_gpu: *speedup_vs_gpu,
+                }),
+                Err(message) => {
+                    return Err(SchedError::CellFailed {
+                        cell: format!(
+                            "{} × {}",
+                            job.designs[design].name, job.models[model].trace.model
+                        ),
+                        message: message.clone(),
+                    })
+                }
+            }
+        }
+        let mut gpu = Vec::with_capacity(job.models.len());
+        for model in &job.models {
+            let gkey = GpuKey {
+                model: model.trace.model.clone(),
+                scale: job.scale.clone(),
+                fingerprint: model.fingerprint,
+            };
+            match self.shared.gpu_ref(&gkey, model.trace).as_ref() {
+                Ok(g) => gpu.push(g.clone()),
+                Err(message) => {
+                    return Err(SchedError::CellFailed {
+                        cell: format!("GPU × {}", model.trace.model),
+                        message: message.clone(),
+                    })
+                }
+            }
+        }
+        let report = SweepReport {
+            designs: job.designs.iter().map(|dsg| dsg.name.clone()).collect(),
+            models: job.models.iter().map(|m| m.trace.model.clone()).collect(),
+            cells,
+            gpu,
+        };
+        Ok((report, stats))
+    }
+
+    /// Unique grid cells simulated since this scheduler was created — the
+    /// process-wide dedup proof: with overlapping requests this stays at
+    /// the number of *distinct* cells, not the number of requested ones.
+    pub fn unique_cells_simulated(&self) -> usize {
+        self.shared.cells_simulated.load(Ordering::Relaxed)
+    }
+
+    /// Unique GPU reference runs simulated since creation (one per
+    /// distinct (model, scale, fingerprint)).
+    pub fn unique_gpu_refs_simulated(&self) -> usize {
+        self.shared.gpus_simulated.load(Ordering::Relaxed)
+    }
+
+    /// The number of simulation worker threads.
+    pub fn workers(&self) -> usize {
+        self.pool.workers()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accel::sim::synth;
+
+    fn leak(trace: WorkloadTrace) -> &'static WorkloadTrace {
+        Box::leak(Box::new(trace))
+    }
+
+    fn job(designs: Vec<Design>, models: Vec<ModelInput>, priority: i64) -> SweepJob {
+        SweepJob { designs, models, scale: "synth".into(), priority }
+    }
+
+    #[test]
+    fn memo_computes_once_and_coalesces() {
+        let memo: Memo<u32, u64> = Memo::new();
+        let computed = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    let (v, _) = memo.get_or_compute(&7, || {
+                        computed.fetch_add(1, Ordering::Relaxed);
+                        std::thread::sleep(std::time::Duration::from_millis(20));
+                        42
+                    });
+                    assert_eq!(*v, 42);
+                });
+            }
+        });
+        assert_eq!(computed.load(Ordering::Relaxed), 1, "exactly one thread computes");
+    }
+
+    #[test]
+    fn matches_grid_run_bitwise_and_simulates_each_cell_once() {
+        let trace_a = leak(synth::trace(3, 5, 100_000, 64, true));
+        let trace_b = leak(synth::trace(2, 4, 50_000, 8, false));
+        let designs = vec![Design::itc(), Design::cambricon_d(), Design::ditto()];
+        let models = vec![
+            ModelInput { trace: trace_a, fingerprint: 1 },
+            ModelInput { trace: trace_b, fingerprint: 2 },
+        ];
+        let sched = Scheduler::new(4);
+
+        let (report, stats) = sched.run(&job(designs.clone(), models.clone(), 0)).unwrap();
+        assert_eq!(stats, CellStats { total: 6, memo_hits: 0, coalesced: 0, simulated: 6 });
+
+        let reference =
+            accel::grid::run(&SweepSpec::new(designs.clone(), vec![trace_a, trace_b])).unwrap();
+        assert_eq!(report.designs, reference.designs);
+        assert_eq!(report.models, reference.models);
+        for (a, b) in report.cells.iter().zip(&reference.cells) {
+            assert_eq!((a.design, a.model), (b.design, b.model));
+            assert_eq!(a.run.cycles.to_bits(), b.run.cycles.to_bits());
+            assert_eq!(a.run.energy.total().to_bits(), b.run.energy.total().to_bits());
+            assert_eq!(a.speedup_vs_gpu.to_bits(), b.speedup_vs_gpu.to_bits());
+        }
+        for (a, b) in report.gpu.iter().zip(&reference.gpu) {
+            assert_eq!(a.cycles.to_bits(), b.cycles.to_bits());
+        }
+
+        // A repeat of the same job is pure memo traffic.
+        let (again, stats2) = sched.run(&job(designs, models, 3)).unwrap();
+        assert_eq!(stats2, CellStats { total: 6, memo_hits: 6, coalesced: 0, simulated: 0 });
+        for (a, b) in again.cells.iter().zip(&report.cells) {
+            assert_eq!(a.run.cycles.to_bits(), b.run.cycles.to_bits());
+        }
+        assert_eq!(sched.unique_cells_simulated(), 6);
+        assert_eq!(sched.unique_gpu_refs_simulated(), 2);
+    }
+
+    #[test]
+    fn mismatched_fingerprint_is_never_served_from_memo() {
+        // Two different workloads that share a model name ("SYNTH"): only
+        // the fingerprint tells them apart. Each must get its own cells.
+        let heavy = leak(synth::trace(3, 5, 500_000, 256, true));
+        let light = leak(synth::trace(3, 5, 1_000, 2, true));
+        assert_eq!(heavy.model, light.model, "test premise: same wire name");
+        let designs = vec![Design::itc(), Design::ditto()];
+        let sched = Scheduler::new(2);
+
+        let (r_heavy, s1) = sched
+            .run(&job(designs.clone(), vec![ModelInput { trace: heavy, fingerprint: 0xAAAA }], 0))
+            .unwrap();
+        assert_eq!(s1.simulated, 2);
+        // Same name, different fingerprint: nothing may be reused.
+        let (r_light, s2) = sched
+            .run(&job(designs.clone(), vec![ModelInput { trace: light, fingerprint: 0xBBBB }], 0))
+            .unwrap();
+        assert_eq!(s2, CellStats { total: 2, memo_hits: 0, coalesced: 0, simulated: 2 });
+        assert_eq!(sched.unique_cells_simulated(), 4);
+        assert_eq!(sched.unique_gpu_refs_simulated(), 2);
+
+        // And each report matches its own trace's fresh grid run.
+        for (got, trace) in [(&r_heavy, heavy), (&r_light, light)] {
+            let want = accel::grid::run(&SweepSpec::new(designs.clone(), vec![trace])).unwrap();
+            for (a, b) in got.cells.iter().zip(&want.cells) {
+                assert_eq!(a.run.cycles.to_bits(), b.run.cycles.to_bits());
+            }
+        }
+        // Same fingerprint again: pure hits.
+        let (_, s3) = sched
+            .run(&job(designs, vec![ModelInput { trace: heavy, fingerprint: 0xAAAA }], 0))
+            .unwrap();
+        assert_eq!(s3.memo_hits, 2);
+    }
+
+    #[test]
+    fn validation_errors_match_the_grid_engine() {
+        let trace = leak(synth::trace(2, 3, 10_000, 16, true));
+        let sched = Scheduler::new(1);
+        let empty_designs = job(vec![], vec![ModelInput { trace, fingerprint: 1 }], 0);
+        assert_eq!(
+            sched.run(&empty_designs).unwrap_err(),
+            SchedError::Sweep(SweepError::EmptyDesigns)
+        );
+        let empty_models = job(vec![Design::itc()], vec![], 0);
+        assert_eq!(
+            sched.run(&empty_models).unwrap_err(),
+            SchedError::Sweep(SweepError::EmptyTraces)
+        );
+        let mut degenerate = synth::trace(2, 3, 10_000, 16, true);
+        degenerate.steps.clear();
+        let degenerate = leak(degenerate);
+        let bad =
+            job(vec![Design::itc()], vec![ModelInput { trace: degenerate, fingerprint: 2 }], 0);
+        assert_eq!(
+            sched.run(&bad).unwrap_err(),
+            SchedError::Sweep(SweepError::EmptyTrace { model: "SYNTH".into() })
+        );
+        assert_eq!(sched.unique_cells_simulated(), 0, "invalid jobs submit nothing");
+    }
+
+    #[test]
+    fn failed_memo_entries_are_evicted_so_retries_recompute() {
+        // The panic-containment contract at the memo level: a computing
+        // claimant that fails removes the key before resolving its slot,
+        // so attached waiters see the error but the next claim retries.
+        let memo: Memo<u32, Result<u64, String>> = Memo::new();
+        let Claim::Mine(slot) = memo.claim(&1) else { panic!("first claim owns the slot") };
+        // A concurrent claimant attaches to the in-flight slot.
+        let Claim::InFlight(waiter) = memo.claim(&1) else { panic!("second claim waits") };
+        memo.remove(&1);
+        slot.fulfill(Err("boom".into()));
+        assert_eq!(*waiter.wait(), Err("boom".to_string()), "waiters observe the failure");
+        // The key is free again: the retry computes fresh and sticks.
+        let (v, computed) = memo.get_or_compute(&1, || Ok(99));
+        assert!(computed, "a failed key must be recomputable");
+        assert_eq!(*v, Ok(99));
+        let (v, computed) = memo.get_or_compute(&1, || Ok(11));
+        assert!(!computed);
+        assert_eq!(*v, Ok(99), "the successful value is the one memoized");
+    }
+
+    #[test]
+    fn panic_messages_render_for_str_and_string_payloads() {
+        let p1 = std::panic::catch_unwind(|| panic!("plain str")).unwrap_err();
+        assert_eq!(panic_message(p1), "plain str");
+        let p2 = std::panic::catch_unwind(|| panic!("formatted {}", 7)).unwrap_err();
+        assert_eq!(panic_message(p2), "formatted 7");
+        let p3 = std::panic::catch_unwind(|| std::panic::panic_any(42u32)).unwrap_err();
+        assert_eq!(panic_message(p3), "non-string panic payload");
+    }
+}

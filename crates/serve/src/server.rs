@@ -1,0 +1,430 @@
+//! The non-blocking TCP front-end: a single reactor thread multiplexing
+//! every connection over the [`crate::reactor`], with request execution
+//! handed off to per-request threads so the event loop never blocks on a
+//! simulation.
+//!
+//! Wire format: line-delimited requests in, one response line per request
+//! out, streamed as requests finish (so responses may be reordered —
+//! clients match them by `id`). Partial reads are reassembled by
+//! [`ditto_core::jsonio::LineFramer`]; partial writes are buffered
+//! per-connection and drained on write readiness. A client may pipeline
+//! any number of requests on one connection and may half-close its write
+//! side: the server keeps the connection open until every in-flight
+//! response has been flushed.
+//!
+//! The server is generic over an [`App`] — the protocol handler that turns
+//! one request line into one response line. `ditto-serve` plugs in the
+//! suite-backed [`crate::app::SuiteApp`]; tests plug in synthetic apps.
+
+use std::collections::HashMap;
+use std::io::{self, Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::{AsRawFd, RawFd};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+
+use ditto_core::jsonio::LineFramer;
+
+use crate::reactor::{Backend, Event, Interest, Poller, Waker};
+
+/// A protocol handler: one request line in, one single-line response out.
+/// Called on a dedicated per-request thread, so it may block (the cell
+/// scheduler does).
+pub trait App: Send + Sync + 'static {
+    /// Handles one request line (never empty, no trailing newline) and
+    /// returns the response line (without trailing newline). Must not
+    /// panic on malformed input — parse errors become error responses.
+    fn handle(&self, line: &str) -> String;
+}
+
+impl<F> App for F
+where
+    F: Fn(&str) -> String + Send + Sync + 'static,
+{
+    fn handle(&self, line: &str) -> String {
+        self(line)
+    }
+}
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks a free port (read it back from
+    /// [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Reactor backend; defaults to [`Backend::detect`].
+    pub backend: Backend,
+    /// A connection buffering more than this many bytes without a newline
+    /// is dropped (protocol violation / hostile peer).
+    pub max_line_bytes: usize,
+    /// Backpressure cap: at most this many requests of one connection may
+    /// be in flight at once. Further pipelined lines stay in the read
+    /// buffer and the socket stops being read (TCP pushes back on the
+    /// client) until responses drain — bounding both thread count and
+    /// response-buffer growth for a client that floods or never reads.
+    pub max_pending_per_conn: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            backend: Backend::detect(),
+            max_line_bytes: 16 * 1024 * 1024,
+            max_pending_per_conn: 128,
+        }
+    }
+}
+
+/// A running server: its bound address plus shutdown control. Dropping the
+/// handle shuts the server down and joins the reactor thread.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    backend: Backend,
+    stop: Arc<AtomicBool>,
+    waker: Arc<Waker>,
+    thread: Option<std::thread::JoinHandle<io::Result<()>>>,
+}
+
+impl ServerHandle {
+    /// The actually bound listen address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The reactor backend the server runs on.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// Signals the reactor to stop and joins it. In-flight request threads
+    /// are detached; their responses are dropped with the connections.
+    ///
+    /// # Errors
+    ///
+    /// Propagates a reactor-loop I/O failure.
+    pub fn shutdown(mut self) -> io::Result<()> {
+        self.signal_and_join()
+    }
+
+    /// Blocks until the reactor exits (for the `ditto-serve` binary, that
+    /// is "forever" short of a fatal reactor error or an external signal).
+    ///
+    /// # Errors
+    ///
+    /// Propagates a reactor-loop I/O failure.
+    pub fn join(mut self) -> io::Result<()> {
+        match self.thread.take() {
+            Some(t) => t.join().expect("reactor thread"),
+            None => Ok(()),
+        }
+    }
+
+    fn signal_and_join(&mut self) -> io::Result<()> {
+        self.stop.store(true, Ordering::SeqCst);
+        self.waker.wake();
+        match self.thread.take() {
+            Some(t) => t.join().expect("reactor thread"),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        let _ = self.signal_and_join();
+    }
+}
+
+/// Starts a server for `app` and returns once the listener is bound; the
+/// reactor runs on a background thread until shutdown.
+///
+/// # Errors
+///
+/// Fails if the address cannot be bound or reactor setup fails.
+pub fn spawn(app: Arc<dyn App>, config: ServerConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let mut poller = Poller::new(config.backend)?;
+    let backend = poller.backend();
+    let waker = Arc::new(Waker::new()?);
+    poller.register(listener.as_raw_fd(), Interest::Read)?;
+    poller.register(waker.fd(), Interest::Read)?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let thread = {
+        let stop = Arc::clone(&stop);
+        let waker = Arc::clone(&waker);
+        let max_line = config.max_line_bytes;
+        let max_pending = config.max_pending_per_conn.max(1);
+        std::thread::spawn(move || {
+            Reactor { listener, poller, waker, stop, app, max_line, max_pending }.run()
+        })
+    };
+    Ok(ServerHandle { addr, backend, stop, waker, thread: Some(thread) })
+}
+
+/// Per-connection state.
+struct Conn {
+    id: u64,
+    stream: TcpStream,
+    framer: LineFramer,
+    /// Pending response bytes (drained from `wpos`).
+    wbuf: Vec<u8>,
+    wpos: usize,
+    /// Requests dispatched but not yet answered.
+    pending: usize,
+    /// The peer half-closed (EOF read); stop reading, finish writing.
+    eof: bool,
+    /// Interest currently registered with the poller.
+    interest: Interest,
+}
+
+impl Conn {
+    fn wants_write(&self) -> bool {
+        self.wpos < self.wbuf.len()
+    }
+
+    /// Read only while under the in-flight cap: once `max_pending`
+    /// requests are outstanding the socket goes unread, so TCP flow
+    /// control pushes back on a flooding client.
+    fn desired_interest(&self, max_pending: usize) -> Interest {
+        let want_read = !self.eof && self.pending < max_pending;
+        match (want_read, self.wants_write()) {
+            (true, true) => Interest::ReadWrite,
+            (true, false) => Interest::Read,
+            (false, true) => Interest::Write,
+            (false, false) => Interest::None,
+        }
+    }
+
+    /// Finished when the peer hung up, nothing is buffered for writing, no
+    /// request is still computing, and no backlogged complete line awaits
+    /// dispatch (a trailing partial line can never complete after EOF and
+    /// is discarded).
+    fn done(&self) -> bool {
+        self.eof && !self.wants_write() && self.pending == 0 && !self.framer.has_line()
+    }
+}
+
+struct Reactor {
+    listener: TcpListener,
+    poller: Poller,
+    waker: Arc<Waker>,
+    stop: Arc<AtomicBool>,
+    app: Arc<dyn App>,
+    max_line: usize,
+    max_pending: usize,
+}
+
+impl Reactor {
+    fn run(mut self) -> io::Result<()> {
+        let (done_tx, done_rx) = mpsc::channel::<(u64, String)>();
+        let mut conns: HashMap<RawFd, Conn> = HashMap::new();
+        let mut fd_of: HashMap<u64, RawFd> = HashMap::new();
+        let mut next_id: u64 = 0;
+        let mut events: Vec<Event> = Vec::new();
+        let listener_fd = self.listener.as_raw_fd();
+
+        while !self.stop.load(Ordering::SeqCst) {
+            self.poller.wait(&mut events, -1)?;
+            if self.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let mut touched: Vec<RawFd> = Vec::new();
+            let ready = std::mem::take(&mut events);
+            for &ev in &ready {
+                if ev.fd == listener_fd {
+                    self.accept_all(&mut conns, &mut fd_of, &mut next_id)?;
+                } else if ev.fd == self.waker.fd() {
+                    self.waker.drain();
+                } else if let Some(conn) = conns.get_mut(&ev.fd) {
+                    let mut alive = true;
+                    if ev.readable && !conn.eof {
+                        alive = self.read_conn(conn, &done_tx);
+                    }
+                    if alive && ev.writable && conn.wants_write() {
+                        alive = flush_conn(conn);
+                    }
+                    if alive {
+                        touched.push(ev.fd);
+                    } else {
+                        drop_conn(&mut self.poller, &mut conns, &mut fd_of, ev.fd);
+                    }
+                }
+            }
+            events = ready;
+            // Deliver responses completed by request threads since the
+            // last pass (the waker guarantees we woke up for them).
+            while let Ok((id, response)) = done_rx.try_recv() {
+                let Some(&fd) = fd_of.get(&id) else { continue }; // peer already gone
+                let conn = conns.get_mut(&fd).expect("fd_of and conns agree");
+                conn.pending -= 1;
+                conn.wbuf.extend_from_slice(response.as_bytes());
+                conn.wbuf.push(b'\n');
+                // A drained slot may unblock backlogged pipelined lines.
+                let alive = self.dispatch(conn, &done_tx)
+                    // Opportunistic flush: most responses fit the socket
+                    // buffer, skipping a poll round-trip.
+                    && flush_conn(conn);
+                if alive {
+                    touched.push(fd);
+                } else {
+                    drop_conn(&mut self.poller, &mut conns, &mut fd_of, fd);
+                }
+            }
+            // Re-arm or retire every connection we touched.
+            for fd in touched {
+                let Some(conn) = conns.get(&fd) else { continue };
+                if conn.done() {
+                    drop_conn(&mut self.poller, &mut conns, &mut fd_of, fd);
+                } else {
+                    let want = conn.desired_interest(self.max_pending);
+                    if want != conn.interest {
+                        self.poller.reregister(fd, want)?;
+                        conns.get_mut(&fd).expect("still present").interest = want;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn accept_all(
+        &mut self,
+        conns: &mut HashMap<RawFd, Conn>,
+        fd_of: &mut HashMap<u64, RawFd>,
+        next_id: &mut u64,
+    ) -> io::Result<()> {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    stream.set_nonblocking(true)?;
+                    let _ = stream.set_nodelay(true);
+                    let fd = stream.as_raw_fd();
+                    let id = *next_id;
+                    *next_id += 1;
+                    self.poller.register(fd, Interest::Read)?;
+                    fd_of.insert(id, fd);
+                    conns.insert(
+                        fd,
+                        Conn {
+                            id,
+                            stream,
+                            framer: LineFramer::new(),
+                            wbuf: Vec::new(),
+                            wpos: 0,
+                            pending: 0,
+                            eof: false,
+                            interest: Interest::Read,
+                        },
+                    );
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Reads as much as the in-flight cap allows, dispatching each
+    /// complete line to a request thread. Returns false when the
+    /// connection must be dropped.
+    fn read_conn(&self, conn: &mut Conn, done_tx: &mpsc::Sender<(u64, String)>) -> bool {
+        let mut buf = [0u8; 16 * 1024];
+        while conn.pending < self.max_pending {
+            match conn.stream.read(&mut buf) {
+                Ok(0) => {
+                    conn.eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    conn.framer.push(&buf[..n]);
+                    if !self.dispatch(conn, done_tx) {
+                        return false;
+                    }
+                    // Only a single partial line may exceed the cap: when
+                    // the pending cap stalled dispatch, the residue is
+                    // legitimate backlog, not an unterminated flood.
+                    if conn.pending < self.max_pending && conn.framer.buffered() > self.max_line {
+                        eprintln!(
+                            "[ditto-serve] dropping connection {}: unterminated line over {} bytes",
+                            conn.id, self.max_line
+                        );
+                        return false;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return false,
+            }
+        }
+        true
+    }
+
+    /// Dispatches buffered complete lines up to the in-flight cap. Returns
+    /// false when the connection must be dropped (request threads cannot
+    /// be spawned under resource exhaustion).
+    fn dispatch(&self, conn: &mut Conn, done_tx: &mpsc::Sender<(u64, String)>) -> bool {
+        while conn.pending < self.max_pending {
+            let Some(line) = conn.framer.next_line() else { break };
+            if line.trim().is_empty() {
+                continue;
+            }
+            let app = Arc::clone(&self.app);
+            let tx = done_tx.clone();
+            let waker = Arc::clone(&self.waker);
+            let id = conn.id;
+            let spawned = std::thread::Builder::new().spawn(move || {
+                let response = app.handle(&line);
+                // Reactor gone ⇒ nobody to deliver to.
+                let _ = tx.send((id, response));
+                waker.wake();
+            });
+            match spawned {
+                Ok(_) => conn.pending += 1,
+                Err(e) => {
+                    eprintln!(
+                        "[ditto-serve] dropping connection {}: cannot spawn request thread: {e}",
+                        conn.id
+                    );
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Drains the write buffer as far as the socket allows. Returns false when
+/// the connection must be dropped.
+fn flush_conn(conn: &mut Conn) -> bool {
+    while conn.wants_write() {
+        match conn.stream.write(&conn.wbuf[conn.wpos..]) {
+            Ok(0) => return false,
+            Ok(n) => conn.wpos += n,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return false,
+        }
+    }
+    if !conn.wants_write() {
+        conn.wbuf.clear();
+        conn.wpos = 0;
+    }
+    true
+}
+
+fn drop_conn(
+    poller: &mut Poller,
+    conns: &mut HashMap<RawFd, Conn>,
+    fd_of: &mut HashMap<u64, RawFd>,
+    fd: RawFd,
+) {
+    if let Some(conn) = conns.remove(&fd) {
+        let _ = poller.deregister(fd);
+        fd_of.remove(&conn.id);
+        // `conn.stream` closes here; late responses for `conn.id` find no
+        // fd_of entry and are discarded.
+    }
+}

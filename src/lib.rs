@@ -3,4 +3,5 @@ pub use accel;
 pub use diffusion;
 pub use ditto_core;
 pub use quant;
+pub use serve;
 pub use tensor;
