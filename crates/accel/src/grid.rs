@@ -15,6 +15,13 @@
 //! as JSON, and both the [`ditto_core::binio`] and [`ditto_core::jsonio`]
 //! codecs round-trip it exactly.
 //!
+//! Cells are additionally **kernel-backend-invariant**: the simulator
+//! consumes trace statistics, and the kernel stack that produces traces is
+//! bit-identical across every `tensor::backend` selection, so a report —
+//! and any memo entry the serve scheduler builds from one — never depends
+//! on `DITTO_KERNEL_BACKEND` (asserted end-to-end in the umbrella
+//! `backend_invariance` test and the grid-engine test below).
+//!
 //! # Example
 //!
 //! ```

@@ -70,6 +70,46 @@ fn full_grid_is_bit_identical_to_sequential_nested_loop() {
 }
 
 #[test]
+fn grid_is_deterministic_across_kernel_backends() {
+    // Tracing one real model under every `DITTO_KERNEL_BACKEND` value and
+    // sweeping it must be byte-stable: the kernel backends are
+    // bit-identical, so both the trace and every derived cell metric are
+    // backend-invariant. (The umbrella `backend_invariance` test covers
+    // more models; this one pins the accel-level guarantee.)
+    use tensor::backend::{self, KernelBackend};
+    let initial = backend::active();
+    let designs = vec![Design::itc(), Design::ditto(), Design::diffy()];
+    let mut reference: Option<grid::SweepReport> = None;
+    for b in KernelBackend::available() {
+        backend::set_active(b).unwrap();
+        let model = DiffusionModel::build(ModelKind::Ddpm, ModelScale::Tiny, 42);
+        let trace = trace_model(&model, 0, ExecPolicy::TemporalDelta).expect("trace").0;
+        let report =
+            grid::run(&SweepSpec::new(designs.clone(), vec![&trace])).expect("valid sweep");
+        match &reference {
+            None => reference = Some(report),
+            Some(want) => {
+                for (a, w) in report.cells.iter().zip(&want.cells) {
+                    assert_eq!(
+                        a.run.cycles.to_bits(),
+                        w.run.cycles.to_bits(),
+                        "backend {b}: {} cycles drifted",
+                        a.run.design
+                    );
+                    assert_eq!(a.run.energy.total().to_bits(), w.run.energy.total().to_bits());
+                    assert_eq!(a.run.dram_bytes.to_bits(), w.run.dram_bytes.to_bits());
+                    assert_eq!(a.speedup_vs_gpu.to_bits(), w.speedup_vs_gpu.to_bits());
+                }
+                for (a, w) in report.gpu.iter().zip(&want.gpu) {
+                    assert_eq!(a.cycles.to_bits(), w.cycles.to_bits());
+                }
+            }
+        }
+    }
+    backend::set_active(initial).unwrap();
+}
+
+#[test]
 fn grid_is_deterministic_across_worker_counts() {
     // Synthetic traces keep this fast; the point is scheduling, not models.
     use accel::sim::synth;

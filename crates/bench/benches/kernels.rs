@@ -1,22 +1,23 @@
 //! Criterion micro-benchmarks of the integer kernels the Ditto algorithm
 //! is built on: dense A8W8 matmul vs the three-stage temporal-difference
 //! update at varying delta sparsity, the Encoding Unit's classification
-//! pass, im2col lowering, and — since the tiled-kernel rewrite —
-//! scalar-vs-tiled comparison points at the im2col shapes the UNet models
-//! actually produce, plus binary-vs-JSON trace-cache decoding.
+//! pass, im2col lowering, scalar-vs-tiled-vs-simd backend comparison
+//! points at the im2col shapes the UNet models actually produce (one
+//! point per `tensor::KernelBackend` on the kernels it accelerates), and
+//! binary-vs-JSON trace-cache decoding.
 //!
 //! These measure *host* (simulation) performance of the library, not the
 //! modeled accelerator — they document that the delta path's zero-skipping
-//! also pays off in software, and that the tiled kernels beat the scalar
-//! references they are bit-identical to (identity asserted in the bench
-//! setup below).
+//! also pays off in software, and that each faster backend beats the
+//! scalar references it is bit-identical to (identity asserted in the
+//! bench setup below).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use quant::kernels::{delta_matmul_update, int_matmul, reference, widen};
+use quant::kernels::{delta_matmul_update_with, int_matmul, int_matmul_with, reference, widen};
 use quant::BitWidthHistogram;
 use std::hint::black_box;
 use tensor::ops::{self, Conv2dParams};
-use tensor::{Rng, Tensor};
+use tensor::{KernelBackend, Rng, Tensor};
 
 const M: usize = 64;
 const K: usize = 256;
@@ -42,6 +43,12 @@ fn sparse_deltas(n: usize, zero_frac: f64, rng: &mut Rng) -> Vec<i16> {
         .collect()
 }
 
+/// The backends compared by every scalar-vs-tiled-vs-simd point (simd is
+/// skipped gracefully on hosts without intrinsics).
+fn backend_axis() -> Vec<KernelBackend> {
+    KernelBackend::available()
+}
+
 fn bench_matmul(c: &mut Criterion) {
     let mut rng = Rng::seed_from(1);
     let a = rand_i8(M * K, &mut rng);
@@ -54,49 +61,80 @@ fn bench_matmul(c: &mut Criterion) {
     let prev_out = int_matmul(&widen(&a), &w, M, K, N);
     for zero_frac in [0.0, 0.5, 0.9] {
         let deltas = sparse_deltas(M * K, zero_frac, &mut rng);
-        g.bench_with_input(
-            BenchmarkId::new("delta_update", format!("{:.0}%zero", zero_frac * 100.0)),
-            &deltas,
-            |b, d| b.iter(|| delta_matmul_update(black_box(&prev_out), black_box(d), &w, M, K, N)),
-        );
+        // The acceptance shape for the explicit-SIMD backend: one point
+        // per backend at each sparsity, bit-identity asserted first.
+        for backend in backend_axis() {
+            assert_eq!(
+                delta_matmul_update_with(backend, &prev_out, &deltas, &w, M, K, N),
+                reference::delta_matmul_update(&prev_out, &deltas, &w, M, K, N),
+                "{backend} delta update must be bit-identical to the reference"
+            );
+            g.bench_with_input(
+                BenchmarkId::new(
+                    format!("delta_update_{backend}"),
+                    format!("{:.0}%zero", zero_frac * 100.0),
+                ),
+                &deltas,
+                |b, d| {
+                    b.iter(|| {
+                        delta_matmul_update_with(
+                            backend,
+                            black_box(&prev_out),
+                            black_box(d),
+                            &w,
+                            M,
+                            K,
+                            N,
+                        )
+                    })
+                },
+            );
+        }
     }
     g.finish();
 }
 
-/// Scalar-vs-tiled integer matmul at the UNet im2col shapes. Bit-identity
-/// is asserted before timing: the tiled kernel must be a pure speedup.
-fn bench_int_matmul_scalar_vs_tiled(c: &mut Criterion) {
+/// Scalar-vs-tiled-vs-simd integer matmul at the UNet im2col shapes.
+/// Bit-identity is asserted before timing: every backend must be a pure
+/// speedup.
+fn bench_int_matmul_backends(c: &mut Criterion) {
     let mut rng = Rng::seed_from(7);
     let mut g = c.benchmark_group("int_matmul_unet");
     for &(m, k, n) in &UNET_SHAPES {
         let a = widen(&rand_i8(m * k, &mut rng));
         let w = rand_i8(k * n, &mut rng);
-        assert_eq!(
-            int_matmul(&a, &w, m, k, n),
-            reference::int_matmul(&a, &w, m, k, n),
-            "tiled int_matmul must be bit-identical to the scalar reference"
-        );
+        let want = reference::int_matmul(&a, &w, m, k, n);
         let label = format!("{m}x{k}x{n}");
-        g.bench_with_input(BenchmarkId::new("scalar", &label), &(), |b, ()| {
-            b.iter(|| reference::int_matmul(black_box(&a), black_box(&w), m, k, n))
-        });
-        g.bench_with_input(BenchmarkId::new("tiled", &label), &(), |b, ()| {
-            b.iter(|| int_matmul(black_box(&a), black_box(&w), m, k, n))
-        });
         // The delta path at realistic temporal sparsity (Fig. 5: most
-        // deltas are zero or 4-bit), two-pass scalar vs fused tiled.
+        // deltas are zero or 4-bit); scalar runs the two-pass reference.
         let deltas = sparse_deltas(m * k, 0.7, &mut rng);
-        let prev = reference::int_matmul(&a, &w, m, k, n);
-        assert_eq!(
-            delta_matmul_update(&prev, &deltas, &w, m, k, n),
-            reference::delta_matmul_update(&prev, &deltas, &w, m, k, n),
-            "fused delta update must be bit-identical to the two-pass reference"
-        );
+        let want_delta = reference::delta_matmul_update(&want, &deltas, &w, m, k, n);
+        for backend in backend_axis() {
+            assert_eq!(
+                int_matmul_with(backend, &a, &w, m, k, n),
+                want,
+                "{backend} int_matmul must be bit-identical to the scalar reference"
+            );
+            assert_eq!(
+                delta_matmul_update_with(backend, &want, &deltas, &w, m, k, n),
+                want_delta,
+                "{backend} delta update must be bit-identical to the two-pass reference"
+            );
+            g.bench_with_input(BenchmarkId::new(backend.name(), &label), &(), |b, ()| {
+                b.iter(|| int_matmul_with(backend, black_box(&a), black_box(&w), m, k, n))
+            });
+            g.bench_with_input(
+                BenchmarkId::new(format!("delta_{backend}_fused"), &label),
+                &(),
+                |b, ()| {
+                    b.iter(|| {
+                        delta_matmul_update_with(backend, black_box(&want), &deltas, &w, m, k, n)
+                    })
+                },
+            );
+        }
         g.bench_with_input(BenchmarkId::new("delta_scalar_2pass", &label), &(), |b, ()| {
-            b.iter(|| reference::delta_matmul_update(black_box(&prev), &deltas, &w, m, k, n))
-        });
-        g.bench_with_input(BenchmarkId::new("delta_tiled_fused", &label), &(), |b, ()| {
-            b.iter(|| delta_matmul_update(black_box(&prev), &deltas, &w, m, k, n))
+            b.iter(|| reference::delta_matmul_update(black_box(&want), &deltas, &w, m, k, n))
         });
     }
     g.finish();
@@ -189,7 +227,7 @@ fn bench_quantize(c: &mut Criterion) {
 criterion_group!(
     name = kernels;
     config = Criterion::default().sample_size(20);
-    targets = bench_matmul, bench_int_matmul_scalar_vs_tiled, bench_f32_matmul_scalar_vs_tiled,
+    targets = bench_matmul, bench_int_matmul_backends, bench_f32_matmul_scalar_vs_tiled,
         bench_encoder, bench_im2col_and_conv, bench_trace_decode, bench_quantize
 );
 criterion_main!(kernels);

@@ -54,6 +54,12 @@ fn handle(line: &str) -> (String, bool) {
     match parse_request(line) {
         Err(e) => (sweep::response_err(&sweep::request_id(line), &e), false),
         Ok(req) => {
+            // Backend override first, so tracing runs on the requested
+            // backend (results are backend-invariant either way).
+            let backend = match sweep::apply_backend(req.backend) {
+                Ok(b) => b,
+                Err(e) => return (sweep::response_err(&req.id, &e), false),
+            };
             // Loading may warm the suite; the credit for reporting the
             // warm-up is claimed only by a successful response, so a
             // failing warmer does not swallow the stats.
@@ -63,9 +69,54 @@ fn handle(line: &str) -> (String, bool) {
                     let hits = HitAccounting::all_simulated(report.cells.len())
                         .with_suite(suite, Suite::take_warm_credit(req.sweep.scale));
                     eprintln!("[serve] {}: {}", req.id, sweep_summary(&report));
-                    (sweep::response_ok(&req.id, &report, &hits), true)
+                    (sweep::response_ok(&req.id, &report, &hits, backend), true)
                 }
                 Err(e) => (sweep::response_err(&req.id, &e.to_string()), false),
+            }
+        }
+    }
+}
+
+/// Top-level response fields this client version understands. Anything
+/// else on the wire means the server speaks a newer protocol: the line is
+/// still relayed verbatim, but the skew is reported on stderr instead of
+/// being silently dropped.
+const KNOWN_RESPONSE_FIELDS: &[&str] = &[
+    "id",
+    "ok",
+    "proto",
+    "backend",
+    "error",
+    "cache_hits",
+    "cells",
+    "suite",
+    "best_design",
+    "geomean",
+    "report",
+];
+
+/// Warns (once per field name / once for a proto mismatch) about
+/// server/client version skew visible in a response line.
+fn warn_on_version_skew(v: &jsonio::Value, warned: &mut std::collections::BTreeSet<String>) {
+    let server_proto = match v.get("proto") {
+        Ok(Value::Int(p)) => *p,
+        _ => 1, // pre-versioning servers carry no `proto` field
+    };
+    if server_proto > sweep::PROTO_VERSION.into() && warned.insert("__proto".into()) {
+        eprintln!(
+            "[serve] server speaks protocol v{server_proto}, this client understands \
+             v{} — responses are relayed verbatim but may carry fields this client \
+             ignores",
+            sweep::PROTO_VERSION
+        );
+    }
+    if let Value::Obj(fields) = v {
+        for (key, _) in fields {
+            if !KNOWN_RESPONSE_FIELDS.contains(&key.as_str()) && warned.insert(key.clone()) {
+                eprintln!(
+                    "[serve] response field `{key}` is not understood by this client \
+                     (server proto v{server_proto}); upgrade the client to interpret it"
+                );
             }
         }
     }
@@ -82,6 +133,7 @@ fn run_client(addr: &str, input: Box<dyn BufRead>) -> (usize, usize) {
         let mut framer = LineFramer::new();
         let mut buf = [0u8; 16 * 1024];
         let (mut ok, mut err) = (0usize, 0usize);
+        let mut skew_warned = std::collections::BTreeSet::new();
         loop {
             let n = match stream.read(&mut buf) {
                 Ok(0) => break,
@@ -94,9 +146,15 @@ fn run_client(addr: &str, input: Box<dyn BufRead>) -> (usize, usize) {
                 if line.trim().is_empty() {
                     continue;
                 }
-                match jsonio::parse(line.as_bytes()).ok().and_then(|v| v.get("ok").ok().cloned()) {
-                    Some(Value::Bool(true)) => ok += 1,
-                    _ => err += 1,
+                match jsonio::parse(line.as_bytes()) {
+                    Ok(v) => {
+                        warn_on_version_skew(&v, &mut skew_warned);
+                        match v.get("ok") {
+                            Ok(Value::Bool(true)) => ok += 1,
+                            _ => err += 1,
+                        }
+                    }
+                    Err(_) => err += 1,
                 }
                 print_line(&line);
             }

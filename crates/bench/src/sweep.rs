@@ -27,8 +27,19 @@ use accel::grid::{self, SweepError, SweepReport, SweepSpec};
 use diffusion::{ModelKind, ModelScale};
 use ditto_core::jsonio::{self, ToJson, Value};
 use ditto_core::trace::WorkloadTrace;
+use tensor::KernelBackend;
 
 use crate::suite::{Suite, MODELS};
+
+/// Version of the serve wire protocol, carried in every response's
+/// `proto` field so clients can detect server/client skew instead of
+/// silently dropping fields they do not understand.
+///
+/// * **1** — the pre-versioning protocol (no `proto` field on the wire;
+///   clients treat its absence as version 1).
+/// * **2** — adds `proto`, the `backend` request/response field (kernel
+///   backend selection), and `cells.evictions` (serve memo LRU).
+pub const PROTO_VERSION: i64 = 2;
 
 /// One declarative sweep: which designs, which models, at which scale.
 #[derive(Debug, Clone)]
@@ -97,6 +108,13 @@ pub struct ServeRequest {
     /// Defaults to 0. Best-effort — already-running cells are never
     /// preempted, and results are bit-identical regardless of order.
     pub priority: i64,
+    /// Optional kernel-backend override (`"scalar"`/`"tiled"`/`"simd"`),
+    /// applied process-wide before the sweep runs. Purely a performance
+    /// knob: every backend is bit-identical, so responses (and the serve
+    /// memo, whose keys contain nothing backend-dependent) never change —
+    /// only the speed of any tracing the request triggers does. `None`
+    /// keeps the server's current backend.
+    pub backend: Option<KernelBackend>,
 }
 
 fn parse_scale(s: &str) -> Result<ModelScale, String> {
@@ -175,7 +193,33 @@ pub fn parse_request(line: &str) -> Result<ServeRequest, String> {
         Ok(_) => return Err("`priority` must be an integer".into()),
         Err(_) => 0,
     };
-    Ok(ServeRequest { id, sweep: SweepRequest::new(designs, models, scale), priority })
+    let backend = match v.get("backend") {
+        Ok(Value::Str(s)) => Some(KernelBackend::parse(s).ok_or_else(|| {
+            format!("unknown backend `{s}` (expected `scalar`, `tiled`, or `simd`)")
+        })?),
+        Ok(_) => return Err("`backend` must be a string".into()),
+        Err(_) => None,
+    };
+    Ok(ServeRequest { id, sweep: SweepRequest::new(designs, models, scale), priority, backend })
+}
+
+/// Applies a request's backend override (no-op for `None`) and returns
+/// the backend the request resolved to — the override itself, or the
+/// process-wide backend captured *now* (so the response can echo it even
+/// if a concurrent request's override changes the global later).
+///
+/// # Errors
+///
+/// Returns a response-ready message when the named backend is not
+/// available on this host (e.g. `simd` off x86).
+pub fn apply_backend(backend: Option<KernelBackend>) -> Result<KernelBackend, String> {
+    match backend {
+        None => Ok(tensor::backend::active()),
+        Some(b) => {
+            tensor::backend::set_active(b).map_err(|e| e.to_string())?;
+            Ok(b)
+        }
+    }
 }
 
 /// Best-effort id extraction from a (possibly malformed) request line, so
@@ -223,6 +267,12 @@ pub struct HitAccounting {
     pub cells_coalesced: usize,
     /// Cells this request simulated itself (first toucher).
     pub cells_simulated: usize,
+    /// Completed memo entries aged out of the bounded memo table
+    /// (`DITTO_MEMO_MAX_CELLS` LRU) by this request's cap sweeps;
+    /// approximate under overlapping requests (a sweep may age out cells
+    /// another request completed). 0 when the table is unbounded, and
+    /// not part of the `cells_total` partition.
+    pub cells_evicted: usize,
     /// Whether this request is the one that triggered the shared suite
     /// load for its scale (true for at most one request per scale per
     /// process).
@@ -263,10 +313,19 @@ fn obj(fields: Vec<(&str, Value)>) -> Value {
     Value::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
 }
 
-/// Renders a successful response line: the request id, per-request cache
-/// accounting, summary aggregations, and the full serialized report. See
-/// the README protocol spec for the field-by-field schema.
-pub fn response_ok(id: &str, report: &SweepReport, hits: &HitAccounting) -> String {
+/// Renders a successful response line: the request id, protocol version,
+/// the kernel backend the request resolved to (its own override, or the
+/// process backend captured when the request applied it — not a re-read
+/// of the global, which a concurrent request's override could have
+/// changed by render time), per-request cache accounting, summary
+/// aggregations, and the full serialized report. See the README protocol
+/// spec for the field-by-field schema.
+pub fn response_ok(
+    id: &str,
+    report: &SweepReport,
+    hits: &HitAccounting,
+    backend: KernelBackend,
+) -> String {
     let best: Vec<Value> = report
         .models
         .iter()
@@ -291,6 +350,7 @@ pub fn response_ok(id: &str, report: &SweepReport, hits: &HitAccounting) -> Stri
         ("memo_hits", hits.cells_memo.to_json()),
         ("coalesced", hits.cells_coalesced.to_json()),
         ("simulated", hits.cells_simulated.to_json()),
+        ("evictions", hits.cells_evicted.to_json()),
     ]);
     let suite = obj(vec![
         ("warmed_by_this_request", hits.suite_warmed.to_json()),
@@ -300,6 +360,8 @@ pub fn response_ok(id: &str, report: &SweepReport, hits: &HitAccounting) -> Stri
     let v = obj(vec![
         ("id", Value::Str(id.to_string())),
         ("ok", Value::Bool(true)),
+        ("proto", Value::Int(PROTO_VERSION.into())),
+        ("backend", Value::Str(backend.name().to_string())),
         ("cache_hits", hits.process_suite_hits.to_json()),
         ("cells", cells),
         ("suite", suite),
@@ -310,11 +372,12 @@ pub fn response_ok(id: &str, report: &SweepReport, hits: &HitAccounting) -> Stri
     String::from_utf8(jsonio::to_vec(&v)).expect("jsonio writes UTF-8")
 }
 
-/// Renders a failure response line.
+/// Renders a failure response line (versioned like [`response_ok`]).
 pub fn response_err(id: &str, error: &str) -> String {
     let v = obj(vec![
         ("id", Value::Str(id.to_string())),
         ("ok", Value::Bool(false)),
+        ("proto", Value::Int(PROTO_VERSION.into())),
         ("error", Value::Str(error.to_string())),
     ]);
     String::from_utf8(jsonio::to_vec(&v)).expect("jsonio writes UTF-8")
@@ -394,22 +457,26 @@ mod tests {
             cells_memo: 1,
             cells_coalesced: 0,
             cells_simulated: 1,
+            cells_evicted: 3,
             suite_warmed: true,
             suite_cache_hits: 7,
             suite_fresh: 0,
             process_suite_hits: 7,
         };
-        let ok = response_ok("r9", &report, &hits);
+        let ok = response_ok("r9", &report, &hits, KernelBackend::Tiled);
         assert!(!ok.contains('\n'));
         let v = jsonio::parse(ok.as_bytes()).unwrap();
         assert_eq!(v.get("id").unwrap(), &Value::Str("r9".into()));
         assert_eq!(v.get("ok").unwrap(), &Value::Bool(true));
+        assert_eq!(v.get("proto").unwrap(), &Value::Int(PROTO_VERSION.into()));
+        assert_eq!(v.get("backend").unwrap(), &Value::Str("tiled".into()));
         assert_eq!(v.get("cache_hits").unwrap(), &Value::Int(7));
         let cells = v.get("cells").unwrap();
         assert_eq!(cells.get("total").unwrap(), &Value::Int(2));
         assert_eq!(cells.get("memo_hits").unwrap(), &Value::Int(1));
         assert_eq!(cells.get("coalesced").unwrap(), &Value::Int(0));
         assert_eq!(cells.get("simulated").unwrap(), &Value::Int(1));
+        assert_eq!(cells.get("evictions").unwrap(), &Value::Int(3));
         let suite = v.get("suite").unwrap();
         assert_eq!(suite.get("warmed_by_this_request").unwrap(), &Value::Bool(true));
         assert_eq!(suite.get("trace_cache_hits").unwrap(), &Value::Int(7));
@@ -423,6 +490,41 @@ mod tests {
         let err = response_err("r9", "boom");
         let v = jsonio::parse(err.as_bytes()).unwrap();
         assert_eq!(v.get("ok").unwrap(), &Value::Bool(false));
+        assert_eq!(v.get("proto").unwrap(), &Value::Int(PROTO_VERSION.into()));
         assert_eq!(v.get("error").unwrap(), &Value::Str("boom".into()));
+    }
+
+    #[test]
+    fn parse_backend_field() {
+        let r = parse_request(r#"{"id":"b","backend":"simd","scale":"tiny"}"#).unwrap();
+        assert_eq!(r.backend, Some(KernelBackend::Simd));
+        let r = parse_request(r#"{"id":"b","backend":"SCALAR"}"#).unwrap();
+        assert_eq!(r.backend, Some(KernelBackend::Scalar));
+        let r = parse_request(r#"{"id":"b"}"#).unwrap();
+        assert_eq!(r.backend, None);
+        assert!(parse_request(r#"{"id":"b","backend":"warp9"}"#)
+            .unwrap_err()
+            .contains("unknown backend"));
+        assert!(parse_request(r#"{"id":"b","backend":7}"#)
+            .unwrap_err()
+            .contains("must be a string"));
+    }
+
+    #[test]
+    fn apply_backend_is_noop_for_none_and_switches_for_some() {
+        // `None` resolves to (and reports) the current process backend.
+        assert_eq!(apply_backend(None), Ok(tensor::backend::active()));
+        // Available backends apply cleanly; results are bit-identical so
+        // flipping the process-wide selection here cannot affect other
+        // tests. Restore the default afterwards anyway.
+        let initial = tensor::backend::active();
+        for b in KernelBackend::available() {
+            assert_eq!(apply_backend(Some(b)), Ok(b));
+            assert_eq!(tensor::backend::active(), b);
+        }
+        if !KernelBackend::Simd.is_available() {
+            assert!(apply_backend(Some(KernelBackend::Simd)).unwrap_err().contains("simd"));
+        }
+        tensor::backend::set_active(initial).unwrap();
     }
 }

@@ -16,6 +16,14 @@
 //! 4. records the [`WorkloadTrace`] of per-layer, per-step bit-width
 //!    histograms that drives every analysis figure and the hardware
 //!    simulator.
+//!
+//! The integer kernels the hook drives (`quant::kernels::*`) dispatch
+//! through the pluggable kernel-backend layer (`tensor::backend`:
+//! scalar / tiled / explicit-SIMD). Backends are bit-identical, so traces
+//! and samples — and therefore the trace cache, whose fingerprints cover
+//! only the model definition — are backend-invariant; selecting a backend
+//! (`DITTO_KERNEL_BACKEND` or the serve protocol's `backend` field) only
+//! changes tracing speed.
 
 use std::collections::HashMap;
 

@@ -10,6 +10,12 @@
 //! * [`LinearHook::observe`] sees every node's operands and output — this is
 //!   how activation statistics (similarity, value ranges, delta histograms)
 //!   are collected without storing whole traces.
+//!
+//! All tensor compute (`ops::{matmul, matvec, conv2d}`) dispatches through
+//! the pluggable kernel-backend layer (`tensor::backend`); because every
+//! backend is bit-identical, executor outputs — and everything derived
+//! from them (calibration, traces, golden figures) — never depend on the
+//! selected backend, only their speed does.
 
 use crate::embed::timestep_embedding;
 use crate::graph::{LayerGraph, Node};

@@ -6,14 +6,27 @@
 //! activation operand is taken in the `i16` difference domain so the same
 //! kernel serves dense (`i8` widened) and delta execution.
 //!
-//! The hot kernels are register-tiled: [`MR`] activation rows share each
-//! streamed weight row from L1 and their `i32` accumulator rows stay
-//! cache-resident across the depth loop, while the per-row zero-skip fast
-//! path of delta execution is preserved. `i32` addition is associative
-//! (wrapping), and the tiling keeps each output element's products in
-//! ascending-`k` order anyway, so results are bit-identical to the scalar
-//! loops — which remain available in [`reference`] and are asserted
-//! equivalent in tests and bench setup.
+//! Every public kernel is a thin dispatcher over the pluggable
+//! [`tensor::backend`] layer ([`tensor::KernelBackend`]):
+//!
+//! * **Scalar** runs the pre-tiling loops kept verbatim in [`reference`];
+//! * **Tiled** (the default without SIMD) register-tiles [`MR`]
+//!   activation rows so each streamed weight row is reused from L1 while
+//!   the `i32` accumulator rows stay cache-resident across the depth
+//!   loop;
+//! * **Simd** runs explicit AVX2/SSE2 intrinsics ([`simd`]) that fold two
+//!   non-zero activation rows per `vpmaddwd` pass.
+//!
+//! All three are **bit-identical**: `i32` addition is associative
+//! (wrapping), so any accumulation order reproduces the scalar sums
+//! exactly, and the per-row zero-skip fast path of delta execution is
+//! preserved everywhere. The equivalence is asserted in tests, the
+//! cross-backend property matrix (`tests/props.rs`), and bench setup.
+//! Pin a backend explicitly with the `*_with` variants.
+
+pub mod simd;
+
+use tensor::backend::{self, KernelBackend};
 
 /// Activation rows processed together by the tiled kernels. Each `B`/weight
 /// row streamed from memory is reused `MR` times, and the `MR` live `i32`
@@ -26,13 +39,76 @@ const MR: usize = 4;
 /// wrapping addition is associative), so this is purely a perf dispatch.
 const B_ELEMS_BLOCK_THRESHOLD: usize = 1 << 14;
 
+/// Dispatches one accumulation pass to the chosen backend: `out [m,n] +=
+/// a [m,k] × b [k,n]` with zero activations skipped on every path.
+fn accumulate_i8(
+    backend: KernelBackend,
+    out: &mut [i32],
+    a: &[i16],
+    b: &[i8],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    match backend {
+        KernelBackend::Scalar => accumulate_scalar(out, a, b, m, k, n),
+        KernelBackend::Tiled => accumulate_tiled(out, a, b, m, k, n),
+        KernelBackend::Simd => simd::accumulate_i8(out, a, b, m, k, n),
+    }
+}
+
+/// [`accumulate_i8`] for `i16` weight operands (attention scores).
+fn accumulate_i16(
+    backend: KernelBackend,
+    out: &mut [i32],
+    a: &[i16],
+    b: &[i16],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    match backend {
+        KernelBackend::Scalar => accumulate_scalar(out, a, b, m, k, n),
+        KernelBackend::Tiled => accumulate_tiled(out, a, b, m, k, n),
+        KernelBackend::Simd => simd::accumulate_i16(out, a, b, m, k, n),
+    }
+}
+
+/// The scalar-backend accumulation: the original streaming `ikj` loop
+/// (the same order [`reference`] keeps for the public reference kernels).
+fn accumulate_scalar<W: Copy + Into<i32>>(
+    out: &mut [i32],
+    a: &[i16],
+    b: &[W],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    debug_assert_eq!(out.len(), m * n);
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    for i in 0..m {
+        for kk in 0..k {
+            let av = a[i * k + kk] as i32;
+            if av == 0 {
+                continue;
+            }
+            let brow = &b[kk * n..(kk + 1) * n];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for j in 0..n {
+                orow[j] += av * brow[j].into();
+            }
+        }
+    }
+}
+
 /// Accumulates `a [m,k] × b [k,n]` on top of `out [m,n]` with `i32`
 /// accumulation, register-tiled over [`MR`] rows, skipping zero activation
 /// values (the delta fast path).
 ///
 /// Generic over the weight element (`i8` dense weights, `i16` attention
 /// operands) so both monomorphize to the same tiled loop nest.
-fn accumulate_matmul<W: Copy + Into<i32>>(
+pub(crate) fn accumulate_tiled<W: Copy + Into<i32>>(
     out: &mut [i32],
     a: &[i16],
     b: &[W],
@@ -78,16 +154,34 @@ fn accumulate_matmul<W: Copy + Into<i32>>(
     }
 }
 
-/// Dense integer matmul: `a [m,k] (i16 domain) × w [k,n] (i8) → i32 [m,n]`.
+/// Dense integer matmul: `a [m,k] (i16 domain) × w [k,n] (i8) → i32 [m,n]`
+/// on the process-wide active backend.
 ///
 /// # Panics
 ///
 /// Panics if slice lengths are inconsistent with the given dimensions.
 pub fn int_matmul(a: &[i16], w: &[i8], m: usize, k: usize, n: usize) -> Vec<i32> {
+    int_matmul_with(backend::active(), a, w, m, k, n)
+}
+
+/// [`int_matmul`] on an explicit backend (bit-identical for every
+/// backend).
+///
+/// # Panics
+///
+/// Panics if slice lengths are inconsistent with the given dimensions.
+pub fn int_matmul_with(
+    backend: KernelBackend,
+    a: &[i16],
+    w: &[i8],
+    m: usize,
+    k: usize,
+    n: usize,
+) -> Vec<i32> {
     assert_eq!(a.len(), m * k, "activation length");
     assert_eq!(w.len(), k * n, "weight length");
     let mut out = vec![0i32; m * n];
-    accumulate_matmul(&mut out, a, w, m, k, n);
+    accumulate_i8(backend, &mut out, a, w, m, k, n);
     out
 }
 
@@ -115,11 +209,29 @@ pub fn delta_matmul_update(
     k: usize,
     n: usize,
 ) -> Vec<i32> {
+    delta_matmul_update_with(backend::active(), prev_out, delta, w, m, k, n)
+}
+
+/// [`delta_matmul_update`] on an explicit backend (bit-identical for
+/// every backend).
+///
+/// # Panics
+///
+/// Panics on inconsistent dimensions.
+pub fn delta_matmul_update_with(
+    backend: KernelBackend,
+    prev_out: &[i32],
+    delta: &[i16],
+    w: &[i8],
+    m: usize,
+    k: usize,
+    n: usize,
+) -> Vec<i32> {
     assert_eq!(prev_out.len(), m * n, "previous output length");
     assert_eq!(delta.len(), m * k, "delta length");
     assert_eq!(w.len(), k * n, "weight length");
     let mut out = prev_out.to_vec();
-    accumulate_matmul(&mut out, delta, w, m, k, n);
+    accumulate_i8(backend, &mut out, delta, w, m, k, n);
     out
 }
 
@@ -148,6 +260,27 @@ pub fn attention_delta_scores(
     d: usize,
     n: usize,
 ) -> Vec<i32> {
+    attention_delta_scores_with(backend::active(), prev_scores, q_t, dq, k_prev_t, dk_t, m, d, n)
+}
+
+/// [`attention_delta_scores`] on an explicit backend (bit-identical for
+/// every backend).
+///
+/// # Panics
+///
+/// Panics on inconsistent dimensions.
+#[allow(clippy::too_many_arguments)]
+pub fn attention_delta_scores_with(
+    backend: KernelBackend,
+    prev_scores: &[i32],
+    q_t: &[i16],
+    dq: &[i16],
+    k_prev_t: &[i16],
+    dk_t: &[i16],
+    m: usize,
+    d: usize,
+    n: usize,
+) -> Vec<i32> {
     assert_eq!(prev_scores.len(), m * n);
     assert_eq!(q_t.len(), m * d);
     assert_eq!(dq.len(), m * d);
@@ -155,23 +288,44 @@ pub fn attention_delta_scores(
     assert_eq!(dk_t.len(), d * n);
     let mut out = prev_scores.to_vec();
     // Q_t · ΔK^T
-    accumulate_matmul(&mut out, q_t, dk_t, m, d, n);
+    accumulate_i16(backend, &mut out, q_t, dk_t, m, d, n);
     // ΔQ · K_{t+1}^T
-    accumulate_matmul(&mut out, dq, k_prev_t, m, d, n);
+    accumulate_i16(backend, &mut out, dq, k_prev_t, m, d, n);
     out
 }
 
 /// Reference dense score computation `Q · Kᵀ` in the integer domain.
 pub fn int_scores(q: &[i16], k_t: &[i16], m: usize, d: usize, n: usize) -> Vec<i32> {
+    int_scores_with(backend::active(), q, k_t, m, d, n)
+}
+
+/// [`int_scores`] on an explicit backend (bit-identical for every
+/// backend).
+///
+/// # Panics
+///
+/// Panics on inconsistent dimensions.
+pub fn int_scores_with(
+    backend: KernelBackend,
+    q: &[i16],
+    k_t: &[i16],
+    m: usize,
+    d: usize,
+    n: usize,
+) -> Vec<i32> {
     assert_eq!(q.len(), m * d);
     assert_eq!(k_t.len(), d * n);
     let mut out = vec![0i32; m * n];
-    accumulate_matmul(&mut out, q, k_t, m, d, n);
+    accumulate_i16(backend, &mut out, q, k_t, m, d, n);
     out
 }
 
-/// The pre-tiling scalar kernels, kept verbatim as the bit-identity ground
-/// truth for tests and the scalar-vs-tiled benchmark comparisons.
+/// The pre-tiling scalar kernels — the bit-identity ground truth for
+/// tests and the backend benchmark comparisons. The load-bearing `ikj`
+/// zero-skip loop itself lives in one place (the parent module's
+/// `accumulate_scalar`, which is also exactly what the `Scalar` backend
+/// dispatches to), so the reference and the scalar backend can never
+/// drift apart.
 pub mod reference {
     /// Scalar dense integer matmul (the original `ikj` loop).
     ///
@@ -182,19 +336,7 @@ pub mod reference {
         assert_eq!(a.len(), m * k, "activation length");
         assert_eq!(w.len(), k * n, "weight length");
         let mut out = vec![0i32; m * n];
-        for i in 0..m {
-            for kk in 0..k {
-                let av = a[i * k + kk] as i32;
-                if av == 0 {
-                    continue;
-                }
-                let wrow = &w[kk * n..(kk + 1) * n];
-                let orow = &mut out[i * n..(i + 1) * n];
-                for j in 0..n {
-                    orow[j] += av * wrow[j] as i32;
-                }
-            }
-        }
+        super::accumulate_scalar(&mut out, a, w, m, k, n);
         out
     }
 
@@ -227,19 +369,7 @@ pub mod reference {
         k: usize,
         n: usize,
     ) {
-        for i in 0..m {
-            for kk in 0..k {
-                let av = a[i * k + kk] as i32;
-                if av == 0 {
-                    continue;
-                }
-                let brow = &b[kk * n..(kk + 1) * n];
-                let orow = &mut out[i * n..(i + 1) * n];
-                for j in 0..n {
-                    orow[j] += av * brow[j] as i32;
-                }
-            }
-        }
+        super::accumulate_scalar(out, a, b, m, k, n);
     }
 }
 
@@ -298,10 +428,46 @@ mod tests {
             );
             let b = rand_i16(k * n, &mut rng);
             let mut tiled = prev.clone();
-            accumulate_matmul(&mut tiled, &a, &b, m, k, n);
+            accumulate_tiled(&mut tiled, &a, &b, m, k, n);
             let mut scalar = prev.clone();
             reference::accumulate_i16_matmul(&mut scalar, &a, &b, m, k, n);
             assert_eq!(tiled, scalar, "tiled i16 accumulate diverged at {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn every_backend_matches_reference_bitwise() {
+        // The backend seam's core contract: scalar, tiled, and simd produce
+        // the same bytes for every integer kernel.
+        let mut rng = Rng::seed_from(41);
+        for &(m, k, n) in &[(1usize, 1usize, 1usize), (3, 9, 5), (6, 40, 17), (9, 120, 33)] {
+            let a: Vec<i16> = rand_i16(m * k, &mut rng)
+                .into_iter()
+                .map(|v| if rng.next_f64() < 0.5 { 0 } else { v })
+                .collect();
+            let w = rand_i8(k * n, &mut rng);
+            let prev: Vec<i32> =
+                (0..m * n).map(|_| rng.next_below(1 << 20) as i32 - (1 << 19)).collect();
+            let b16 = rand_i16(k * n, &mut rng);
+            let want_mm = reference::int_matmul(&a, &w, m, k, n);
+            let want_delta = reference::delta_matmul_update(&prev, &a, &w, m, k, n);
+            let mut want_sc = prev.clone();
+            reference::accumulate_i16_matmul(&mut want_sc, &a, &b16, m, k, n);
+            for backend in KernelBackend::available() {
+                assert_eq!(
+                    int_matmul_with(backend, &a, &w, m, k, n),
+                    want_mm,
+                    "int_matmul {backend} diverged at {m}x{k}x{n}"
+                );
+                assert_eq!(
+                    delta_matmul_update_with(backend, &prev, &a, &w, m, k, n),
+                    want_delta,
+                    "delta update {backend} diverged at {m}x{k}x{n}"
+                );
+                let mut got = prev.clone();
+                accumulate_i16(backend, &mut got, &a, &b16, m, k, n);
+                assert_eq!(got, want_sc, "i16 accumulate {backend} diverged at {m}x{k}x{n}");
+            }
         }
     }
 

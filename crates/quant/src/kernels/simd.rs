@@ -1,0 +1,404 @@
+//! Explicit-SIMD integer accumulation kernels (`std::arch`, x86 AVX2 and
+//! SSE2) — the [`tensor::backend::KernelBackend::Simd`] implementation of
+//! the paper's hot path.
+//!
+//! # Bit-exactness
+//!
+//! Every kernel here produces exactly the accumulators of the scalar
+//! reference loops. Integer multiplication is exact, and `i32` addition
+//! (wrapping, as in release builds) is associative and commutative, so
+//! the SIMD kernels are free to *reassociate* sums — which is exactly
+//! what they do:
+//!
+//! * the row kernels compute `out[j] += av·b[j]` for eight `j` lanes at a
+//!   time (`vpmulld`), identical term-by-term to the scalar loop;
+//! * the pair kernels fold **two** non-zero activation rows per pass with
+//!   `vpmaddwd`, computing `out[j] += (av₀·b₀[j] + av₁·b₁[j])` — the same
+//!   two addends the scalar loop would add one after the other, grouped
+//!   differently. `vpmaddwd` needs both factors in `i16`; activations are
+//!   `i16` by contract and `i8` weights widen losslessly, and its internal
+//!   pair-sum wraps in `i32` exactly like the release-mode scalar adds.
+//!
+//! The per-row **zero-skip** of delta execution is preserved: activation
+//! zeros are skipped while scanning for rows to pair, so sparsity pays
+//! off exactly as in the scalar/tiled kernels.
+//!
+//! The dispatchers below fall back to the tiled loops when the host has
+//! no supported SIMD level (non-x86 builds compile only the fallback), so
+//! callers never need an architecture `cfg` of their own.
+
+use tensor::backend::{simd_level, SimdLevel};
+
+/// `Simd`-backend accumulation for `i8` weights: `out [m,n] += a [m,k] ×
+/// b [k,n]` with zero-skip.
+pub(super) fn accumulate_i8(out: &mut [i32], a: &[i16], b: &[i8], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(out.len(), m * n);
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    match simd_level() {
+        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+        SimdLevel::Avx2 => pending_pairs(out, a, b, m, k, n, avx2::acc_pair_i8, avx2::acc_row_i8),
+        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+        SimdLevel::Sse2 => pending_pairs(out, a, b, m, k, n, sse2::acc_pair_i8, sse2::acc_row_i8),
+        _ => super::accumulate_tiled(out, a, b, m, k, n),
+    }
+}
+
+/// `Simd`-backend accumulation for `i16` operands (attention scores).
+pub(super) fn accumulate_i16(out: &mut [i32], a: &[i16], b: &[i16], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(out.len(), m * n);
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    match simd_level() {
+        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+        SimdLevel::Avx2 => pending_pairs(out, a, b, m, k, n, avx2::acc_pair_i16, avx2::acc_row_i16),
+        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+        SimdLevel::Sse2 => pending_pairs(out, a, b, m, k, n, sse2::acc_pair_i16, sse2::acc_row_i16),
+        _ => super::accumulate_tiled(out, a, b, m, k, n),
+    }
+}
+
+/// The pending-pair driver shared by every SIMD level and operand type:
+/// scan one output row's activations, skip zeros, and hand non-zero
+/// `(av, b-row)` entries to the pair kernel two at a time (an unpaired
+/// leftover goes to the single-row kernel). Pairing halves the number of
+/// accumulator read-modify-write passes over `out`.
+#[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+#[inline]
+fn pending_pairs<W: Copy>(
+    out: &mut [i32],
+    a: &[i16],
+    b: &[W],
+    m: usize,
+    k: usize,
+    n: usize,
+    pair: unsafe fn(&mut [i32], i16, &[W], i16, &[W]),
+    row: unsafe fn(&mut [i32], i32, &[W]),
+) {
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        let mut pending: Option<(usize, i16)> = None;
+        for (kk, &av) in arow.iter().enumerate() {
+            if av == 0 {
+                continue;
+            }
+            match pending.take() {
+                None => pending = Some((kk, av)),
+                // SAFETY: the kernels require only their declared target
+                // feature, which `simd_level()` verified at runtime.
+                Some((k0, av0)) => unsafe {
+                    pair(orow, av0, &b[k0 * n..(k0 + 1) * n], av, &b[kk * n..(kk + 1) * n])
+                },
+            }
+        }
+        if let Some((k0, av0)) = pending {
+            // SAFETY: as above.
+            unsafe { row(orow, av0 as i32, &b[k0 * n..(k0 + 1) * n]) };
+        }
+    }
+}
+
+/// Broadcast of an `(av₀, av₁)` multiplier pair packed into one 32-bit
+/// lane, in the low/high `i16` layout `pmaddwd`/`vpmaddwd` expect.
+/// Shared by the AVX2 and SSE2 kernels so the packing can never diverge
+/// between levels.
+#[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+#[inline]
+fn pair_multiplier(av0: i16, av1: i16) -> i32 {
+    ((av1 as u16 as i32) << 16) | (av0 as u16 as i32)
+}
+
+/// Scalar tail of the row kernels (fewer than one vector of remaining
+/// lanes), shared across SIMD levels.
+#[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+#[inline]
+unsafe fn acc_row_tail(
+    out: &mut [i32],
+    av: i32,
+    n: usize,
+    mut j: usize,
+    load: impl Fn(usize) -> i32,
+) {
+    while j < n {
+        *out.get_unchecked_mut(j) = out.get_unchecked(j).wrapping_add(av.wrapping_mul(load(j)));
+        j += 1;
+    }
+}
+
+/// Scalar tail of the pair kernels, shared across SIMD levels.
+#[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+#[inline]
+unsafe fn acc_pair_tail(
+    out: &mut [i32],
+    av0: i16,
+    av1: i16,
+    n: usize,
+    mut j: usize,
+    load: impl Fn(usize) -> (i32, i32),
+) {
+    while j < n {
+        let (b0, b1) = load(j);
+        let s = (av0 as i32).wrapping_mul(b0).wrapping_add((av1 as i32).wrapping_mul(b1));
+        *out.get_unchecked_mut(j) = out.get_unchecked(j).wrapping_add(s);
+        j += 1;
+    }
+}
+
+#[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+mod avx2 {
+    #[cfg(target_arch = "x86")]
+    use std::arch::x86::*;
+    #[cfg(target_arch = "x86_64")]
+    use std::arch::x86_64::*;
+
+    use super::{acc_pair_tail, acc_row_tail, pair_multiplier};
+
+    /// `out[j] += av·b[j]` over one `i8` row (8 lanes per step).
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn acc_row_i8(out: &mut [i32], av: i32, brow: &[i8]) {
+        let n = brow.len();
+        let vav = _mm256_set1_epi32(av);
+        let mut j = 0;
+        while j + 8 <= n {
+            let b8 = _mm_loadl_epi64(brow.as_ptr().add(j) as *const __m128i);
+            let prod = _mm256_mullo_epi32(_mm256_cvtepi8_epi32(b8), vav);
+            let o = _mm256_loadu_si256(out.as_ptr().add(j) as *const __m256i);
+            _mm256_storeu_si256(out.as_mut_ptr().add(j) as *mut __m256i, _mm256_add_epi32(o, prod));
+            j += 8;
+        }
+        acc_row_tail(out, av, brow.len(), j, |idx| *brow.get_unchecked(idx) as i32);
+    }
+
+    /// `out[j] += av·b[j]` over one `i16` row (8 lanes per step).
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn acc_row_i16(out: &mut [i32], av: i32, brow: &[i16]) {
+        let n = brow.len();
+        let vav = _mm256_set1_epi32(av);
+        let mut j = 0;
+        while j + 8 <= n {
+            let b16 = _mm_loadu_si128(brow.as_ptr().add(j) as *const __m128i);
+            let prod = _mm256_mullo_epi32(_mm256_cvtepi16_epi32(b16), vav);
+            let o = _mm256_loadu_si256(out.as_ptr().add(j) as *const __m256i);
+            _mm256_storeu_si256(out.as_mut_ptr().add(j) as *mut __m256i, _mm256_add_epi32(o, prod));
+            j += 8;
+        }
+        acc_row_tail(out, av, brow.len(), j, |idx| *brow.get_unchecked(idx) as i32);
+    }
+
+    /// `out[j] += av₀·b₀[j] + av₁·b₁[j]` over two `i8` rows via
+    /// `vpmaddwd`.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn acc_pair_i8(
+        out: &mut [i32],
+        av0: i16,
+        brow0: &[i8],
+        av1: i16,
+        brow1: &[i8],
+    ) {
+        let n = brow0.len();
+        let pair = _mm256_set1_epi32(pair_multiplier(av0, av1));
+        let mut j = 0;
+        while j + 8 <= n {
+            let b0 = _mm_cvtepi8_epi16(_mm_loadl_epi64(brow0.as_ptr().add(j) as *const __m128i));
+            let b1 = _mm_cvtepi8_epi16(_mm_loadl_epi64(brow1.as_ptr().add(j) as *const __m128i));
+            let inter = _mm256_set_m128i(_mm_unpackhi_epi16(b0, b1), _mm_unpacklo_epi16(b0, b1));
+            let prod = _mm256_madd_epi16(inter, pair);
+            let o = _mm256_loadu_si256(out.as_ptr().add(j) as *const __m256i);
+            _mm256_storeu_si256(out.as_mut_ptr().add(j) as *mut __m256i, _mm256_add_epi32(o, prod));
+            j += 8;
+        }
+        acc_pair_tail(out, av0, av1, brow0.len(), j, |idx| {
+            (*brow0.get_unchecked(idx) as i32, *brow1.get_unchecked(idx) as i32)
+        });
+    }
+
+    /// `out[j] += av₀·b₀[j] + av₁·b₁[j]` over two `i16` rows via
+    /// `vpmaddwd`.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn acc_pair_i16(
+        out: &mut [i32],
+        av0: i16,
+        brow0: &[i16],
+        av1: i16,
+        brow1: &[i16],
+    ) {
+        let n = brow0.len();
+        let pair = _mm256_set1_epi32(pair_multiplier(av0, av1));
+        let mut j = 0;
+        while j + 8 <= n {
+            let b0 = _mm_loadu_si128(brow0.as_ptr().add(j) as *const __m128i);
+            let b1 = _mm_loadu_si128(brow1.as_ptr().add(j) as *const __m128i);
+            let inter = _mm256_set_m128i(_mm_unpackhi_epi16(b0, b1), _mm_unpacklo_epi16(b0, b1));
+            let prod = _mm256_madd_epi16(inter, pair);
+            let o = _mm256_loadu_si256(out.as_ptr().add(j) as *const __m256i);
+            _mm256_storeu_si256(out.as_mut_ptr().add(j) as *mut __m256i, _mm256_add_epi32(o, prod));
+            j += 8;
+        }
+        acc_pair_tail(out, av0, av1, brow0.len(), j, |idx| {
+            (*brow0.get_unchecked(idx) as i32, *brow1.get_unchecked(idx) as i32)
+        });
+    }
+}
+
+#[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+mod sse2 {
+    #[cfg(target_arch = "x86")]
+    use std::arch::x86::*;
+    #[cfg(target_arch = "x86_64")]
+    use std::arch::x86_64::*;
+
+    use super::{acc_pair_tail as pair_tail, pair_multiplier};
+
+    /// Sign-extends the low 8 bytes of `v` to eight `i16` lanes (SSE2 has
+    /// no `pmovsxbw`; interleave-with-self then arithmetic-shift does it).
+    #[inline]
+    unsafe fn widen_i8(v: __m128i) -> __m128i {
+        _mm_srai_epi16(_mm_unpacklo_epi8(v, v), 8)
+    }
+
+    /// Two-row `i8` accumulation via `pmaddwd` (4 lanes per 128-bit op).
+    #[target_feature(enable = "sse2")]
+    pub(super) unsafe fn acc_pair_i8(
+        out: &mut [i32],
+        av0: i16,
+        brow0: &[i8],
+        av1: i16,
+        brow1: &[i8],
+    ) {
+        let n = brow0.len();
+        let pair = _mm_set1_epi32(pair_multiplier(av0, av1));
+        let mut j = 0;
+        while j + 8 <= n {
+            let b0 = widen_i8(_mm_loadl_epi64(brow0.as_ptr().add(j) as *const __m128i));
+            let b1 = widen_i8(_mm_loadl_epi64(brow1.as_ptr().add(j) as *const __m128i));
+            madd_store(out, j, _mm_unpacklo_epi16(b0, b1), _mm_unpackhi_epi16(b0, b1), pair);
+            j += 8;
+        }
+        pair_tail(out, av0, av1, n, j, |idx| {
+            (*brow0.get_unchecked(idx) as i32, *brow1.get_unchecked(idx) as i32)
+        });
+    }
+
+    /// Two-row `i16` accumulation via `pmaddwd`.
+    #[target_feature(enable = "sse2")]
+    pub(super) unsafe fn acc_pair_i16(
+        out: &mut [i32],
+        av0: i16,
+        brow0: &[i16],
+        av1: i16,
+        brow1: &[i16],
+    ) {
+        let n = brow0.len();
+        let pair = _mm_set1_epi32(pair_multiplier(av0, av1));
+        let mut j = 0;
+        while j + 8 <= n {
+            let b0 = _mm_loadu_si128(brow0.as_ptr().add(j) as *const __m128i);
+            let b1 = _mm_loadu_si128(brow1.as_ptr().add(j) as *const __m128i);
+            madd_store(out, j, _mm_unpacklo_epi16(b0, b1), _mm_unpackhi_epi16(b0, b1), pair);
+            j += 8;
+        }
+        pair_tail(out, av0, av1, n, j, |idx| {
+            (*brow0.get_unchecked(idx) as i32, *brow1.get_unchecked(idx) as i32)
+        });
+    }
+
+    /// `pmaddwd` + accumulate for 8 output lanes given the interleaved
+    /// low/high pair vectors.
+    #[inline]
+    unsafe fn madd_store(out: &mut [i32], j: usize, lo: __m128i, hi: __m128i, pair: __m128i) {
+        let p_lo = _mm_madd_epi16(lo, pair);
+        let p_hi = _mm_madd_epi16(hi, pair);
+        let o_lo = _mm_loadu_si128(out.as_ptr().add(j) as *const __m128i);
+        let o_hi = _mm_loadu_si128(out.as_ptr().add(j + 4) as *const __m128i);
+        _mm_storeu_si128(out.as_mut_ptr().add(j) as *mut __m128i, _mm_add_epi32(o_lo, p_lo));
+        _mm_storeu_si128(out.as_mut_ptr().add(j + 4) as *mut __m128i, _mm_add_epi32(o_hi, p_hi));
+    }
+
+    /// Single `i8` row: the pair kernel against itself with a zero second
+    /// multiplier (`av·b[j] + 0·b[j]` is exactly `av·b[j]`).
+    #[target_feature(enable = "sse2")]
+    pub(super) unsafe fn acc_row_i8(out: &mut [i32], av: i32, brow: &[i8]) {
+        acc_pair_i8(out, av as i16, brow, 0, brow);
+    }
+
+    /// Single `i16` row, same zero-partner trick.
+    #[target_feature(enable = "sse2")]
+    pub(super) unsafe fn acc_row_i16(out: &mut [i32], av: i32, brow: &[i16]) {
+        acc_pair_i16(out, av as i16, brow, 0, brow);
+    }
+}
+
+#[cfg(all(test, any(target_arch = "x86", target_arch = "x86_64")))]
+mod tests {
+    use super::*;
+    use tensor::Rng;
+
+    fn rand_i8(len: usize, rng: &mut Rng) -> Vec<i8> {
+        (0..len).map(|_| (rng.next_below(255) as i32 - 127) as i8).collect()
+    }
+
+    fn sparse_i16(len: usize, zero_frac: f64, rng: &mut Rng) -> Vec<i16> {
+        (0..len)
+            .map(|_| if rng.next_f64() < zero_frac { 0 } else { rng.next_below(511) as i16 - 255 })
+            .collect()
+    }
+
+    /// Both the AVX2 and SSE2 pending-pair kernels must reproduce the
+    /// tiled accumulators bit for bit on shapes around every lane
+    /// boundary (8-lane steps, scalar tails, single-leftover rows).
+    #[test]
+    #[allow(clippy::type_complexity)]
+    fn simd_levels_match_tiled_bitwise() {
+        let mut rng = Rng::seed_from(31);
+        let mut level_kernels: Vec<(
+            &str,
+            unsafe fn(&mut [i32], i16, &[i8], i16, &[i8]),
+            unsafe fn(&mut [i32], i32, &[i8]),
+            unsafe fn(&mut [i32], i16, &[i16], i16, &[i16]),
+            unsafe fn(&mut [i32], i32, &[i16]),
+        )> = Vec::new();
+        if matches!(simd_level(), SimdLevel::Avx2) {
+            level_kernels.push((
+                "avx2",
+                avx2::acc_pair_i8,
+                avx2::acc_row_i8,
+                avx2::acc_pair_i16,
+                avx2::acc_row_i16,
+            ));
+        }
+        if simd_level() != SimdLevel::None {
+            // SSE2 is testable whenever any x86 SIMD exists.
+            level_kernels.push((
+                "sse2",
+                sse2::acc_pair_i8,
+                sse2::acc_row_i8,
+                sse2::acc_pair_i16,
+                sse2::acc_row_i16,
+            ));
+        }
+        for &(m, k, n) in
+            &[(1usize, 1usize, 1usize), (3, 5, 7), (4, 9, 8), (5, 16, 19), (13, 64, 24)]
+        {
+            for zero_frac in [0.0, 0.5, 0.9] {
+                let a = sparse_i16(m * k, zero_frac, &mut rng);
+                let b8 = rand_i8(k * n, &mut rng);
+                let b16 = sparse_i16(k * n, 0.0, &mut rng);
+                let init: Vec<i32> =
+                    (0..m * n).map(|_| rng.next_below(1 << 20) as i32 - (1 << 19)).collect();
+                let mut want8 = init.clone();
+                crate::kernels::accumulate_tiled(&mut want8, &a, &b8, m, k, n);
+                let mut want16 = init.clone();
+                crate::kernels::accumulate_tiled(&mut want16, &a, &b16, m, k, n);
+                for (name, pair8, row8, pair16, row16) in &level_kernels {
+                    let mut got = init.clone();
+                    pending_pairs(&mut got, &a, &b8, m, k, n, *pair8, *row8);
+                    assert_eq!(got, want8, "{name} i8 diverged at {m}x{k}x{n} z={zero_frac}");
+                    let mut got = init.clone();
+                    pending_pairs(&mut got, &a, &b16, m, k, n, *pair16, *row16);
+                    assert_eq!(got, want16, "{name} i16 diverged at {m}x{k}x{n} z={zero_frac}");
+                }
+            }
+        }
+    }
+}

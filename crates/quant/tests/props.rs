@@ -5,7 +5,7 @@
 use proptest::prelude::*;
 use quant::kernels::{delta_matmul_update, int_matmul, widen};
 use quant::{BitWidthClass, BitWidthHistogram, BopsModel, QTensor};
-use tensor::Tensor;
+use tensor::{KernelBackend, Tensor};
 
 fn i8_vec(n: usize) -> impl Strategy<Value = Vec<i8>> {
     proptest::collection::vec(any::<i8>().prop_map(|v| if v == -128 { -127 } else { v }), n)
@@ -58,6 +58,60 @@ proptest! {
             delta_matmul_update(&prev, &a, &w, m, k, n),
             quant::kernels::reference::delta_matmul_update(&prev, &a, &w, m, k, n)
         );
+    }
+
+    /// Every kernel × every available backend is bit-identical to the
+    /// scalar reference loops — the cross-backend matrix behind the
+    /// pluggable kernel-backend layer (`tensor::backend`). Covers the
+    /// dense matmul, the fused delta update, and both attention kernels,
+    /// at delta-realistic sparsities.
+    #[test]
+    fn backend_matrix_matches_reference(
+        m in 1usize..14, k in 1usize..40, n in 1usize..24,
+        zero_pct in 0u32..100, seed in any::<u64>(),
+    ) {
+        let mut rng = tensor::Rng::seed_from(seed);
+        let mut sparse_i16 = |len: usize| -> Vec<i16> {
+            (0..len)
+                .map(|_| {
+                    if rng.next_below(100) < zero_pct as usize { 0 }
+                    else { rng.next_below(511) as i16 - 255 }
+                })
+                .collect()
+        };
+        let a = sparse_i16(m * k);
+        let dq = sparse_i16(m * k);
+        let k_t = sparse_i16(k * n);
+        let dk_t = sparse_i16(k * n);
+        let w: Vec<i8> = (0..k * n).map(|_| (rng.next_below(255) as i32 - 127) as i8).collect();
+        let prev: Vec<i32> =
+            (0..m * n).map(|_| rng.next_below(1 << 16) as i32 - (1 << 15)).collect();
+        let want_mm = quant::kernels::reference::int_matmul(&a, &w, m, k, n);
+        let want_delta = quant::kernels::reference::delta_matmul_update(&prev, &a, &w, m, k, n);
+        let want_scores = quant::kernels::int_scores_with(KernelBackend::Scalar, &a, &k_t, m, k, n);
+        let want_attn = quant::kernels::attention_delta_scores_with(
+            KernelBackend::Scalar, &prev, &a, &dq, &k_t, &dk_t, m, k, n,
+        );
+        for backend in KernelBackend::available() {
+            prop_assert_eq!(
+                &quant::kernels::int_matmul_with(backend, &a, &w, m, k, n),
+                &want_mm, "int_matmul diverged on {}", backend
+            );
+            prop_assert_eq!(
+                &quant::kernels::delta_matmul_update_with(backend, &prev, &a, &w, m, k, n),
+                &want_delta, "delta_matmul_update diverged on {}", backend
+            );
+            prop_assert_eq!(
+                &quant::kernels::int_scores_with(backend, &a, &k_t, m, k, n),
+                &want_scores, "int_scores diverged on {}", backend
+            );
+            prop_assert_eq!(
+                &quant::kernels::attention_delta_scores_with(
+                    backend, &prev, &a, &dq, &k_t, &dk_t, m, k, n,
+                ),
+                &want_attn, "attention_delta_scores diverged on {}", backend
+            );
+        }
     }
 
     /// Quantize→dequantize error is bounded by half a quantization step.

@@ -5,7 +5,9 @@
 use std::sync::Arc;
 
 use bench::report::sweep_summary;
-use bench::sweep::{parse_request, request_id, response_err, response_ok, scale_name};
+use bench::sweep::{
+    apply_backend, parse_request, request_id, response_err, response_ok, scale_name,
+};
 use bench::{HitAccounting, Suite};
 
 use crate::sched::{CellStats, ModelInput, Scheduler, SweepJob};
@@ -37,6 +39,13 @@ impl App for SuiteApp {
             Ok(req) => req,
             Err(e) => return response_err(&request_id(line), &e),
         };
+        // Kernel-backend override first, so any tracing this request
+        // triggers runs on the requested backend. Purely a perf knob:
+        // results (and memo keys) are backend-invariant.
+        let backend = match apply_backend(req.backend) {
+            Ok(b) => b,
+            Err(e) => return response_err(&req.id, &e),
+        };
         // Loading may warm the suite; the credit for reporting the
         // warm-up is claimed only once a response can actually carry it
         // (below), so a failing warmer does not swallow the stats.
@@ -57,12 +66,13 @@ impl App for SuiteApp {
         };
         match self.sched.run(&job) {
             Ok((report, stats)) => {
-                let CellStats { total, memo_hits, coalesced, simulated } = stats;
+                let CellStats { total, memo_hits, coalesced, simulated, evictions } = stats;
                 let hits = HitAccounting {
                     cells_total: total,
                     cells_memo: memo_hits,
                     cells_coalesced: coalesced,
                     cells_simulated: simulated,
+                    cells_evicted: evictions,
                     ..HitAccounting::default()
                 }
                 .with_suite(suite, Suite::take_warm_credit(req.sweep.scale));
@@ -78,7 +88,7 @@ impl App for SuiteApp {
                     simulated,
                     self.sched.unique_cells_simulated()
                 );
-                response_ok(&req.id, &report, &hits)
+                response_ok(&req.id, &report, &hits, backend)
             }
             Err(e) => response_err(&req.id, &e.to_string()),
         }

@@ -22,6 +22,14 @@
 //!   epoll (also reachable via the `DITTO_SERVE_POLL` env var).
 //! * `--port-file PATH` — write the bound port number to `PATH` once
 //!   listening (for scripts using port 0).
+//!
+//! Environment:
+//!
+//! * `DITTO_KERNEL_BACKEND` — startup kernel backend (`scalar` / `tiled`
+//!   / `simd` / `auto`); requests may override per the protocol's
+//!   `backend` field. Results are bit-identical on every backend.
+//! * `DITTO_MEMO_MAX_CELLS` — LRU cap on the cross-request cell memo
+//!   (default: unbounded); evictions are reported per response.
 
 use std::sync::Arc;
 
@@ -64,10 +72,11 @@ fn main() {
         }
     };
     eprintln!(
-        "[ditto-serve] listening on {} ({:?} backend, {} workers)",
+        "[ditto-serve] listening on {} ({:?} backend, {} workers, {} kernels)",
         handle.addr(),
         handle.backend(),
-        workers.max(1)
+        workers.max(1),
+        tensor::backend::active()
     );
     if let Some(path) = port_file {
         std::fs::write(&path, format!("{}\n", handle.addr().port()))

@@ -74,7 +74,8 @@ impl<V> Slot<V> {
     }
 }
 
-/// What [`Memo::claim`] found for a key.
+/// What [`Memo::claim`] found for a key (alongside how many old entries
+/// the claim aged out of a bounded table).
 enum Claim<V> {
     /// Completed earlier; the value is immediately available.
     Hit(Arc<V>),
@@ -85,46 +86,77 @@ enum Claim<V> {
     Mine(Arc<Slot<V>>),
 }
 
+/// One memo entry: the shared slot plus its last-touched LRU stamp.
+struct Entry<V> {
+    slot: Arc<Slot<V>>,
+    last_used: u64,
+}
+
 /// A concurrent memo table whose entries are computed at most once, with
-/// waiters coalescing onto in-flight computations. Successful entries are
-/// never evicted — the value domain (simulated cells for a handful of
-/// scales × 18 designs × 7 models) is small and each value is a few
-/// hundred bytes — but a claimant whose computation fails [`remove`]s its
-/// key so the cell can be retried.
+/// waiters coalescing onto in-flight computations. A claimant whose
+/// computation fails [`Memo::remove`]s its key so the cell can be
+/// retried.
+///
+/// The table is optionally **bounded** (`DITTO_MEMO_MAX_CELLS` at the
+/// scheduler level): when an insert pushes the map past its cap, the
+/// least-recently-used *completed* entries are aged out — in-flight slots
+/// are never evicted (their waiters and dedup guarantee stay intact), so
+/// the map can transiently exceed the cap while many cells are computing.
+/// Eviction is harmless beyond speed: a later request for an evicted cell
+/// recomputes it, bit-identical by the backend-invariance guarantee.
 struct Memo<K, V> {
-    map: Mutex<HashMap<K, Arc<Slot<V>>>>,
+    map: Mutex<MemoMap<K, V>>,
+}
+
+/// The lock-guarded interior of a [`Memo`].
+struct MemoMap<K, V> {
+    entries: HashMap<K, Entry<V>>,
+    /// Monotonic LRU clock, bumped on every touch.
+    clock: u64,
+    /// Maximum number of entries to retain (`None` = unbounded).
+    cap: Option<usize>,
 }
 
 impl<K: Eq + Hash + Clone, V> Memo<K, V> {
     fn new() -> Self {
-        Memo { map: Mutex::new(HashMap::new()) }
+        Memo::bounded(None)
     }
 
-    fn claim(&self, key: &K) -> Claim<V> {
+    fn bounded(cap: Option<usize>) -> Self {
+        Memo { map: Mutex::new(MemoMap { entries: HashMap::new(), clock: 0, cap }) }
+    }
+
+    /// Claims `key`, bumping its LRU stamp; returns the claim and the
+    /// number of completed entries evicted to stay within the cap.
+    fn claim(&self, key: &K) -> (Claim<V>, usize) {
         let mut map = self.map.lock().expect("memo map");
-        if let Some(slot) = map.get(key) {
-            let slot = Arc::clone(slot);
+        map.clock += 1;
+        let clock = map.clock;
+        if let Some(entry) = map.entries.get_mut(key) {
+            entry.last_used = clock;
+            let slot = Arc::clone(&entry.slot);
             drop(map);
             // Fulfilled already? Then it is a plain hit, not a wait.
             let state = slot.state.lock().expect("memo slot");
             return match state.as_ref() {
-                Some(v) => Claim::Hit(Arc::clone(v)),
+                Some(v) => (Claim::Hit(Arc::clone(v)), 0),
                 None => {
                     drop(state);
-                    Claim::InFlight(slot)
+                    (Claim::InFlight(slot), 0)
                 }
             };
         }
         let slot = Arc::new(Slot::new());
-        map.insert(key.clone(), Arc::clone(&slot));
-        Claim::Mine(slot)
+        map.entries.insert(key.clone(), Entry { slot: Arc::clone(&slot), last_used: clock });
+        let evicted = map.evict_over_cap();
+        (Claim::Mine(slot), evicted)
     }
 
     /// Claims `key` and computes it inline when first: the calling thread
     /// runs `f`, every concurrent caller blocks until it finishes. Returns
     /// the value and whether this call computed it.
     fn get_or_compute(&self, key: &K, f: impl FnOnce() -> V) -> (Arc<V>, bool) {
-        match self.claim(key) {
+        match self.claim(key).0 {
             Claim::Hit(v) => (v, false),
             Claim::InFlight(slot) => (slot.wait(), false),
             Claim::Mine(slot) => (slot.fulfill(f()), true),
@@ -136,7 +168,79 @@ impl<K: Eq + Hash + Clone, V> Memo<K, V> {
     /// its slot with the error: waiters already attached to the failed
     /// slot observe the error, later claimants retry fresh.
     fn remove(&self, key: &K) {
-        self.map.lock().expect("memo map").remove(key);
+        self.map.lock().expect("memo map").entries.remove(key);
+    }
+
+    /// Re-applies the cap, aging out LRU completed entries; returns the
+    /// eviction count. A job calls this after its cells complete — claims
+    /// cannot evict the job's own cells while they are still in flight,
+    /// so the insert-time sweep alone would let the table creep past the
+    /// cap by one job's worth of cells.
+    fn enforce_cap(&self) -> usize {
+        self.map.lock().expect("memo map").evict_over_cap()
+    }
+
+    /// Entries currently retained (completed + in-flight).
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.map.lock().expect("memo map").entries.len()
+    }
+}
+
+impl<K: Eq + Hash + Clone, V> MemoMap<K, V> {
+    /// Ages out least-recently-used *completed* entries until the map is
+    /// within its cap (or only in-flight entries remain). Returns the
+    /// eviction count.
+    ///
+    /// One pass over the map collects every completed entry's `(stamp,
+    /// key)` (one brief slot-state lock each), then the oldest are
+    /// removed in bulk — rather than re-scanning the whole map per
+    /// evicted entry. Eviction overshoots down to a low-water mark
+    /// (`cap - cap/8`, i.e. the cap itself below 8) so a steady-state
+    /// table pays the O(cap) scan once per `cap/8` inserts instead of on
+    /// every insert, keeping the global map lock short on the hot claim
+    /// path.
+    fn evict_over_cap(&mut self) -> usize {
+        let Some(cap) = self.cap else { return 0 };
+        if self.entries.len() <= cap {
+            return 0;
+        }
+        let target = cap - cap / 8;
+        let over = self.entries.len() - target;
+        let mut completed: Vec<(u64, K)> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.slot.state.lock().expect("memo slot").is_some())
+            .map(|(k, e)| (e.last_used, k.clone()))
+            .collect();
+        completed.sort_unstable_by_key(|entry| entry.0);
+        let evict = over.min(completed.len()); // in-flight entries may exceed the cap
+        for (_, key) in completed.into_iter().take(evict) {
+            self.entries.remove(&key);
+        }
+        evict
+    }
+}
+
+/// Parses `DITTO_MEMO_MAX_CELLS` (≥ 1) into the scheduler's cell-memo
+/// cap; unset means unbounded, invalid warns and means unbounded.
+fn memo_cap_from_env() -> Option<usize> {
+    parse_memo_cap(std::env::var("DITTO_MEMO_MAX_CELLS").ok())
+}
+
+/// The pure parsing half of [`memo_cap_from_env`] (tested without
+/// mutating the process environment, which would race parallel tests).
+fn parse_memo_cap(raw: Option<String>) -> Option<usize> {
+    let raw = raw?;
+    match raw.trim().parse::<usize>() {
+        Ok(cap) if cap >= 1 => Some(cap),
+        _ => {
+            eprintln!(
+                "[ditto-serve] ignoring invalid DITTO_MEMO_MAX_CELLS `{raw}` \
+                 (expected an integer ≥ 1); memo table is unbounded"
+            );
+            None
+        }
     }
 }
 
@@ -249,7 +353,8 @@ pub struct SweepJob {
 }
 
 /// Per-request cell accounting: how each of a job's cells was obtained.
-/// `total == memo_hits + coalesced + simulated`.
+/// `total == memo_hits + coalesced + simulated`; `evictions` counts
+/// LRU-aged entries on top of (not within) that partition.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CellStats {
     /// Cells the job asked for.
@@ -260,6 +365,12 @@ pub struct CellStats {
     pub coalesced: usize,
     /// Simulated by this job (first toucher).
     pub simulated: usize,
+    /// Completed memo entries aged out of a bounded memo table
+    /// (`DITTO_MEMO_MAX_CELLS`) by the cap sweeps this job performed —
+    /// its cell-claim inserts plus its post-completion sweep. Under
+    /// concurrent jobs the attribution is approximate: a sweep may age
+    /// out entries another overlapping job completed. 0 when unbounded.
+    pub evictions: usize,
 }
 
 /// Memo tables and counters shared with pool workers (they outlive
@@ -302,12 +413,22 @@ pub struct Scheduler {
 }
 
 impl Scheduler {
-    /// A scheduler with `workers` simulation threads (clamped to ≥ 1).
+    /// A scheduler with `workers` simulation threads (clamped to ≥ 1) and
+    /// the cell-memo bound taken from `DITTO_MEMO_MAX_CELLS` (unset or
+    /// invalid ⇒ unbounded, with a stderr warning on invalid values; 0 is
+    /// invalid — a server that memoizes nothing should not exist, it
+    /// would still coalesce but re-simulate every completed cell).
     pub fn new(workers: usize) -> Self {
+        Scheduler::with_memo_cap(workers, memo_cap_from_env())
+    }
+
+    /// A scheduler with an explicit cell-memo entry cap (`None` =
+    /// unbounded) — the constructor the tiny-cap tests drive directly.
+    pub fn with_memo_cap(workers: usize, memo_cap: Option<usize>) -> Self {
         Scheduler {
             pool: PriorityPool::new(workers),
             shared: Arc::new(SchedShared {
-                cells: Memo::new(),
+                cells: Memo::bounded(memo_cap),
                 gpus: Memo::new(),
                 cells_simulated: AtomicUsize::new(0),
                 gpus_simulated: AtomicUsize::new(0),
@@ -353,7 +474,9 @@ impl Scheduler {
                     scale: job.scale.clone(),
                     fingerprint: model.fingerprint,
                 };
-                match self.shared.cells.claim(&key) {
+                let (claim, evicted) = self.shared.cells.claim(&key);
+                stats.evictions += evicted;
+                match claim {
                     Claim::Hit(v) => {
                         stats.memo_hits += 1;
                         pending.push(Pending::Ready(v));
@@ -410,6 +533,10 @@ impl Scheduler {
                 Pending::Waiting(slot) => slot.wait(),
             })
             .collect();
+
+        // This job's freshly completed cells are evictable only now, so
+        // re-apply the memo cap (no-op when unbounded).
+        stats.evictions += self.shared.cells.enforce_cap();
 
         // Assembly: model-major cells plus the per-model GPU reference
         // column, exactly like `grid::run`. Every model's GPU run is
@@ -522,10 +649,13 @@ mod tests {
             ModelInput { trace: trace_a, fingerprint: 1 },
             ModelInput { trace: trace_b, fingerprint: 2 },
         ];
-        let sched = Scheduler::new(4);
+        let sched = Scheduler::with_memo_cap(4, None);
 
         let (report, stats) = sched.run(&job(designs.clone(), models.clone(), 0)).unwrap();
-        assert_eq!(stats, CellStats { total: 6, memo_hits: 0, coalesced: 0, simulated: 6 });
+        assert_eq!(
+            stats,
+            CellStats { total: 6, memo_hits: 0, coalesced: 0, simulated: 6, evictions: 0 }
+        );
 
         let reference =
             accel::grid::run(&SweepSpec::new(designs.clone(), vec![trace_a, trace_b])).unwrap();
@@ -543,7 +673,10 @@ mod tests {
 
         // A repeat of the same job is pure memo traffic.
         let (again, stats2) = sched.run(&job(designs, models, 3)).unwrap();
-        assert_eq!(stats2, CellStats { total: 6, memo_hits: 6, coalesced: 0, simulated: 0 });
+        assert_eq!(
+            stats2,
+            CellStats { total: 6, memo_hits: 6, coalesced: 0, simulated: 0, evictions: 0 }
+        );
         for (a, b) in again.cells.iter().zip(&report.cells) {
             assert_eq!(a.run.cycles.to_bits(), b.run.cycles.to_bits());
         }
@@ -559,7 +692,7 @@ mod tests {
         let light = leak(synth::trace(3, 5, 1_000, 2, true));
         assert_eq!(heavy.model, light.model, "test premise: same wire name");
         let designs = vec![Design::itc(), Design::ditto()];
-        let sched = Scheduler::new(2);
+        let sched = Scheduler::with_memo_cap(2, None);
 
         let (r_heavy, s1) = sched
             .run(&job(designs.clone(), vec![ModelInput { trace: heavy, fingerprint: 0xAAAA }], 0))
@@ -569,7 +702,10 @@ mod tests {
         let (r_light, s2) = sched
             .run(&job(designs.clone(), vec![ModelInput { trace: light, fingerprint: 0xBBBB }], 0))
             .unwrap();
-        assert_eq!(s2, CellStats { total: 2, memo_hits: 0, coalesced: 0, simulated: 2 });
+        assert_eq!(
+            s2,
+            CellStats { total: 2, memo_hits: 0, coalesced: 0, simulated: 2, evictions: 0 }
+        );
         assert_eq!(sched.unique_cells_simulated(), 4);
         assert_eq!(sched.unique_gpu_refs_simulated(), 2);
 
@@ -588,9 +724,93 @@ mod tests {
     }
 
     #[test]
+    fn memo_lru_ages_out_completed_entries_in_recency_order() {
+        let memo: Memo<u32, u64> = Memo::bounded(Some(2));
+        assert!(memo.get_or_compute(&1, || 10).1);
+        assert!(memo.get_or_compute(&2, || 20).1);
+        // Touch 1 so 2 is the LRU victim when 3 arrives.
+        assert!(!memo.get_or_compute(&1, || 99).1);
+        let (claim, evicted) = memo.claim(&3);
+        assert!(matches!(claim, Claim::Mine(_)), "3 is new");
+        assert_eq!(evicted, 1, "inserting over the cap evicts one entry");
+        if let Claim::Mine(slot) = claim {
+            slot.fulfill(30);
+        }
+        assert_eq!(memo.len(), 2);
+        // 1 survived (recently used), 2 was aged out and recomputes.
+        assert_eq!(memo.get_or_compute(&1, || 99), (Arc::new(10), false));
+        let (v, computed) = memo.get_or_compute(&2, || 21);
+        assert!(computed, "evicted entry must recompute");
+        assert_eq!(*v, 21);
+    }
+
+    #[test]
+    fn memo_lru_never_evicts_in_flight_slots() {
+        let memo: Memo<u32, u64> = Memo::bounded(Some(1));
+        let (Claim::Mine(first), 0) = memo.claim(&1) else { panic!("1 is new") };
+        // 1 is still computing: inserting 2 cannot evict it, so the map
+        // transiently exceeds its cap.
+        let (claim2, evicted) = memo.claim(&2);
+        assert!(matches!(claim2, Claim::Mine(_)));
+        assert_eq!(evicted, 0, "in-flight entries are not evictable");
+        assert_eq!(memo.len(), 2);
+        // Once 1 completes, the next insert can age the LRU out again.
+        first.fulfill(11);
+        if let (Claim::Mine(slot2), _) = (claim2, 0) {
+            slot2.fulfill(22);
+        }
+        let (claim3, evicted) = memo.claim(&3);
+        assert!(matches!(claim3, Claim::Mine(_)));
+        assert_eq!(evicted, 2, "both completed entries age out at cap 1");
+        assert_eq!(memo.len(), 1);
+    }
+
+    #[test]
+    fn bounded_scheduler_reports_evictions_and_stays_exact() {
+        // Cap 2 with a 4-cell job: the job's own claims age its earlier
+        // cells out, the response carries the eviction count, and repeat
+        // requests recompute evicted cells bit-identically.
+        let trace = leak(synth::trace(2, 4, 60_000, 32, true));
+        let designs = vec![Design::itc(), Design::cambricon_d(), Design::ditto(), Design::diffy()];
+        let models = vec![ModelInput { trace, fingerprint: 9 }];
+        let sched = Scheduler::with_memo_cap(1, Some(2));
+
+        let (report, stats) = sched.run(&job(designs.clone(), models.clone(), 0)).unwrap();
+        assert_eq!(stats.total, 4);
+        assert_eq!(stats.simulated, 4);
+        assert_eq!(stats.evictions, 2, "4 inserts at cap 2 age out 2 completed cells");
+        assert!(sched.shared.cells.len() <= 2, "memo stays within its cap");
+
+        // The repeat can hit at most the cap's worth of cells; everything
+        // else recomputes — and the report is still bit-identical.
+        let (again, stats2) = sched.run(&job(designs.clone(), models.clone(), 0)).unwrap();
+        assert_eq!(stats2.total, 4);
+        assert!(stats2.memo_hits <= 2, "at most `cap` hits, got {}", stats2.memo_hits);
+        assert_eq!(stats2.memo_hits + stats2.simulated, 4);
+        for (a, b) in again.cells.iter().zip(&report.cells) {
+            assert_eq!(a.run.cycles.to_bits(), b.run.cycles.to_bits());
+            assert_eq!(a.speedup_vs_gpu.to_bits(), b.speedup_vs_gpu.to_bits());
+        }
+
+        // An unbounded scheduler on the same job reports zero evictions.
+        let unbounded = Scheduler::with_memo_cap(1, None);
+        let (_, s3) = unbounded.run(&job(designs, models, 0)).unwrap();
+        assert_eq!(s3.evictions, 0);
+    }
+
+    #[test]
+    fn memo_cap_env_parsing() {
+        assert_eq!(parse_memo_cap(Some("8".into())), Some(8));
+        assert_eq!(parse_memo_cap(Some(" 16 ".into())), Some(16));
+        assert_eq!(parse_memo_cap(Some("0".into())), None, "0 is invalid and means unbounded");
+        assert_eq!(parse_memo_cap(Some("lots".into())), None);
+        assert_eq!(parse_memo_cap(None), None);
+    }
+
+    #[test]
     fn validation_errors_match_the_grid_engine() {
         let trace = leak(synth::trace(2, 3, 10_000, 16, true));
-        let sched = Scheduler::new(1);
+        let sched = Scheduler::with_memo_cap(1, None);
         let empty_designs = job(vec![], vec![ModelInput { trace, fingerprint: 1 }], 0);
         assert_eq!(
             sched.run(&empty_designs).unwrap_err(),
@@ -619,9 +839,9 @@ mod tests {
         // claimant that fails removes the key before resolving its slot,
         // so attached waiters see the error but the next claim retries.
         let memo: Memo<u32, Result<u64, String>> = Memo::new();
-        let Claim::Mine(slot) = memo.claim(&1) else { panic!("first claim owns the slot") };
+        let (Claim::Mine(slot), _) = memo.claim(&1) else { panic!("first claim owns the slot") };
         // A concurrent claimant attaches to the in-flight slot.
-        let Claim::InFlight(waiter) = memo.claim(&1) else { panic!("second claim waits") };
+        let (Claim::InFlight(waiter), _) = memo.claim(&1) else { panic!("second claim waits") };
         memo.remove(&1);
         slot.fulfill(Err("boom".into()));
         assert_eq!(*waiter.wait(), Err("boom".to_string()), "waiters observe the failure");

@@ -74,7 +74,7 @@ proptest! {
     fn interleavings_are_bit_identical_and_deduplicated(
         requests in collection::vec((1usize..8, 1usize..8, -2i64..=2), 2..=6),
     ) {
-        let sched = Scheduler::new(3);
+        let sched = Scheduler::with_memo_cap(3, None);
         let results: Vec<(grid::SweepReport, CellStats)> = std::thread::scope(|scope| {
             let sched = &sched;
             let handles: Vec<_> = requests
@@ -130,11 +130,66 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Memoized cells are **backend-invariant**: a request served from
+    /// memo entries computed under one kernel backend is bit-identical to
+    /// a fresh grid run under any other. Memo keys contain nothing
+    /// backend-dependent, so this is the property that makes that design
+    /// sound — a sequence of requests flips the process-wide backend
+    /// between every run and must still see one simulation per distinct
+    /// cell with byte-stable reports.
+    #[test]
+    fn memoized_cells_are_backend_invariant(
+        requests in collection::vec((1usize..8, 1usize..8, 0usize..8), 2..=5),
+    ) {
+        let sched = Scheduler::with_memo_cap(2, None);
+        let backends = tensor::KernelBackend::available();
+        let initial = tensor::backend::active();
+        let mut distinct_cells = std::collections::HashSet::new();
+        let mut hits = 0usize;
+        for &(dmask, mmask, bpick) in &requests {
+            // Flip the active backend before every run: earlier requests'
+            // memo entries were computed under different backends.
+            let backend = backends[bpick % backends.len()];
+            tensor::backend::set_active(backend).unwrap();
+            let (report, stats) = sched.run(&job_for(dmask, mmask, 0)).unwrap();
+            hits += stats.memo_hits;
+            for d in 0..3 {
+                for m in 0..3 {
+                    if dmask & (1 << d) != 0 && mmask & (1 << m) != 0 {
+                        distinct_cells.insert((d, m));
+                    }
+                }
+            }
+            // Bit-identical to a fresh sequential grid run regardless of
+            // which backend computed the memoized cells.
+            let want = reference(dmask, mmask);
+            for (a, b) in report.cells.iter().zip(&want.cells) {
+                prop_assert_eq!(
+                    a.run.cycles.to_bits(), b.run.cycles.to_bits(),
+                    "cell ({}, {}) diverged under backend {}", a.design, a.model, backend
+                );
+                prop_assert_eq!(a.run.energy.total().to_bits(), b.run.energy.total().to_bits());
+                prop_assert_eq!(a.speedup_vs_gpu.to_bits(), b.speedup_vs_gpu.to_bits());
+            }
+        }
+        // Backend flips never break the dedup: distinct cells simulate
+        // once, everything else was served across backends from the memo.
+        prop_assert_eq!(sched.unique_cells_simulated(), distinct_cells.len());
+        let requested: usize =
+            requests.iter().map(|&(d, m, _)| d.count_ones() as usize * m.count_ones() as usize).sum();
+        prop_assert_eq!(hits, requested - distinct_cells.len());
+        tensor::backend::set_active(initial).unwrap();
+    }
+}
+
 /// Deterministic worst-case overlap: many threads requesting the *same*
 /// sweep concurrently must coalesce onto one simulation per cell.
 #[test]
 fn identical_concurrent_requests_coalesce() {
-    let sched = Scheduler::new(2);
+    let sched = Scheduler::with_memo_cap(2, None);
     const THREADS: usize = 8;
     let results: Vec<(grid::SweepReport, CellStats)> = std::thread::scope(|scope| {
         let sched = &sched;

@@ -74,7 +74,7 @@ impl App for SynthApp {
                     cells_simulated: stats.simulated,
                     ..HitAccounting::default()
                 };
-                response_ok(&req.id, &report, &hits)
+                response_ok(&req.id, &report, &hits, tensor::backend::active())
             }
             Err(e) => response_err(&req.id, &e.to_string()),
         }
@@ -82,7 +82,7 @@ impl App for SynthApp {
 }
 
 fn start(backend: Backend) -> (ServerHandle, Arc<Scheduler>) {
-    let sched = Arc::new(Scheduler::new(3));
+    let sched = Arc::new(Scheduler::with_memo_cap(3, None));
     let app = Arc::new(SynthApp { sched: Arc::clone(&sched) });
     let config = ServerConfig { backend, ..ServerConfig::default() };
     let handle = spawn(app, config).expect("spawn server");
@@ -314,7 +314,7 @@ fn pipelining_far_beyond_the_backpressure_cap_still_answers_everything() {
     // A tiny in-flight cap forces the reactor to park the socket and
     // resume dispatch from the backlog as responses drain; every request
     // must still be answered exactly once.
-    let sched = Arc::new(Scheduler::new(2));
+    let sched = Arc::new(Scheduler::with_memo_cap(2, None));
     let app = Arc::new(SynthApp { sched });
     let config = ServerConfig { max_pending_per_conn: 2, ..ServerConfig::default() };
     let handle = spawn(app, config).expect("spawn server");
@@ -344,7 +344,7 @@ fn pipelining_far_beyond_the_backpressure_cap_still_answers_everything() {
 
 #[test]
 fn oversized_unterminated_lines_drop_the_connection() {
-    let sched = Arc::new(Scheduler::new(1));
+    let sched = Arc::new(Scheduler::with_memo_cap(1, None));
     let app = Arc::new(SynthApp { sched });
     let config = ServerConfig { max_line_bytes: 1024, ..ServerConfig::default() };
     let handle = spawn(app, config).expect("spawn server");

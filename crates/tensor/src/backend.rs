@@ -1,0 +1,339 @@
+//! Kernel-backend selection: the process-wide seam every hot compute
+//! kernel dispatches through.
+//!
+//! Three backends exist, and **all of them produce bit-identical results
+//! for every kernel** — the Ditto equivalence chain (and the serve memo's
+//! cross-request guarantees) rest on exact accumulator values, so a
+//! backend is only ever a *performance* choice:
+//!
+//! * [`KernelBackend::Scalar`] — the pre-tiling reference loops, kept as
+//!   ground truth for tests and benchmarks.
+//! * [`KernelBackend::Tiled`] — cache-blocked, autovectorization-friendly
+//!   loop nests (the previous default). Bit-identical to scalar because
+//!   tiling only reorders *which output rows are visited when*; each
+//!   output element still accumulates in ascending-`k` order.
+//! * [`KernelBackend::Simd`] — explicit `std::arch` intrinsics for the
+//!   integer kernels (AVX2 when detected at runtime, SSE2 otherwise; see
+//!   [`simd_level`]). Bit-identical because `i32` wrapping addition is
+//!   associative, so the reassociated SIMD sums equal the scalar ones
+//!   exactly. The `f32` kernels keep the tiled fixed-order reductions
+//!   under this backend — reassociating float sums would change bits.
+//!
+//! # Selection
+//!
+//! The active backend is resolved once per process, in this order:
+//!
+//! 1. `DITTO_KERNEL_BACKEND` — `scalar`, `tiled`, `simd`, or `auto`. An
+//!    unknown or unavailable value warns on stderr and falls through to
+//!    detection, so a `simd` job on a non-x86 host degrades gracefully
+//!    instead of dying.
+//! 2. CPU detection ([`KernelBackend::detect`]): `Simd` wherever the
+//!    intrinsics exist (x86-64 always has SSE2; AVX2 upgrades at runtime
+//!    via `is_x86_feature_detected!`), `Tiled` elsewhere.
+//!
+//! [`set_active`] overrides the resolved backend at runtime — the serve
+//! wire protocol's optional `backend` field and the cross-backend test
+//! matrices go through it. Because every backend is bit-identical, a
+//! concurrent override can never change any result, only its speed.
+
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// The compute-kernel implementations a process can dispatch to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelBackend {
+    /// Reference scalar loops (`ikj` order, zero-skip).
+    Scalar,
+    /// Cache-blocked tiled loops relying on autovectorization.
+    Tiled,
+    /// Explicit SIMD intrinsics for the integer kernels (x86 AVX2/SSE2);
+    /// f32 kernels run the tiled fixed-order path.
+    Simd,
+}
+
+/// Explicit-SIMD instruction level resolved for this host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SimdLevel {
+    /// No supported SIMD intrinsics; the `Simd` backend is unavailable.
+    None,
+    /// 128-bit SSE2 integer kernels.
+    Sse2,
+    /// 256-bit AVX2 integer kernels.
+    Avx2,
+}
+
+impl SimdLevel {
+    /// Wire/log name of the level.
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdLevel::None => "none",
+            SimdLevel::Sse2 => "sse2",
+            SimdLevel::Avx2 => "avx2",
+        }
+    }
+}
+
+/// One-time runtime CPU-feature detection for the `Simd` backend.
+///
+/// On x86/x86-64 this probes AVX2 then SSE2 with
+/// `is_x86_feature_detected!`; on every other architecture it returns
+/// [`SimdLevel::None`] (a portable `core::simd`/NEON backend is a noted
+/// follow-on). The result is cached for the life of the process.
+pub fn simd_level() -> SimdLevel {
+    static LEVEL: OnceLock<SimdLevel> = OnceLock::new();
+    *LEVEL.get_or_init(detect_simd_level)
+}
+
+#[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+fn detect_simd_level() -> SimdLevel {
+    if std::arch::is_x86_feature_detected!("avx2") {
+        SimdLevel::Avx2
+    } else if std::arch::is_x86_feature_detected!("sse2") {
+        SimdLevel::Sse2
+    } else {
+        SimdLevel::None
+    }
+}
+
+#[cfg(not(any(target_arch = "x86", target_arch = "x86_64")))]
+fn detect_simd_level() -> SimdLevel {
+    SimdLevel::None
+}
+
+impl KernelBackend {
+    /// Every backend, in `scalar < tiled < simd` "optimization order".
+    /// Filter with [`KernelBackend::is_available`] (or use
+    /// [`KernelBackend::available`]) before dispatching.
+    pub const ALL: [KernelBackend; 3] =
+        [KernelBackend::Scalar, KernelBackend::Tiled, KernelBackend::Simd];
+
+    /// Canonical lower-case name, as accepted by [`KernelBackend::parse`],
+    /// `DITTO_KERNEL_BACKEND`, and the serve wire protocol.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelBackend::Scalar => "scalar",
+            KernelBackend::Tiled => "tiled",
+            KernelBackend::Simd => "simd",
+        }
+    }
+
+    /// Parses a backend name (case-insensitive). Returns `None` for
+    /// unknown names — including `auto`, which callers resolve through
+    /// [`KernelBackend::detect`] instead.
+    pub fn parse(s: &str) -> Option<KernelBackend> {
+        match s.to_ascii_lowercase().as_str() {
+            "scalar" => Some(KernelBackend::Scalar),
+            "tiled" => Some(KernelBackend::Tiled),
+            "simd" => Some(KernelBackend::Simd),
+            _ => None,
+        }
+    }
+
+    /// Whether this backend can run on the current host. `Scalar` and
+    /// `Tiled` are portable; `Simd` requires a detected instruction level.
+    pub fn is_available(self) -> bool {
+        match self {
+            KernelBackend::Scalar | KernelBackend::Tiled => true,
+            KernelBackend::Simd => simd_level() != SimdLevel::None,
+        }
+    }
+
+    /// The backends available on this host, in [`KernelBackend::ALL`]
+    /// order — the axis every cross-backend bit-identity test iterates.
+    pub fn available() -> Vec<KernelBackend> {
+        KernelBackend::ALL.into_iter().filter(|b| b.is_available()).collect()
+    }
+
+    /// The best available backend: `Simd` where intrinsics exist, `Tiled`
+    /// elsewhere.
+    pub fn detect() -> KernelBackend {
+        if KernelBackend::Simd.is_available() {
+            KernelBackend::Simd
+        } else {
+            KernelBackend::Tiled
+        }
+    }
+
+    fn encode(self) -> u8 {
+        match self {
+            KernelBackend::Scalar => 1,
+            KernelBackend::Tiled => 2,
+            KernelBackend::Simd => 3,
+        }
+    }
+
+    fn decode(v: u8) -> Option<KernelBackend> {
+        match v {
+            1 => Some(KernelBackend::Scalar),
+            2 => Some(KernelBackend::Tiled),
+            3 => Some(KernelBackend::Simd),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for KernelBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error returned by [`set_active`] for a backend the host cannot run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackendUnavailable {
+    /// The rejected backend.
+    pub backend: KernelBackend,
+}
+
+impl std::fmt::Display for BackendUnavailable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "kernel backend `{}` is not available on this host", self.backend)
+    }
+}
+
+impl std::error::Error for BackendUnavailable {}
+
+/// The process-wide active backend: 0 = unresolved, else
+/// `KernelBackend::encode`.
+static ACTIVE: AtomicU8 = AtomicU8::new(0);
+
+/// The process-wide active kernel backend, resolving
+/// `DITTO_KERNEL_BACKEND` / CPU detection on first use (see the module
+/// docs for the order). This is one relaxed atomic load on the hot path.
+pub fn active() -> KernelBackend {
+    match KernelBackend::decode(ACTIVE.load(Ordering::Relaxed)) {
+        Some(b) => b,
+        None => {
+            let resolved = resolve_from_env();
+            // Publish only if still unresolved: a plain store could
+            // clobber a `set_active` override that raced with this
+            // resolution. Racing first calls resolve the same value, so
+            // whichever install wins is correct either way.
+            match ACTIVE.compare_exchange(
+                0,
+                resolved.encode(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => resolved,
+                Err(winner) => {
+                    KernelBackend::decode(winner).expect("non-zero ACTIVE values are encodings")
+                }
+            }
+        }
+    }
+}
+
+/// Overrides the active backend for the rest of the process (or until the
+/// next call). Results are bit-identical across backends, so flipping this
+/// concurrently with running kernels is benign — it changes speed, never
+/// values.
+///
+/// # Errors
+///
+/// [`BackendUnavailable`] if the host cannot run `backend`; the active
+/// backend is left unchanged.
+pub fn set_active(backend: KernelBackend) -> Result<(), BackendUnavailable> {
+    if !backend.is_available() {
+        return Err(BackendUnavailable { backend });
+    }
+    ACTIVE.store(backend.encode(), Ordering::Relaxed);
+    Ok(())
+}
+
+/// Resolves the startup backend from `DITTO_KERNEL_BACKEND`, falling back
+/// to detection with a (once-only) stderr warning on unknown or
+/// unavailable values.
+fn resolve_from_env() -> KernelBackend {
+    static WARNED: AtomicBool = AtomicBool::new(false);
+    let warn_once = |msg: String| {
+        if !WARNED.swap(true, Ordering::Relaxed) {
+            eprintln!("{msg}");
+        }
+    };
+    match std::env::var("DITTO_KERNEL_BACKEND") {
+        Ok(raw) if !raw.trim().is_empty() && !raw.trim().eq_ignore_ascii_case("auto") => {
+            match KernelBackend::parse(raw.trim()) {
+                Some(b) if b.is_available() => b,
+                Some(b) => {
+                    let fallback = KernelBackend::detect();
+                    warn_once(format!(
+                        "[tensor] DITTO_KERNEL_BACKEND={b} is not available on this host \
+                         (simd level: {}); using `{fallback}`",
+                        simd_level().name()
+                    ));
+                    fallback
+                }
+                None => {
+                    let fallback = KernelBackend::detect();
+                    warn_once(format!(
+                        "[tensor] unknown DITTO_KERNEL_BACKEND `{raw}` \
+                         (expected scalar|tiled|simd|auto); using `{fallback}`"
+                    ));
+                    fallback
+                }
+            }
+        }
+        _ => KernelBackend::detect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip_through_parse() {
+        for b in KernelBackend::ALL {
+            assert_eq!(KernelBackend::parse(b.name()), Some(b));
+            assert_eq!(KernelBackend::parse(&b.name().to_uppercase()), Some(b));
+        }
+        assert_eq!(KernelBackend::parse("auto"), None);
+        assert_eq!(KernelBackend::parse("warp9"), None);
+    }
+
+    #[test]
+    fn portable_backends_are_always_available() {
+        assert!(KernelBackend::Scalar.is_available());
+        assert!(KernelBackend::Tiled.is_available());
+        let avail = KernelBackend::available();
+        assert!(avail.len() >= 2);
+        assert_eq!(avail.contains(&KernelBackend::Simd), KernelBackend::Simd.is_available());
+    }
+
+    #[test]
+    fn detect_prefers_simd_when_available() {
+        let detected = KernelBackend::detect();
+        if KernelBackend::Simd.is_available() {
+            assert_eq!(detected, KernelBackend::Simd);
+        } else {
+            assert_eq!(detected, KernelBackend::Tiled);
+        }
+    }
+
+    #[test]
+    fn simd_availability_matches_level() {
+        assert_eq!(KernelBackend::Simd.is_available(), simd_level() != SimdLevel::None);
+        #[cfg(target_arch = "x86_64")]
+        assert_ne!(simd_level(), SimdLevel::None, "x86-64 baseline includes SSE2");
+    }
+
+    #[test]
+    fn set_active_switches_and_rejects_unavailable() {
+        // One test owns the global to avoid cross-test interference on the
+        // asserted-active value (results never depend on it, but this
+        // assertion does). Restore the resolved default afterwards.
+        let initial = active();
+        for b in KernelBackend::available() {
+            set_active(b).unwrap();
+            assert_eq!(active(), b);
+        }
+        if !KernelBackend::Simd.is_available() {
+            set_active(KernelBackend::Tiled).unwrap();
+            let err = set_active(KernelBackend::Simd).unwrap_err();
+            assert_eq!(err.backend, KernelBackend::Simd);
+            assert_eq!(active(), KernelBackend::Tiled, "failed set must not switch");
+        }
+        set_active(initial).unwrap();
+    }
+}

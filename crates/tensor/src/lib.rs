@@ -13,6 +13,11 @@
 //!   multiplication, 2-D convolution (direct and im2col), normalization
 //!   (group / layer), activations (SiLU, GeLU, softmax), pooling and
 //!   element-wise arithmetic.
+//! * [`backend`] — the pluggable kernel-backend layer
+//!   ([`KernelBackend`]: scalar / tiled / explicit-SIMD) every hot kernel
+//!   dispatches through; all backends are bit-identical, so selection
+//!   (`DITTO_KERNEL_BACKEND`, runtime CPU detection, or the serve wire
+//!   protocol) is purely a performance choice.
 //! * [`stats`] — the statistics the paper's analyses are built on: value
 //!   ranges, cosine similarity, means and variances.
 //!
@@ -28,6 +33,7 @@
 //! # Ok::<(), tensor::TensorError>(())
 //! ```
 
+pub mod backend;
 pub mod error;
 pub mod ops;
 pub mod rng;
@@ -35,6 +41,7 @@ pub mod shape;
 pub mod stats;
 pub mod tensor;
 
+pub use backend::KernelBackend;
 pub use error::TensorError;
 pub use rng::Rng;
 pub use shape::Shape;

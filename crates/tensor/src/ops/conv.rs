@@ -10,7 +10,8 @@
 
 use std::cell::RefCell;
 
-use crate::ops::matmul::matmul_acc;
+use crate::backend::{self, KernelBackend};
+use crate::ops::matmul::matmul_acc_with;
 use crate::{Result, Tensor, TensorError};
 
 thread_local! {
@@ -117,11 +118,30 @@ pub fn conv2d(
     bias: Option<&Tensor>,
     params: Conv2dParams,
 ) -> Result<Tensor> {
+    conv2d_with(backend::active(), input, weight, bias, params)
+}
+
+/// [`conv2d`] on an explicit backend. The direct-vs-im2col routing
+/// threshold is backend-independent; the backend selects the accumulation
+/// kernel *inside* the im2col path (`Scalar` = streaming order, others =
+/// tiled), so all backends stay bit-identical — including the `-0.0` bias
+/// corner the direct loop differs in (see [`conv2d_im2col`]).
+///
+/// # Errors
+///
+/// Returns shape/rank errors if operands are inconsistent.
+pub fn conv2d_with(
+    backend: KernelBackend,
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    params: Conv2dParams,
+) -> Result<Tensor> {
     let (c_in, h, w, c_out) = check_conv2d_shapes(input, weight, bias, params)?;
     let k = params.kernel;
     let macs = c_out * params.out_extent(h) * params.out_extent(w) * c_in * k * k;
     if macs >= IM2COL_MAC_THRESHOLD {
-        conv2d_im2col(input, weight, bias, params)
+        conv2d_im2col_with(backend, input, weight, bias, params)
     } else {
         conv2d_direct(input, weight, bias, params)
     }
@@ -204,6 +224,22 @@ pub fn conv2d_im2col(
     bias: Option<&Tensor>,
     params: Conv2dParams,
 ) -> Result<Tensor> {
+    conv2d_im2col_with(backend::active(), input, weight, bias, params)
+}
+
+/// [`conv2d_im2col`] with the accumulation kernel run on an explicit
+/// backend (bit-identical across backends).
+///
+/// # Errors
+///
+/// Returns shape/rank errors if operands are inconsistent.
+pub fn conv2d_im2col_with(
+    backend: KernelBackend,
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    params: Conv2dParams,
+) -> Result<Tensor> {
     let (c_in, h, w, c_out) = check_conv2d_shapes(input, weight, bias, params)?;
     let k = params.kernel;
     let ho = params.out_extent(h);
@@ -242,7 +278,7 @@ pub fn conv2d_im2col(
             }
             None => s.prod.fill(0.0),
         }
-        matmul_acc(&mut s.prod, &s.cols, &s.wt, pixels, ckk, c_out);
+        matmul_acc_with(backend, &mut s.prod, &s.cols, &s.wt, pixels, ckk, c_out);
 
         // De-interleave to channel-major NCHW.
         let mut out = Tensor::zeros(&[c_out, ho, wo]);
@@ -426,6 +462,35 @@ mod tests {
                 {
                     assert_eq!(d.to_bits(), f.to_bits(), "reused scratch diverged from fresh");
                     assert_eq!(f.to_bits(), s.to_bits(), "repeat call not reproducible");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_backend_is_bit_identical() {
+        let mut rng = Rng::seed_from(17);
+        let cases = [
+            (3usize, 6usize, 4usize, Conv2dParams::same3x3()),
+            (16, 16, 32, Conv2dParams { kernel: 3, stride: 2, padding: 1 }),
+            (32, 16, 32, Conv2dParams::same3x3()),
+        ];
+        for &(c_in, hw, c_out, p) in &cases {
+            let input = Tensor::randn(&[c_in, hw, hw], &mut rng);
+            let weight = Tensor::randn(&[c_out, c_in, p.kernel, p.kernel], &mut rng);
+            let bias = Tensor::randn(&[c_out], &mut rng);
+            for b in [None, Some(&bias)] {
+                let want =
+                    conv2d_with(crate::KernelBackend::Scalar, &input, &weight, b, p).unwrap();
+                for backend in crate::backend::KernelBackend::available() {
+                    let got = conv2d_with(backend, &input, &weight, b, p).unwrap();
+                    for (x, y) in got.as_slice().iter().zip(want.as_slice()) {
+                        assert_eq!(
+                            x.to_bits(),
+                            y.to_bits(),
+                            "conv2d backend {backend} diverged at c_in={c_in} hw={hw}"
+                        );
+                    }
                 }
             }
         }

@@ -1,14 +1,20 @@
 //! Matrix multiplication kernels.
 //!
-//! The public entry points ([`matmul`], [`matvec`]) are cache-blocked,
-//! autovectorization-friendly tiled kernels. Tiling only *reorders which
-//! output rows are visited when*; for every individual output element the
-//! products are still accumulated in ascending `k` order with the same
-//! zero-skip as the scalar loops, so results are exactly those of the
-//! reference kernels ([`matmul_scalar`], [`matvec_scalar`]) — a requirement
+//! The public entry points ([`matmul`], [`matvec`]) are thin dispatchers
+//! over the process-wide [`crate::backend`] selection. Every backend is
+//! bit-identical: the tiled kernels only *reorder which output rows are
+//! visited when*; for every individual output element the products are
+//! still accumulated in ascending `k` order with the same zero-skip as
+//! the scalar loops, so results are exactly those of the reference
+//! kernels ([`matmul_scalar`], [`matvec_scalar`]) — a requirement
 //! inherited from the Ditto equivalence claim, which rests on exact
-//! accumulator values end to end.
+//! accumulator values end to end. The explicit-SIMD backend routes these
+//! `f32` kernels to the tiled fixed-order path (reassociating float
+//! reductions would change bits); its intrinsics live in the integer
+//! kernels (`quant::kernels::simd`), where wrapping-`i32` associativity
+//! keeps any order exact.
 
+use crate::backend::{self, KernelBackend};
 use crate::{Result, Tensor, TensorError};
 
 /// Rows of the left operand processed together by the tiled kernels. Each
@@ -28,18 +34,32 @@ const KC: usize = 256;
 /// performance dispatch.
 const B_ELEMS_BLOCK_THRESHOLD: usize = 1 << 14;
 
-/// Accumulates `a [m,k] × b [k,n]` on top of `out [m,n]` in place.
+/// Accumulates `a [m,k] × b [k,n]` on top of `out [m,n]` in place on an
+/// explicit backend. `Scalar` runs the reference `ikj` streaming order;
+/// `Tiled` and `Simd` run the cache-blocked order (explicit SIMD keeps
+/// f32 reductions in tiled fixed order — see the module docs). All are
+/// bit-identical per output element.
 ///
 /// `out` may carry initial values (zeros for a plain matmul, a broadcast
 /// bias for the im2col convolution path). For each output element the
 /// contributions arrive in ascending `k` order and `a` zeros are skipped,
 /// exactly like the scalar reference kernel.
-pub(crate) fn matmul_acc(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+pub(crate) fn matmul_acc_with(
+    backend: KernelBackend,
+    out: &mut [f32],
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
     debug_assert_eq!(out.len(), m * n);
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
-    if k * n <= B_ELEMS_BLOCK_THRESHOLD || m < 2 {
-        // Small B: the streaming `ikj` order wins (see threshold doc).
+    let scalar = backend == KernelBackend::Scalar;
+    if scalar || k * n <= B_ELEMS_BLOCK_THRESHOLD || m < 2 {
+        // Scalar backend, or small B where the streaming `ikj` order wins
+        // (see threshold doc) on the blocked backends too.
         for i in 0..m {
             for kk in 0..k {
                 let aik = a[i * k + kk];
@@ -94,6 +114,17 @@ pub(crate) fn matmul_acc(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usi
 /// # Ok::<(), tensor::TensorError>(())
 /// ```
 pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    matmul_with(backend::active(), a, b)
+}
+
+/// [`matmul`] on an explicit backend — the entry point the cross-backend
+/// bit-identity tests and benchmarks use; results are identical for every
+/// backend.
+///
+/// # Errors
+///
+/// Same error conditions as [`matmul`].
+pub fn matmul_with(backend: KernelBackend, a: &Tensor, b: &Tensor) -> Result<Tensor> {
     a.shape().expect_rank(2)?;
     b.shape().expect_rank(2)?;
     let (m, k) = (a.dims()[0], a.dims()[1]);
@@ -102,7 +133,7 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
         return Err(TensorError::MatmulDimMismatch { left_cols: k, right_rows: k2 });
     }
     let mut out = Tensor::zeros(&[m, n]);
-    matmul_acc(out.as_mut_slice(), a.as_slice(), b.as_slice(), m, k, n);
+    matmul_acc_with(backend, out.as_mut_slice(), a.as_slice(), b.as_slice(), m, k, n);
     Ok(out)
 }
 
@@ -151,6 +182,21 @@ pub fn matmul_scalar(a: &Tensor, b: &Tensor) -> Result<Tensor> {
 ///
 /// Returns a rank or dimension mismatch error as for [`matmul`].
 pub fn matvec(a: &Tensor, x: &Tensor) -> Result<Tensor> {
+    matvec_with(backend::active(), a, x)
+}
+
+/// [`matvec`] on an explicit backend (`Scalar` runs [`matvec_scalar`]'s
+/// one-row loop; `Tiled`/`Simd` run the four-row pass). Bit-identical for
+/// every backend: each output row's dot product accumulates in ascending
+/// `k` order on all of them.
+///
+/// # Errors
+///
+/// Same error conditions as [`matvec`].
+pub fn matvec_with(backend: KernelBackend, a: &Tensor, x: &Tensor) -> Result<Tensor> {
+    if backend == KernelBackend::Scalar {
+        return matvec_scalar(a, x);
+    }
     a.shape().expect_rank(2)?;
     x.shape().expect_rank(1)?;
     let (m, k) = (a.dims()[0], a.dims()[1]);
@@ -181,10 +227,22 @@ pub fn matvec(a: &Tensor, x: &Tensor) -> Result<Tensor> {
         i += 4;
     }
     for i in i..m {
-        let row = &av[i * k..(i + 1) * k];
-        ov[i] = row.iter().zip(xv).map(|(&w, &v)| w * v).sum();
+        ov[i] = dot(&av[i * k..(i + 1) * k], xv);
     }
     Ok(out)
+}
+
+/// Sequential dot product folded from an explicit `0.0` accumulator, so
+/// every matvec path (scalar, tail rows, four-row blocks) shares the same
+/// `-0.0` semantics. (`Iterator::sum` seeds from the first element, which
+/// would make a single `-0.0` product sum to `-0.0` while an accumulator
+/// loop yields `+0.0`.)
+fn dot(row: &[f32], xv: &[f32]) -> f32 {
+    let mut acc = 0.0f32;
+    for (&w, &v) in row.iter().zip(xv) {
+        acc += w * v;
+    }
+    acc
 }
 
 /// Scalar reference matvec: one sequential dot product per output row.
@@ -204,8 +262,7 @@ pub fn matvec_scalar(a: &Tensor, x: &Tensor) -> Result<Tensor> {
     let xv = x.as_slice();
     let ov = out.as_mut_slice();
     for i in 0..m {
-        let row = &av[i * k..(i + 1) * k];
-        ov[i] = row.iter().zip(xv).map(|(&w, &v)| w * v).sum();
+        ov[i] = dot(&av[i * k..(i + 1) * k], xv);
     }
     Ok(out)
 }
@@ -292,6 +349,33 @@ mod tests {
     }
 
     #[test]
+    fn every_backend_is_bit_identical() {
+        let mut rng = Rng::seed_from(23);
+        for &(m, k, n) in &[(1usize, 1usize, 1usize), (7, 40, 9), (9, 300, 60)] {
+            let mut a = Tensor::randn(&[m, k], &mut rng);
+            for v in a.as_mut_slice().iter_mut() {
+                if rng.next_f64() < 0.3 {
+                    *v = 0.0;
+                }
+            }
+            let b = Tensor::randn(&[k, n], &mut rng);
+            let x = Tensor::randn(&[k], &mut rng);
+            let want = matmul_with(KernelBackend::Scalar, &a, &b).unwrap();
+            let want_v = matvec_with(KernelBackend::Scalar, &a, &x).unwrap();
+            for backend in KernelBackend::available() {
+                let got = matmul_with(backend, &a, &b).unwrap();
+                for (p, q) in got.as_slice().iter().zip(want.as_slice()) {
+                    assert_eq!(p.to_bits(), q.to_bits(), "matmul {backend} at {m}x{k}x{n}");
+                }
+                let got_v = matvec_with(backend, &a, &x).unwrap();
+                for (p, q) in got_v.as_slice().iter().zip(want_v.as_slice()) {
+                    assert_eq!(p.to_bits(), q.to_bits(), "matvec {backend} at {m}x{k}");
+                }
+            }
+        }
+    }
+
+    #[test]
     fn matvec_matches_matmul() {
         let a = t(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
         let x = t(vec![1.0, 0.5, -1.0], &[3]);
@@ -316,7 +400,7 @@ mod tests {
         let a = t(vec![1.0, 2.0], &[1, 2]);
         let b = t(vec![3.0, 4.0], &[2, 1]);
         let mut out = [10.0f32];
-        matmul_acc(&mut out, a.as_slice(), b.as_slice(), 1, 2, 1);
+        matmul_acc_with(backend::active(), &mut out, a.as_slice(), b.as_slice(), 1, 2, 1);
         assert_eq!(out[0], 10.0 + 3.0 + 8.0);
     }
 

@@ -1,12 +1,17 @@
 //! Layer kernels used by denoising models.
 //!
-//! The hot kernels ([`matmul`], [`matvec`], [`conv2d`]) are cache-blocked
-//! tiled implementations that produce *exactly* the reference results: the
-//! per-output-element accumulation order of the scalar loops is preserved,
-//! so the Ditto equivalence claim (which rests on exact accumulator values)
-//! survives the optimization. The scalar references stay available
-//! ([`matmul_scalar`], [`matvec_scalar`], [`conv2d_direct`]) as ground
-//! truth for tests and benchmarks. Algebraic properties — including the
+//! The hot kernels ([`matmul`], [`matvec`], [`conv2d`]) are thin
+//! dispatchers over the pluggable [`crate::backend`] layer: the scalar
+//! reference loops, the cache-blocked tiled implementations (default
+//! where no SIMD exists), or explicit SIMD. Every backend produces
+//! *exactly* the same results: the per-output-element accumulation order
+//! of the scalar loops is preserved, so the Ditto equivalence claim
+//! (which rests on exact accumulator values) survives the optimization.
+//! The scalar references stay available ([`matmul_scalar`],
+//! [`matvec_scalar`], [`conv2d_direct`]) as ground truth for tests and
+//! benchmarks, and the `*_with` variants ([`matmul_with`],
+//! [`matvec_with`], [`conv2d_with`]) pin a backend explicitly for
+//! cross-backend test matrices. Algebraic properties — including the
 //! Ditto core identity, distributivity of linear kernels over operand
 //! sums — are property-tested in `tests/props.rs`.
 
@@ -18,8 +23,10 @@ pub mod norm;
 pub mod pool;
 
 pub use activation::{gelu, sigmoid, silu, softmax_rows};
-pub use conv::{conv2d, conv2d_direct, conv2d_im2col, im2col, Conv2dParams};
+pub use conv::{
+    conv2d, conv2d_direct, conv2d_im2col, conv2d_im2col_with, conv2d_with, im2col, Conv2dParams,
+};
 pub use elementwise::{add, mul, scale, sub};
-pub use matmul::{matmul, matmul_scalar, matvec, matvec_scalar};
+pub use matmul::{matmul, matmul_scalar, matmul_with, matvec, matvec_scalar, matvec_with};
 pub use norm::{group_norm, layer_norm};
 pub use pool::{avg_pool2d, global_avg_pool};

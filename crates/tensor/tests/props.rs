@@ -6,7 +6,7 @@
 
 use proptest::prelude::*;
 use tensor::ops::{self, Conv2dParams};
-use tensor::{stats, Rng, Tensor};
+use tensor::{stats, KernelBackend, Rng, Tensor};
 
 fn approx_eq(a: &Tensor, b: &Tensor, tol: f32) -> bool {
     a.dims() == b.dims()
@@ -39,6 +39,57 @@ proptest! {
             &ops::matmul(&d, &w).unwrap(),
         ).unwrap();
         prop_assert!(approx_eq(&lhs, &rhs, 1e-4));
+    }
+
+    /// The f32 kernels are bit-identical on every available backend (the
+    /// explicit-SIMD backend keeps f32 reductions in the tiled fixed
+    /// order, so even it must not move a single bit).
+    #[test]
+    fn backend_matrix_is_bit_identical(
+        m in 1usize..10, k in 1usize..40, n in 1usize..10,
+        zero_pct in 0u32..60, seed in any::<u64>(),
+    ) {
+        let mut rng = Rng::seed_from(seed);
+        let mut a = Tensor::randn(&[m, k], &mut rng);
+        for v in a.as_mut_slice().iter_mut() {
+            if rng.next_below(100) < zero_pct as usize {
+                *v = 0.0;
+            }
+        }
+        let b = Tensor::randn(&[k, n], &mut rng);
+        let x = Tensor::randn(&[k], &mut rng);
+        let want = ops::matmul_with(KernelBackend::Scalar, &a, &b).unwrap();
+        let want_v = ops::matvec_with(KernelBackend::Scalar, &a, &x).unwrap();
+        for backend in KernelBackend::available() {
+            let got = ops::matmul_with(backend, &a, &b).unwrap();
+            for (p, q) in got.as_slice().iter().zip(want.as_slice()) {
+                prop_assert_eq!(p.to_bits(), q.to_bits(), "matmul diverged on {}", backend);
+            }
+            let got_v = ops::matvec_with(backend, &a, &x).unwrap();
+            for (p, q) in got_v.as_slice().iter().zip(want_v.as_slice()) {
+                prop_assert_eq!(p.to_bits(), q.to_bits(), "matvec diverged on {}", backend);
+            }
+        }
+    }
+
+    /// conv2d on every backend is bit-identical, across the direct/im2col
+    /// routing threshold.
+    #[test]
+    fn conv_backend_matrix_is_bit_identical(
+        c_in in 1usize..8, hw in 3usize..10, c_out in 1usize..12, seed in any::<u64>(),
+    ) {
+        let mut rng = Rng::seed_from(seed);
+        let p = Conv2dParams::same3x3();
+        let input = Tensor::randn(&[c_in, hw, hw], &mut rng);
+        let weight = Tensor::randn(&[c_out, c_in, 3, 3], &mut rng);
+        let bias = Tensor::randn(&[c_out], &mut rng);
+        let want = ops::conv2d_with(KernelBackend::Scalar, &input, &weight, Some(&bias), p).unwrap();
+        for backend in KernelBackend::available() {
+            let got = ops::conv2d_with(backend, &input, &weight, Some(&bias), p).unwrap();
+            for (x, y) in got.as_slice().iter().zip(want.as_slice()) {
+                prop_assert_eq!(x.to_bits(), y.to_bits(), "conv2d diverged on {}", backend);
+            }
+        }
     }
 
     /// conv2d(x + d) == conv2d(x) + conv2d(d) when bias is folded once.
