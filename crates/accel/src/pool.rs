@@ -157,11 +157,28 @@ impl PriorityPool {
     /// Enqueues `job` at `priority` (higher runs sooner; FIFO within a
     /// level). The job runs on one worker thread exactly once.
     pub fn submit(&self, priority: i64, job: impl FnOnce() + Send + 'static) {
+        self.submit_counted(priority, job);
+    }
+
+    /// Like [`submit`](Self::submit), but returns the queue depth
+    /// *including the just-enqueued job*, observed atomically under the
+    /// queue lock — the "queue depth at enqueue" instrumentation point the
+    /// serve observability layer records (a post-hoc
+    /// [`queue_depth`](Self::queue_depth) read would race the workers).
+    pub fn submit_counted(&self, priority: i64, job: impl FnOnce() + Send + 'static) -> usize {
         let seq = self.shared.seq.fetch_add(1, Ordering::Relaxed) as u64;
         let mut state = self.shared.state.lock().expect("pool state");
         state.queue.push(QueuedJob { priority, seq, run: Box::new(job) });
+        let depth = state.queue.len();
         drop(state);
         self.shared.available.notify_one();
+        depth
+    }
+
+    /// Jobs currently queued (excluding any already claimed by a worker).
+    /// Advisory: the value may be stale by the time the caller uses it.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.state.lock().expect("pool state").queue.len()
     }
 
     /// The number of worker threads.
@@ -228,6 +245,30 @@ mod tests {
         drop(log_tx);
         let order: Vec<_> = log_rx.iter().collect();
         assert_eq!(order, vec!["f9", "b5", "e5", "a0", "c0", "d-3"]);
+    }
+
+    #[test]
+    fn submit_counted_reports_depth_at_enqueue() {
+        // One worker blocked on a gate: depths grow deterministically as
+        // jobs stack up behind it, and drain to zero once it opens.
+        let pool = PriorityPool::new(1);
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let d0 = pool.submit_counted(0, move || {
+            gate_rx.recv().expect("gate opens");
+        });
+        assert_eq!(d0, 1, "first submit sees only itself");
+        // Give the worker a moment to claim the gate job off the queue.
+        for _ in 0..200 {
+            if pool.queue_depth() == 0 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(pool.queue_depth(), 0, "claimed job leaves the queue");
+        assert_eq!(pool.submit_counted(0, || {}), 1);
+        assert_eq!(pool.submit_counted(0, || {}), 2);
+        assert_eq!(pool.submit_counted(5, || {}), 3);
+        gate_tx.send(()).expect("worker waiting on gate");
     }
 
     #[test]

@@ -1,0 +1,287 @@
+//! A fixed-bucket log-scale histogram for latency and depth aggregates.
+//!
+//! The observability layer (`serve::obs`) records microsecond latencies and
+//! queue depths on hot paths, so the container must be allocation-free and
+//! O(1) per record: a fixed array of buckets whose widths grow
+//! geometrically. Values below 8 get exact unit buckets; above that, each
+//! power of two is split into 4 sub-buckets, bounding the relative
+//! quantization error of any reported percentile at 25% (the width of a
+//! bucket relative to its lower edge is at most 1/4).
+//!
+//! Percentiles are defined the way a sorted-vector oracle defines them —
+//! [`LogHistogram::percentile`]`(p)` reports the bucket holding the
+//! ⌈p/100·count⌉-th smallest recorded value (its inclusive upper edge), so
+//! the exact order statistic always falls inside the returned bucket. The
+//! property tests in `crates/core/tests/hist_props.rs` hold the histogram
+//! to exactly that contract against a sorted vector.
+
+use crate::jsonio::{ToJson, Value};
+
+/// Exact unit buckets for values `0..8`.
+const EXACT: usize = 8;
+/// Sub-buckets per power of two above the exact range.
+const SUBS: usize = 4;
+/// Bucket count: 8 exact + 4 sub-buckets for each of the 61 octaves
+/// `2^3..=2^63` (values `8..=u64::MAX`).
+const BUCKETS: usize = EXACT + SUBS * 61;
+
+/// A fixed-bucket log-scale histogram over `u64` samples.
+///
+/// ```
+/// use ditto_core::hist::LogHistogram;
+///
+/// let mut h = LogHistogram::new();
+/// for v in [3, 3, 90, 1_000_000] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 4);
+/// assert_eq!(h.percentile(50.0), 3); // values < 8 are exact
+/// assert_eq!(h.max(), 1_000_000);
+/// assert!(h.percentile(75.0) >= 90); // bucket upper edge ≥ the sample
+/// ```
+#[derive(Clone)]
+pub struct LogHistogram {
+    buckets: Box<[u64; BUCKETS]>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram::new()
+    }
+}
+
+impl std::fmt::Debug for LogHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LogHistogram")
+            .field("count", &self.count)
+            .field("min", &self.min)
+            .field("max", &self.max)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The bucket index a value lands in (shared by `record` and the oracle
+/// check in the property tests).
+pub fn bucket_index(v: u64) -> usize {
+    if v < EXACT as u64 {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros() as usize; // ≥ 3 here
+    let sub = ((v >> (msb - 2)) & (SUBS as u64 - 1)) as usize;
+    EXACT + (msb - 3) * SUBS + sub
+}
+
+/// The inclusive upper edge of a bucket — what percentiles report.
+fn bucket_upper(i: usize) -> u64 {
+    if i < EXACT {
+        return i as u64;
+    }
+    let msb = (i - EXACT) / SUBS + 3;
+    let sub = ((i - EXACT) % SUBS) as u64;
+    let width = 1u64 << (msb - 2);
+    let lower = (1u64 << msb) + sub * width;
+    lower + (width - 1)
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LogHistogram { buckets: Box::new([0; BUCKETS]), count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+
+    /// Records one sample. O(1), allocation-free.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum += v as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.max
+        }
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Mean of recorded samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `p`-th percentile (`0.0..=100.0`): the inclusive upper edge of
+    /// the bucket holding the ⌈p/100·count⌉-th smallest sample (clamped to
+    /// rank 1; `p = 100` is the bucket of the maximum). Returns 0 when
+    /// empty. Exact for values below 8; otherwise within 25% (one
+    /// sub-bucket) above the exact order statistic, and never above the
+    /// recorded maximum's bucket edge.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil() as u64;
+        let rank = rank.clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The standard summary object every consumer (obs summaries, bench
+    /// reports) embeds: `{count, mean, p50, p90, p99, max}`.
+    pub fn summary_json(&self) -> Value {
+        Value::Obj(vec![
+            ("count".into(), self.count.to_json()),
+            ("mean".into(), Value::Num(self.mean())),
+            ("p50".into(), self.percentile(50.0).to_json()),
+            ("p90".into(), self.percentile(90.0).to_json()),
+            ("p99".into(), self.percentile(99.0).to_json()),
+            ("max".into(), self.max().to_json()),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(50.0), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LogHistogram::new();
+        for v in [0, 1, 1, 2, 3, 7, 7, 7] {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(0.0), 0);
+        assert_eq!(h.percentile(50.0), 2);
+        assert_eq!(h.percentile(100.0), 7);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 7);
+    }
+
+    #[test]
+    fn buckets_are_contiguous_and_monotonic() {
+        // Every value's bucket upper edge is ≥ the value, and bucket
+        // indices never decrease as values grow.
+        let mut values: Vec<u64> = (0u32..64)
+            .flat_map(|shift| {
+                [0u64, 1, 2, 3]
+                    .map(|off| (1u64 << shift).saturating_add(off << shift.saturating_sub(2)))
+            })
+            .collect();
+        values.sort_unstable();
+        let mut prev = 0;
+        for v in values {
+            let i = bucket_index(v);
+            assert!(i >= prev, "index regressed at {v}");
+            assert!(bucket_upper(i) >= v, "upper edge below value {v}");
+            prev = i;
+        }
+        assert!(bucket_index(u64::MAX) < BUCKETS);
+    }
+
+    #[test]
+    fn percentile_is_within_one_bucket_of_exact() {
+        let mut h = LogHistogram::new();
+        let samples: Vec<u64> = (0..1000).map(|i| (i * i * 37 + i) as u64).collect();
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for &s in &samples {
+            h.record(s);
+        }
+        for p in [1.0, 25.0, 50.0, 90.0, 99.0, 100.0] {
+            let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+            let exact = sorted[rank - 1];
+            let got = h.percentile(p);
+            assert_eq!(
+                bucket_index(got.max(exact)),
+                bucket_index(exact),
+                "p{p}: got {got}, exact {exact}"
+            );
+            assert!(got >= exact, "percentile must be an upper bound: p{p} {got} < {exact}");
+        }
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_into_one() {
+        let (mut a, mut b, mut all) =
+            (LogHistogram::new(), LogHistogram::new(), LogHistogram::new());
+        for i in 0..500u64 {
+            let v = i * 13 % 9001;
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.max(), all.max());
+        assert_eq!(a.min(), all.min());
+        for p in [10.0, 50.0, 99.0] {
+            assert_eq!(a.percentile(p), all.percentile(p));
+        }
+    }
+
+    #[test]
+    fn summary_json_has_the_stable_keys() {
+        let mut h = LogHistogram::new();
+        h.record(5);
+        h.record(500);
+        let v = h.summary_json();
+        for key in ["count", "mean", "p50", "p90", "p99", "max"] {
+            assert!(v.get(key).is_ok(), "missing `{key}`");
+        }
+        assert_eq!(v.get("count").unwrap(), &Value::Int(2));
+    }
+}

@@ -121,6 +121,47 @@ fn write_value(out: &mut String, v: &Value) {
     }
 }
 
+fn write_value_pretty(out: &mut String, v: &Value, indent: usize) {
+    const PAD: &str = "  ";
+    match v {
+        Value::Arr(items) if !items.is_empty() => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                out.push_str(if i > 0 { ",\n" } else { "\n" });
+                out.push_str(&PAD.repeat(indent + 1));
+                write_value_pretty(out, item, indent + 1);
+            }
+            out.push('\n');
+            out.push_str(&PAD.repeat(indent));
+            out.push(']');
+        }
+        Value::Obj(fields) if !fields.is_empty() => {
+            out.push('{');
+            for (i, (k, val)) in fields.iter().enumerate() {
+                out.push_str(if i > 0 { ",\n" } else { "\n" });
+                out.push_str(&PAD.repeat(indent + 1));
+                write_escaped(out, k);
+                out.push_str(": ");
+                write_value_pretty(out, val, indent + 1);
+            }
+            out.push('\n');
+            out.push_str(&PAD.repeat(indent));
+            out.push('}');
+        }
+        other => write_value(out, other),
+    }
+}
+
+/// Serializes with 2-space indentation and a trailing newline — the format
+/// for committed artifacts (`BENCH_*.json`) and `summary.json`, which are
+/// meant to be read (and diffed) by humans in review.
+pub fn to_vec_pretty<T: ToJson>(value: &T) -> Vec<u8> {
+    let mut out = String::new();
+    write_value_pretty(&mut out, &value.to_json(), 0);
+    out.push('\n');
+    out.into_bytes()
+}
+
 // --------------------------------------------------------------------------
 // Parser
 // --------------------------------------------------------------------------
@@ -880,6 +921,20 @@ mod tests {
         assert_eq!(f.next_line(), None);
         f.push(b"\n");
         assert_eq!(f.next_line(), Some("tail".into()));
+    }
+
+    #[test]
+    fn pretty_printer_roundtrips_and_indents() {
+        let v = Value::Obj(vec![
+            ("a".to_string(), Value::Int(1)),
+            ("b".to_string(), Value::Arr(vec![Value::Str("x".into()), Value::Null])),
+            ("c".to_string(), Value::Obj(vec![])),
+        ]);
+        let pretty = String::from_utf8(to_vec_pretty(&v)).unwrap();
+        assert!(pretty.ends_with('\n'));
+        assert!(pretty.contains("\n  \"a\": 1"), "two-space indentation: {pretty}");
+        assert!(pretty.contains("\"c\": {}"), "empty containers stay compact: {pretty}");
+        assert_eq!(parse(pretty.trim_end().as_bytes()).unwrap(), v);
     }
 
     #[test]

@@ -1,0 +1,187 @@
+//! A background JSONL writer: producers hand off complete lines through a
+//! channel, one writer thread owns the file.
+//!
+//! This is the I/O half of the serve observability layer (`serve::obs`):
+//! event producers on hot paths (the reactor, scheduler workers, request
+//! threads) must never block on disk, so they push rendered lines into an
+//! unbounded [`std::sync::mpsc`] channel — effectively a lock-free-ish
+//! per-producer buffer — and a single writer thread drains it into a
+//! buffered file. The writer flushes whenever the channel goes idle (so
+//! `tail -f` sees events promptly and a `SIGKILL`ed process loses at most
+//! the briefly buffered tail), and invokes an optional **idle hook** on
+//! the same cadence — the obs layer uses it to checkpoint `summary.json`
+//! so end-of-run aggregates survive a server that is killed rather than
+//! shut down cleanly.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write as _};
+use std::sync::mpsc;
+use std::time::Duration;
+
+/// How long the writer waits for the next line before flushing and firing
+/// the idle hook.
+const IDLE_FLUSH: Duration = Duration::from_millis(100);
+
+/// Handle to a background JSONL writer thread. Cloning the internal sender
+/// is cheap; dropping the handle drains every queued line, fires the idle
+/// hook one final time, and joins the thread.
+pub struct JsonlWriter {
+    tx: Option<mpsc::Sender<String>>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for JsonlWriter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JsonlWriter").finish_non_exhaustive()
+    }
+}
+
+impl JsonlWriter {
+    /// Spawns a writer thread over `file` (`None` runs the idle-hook
+    /// cadence without a stream file — the summary-only configuration).
+    /// `idle_hook` runs on the writer thread whenever the channel has been
+    /// quiet for ~100ms and once more at shutdown.
+    pub fn spawn(file: Option<File>, mut idle_hook: impl FnMut() + Send + 'static) -> Self {
+        let (tx, rx) = mpsc::channel::<String>();
+        let thread = std::thread::Builder::new()
+            .name("obs-writer".into())
+            .spawn(move || {
+                let mut out = file.map(BufWriter::new);
+                let mut dirty = false;
+                loop {
+                    match rx.recv_timeout(IDLE_FLUSH) {
+                        Ok(line) => {
+                            if let Some(out) = out.as_mut() {
+                                // A full disk is not worth killing the
+                                // server over; the stream just truncates.
+                                let _ = out.write_all(line.as_bytes());
+                                let _ = out.write_all(b"\n");
+                                dirty = true;
+                            }
+                        }
+                        Err(mpsc::RecvTimeoutError::Timeout) => {
+                            if dirty {
+                                if let Some(out) = out.as_mut() {
+                                    let _ = out.flush();
+                                }
+                                dirty = false;
+                            }
+                            idle_hook();
+                        }
+                        Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                    }
+                }
+                if let Some(out) = out.as_mut() {
+                    let _ = out.flush();
+                }
+                idle_hook();
+            })
+            .expect("spawn obs writer thread");
+        JsonlWriter { tx: Some(tx), thread: Some(thread) }
+    }
+
+    /// A clonable sender for producer threads. Sends never block; lines
+    /// queue until the writer drains them.
+    pub fn sender(&self) -> mpsc::Sender<String> {
+        self.tx.as_ref().expect("writer alive").clone()
+    }
+
+    /// Enqueues one line (no trailing newline) from the handle itself.
+    pub fn write(&self, line: String) {
+        // Send fails only after shutdown began; late lines are dropped.
+        if let Some(tx) = self.tx.as_ref() {
+            let _ = tx.send(line);
+        }
+    }
+}
+
+impl Drop for JsonlWriter {
+    fn drop(&mut self) {
+        // Disconnect, then join: the thread drains the queue, flushes, and
+        // fires the final idle hook before exiting.
+        drop(self.tx.take());
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Atomically replaces `path` with `bytes` (write to a sibling temp file,
+/// then rename) so readers never observe a half-written document — the
+/// contract `summary.json` checkpointing needs.
+///
+/// # Errors
+///
+/// Propagates filesystem failures from the write or rename.
+pub fn write_atomic(path: &std::path::Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, bytes)?;
+    std::fs::rename(&tmp, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!(
+            "ditto-jsonl-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ))
+    }
+
+    #[test]
+    fn concurrent_senders_produce_every_line_intact() {
+        let path = temp_path("concurrent");
+        let writer = JsonlWriter::spawn(Some(File::create(&path).unwrap()), || {});
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let tx = writer.sender();
+                s.spawn(move || {
+                    for i in 0..100 {
+                        tx.send(format!("{{\"t\":{t},\"i\":{i}}}")).unwrap();
+                    }
+                });
+            }
+        });
+        drop(writer); // drains + flushes
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 800);
+        for line in &lines {
+            let v = crate::jsonio::parse(line.as_bytes()).expect("interleaved lines stay valid");
+            assert!(v.get("t").is_ok() && v.get("i").is_ok());
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn idle_hook_fires_while_running_and_at_shutdown() {
+        let fired = Arc::new(AtomicUsize::new(0));
+        let writer = {
+            let fired = Arc::clone(&fired);
+            JsonlWriter::spawn(None, move || {
+                fired.fetch_add(1, Ordering::Relaxed);
+            })
+        };
+        // No lines at all: the idle timeout alone must fire the hook.
+        std::thread::sleep(Duration::from_millis(300));
+        assert!(fired.load(Ordering::Relaxed) >= 1, "idle hook fires without traffic");
+        drop(writer);
+        let at_shutdown = fired.load(Ordering::Relaxed);
+        assert!(at_shutdown >= 2, "shutdown fires the hook once more");
+    }
+
+    #[test]
+    fn write_atomic_replaces_content() {
+        let path = temp_path("atomic");
+        write_atomic(&path, b"{\"v\":1}").unwrap();
+        write_atomic(&path, b"{\"v\":2}").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"v\":2}");
+        assert!(!path.with_extension("tmp").exists());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -23,6 +23,9 @@
 //! * [`binio`] / [`jsonio`] — the versioned little-endian binary codec the
 //!   trace cache uses, and the legacy JSON codec kept for migration and
 //!   human inspection.
+//! * [`hist`] / [`jsonl`] — the fixed-bucket log-scale histogram and the
+//!   background JSONL writer thread underpinning the serve observability
+//!   layer (`serve::obs`) and the `perfbench` perf artifacts.
 //!
 //! # Example
 //!
@@ -42,7 +45,9 @@
 pub mod analysis;
 pub mod binio;
 pub mod defo;
+pub mod hist;
 pub mod jsonio;
+pub mod jsonl;
 pub mod runner;
 pub mod similarity;
 pub mod trace;

@@ -1,0 +1,70 @@
+//! Property tests holding [`ditto_core::hist::LogHistogram`] percentiles
+//! to the exact sorted-vector oracle: for any sample set and any
+//! percentile, the histogram must report the upper edge of exactly the
+//! bucket that contains the oracle's order statistic — never a different
+//! bucket, never below the exact value.
+
+use ditto_core::hist::{bucket_index, LogHistogram};
+use proptest::collection;
+use proptest::prelude::*;
+
+/// The oracle: rank-⌈p/100·n⌉ smallest element (clamped to rank 1), the
+/// same definition `LogHistogram::percentile` documents.
+fn exact_percentile(sorted: &[u64], p: f64) -> u64 {
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Mixed magnitudes (sub-bucket-exact small values through multi-octave
+    /// large ones): every percentile lands in the oracle's bucket.
+    #[test]
+    fn percentiles_match_sorted_oracle(
+        samples in collection::vec(0u64..2_000_000, 1..300),
+        percentiles in collection::vec(0u64..=100, 1..8),
+    ) {
+        let mut h = LogHistogram::new();
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for &s in &samples {
+            h.record(s);
+        }
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        prop_assert_eq!(h.min(), sorted[0]);
+        prop_assert_eq!(h.max(), *sorted.last().unwrap());
+        for &p in &percentiles {
+            let p = p as f64;
+            let exact = exact_percentile(&sorted, p);
+            let got = h.percentile(p);
+            prop_assert!(got >= exact, "p{} reported {} below exact {}", p, got, exact);
+            prop_assert_eq!(
+                bucket_index(got), bucket_index(exact),
+                "p{}: histogram bucket diverged from the oracle's", p
+            );
+        }
+    }
+
+    /// Merging partitioned streams is indistinguishable from one stream.
+    #[test]
+    fn merge_is_equivalent_to_single_stream(
+        samples in collection::vec(0u64..1_000_000, 2..200),
+        split in 1usize..100,
+    ) {
+        let cut = split % (samples.len() - 1) + 1;
+        let (mut left, mut right, mut whole) =
+            (LogHistogram::new(), LogHistogram::new(), LogHistogram::new());
+        for (i, &s) in samples.iter().enumerate() {
+            if i < cut { left.record(s) } else { right.record(s) }
+            whole.record(s);
+        }
+        left.merge(&right);
+        prop_assert_eq!(left.count(), whole.count());
+        prop_assert_eq!(left.min(), whole.min());
+        prop_assert_eq!(left.max(), whole.max());
+        for p in [10.0, 50.0, 90.0, 99.0, 100.0] {
+            prop_assert_eq!(left.percentile(p), whole.percentile(p));
+        }
+    }
+}

@@ -3,6 +3,7 @@
 //! and the memoizing cell scheduler ([`crate::sched`]).
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use bench::report::sweep_summary;
 use bench::sweep::{
@@ -10,6 +11,8 @@ use bench::sweep::{
 };
 use bench::{HitAccounting, Suite};
 
+use crate::diag;
+use crate::obs::Obs;
 use crate::sched::{CellStats, ModelInput, Scheduler, SweepJob};
 use crate::server::App;
 
@@ -27,24 +30,48 @@ impl SuiteApp {
         SuiteApp { sched: Arc::new(Scheduler::new(workers)) }
     }
 
+    /// An app whose scheduler records into an explicit [`Obs`] handle
+    /// (tests; production uses the env-configured global via [`new`](Self::new)).
+    pub fn with_obs(workers: usize, obs: Arc<Obs>) -> Self {
+        SuiteApp { sched: Arc::new(Scheduler::with_obs(workers, None, obs)) }
+    }
+
     /// The underlying scheduler (e.g. for dedup counters in logs/tests).
     pub fn scheduler(&self) -> &Scheduler {
         &self.sched
+    }
+
+    /// Records a terminal request event and returns the rendered error
+    /// response (every early-exit path funnels through here so the
+    /// request accounting stays total).
+    fn fail(&self, id: &str, started: Instant, error: &str) -> String {
+        let us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+        self.sched.obs().request_completed(id, false, us, 0, 0, 0, 0, 0);
+        response_err(id, error)
     }
 }
 
 impl App for SuiteApp {
     fn handle(&self, line: &str) -> String {
+        let started = Instant::now();
+        let obs = Arc::clone(self.sched.obs());
         let req = match parse_request(line) {
-            Ok(req) => req,
-            Err(e) => return response_err(&request_id(line), &e),
+            Ok(req) => {
+                obs.request_parsed(&req.id, true);
+                req
+            }
+            Err(e) => {
+                let id = request_id(line);
+                obs.request_parsed(&id, false);
+                return self.fail(&id, started, &e);
+            }
         };
         // Kernel-backend override first, so any tracing this request
         // triggers runs on the requested backend. Purely a perf knob:
         // results (and memo keys) are backend-invariant.
         let backend = match apply_backend(req.backend) {
             Ok(b) => b,
-            Err(e) => return response_err(&req.id, &e),
+            Err(e) => return self.fail(&req.id, started, &e),
         };
         // Loading may warm the suite; the credit for reporting the
         // warm-up is claimed only once a response can actually carry it
@@ -76,7 +103,8 @@ impl App for SuiteApp {
                     ..HitAccounting::default()
                 }
                 .with_suite(suite, Suite::take_warm_credit(req.sweep.scale));
-                eprintln!(
+                diag!(
+                    obs,
                     "[ditto-serve] {} (prio {}): {}; cells {}/{} from memo, {} coalesced, \
                      {} simulated ({} unique process-wide)",
                     req.id,
@@ -88,9 +116,13 @@ impl App for SuiteApp {
                     simulated,
                     self.sched.unique_cells_simulated()
                 );
+                let us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+                obs.request_completed(
+                    &req.id, true, us, total, memo_hits, coalesced, simulated, evictions,
+                );
                 response_ok(&req.id, &report, &hits, backend)
             }
-            Err(e) => response_err(&req.id, &e.to_string()),
+            Err(e) => self.fail(&req.id, started, &e.to_string()),
         }
     }
 }

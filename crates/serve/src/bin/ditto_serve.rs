@@ -30,6 +30,14 @@
 //!   `backend` field. Results are bit-identical on every backend.
 //! * `DITTO_MEMO_MAX_CELLS` — LRU cap on the cross-request cell memo
 //!   (default: unbounded); evictions are reported per response.
+//! * `DITTO_OBS_STREAM` — path for the per-request/per-cell JSONL
+//!   observability event stream (off by default; see the README
+//!   "Observability" section for the event schema).
+//! * `DITTO_OBS_SUMMARY` — path for the checkpointed end-of-run
+//!   `summary.json` aggregate (latency percentiles, memo hit rate,
+//!   backpressure counts).
+//! * `DITTO_SERVE_LOG` — set to emit per-connection/per-request stderr
+//!   diagnostics (suppressed by default so busy servers pay nothing).
 
 use std::sync::Arc;
 
@@ -71,12 +79,14 @@ fn main() {
             std::process::exit(1);
         }
     };
+    let obs = serve::obs::global();
     eprintln!(
-        "[ditto-serve] listening on {} ({:?} backend, {} workers, {} kernels)",
+        "[ditto-serve] listening on {} ({:?} backend, {} workers, {} kernels, obs {})",
         handle.addr(),
         handle.backend(),
         workers.max(1),
-        tensor::backend::active()
+        tensor::backend::active(),
+        if obs.enabled() { "on" } else { "off" }
     );
     if let Some(path) = port_file {
         std::fs::write(&path, format!("{}\n", handle.addr().port()))

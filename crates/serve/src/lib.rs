@@ -13,6 +13,11 @@
 //!   `priority`; their grid cells are fed to a shared
 //!   [`accel::pool::PriorityPool`] that dequeues high-priority work first
 //!   (FIFO within a level).
+//! * **Opt-in observability** ([`obs`]): `DITTO_OBS_STREAM` records a
+//!   per-request/per-cell JSONL event stream, `DITTO_OBS_SUMMARY`
+//!   checkpoints an end-of-run aggregate document (latency percentiles,
+//!   memo hit rate, backpressure counts), and `DITTO_SERVE_LOG` gates
+//!   the stack's stderr diagnostics — all off (and free) by default.
 //! * **Cross-request memoization** ([`sched`]): each request is decomposed
 //!   into (design × model × scale) cells that are deduplicated against a
 //!   process-wide memo table — completed cells are served from memory,
@@ -47,11 +52,13 @@
 //! ```
 
 pub mod app;
+pub mod obs;
 pub mod reactor;
 pub mod sched;
 pub mod server;
 
 pub use app::SuiteApp;
+pub use obs::Obs;
 pub use reactor::{Backend, Poller, Waker};
 pub use sched::{CellStats, ModelInput, SchedError, Scheduler, SweepJob};
 pub use server::{spawn, App, ServerConfig, ServerHandle};

@@ -1,0 +1,618 @@
+//! The serve observability layer: an opt-in, dependency-free event stream
+//! plus end-of-run aggregates, cyclotron-style.
+//!
+//! Three artifacts, all disabled by default so the hot path stays
+//! unmeasurably cheap when nobody is watching:
+//!
+//! * **`DITTO_OBS_STREAM=<path>`** — a per-request/per-cell JSONL event
+//!   stream: connection accept/drop, request accept/parse/complete, cell
+//!   memo hit/coalesce/enqueue (with the priority-pool queue depth
+//!   observed atomically at enqueue)/done (with scheduling-wait and
+//!   simulation latencies), memo evictions, and `max_pending_per_conn`
+//!   backpressure stalls with their reason. Producers render a line and
+//!   hand it to a [`ditto_core::jsonl::JsonlWriter`] channel; one writer
+//!   thread owns the file, flushing whenever the stream goes idle so
+//!   `tail -f` follows along live.
+//! * **`DITTO_OBS_SUMMARY=<path>`** — an end-of-run `summary.json`
+//!   aggregate (request/cell counts, memo hit rate, and latency
+//!   histograms with p50/p90/p99 from the fixed-bucket log-scale
+//!   [`ditto_core::hist::LogHistogram`]). It is checkpointed atomically
+//!   on the writer thread's idle cadence, so the file is valid — and at
+//!   most ~100ms stale — even for a server that is `SIGKILL`ed rather
+//!   than shut down cleanly.
+//! * **`DITTO_SERVE_LOG=1`** — routes the serving stack's per-connection
+//!   and per-request stderr diagnostics (formerly unconditional
+//!   `eprintln!`s) through [`diag!`], so a high-connection-rate server
+//!   does not pay stderr formatting + write syscalls unless asked to.
+//!
+//! Every event-recording method checks [`Obs::enabled`] first and takes
+//! only primitives and `&str`s, so the disabled path is a branch on a
+//! `bool` — no allocation, no lock, no syscall. When enabled, producers
+//! pay one short mutex hold (the aggregate fold) plus one channel send;
+//! file I/O happens only on the writer thread.
+
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+use ditto_core::hist::LogHistogram;
+use ditto_core::jsonio::{self, ToJson, Value};
+use ditto_core::jsonl::{write_atomic, JsonlWriter};
+
+/// Emits a stderr diagnostic only when the obs handle's log flag
+/// (`DITTO_SERVE_LOG`) is set — the format arguments are not even
+/// evaluated otherwise.
+#[macro_export]
+macro_rules! diag {
+    ($obs:expr, $($arg:tt)*) => {
+        if $obs.log_enabled() {
+            eprintln!($($arg)*);
+        }
+    };
+}
+
+/// Schema tag stamped into every `summary.json` (bump on breaking shape
+/// changes; CI validates against it).
+pub const SUMMARY_SCHEMA: &str = "ditto-obs-summary/1";
+
+// --------------------------------------------------------------------------
+// Aggregates
+// --------------------------------------------------------------------------
+
+/// Everything `summary.json` reports, folded incrementally as events are
+/// recorded. The summary is definitionally a fold over the event stream —
+/// the integration tests replay a recorded stream and demand equality.
+#[derive(Default)]
+struct Aggregates {
+    conns_accepted: u64,
+    conns_dropped: u64,
+    requests_total: u64,
+    requests_ok: u64,
+    requests_err: u64,
+    request_latency_us: LogHistogram,
+    cells_total: u64,
+    cell_memo_hits: u64,
+    cell_coalesced: u64,
+    cell_simulated: u64,
+    cell_evictions: u64,
+    sched_wait_us: LogHistogram,
+    sim_us: LogHistogram,
+    queue_depth: LogHistogram,
+    /// Backpressure stalls keyed by reason (`max_pending_per_conn`,
+    /// `oversized_line`, `spawn_failure`). A `Vec` keeps insertion order
+    /// stable in the rendered JSON; the reason set is tiny.
+    backpressure: Vec<(String, u64)>,
+}
+
+impl Aggregates {
+    fn bump_backpressure(&mut self, reason: &str) {
+        match self.backpressure.iter_mut().find(|(r, _)| r == reason) {
+            Some((_, n)) => *n += 1,
+            None => self.backpressure.push((reason.to_string(), 1)),
+        }
+    }
+
+    fn to_summary_json(&self) -> Value {
+        let memo_hit_rate = if self.cells_total == 0 {
+            0.0
+        } else {
+            (self.cell_memo_hits + self.cell_coalesced) as f64 / self.cells_total as f64
+        };
+        let backpressure_total: u64 = self.backpressure.iter().map(|(_, n)| n).sum();
+        obj(vec![
+            ("schema", Value::Str(SUMMARY_SCHEMA.into())),
+            (
+                "conns",
+                obj(vec![
+                    ("accepted", self.conns_accepted.to_json()),
+                    ("dropped", self.conns_dropped.to_json()),
+                ]),
+            ),
+            (
+                "requests",
+                obj(vec![
+                    ("total", self.requests_total.to_json()),
+                    ("ok", self.requests_ok.to_json()),
+                    ("errors", self.requests_err.to_json()),
+                    ("latency_us", self.request_latency_us.summary_json()),
+                ]),
+            ),
+            (
+                "cells",
+                obj(vec![
+                    ("total", self.cells_total.to_json()),
+                    ("memo_hits", self.cell_memo_hits.to_json()),
+                    ("coalesced", self.cell_coalesced.to_json()),
+                    ("simulated", self.cell_simulated.to_json()),
+                    ("evictions", self.cell_evictions.to_json()),
+                    ("memo_hit_rate", Value::Num(memo_hit_rate)),
+                    ("sched_wait_us", self.sched_wait_us.summary_json()),
+                    ("sim_us", self.sim_us.summary_json()),
+                ]),
+            ),
+            ("queue_depth", self.queue_depth.summary_json()),
+            (
+                "backpressure",
+                obj(vec![
+                    ("total", backpressure_total.to_json()),
+                    (
+                        "by_reason",
+                        Value::Obj(
+                            self.backpressure
+                                .iter()
+                                .map(|(r, n)| (r.clone(), n.to_json()))
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ),
+        ])
+    }
+}
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+// --------------------------------------------------------------------------
+// Obs handle
+// --------------------------------------------------------------------------
+
+/// The enabled interior: event sink, aggregate fold, and the summary
+/// checkpoint target. Present only when at least one artifact was asked
+/// for.
+struct ObsInner {
+    /// Owns the writer thread; dropped last so the final drain + summary
+    /// checkpoint happen before `Obs` is gone.
+    writer: JsonlWriter,
+    agg: Arc<Mutex<Aggregates>>,
+    start: Instant,
+}
+
+/// Handle to the observability layer. Cheap to clone via `Arc`; every
+/// instrumentation point in the serving stack holds one.
+///
+/// Disabled (`DITTO_OBS_STREAM` and `DITTO_OBS_SUMMARY` both unset) it is
+/// a `bool` wrapper: event methods return immediately, no file is ever
+/// created, nothing allocates.
+pub struct Obs {
+    inner: Option<ObsInner>,
+    log: bool,
+}
+
+impl std::fmt::Debug for Obs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Obs").field("enabled", &self.enabled()).field("log", &self.log).finish()
+    }
+}
+
+/// The process-wide handle, initialized from the environment on first use
+/// (the default for every server/scheduler constructor; tests build their
+/// own handles with [`Obs::to_files`] instead of racing on env vars).
+pub fn global() -> &'static Arc<Obs> {
+    static GLOBAL: OnceLock<Arc<Obs>> = OnceLock::new();
+    GLOBAL.get_or_init(|| Arc::new(Obs::from_env()))
+}
+
+impl Obs {
+    /// A disabled handle (still honors `log` for [`diag!`] routing).
+    pub fn disabled_with_log(log: bool) -> Obs {
+        Obs { inner: None, log }
+    }
+
+    /// A fully disabled handle: no events, no diagnostics.
+    pub fn disabled() -> Obs {
+        Obs::disabled_with_log(false)
+    }
+
+    /// Reads `DITTO_OBS_STREAM`, `DITTO_OBS_SUMMARY`, and
+    /// `DITTO_SERVE_LOG` (set and non-empty ⇒ on).
+    pub fn from_env() -> Obs {
+        let path = |k: &str| std::env::var(k).ok().filter(|v| !v.is_empty()).map(PathBuf::from);
+        Obs::to_files(
+            path("DITTO_OBS_STREAM").as_deref(),
+            path("DITTO_OBS_SUMMARY").as_deref(),
+            std::env::var("DITTO_SERVE_LOG").is_ok_and(|v| !v.is_empty()),
+        )
+    }
+
+    /// An explicit handle: `stream` receives the JSONL event stream,
+    /// `summary` the checkpointed aggregate document, `log` gates
+    /// [`diag!`]. Both `None` ⇒ disabled (no writer thread at all).
+    ///
+    /// File-creation failures are reported once on stderr and degrade to
+    /// disabled rather than killing the server.
+    pub fn to_files(stream: Option<&Path>, summary: Option<&Path>, log: bool) -> Obs {
+        if stream.is_none() && summary.is_none() {
+            return Obs { inner: None, log };
+        }
+        let file = match stream {
+            None => None,
+            Some(p) => match std::fs::File::create(p) {
+                Ok(f) => Some(f),
+                Err(e) => {
+                    eprintln!("[ditto-serve] obs: cannot create stream {}: {e}", p.display());
+                    None
+                }
+            },
+        };
+        if file.is_none() && summary.is_none() {
+            return Obs { inner: None, log };
+        }
+        let agg = Arc::new(Mutex::new(Aggregates::default()));
+        let checkpoint = summary.map(Path::to_path_buf);
+        let hook_agg = Arc::clone(&agg);
+        let writer = JsonlWriter::spawn(file, move || {
+            if let Some(path) = checkpoint.as_ref() {
+                let doc = hook_agg.lock().expect("obs aggregates").to_summary_json();
+                if let Err(e) = write_atomic(path, &jsonio::to_vec_pretty(&doc)) {
+                    eprintln!("[ditto-serve] obs: summary checkpoint failed: {e}");
+                }
+            }
+        });
+        Obs { inner: Some(ObsInner { writer, agg, start: Instant::now() }), log }
+    }
+
+    /// Whether events are being recorded at all. Instrumentation points
+    /// may use this to skip even the cheap argument computation (e.g. a
+    /// timestamp read) on the disabled path.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Whether [`diag!`] diagnostics go to stderr (`DITTO_SERVE_LOG`).
+    #[inline]
+    pub fn log_enabled(&self) -> bool {
+        self.log
+    }
+
+    /// Microseconds since this handle was created — the `t_us` stamp on
+    /// every event (0 when disabled; don't call it then).
+    fn now_us(inner: &ObsInner) -> u64 {
+        u64::try_from(inner.start.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+
+    fn emit(inner: &ObsInner, event: &str, mut fields: Vec<(&str, Value)>) {
+        let mut all = Vec::with_capacity(fields.len() + 2);
+        all.push(("event", Value::Str(event.to_string())));
+        all.push(("t_us", Self::now_us(inner).to_json()));
+        all.append(&mut fields);
+        let line = jsonio::to_vec(&obj(all));
+        inner.writer.write(String::from_utf8(line).expect("jsonio writes UTF-8"));
+    }
+
+    // -- connection / request events (server + app layers) -----------------
+
+    /// A TCP connection was accepted by the reactor.
+    pub fn conn_accepted(&self, conn: u64) {
+        let Some(inner) = self.inner.as_ref() else { return };
+        inner.agg.lock().expect("obs aggregates").conns_accepted += 1;
+        Self::emit(inner, "conn_accept", vec![("conn", conn.to_json())]);
+    }
+
+    /// A connection was retired (clean completion or forced drop).
+    pub fn conn_dropped(&self, conn: u64, reason: &str) {
+        let Some(inner) = self.inner.as_ref() else { return };
+        inner.agg.lock().expect("obs aggregates").conns_dropped += 1;
+        Self::emit(
+            inner,
+            "conn_drop",
+            vec![("conn", conn.to_json()), ("reason", Value::Str(reason.to_string()))],
+        );
+    }
+
+    /// A complete request line was dispatched to a handler thread;
+    /// `pending` is the connection's in-flight count after dispatch.
+    pub fn request_accepted(&self, conn: u64, pending: usize) {
+        let Some(inner) = self.inner.as_ref() else { return };
+        Self::emit(
+            inner,
+            "request_accept",
+            vec![("conn", conn.to_json()), ("pending", pending.to_json())],
+        );
+    }
+
+    /// The protocol layer parsed a request line (or failed to).
+    pub fn request_parsed(&self, id: &str, ok: bool) {
+        let Some(inner) = self.inner.as_ref() else { return };
+        Self::emit(
+            inner,
+            "request_parse",
+            vec![("id", Value::Str(id.to_string())), ("ok", ok.to_json())],
+        );
+    }
+
+    /// A request finished end-to-end in the protocol layer. The cell
+    /// counters are this request's — summing them across
+    /// `request_complete` events reconciles exactly with the summed
+    /// response `cells` objects (CI asserts this).
+    #[allow(clippy::too_many_arguments)]
+    pub fn request_completed(
+        &self,
+        id: &str,
+        ok: bool,
+        latency_us: u64,
+        cells_total: usize,
+        memo_hits: usize,
+        coalesced: usize,
+        simulated: usize,
+        evictions: usize,
+    ) {
+        let Some(inner) = self.inner.as_ref() else { return };
+        {
+            let mut agg = inner.agg.lock().expect("obs aggregates");
+            agg.requests_total += 1;
+            if ok {
+                agg.requests_ok += 1;
+            } else {
+                agg.requests_err += 1;
+            }
+            agg.request_latency_us.record(latency_us);
+        }
+        let cells = obj(vec![
+            ("total", cells_total.to_json()),
+            ("memo_hits", memo_hits.to_json()),
+            ("coalesced", coalesced.to_json()),
+            ("simulated", simulated.to_json()),
+            ("evictions", evictions.to_json()),
+        ]);
+        Self::emit(
+            inner,
+            "request_complete",
+            vec![
+                ("id", Value::Str(id.to_string())),
+                ("ok", ok.to_json()),
+                ("latency_us", latency_us.to_json()),
+                ("cells", cells),
+            ],
+        );
+    }
+
+    /// The reactor stalled or dropped a connection for `reason`
+    /// (`max_pending_per_conn` when the in-flight cap stops reads,
+    /// `oversized_line`, `spawn_failure`).
+    pub fn backpressure(&self, conn: u64, reason: &str) {
+        let Some(inner) = self.inner.as_ref() else { return };
+        inner.agg.lock().expect("obs aggregates").bump_backpressure(reason);
+        Self::emit(
+            inner,
+            "backpressure",
+            vec![("conn", conn.to_json()), ("reason", Value::Str(reason.to_string()))],
+        );
+    }
+
+    // -- cell events (scheduler layer) -------------------------------------
+
+    /// A cell was served from the completed memo table.
+    pub fn cell_memo_hit(&self, design: &str, model: &str, scale: &str) {
+        let Some(inner) = self.inner.as_ref() else { return };
+        {
+            let mut agg = inner.agg.lock().expect("obs aggregates");
+            agg.cells_total += 1;
+            agg.cell_memo_hits += 1;
+        }
+        Self::emit(inner, "cell_memo_hit", cell_fields(design, model, scale));
+    }
+
+    /// A cell coalesced onto another request's in-flight simulation.
+    pub fn cell_coalesced(&self, design: &str, model: &str, scale: &str) {
+        let Some(inner) = self.inner.as_ref() else { return };
+        {
+            let mut agg = inner.agg.lock().expect("obs aggregates");
+            agg.cells_total += 1;
+            agg.cell_coalesced += 1;
+        }
+        Self::emit(inner, "cell_coalesce", cell_fields(design, model, scale));
+    }
+
+    /// A first-touched cell was submitted to the priority pool; `depth`
+    /// is the queue depth at enqueue (including this job), observed
+    /// atomically under the queue lock by
+    /// [`accel::pool::PriorityPool::submit_counted`].
+    pub fn cell_enqueued(
+        &self,
+        design: &str,
+        model: &str,
+        scale: &str,
+        priority: i64,
+        depth: usize,
+    ) {
+        let Some(inner) = self.inner.as_ref() else { return };
+        {
+            let mut agg = inner.agg.lock().expect("obs aggregates");
+            agg.cells_total += 1;
+            agg.cell_simulated += 1;
+            agg.queue_depth.record(depth as u64);
+        }
+        let mut fields = cell_fields(design, model, scale);
+        fields.push(("priority", priority.to_json()));
+        fields.push(("queue_depth", depth.to_json()));
+        Self::emit(inner, "cell_enqueue", fields);
+    }
+
+    /// A simulated cell finished: `sched_wait_us` is enqueue→start (time
+    /// spent queued behind other work), `sim_us` is start→finish (the
+    /// simulation itself), `ok` is whether it completed without
+    /// panicking.
+    pub fn cell_done(
+        &self,
+        design: &str,
+        model: &str,
+        scale: &str,
+        sched_wait_us: u64,
+        sim_us: u64,
+        ok: bool,
+    ) {
+        let Some(inner) = self.inner.as_ref() else { return };
+        {
+            let mut agg = inner.agg.lock().expect("obs aggregates");
+            agg.sched_wait_us.record(sched_wait_us);
+            agg.sim_us.record(sim_us);
+        }
+        let mut fields = cell_fields(design, model, scale);
+        fields.push(("sched_wait_us", sched_wait_us.to_json()));
+        fields.push(("sim_us", sim_us.to_json()));
+        fields.push(("ok", ok.to_json()));
+        Self::emit(inner, "cell_done", fields);
+    }
+
+    /// `count` completed memo entries were LRU-aged out by a cap sweep.
+    pub fn cells_evicted(&self, count: usize) {
+        if count == 0 {
+            return;
+        }
+        let Some(inner) = self.inner.as_ref() else { return };
+        inner.agg.lock().expect("obs aggregates").cell_evictions += count as u64;
+        Self::emit(inner, "cell_evict", vec![("count", count.to_json())]);
+    }
+
+    /// Renders the current aggregates as the `summary.json` document
+    /// (tests compare this against a fold over the recorded stream).
+    pub fn summary_json(&self) -> Option<Value> {
+        let inner = self.inner.as_ref()?;
+        Some(inner.agg.lock().expect("obs aggregates").to_summary_json())
+    }
+}
+
+fn cell_fields(design: &str, model: &str, scale: &str) -> Vec<(&'static str, Value)> {
+    vec![
+        ("design", Value::Str(design.to_string())),
+        ("model", Value::Str(model.to_string())),
+        ("scale", Value::Str(scale.to_string())),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "ditto-obs-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ))
+    }
+
+    #[test]
+    fn disabled_obs_creates_no_files_and_ignores_events() {
+        let obs = Obs::disabled();
+        assert!(!obs.enabled());
+        // Every event is a no-op; nothing panics, nothing is created.
+        obs.conn_accepted(1);
+        obs.request_accepted(1, 1);
+        obs.request_completed("r", true, 10, 4, 1, 1, 2, 0);
+        obs.cell_memo_hit("D", "M", "tiny");
+        obs.cell_enqueued("D", "M", "tiny", 0, 3);
+        obs.cell_done("D", "M", "tiny", 5, 9, true);
+        obs.backpressure(1, "max_pending_per_conn");
+        obs.cells_evicted(2);
+        assert!(obs.summary_json().is_none());
+    }
+
+    #[test]
+    fn to_files_none_none_is_disabled_without_a_writer_thread() {
+        let obs = Obs::to_files(None, None, true);
+        assert!(!obs.enabled());
+        assert!(obs.log_enabled());
+    }
+
+    #[test]
+    fn stream_records_events_and_summary_folds_them() {
+        let stream = temp("stream");
+        let summary = temp("summary");
+        {
+            let obs = Obs::to_files(Some(&stream), Some(&summary), false);
+            assert!(obs.enabled());
+            obs.conn_accepted(0);
+            obs.request_accepted(0, 1);
+            obs.request_parsed("r1", true);
+            obs.cell_memo_hit("Ditto", "DDPM", "tiny");
+            obs.cell_enqueued("ITC", "DDPM", "tiny", 2, 1);
+            obs.cell_done("ITC", "DDPM", "tiny", 40, 900, true);
+            obs.cell_coalesced("ITC", "SDM", "tiny");
+            obs.cells_evicted(3);
+            obs.request_completed("r1", true, 1234, 3, 1, 1, 1, 3);
+            obs.backpressure(0, "max_pending_per_conn");
+            obs.backpressure(0, "oversized_line");
+            obs.backpressure(0, "max_pending_per_conn");
+            obs.conn_dropped(0, "done");
+            let doc = obs.summary_json().unwrap();
+            assert_eq!(doc.get("schema").unwrap(), &Value::Str(SUMMARY_SCHEMA.into()));
+            let cells = doc.get("cells").unwrap();
+            assert_eq!(cells.get("total").unwrap(), &Value::Int(3));
+            assert_eq!(cells.get("memo_hits").unwrap(), &Value::Int(1));
+            assert_eq!(cells.get("coalesced").unwrap(), &Value::Int(1));
+            assert_eq!(cells.get("simulated").unwrap(), &Value::Int(1));
+            assert_eq!(cells.get("evictions").unwrap(), &Value::Int(3));
+            let bp = doc.get("backpressure").unwrap();
+            assert_eq!(bp.get("total").unwrap(), &Value::Int(3));
+            assert_eq!(
+                bp.get("by_reason").unwrap().get("max_pending_per_conn").unwrap(),
+                &Value::Int(2)
+            );
+        } // drop drains the stream and checkpoints the summary
+
+        let text = std::fs::read_to_string(&stream).unwrap();
+        let events: Vec<Value> =
+            text.lines().map(|l| jsonio::parse(l.as_bytes()).expect("valid JSONL")).collect();
+        assert_eq!(events.len(), 13);
+        // Timestamps are monotone non-decreasing in emit order.
+        let stamps: Vec<i128> = events
+            .iter()
+            .map(|e| match e.get("t_us").unwrap() {
+                Value::Int(i) => *i,
+                other => panic!("t_us must be an integer, got {other:?}"),
+            })
+            .collect();
+        assert!(stamps.windows(2).all(|w| w[0] <= w[1]), "t_us regressed: {stamps:?}");
+        let kinds: Vec<&str> = events
+            .iter()
+            .map(|e| match e.get("event").unwrap() {
+                Value::Str(s) => s.as_str(),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(kinds[0], "conn_accept");
+        assert!(kinds.contains(&"cell_enqueue") && kinds.contains(&"request_complete"));
+
+        // The checkpointed summary is the same fold.
+        let on_disk = jsonio::parse(std::fs::read(&summary).unwrap().trim_ascii()).unwrap();
+        assert_eq!(on_disk.get("requests").unwrap().get("total").unwrap(), &Value::Int(1));
+        assert_eq!(on_disk.get("cells").unwrap().get("total").unwrap(), &Value::Int(3));
+        std::fs::remove_file(&stream).unwrap();
+        std::fs::remove_file(&summary).unwrap();
+    }
+
+    #[test]
+    fn summary_only_mode_needs_no_stream_file() {
+        let summary = temp("summary-only");
+        {
+            let obs = Obs::to_files(None, Some(&summary), false);
+            assert!(obs.enabled());
+            obs.request_completed("q", false, 77, 0, 0, 0, 0, 0);
+        }
+        let doc = jsonio::parse(std::fs::read(&summary).unwrap().trim_ascii()).unwrap();
+        let requests = doc.get("requests").unwrap();
+        assert_eq!(requests.get("errors").unwrap(), &Value::Int(1));
+        let lat = requests.get("latency_us").unwrap();
+        assert_eq!(lat.get("count").unwrap(), &Value::Int(1));
+        std::fs::remove_file(&summary).unwrap();
+    }
+
+    #[test]
+    fn diag_macro_honors_log_flag() {
+        let quiet = Obs::disabled();
+        let loud = Obs::disabled_with_log(true);
+        // Behavioral check is the flag itself; the macro only formats
+        // (and evaluates its arguments) when it is set.
+        let mut evaluated = false;
+        diag!(quiet, "never shown {}", {
+            evaluated = true;
+            0
+        });
+        assert!(!evaluated, "disabled diag must not evaluate its arguments");
+        assert!(loud.log_enabled());
+    }
+}

@@ -29,6 +29,7 @@ use std::collections::HashMap;
 use std::hash::Hash;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
 
 use accel::design::Design;
 use accel::gpu::simulate_gpu;
@@ -36,6 +37,9 @@ use accel::grid::{simulate_cell, CellResult, SweepError, SweepReport, SweepSpec}
 use accel::pool::PriorityPool;
 use accel::sim::RunResult;
 use ditto_core::trace::WorkloadTrace;
+
+use crate::diag;
+use crate::obs::Obs;
 
 // --------------------------------------------------------------------------
 // Memo table with in-flight coalescing
@@ -235,7 +239,8 @@ fn parse_memo_cap(raw: Option<String>) -> Option<usize> {
     match raw.trim().parse::<usize>() {
         Ok(cap) if cap >= 1 => Some(cap),
         _ => {
-            eprintln!(
+            diag!(
+                crate::obs::global(),
                 "[ditto-serve] ignoring invalid DITTO_MEMO_MAX_CELLS `{raw}` \
                  (expected an integer ≥ 1); memo table is unbounded"
             );
@@ -380,6 +385,7 @@ struct SchedShared {
     gpus: Memo<GpuKey, GpuValue>,
     cells_simulated: AtomicUsize,
     gpus_simulated: AtomicUsize,
+    obs: Arc<Obs>,
 }
 
 impl SchedShared {
@@ -424,7 +430,14 @@ impl Scheduler {
 
     /// A scheduler with an explicit cell-memo entry cap (`None` =
     /// unbounded) — the constructor the tiny-cap tests drive directly.
+    /// Observability defaults to the process-wide env-configured handle.
     pub fn with_memo_cap(workers: usize, memo_cap: Option<usize>) -> Self {
+        Scheduler::with_obs(workers, memo_cap, Arc::clone(crate::obs::global()))
+    }
+
+    /// A scheduler with an explicit observability handle (tests pass
+    /// their own file-backed [`Obs`] instead of racing on env vars).
+    pub fn with_obs(workers: usize, memo_cap: Option<usize>, obs: Arc<Obs>) -> Self {
         Scheduler {
             pool: PriorityPool::new(workers),
             shared: Arc::new(SchedShared {
@@ -432,8 +445,14 @@ impl Scheduler {
                 gpus: Memo::new(),
                 cells_simulated: AtomicUsize::new(0),
                 gpus_simulated: AtomicUsize::new(0),
+                obs,
             }),
         }
+    }
+
+    /// The observability handle this scheduler records into.
+    pub fn obs(&self) -> &Arc<Obs> {
+        &self.shared.obs
     }
 
     /// Executes one job: claims every cell against the memo, submits only
@@ -476,13 +495,16 @@ impl Scheduler {
                 };
                 let (claim, evicted) = self.shared.cells.claim(&key);
                 stats.evictions += evicted;
+                self.shared.obs.cells_evicted(evicted);
                 match claim {
                     Claim::Hit(v) => {
                         stats.memo_hits += 1;
+                        self.shared.obs.cell_memo_hit(&key.design, &key.model, &key.scale);
                         pending.push(Pending::Ready(v));
                     }
                     Claim::InFlight(slot) => {
                         stats.coalesced += 1;
+                        self.shared.obs.cell_coalesced(&key.design, &key.model, &key.scale);
                         pending.push(Pending::Waiting(slot));
                     }
                     Claim::Mine(slot) => {
@@ -493,7 +515,10 @@ impl Scheduler {
                         let cell_key = key.clone();
                         let shared = Arc::clone(&self.shared);
                         let job_slot = Arc::clone(&slot);
-                        self.pool.submit(job.priority, move || {
+                        let enqueued_at = Instant::now();
+                        let depth = self.pool.submit_counted(job.priority, move || {
+                            let sched_wait = enqueued_at.elapsed();
+                            let sim_started = Instant::now();
                             // The GPU reference is computed inline by the
                             // first worker that needs it; concurrent cells
                             // of the same model wait on an actively running
@@ -517,8 +542,24 @@ impl Scheduler {
                                 // current waiters see the error.
                                 Err(_) => shared.cells.remove(&cell_key),
                             }
+                            shared.obs.cell_done(
+                                &cell_key.design,
+                                &cell_key.model,
+                                &cell_key.scale,
+                                u64::try_from(sched_wait.as_micros()).unwrap_or(u64::MAX),
+                                u64::try_from(sim_started.elapsed().as_micros())
+                                    .unwrap_or(u64::MAX),
+                                value.is_ok(),
+                            );
                             job_slot.fulfill(value);
                         });
+                        self.shared.obs.cell_enqueued(
+                            &key.design,
+                            &key.model,
+                            &key.scale,
+                            job.priority,
+                            depth,
+                        );
                         pending.push(Pending::Waiting(slot));
                     }
                 }
@@ -536,7 +577,9 @@ impl Scheduler {
 
         // This job's freshly completed cells are evictable only now, so
         // re-apply the memo cap (no-op when unbounded).
-        stats.evictions += self.shared.cells.enforce_cap();
+        let swept = self.shared.cells.enforce_cap();
+        stats.evictions += swept;
+        self.shared.obs.cells_evicted(swept);
 
         // Assembly: model-major cells plus the per-model GPU reference
         // column, exactly like `grid::run`. Every model's GPU run is

@@ -25,6 +25,8 @@ use std::sync::{mpsc, Arc};
 
 use ditto_core::jsonio::LineFramer;
 
+use crate::diag;
+use crate::obs::Obs;
 use crate::reactor::{Backend, Event, Interest, Poller, Waker};
 
 /// A protocol handler: one request line in, one single-line response out.
@@ -63,6 +65,11 @@ pub struct ServerConfig {
     /// client) until responses drain — bounding both thread count and
     /// response-buffer growth for a client that floods or never reads.
     pub max_pending_per_conn: usize,
+    /// Observability sink for connection/request/backpressure events and
+    /// stderr diagnostics. Defaults to the process-wide env-configured
+    /// handle (`DITTO_OBS_STREAM` / `DITTO_OBS_SUMMARY` /
+    /// `DITTO_SERVE_LOG`); tests plug in file-backed handles directly.
+    pub obs: Arc<Obs>,
 }
 
 impl Default for ServerConfig {
@@ -72,6 +79,7 @@ impl Default for ServerConfig {
             backend: Backend::detect(),
             max_line_bytes: 16 * 1024 * 1024,
             max_pending_per_conn: 128,
+            obs: Arc::clone(crate::obs::global()),
         }
     }
 }
@@ -157,8 +165,9 @@ pub fn spawn(app: Arc<dyn App>, config: ServerConfig) -> io::Result<ServerHandle
         let waker = Arc::clone(&waker);
         let max_line = config.max_line_bytes;
         let max_pending = config.max_pending_per_conn.max(1);
+        let obs = config.obs;
         std::thread::spawn(move || {
-            Reactor { listener, poller, waker, stop, app, max_line, max_pending }.run()
+            Reactor { listener, poller, waker, stop, app, max_line, max_pending, obs }.run()
         })
     };
     Ok(ServerHandle { addr, backend, stop, waker, thread: Some(thread) })
@@ -215,6 +224,7 @@ struct Reactor {
     app: Arc<dyn App>,
     max_line: usize,
     max_pending: usize,
+    obs: Arc<Obs>,
 }
 
 impl Reactor {
@@ -249,7 +259,14 @@ impl Reactor {
                     if alive {
                         touched.push(ev.fd);
                     } else {
-                        drop_conn(&mut self.poller, &mut conns, &mut fd_of, ev.fd);
+                        drop_conn(
+                            &mut self.poller,
+                            &mut conns,
+                            &mut fd_of,
+                            ev.fd,
+                            &self.obs,
+                            "error",
+                        );
                     }
                 }
             }
@@ -270,14 +287,14 @@ impl Reactor {
                 if alive {
                     touched.push(fd);
                 } else {
-                    drop_conn(&mut self.poller, &mut conns, &mut fd_of, fd);
+                    drop_conn(&mut self.poller, &mut conns, &mut fd_of, fd, &self.obs, "error");
                 }
             }
             // Re-arm or retire every connection we touched.
             for fd in touched {
                 let Some(conn) = conns.get(&fd) else { continue };
                 if conn.done() {
-                    drop_conn(&mut self.poller, &mut conns, &mut fd_of, fd);
+                    drop_conn(&mut self.poller, &mut conns, &mut fd_of, fd, &self.obs, "done");
                 } else {
                     let want = conn.desired_interest(self.max_pending);
                     if want != conn.interest {
@@ -305,6 +322,7 @@ impl Reactor {
                     let id = *next_id;
                     *next_id += 1;
                     self.poller.register(fd, Interest::Read)?;
+                    self.obs.conn_accepted(id);
                     fd_of.insert(id, fd);
                     conns.insert(
                         fd,
@@ -347,9 +365,12 @@ impl Reactor {
                     // the pending cap stalled dispatch, the residue is
                     // legitimate backlog, not an unterminated flood.
                     if conn.pending < self.max_pending && conn.framer.buffered() > self.max_line {
-                        eprintln!(
+                        self.obs.backpressure(conn.id, "oversized_line");
+                        diag!(
+                            self.obs,
                             "[ditto-serve] dropping connection {}: unterminated line over {} bytes",
-                            conn.id, self.max_line
+                            conn.id,
+                            self.max_line
                         );
                         return false;
                     }
@@ -382,15 +403,27 @@ impl Reactor {
                 waker.wake();
             });
             match spawned {
-                Ok(_) => conn.pending += 1,
+                Ok(_) => {
+                    conn.pending += 1;
+                    self.obs.request_accepted(conn.id, conn.pending);
+                }
                 Err(e) => {
-                    eprintln!(
+                    self.obs.backpressure(conn.id, "spawn_failure");
+                    diag!(
+                        self.obs,
                         "[ditto-serve] dropping connection {}: cannot spawn request thread: {e}",
                         conn.id
                     );
                     return false;
                 }
             }
+        }
+        // The in-flight cap stalled a complete, parseable line: the socket
+        // goes unread and TCP pushes back. One event per stall observation
+        // (i.e. per dispatch pass that leaves backlog), not per stalled
+        // line.
+        if conn.pending >= self.max_pending && conn.framer.has_line() {
+            self.obs.backpressure(conn.id, "max_pending_per_conn");
         }
         true
     }
@@ -420,9 +453,12 @@ fn drop_conn(
     conns: &mut HashMap<RawFd, Conn>,
     fd_of: &mut HashMap<u64, RawFd>,
     fd: RawFd,
+    obs: &Obs,
+    reason: &str,
 ) {
     if let Some(conn) = conns.remove(&fd) {
         let _ = poller.deregister(fd);
+        obs.conn_dropped(conn.id, reason);
         fd_of.remove(&conn.id);
         // `conn.stream` closes here; late responses for `conn.id` find no
         // fd_of entry and are discarded.

@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Validate a freshly emitted perfbench document against a committed baseline.
+
+Usage: validate_bench.py EMITTED.json BASELINE.json
+
+The committed ``BENCH_kernels.json`` / ``BENCH_serve.json`` baselines define
+the *schema*; this script checks a fresh ``perfbench`` run emits the same
+shape (identical key sets at every object level, matching value types,
+full kernel/shape coverage) with sane value ranges. It deliberately does
+NOT compare the numbers themselves — perf values are host-dependent, and
+the committed trajectory is reviewed like a changelog, not asserted by CI.
+"""
+
+import json
+import math
+import sys
+
+
+def fail(msg):
+    print(f"validate_bench: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def typename(v):
+    if isinstance(v, bool):
+        return "bool"
+    if isinstance(v, (int, float)):
+        return "number"
+    if isinstance(v, str):
+        return "string"
+    if isinstance(v, list):
+        return "array"
+    if isinstance(v, dict):
+        return "object"
+    return "null"
+
+
+def same_structure(new, base, path):
+    """Identical key sets and value types, recursively. Array elements are
+    checked against the baseline's first element (lengths may differ: a
+    host without AVX2 legitimately emits fewer kernel result rows)."""
+    if typename(new) != typename(base):
+        fail(f"{path}: type {typename(new)} != baseline {typename(base)}")
+    if isinstance(base, dict):
+        if set(new) != set(base):
+            missing = sorted(set(base) - set(new))
+            extra = sorted(set(new) - set(base))
+            fail(f"{path}: key mismatch (missing {missing}, extra {extra})")
+        for k in base:
+            same_structure(new[k], base[k], f"{path}.{k}")
+    elif isinstance(base, list) and base:
+        if not new:
+            fail(f"{path}: empty array (baseline has {len(base)} entries)")
+        for i, item in enumerate(new):
+            same_structure(item, base[0], f"{path}[{i}]")
+
+
+def sane(x, path, lo, hi):
+    if isinstance(x, bool) or not isinstance(x, (int, float)):
+        fail(f"{path}: {x!r} is not a number")
+    if not (math.isfinite(x) and lo <= x <= hi):
+        fail(f"{path}: {x} outside sane range [{lo}, {hi}]")
+
+
+def hist_sane(h, path):
+    sane(h["count"], f"{path}.count", 1, 1e9)
+    sane(h["mean"], f"{path}.mean", 0, 1e12)
+    for p in ("p50", "p90", "p99", "max"):
+        sane(h[p], f"{path}.{p}", 0, 1e12)
+    if not h["p50"] <= h["p90"] <= h["p99"] <= h["max"]:
+        fail(f"{path}: percentiles not monotone: {h}")
+
+
+def check_kernels(new, base):
+    if set(new["shapes"]) != set(base["shapes"]):
+        fail(f"shapes {new['shapes']} != baseline {base['shapes']}")
+    if "scalar" not in new["backends"]:
+        fail("the scalar backend must always be measured")
+    kernels = {r["kernel"] for r in base["results"]}
+    want = {
+        (k, s, b) for k in kernels for s in new["shapes"] for b in new["backends"]
+    }
+    got = {(r["kernel"], r["shape"], r["backend"]) for r in new["results"]}
+    if got != want:
+        fail(
+            f"results coverage mismatch (missing {sorted(want - got)}, "
+            f"unexpected {sorted(got - want)})"
+        )
+    for i, r in enumerate(new["results"]):
+        sane(r["gflops"], f"results[{i}].gflops", 1e-3, 1e5)
+        sane(r["speedup_vs_scalar"], f"results[{i}].speedup_vs_scalar", 1e-3, 1e4)
+        if r["backend"] == "scalar" and r["speedup_vs_scalar"] != 1.0:
+            fail(f"results[{i}]: scalar speedup must be exactly 1.0")
+    print(
+        f"validate_bench: kernels OK — {len(new['results'])} points, "
+        f"backends {new['backends']}"
+    )
+
+
+def check_serve(new, _base):
+    sane(new["clients"], "clients", 1, 1e4)
+    sane(new["requests"], "requests", 1, 1e7)
+    hist_sane(new["latency_us"], "latency_us")
+    if new["latency_us"]["count"] != new["requests"]:
+        fail("latency histogram count != requests")
+    c = new["cells"]
+    for k in ("total", "memo_hits", "coalesced", "simulated"):
+        sane(c[k], f"cells.{k}", 0, 1e9)
+    if c["memo_hits"] + c["coalesced"] + c["simulated"] != c["total"]:
+        fail(f"cell counters do not partition: {c}")
+    sane(c["memo_hit_rate"], "cells.memo_hit_rate", 0, 1)
+    want_rate = (c["memo_hits"] + c["coalesced"]) / c["total"] if c["total"] else 0.0
+    if abs(c["memo_hit_rate"] - want_rate) > 1e-9:
+        fail(f"memo_hit_rate {c['memo_hit_rate']} != recomputed {want_rate}")
+    sane(new["throughput_rps"], "throughput_rps", 1e-3, 1e7)
+    print(
+        f"validate_bench: serve OK — {new['requests']} requests, "
+        f"p50 {new['latency_us']['p50']}us, hit rate {c['memo_hit_rate']:.3f}"
+    )
+
+
+def main():
+    if len(sys.argv) != 3:
+        fail("usage: validate_bench.py EMITTED.json BASELINE.json")
+    with open(sys.argv[1]) as f:
+        new = json.load(f)
+    with open(sys.argv[2]) as f:
+        base = json.load(f)
+    if new.get("schema") != "ditto-perfbench/1":
+        fail(f"unknown schema {new.get('schema')!r}")
+    if new.get("kind") != base.get("kind"):
+        fail(f"kind {new.get('kind')!r} != baseline {base.get('kind')!r}")
+    same_structure(new, base, "$")
+    if new["kind"] == "kernels":
+        check_kernels(new, base)
+    elif new["kind"] == "serve":
+        check_serve(new, base)
+    else:
+        fail(f"unknown kind {new['kind']!r}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,354 @@
+//! `perfbench` — the machine-readable perf artifacts behind the committed
+//! `BENCH_*.json` trajectory.
+//!
+//! Two documents, both in a stable schema the CI `perf` job validates
+//! against the committed baselines (same key structure, sane value
+//! ranges) on every push:
+//!
+//! * **`BENCH_kernels.json`** — GFLOP/s per kernel backend per shape for
+//!   the three hot kernels (dense integer matmul, the temporal-difference
+//!   delta update at realistic sparsity, and f32 matmul) at the UNet
+//!   im2col shapes plus the classic delta-update bench shape. Every
+//!   backend is asserted bit-identical to the scalar reference *before*
+//!   it is timed.
+//! * **`BENCH_serve.json`** — loopback `ditto-serve` latency percentiles
+//!   (client-observed, from a fixed-bucket log-scale histogram) and the
+//!   cross-request memo hit rate under a deterministic overlapping
+//!   request burst at the tiny scale.
+//!
+//! ```bash
+//! cargo run --release -p ditto-repro --bin perfbench -- --out-dir .
+//! ```
+//!
+//! Flags: `--out-dir DIR` (default `.`), `--kernels-only` /
+//! `--serve-only`, `--min-ms N` (per-point measurement budget, default
+//! 60), `--clients N` (default 8), `--repeat N` (requests per client,
+//! default 4). `DITTO_CACHE_DIR` is honored by the serve half's trace
+//! suite like everywhere else.
+//!
+//! Numbers are host-dependent by nature; the committed baselines document
+//! the *trajectory* (reviewed like a changelog), while CI validates shape
+//! and sanity, not exact values.
+
+use std::io::{BufRead, BufReader, Write as _};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use ditto_core::hist::LogHistogram;
+use ditto_core::jsonio::{self, ToJson, Value};
+use quant::kernels::{delta_matmul_update_with, int_matmul_with, reference, widen};
+use serve::server::{spawn, ServerConfig};
+use serve::{Obs, SuiteApp};
+use tensor::ops::{matmul_scalar, matmul_with};
+use tensor::{KernelBackend, Rng, Tensor};
+
+/// Schema tag stamped into both documents (bump on breaking changes; the
+/// CI validator pins it).
+const SCHEMA: &str = "ditto-perfbench/1";
+
+/// The measured shapes: the delta-update bench shape plus the two UNet
+/// im2col shapes (`[H·W, C_in·K²] × [C_in·K², C_out]`) the Small-scale
+/// models actually produce.
+const SHAPES: [(usize, usize, usize); 3] = [(64, 256, 128), (256, 288, 32), (256, 576, 64)];
+
+/// The deterministic overlapping burst (the CI socket smoke's shapes):
+/// 0 and 3 request the same 4 cells, 1 and 2 each overlap them by one.
+const BURST: [&str; 4] = [
+    r#"{"id":"ID","designs":["ITC","Ditto"],"models":["DDPM","SDM"],"scale":"tiny","priority":2}"#,
+    r#"{"id":"ID","designs":["Ditto","Cam-D"],"models":["SDM","DiT"],"scale":"tiny"}"#,
+    r#"{"id":"ID","designs":["ITC","Cam-D"],"models":["DDPM","CHUR"],"scale":"tiny","priority":-1}"#,
+    r#"{"id":"ID","designs":["ITC","Ditto"],"models":["DDPM","SDM"],"scale":"tiny","priority":1}"#,
+];
+
+struct Args {
+    out_dir: PathBuf,
+    kernels: bool,
+    serve: bool,
+    min_ms: u64,
+    clients: usize,
+    repeat: usize,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        out_dir: PathBuf::from("."),
+        kernels: true,
+        serve: true,
+        min_ms: 60,
+        clients: 8,
+        repeat: 4,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut num = |name: &str| -> u64 {
+            it.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("{name} needs a positive integer"))
+        };
+        match arg.as_str() {
+            "--out-dir" => args.out_dir = PathBuf::from(it.next().expect("--out-dir needs a path")),
+            "--kernels-only" => args.serve = false,
+            "--serve-only" => args.kernels = false,
+            "--min-ms" => args.min_ms = num("--min-ms").max(1),
+            "--clients" => args.clients = num("--clients").max(1) as usize,
+            "--repeat" => args.repeat = num("--repeat").max(1) as usize,
+            other => {
+                eprintln!(
+                    "unknown argument `{other}`; usage: perfbench [--out-dir DIR] \
+                     [--kernels-only|--serve-only] [--min-ms N] [--clients N] [--repeat N]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+fn write_doc(path: &Path, doc: &Value) {
+    std::fs::write(path, jsonio::to_vec_pretty(doc))
+        .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    println!("perfbench: wrote {}", path.display());
+}
+
+/// Measures `f` for at least `min_ms`, doubling the iteration count until
+/// the budget is met, and returns achieved GFLOP/s (`flops` per call).
+fn gflops(flops: f64, min_ms: u64, mut f: impl FnMut()) -> f64 {
+    f(); // warm caches and allocators
+    let mut iters: u64 = 1;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let elapsed = start.elapsed();
+        if elapsed.as_millis() as u64 >= min_ms {
+            return flops * iters as f64 / elapsed.as_secs_f64() / 1e9;
+        }
+        iters = iters.saturating_mul(2);
+    }
+}
+
+fn rand_i8(n: usize, rng: &mut Rng) -> Vec<i8> {
+    (0..n).map(|_| (rng.next_below(255) as i32 - 127) as i8).collect()
+}
+
+/// Deltas with ~70% zeros, remainder small 4-bit values — the realistic
+/// temporal sparsity regime (Fig. 5).
+fn sparse_deltas(n: usize, rng: &mut Rng) -> Vec<i16> {
+    (0..n).map(|_| if rng.next_f64() < 0.7 { 0 } else { rng.next_below(15) as i16 - 7 }).collect()
+}
+
+fn bench_kernels(min_ms: u64) -> Value {
+    use std::hint::black_box;
+    let backends = KernelBackend::available();
+    let mut results: Vec<Value> = Vec::new();
+    let mut rng = Rng::seed_from(11);
+    for &(m, k, n) in &SHAPES {
+        let shape = format!("{m}x{k}x{n}");
+        let flops = (2 * m * k * n) as f64;
+        let a = widen(&rand_i8(m * k, &mut rng));
+        let w = rand_i8(k * n, &mut rng);
+        let deltas = sparse_deltas(m * k, &mut rng);
+        let fa = Tensor::randn(&[m, k], &mut rng);
+        let fb = Tensor::randn(&[k, n], &mut rng);
+        // Scalar references: the identity oracle and the speedup baseline.
+        let want_int = reference::int_matmul(&a, &w, m, k, n);
+        let want_delta = reference::delta_matmul_update(&want_int, &deltas, &w, m, k, n);
+        let want_f32 = matmul_scalar(&fa, &fb).expect("scalar f32 matmul");
+        let mut scalar_gflops: Vec<(String, f64)> = Vec::new();
+        for &backend in &backends {
+            // Bit-identity asserted in setup: a backend that drifts from
+            // the scalar reference must never produce a perf number.
+            assert_eq!(
+                int_matmul_with(backend, &a, &w, m, k, n),
+                want_int,
+                "{backend} int_matmul diverged from the scalar reference at {shape}"
+            );
+            assert_eq!(
+                delta_matmul_update_with(backend, &want_int, &deltas, &w, m, k, n),
+                want_delta,
+                "{backend} delta_matmul_update diverged from the reference at {shape}"
+            );
+            let got_f32 = matmul_with(backend, &fa, &fb).expect("f32 matmul");
+            assert!(
+                got_f32
+                    .as_slice()
+                    .iter()
+                    .zip(want_f32.as_slice())
+                    .all(|(x, y)| x.to_bits() == y.to_bits()),
+                "{backend} f32 matmul diverged bitwise from the scalar reference at {shape}"
+            );
+            let points: [(&str, f64); 3] = [
+                (
+                    "int_matmul",
+                    gflops(flops, min_ms, || {
+                        black_box(int_matmul_with(backend, black_box(&a), black_box(&w), m, k, n));
+                    }),
+                ),
+                (
+                    "delta_matmul_update",
+                    gflops(flops, min_ms, || {
+                        black_box(delta_matmul_update_with(
+                            backend,
+                            black_box(&want_int),
+                            black_box(&deltas),
+                            &w,
+                            m,
+                            k,
+                            n,
+                        ));
+                    }),
+                ),
+                (
+                    "matmul_f32",
+                    gflops(flops, min_ms, || {
+                        black_box(matmul_with(backend, black_box(&fa), black_box(&fb)).unwrap());
+                    }),
+                ),
+            ];
+            for (kernel, gf) in points {
+                let baseline =
+                    scalar_gflops.iter().find(|(key, _)| key == kernel).map(|(_, base)| *base);
+                if backend == KernelBackend::Scalar {
+                    scalar_gflops.push((kernel.to_string(), gf));
+                }
+                results.push(obj(vec![
+                    ("kernel", Value::Str(kernel.to_string())),
+                    ("shape", Value::Str(shape.clone())),
+                    ("backend", Value::Str(backend.name().to_string())),
+                    ("gflops", Value::Num(gf)),
+                    ("speedup_vs_scalar", Value::Num(baseline.map_or(1.0, |base| gf / base))),
+                ]));
+                println!(
+                    "perfbench: {kernel:>20} {shape:>11} {:>6}: {gf:8.3} GFLOP/s",
+                    backend.name()
+                );
+            }
+        }
+    }
+    obj(vec![
+        ("schema", Value::Str(SCHEMA.into())),
+        ("kind", Value::Str("kernels".into())),
+        ("units", Value::Str("gflops = 2*m*k*n ops / second / 1e9".into())),
+        (
+            "backends",
+            Value::Arr(backends.iter().map(|b| Value::Str(b.name().to_string())).collect()),
+        ),
+        (
+            "shapes",
+            Value::Arr(SHAPES.iter().map(|(m, k, n)| Value::Str(format!("{m}x{k}x{n}"))).collect()),
+        ),
+        ("results", Value::Arr(results)),
+    ])
+}
+
+/// One burst request over its own loopback connection; returns the
+/// client-observed latency and the response's `cells` counters.
+fn one_request(port: u16, line: &str) -> (u64, [u64; 4]) {
+    let start = Instant::now();
+    let mut conn = TcpStream::connect(("127.0.0.1", port)).expect("connect loopback");
+    conn.write_all(line.as_bytes()).expect("send request");
+    conn.write_all(b"\n").expect("send newline");
+    let mut response = String::new();
+    BufReader::new(conn).read_line(&mut response).expect("read response");
+    let us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+    let v = jsonio::parse(response.as_bytes()).expect("well-formed response");
+    assert_eq!(v.get("ok").expect("ok field"), &Value::Bool(true), "request failed: {response}");
+    let cells = v.get("cells").expect("cells object");
+    let count = |key: &str| match cells.get(key).expect(key) {
+        Value::Int(i) => u64::try_from(*i).expect("non-negative counter"),
+        other => panic!("cells.{key} must be an integer, got {other:?}"),
+    };
+    (us, [count("total"), count("memo_hits"), count("coalesced"), count("simulated")])
+}
+
+fn bench_serve(clients: usize, repeat: usize) -> Value {
+    // The measurement server: in-process, obs disabled (we are measuring,
+    // not observing), default unbounded memo, one worker per core.
+    let app = Arc::new(SuiteApp::with_obs(
+        accel::pool::default_workers().max(1),
+        Arc::new(Obs::disabled()),
+    ));
+    let handle = spawn(app, ServerConfig::default()).expect("spawn loopback server");
+    let port = handle.addr().port();
+
+    // Warm-up: one throwaway request traces (or cache-loads) the tiny
+    // suite and its GPU references, so the burst measures serving, not
+    // first-touch tracing.
+    let _ = one_request(port, &BURST[0].replace("ID", "warmup"));
+
+    let hist = Mutex::new(LogHistogram::new());
+    let counters = Mutex::new([0u64; 4]);
+    let burst_start = Instant::now();
+    std::thread::scope(|s| {
+        for c in 0..clients {
+            let (hist, counters) = (&hist, &counters);
+            s.spawn(move || {
+                for r in 0..repeat {
+                    let line = BURST[(c + r) % BURST.len()].replace("ID", &format!("c{c}r{r}"));
+                    let (us, cells) = one_request(port, &line);
+                    hist.lock().expect("latency hist").record(us);
+                    let mut sums = counters.lock().expect("cell counters");
+                    for (sum, cell) in sums.iter_mut().zip(cells) {
+                        *sum += cell;
+                    }
+                }
+            });
+        }
+    });
+    let wall = burst_start.elapsed().as_secs_f64();
+    handle.shutdown().expect("clean shutdown");
+
+    let hist = hist.into_inner().expect("latency hist");
+    let [total, memo_hits, coalesced, simulated] = counters.into_inner().expect("cell counters");
+    let requests = (clients * repeat) as u64;
+    assert_eq!(hist.count(), requests, "every request must be measured");
+    assert_eq!(memo_hits + coalesced + simulated, total, "cell counters must partition");
+    let hit_rate = if total == 0 { 0.0 } else { (memo_hits + coalesced) as f64 / total as f64 };
+    println!(
+        "perfbench: serve burst {requests} reqs × {total} cells: p50 {}us p99 {}us, \
+         memo hit rate {hit_rate:.3}, {:.1} req/s",
+        hist.percentile(50.0),
+        hist.percentile(99.0),
+        requests as f64 / wall
+    );
+    obj(vec![
+        ("schema", Value::Str(SCHEMA.into())),
+        ("kind", Value::Str("serve".into())),
+        ("scale", Value::Str("tiny".into())),
+        ("clients", clients.to_json()),
+        ("requests", requests.to_json()),
+        ("latency_us", hist.summary_json()),
+        (
+            "cells",
+            obj(vec![
+                ("total", total.to_json()),
+                ("memo_hits", memo_hits.to_json()),
+                ("coalesced", coalesced.to_json()),
+                ("simulated", simulated.to_json()),
+                ("memo_hit_rate", Value::Num(hit_rate)),
+            ]),
+        ),
+        ("throughput_rps", Value::Num(requests as f64 / wall)),
+    ])
+}
+
+fn main() {
+    let args = parse_args();
+    std::fs::create_dir_all(&args.out_dir)
+        .unwrap_or_else(|e| panic!("create {}: {e}", args.out_dir.display()));
+    if args.kernels {
+        let doc = bench_kernels(args.min_ms);
+        write_doc(&args.out_dir.join("BENCH_kernels.json"), &doc);
+    }
+    if args.serve {
+        let doc = bench_serve(args.clients, args.repeat);
+        write_doc(&args.out_dir.join("BENCH_serve.json"), &doc);
+    }
+}
