@@ -26,15 +26,27 @@ pub const MAX_FREQ: f32 = 0.02;
 /// Panics if `dim` is zero or odd.
 pub fn timestep_embedding(t: f32, dim: usize) -> Tensor {
     assert!(dim > 0 && dim.is_multiple_of(2), "embedding dim must be positive and even");
+    let mut data = vec![0.0f32; dim];
+    timestep_embedding_into(t, dim, &mut data);
+    Tensor::from_vec(data, &[1, dim]).expect("length matches dim")
+}
+
+/// Slice core of [`timestep_embedding`], writing all `dim` elements of
+/// `out` in place (for arena executors that own the output buffer).
+///
+/// # Panics
+///
+/// Panics if `dim` is zero or odd, or `out.len() != dim`.
+pub fn timestep_embedding_into(t: f32, dim: usize, out: &mut [f32]) {
+    assert!(dim > 0 && dim.is_multiple_of(2), "embedding dim must be positive and even");
+    assert_eq!(out.len(), dim, "embedding output length");
     let half = dim / 2;
     let max_period: f32 = 10_000.0;
-    let mut data = vec![0.0f32; dim];
     for i in 0..half {
         let freq = MAX_FREQ * (-(max_period.ln()) * i as f32 / half as f32).exp();
-        data[2 * i] = (t * freq).sin();
-        data[2 * i + 1] = (t * freq).cos();
+        out[2 * i] = (t * freq).sin();
+        out[2 * i + 1] = (t * freq).cos();
     }
-    Tensor::from_vec(data, &[1, dim]).expect("length matches dim")
 }
 
 #[cfg(test)]

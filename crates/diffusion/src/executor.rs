@@ -53,13 +53,26 @@ pub trait LinearHook {
     fn observe(&mut self, node: &Node, step: StepInfo, inputs: &[&Tensor], output: &Tensor) {
         let _ = (node, step, inputs, output);
     }
+
+    /// Whether this hook leaves both [`LinearHook::compute_linear`] and
+    /// [`LinearHook::observe`] as the default no-ops. Executors use this to
+    /// skip per-node observe bookkeeping, and it gates the compiled-plan
+    /// fast path ([`crate::plan`]). Hooks that override either method must
+    /// leave this `false` (the default).
+    fn is_noop(&self) -> bool {
+        false
+    }
 }
 
 /// A hook that does nothing (plain f32 execution).
 #[derive(Debug, Default, Clone, Copy)]
 pub struct NullHook;
 
-impl LinearHook for NullHook {}
+impl LinearHook for NullHook {
+    fn is_noop(&self) -> bool {
+        true
+    }
+}
 
 /// Input bindings for one forward pass.
 #[derive(Debug, Clone)]
@@ -84,12 +97,19 @@ pub fn forward(
     step: StepInfo,
     hook: &mut dyn LinearHook,
 ) -> Result<Tensor> {
+    let noop = hook.is_noop();
     let mut values: Vec<Option<Tensor>> = vec![None; graph.len()];
     for node in graph.nodes() {
-        let inputs: Vec<&Tensor> =
-            node.inputs.iter().map(|&i| values[i].as_ref().expect("topological order")).collect();
-        let out = eval_node(node, &inputs, bindings, step, hook)?;
-        hook.observe(node, step, &inputs, &out);
+        // Max arity is 3 (Modulate); a stack array avoids a per-node Vec.
+        let mut slots: [&Tensor; 3] = [bindings.latent; 3];
+        for (slot, &i) in slots.iter_mut().zip(&node.inputs) {
+            *slot = values[i].as_ref().expect("topological order");
+        }
+        let inputs = &slots[..node.inputs.len()];
+        let out = eval_node(node, inputs, bindings, step, hook)?;
+        if !noop {
+            hook.observe(node, step, inputs, &out);
+        }
         values[node.id] = Some(out);
     }
     Ok(values[graph.output()].take().expect("output evaluated"))
@@ -155,6 +175,141 @@ fn eval_node(
     }
 }
 
+// ---------------------------------------------------------------------------
+// Shared slice kernels.
+//
+// Each helper below validates shapes on the `Tensor` path and then runs a
+// slice-level kernel that writes every output element exactly once. The
+// compiled-plan interpreter (`crate::plan`) calls the same slice kernels
+// over its arena spans, which is what makes the plan path bit-identical to
+// the tree walk by construction.
+// ---------------------------------------------------------------------------
+
+/// Adds a `[cols]` bias row-wise to a `[rows, cols]` buffer in place.
+pub(crate) fn add_row_bias(yv: &mut [f32], bv: &[f32], rows: usize, cols: usize) {
+    for r in 0..rows {
+        for c in 0..cols {
+            yv[r * cols + c] += bv[c];
+        }
+    }
+}
+
+/// Slice kernel for [`modulate`]: `out = x·(1+s)+b` over `[rows, cols]`.
+pub(crate) fn modulate_into(
+    xv: &[f32],
+    sv: &[f32],
+    bv: &[f32],
+    rows: usize,
+    cols: usize,
+    ov: &mut [f32],
+) {
+    for r in 0..rows {
+        for c in 0..cols {
+            ov[r * cols + c] = xv[r * cols + c] * (1.0 + sv[c]) + bv[c];
+        }
+    }
+}
+
+/// Slice kernel for [`gate`]: `out = x·g` over `[rows, cols]`.
+pub(crate) fn gate_into(xv: &[f32], gv: &[f32], rows: usize, cols: usize, ov: &mut [f32]) {
+    for r in 0..rows {
+        for c in 0..cols {
+            ov[r * cols + c] = xv[r * cols + c] * gv[c];
+        }
+    }
+}
+
+/// Slice kernel for [`add_bias2d`]: `out = x + e[c]` over `[c, plane]`.
+pub(crate) fn add_bias2d_into(xv: &[f32], ev: &[f32], c: usize, plane: usize, ov: &mut [f32]) {
+    for ci in 0..c {
+        for p in 0..plane {
+            ov[ci * plane + p] = xv[ci * plane + p] + ev[ci];
+        }
+    }
+}
+
+/// Transposes a row-major `[rows, cols]` buffer into `[cols, rows]` — both
+/// `ToTokens` (`[C, H·W] → [H·W, C]`) and `ToSpatial` (the inverse) are
+/// this kernel with swapped dimensions.
+pub(crate) fn transpose_into(xv: &[f32], rows: usize, cols: usize, ov: &mut [f32]) {
+    for i in 0..rows {
+        for j in 0..cols {
+            ov[j * rows + i] = xv[i * cols + j];
+        }
+    }
+}
+
+/// Slice kernel for [`slice_cols`]: columns `[start, start+len)` of
+/// `[rows, cols]`.
+pub(crate) fn slice_cols_into(
+    xv: &[f32],
+    rows: usize,
+    cols: usize,
+    start: usize,
+    len: usize,
+    ov: &mut [f32],
+) {
+    for r in 0..rows {
+        ov[r * len..(r + 1) * len].copy_from_slice(&xv[r * cols + start..r * cols + start + len]);
+    }
+}
+
+/// Slice kernel for [`concat_cols`]: `[rows, ca] ⊕ [rows, cb]`.
+pub(crate) fn concat_cols_into(
+    av: &[f32],
+    bv: &[f32],
+    rows: usize,
+    ca: usize,
+    cb: usize,
+    ov: &mut [f32],
+) {
+    for r in 0..rows {
+        ov[r * (ca + cb)..r * (ca + cb) + ca].copy_from_slice(&av[r * ca..(r + 1) * ca]);
+        ov[r * (ca + cb) + ca..(r + 1) * (ca + cb)].copy_from_slice(&bv[r * cb..(r + 1) * cb]);
+    }
+}
+
+/// Slice kernel for [`upsample2x`]: `[c, h, w] → [c, 2h, 2w]`.
+pub(crate) fn upsample2x_into(xv: &[f32], c: usize, h: usize, w: usize, ov: &mut [f32]) {
+    for ci in 0..c {
+        for y in 0..h {
+            for xx in 0..w {
+                let v = xv[ci * h * w + y * w + xx];
+                let base = ci * 4 * h * w;
+                ov[base + (2 * y) * 2 * w + 2 * xx] = v;
+                ov[base + (2 * y) * 2 * w + 2 * xx + 1] = v;
+                ov[base + (2 * y + 1) * 2 * w + 2 * xx] = v;
+                ov[base + (2 * y + 1) * 2 * w + 2 * xx + 1] = v;
+            }
+        }
+    }
+}
+
+/// Slice kernel for [`unpatchify`]: `[hp·wp, p·p·c] → [c, hp·p, wp·p]`.
+pub(crate) fn unpatchify_into(
+    xv: &[f32],
+    c: usize,
+    hp: usize,
+    wp: usize,
+    p: usize,
+    ov: &mut [f32],
+) {
+    let (h, w) = (hp * p, wp * p);
+    for py in 0..hp {
+        for px in 0..wp {
+            let row = py * wp + px;
+            for iy in 0..p {
+                for ix in 0..p {
+                    for ci in 0..c {
+                        let v = xv[row * p * p * c + (iy * p + ix) * c + ci];
+                        ov[ci * h * w + (py * p + iy) * w + (px * p + ix)] = v;
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// `[tokens, in] × [in, out] (+ bias)`.
 fn linear(x: &Tensor, weight: &Tensor, bias: Option<&Tensor>) -> Result<Tensor> {
     let mut y = ops::matmul(x, weight)?;
@@ -163,13 +318,7 @@ fn linear(x: &Tensor, weight: &Tensor, bias: Option<&Tensor>) -> Result<Tensor> 
         if b.len() != cols {
             return Err(TensorError::LengthMismatch { expected: cols, actual: b.len() });
         }
-        let bv = b.as_slice().to_vec();
-        let yv = y.as_mut_slice();
-        for r in 0..rows {
-            for c in 0..cols {
-                yv[r * cols + c] += bv[c];
-            }
-        }
+        add_row_bias(y.as_mut_slice(), b.as_slice(), rows, cols);
     }
     Ok(y)
 }
@@ -181,15 +330,8 @@ fn modulate(x: &Tensor, s: &Tensor, b: &Tensor) -> Result<Tensor> {
     if s.len() != cols || b.len() != cols {
         return Err(TensorError::LengthMismatch { expected: cols, actual: s.len() });
     }
-    let mut out = x.clone();
-    let ov = out.as_mut_slice();
-    let sv = s.as_slice();
-    let bv = b.as_slice();
-    for r in 0..rows {
-        for c in 0..cols {
-            ov[r * cols + c] = ov[r * cols + c] * (1.0 + sv[c]) + bv[c];
-        }
-    }
+    let mut out = Tensor::zeros(&[rows, cols]);
+    modulate_into(x.as_slice(), s.as_slice(), b.as_slice(), rows, cols, out.as_mut_slice());
     Ok(out)
 }
 
@@ -200,14 +342,8 @@ fn gate(x: &Tensor, g: &Tensor) -> Result<Tensor> {
     if g.len() != cols {
         return Err(TensorError::LengthMismatch { expected: cols, actual: g.len() });
     }
-    let mut out = x.clone();
-    let ov = out.as_mut_slice();
-    let gv = g.as_slice();
-    for r in 0..rows {
-        for c in 0..cols {
-            ov[r * cols + c] *= gv[c];
-        }
-    }
+    let mut out = Tensor::zeros(&[rows, cols]);
+    gate_into(x.as_slice(), g.as_slice(), rows, cols, out.as_mut_slice());
     Ok(out)
 }
 
@@ -218,14 +354,8 @@ fn add_bias2d(x: &Tensor, e: &Tensor) -> Result<Tensor> {
     if e.len() != c {
         return Err(TensorError::LengthMismatch { expected: c, actual: e.len() });
     }
-    let mut out = x.clone();
-    let ov = out.as_mut_slice();
-    let ev = e.as_slice();
-    for ci in 0..c {
-        for p in 0..h * w {
-            ov[ci * h * w + p] += ev[ci];
-        }
-    }
+    let mut out = Tensor::zeros(&[c, h, w]);
+    add_bias2d_into(x.as_slice(), e.as_slice(), c, h * w, out.as_mut_slice());
     Ok(out)
 }
 
@@ -234,13 +364,7 @@ fn to_tokens(x: &Tensor) -> Result<Tensor> {
     x.shape().expect_rank(3)?;
     let (c, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2]);
     let mut out = Tensor::zeros(&[h * w, c]);
-    let xv = x.as_slice();
-    let ov = out.as_mut_slice();
-    for ci in 0..c {
-        for p in 0..h * w {
-            ov[p * c + ci] = xv[ci * h * w + p];
-        }
-    }
+    transpose_into(x.as_slice(), c, h * w, out.as_mut_slice());
     Ok(out)
 }
 
@@ -251,13 +375,7 @@ fn to_spatial(x: &Tensor, c: usize, h: usize, w: usize) -> Result<Tensor> {
         return Err(TensorError::ShapeMismatch { left: x.dims().to_vec(), right: vec![h * w, c] });
     }
     let mut out = Tensor::zeros(&[c, h, w]);
-    let xv = x.as_slice();
-    let ov = out.as_mut_slice();
-    for ci in 0..c {
-        for p in 0..h * w {
-            ov[ci * h * w + p] = xv[p * c + ci];
-        }
-    }
+    transpose_into(x.as_slice(), h * w, c, out.as_mut_slice());
     Ok(out)
 }
 
@@ -271,11 +389,7 @@ fn slice_cols(x: &Tensor, start: usize, len: usize) -> Result<Tensor> {
         )));
     }
     let mut out = Tensor::zeros(&[rows, len]);
-    let xv = x.as_slice();
-    let ov = out.as_mut_slice();
-    for r in 0..rows {
-        ov[r * len..(r + 1) * len].copy_from_slice(&xv[r * cols + start..r * cols + start + len]);
-    }
+    slice_cols_into(x.as_slice(), rows, cols, start, len, out.as_mut_slice());
     Ok(out)
 }
 
@@ -308,12 +422,7 @@ fn concat_cols(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     }
     let (rows, ca, cb) = (a.dims()[0], a.dims()[1], b.dims()[1]);
     let mut out = Tensor::zeros(&[rows, ca + cb]);
-    let ov = out.as_mut_slice();
-    for r in 0..rows {
-        ov[r * (ca + cb)..r * (ca + cb) + ca].copy_from_slice(&a.as_slice()[r * ca..(r + 1) * ca]);
-        ov[r * (ca + cb) + ca..(r + 1) * (ca + cb)]
-            .copy_from_slice(&b.as_slice()[r * cb..(r + 1) * cb]);
-    }
+    concat_cols_into(a.as_slice(), b.as_slice(), rows, ca, cb, out.as_mut_slice());
     Ok(out)
 }
 
@@ -322,20 +431,7 @@ fn upsample2x(x: &Tensor) -> Result<Tensor> {
     x.shape().expect_rank(3)?;
     let (c, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2]);
     let mut out = Tensor::zeros(&[c, 2 * h, 2 * w]);
-    let xv = x.as_slice();
-    let ov = out.as_mut_slice();
-    for ci in 0..c {
-        for y in 0..h {
-            for xx in 0..w {
-                let v = xv[ci * h * w + y * w + xx];
-                let base = ci * 4 * h * w;
-                ov[base + (2 * y) * 2 * w + 2 * xx] = v;
-                ov[base + (2 * y) * 2 * w + 2 * xx + 1] = v;
-                ov[base + (2 * y + 1) * 2 * w + 2 * xx] = v;
-                ov[base + (2 * y + 1) * 2 * w + 2 * xx + 1] = v;
-            }
-        }
-    }
+    upsample2x_into(x.as_slice(), c, h, w, out.as_mut_slice());
     Ok(out)
 }
 
@@ -349,23 +445,8 @@ fn unpatchify(x: &Tensor, c: usize, hp: usize, wp: usize, p: usize) -> Result<Te
             right: vec![hp * wp, p * p * c],
         });
     }
-    let (h, w) = (hp * p, wp * p);
-    let mut out = Tensor::zeros(&[c, h, w]);
-    let xv = x.as_slice();
-    let ov = out.as_mut_slice();
-    for py in 0..hp {
-        for px in 0..wp {
-            let row = py * wp + px;
-            for iy in 0..p {
-                for ix in 0..p {
-                    for ci in 0..c {
-                        let v = xv[row * p * p * c + (iy * p + ix) * c + ci];
-                        ov[ci * h * w + (py * p + iy) * w + (px * p + ix)] = v;
-                    }
-                }
-            }
-        }
-    }
+    let mut out = Tensor::zeros(&[c, hp * p, wp * p]);
+    unpatchify_into(x.as_slice(), c, hp, wp, p, out.as_mut_slice());
     Ok(out)
 }
 

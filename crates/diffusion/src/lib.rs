@@ -16,6 +16,10 @@
 //! * [`executor`] — an f32 graph executor with PyTorch-hook-style
 //!   interception points ([`executor::LinearHook`]) used by the quantized
 //!   and Ditto execution modes in `ditto-core`.
+//! * [`plan`] — a one-time trace-plan compiler (flatten → liveness → arena)
+//!   plus a tight interpreter that serves hook-free forward passes
+//!   bit-identically to [`executor::forward`] with zero steady-state
+//!   allocation (`DITTO_EXEC_MODE={tree,plan}` selects; plan is default).
 //! * [`metrics`] — proxy quality metrics standing in for FID/IS/CLIP
 //!   (Table II; see DESIGN.md §1 for the substitution argument).
 //!
@@ -38,10 +42,12 @@ pub mod graph;
 pub mod metrics;
 pub mod models;
 pub mod op;
+pub mod plan;
 pub mod sampler;
 
 pub use executor::{forward, Bindings, LinearHook, NullHook, StepInfo};
 pub use graph::{LayerGraph, Node, NodeId};
 pub use models::{DiffusionModel, ModelKind, ModelScale};
 pub use op::{InputKind, LayerOp, OpClass};
+pub use plan::{ExecMode, PlanArena, TracePlan};
 pub use sampler::{SamplerKind, Schedule};

@@ -16,10 +16,13 @@
 //! full suite runs in CI time; block topology, layer mix, non-linearity
 //! placement, sampler identity and step counts match the paper.
 
+use std::sync::Arc;
+
 use crate::blocks::BlockCtx;
 use crate::executor::{forward, Bindings, LinearHook, StepInfo};
 use crate::graph::LayerGraph;
 use crate::op::{InputKind, LayerOp};
+use crate::plan::{self, PlanArena, TracePlan};
 use crate::sampler::{ddim_update, plms_combine, SamplerKind, Schedule};
 use tensor::ops::Conv2dParams;
 use tensor::{ops, Result, Rng, Tensor};
@@ -152,6 +155,32 @@ pub struct DiffusionModel {
     pub latent_dims: Vec<usize>,
     /// Context dims, if conditional.
     pub context_dims: Option<Vec<usize>>,
+    /// The compiled trace plan (`None` falls back to the tree walk).
+    /// Compiled once at build time and shared by clones; reused across all
+    /// sampler steps and re-simulations.
+    pub plan: Option<Arc<TracePlan>>,
+}
+
+/// Compiles the trace plan for a freshly built graph, recording a
+/// [`plan::CompileEvent`] for the observability stream. A compile failure
+/// is not an error: the model silently keeps the tree executor, which
+/// reports the authoritative diagnostics on first forward.
+fn compile_plan(
+    label: &str,
+    graph: &LayerGraph,
+    latent_dims: &[usize],
+    context_dims: Option<&[usize]>,
+) -> Option<Arc<TracePlan>> {
+    let start = std::time::Instant::now();
+    let compiled = TracePlan::compile(graph, latent_dims, context_dims).ok()?;
+    plan::record_compile_event(plan::CompileEvent {
+        label: label.to_string(),
+        nodes: graph.len(),
+        ops: compiled.op_count(),
+        arena_f32: compiled.arena_len(),
+        micros: u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX),
+    });
+    Some(Arc::new(compiled))
 }
 
 impl DiffusionModel {
@@ -164,6 +193,7 @@ impl DiffusionModel {
             build_graph(kind, scale, &mut ctx)
         };
         graph.validate();
+        let plan = compile_plan(kind.abbr(), &graph, &latent_dims, context_dims.as_deref());
         DiffusionModel {
             kind,
             graph,
@@ -172,7 +202,28 @@ impl DiffusionModel {
             steps,
             latent_dims,
             context_dims,
+            plan,
         }
+    }
+
+    /// Evaluates the model once: the compiled plan when eligible (no-op
+    /// hook, `DITTO_EXEC_MODE=plan`, shapes matching the compile), the tree
+    /// walk otherwise. Both paths are bit-identical by contract.
+    fn forward_dispatch(
+        &self,
+        bindings: &Bindings<'_>,
+        step: StepInfo,
+        hook: &mut dyn LinearHook,
+        arena: &mut PlanArena,
+    ) -> Result<Tensor> {
+        if hook.is_noop() && plan::active_mode() == plan::ExecMode::Plan {
+            if let Some(p) = &self.plan {
+                if p.matches(bindings) {
+                    return p.execute(&self.graph, bindings, arena);
+                }
+            }
+        }
+        forward(&self.graph, bindings, step, hook)
     }
 
     /// Total model evaluations the reverse process performs (PLMS adds its
@@ -218,21 +269,22 @@ impl DiffusionModel {
         let null_context = Tensor::zeros(context.dims());
         let times = self.schedule.sample_times(self.steps);
         let total = self.steps;
+        let mut arena = PlanArena::new();
         for (i, &t) in times.iter().enumerate() {
             let t_prev = times.get(i + 1).copied().unwrap_or(usize::MAX);
             let tf = t as f32;
             let step = StepInfo { step_index: i, t: tf, total_steps: total };
-            let eps_c = forward(
-                &self.graph,
+            let eps_c = self.forward_dispatch(
                 &Bindings { latent: &x, context: Some(&context), t: tf },
                 step,
                 cond_hook,
+                &mut arena,
             )?;
-            let eps_u = forward(
-                &self.graph,
+            let eps_u = self.forward_dispatch(
                 &Bindings { latent: &x, context: Some(&null_context), t: tf },
                 step,
                 uncond_hook,
+                &mut arena,
             )?;
             // ε_u + g·(ε_c − ε_u)
             let eps = eps_u.zip_with(&eps_c, |u, c| u + guidance * (c - u))?;
@@ -253,13 +305,14 @@ impl DiffusionModel {
         let times = self.schedule.sample_times(self.steps);
         let total = self.model_calls();
         let mut call_idx = 0usize;
-        let eval = |x: &Tensor, t: usize, idx: usize, hook: &mut dyn LinearHook| {
+        let mut arena = PlanArena::new();
+        let mut eval = |x: &Tensor, t: usize, idx: usize, hook: &mut dyn LinearHook| {
             let tf = t as f32;
-            forward(
-                &self.graph,
+            self.forward_dispatch(
                 &Bindings { latent: x, context: context.as_ref(), t: tf },
                 StepInfo { step_index: idx, t: tf, total_steps: total },
                 hook,
+                &mut arena,
             )
         };
         match self.sampler {
@@ -413,14 +466,17 @@ pub fn build_hierarchical_unet(scale: ModelScale, weight_seed: u64) -> Diffusion
         ctx.g.set_output(eps);
     }
     graph.validate();
+    let latent_dims = vec![c_io, hw, hw];
+    let plan = compile_plan("HIER", &graph, &latent_dims, None);
     DiffusionModel {
         kind,
         graph,
         schedule: Schedule::linear(1000),
         sampler: SamplerKind::Ddim,
         steps: scale.steps(kind),
-        latent_dims: vec![c_io, hw, hw],
+        latent_dims,
         context_dims: None,
+        plan,
     }
 }
 

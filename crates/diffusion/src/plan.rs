@@ -1,0 +1,1490 @@
+//! Compiled trace plans: flatten → schedule → arena → tight interpreter.
+//!
+//! The tree-walking executor ([`crate::executor::forward`]) re-resolves
+//! operands, re-matches on [`LayerOp`] variants, and allocates a fresh
+//! [`Tensor`] for every node of every sampler step — even though the graph,
+//! the shapes, and the schedule are identical across all steps and all
+//! re-simulations of a model. This module compiles a [`LayerGraph`] **once**
+//! into a [`TracePlan`]:
+//!
+//! 1. **Flatten**: node id order already *is* a topological order (the
+//!    builder invariant), so the plan is a flat `Vec<PlanOp>` with
+//!    `ops[i].node == i` — a small bytecode of opcode + operand spans +
+//!    shape immediates, with all shape inference and validation done at
+//!    compile time.
+//! 2. **Liveness + arena**: a backwards last-use analysis feeds a first-fit
+//!    span allocator with merge-on-free, planning one shared `f32` arena
+//!    where dead intermediates are overwritten by later nodes. Offsets are
+//!    deterministic: compiling the same graph twice yields the same plan.
+//! 3. **Execute**: [`TracePlan::execute`] interprets the flat op array over
+//!    a caller-owned [`PlanArena`] with zero per-node dispatch overhead and
+//!    zero steady-state allocation (one output `Tensor` per forward pass).
+//!
+//! **Bit-identity is the contract.** Every opcode routes through the exact
+//! slice kernels the tree path uses (`tensor::ops::*_into`, the shared
+//! executor kernels) in the same order with the same accumulation
+//! discipline, so for every model, sampler step, and kernel backend the
+//! plan output is byte-identical to `executor::forward` — including `-0.0`
+//! signs. The tree executor stays available as the reference via
+//! `DITTO_EXEC_MODE=tree` (see [`active_mode`]).
+//!
+//! Safety note: the interpreter is 100% safe Rust. The allocator reserves a
+//! node's output span *before* releasing the spans of inputs dying at that
+//! node, so an op's output never overlaps any of its (still live) inputs;
+//! disjoint contiguous spans are then carved with `split_at_mut`.
+
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::Mutex;
+
+use crate::executor::{
+    add_bias2d_into, add_row_bias, concat_cols_into, gate_into, modulate_into, slice_cols_into,
+    transpose_into, unpatchify_into, upsample2x_into, Bindings,
+};
+use crate::graph::{LayerGraph, NodeId};
+use crate::op::{InputKind, LayerOp};
+use tensor::ops;
+use tensor::{backend, Result, Tensor, TensorError};
+
+// ---------------------------------------------------------------------------
+// Execution-mode selection (mirrors `tensor::backend`).
+// ---------------------------------------------------------------------------
+
+/// Which executor services noop-hook forward passes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExecMode {
+    /// The node-by-node tree walk (`executor::forward`) — the reference.
+    Tree,
+    /// The compiled trace plan (`TracePlan::execute`) — the default.
+    Plan,
+}
+
+impl ExecMode {
+    /// All modes, reference first.
+    pub const ALL: [ExecMode; 2] = [ExecMode::Tree, ExecMode::Plan];
+
+    /// Stable lower-case name (used by `DITTO_EXEC_MODE`).
+    pub fn name(self) -> &'static str {
+        match self {
+            ExecMode::Tree => "tree",
+            ExecMode::Plan => "plan",
+        }
+    }
+
+    /// Parses a mode name (trimmed, case-insensitive).
+    pub fn parse(s: &str) -> Option<ExecMode> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "tree" => Some(ExecMode::Tree),
+            "plan" => Some(ExecMode::Plan),
+            _ => None,
+        }
+    }
+
+    fn encode(self) -> u8 {
+        match self {
+            ExecMode::Tree => 1,
+            ExecMode::Plan => 2,
+        }
+    }
+
+    fn decode(v: u8) -> Option<ExecMode> {
+        match v {
+            1 => Some(ExecMode::Tree),
+            2 => Some(ExecMode::Plan),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ExecMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// 0 = unresolved; otherwise `ExecMode::encode`.
+static ACTIVE: AtomicU8 = AtomicU8::new(0);
+
+/// The process-wide execution mode, resolved once from `DITTO_EXEC_MODE`
+/// (default [`ExecMode::Plan`]) on first call.
+pub fn active_mode() -> ExecMode {
+    if let Some(m) = ExecMode::decode(ACTIVE.load(Ordering::Relaxed)) {
+        return m;
+    }
+    let resolved = resolve_from_env();
+    // Racing resolvers compute the same value; first store wins either way.
+    let _ = ACTIVE.compare_exchange(0, resolved.encode(), Ordering::Relaxed, Ordering::Relaxed);
+    resolved
+}
+
+/// Overrides the execution mode for the rest of the process (tests,
+/// benchmark harnesses).
+pub fn set_active_mode(mode: ExecMode) {
+    ACTIVE.store(mode.encode(), Ordering::Relaxed);
+}
+
+fn resolve_from_env() -> ExecMode {
+    static WARNED: AtomicBool = AtomicBool::new(false);
+    let warn_once = |msg: String| {
+        if !WARNED.swap(true, Ordering::Relaxed) {
+            eprintln!("{msg}");
+        }
+    };
+    match std::env::var("DITTO_EXEC_MODE") {
+        Ok(raw) => {
+            let trimmed = raw.trim();
+            if trimmed.is_empty() || trimmed.eq_ignore_ascii_case("auto") {
+                return ExecMode::Plan;
+            }
+            match ExecMode::parse(trimmed) {
+                Some(m) => m,
+                None => {
+                    warn_once(format!(
+                        "DITTO_EXEC_MODE={trimmed:?} is not one of tree|plan; using plan"
+                    ));
+                    ExecMode::Plan
+                }
+            }
+        }
+        Err(_) => ExecMode::Plan,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Plan data model.
+// ---------------------------------------------------------------------------
+
+/// A contiguous `f32` interval of the arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// Start offset (in `f32` elements).
+    pub off: usize,
+    /// Element count.
+    pub len: usize,
+}
+
+impl Span {
+    fn end(self) -> usize {
+        self.off + self.len
+    }
+
+    fn overlaps(self, other: Span) -> bool {
+        self.len > 0 && other.len > 0 && self.off < other.end() && other.off < self.end()
+    }
+}
+
+/// Opcode + shape immediates. Tensor-valued parameters (weights, norm
+/// gains) are *not* copied into the plan; the interpreter borrows them from
+/// the graph node identified by [`PlanOp::node`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OpCode {
+    /// Copy the latent binding into the slot.
+    CopyLatent,
+    /// Copy the context binding into the slot (errors if absent, matching
+    /// the tree executor).
+    CopyContext,
+    /// Write the scalar diffusion time `t` into a 1-element slot.
+    WriteT,
+    /// Sinusoidal time embedding of the input scalar.
+    TimestepEmbed {
+        /// Embedding width.
+        dim: usize,
+    },
+    /// 2-D convolution on the direct sliding-window route (shapes below the
+    /// im2col MAC threshold); weight/bias/params borrowed from the graph
+    /// node.
+    Conv2d {
+        /// Input channels.
+        c_in: usize,
+        /// Input height.
+        h: usize,
+        /// Input width.
+        w: usize,
+    },
+    /// 2-D convolution pre-lowered to matmul form — the plan-side fast path
+    /// for shapes the tensor layer routes through im2col. Two phases: the
+    /// **transposed** im2col matrix `[ckk, pixels]` is gathered into
+    /// `scratch` (`ops::im2col_transposed_into`), then one accumulation
+    /// `out += weight · colsT` runs with the weight in its native
+    /// `[c_out, ckk]` layout, writing the channel-major output directly.
+    ///
+    /// Versus the tensor path this skips the per-call weight transpose, the
+    /// pixel-major product buffer, and the de-interleave pass, and widens
+    /// the matmul's streaming dimension from `c_out` to `pixels`. Each
+    /// output element still accumulates bias first, then products in
+    /// ascending `(c_in, ky, kx)` order, so values match the tree executor
+    /// bit for bit (asserted across every model/backend by the identity
+    /// suites).
+    Conv2dIm2col {
+        /// Input channels.
+        c_in: usize,
+        /// Input height.
+        h: usize,
+        /// Input width.
+        w: usize,
+        /// Output channels.
+        c_out: usize,
+        /// Lowered shared dimension `c_in · k · k`.
+        ckk: usize,
+        /// Output spatial extent `h_out · w_out`.
+        pixels: usize,
+        /// Arena span holding the transposed im2col matrix between phases.
+        scratch: Span,
+    },
+    /// `[m, k] × [k, n] (+ bias)`; weight/bias borrowed from the graph node.
+    Linear {
+        /// Output rows.
+        m: usize,
+        /// Shared dimension.
+        k: usize,
+        /// Output columns.
+        n: usize,
+    },
+    /// Scaled attention scores `Q·Kᵀ / √d` in two phases: transpose K into
+    /// `scratch`, matmul into the output, scale in place.
+    MatmulQk {
+        /// Query rows.
+        m: usize,
+        /// Head dimension `d`.
+        k: usize,
+        /// Key rows.
+        n: usize,
+        /// Arena span holding Kᵀ between the phases.
+        scratch: Span,
+        /// `1/√d`, computed at compile time exactly as the tree does.
+        scale: f32,
+    },
+    /// Attention-weighted values `[m, k] × [k, n]`.
+    MatmulPv {
+        /// Output rows.
+        m: usize,
+        /// Shared dimension.
+        k: usize,
+        /// Output columns.
+        n: usize,
+    },
+    /// Group normalization; gamma/beta borrowed from the graph node.
+    GroupNorm {
+        /// Group count.
+        groups: usize,
+        /// Channels.
+        c: usize,
+        /// Spatial extent `h·w`.
+        plane: usize,
+    },
+    /// Layer normalization; gamma/beta borrowed from the graph node.
+    LayerNorm {
+        /// Token rows.
+        rows: usize,
+        /// Feature columns.
+        cols: usize,
+    },
+    /// Elementwise SiLU.
+    Silu,
+    /// Elementwise GeLU.
+    Gelu,
+    /// Elementwise sigmoid.
+    Sigmoid,
+    /// Row-wise softmax.
+    Softmax {
+        /// Rows.
+        rows: usize,
+        /// Columns.
+        cols: usize,
+    },
+    /// Elementwise sum of two equal-shape slots.
+    Add,
+    /// Elementwise product of two equal-shape slots.
+    Mul,
+    /// Multiply by a compile-time constant.
+    Scale {
+        /// The factor.
+        s: f32,
+    },
+    /// adaLN modulate `x·(1+s)+b`.
+    Modulate {
+        /// Rows.
+        rows: usize,
+        /// Columns.
+        cols: usize,
+    },
+    /// Column-broadcast gate `x·g`.
+    Gate {
+        /// Rows.
+        rows: usize,
+        /// Columns.
+        cols: usize,
+    },
+    /// Per-channel bias over `[C, H·W]`.
+    AddBias2d {
+        /// Channels.
+        c: usize,
+        /// Spatial extent `h·w`.
+        plane: usize,
+    },
+    /// Row-major transpose (serves both `ToTokens` and `ToSpatial`).
+    Transpose {
+        /// Input rows.
+        rows: usize,
+        /// Input columns.
+        cols: usize,
+    },
+    /// Windowed average pooling.
+    AvgPool {
+        /// Channels.
+        c: usize,
+        /// Input height.
+        h: usize,
+        /// Input width.
+        w: usize,
+        /// Window edge.
+        window: usize,
+    },
+    /// Column slice of a `[rows, cols]` slot.
+    SliceCols {
+        /// Rows.
+        rows: usize,
+        /// Input columns.
+        cols: usize,
+        /// First column.
+        start: usize,
+        /// Column count.
+        len: usize,
+    },
+    /// Concatenation along axis 0 (`ConcatChannels`): the first input's
+    /// flat length is `split`.
+    ConcatRows {
+        /// Flat length of the first operand.
+        split: usize,
+    },
+    /// Concatenation along the feature axis.
+    ConcatCols {
+        /// Rows.
+        rows: usize,
+        /// First operand columns.
+        ca: usize,
+        /// Second operand columns.
+        cb: usize,
+    },
+    /// Nearest-neighbour 2× upsampling.
+    Upsample2x {
+        /// Channels.
+        c: usize,
+        /// Input height.
+        h: usize,
+        /// Input width.
+        w: usize,
+    },
+    /// Patch-token to image layout inverse.
+    Unpatchify {
+        /// Channels.
+        c: usize,
+        /// Patch rows.
+        hp: usize,
+        /// Patch columns.
+        wp: usize,
+        /// Patch edge.
+        p: usize,
+    },
+}
+
+/// Max operand count of any [`LayerOp`] (Modulate).
+const MAX_ARITY: usize = 3;
+
+/// One scheduled instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanOp {
+    /// The graph node this op executes (`ops[i].node == i`).
+    pub node: NodeId,
+    /// Output span.
+    pub out: Span,
+    /// Operand spans (first `arity` entries meaningful).
+    pub ins: [Span; MAX_ARITY],
+    /// Producer node ids of the operands (first `arity` meaningful).
+    pub srcs: [NodeId; MAX_ARITY],
+    /// Operand count.
+    pub arity: usize,
+    /// What to run.
+    pub code: OpCode,
+}
+
+impl PlanOp {
+    fn inputs(&self) -> &[Span] {
+        &self.ins[..self.arity]
+    }
+
+    fn scratch(&self) -> Option<Span> {
+        match self.code {
+            OpCode::MatmulQk { scratch, .. } | OpCode::Conv2dIm2col { scratch, .. } => {
+                Some(scratch)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Reusable execution buffer for [`TracePlan::execute`]. One arena serves
+/// any number of sequential forward passes (and any number of plans —
+/// `execute` resizes it on first use per plan).
+#[derive(Debug, Default)]
+pub struct PlanArena {
+    buf: Vec<f32>,
+}
+
+impl PlanArena {
+    /// An empty arena (allocates on first `execute`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// A compiled forward pass: flat pre-scheduled ops over one arena buffer.
+#[derive(Debug, Clone)]
+pub struct TracePlan {
+    ops: Vec<PlanOp>,
+    arena_len: usize,
+    out: Span,
+    out_dims: Vec<usize>,
+    latent_dims: Vec<usize>,
+    context_dims: Option<Vec<usize>>,
+    digest: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Compilation.
+// ---------------------------------------------------------------------------
+
+/// Deterministic first-fit span allocator with merge-on-free.
+#[derive(Debug, Default)]
+struct ArenaPlanner {
+    /// Free spans as `(off, len)`, sorted by offset, non-adjacent.
+    free: Vec<(usize, usize)>,
+    /// High-water mark == final arena length.
+    high: usize,
+}
+
+impl ArenaPlanner {
+    fn alloc(&mut self, len: usize) -> Span {
+        if len == 0 {
+            return Span { off: 0, len: 0 };
+        }
+        for i in 0..self.free.len() {
+            let (off, flen) = self.free[i];
+            if flen >= len {
+                if flen == len {
+                    self.free.remove(i);
+                } else {
+                    self.free[i] = (off + len, flen - len);
+                }
+                return Span { off, len };
+            }
+        }
+        let off = self.high;
+        self.high += len;
+        Span { off, len }
+    }
+
+    fn release(&mut self, s: Span) {
+        if s.len == 0 {
+            return;
+        }
+        let pos = self.free.partition_point(|&(o, _)| o < s.off);
+        self.free.insert(pos, (s.off, s.len));
+        if pos + 1 < self.free.len() && self.free[pos].0 + self.free[pos].1 == self.free[pos + 1].0
+        {
+            self.free[pos].1 += self.free[pos + 1].1;
+            self.free.remove(pos + 1);
+        }
+        if pos > 0 && self.free[pos - 1].0 + self.free[pos - 1].1 == self.free[pos].0 {
+            self.free[pos - 1].1 += self.free[pos].1;
+            self.free.remove(pos);
+        }
+    }
+}
+
+fn product(dims: &[usize]) -> usize {
+    dims.iter().product()
+}
+
+fn shape_err(left: &[usize], right: &[usize]) -> TensorError {
+    TensorError::ShapeMismatch { left: left.to_vec(), right: right.to_vec() }
+}
+
+fn rank(dims: &[usize], want: usize) -> Result<()> {
+    if dims.len() == want {
+        Ok(())
+    } else {
+        Err(TensorError::InvalidArgument(format!("plan: expected rank {want}, got {:?}", dims)))
+    }
+}
+
+impl TracePlan {
+    /// Compiles `graph` for fixed input shapes. Shape inference mirrors the
+    /// tree executor's runtime checks: any graph the tree could not execute
+    /// fails to compile (and callers then fall back to the tree walk, which
+    /// reports the authoritative error).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the graph is inconsistent with the given input
+    /// shapes (or needs a context and `context_dims` is `None`).
+    pub fn compile(
+        graph: &LayerGraph,
+        latent_dims: &[usize],
+        context_dims: Option<&[usize]>,
+    ) -> Result<TracePlan> {
+        let n = graph.len();
+        // Liveness: last consumer per node; the output (and any dead node)
+        // handled below.
+        let mut last_use: Vec<usize> = (0..n).collect();
+        for node in graph.nodes() {
+            for &i in &node.inputs {
+                last_use[i] = last_use[i].max(node.id);
+            }
+        }
+        let output = graph.output();
+        last_use[output] = usize::MAX;
+
+        let mut dims: Vec<Vec<usize>> = Vec::with_capacity(n);
+        let mut spans: Vec<Span> = Vec::with_capacity(n);
+        let mut ops: Vec<PlanOp> = Vec::with_capacity(n);
+        let mut planner = ArenaPlanner::default();
+
+        for node in graph.nodes() {
+            let in_dims: Vec<&[usize]> = node.inputs.iter().map(|&i| dims[i].as_slice()).collect();
+            let (out_dims, code, scratch_len) =
+                infer_node(&node.op, &in_dims, latent_dims, context_dims)?;
+
+            // Allocate the output (and scratch) while every input is still
+            // live, then release dying inputs: the output of a node can
+            // never alias its own inputs.
+            let out = planner.alloc(product(&out_dims));
+            let code = match code {
+                OpCode::MatmulQk { m, k, n, scale, .. } => {
+                    let scratch = planner.alloc(scratch_len);
+                    OpCode::MatmulQk { m, k, n, scratch, scale }
+                }
+                OpCode::Conv2dIm2col { c_in, h, w, c_out, ckk, pixels, .. } => {
+                    let scratch = planner.alloc(scratch_len);
+                    OpCode::Conv2dIm2col { c_in, h, w, c_out, ckk, pixels, scratch }
+                }
+                other => other,
+            };
+            let mut ins = [Span::default(); MAX_ARITY];
+            let mut srcs = [0usize; MAX_ARITY];
+            for ((slot, src), &i) in ins.iter_mut().zip(&mut srcs).zip(&node.inputs) {
+                *slot = spans[i];
+                *src = i;
+            }
+            ops.push(PlanOp { node: node.id, out, ins, srcs, arity: node.inputs.len(), code });
+
+            for &i in &node.inputs {
+                if last_use[i] == node.id {
+                    planner.release(spans[i]);
+                    // Mark released so a diamond consumer at the same node
+                    // doesn't double-free.
+                    last_use[i] = usize::MAX - 1;
+                }
+            }
+            if let Some(s) = ops.last().and_then(PlanOp::scratch) {
+                planner.release(s);
+            }
+            if last_use[node.id] == node.id {
+                // Dead node: still executed (faithful error/effect
+                // behavior), but its slot is immediately reusable.
+                planner.release(out);
+            }
+            dims.push(out_dims);
+            spans.push(out);
+        }
+
+        Ok(TracePlan {
+            out: spans[output],
+            out_dims: dims[output].clone(),
+            ops,
+            arena_len: planner.high,
+            latent_dims: latent_dims.to_vec(),
+            context_dims: context_dims.map(<[usize]>::to_vec),
+            digest: graph.structure_digest(),
+        })
+    }
+
+    /// Number of compiled ops (== graph nodes).
+    pub fn op_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Arena size in `f32` elements.
+    pub fn arena_len(&self) -> usize {
+        self.arena_len
+    }
+
+    /// Output tensor dimensions.
+    pub fn out_dims(&self) -> &[usize] {
+        &self.out_dims
+    }
+
+    /// The compiled instruction stream (inspection / liveness tests).
+    pub fn ops(&self) -> &[PlanOp] {
+        &self.ops
+    }
+
+    /// The structure digest of the graph this plan was compiled from.
+    pub fn digest(&self) -> u64 {
+        self.digest
+    }
+
+    /// Whether `bindings` carry the shapes this plan was compiled for.
+    pub fn matches(&self, bindings: &Bindings<'_>) -> bool {
+        if bindings.latent.dims() != self.latent_dims.as_slice() {
+            return false;
+        }
+        match (&self.context_dims, bindings.context) {
+            (Some(d), Some(c)) => c.dims() == d.as_slice(),
+            // Plan compiled without a context: a supplied one is ignored by
+            // the graph anyway only if the graph has no context input — but
+            // then compile would have succeeded with `None` and the tree
+            // ignores the binding too, so accept it.
+            (None, _) => true,
+            // Graph needs a context the binding lacks: let the plan run and
+            // report the same "model needs a context" error as the tree.
+            (Some(_), None) => true,
+        }
+    }
+
+    /// Exhaustively checks the arena schedule: no op may overwrite (with
+    /// its output or scratch) a span that a later op still reads. O(n²·a);
+    /// test-support only.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violation found.
+    pub fn validate_liveness(&self) -> std::result::Result<(), String> {
+        for (i, op) in self.ops.iter().enumerate() {
+            for (slot, &producer) in op.inputs().iter().zip(&op.srcs) {
+                for p in producer + 1..=i {
+                    let clobber = &self.ops[p];
+                    if clobber.out.overlaps(*slot) {
+                        return Err(format!(
+                            "op {p} output {:?} clobbers op {i} input {:?} (produced by {producer})",
+                            clobber.out, slot
+                        ));
+                    }
+                    if let Some(s) = clobber.scratch() {
+                        if s.overlaps(*slot) {
+                            return Err(format!(
+                                "op {p} scratch {:?} clobbers op {i} input {:?}",
+                                s, slot
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs the compiled forward pass over `arena`, returning the output
+    /// tensor. Bit-identical to `executor::forward` with a [`crate::NullHook`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the bindings' shapes disagree with the compiled
+    /// shapes, or (matching the tree) the graph needs a context the
+    /// bindings lack.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `graph` is not the graph this plan was compiled from
+    /// (debug builds assert the structure digest).
+    pub fn execute(
+        &self,
+        graph: &LayerGraph,
+        bindings: &Bindings<'_>,
+        arena: &mut PlanArena,
+    ) -> Result<Tensor> {
+        debug_assert_eq!(self.digest, graph.structure_digest(), "plan/graph mismatch");
+        if bindings.latent.dims() != self.latent_dims.as_slice() {
+            return Err(shape_err(bindings.latent.dims(), &self.latent_dims));
+        }
+        if let (Some(want), Some(ctx)) = (&self.context_dims, bindings.context) {
+            if ctx.dims() != want.as_slice() {
+                return Err(shape_err(ctx.dims(), want));
+            }
+        }
+        arena.buf.resize(self.arena_len, 0.0);
+        let kb = backend::active();
+        let buf = arena.buf.as_mut_slice();
+
+        for op in &self.ops {
+            exec_op(op, graph, bindings, kb, buf)?;
+        }
+        let out = &buf[self.out.off..self.out.end()];
+        Tensor::from_vec(out.to_vec(), &self.out_dims)
+    }
+}
+
+/// Shape inference + opcode selection for one node. Returns the output
+/// dims, the opcode (QK scratch span patched in by the caller), and the
+/// scratch length.
+fn infer_node(
+    op: &LayerOp,
+    ins: &[&[usize]],
+    latent_dims: &[usize],
+    context_dims: Option<&[usize]>,
+) -> Result<(Vec<usize>, OpCode, usize)> {
+    let no_scratch = 0usize;
+    match op {
+        LayerOp::Input(kind) => match kind {
+            InputKind::Latent => Ok((latent_dims.to_vec(), OpCode::CopyLatent, no_scratch)),
+            InputKind::Context => {
+                context_dims.map(|d| (d.to_vec(), OpCode::CopyContext, no_scratch)).ok_or_else(
+                    || TensorError::InvalidArgument("plan: model needs a context shape".into()),
+                )
+            }
+            InputKind::Timestep => Ok((vec![1], OpCode::WriteT, no_scratch)),
+        },
+        LayerOp::TimestepEmbed { dim } => {
+            if *dim == 0 || dim % 2 != 0 || product(ins[0]) == 0 {
+                return Err(TensorError::InvalidArgument(
+                    "plan: embedding dim must be positive and even".into(),
+                ));
+            }
+            Ok((vec![1, *dim], OpCode::TimestepEmbed { dim: *dim }, no_scratch))
+        }
+        LayerOp::Conv2d { weight, bias, params } => {
+            rank(ins[0], 3)?;
+            let (c_in, h, w) = (ins[0][0], ins[0][1], ins[0][2]);
+            rank(weight.dims(), 4)?;
+            let c_out = weight.dims()[0];
+            if weight.dims()[1] != c_in
+                || weight.dims()[2] != params.kernel
+                || weight.dims()[3] != params.kernel
+            {
+                return Err(shape_err(ins[0], weight.dims()));
+            }
+            if let Some(b) = bias {
+                if b.dims() != [c_out] {
+                    return Err(shape_err(&[c_out], b.dims()));
+                }
+            }
+            if params.stride == 0 {
+                return Err(TensorError::InvalidArgument("plan: zero stride".into()));
+            }
+            let (ho, wo) = (params.out_extent(h), params.out_extent(w));
+            // Mirror the tensor layer's routing decision at compile time:
+            // shapes it would lower to im2col get the pre-lowered matmul
+            // opcode (plus arena scratch for the transposed im2col matrix);
+            // tiny shapes keep the direct loop.
+            if ops::conv2d_uses_im2col(c_in, h, w, c_out, *params) {
+                let ckk = c_in * params.kernel * params.kernel;
+                let pixels = ho * wo;
+                Ok((
+                    vec![c_out, ho, wo],
+                    OpCode::Conv2dIm2col {
+                        c_in,
+                        h,
+                        w,
+                        c_out,
+                        ckk,
+                        pixels,
+                        scratch: Span::default(),
+                    },
+                    ckk * pixels,
+                ))
+            } else {
+                Ok((vec![c_out, ho, wo], OpCode::Conv2d { c_in, h, w }, no_scratch))
+            }
+        }
+        LayerOp::Linear { weight, bias } => {
+            rank(ins[0], 2)?;
+            rank(weight.dims(), 2)?;
+            let (m, k) = (ins[0][0], ins[0][1]);
+            if weight.dims()[0] != k {
+                return Err(shape_err(ins[0], weight.dims()));
+            }
+            let n = weight.dims()[1];
+            if let Some(b) = bias {
+                if b.len() != n {
+                    return Err(TensorError::LengthMismatch { expected: n, actual: b.len() });
+                }
+            }
+            Ok((vec![m, n], OpCode::Linear { m, k, n }, no_scratch))
+        }
+        LayerOp::MatmulQK => {
+            rank(ins[0], 2)?;
+            rank(ins[1], 2)?;
+            let (m, d) = (ins[0][0], ins[0][1]);
+            let (n, dk) = (ins[1][0], ins[1][1]);
+            if dk != d {
+                return Err(shape_err(ins[0], ins[1]));
+            }
+            let scale = 1.0 / (d as f32).sqrt();
+            Ok((
+                vec![m, n],
+                OpCode::MatmulQk { m, k: d, n, scratch: Span::default(), scale },
+                d * n,
+            ))
+        }
+        LayerOp::MatmulPV => {
+            rank(ins[0], 2)?;
+            rank(ins[1], 2)?;
+            let (m, k) = (ins[0][0], ins[0][1]);
+            if ins[1][0] != k {
+                return Err(shape_err(ins[0], ins[1]));
+            }
+            Ok((vec![m, ins[1][1]], OpCode::MatmulPv { m, k, n: ins[1][1] }, no_scratch))
+        }
+        LayerOp::GroupNorm { groups, gamma, beta } => {
+            rank(ins[0], 3)?;
+            let c = ins[0][0];
+            if *groups == 0 || !c.is_multiple_of(*groups) {
+                return Err(TensorError::InvalidArgument(format!(
+                    "groups {groups} must divide channels {c}"
+                )));
+            }
+            if gamma.len() != c || beta.len() != c {
+                return Err(TensorError::LengthMismatch { expected: c, actual: gamma.len() });
+            }
+            Ok((
+                ins[0].to_vec(),
+                OpCode::GroupNorm { groups: *groups, c, plane: ins[0][1] * ins[0][2] },
+                no_scratch,
+            ))
+        }
+        LayerOp::LayerNorm { gamma, beta } => {
+            rank(ins[0], 2)?;
+            let cols = ins[0][1];
+            if gamma.len() != cols || beta.len() != cols {
+                return Err(TensorError::LengthMismatch { expected: cols, actual: gamma.len() });
+            }
+            Ok((ins[0].to_vec(), OpCode::LayerNorm { rows: ins[0][0], cols }, no_scratch))
+        }
+        LayerOp::SiLU => Ok((ins[0].to_vec(), OpCode::Silu, no_scratch)),
+        LayerOp::GeLU => Ok((ins[0].to_vec(), OpCode::Gelu, no_scratch)),
+        LayerOp::Sigmoid => Ok((ins[0].to_vec(), OpCode::Sigmoid, no_scratch)),
+        LayerOp::Softmax => {
+            rank(ins[0], 2)?;
+            Ok((ins[0].to_vec(), OpCode::Softmax { rows: ins[0][0], cols: ins[0][1] }, no_scratch))
+        }
+        LayerOp::Add | LayerOp::Mul => {
+            if ins[0] != ins[1] {
+                return Err(shape_err(ins[0], ins[1]));
+            }
+            let code = if matches!(op, LayerOp::Add) { OpCode::Add } else { OpCode::Mul };
+            Ok((ins[0].to_vec(), code, no_scratch))
+        }
+        LayerOp::Scale(s) => Ok((ins[0].to_vec(), OpCode::Scale { s: *s }, no_scratch)),
+        LayerOp::Modulate => {
+            rank(ins[0], 2)?;
+            let (rows, cols) = (ins[0][0], ins[0][1]);
+            if product(ins[1]) != cols || product(ins[2]) != cols {
+                return Err(TensorError::LengthMismatch {
+                    expected: cols,
+                    actual: product(ins[1]),
+                });
+            }
+            Ok((ins[0].to_vec(), OpCode::Modulate { rows, cols }, no_scratch))
+        }
+        LayerOp::Gate => {
+            rank(ins[0], 2)?;
+            let (rows, cols) = (ins[0][0], ins[0][1]);
+            if product(ins[1]) != cols {
+                return Err(TensorError::LengthMismatch {
+                    expected: cols,
+                    actual: product(ins[1]),
+                });
+            }
+            Ok((ins[0].to_vec(), OpCode::Gate { rows, cols }, no_scratch))
+        }
+        LayerOp::AddBias2d => {
+            rank(ins[0], 3)?;
+            let c = ins[0][0];
+            if product(ins[1]) != c {
+                return Err(TensorError::LengthMismatch { expected: c, actual: product(ins[1]) });
+            }
+            Ok((ins[0].to_vec(), OpCode::AddBias2d { c, plane: ins[0][1] * ins[0][2] }, no_scratch))
+        }
+        LayerOp::ToTokens => {
+            rank(ins[0], 3)?;
+            let (c, h, w) = (ins[0][0], ins[0][1], ins[0][2]);
+            Ok((vec![h * w, c], OpCode::Transpose { rows: c, cols: h * w }, no_scratch))
+        }
+        LayerOp::ToSpatial { c, h, w } => {
+            rank(ins[0], 2)?;
+            if ins[0] != [h * w, *c] {
+                return Err(shape_err(ins[0], &[h * w, *c]));
+            }
+            Ok((vec![*c, *h, *w], OpCode::Transpose { rows: h * w, cols: *c }, no_scratch))
+        }
+        LayerOp::AvgPool { window } => {
+            rank(ins[0], 3)?;
+            let (c, h, w) = (ins[0][0], ins[0][1], ins[0][2]);
+            if *window == 0 || h % window != 0 || w % window != 0 {
+                return Err(TensorError::InvalidArgument(format!(
+                    "window {window} must tile {h}x{w}"
+                )));
+            }
+            Ok((
+                vec![c, h / window, w / window],
+                OpCode::AvgPool { c, h, w, window: *window },
+                no_scratch,
+            ))
+        }
+        LayerOp::SliceCols { start, len } => {
+            rank(ins[0], 2)?;
+            let (rows, cols) = (ins[0][0], ins[0][1]);
+            if start + len > cols {
+                return Err(TensorError::InvalidArgument(format!(
+                    "slice {start}+{len} exceeds {cols} columns"
+                )));
+            }
+            Ok((
+                vec![rows, *len],
+                OpCode::SliceCols { rows, cols, start: *start, len: *len },
+                no_scratch,
+            ))
+        }
+        LayerOp::ConcatChannels => {
+            rank(ins[0], 3)?;
+            rank(ins[1], 3)?;
+            if ins[0][1..] != ins[1][1..] {
+                return Err(shape_err(ins[0], ins[1]));
+            }
+            Ok((
+                vec![ins[0][0] + ins[1][0], ins[0][1], ins[0][2]],
+                OpCode::ConcatRows { split: product(ins[0]) },
+                no_scratch,
+            ))
+        }
+        LayerOp::ConcatCols => {
+            rank(ins[0], 2)?;
+            rank(ins[1], 2)?;
+            if ins[0][0] != ins[1][0] {
+                return Err(shape_err(ins[0], ins[1]));
+            }
+            let (rows, ca, cb) = (ins[0][0], ins[0][1], ins[1][1]);
+            Ok((vec![rows, ca + cb], OpCode::ConcatCols { rows, ca, cb }, no_scratch))
+        }
+        LayerOp::Upsample2x => {
+            rank(ins[0], 3)?;
+            let (c, h, w) = (ins[0][0], ins[0][1], ins[0][2]);
+            Ok((vec![c, 2 * h, 2 * w], OpCode::Upsample2x { c, h, w }, no_scratch))
+        }
+        LayerOp::Unpatchify { c, hp, wp, p } => {
+            rank(ins[0], 2)?;
+            if ins[0] != [hp * wp, p * p * c] {
+                return Err(shape_err(ins[0], &[hp * wp, p * p * c]));
+            }
+            Ok((
+                vec![*c, hp * p, wp * p],
+                OpCode::Unpatchify { c: *c, hp: *hp, wp: *wp, p: *p },
+                no_scratch,
+            ))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Interpretation.
+// ---------------------------------------------------------------------------
+
+/// Carves `buf` into (everything below `out`, `out` itself, everything
+/// above) so operand spans — disjoint from `out` by construction — can be
+/// borrowed immutably alongside the mutable output.
+fn carve(buf: &mut [f32], out: Span) -> (&[f32], &mut [f32], &[f32]) {
+    let (lo, rest) = buf.split_at_mut(out.off);
+    let (o, hi) = rest.split_at_mut(out.len);
+    (lo, o, hi)
+}
+
+/// Resolves an operand span against the carved halves.
+fn operand<'a>(lo: &'a [f32], hi: &'a [f32], out: Span, s: Span) -> &'a [f32] {
+    if s.end() <= out.off {
+        &lo[s.off..s.end()]
+    } else {
+        let base = s.off - out.end();
+        &hi[base..base + s.len]
+    }
+}
+
+fn exec_op(
+    op: &PlanOp,
+    graph: &LayerGraph,
+    bindings: &Bindings<'_>,
+    kb: backend::KernelBackend,
+    buf: &mut [f32],
+) -> Result<()> {
+    let (lo, out, hi) = carve(buf, op.out);
+    let arg = |i: usize| operand(lo, hi, op.out, op.ins[i]);
+    match op.code {
+        OpCode::CopyLatent => out.copy_from_slice(bindings.latent.as_slice()),
+        OpCode::CopyContext => {
+            let ctx = bindings
+                .context
+                .ok_or_else(|| TensorError::InvalidArgument("model needs a context".into()))?;
+            out.copy_from_slice(ctx.as_slice());
+        }
+        OpCode::WriteT => out[0] = bindings.t,
+        OpCode::TimestepEmbed { dim } => {
+            crate::embed::timestep_embedding_into(arg(0)[0], dim, out);
+        }
+        OpCode::Conv2d { c_in, h, w } => {
+            let LayerOp::Conv2d { weight, bias, params } = &graph.node(op.node).op else {
+                unreachable!("plan/graph opcode mismatch");
+            };
+            ops::conv2d_into_with(kb, arg(0), c_in, h, w, weight, bias.as_ref(), *params, out)?;
+        }
+        OpCode::Conv2dIm2col { c_in, h, w, c_out, ckk, pixels, scratch } => {
+            let LayerOp::Conv2d { weight, bias, params } = &graph.node(op.node).op else {
+                unreachable!("plan/graph opcode mismatch");
+            };
+            // Phase 1: the transposed im2col matrix [ckk, pixels] into the
+            // scratch span (disjoint from out and the input by
+            // construction). Same values as the tensor path's lowering.
+            {
+                let (slo, s, shi) = carve(buf, scratch);
+                let iv = operand(slo, shi, scratch, op.ins[0]);
+                ops::im2col_transposed_into(iv, c_in, h, w, *params, s);
+            }
+            // Phase 2: seed the channel-major output with the bias (the
+            // im2col path's first addend), then one accumulation over the
+            // weight in its native [c_out, ckk] layout. Per output element
+            // the products arrive in the same ascending (c_in, ky, kx)
+            // order as the tensor path, so results are bit-identical —
+            // with no weight transpose, no pixel-major product, and no
+            // de-interleave.
+            let (lo, out, hi) = carve(buf, op.out);
+            let cols_t = operand(lo, hi, op.out, scratch);
+            match bias {
+                Some(b) => {
+                    for (row, &bv) in out.chunks_exact_mut(pixels).zip(b.as_slice()) {
+                        row.fill(bv);
+                    }
+                }
+                None => out.fill(0.0),
+            }
+            ops::matmul_acc_with(kb, out, weight.as_slice(), cols_t, c_out, ckk, pixels);
+        }
+        OpCode::Linear { m, k, n } => {
+            let LayerOp::Linear { weight, bias } = &graph.node(op.node).op else {
+                unreachable!("plan/graph opcode mismatch");
+            };
+            out.fill(0.0);
+            ops::matmul_acc_with(kb, out, arg(0), weight.as_slice(), m, k, n);
+            if let Some(b) = bias {
+                add_row_bias(out, b.as_slice(), m, n);
+            }
+        }
+        OpCode::MatmulQk { m, k, n, scratch, scale } => {
+            // Phase 1: Kᵀ into the scratch span (disjoint from out and from
+            // both operands by construction).
+            {
+                let (slo, s, shi) = carve(buf, scratch);
+                let kv = operand(slo, shi, scratch, op.ins[1]);
+                transpose_into(kv, n, k, s);
+            }
+            // Phase 2: Q · Kᵀ into out, then scale in place.
+            let (lo, out, hi) = carve(buf, op.out);
+            let q = operand(lo, hi, op.out, op.ins[0]);
+            let kt = operand(lo, hi, op.out, scratch);
+            out.fill(0.0);
+            ops::matmul_acc_with(kb, out, q, kt, m, k, n);
+            for v in out.iter_mut() {
+                *v *= scale;
+            }
+        }
+        OpCode::MatmulPv { m, k, n } => {
+            out.fill(0.0);
+            ops::matmul_acc_with(kb, out, arg(0), arg(1), m, k, n);
+        }
+        OpCode::GroupNorm { groups, c, plane } => {
+            let LayerOp::GroupNorm { gamma, beta, .. } = &graph.node(op.node).op else {
+                unreachable!("plan/graph opcode mismatch");
+            };
+            ops::group_norm_into(
+                arg(0),
+                c,
+                plane,
+                groups,
+                gamma.as_slice(),
+                beta.as_slice(),
+                1e-5,
+                out,
+            );
+        }
+        OpCode::LayerNorm { rows, cols } => {
+            let LayerOp::LayerNorm { gamma, beta } = &graph.node(op.node).op else {
+                unreachable!("plan/graph opcode mismatch");
+            };
+            ops::layer_norm_into(arg(0), rows, cols, gamma.as_slice(), beta.as_slice(), 1e-5, out);
+        }
+        OpCode::Silu => ops::silu_into(arg(0), out),
+        OpCode::Gelu => ops::gelu_into(arg(0), out),
+        OpCode::Sigmoid => ops::sigmoid_into(arg(0), out),
+        OpCode::Softmax { rows, cols } => ops::softmax_rows_into(arg(0), rows, cols, out),
+        OpCode::Add => {
+            let (a, b) = (arg(0), arg(1));
+            for (o, (&x, &y)) in out.iter_mut().zip(a.iter().zip(b)) {
+                *o = x + y;
+            }
+        }
+        OpCode::Mul => {
+            let (a, b) = (arg(0), arg(1));
+            for (o, (&x, &y)) in out.iter_mut().zip(a.iter().zip(b)) {
+                *o = x * y;
+            }
+        }
+        OpCode::Scale { s } => {
+            for (o, &x) in out.iter_mut().zip(arg(0)) {
+                *o = x * s;
+            }
+        }
+        OpCode::Modulate { rows, cols } => {
+            modulate_into(arg(0), arg(1), arg(2), rows, cols, out);
+        }
+        OpCode::Gate { rows, cols } => gate_into(arg(0), arg(1), rows, cols, out),
+        OpCode::AddBias2d { c, plane } => add_bias2d_into(arg(0), arg(1), c, plane, out),
+        OpCode::Transpose { rows, cols } => transpose_into(arg(0), rows, cols, out),
+        OpCode::AvgPool { c, h, w, window } => {
+            ops::avg_pool2d_into(arg(0), c, h, w, window, out);
+        }
+        OpCode::SliceCols { rows, cols, start, len } => {
+            slice_cols_into(arg(0), rows, cols, start, len, out);
+        }
+        OpCode::ConcatRows { split } => {
+            out[..split].copy_from_slice(arg(0));
+            out[split..].copy_from_slice(arg(1));
+        }
+        OpCode::ConcatCols { rows, ca, cb } => {
+            concat_cols_into(arg(0), arg(1), rows, ca, cb, out);
+        }
+        OpCode::Upsample2x { c, h, w } => upsample2x_into(arg(0), c, h, w, out),
+        OpCode::Unpatchify { c, hp, wp, p } => unpatchify_into(arg(0), c, hp, wp, p, out),
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Compile-event registry (observability for `ditto-serve`).
+// ---------------------------------------------------------------------------
+
+/// One plan compilation, as recorded by model builders.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompileEvent {
+    /// Model label (e.g. the model-kind abbreviation).
+    pub label: String,
+    /// Graph node count.
+    pub nodes: usize,
+    /// Compiled op count (== nodes on success).
+    pub ops: usize,
+    /// Arena size in `f32` elements.
+    pub arena_f32: usize,
+    /// Wall-clock compile time in microseconds.
+    pub micros: u64,
+}
+
+/// Newest events kept when the registry is full.
+const MAX_EVENTS: usize = 64;
+
+static EVENTS: Mutex<Vec<CompileEvent>> = Mutex::new(Vec::new());
+
+/// Records a plan compilation for later [`drain_compile_events`] pickup
+/// (e.g. by the serve observability stream). Keeps the newest
+/// [`MAX_EVENTS`].
+pub fn record_compile_event(ev: CompileEvent) {
+    let mut g = EVENTS.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    if g.len() >= MAX_EVENTS {
+        let drop_n = g.len() + 1 - MAX_EVENTS;
+        g.drain(..drop_n);
+    }
+    g.push(ev);
+}
+
+/// Takes all recorded compile events, oldest first.
+pub fn drain_compile_events() -> Vec<CompileEvent> {
+    let mut g = EVENTS.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    std::mem::take(&mut *g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::{forward, NullHook, StepInfo};
+    use tensor::ops::Conv2dParams;
+    use tensor::{Rng, Tensor};
+
+    fn step0() -> StepInfo {
+        StepInfo { step_index: 0, t: 321.0, total_steps: 1 }
+    }
+
+    fn assert_plan_matches_tree(
+        graph: &LayerGraph,
+        latent: &Tensor,
+        context: Option<&Tensor>,
+        t: f32,
+    ) {
+        let bindings = Bindings { latent, context, t };
+        let tree = forward(graph, &bindings, step0(), &mut NullHook).unwrap();
+        let plan = TracePlan::compile(graph, latent.dims(), context.map(Tensor::dims)).unwrap();
+        plan.validate_liveness().unwrap();
+        let mut arena = PlanArena::new();
+        let fast = plan.execute(graph, &bindings, &mut arena).unwrap();
+        assert_eq!(fast.dims(), tree.dims());
+        for (i, (a, b)) in fast.as_slice().iter().zip(tree.as_slice()).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "element {i}: plan {a} vs tree {b}");
+        }
+        // Re-running over the same (now dirty) arena must stay identical —
+        // the full-write invariant.
+        let again = plan.execute(graph, &bindings, &mut arena).unwrap();
+        assert_eq!(again.as_slice(), fast.as_slice());
+    }
+
+    #[test]
+    fn exec_mode_parse_roundtrip() {
+        for m in ExecMode::ALL {
+            assert_eq!(ExecMode::parse(m.name()), Some(m));
+            assert_eq!(ExecMode::decode(m.encode()), Some(m));
+        }
+        assert_eq!(ExecMode::parse(" PLAN "), Some(ExecMode::Plan));
+        assert_eq!(ExecMode::parse("jit"), None);
+    }
+
+    #[test]
+    fn arena_planner_first_fit_reuses_and_merges() {
+        let mut p = ArenaPlanner::default();
+        let a = p.alloc(8);
+        let b = p.alloc(4);
+        assert_eq!((a.off, b.off), (0, 8));
+        p.release(a);
+        // A smaller request carves the front of the freed span.
+        let c = p.alloc(3);
+        assert_eq!(c.off, 0);
+        // Releasing b and the tail of a merges back into one span able to
+        // hold 9 contiguously.
+        p.release(b);
+        p.release(Span { off: 3, len: 5 });
+        let d = p.alloc(9);
+        assert_eq!(d.off, 3);
+        assert_eq!(p.high, 12);
+    }
+
+    #[test]
+    fn arena_planner_zero_len_is_inert() {
+        let mut p = ArenaPlanner::default();
+        let z = p.alloc(0);
+        assert_eq!(z.len, 0);
+        p.release(z);
+        assert_eq!(p.high, 0);
+        assert!(p.free.is_empty());
+    }
+
+    #[test]
+    fn compile_is_deterministic() {
+        let g = attention_graph();
+        let a = TracePlan::compile(&g, &[4, 6], None).unwrap();
+        let b = TracePlan::compile(&g, &[4, 6], None).unwrap();
+        assert_eq!(a.ops, b.ops);
+        assert_eq!(a.arena_len, b.arena_len);
+    }
+
+    #[test]
+    fn arena_is_smaller_than_sum_of_slots() {
+        let g = chain_graph(12);
+        let plan = TracePlan::compile(&g, &[4, 4], None).unwrap();
+        let total: usize = plan.ops().iter().map(|o| o.out.len).sum();
+        assert!(
+            plan.arena_len() < total,
+            "liveness reuse should shrink the arena: {} vs {total}",
+            plan.arena_len()
+        );
+    }
+
+    fn chain_graph(depth: usize) -> LayerGraph {
+        let mut g = LayerGraph::new();
+        let mut cur = g.add("x", LayerOp::Input(InputKind::Latent), &[]);
+        for i in 0..depth {
+            cur = g.add(format!("silu{i}"), LayerOp::SiLU, &[cur]);
+        }
+        g.set_output(cur);
+        g
+    }
+
+    fn attention_graph() -> LayerGraph {
+        let mut rng = Rng::seed_from(5);
+        let mut g = LayerGraph::new();
+        let x = g.add("x", LayerOp::Input(InputKind::Latent), &[]);
+        let wq = Tensor::randn(&[6, 6], &mut rng);
+        let wk = Tensor::randn(&[6, 6], &mut rng);
+        let wv = Tensor::randn(&[6, 6], &mut rng);
+        let q = g.add("q", LayerOp::Linear { weight: wq, bias: None }, &[x]);
+        let k = g.add("k", LayerOp::Linear { weight: wk, bias: None }, &[x]);
+        let v = g.add("v", LayerOp::Linear { weight: wv, bias: None }, &[x]);
+        let qk = g.add("qk", LayerOp::MatmulQK, &[q, k]);
+        let sm = g.add("sm", LayerOp::Softmax, &[qk]);
+        let pv = g.add("pv", LayerOp::MatmulPV, &[sm, v]);
+        let res = g.add("res", LayerOp::Add, &[pv, x]);
+        g.set_output(res);
+        g
+    }
+
+    #[test]
+    fn attention_block_is_bit_identical() {
+        let mut rng = Rng::seed_from(17);
+        let latent = Tensor::randn(&[4, 6], &mut rng);
+        assert_plan_matches_tree(&attention_graph(), &latent, None, 0.0);
+    }
+
+    #[test]
+    fn conv_norm_pool_path_is_bit_identical() {
+        let mut rng = Rng::seed_from(23);
+        let mut g = LayerGraph::new();
+        let x = g.add("x", LayerOp::Input(InputKind::Latent), &[]);
+        let w = Tensor::randn(&[4, 2, 3, 3], &mut rng);
+        let b = Tensor::randn(&[4], &mut rng);
+        let conv = g.add(
+            "conv",
+            LayerOp::Conv2d {
+                weight: w,
+                bias: Some(b),
+                params: Conv2dParams { kernel: 3, stride: 1, padding: 1 },
+            },
+            &[x],
+        );
+        let gamma = Tensor::full(&[4], 1.5);
+        let beta = Tensor::randn(&[4], &mut rng);
+        let gn = g.add("gn", LayerOp::GroupNorm { groups: 2, gamma, beta }, &[conv]);
+        let act = g.add("act", LayerOp::SiLU, &[gn]);
+        let up = g.add("up", LayerOp::Upsample2x, &[act]);
+        let pool = g.add("pool", LayerOp::AvgPool { window: 2 }, &[up]);
+        g.set_output(pool);
+        let latent = Tensor::randn(&[2, 4, 4], &mut rng);
+        assert_plan_matches_tree(&g, &latent, None, 100.0);
+    }
+
+    #[test]
+    fn im2col_sized_conv_compiles_to_lowered_opcode_and_matches_tree() {
+        // A conv above the tensor layer's im2col MAC threshold must compile
+        // to the pre-lowered matmul opcode (the plan-side fast path), carry
+        // scratch for the transposed im2col matrix, and still match the
+        // tree walker bit for bit — with and without bias, and on a
+        // stride-2 shape whose padding margins exercise the lowering edges.
+        let mut rng = Rng::seed_from(41);
+        let cases = [
+            (8usize, 12usize, 16usize, Conv2dParams::same3x3(), true),
+            (8, 12, 16, Conv2dParams::same3x3(), false),
+            (16, 16, 4, Conv2dParams { kernel: 3, stride: 2, padding: 1 }, true),
+        ];
+        for &(c_in, hw, c_out, params, with_bias) in &cases {
+            assert!(tensor::ops::conv2d_uses_im2col(c_in, hw, hw, c_out, params));
+            let mut g = LayerGraph::new();
+            let x = g.add("x", LayerOp::Input(InputKind::Latent), &[]);
+            let weight = Tensor::randn(&[c_out, c_in, params.kernel, params.kernel], &mut rng);
+            let bias = with_bias.then(|| Tensor::randn(&[c_out], &mut rng));
+            let conv = g.add("conv", LayerOp::Conv2d { weight, bias, params }, &[x]);
+            g.set_output(conv);
+            let latent = Tensor::randn(&[c_in, hw, hw], &mut rng);
+            let plan = TracePlan::compile(&g, latent.dims(), None).unwrap();
+            let lowered = plan.ops.iter().any(|op| {
+                matches!(
+                    op.code,
+                    OpCode::Conv2dIm2col { ckk, pixels, scratch, .. }
+                        if ckk == c_in * params.kernel * params.kernel
+                            && pixels == params.out_extent(hw).pow(2)
+                            && scratch.len == ckk * pixels
+                )
+            });
+            assert!(lowered, "routing-sized conv did not compile to Conv2dIm2col");
+            assert_plan_matches_tree(&g, &latent, None, 0.25);
+        }
+        // And the complement: a sub-threshold pointwise conv stays direct.
+        let mut g = LayerGraph::new();
+        let x = g.add("x", LayerOp::Input(InputKind::Latent), &[]);
+        let weight = Tensor::randn(&[4, 4, 1, 1], &mut rng);
+        let conv = g.add(
+            "conv",
+            LayerOp::Conv2d { weight, bias: None, params: Conv2dParams::pointwise() },
+            &[x],
+        );
+        g.set_output(conv);
+        let plan = TracePlan::compile(&g, &[4, 6, 6], None).unwrap();
+        assert!(plan.ops.iter().any(|op| matches!(op.code, OpCode::Conv2d { .. })));
+    }
+
+    #[test]
+    fn context_and_timestep_paths_are_bit_identical() {
+        let mut rng = Rng::seed_from(31);
+        let mut g = LayerGraph::new();
+        let x = g.add("x", LayerOp::Input(InputKind::Latent), &[]);
+        let ctx = g.add("ctx", LayerOp::Input(InputKind::Context), &[]);
+        let t = g.add("t", LayerOp::Input(InputKind::Timestep), &[]);
+        let emb = g.add("emb", LayerOp::TimestepEmbed { dim: 6 }, &[t]);
+        let joined = g.add("cat", LayerOp::ConcatCols, &[x, ctx]);
+        let sliced = g.add("slice", LayerOp::SliceCols { start: 2, len: 6 }, &[joined]);
+        let modulated = g.add("mod", LayerOp::Modulate, &[sliced, emb, emb]);
+        let gated = g.add("gate", LayerOp::Gate, &[modulated, emb]);
+        g.set_output(gated);
+        let latent = Tensor::randn(&[1, 4], &mut rng);
+        let context = Tensor::randn(&[1, 4], &mut rng);
+        assert_plan_matches_tree(&g, &latent, Some(&context), 512.0);
+    }
+
+    #[test]
+    fn missing_context_matches_tree_error() {
+        let mut g = LayerGraph::new();
+        let c = g.add("ctx", LayerOp::Input(InputKind::Context), &[]);
+        g.set_output(c);
+        // Compiling without a context shape fails (callers fall back).
+        assert!(TracePlan::compile(&g, &[1, 1], None).is_err());
+        // Compiled with a shape but executed without a binding: identical
+        // error text to the tree walk.
+        let plan = TracePlan::compile(&g, &[1, 1], Some(&[1, 2])).unwrap();
+        let latent = Tensor::zeros(&[1, 1]);
+        let bindings = Bindings { latent: &latent, context: None, t: 0.0 };
+        let err = plan.execute(&g, &bindings, &mut PlanArena::new()).unwrap_err();
+        assert!(err.to_string().contains("model needs a context"), "{err}");
+    }
+
+    #[test]
+    fn latent_shape_mismatch_is_rejected() {
+        let g = chain_graph(1);
+        let plan = TracePlan::compile(&g, &[2, 2], None).unwrap();
+        let wrong = Tensor::zeros(&[3, 2]);
+        let bindings = Bindings { latent: &wrong, context: None, t: 0.0 };
+        assert!(!plan.matches(&bindings));
+        assert!(plan.execute(&g, &bindings, &mut PlanArena::new()).is_err());
+    }
+
+    #[test]
+    fn dead_nodes_still_execute_and_free_eagerly() {
+        let mut g = LayerGraph::new();
+        let x = g.add("x", LayerOp::Input(InputKind::Latent), &[]);
+        let dead = g.add("dead", LayerOp::SiLU, &[x]);
+        let live = g.add("live", LayerOp::GeLU, &[x]);
+        let _ = dead;
+        g.set_output(live);
+        let plan = TracePlan::compile(&g, &[1, 3], None).unwrap();
+        assert_eq!(plan.op_count(), 3);
+        plan.validate_liveness().unwrap();
+        // The dead node's slot is released immediately, so the live node
+        // reuses it rather than growing the arena.
+        assert_eq!(plan.ops()[1].out, plan.ops()[2].out);
+    }
+
+    #[test]
+    fn compile_event_registry_caps_and_drains() {
+        drain_compile_events();
+        for i in 0..(MAX_EVENTS + 5) {
+            record_compile_event(CompileEvent {
+                label: format!("m{i}"),
+                nodes: i,
+                ops: i,
+                arena_f32: 0,
+                micros: 0,
+            });
+        }
+        let evs = drain_compile_events();
+        assert_eq!(evs.len(), MAX_EVENTS);
+        assert_eq!(evs.last().unwrap().label, format!("m{}", MAX_EVENTS + 4));
+        assert!(drain_compile_events().is_empty());
+    }
+}

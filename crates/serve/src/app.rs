@@ -77,6 +77,11 @@ impl App for SuiteApp {
         // warm-up is claimed only once a response can actually carry it
         // (below), so a failing warmer does not swallow the stats.
         let (suite, _) = Suite::shared_observed(req.sweep.scale);
+        // Suite warm-up may have built diffusion models, each compiling its
+        // trace plan once; surface those one-time compiles on the stream.
+        for ev in diffusion::plan::drain_compile_events() {
+            obs.plan_compiled(&ev.label, ev.nodes, ev.ops, ev.arena_f32, ev.micros);
+        }
         let job = SweepJob {
             designs: req.sweep.designs.clone(),
             models: req

@@ -457,6 +457,33 @@ impl Obs {
         Self::emit(inner, "cell_done", fields);
     }
 
+    /// A diffusion model's trace plan was compiled (`diffusion::plan`):
+    /// `nodes`/`ops` are the graph/bytecode sizes, `arena_f32` the planned
+    /// arena length in floats, `micros` the compile wall-clock. Stream-only
+    /// (plan compiles are one-time per model; they do not affect the
+    /// summary aggregates).
+    pub fn plan_compiled(
+        &self,
+        label: &str,
+        nodes: usize,
+        ops: usize,
+        arena_f32: usize,
+        micros: u64,
+    ) {
+        let Some(inner) = self.inner.as_ref() else { return };
+        Self::emit(
+            inner,
+            "plan_compile",
+            vec![
+                ("model", Value::Str(label.to_string())),
+                ("nodes", nodes.to_json()),
+                ("ops", ops.to_json()),
+                ("arena_f32", arena_f32.to_json()),
+                ("compile_us", micros.to_json()),
+            ],
+        );
+    }
+
     /// `count` completed memo entries were LRU-aged out by a cap sweep.
     pub fn cells_evicted(&self, count: usize) {
         if count == 0 {

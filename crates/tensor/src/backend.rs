@@ -12,12 +12,15 @@
 //!   loop nests (the previous default). Bit-identical to scalar because
 //!   tiling only reorders *which output rows are visited when*; each
 //!   output element still accumulates in ascending-`k` order.
-//! * [`KernelBackend::Simd`] — explicit `std::arch` intrinsics for the
-//!   integer kernels (AVX2 when detected at runtime, SSE2 otherwise; see
-//!   [`simd_level`]). Bit-identical because `i32` wrapping addition is
-//!   associative, so the reassociated SIMD sums equal the scalar ones
-//!   exactly. The `f32` kernels keep the tiled fixed-order reductions
-//!   under this backend — reassociating float sums would change bits.
+//! * [`KernelBackend::Simd`] — explicit `std::arch` intrinsics (AVX2 when
+//!   detected at runtime, SSE2 otherwise; see [`simd_level`]). The integer
+//!   kernels reassociate freely (wrapping-`i32` addition is associative,
+//!   so SIMD sums equal the scalar ones exactly). The `f32` kernels never
+//!   reassociate — reassociating float sums would change bits — but the
+//!   streaming matmul pass gains a lane-parallel AVX2 form where each lane
+//!   is an independent output element combined with separate correctly
+//!   rounded `mul`/`add` (never FMA), which is bit-identical by
+//!   construction.
 //!
 //! # Selection
 //!

@@ -9,20 +9,51 @@ use crate::{Result, Tensor};
 
 /// Logistic sigmoid `1 / (1 + e^{-x})`.
 pub fn sigmoid(x: &Tensor) -> Tensor {
-    x.map(|v| 1.0 / (1.0 + (-v).exp()))
+    x.map(sigmoid_scalar)
 }
 
 /// SiLU / swish: `x * sigmoid(x)` — the ResNet-block activation.
 pub fn silu(x: &Tensor) -> Tensor {
-    x.map(|v| v / (1.0 + (-v).exp()))
+    x.map(silu_scalar)
 }
 
 /// GeLU (tanh approximation) — the transformer-block MLP activation.
 pub fn gelu(x: &Tensor) -> Tensor {
-    x.map(|v| {
-        let c = (2.0f32 / std::f32::consts::PI).sqrt();
-        0.5 * v * (1.0 + (c * (v + 0.044_715 * v * v * v)).tanh())
-    })
+    x.map(gelu_scalar)
+}
+
+fn sigmoid_scalar(v: f32) -> f32 {
+    1.0 / (1.0 + (-v).exp())
+}
+
+fn silu_scalar(v: f32) -> f32 {
+    v / (1.0 + (-v).exp())
+}
+
+fn gelu_scalar(v: f32) -> f32 {
+    let c = (2.0f32 / std::f32::consts::PI).sqrt();
+    0.5 * v * (1.0 + (c * (v + 0.044_715 * v * v * v)).tanh())
+}
+
+/// Slice form of [`sigmoid`] for arena executors; writes every `out` element.
+pub fn sigmoid_into(xv: &[f32], ov: &mut [f32]) {
+    for (o, &v) in ov.iter_mut().zip(xv) {
+        *o = sigmoid_scalar(v);
+    }
+}
+
+/// Slice form of [`silu`] for arena executors; writes every `out` element.
+pub fn silu_into(xv: &[f32], ov: &mut [f32]) {
+    for (o, &v) in ov.iter_mut().zip(xv) {
+        *o = silu_scalar(v);
+    }
+}
+
+/// Slice form of [`gelu`] for arena executors; writes every `out` element.
+pub fn gelu_into(xv: &[f32], ov: &mut [f32]) {
+    for (o, &v) in ov.iter_mut().zip(xv) {
+        *o = gelu_scalar(v);
+    }
 }
 
 /// Row-wise softmax of a rank-2 tensor — the attention-score non-linearity.
@@ -36,8 +67,14 @@ pub fn softmax_rows(x: &Tensor) -> Result<Tensor> {
     x.shape().expect_rank(2)?;
     let (rows, cols) = (x.dims()[0], x.dims()[1]);
     let mut out = Tensor::zeros(&[rows, cols]);
-    let xv = x.as_slice();
-    let ov = out.as_mut_slice();
+    softmax_rows_into(x.as_slice(), rows, cols, out.as_mut_slice());
+    Ok(out)
+}
+
+/// Slice core of [`softmax_rows`] over pre-validated operands. Every `out`
+/// element is written. Public for arena executors; bit-identical to the
+/// tensor entry point.
+pub fn softmax_rows_into(xv: &[f32], rows: usize, cols: usize, ov: &mut [f32]) {
     for r in 0..rows {
         let row = &xv[r * cols..(r + 1) * cols];
         let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
@@ -52,7 +89,6 @@ pub fn softmax_rows(x: &Tensor) -> Result<Tensor> {
             *o /= sum;
         }
     }
-    Ok(out)
 }
 
 #[cfg(test)]

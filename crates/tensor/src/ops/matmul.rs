@@ -8,11 +8,15 @@
 //! the scalar loops, so results are exactly those of the reference
 //! kernels ([`matmul_scalar`], [`matvec_scalar`]) — a requirement
 //! inherited from the Ditto equivalence claim, which rests on exact
-//! accumulator values end to end. The explicit-SIMD backend routes these
-//! `f32` kernels to the tiled fixed-order path (reassociating float
-//! reductions would change bits); its intrinsics live in the integer
-//! kernels (`quant::kernels::simd`), where wrapping-`i32` associativity
-//! keeps any order exact.
+//! accumulator values end to end. The explicit-SIMD backend never
+//! *reassociates* `f32` reductions (that would change bits): its `f32`
+//! fast path is the streaming core recompiled in an AVX2
+//! `#[target_feature]` context ([`stream_acc_avx2`]), where each lane is
+//! an independent output element combined with separate correctly
+//! rounded `mul`/`add` — never FMA (the `fma` feature stays disabled).
+//! The reassociating intrinsics live in the integer kernels
+//! (`quant::kernels::simd`), where wrapping-`i32` associativity keeps any
+//! order exact.
 
 use crate::backend::{self, KernelBackend};
 use crate::{Result, Tensor, TensorError};
@@ -34,6 +38,188 @@ const KC: usize = 256;
 /// performance dispatch.
 const B_ELEMS_BLOCK_THRESHOLD: usize = 1 << 14;
 
+/// Streaming-order (`ikj`) core shared by both compilation contexts of the
+/// small-`B` path: for each output row, dense stretches of the `a` row are
+/// consumed in fused eight- and four-step passes — per output element the
+/// products are still added left-to-right in ascending `k` order, exactly
+/// the sequence of the one-step reference loop, but the output row is
+/// loaded and stored once per pass instead of once per `k`. Any zero in a
+/// four-step group falls back to the one-step loop so the reference
+/// zero-skip semantics are preserved exactly.
+///
+/// `#[inline(always)]` so the portable entry and the AVX2
+/// `#[target_feature]` entry ([`stream_acc_avx2`]) each compile their own
+/// copy in their own instruction-set context. Neither copy may change
+/// bits: autovectorization keeps each element's operation sequence (no
+/// reassociation without fast-math), and the `fma` feature stays disabled
+/// so no fused multiply-add (single rounding) can be emitted.
+#[inline(always)]
+fn stream_acc_body(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+    // Fully dense `a` (the compiled-plan conv path hands the conv *weight*
+    // as `a`, which has no exact zeros) unlocks a two-row register-blocked
+    // pass: each block of eight `b` rows is loaded once and accumulated
+    // onto two output rows. Output rows are independent elements and each
+    // still receives its products left-to-right in ascending `k`, so bits
+    // match the one-row path exactly. Sparse `a` operands (e.g. the
+    // tree executor's zero-padded im2col matrix) keep the guarded
+    // zero-skip path below.
+    if m >= 2 && k >= 8 && n >= 8 && a.iter().all(|&v| v != 0.0) {
+        // Outer-product micro-kernel: a 2-row × 16-column output tile is
+        // accumulated in registers across the whole `k` extent (four
+        // vector accumulators + two broadcasts + two `b` vectors — well
+        // inside the 16 vector registers), so the output tile is loaded
+        // and stored exactly once. Per output element this adds single
+        // products in ascending `k` order — literally the reference
+        // sequence — so bits are unchanged by construction.
+        let mut i = 0;
+        while i + 2 <= m {
+            let (o0, o1) = out[i * n..(i + 2) * n].split_at_mut(n);
+            let a0row = &a[i * k..(i + 1) * k];
+            let a1row = &a[(i + 1) * k..(i + 2) * k];
+            let mut j = 0;
+            while j + 16 <= n {
+                let mut acc0: [f32; 16] = o0[j..j + 16].try_into().expect("tile of 16");
+                let mut acc1: [f32; 16] = o1[j..j + 16].try_into().expect("tile of 16");
+                for kk in 0..k {
+                    let (av0, av1) = (a0row[kk], a1row[kk]);
+                    let brow: &[f32; 16] =
+                        b[kk * n + j..kk * n + j + 16].try_into().expect("tile of 16");
+                    for t in 0..16 {
+                        acc0[t] += av0 * brow[t];
+                        acc1[t] += av1 * brow[t];
+                    }
+                }
+                o0[j..j + 16].copy_from_slice(&acc0);
+                o1[j..j + 16].copy_from_slice(&acc1);
+                j += 16;
+            }
+            // Remaining columns (n % 16): same k-inner reference order,
+            // one element per row pair at a time.
+            for jj in j..n {
+                let (mut acc0, mut acc1) = (o0[jj], o1[jj]);
+                for kk in 0..k {
+                    acc0 += a0row[kk] * b[kk * n + jj];
+                    acc1 += a1row[kk] * b[kk * n + jj];
+                }
+                o0[jj] = acc0;
+                o1[jj] = acc1;
+            }
+            i += 2;
+        }
+        if i < m {
+            stream_row(&mut out[i * n..(i + 1) * n], &a[i * k..(i + 1) * k], b, k, n);
+        }
+        return;
+    }
+    for i in 0..m {
+        stream_row(&mut out[i * n..(i + 1) * n], &a[i * k..(i + 1) * k], b, k, n);
+    }
+}
+
+/// One streaming output row with the guarded eight-step head: dense
+/// stretches of the `a` row run fused, the first zero falls through to the
+/// guarded tail ([`stream_row_tail`]).
+#[inline(always)]
+fn stream_row(orow: &mut [f32], arow: &[f32], b: &[f32], k: usize, n: usize) {
+    let mut kk = 0;
+    while kk + 8 <= k {
+        let a8: [f32; 8] = arow[kk..kk + 8].try_into().expect("slice of 8");
+        if a8.contains(&0.0) {
+            break;
+        }
+        let mut rows = b[kk * n..(kk + 8) * n].chunks_exact(n);
+        let mut row = || rows.next().expect("eight rows");
+        let (b0, b1, b2, b3) = (row(), row(), row(), row());
+        let (b4, b5, b6, b7) = (row(), row(), row(), row());
+        for (j, o) in orow.iter_mut().enumerate() {
+            *o = *o
+                + a8[0] * b0[j]
+                + a8[1] * b1[j]
+                + a8[2] * b2[j]
+                + a8[3] * b3[j]
+                + a8[4] * b4[j]
+                + a8[5] * b5[j]
+                + a8[6] * b6[j]
+                + a8[7] * b7[j];
+        }
+        kk += 8;
+    }
+    stream_row_tail(orow, arow, b, k, n, kk);
+}
+
+/// Guarded four- and one-step tail of a streaming row, starting at `kk`:
+/// the reference accumulation order with exact zero-skip semantics.
+#[inline(always)]
+fn stream_row_tail(orow: &mut [f32], arow: &[f32], b: &[f32], k: usize, n: usize, mut kk: usize) {
+    while kk + 4 <= k {
+        let (a0, a1, a2, a3) = (arow[kk], arow[kk + 1], arow[kk + 2], arow[kk + 3]);
+        if a0 != 0.0 && a1 != 0.0 && a2 != 0.0 && a3 != 0.0 {
+            let (b01, rest) = b[kk * n..(kk + 4) * n].split_at(2 * n);
+            let (b0, b1) = b01.split_at(n);
+            let (b2, b3) = rest.split_at(n);
+            for (j, o) in orow.iter_mut().enumerate() {
+                *o = *o + a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
+            }
+        } else {
+            for (step, &aik) in arow[kk..kk + 4].iter().enumerate() {
+                if aik == 0.0 {
+                    continue;
+                }
+                let brow = &b[(kk + step) * n..(kk + step + 1) * n];
+                for j in 0..n {
+                    orow[j] += aik * brow[j];
+                }
+            }
+        }
+        kk += 4;
+    }
+    for kk in kk..k {
+        let aik = arow[kk];
+        if aik == 0.0 {
+            continue;
+        }
+        let brow = &b[kk * n..(kk + 1) * n];
+        for j in 0..n {
+            orow[j] += aik * brow[j];
+        }
+    }
+}
+
+/// [`stream_acc_body`] compiled with AVX2 enabled (8-wide `vmulps`/`vaddps`
+/// passes; `fma` stays off so every operation is separately rounded exactly
+/// like the portable copy — see the body's doc comment).
+///
+/// # Safety
+///
+/// AVX2 must be available on the running CPU.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn stream_acc_avx2(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+    stream_acc_body(out, a, b, m, k, n);
+}
+
+/// Dispatches the streaming core: the AVX2-compiled copy on the `Simd`
+/// backend where the host has AVX2, the portable copy everywhere else.
+/// Purely a codegen choice — both copies are bit-identical.
+fn stream_acc(
+    backend: KernelBackend,
+    out: &mut [f32],
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if backend == KernelBackend::Simd && backend::simd_level() == backend::SimdLevel::Avx2 {
+        // SAFETY: AVX2 availability was just checked at runtime.
+        unsafe { stream_acc_avx2(out, a, b, m, k, n) };
+        return;
+    }
+    let _ = backend;
+    stream_acc_body(out, a, b, m, k, n);
+}
+
 /// Accumulates `a [m,k] × b [k,n]` on top of `out [m,n]` in place on an
 /// explicit backend. `Scalar` runs the reference `ikj` streaming order;
 /// `Tiled` and `Simd` run the cache-blocked order (explicit SIMD keeps
@@ -44,7 +230,11 @@ const B_ELEMS_BLOCK_THRESHOLD: usize = 1 << 14;
 /// bias for the im2col convolution path). For each output element the
 /// contributions arrive in ascending `k` order and `a` zeros are skipped,
 /// exactly like the scalar reference kernel.
-pub(crate) fn matmul_acc_with(
+///
+/// Public because arena-based executors (`diffusion::plan`) run matmuls
+/// directly over caller-owned buffers; going through this entry point
+/// keeps them bit-identical to the [`matmul`]/[`matmul_with`] tensor path.
+pub fn matmul_acc_with(
     backend: KernelBackend,
     out: &mut [f32],
     a: &[f32],
@@ -60,19 +250,7 @@ pub(crate) fn matmul_acc_with(
     if scalar || k * n <= B_ELEMS_BLOCK_THRESHOLD || m < 2 {
         // Scalar backend, or small B where the streaming `ikj` order wins
         // (see threshold doc) on the blocked backends too.
-        for i in 0..m {
-            for kk in 0..k {
-                let aik = a[i * k + kk];
-                if aik == 0.0 {
-                    continue;
-                }
-                let brow = &b[kk * n..(kk + 1) * n];
-                let orow = &mut out[i * n..(i + 1) * n];
-                for j in 0..n {
-                    orow[j] += aik * brow[j];
-                }
-            }
-        }
+        stream_acc(backend, out, a, b, m, k, n);
         return;
     }
     for ib in (0..m).step_by(MR) {

@@ -22,11 +22,16 @@ pub mod matmul;
 pub mod norm;
 pub mod pool;
 
-pub use activation::{gelu, sigmoid, silu, softmax_rows};
+pub use activation::{
+    gelu, gelu_into, sigmoid, sigmoid_into, silu, silu_into, softmax_rows, softmax_rows_into,
+};
 pub use conv::{
-    conv2d, conv2d_direct, conv2d_im2col, conv2d_im2col_with, conv2d_with, im2col, Conv2dParams,
+    conv2d, conv2d_direct, conv2d_im2col, conv2d_im2col_with, conv2d_into_with, conv2d_uses_im2col,
+    conv2d_with, im2col, im2col_transposed_into, Conv2dParams,
 };
 pub use elementwise::{add, mul, scale, sub};
-pub use matmul::{matmul, matmul_scalar, matmul_with, matvec, matvec_scalar, matvec_with};
-pub use norm::{group_norm, layer_norm};
-pub use pool::{avg_pool2d, global_avg_pool};
+pub use matmul::{
+    matmul, matmul_acc_with, matmul_scalar, matmul_with, matvec, matvec_scalar, matvec_with,
+};
+pub use norm::{group_norm, group_norm_into, layer_norm, layer_norm_into};
+pub use pool::{avg_pool2d, avg_pool2d_into, global_avg_pool};

@@ -29,13 +29,35 @@ pub fn group_norm(
     if gamma.len() != c || beta.len() != c {
         return Err(TensorError::LengthMismatch { expected: c, actual: gamma.len() });
     }
-    let per = c / groups;
-    let plane = h * w;
     let mut out = Tensor::zeros(&[c, h, w]);
-    let xv = x.as_slice();
-    let ov = out.as_mut_slice();
-    let gv = gamma.as_slice();
-    let bv = beta.as_slice();
+    group_norm_into(
+        x.as_slice(),
+        c,
+        h * w,
+        groups,
+        gamma.as_slice(),
+        beta.as_slice(),
+        eps,
+        out.as_mut_slice(),
+    );
+    Ok(out)
+}
+
+/// Slice core of [`group_norm`] over pre-validated operands (`plane` is
+/// `h*w`; `groups` must divide `c`). Every `out` element is written.
+/// Public for arena executors; bit-identical to the tensor entry point.
+#[allow(clippy::too_many_arguments)]
+pub fn group_norm_into(
+    xv: &[f32],
+    c: usize,
+    plane: usize,
+    groups: usize,
+    gv: &[f32],
+    bv: &[f32],
+    eps: f32,
+    ov: &mut [f32],
+) {
+    let per = c / groups;
     for g in 0..groups {
         let start = g * per * plane;
         let end = (g + 1) * per * plane;
@@ -52,7 +74,6 @@ pub fn group_norm(
             }
         }
     }
-    Ok(out)
 }
 
 /// Layer normalization over the last dimension of a rank-2 tensor
@@ -69,10 +90,30 @@ pub fn layer_norm(x: &Tensor, gamma: &Tensor, beta: &Tensor, eps: f32) -> Result
         return Err(TensorError::LengthMismatch { expected: cols, actual: gamma.len() });
     }
     let mut out = Tensor::zeros(&[rows, cols]);
-    let xv = x.as_slice();
-    let ov = out.as_mut_slice();
-    let gv = gamma.as_slice();
-    let bv = beta.as_slice();
+    layer_norm_into(
+        x.as_slice(),
+        rows,
+        cols,
+        gamma.as_slice(),
+        beta.as_slice(),
+        eps,
+        out.as_mut_slice(),
+    );
+    Ok(out)
+}
+
+/// Slice core of [`layer_norm`] over pre-validated operands. Every `out`
+/// element is written. Public for arena executors; bit-identical to the
+/// tensor entry point.
+pub fn layer_norm_into(
+    xv: &[f32],
+    rows: usize,
+    cols: usize,
+    gv: &[f32],
+    bv: &[f32],
+    eps: f32,
+    ov: &mut [f32],
+) {
     for r in 0..rows {
         let row = &xv[r * cols..(r + 1) * cols];
         let mean = row.iter().sum::<f32>() / cols as f32;
@@ -83,7 +124,6 @@ pub fn layer_norm(x: &Tensor, gamma: &Tensor, beta: &Tensor, eps: f32) -> Result
             orow[c] = (row[c] - mean) * inv * gv[c] + bv[c];
         }
     }
-    Ok(out)
 }
 
 #[cfg(test)]

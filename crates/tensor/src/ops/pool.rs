@@ -16,8 +16,15 @@ pub fn avg_pool2d(x: &Tensor, window: usize) -> Result<Tensor> {
     }
     let (ho, wo) = (h / window, w / window);
     let mut out = Tensor::zeros(&[c, ho, wo]);
-    let xv = x.as_slice();
-    let ov = out.as_mut_slice();
+    avg_pool2d_into(x.as_slice(), c, h, w, window, out.as_mut_slice());
+    Ok(out)
+}
+
+/// Slice core of [`avg_pool2d`] over pre-validated operands (`window` must
+/// tile `h`×`w`). Every `out` element is written. Public for arena
+/// executors; bit-identical to the tensor entry point.
+pub fn avg_pool2d_into(xv: &[f32], c: usize, h: usize, w: usize, window: usize, ov: &mut [f32]) {
+    let (ho, wo) = (h / window, w / window);
     let inv = 1.0 / (window * window) as f32;
     for ci in 0..c {
         for oy in 0..ho {
@@ -32,7 +39,6 @@ pub fn avg_pool2d(x: &Tensor, window: usize) -> Result<Tensor> {
             }
         }
     }
-    Ok(out)
 }
 
 /// Global average pool: `[C, H, W] → [C]`.

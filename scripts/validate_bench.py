@@ -95,6 +95,44 @@ def check_kernels(new, base):
         f"validate_bench: kernels OK — {len(new['results'])} points, "
         f"backends {new['backends']}"
     )
+    check_executor(new, base)
+
+
+def check_executor(new, base):
+    """The executor section compares the tree-walking executor against the
+    compiled trace plan, per model. Coverage must match the baseline and
+    the derived rates/speedups must be consistent with the raw ns/step."""
+    got = {e["model"] for e in new["executor"]}
+    want = {e["model"] for e in base["executor"]}
+    if got != want:
+        fail(
+            f"executor model coverage mismatch (missing {sorted(want - got)}, "
+            f"unexpected {sorted(got - want)})"
+        )
+    for i, e in enumerate(new["executor"]):
+        path = f"executor[{i}]({e['model']})"
+        sane(e["graph_nodes"], f"{path}.graph_nodes", 1, 1e6)
+        sane(e["plan_ops"], f"{path}.plan_ops", 1, 1e6)
+        if e["plan_ops"] > e["graph_nodes"]:
+            fail(f"{path}: more plan ops than graph nodes")
+        sane(e["arena_f32"], f"{path}.arena_f32", 1, 1e12)
+        sane(e["tree_ns_per_step"], f"{path}.tree_ns_per_step", 1, 1e12)
+        sane(e["plan_ns_per_step"], f"{path}.plan_ns_per_step", 1, 1e12)
+        for side in ("tree", "plan"):
+            rate = e[f"{side}_steps_per_s"]
+            sane(rate, f"{path}.{side}_steps_per_s", 1e-6, 1e12)
+            want_rate = 1e9 / e[f"{side}_ns_per_step"]
+            if abs(rate - want_rate) > 1e-6 * want_rate:
+                fail(f"{path}: {side}_steps_per_s {rate} != recomputed {want_rate}")
+        sane(e["speedup"], f"{path}.speedup", 1e-3, 1e4)
+        want_speedup = e["tree_ns_per_step"] / e["plan_ns_per_step"]
+        if abs(e["speedup"] - want_speedup) > 1e-6 * want_speedup:
+            fail(f"{path}: speedup {e['speedup']} != recomputed {want_speedup}")
+    best = max(new["executor"], key=lambda e: e["speedup"])
+    print(
+        f"validate_bench: executor OK — {len(new['executor'])} models, "
+        f"best plan speedup {best['speedup']:.2f}x ({best['model']})"
+    )
 
 
 def check_serve(new, _base):

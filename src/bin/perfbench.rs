@@ -10,7 +10,9 @@
 //!   delta update at realistic sparsity, and f32 matmul) at the UNet
 //!   im2col shapes plus the classic delta-update bench shape. Every
 //!   backend is asserted bit-identical to the scalar reference *before*
-//!   it is timed.
+//!   it is timed. An `executor` section times one denoising model call
+//!   per Table I benchmark under both the tree walker and the compiled
+//!   trace plan (`diffusion::plan`), with bit-identity asserted in setup.
 //! * **`BENCH_serve.json`** — loopback `ditto-serve` latency percentiles
 //!   (client-observed, from a fixed-bucket log-scale histogram) and the
 //!   cross-request memo hit rate under a deterministic overlapping
@@ -36,6 +38,8 @@ use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+use diffusion::executor::{forward, Bindings, NullHook, StepInfo};
+use diffusion::{DiffusionModel, ModelKind, ModelScale, PlanArena};
 use ditto_core::hist::LogHistogram;
 use ditto_core::jsonio::{self, ToJson, Value};
 use quant::kernels::{delta_matmul_update_with, int_matmul_with, reference, widen};
@@ -129,6 +133,24 @@ fn gflops(flops: f64, min_ms: u64, mut f: impl FnMut()) -> f64 {
         let elapsed = start.elapsed();
         if elapsed.as_millis() as u64 >= min_ms {
             return flops * iters as f64 / elapsed.as_secs_f64() / 1e9;
+        }
+        iters = iters.saturating_mul(2);
+    }
+}
+
+/// Measures `f` for at least `min_ms`, doubling the iteration count until
+/// the budget is met, and returns average wall-clock ns per call.
+fn ns_per_call(min_ms: u64, mut f: impl FnMut()) -> f64 {
+    f(); // warm caches and allocators
+    let mut iters: u64 = 1;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let elapsed = start.elapsed();
+        if elapsed.as_millis() as u64 >= min_ms {
+            return elapsed.as_nanos() as f64 / iters as f64;
         }
         iters = iters.saturating_mul(2);
     }
@@ -245,7 +267,70 @@ fn bench_kernels(min_ms: u64) -> Value {
             Value::Arr(SHAPES.iter().map(|(m, k, n)| Value::Str(format!("{m}x{k}x{n}"))).collect()),
         ),
         ("results", Value::Arr(results)),
+        ("executor", Value::Arr(bench_executor(min_ms))),
     ])
+}
+
+/// Times one denoising model call (one sampler step's worth of work) per
+/// Table I benchmark at the tiny scale under both executors: the allocating
+/// tree walker `executor::forward` and the compiled trace plan. Identity is
+/// asserted in setup — a plan that drifts bitwise from the tree must never
+/// produce a perf number.
+/// Interleaved best-of-N trials per executor in the `executor` section —
+/// see the measurement comment in [`bench_executor`].
+const EXECUTOR_TRIALS: usize = 5;
+
+fn bench_executor(min_ms: u64) -> Vec<Value> {
+    use std::hint::black_box;
+    let mut entries = Vec::new();
+    for kind in ModelKind::all() {
+        let model = DiffusionModel::build(kind, ModelScale::Tiny, 13);
+        let plan = model.plan.as_ref().expect("benchmark model compiles a plan");
+        let (latent, context) = model.sample_inputs(29);
+        let bindings = Bindings { latent: &latent, context: context.as_ref(), t: 0.5 };
+        let step = StepInfo { step_index: 0, t: 0.5, total_steps: 1 };
+        let want = forward(&model.graph, &bindings, step, &mut NullHook).expect("tree forward");
+        let mut arena = PlanArena::new();
+        let got = plan.execute(&model.graph, &bindings, &mut arena).expect("plan execute");
+        assert!(
+            want.as_slice().iter().zip(got.as_slice()).all(|(x, y)| x.to_bits() == y.to_bits()),
+            "{kind:?}: plan output diverged bitwise from the tree executor"
+        );
+        // Alternate tree/plan trials and keep each side's minimum: on a
+        // shared host the best-of-N per-step time is the noise-robust
+        // estimator, and interleaving keeps a load spike from landing
+        // entirely on one executor's measurement.
+        let (mut tree_ns, mut plan_ns) = (f64::INFINITY, f64::INFINITY);
+        for _ in 0..EXECUTOR_TRIALS {
+            tree_ns = tree_ns.min(ns_per_call(min_ms, || {
+                black_box(
+                    forward(&model.graph, black_box(&bindings), step, &mut NullHook).unwrap(),
+                );
+            }));
+            plan_ns = plan_ns.min(ns_per_call(min_ms, || {
+                black_box(plan.execute(&model.graph, black_box(&bindings), &mut arena).unwrap());
+            }));
+        }
+        let speedup = tree_ns / plan_ns;
+        entries.push(obj(vec![
+            ("model", Value::Str(kind.abbr().to_string())),
+            ("graph_nodes", model.graph.len().to_json()),
+            ("plan_ops", plan.op_count().to_json()),
+            ("arena_f32", plan.arena_len().to_json()),
+            ("tree_ns_per_step", Value::Num(tree_ns)),
+            ("plan_ns_per_step", Value::Num(plan_ns)),
+            ("tree_steps_per_s", Value::Num(1e9 / tree_ns)),
+            ("plan_steps_per_s", Value::Num(1e9 / plan_ns)),
+            ("speedup", Value::Num(speedup)),
+        ]));
+        println!(
+            "perfbench: executor {:>5}: tree {tree_ns:>12.0} ns/step, plan {plan_ns:>12.0} \
+             ns/step ({speedup:.2}x, {:.0} steps/s)",
+            kind.abbr(),
+            1e9 / plan_ns
+        );
+    }
+    entries
 }
 
 /// One burst request over its own loopback connection; returns the

@@ -54,6 +54,7 @@ fn delta_path_exact_with_multi_head_attention() {
         steps: 8,
         latent_dims: vec![12, 16],
         context_dims: None,
+        plan: None,
     };
     let (trace, dense) = trace_model(&model, 1, ExecPolicy::Dense).expect("dense");
     let (_, delta) = trace_model(&model, 1, ExecPolicy::TemporalDelta).expect("delta");
