@@ -830,3 +830,18 @@ mod tests {
         assert!(conv2d(&input, &weight_ok, Some(&bad_bias), Conv2dParams::same3x3()).is_err());
     }
 }
+
+#[cfg(test)]
+mod review_probe {
+    use super::*;
+    use crate::Tensor;
+    #[test]
+    fn narrow_input_wide_padding_direct() {
+        // w=1, k=5, p=2 (same-style): valid shape, h+2p>=k.
+        let input = Tensor::zeros(&[1, 5, 1]);
+        let weight = Tensor::zeros(&[1, 1, 5, 5]);
+        let p = Conv2dParams { kernel: 5, stride: 1, padding: 2 };
+        let out = conv2d(&input, &weight, None, p).unwrap();
+        assert_eq!(out.dims(), &[1, 5, 1]);
+    }
+}
