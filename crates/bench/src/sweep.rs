@@ -317,7 +317,10 @@ fn obj(fields: Vec<(&str, Value)>) -> Value {
 /// the kernel backend the request resolved to (its own override, or the
 /// process backend captured when the request applied it — not a re-read
 /// of the global, which a concurrent request's override could have
-/// changed by render time), per-request cache accounting, summary
+/// changed by render time; reported as the *resolved* name, so `simd`
+/// surfaces its active SIMD level as e.g. `simd:avx2` and a forced
+/// `DITTO_SIMD_LEVEL` is visible on the wire), per-request cache
+/// accounting, summary
 /// aggregations, and the full serialized report. See the README protocol
 /// spec for the field-by-field schema.
 pub fn response_ok(
@@ -361,7 +364,7 @@ pub fn response_ok(
         ("id", Value::Str(id.to_string())),
         ("ok", Value::Bool(true)),
         ("proto", Value::Int(PROTO_VERSION.into())),
-        ("backend", Value::Str(backend.name().to_string())),
+        ("backend", Value::Str(backend.resolved_name())),
         ("cache_hits", hits.process_suite_hits.to_json()),
         ("cells", cells),
         ("suite", suite),
@@ -486,6 +489,16 @@ mod tests {
         let back: SweepReport =
             ditto_core::jsonio::FromJson::from_json(v.get("report").unwrap()).unwrap();
         assert_eq!(back.designs, report.designs);
+
+        // The `simd` backend reports its resolved level, never the bare
+        // request name. Assert the shape only (`simd:<parseable level>`):
+        // the active level is a mutable global another test may be
+        // sweeping concurrently.
+        let ok = response_ok("r9", &report, &hits, KernelBackend::Simd);
+        let v = jsonio::parse(ok.as_bytes()).unwrap();
+        let Value::Str(name) = v.get("backend").unwrap() else { panic!("backend not a string") };
+        let level = name.strip_prefix("simd:").expect("simd backend must render as simd:<level>");
+        assert!(tensor::backend::SimdLevel::parse(level).is_some(), "unknown level `{level}`");
 
         let err = response_err("r9", "boom");
         let v = jsonio::parse(err.as_bytes()).unwrap();

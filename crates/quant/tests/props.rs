@@ -5,7 +5,21 @@
 use proptest::prelude::*;
 use quant::kernels::{delta_matmul_update, int_matmul, widen};
 use quant::{BitWidthClass, BitWidthHistogram, BopsModel, QTensor};
+use tensor::backend::{available_simd_levels, hw_simd_level, set_simd_level, SimdLevel};
 use tensor::{KernelBackend, Tensor};
+
+/// Backend × SIMD-level configurations: the portable backends, then the
+/// `simd` backend once per hardware-supported level (the sweep the
+/// `DITTO_SIMD_LEVEL` override makes CI-testable). Level `none` is
+/// included deliberately — it exercises the graceful fallback from the
+/// `simd` dispatchers to the tiled loops.
+fn backend_level_matrix() -> Vec<(KernelBackend, Option<SimdLevel>)> {
+    let mut configs = vec![(KernelBackend::Scalar, None), (KernelBackend::Tiled, None)];
+    for level in available_simd_levels() {
+        configs.push((KernelBackend::Simd, Some(level)));
+    }
+    configs
+}
 
 fn i8_vec(n: usize) -> impl Strategy<Value = Vec<i8>> {
     proptest::collection::vec(any::<i8>().prop_map(|v| if v == -128 { -127 } else { v }), n)
@@ -60,11 +74,14 @@ proptest! {
         );
     }
 
-    /// Every kernel × every available backend is bit-identical to the
-    /// scalar reference loops — the cross-backend matrix behind the
-    /// pluggable kernel-backend layer (`tensor::backend`). Covers the
-    /// dense matmul, the fused delta update, and both attention kernels,
-    /// at delta-realistic sparsities.
+    /// Every kernel × every available backend × every available SIMD
+    /// level is bit-identical to the scalar reference loops — the
+    /// cross-backend matrix behind the pluggable kernel-backend layer
+    /// (`tensor::backend`). Covers the dense matmul (`zero_pct == 0`
+    /// drives every row through the dense-row register kernels), the
+    /// fused delta update, and both attention kernels, at
+    /// delta-realistic sparsities, on shapes straddling the 8-lane
+    /// boundary (`n < 8`, odd `n`, odd `k` for the pair fold).
     #[test]
     fn backend_matrix_matches_reference(
         m in 1usize..14, k in 1usize..40, n in 1usize..24,
@@ -92,26 +109,30 @@ proptest! {
         let want_attn = quant::kernels::attention_delta_scores_with(
             KernelBackend::Scalar, &prev, &a, &dq, &k_t, &dk_t, m, k, n,
         );
-        for backend in KernelBackend::available() {
+        for (backend, level) in backend_level_matrix() {
+            if let Some(level) = level {
+                set_simd_level(level).unwrap();
+            }
             prop_assert_eq!(
                 &quant::kernels::int_matmul_with(backend, &a, &w, m, k, n),
-                &want_mm, "int_matmul diverged on {}", backend
+                &want_mm, "int_matmul diverged on {} at {:?}", backend, level
             );
             prop_assert_eq!(
                 &quant::kernels::delta_matmul_update_with(backend, &prev, &a, &w, m, k, n),
-                &want_delta, "delta_matmul_update diverged on {}", backend
+                &want_delta, "delta_matmul_update diverged on {} at {:?}", backend, level
             );
             prop_assert_eq!(
                 &quant::kernels::int_scores_with(backend, &a, &k_t, m, k, n),
-                &want_scores, "int_scores diverged on {}", backend
+                &want_scores, "int_scores diverged on {} at {:?}", backend, level
             );
             prop_assert_eq!(
                 &quant::kernels::attention_delta_scores_with(
                     backend, &prev, &a, &dq, &k_t, &dk_t, m, k, n,
                 ),
-                &want_attn, "attention_delta_scores diverged on {}", backend
+                &want_attn, "attention_delta_scores diverged on {} at {:?}", backend, level
             );
         }
+        set_simd_level(hw_simd_level()).unwrap();
     }
 
     /// Quantize→dequantize error is bounded by half a quantization step.

@@ -12,15 +12,37 @@
 //!   loop nests (the previous default). Bit-identical to scalar because
 //!   tiling only reorders *which output rows are visited when*; each
 //!   output element still accumulates in ascending-`k` order.
-//! * [`KernelBackend::Simd`] — explicit `std::arch` intrinsics (AVX2 when
-//!   detected at runtime, SSE2 otherwise; see [`simd_level`]). The integer
+//! * [`KernelBackend::Simd`] — explicit `std::arch` intrinsics at the
+//!   active [`SimdLevel`] (AVX2/SSE2 on x86, NEON on aarch64). The integer
 //!   kernels reassociate freely (wrapping-`i32` addition is associative,
 //!   so SIMD sums equal the scalar ones exactly). The `f32` kernels never
-//!   reassociate — reassociating float sums would change bits — but the
-//!   streaming matmul pass gains a lane-parallel AVX2 form where each lane
-//!   is an independent output element combined with separate correctly
-//!   rounded `mul`/`add` (never FMA), which is bit-identical by
-//!   construction.
+//!   reassociate: every SIMD lane is one independent output element whose
+//!   products are folded in ascending-`k` order from an explicit `0.0`
+//!   seed with separate correctly rounded `mul`/`add` (never FMA), which
+//!   is bit-identical to the scalar fold by construction.
+//!
+//! # The SIMD-level ladder
+//!
+//! [`SimdLevel`] orders the instruction tiers `None < Neon < Sse2 < Avx2`.
+//! Two levels matter at runtime:
+//!
+//! * [`hw_simd_level`] — what the host silicon supports, detected once and
+//!   immutable for the life of the process.
+//! * [`simd_level`] — the *active* level every `Simd`-backend kernel
+//!   dispatches on. Resolved on first use from `DITTO_SIMD_LEVEL`
+//!   (`avx2`, `sse2`, `neon`, `none`, or `auto`; values the hardware
+//!   cannot run warn once on stderr and fall back to detection), and
+//!   overridable at runtime with [`set_simd_level`] — the hook the
+//!   cross-level bit-identity test matrices and perfbench's per-level rows
+//!   use to exercise SSE2 kernels on an AVX2 host.
+//!
+//! Forcing the level *down* is always allowed (an AVX2 host runs SSE2
+//! code); forcing it up or across ISA families is not ([`set_simd_level`]
+//! rejects, the env fallback warns). `DITTO_SIMD_LEVEL=none` makes the
+//! `Simd` backend unavailable, so `DITTO_KERNEL_BACKEND=simd` degrades to
+//! `tiled` — and the serve protocol reports the *resolved* backend (e.g.
+//! `tiled`, or `simd:sse2`) via [`KernelBackend::resolved_name`], never
+//! the requested one.
 //!
 //! # Selection
 //!
@@ -28,11 +50,10 @@
 //!
 //! 1. `DITTO_KERNEL_BACKEND` — `scalar`, `tiled`, `simd`, or `auto`. An
 //!    unknown or unavailable value warns on stderr and falls through to
-//!    detection, so a `simd` job on a non-x86 host degrades gracefully
-//!    instead of dying.
+//!    detection, so a `simd` job on a host without SIMD degrades
+//!    gracefully instead of dying.
 //! 2. CPU detection ([`KernelBackend::detect`]): `Simd` wherever the
-//!    intrinsics exist (x86-64 always has SSE2; AVX2 upgrades at runtime
-//!    via `is_x86_feature_detected!`), `Tiled` elsewhere.
+//!    intrinsics exist, `Tiled` elsewhere.
 //!
 //! [`set_active`] overrides the resolved backend at runtime — the serve
 //! wire protocol's optional `backend` field and the cross-backend test
@@ -49,46 +70,111 @@ pub enum KernelBackend {
     Scalar,
     /// Cache-blocked tiled loops relying on autovectorization.
     Tiled,
-    /// Explicit SIMD intrinsics for the integer kernels (x86 AVX2/SSE2);
-    /// f32 kernels run the tiled fixed-order path.
+    /// Explicit SIMD intrinsics at the active [`SimdLevel`] for both the
+    /// integer and `f32` kernels (fixed-order lane reduction keeps the
+    /// float results bit-identical).
     Simd,
 }
 
-/// Explicit-SIMD instruction level resolved for this host.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// Explicit-SIMD instruction tier. Variants are declared ascending so the
+/// derived ordering is the ladder itself: `None < Neon < Sse2 < Avx2`.
+///
+/// The ordering ranks kernel width/throughput (NEON and SSE2 are both
+/// 128-bit, but the x86 tiers can widen to AVX2 while NEON cannot); use
+/// [`SimdLevel::is_hw_supported`] — not the ordering — to ask whether a
+/// level can *run* here, since the ISA families never overlap on one host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum SimdLevel {
-    /// No supported SIMD intrinsics; the `Simd` backend is unavailable.
+    /// No SIMD intrinsics; the `Simd` backend is unavailable.
     None,
-    /// 128-bit SSE2 integer kernels.
+    /// 128-bit aarch64 NEON kernels.
+    Neon,
+    /// 128-bit x86 SSE2 kernels.
     Sse2,
-    /// 256-bit AVX2 integer kernels.
+    /// 256-bit x86 AVX2 kernels.
     Avx2,
 }
 
 impl SimdLevel {
-    /// Wire/log name of the level.
+    /// Every level, ascending the ladder.
+    pub const ALL: [SimdLevel; 4] =
+        [SimdLevel::None, SimdLevel::Neon, SimdLevel::Sse2, SimdLevel::Avx2];
+
+    /// Wire/log name of the level, as accepted by [`SimdLevel::parse`] and
+    /// `DITTO_SIMD_LEVEL`.
     pub fn name(self) -> &'static str {
         match self {
             SimdLevel::None => "none",
+            SimdLevel::Neon => "neon",
             SimdLevel::Sse2 => "sse2",
             SimdLevel::Avx2 => "avx2",
         }
     }
+
+    /// Parses a level name (case-insensitive). Returns `None` for unknown
+    /// names — including `auto`, which callers resolve through
+    /// [`hw_simd_level`] instead.
+    pub fn parse(s: &str) -> Option<SimdLevel> {
+        match s.to_ascii_lowercase().as_str() {
+            "none" => Some(SimdLevel::None),
+            "neon" => Some(SimdLevel::Neon),
+            "sse2" => Some(SimdLevel::Sse2),
+            "avx2" => Some(SimdLevel::Avx2),
+            _ => None,
+        }
+    }
+
+    /// Whether the host silicon can execute this level. `None` always can
+    /// (it just means "no SIMD"); NEON requires an aarch64 host; the x86
+    /// tiers require detected x86 features at or above the level.
+    pub fn is_hw_supported(self) -> bool {
+        match self {
+            SimdLevel::None => true,
+            SimdLevel::Neon => hw_simd_level() == SimdLevel::Neon,
+            level => hw_simd_level() >= level,
+        }
+    }
+
+    fn encode(self) -> u8 {
+        match self {
+            SimdLevel::None => 1,
+            SimdLevel::Neon => 2,
+            SimdLevel::Sse2 => 3,
+            SimdLevel::Avx2 => 4,
+        }
+    }
+
+    fn decode(v: u8) -> Option<SimdLevel> {
+        match v {
+            1 => Some(SimdLevel::None),
+            2 => Some(SimdLevel::Neon),
+            3 => Some(SimdLevel::Sse2),
+            4 => Some(SimdLevel::Avx2),
+            _ => None,
+        }
+    }
 }
 
-/// One-time runtime CPU-feature detection for the `Simd` backend.
+impl std::fmt::Display for SimdLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One-time runtime CPU-feature detection: the best SIMD level the host
+/// silicon supports. Immutable for the life of the process — the *active*
+/// level ([`simd_level`]) starts here but can be forced lower.
 ///
 /// On x86/x86-64 this probes AVX2 then SSE2 with
-/// `is_x86_feature_detected!`; on every other architecture it returns
-/// [`SimdLevel::None`] (a portable `core::simd`/NEON backend is a noted
-/// follow-on). The result is cached for the life of the process.
-pub fn simd_level() -> SimdLevel {
+/// `is_x86_feature_detected!`; aarch64 always has NEON (it is baseline);
+/// every other architecture returns [`SimdLevel::None`].
+pub fn hw_simd_level() -> SimdLevel {
     static LEVEL: OnceLock<SimdLevel> = OnceLock::new();
-    *LEVEL.get_or_init(detect_simd_level)
+    *LEVEL.get_or_init(detect_hw_simd_level)
 }
 
 #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
-fn detect_simd_level() -> SimdLevel {
+fn detect_hw_simd_level() -> SimdLevel {
     if std::arch::is_x86_feature_detected!("avx2") {
         SimdLevel::Avx2
     } else if std::arch::is_x86_feature_detected!("sse2") {
@@ -98,9 +184,127 @@ fn detect_simd_level() -> SimdLevel {
     }
 }
 
-#[cfg(not(any(target_arch = "x86", target_arch = "x86_64")))]
-fn detect_simd_level() -> SimdLevel {
+#[cfg(target_arch = "aarch64")]
+fn detect_hw_simd_level() -> SimdLevel {
+    SimdLevel::Neon
+}
+
+#[cfg(not(any(target_arch = "x86", target_arch = "x86_64", target_arch = "aarch64")))]
+fn detect_hw_simd_level() -> SimdLevel {
     SimdLevel::None
+}
+
+/// The SIMD levels this host can run, ascending the ladder (always
+/// starting with [`SimdLevel::None`]) — the axis the cross-level
+/// bit-identity matrices and perfbench's per-level rows sweep. An AVX2
+/// host yields `[none, sse2, avx2]`; an aarch64 host `[none, neon]`.
+pub fn available_simd_levels() -> Vec<SimdLevel> {
+    SimdLevel::ALL.into_iter().filter(|l| l.is_hw_supported()).collect()
+}
+
+/// The process-wide active SIMD level: 0 = unresolved, else
+/// `SimdLevel::encode`.
+static ACTIVE_LEVEL: AtomicU8 = AtomicU8::new(0);
+
+/// The *active* SIMD level every `Simd`-backend kernel dispatches on,
+/// resolving `DITTO_SIMD_LEVEL` / hardware detection on first use. One
+/// relaxed atomic load on the hot path.
+pub fn simd_level() -> SimdLevel {
+    match SimdLevel::decode(ACTIVE_LEVEL.load(Ordering::Relaxed)) {
+        Some(l) => l,
+        None => {
+            let resolved = resolve_level_from_env();
+            // Publish only if still unresolved, so a racing
+            // `set_simd_level` override is never clobbered (same CAS
+            // pattern as the backend's `ACTIVE`).
+            match ACTIVE_LEVEL.compare_exchange(
+                0,
+                resolved.encode(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => resolved,
+                Err(winner) => {
+                    SimdLevel::decode(winner).expect("non-zero ACTIVE_LEVEL values are encodings")
+                }
+            }
+        }
+    }
+}
+
+/// Error returned by [`set_simd_level`] for a level the host cannot run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LevelUnavailable {
+    /// The rejected level.
+    pub level: SimdLevel,
+}
+
+impl std::fmt::Display for LevelUnavailable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "simd level `{}` is not supported by this host (hardware level: `{}`)",
+            self.level,
+            hw_simd_level()
+        )
+    }
+}
+
+impl std::error::Error for LevelUnavailable {}
+
+/// Overrides the active SIMD level for the rest of the process (or until
+/// the next call) — the test hook that lets an AVX2 host exercise its SSE2
+/// kernels, or force `None` to make the `Simd` backend unavailable.
+/// Results are bit-identical across levels, so flipping this concurrently
+/// with running kernels is benign — it changes speed, never values.
+///
+/// # Errors
+///
+/// [`LevelUnavailable`] if the host silicon cannot execute `level`
+/// (forcing *up* the ladder, or across ISA families); the active level is
+/// left unchanged.
+pub fn set_simd_level(level: SimdLevel) -> Result<(), LevelUnavailable> {
+    if !level.is_hw_supported() {
+        return Err(LevelUnavailable { level });
+    }
+    ACTIVE_LEVEL.store(level.encode(), Ordering::Relaxed);
+    Ok(())
+}
+
+/// Resolves the startup SIMD level from `DITTO_SIMD_LEVEL`, falling back
+/// to hardware detection with a (once-only) stderr warning on unknown or
+/// hardware-unsupported values.
+fn resolve_level_from_env() -> SimdLevel {
+    static WARNED: AtomicBool = AtomicBool::new(false);
+    let warn_once = |msg: String| {
+        if !WARNED.swap(true, Ordering::Relaxed) {
+            eprintln!("{msg}");
+        }
+    };
+    match std::env::var("DITTO_SIMD_LEVEL") {
+        Ok(raw) if !raw.trim().is_empty() && !raw.trim().eq_ignore_ascii_case("auto") => {
+            match SimdLevel::parse(raw.trim()) {
+                Some(l) if l.is_hw_supported() => l,
+                Some(l) => {
+                    let fallback = hw_simd_level();
+                    warn_once(format!(
+                        "[tensor] DITTO_SIMD_LEVEL={l} is not supported by this host; \
+                         using `{fallback}`"
+                    ));
+                    fallback
+                }
+                None => {
+                    let fallback = hw_simd_level();
+                    warn_once(format!(
+                        "[tensor] unknown DITTO_SIMD_LEVEL `{raw}` \
+                         (expected none|neon|sse2|avx2|auto); using `{fallback}`"
+                    ));
+                    fallback
+                }
+            }
+        }
+        _ => hw_simd_level(),
+    }
 }
 
 impl KernelBackend {
@@ -120,6 +324,18 @@ impl KernelBackend {
         }
     }
 
+    /// The *resolved* name, qualifying `Simd` with the active instruction
+    /// level (`simd:avx2`, `simd:sse2`, `simd:neon`). Serve responses and
+    /// perfbench rows report this instead of [`KernelBackend::name`] so a
+    /// `simd` request that resolved lower is never reported as bare
+    /// `simd`. `Scalar`/`Tiled` resolve to their plain names.
+    pub fn resolved_name(self) -> String {
+        match self {
+            KernelBackend::Scalar | KernelBackend::Tiled => self.name().to_string(),
+            KernelBackend::Simd => format!("simd:{}", simd_level().name()),
+        }
+    }
+
     /// Parses a backend name (case-insensitive). Returns `None` for
     /// unknown names — including `auto`, which callers resolve through
     /// [`KernelBackend::detect`] instead.
@@ -133,7 +349,9 @@ impl KernelBackend {
     }
 
     /// Whether this backend can run on the current host. `Scalar` and
-    /// `Tiled` are portable; `Simd` requires a detected instruction level.
+    /// `Tiled` are portable; `Simd` requires a non-`None` *active* SIMD
+    /// level — so `DITTO_SIMD_LEVEL=none` (or `set_simd_level(None)`)
+    /// makes it unavailable even on SIMD-capable silicon.
     pub fn is_available(self) -> bool {
         match self {
             KernelBackend::Scalar | KernelBackend::Tiled => true,
@@ -147,8 +365,8 @@ impl KernelBackend {
         KernelBackend::ALL.into_iter().filter(|b| b.is_available()).collect()
     }
 
-    /// The best available backend: `Simd` where intrinsics exist, `Tiled`
-    /// elsewhere.
+    /// The best available backend: `Simd` where intrinsics exist (at the
+    /// active level), `Tiled` elsewhere.
     pub fn detect() -> KernelBackend {
         if KernelBackend::Simd.is_available() {
             KernelBackend::Simd
@@ -296,6 +514,47 @@ mod tests {
     }
 
     #[test]
+    fn level_names_roundtrip_through_parse() {
+        for l in SimdLevel::ALL {
+            assert_eq!(SimdLevel::parse(l.name()), Some(l));
+            assert_eq!(SimdLevel::parse(&l.name().to_uppercase()), Some(l));
+        }
+        assert_eq!(SimdLevel::parse("auto"), None);
+        assert_eq!(SimdLevel::parse("avx512"), None);
+    }
+
+    #[test]
+    fn ladder_ordering_is_explicit() {
+        assert!(SimdLevel::None < SimdLevel::Neon);
+        assert!(SimdLevel::Neon < SimdLevel::Sse2);
+        assert!(SimdLevel::Sse2 < SimdLevel::Avx2);
+        // ALL ascends the ladder.
+        for pair in SimdLevel::ALL.windows(2) {
+            assert!(pair[0] < pair[1]);
+        }
+    }
+
+    #[test]
+    fn available_levels_match_hardware() {
+        let avail = available_simd_levels();
+        assert_eq!(avail.first(), Some(&SimdLevel::None), "`none` is always available");
+        for l in SimdLevel::ALL {
+            assert_eq!(avail.contains(&l), l.is_hw_supported());
+        }
+        #[cfg(target_arch = "x86_64")]
+        {
+            assert_ne!(hw_simd_level(), SimdLevel::None, "x86-64 baseline includes SSE2");
+            assert!(avail.contains(&SimdLevel::Sse2));
+            assert!(!avail.contains(&SimdLevel::Neon), "NEON never runs on x86");
+        }
+        #[cfg(target_arch = "aarch64")]
+        {
+            assert_eq!(hw_simd_level(), SimdLevel::Neon, "NEON is aarch64 baseline");
+            assert_eq!(avail, vec![SimdLevel::None, SimdLevel::Neon]);
+        }
+    }
+
+    #[test]
     fn portable_backends_are_always_available() {
         assert!(KernelBackend::Scalar.is_available());
         assert!(KernelBackend::Tiled.is_available());
@@ -315,17 +574,21 @@ mod tests {
     }
 
     #[test]
-    fn simd_availability_matches_level() {
-        assert_eq!(KernelBackend::Simd.is_available(), simd_level() != SimdLevel::None);
-        #[cfg(target_arch = "x86_64")]
-        assert_ne!(simd_level(), SimdLevel::None, "x86-64 baseline includes SSE2");
+    fn resolved_names_are_level_qualified() {
+        assert_eq!(KernelBackend::Scalar.resolved_name(), "scalar");
+        assert_eq!(KernelBackend::Tiled.resolved_name(), "tiled");
+        // Another test in this binary owns (and mutates) the active level,
+        // so only assert the shape here: `simd:<parseable level>`.
+        let resolved = KernelBackend::Simd.resolved_name();
+        let suffix = resolved.strip_prefix("simd:").expect("Simd resolves level-qualified");
+        assert!(SimdLevel::parse(suffix).is_some(), "unknown level `{suffix}`");
     }
 
     #[test]
     fn set_active_switches_and_rejects_unavailable() {
-        // One test owns the global to avoid cross-test interference on the
-        // asserted-active value (results never depend on it, but this
-        // assertion does). Restore the resolved default afterwards.
+        // One test owns the globals to avoid cross-test interference on
+        // the asserted-active values (results never depend on them, but
+        // these assertions do). Restore the resolved defaults afterwards.
         let initial = active();
         for b in KernelBackend::available() {
             set_active(b).unwrap();
@@ -337,6 +600,33 @@ mod tests {
             assert_eq!(err.backend, KernelBackend::Simd);
             assert_eq!(active(), KernelBackend::Tiled, "failed set must not switch");
         }
+        set_active(initial).unwrap();
+
+        // Level overrides: every hardware-supported level can be forced,
+        // forcing `None` makes the `Simd` backend unavailable, and
+        // hardware-unsupported levels are rejected without switching.
+        let initial_level = simd_level();
+        for l in available_simd_levels() {
+            set_simd_level(l).unwrap();
+            assert_eq!(simd_level(), l);
+            assert_eq!(KernelBackend::Simd.is_available(), l != SimdLevel::None);
+            if l == SimdLevel::None {
+                assert_eq!(
+                    set_active(KernelBackend::Simd).unwrap_err().backend,
+                    KernelBackend::Simd
+                );
+                assert_eq!(KernelBackend::detect(), KernelBackend::Tiled);
+            }
+        }
+        for l in SimdLevel::ALL {
+            if !l.is_hw_supported() {
+                set_simd_level(hw_simd_level()).unwrap();
+                let err = set_simd_level(l).unwrap_err();
+                assert_eq!(err.level, l);
+                assert_eq!(simd_level(), hw_simd_level(), "failed set must not switch");
+            }
+        }
+        set_simd_level(initial_level).unwrap();
         set_active(initial).unwrap();
     }
 }

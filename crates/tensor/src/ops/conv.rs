@@ -316,10 +316,16 @@ fn conv2d_direct_into(
                             let shift = kx as isize - pad;
                             let lo = (-shift).clamp(0, wo as isize) as usize;
                             let hi = (w as isize - shift).clamp(lo as isize, wo as isize) as usize;
-                            let src = &src
-                                [(lo as isize + shift) as usize..(hi as isize + shift) as usize];
-                            for (d, &s) in dst[lo..hi].iter_mut().zip(src) {
-                                *d += wval * s;
+                            // An empty window (narrow input, wide padding:
+                            // every ox of this kx falls in the pad) must be
+                            // skipped before slicing `src` — `lo + shift`
+                            // can sit past the plane width.
+                            if lo < hi {
+                                let src = &src[(lo as isize + shift) as usize
+                                    ..(hi as isize + shift) as usize];
+                                for (d, &s) in dst[lo..hi].iter_mut().zip(src) {
+                                    *d += wval * s;
+                                }
                             }
                         } else {
                             for (ox, d) in dst.iter_mut().enumerate() {

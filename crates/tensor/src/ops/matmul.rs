@@ -9,14 +9,12 @@
 //! kernels ([`matmul_scalar`], [`matvec_scalar`]) — a requirement
 //! inherited from the Ditto equivalence claim, which rests on exact
 //! accumulator values end to end. The explicit-SIMD backend never
-//! *reassociates* `f32` reductions (that would change bits): its `f32`
-//! fast path is the streaming core recompiled in an AVX2
-//! `#[target_feature]` context ([`stream_acc_avx2`]), where each lane is
-//! an independent output element combined with separate correctly
-//! rounded `mul`/`add` — never FMA (the `fma` feature stays disabled).
-//! The reassociating intrinsics live in the integer kernels
-//! (`quant::kernels::simd`), where wrapping-`i32` associativity keeps any
-//! order exact.
+//! *reassociates* `f32` reductions (that would change bits): its kernels
+//! live in [`super::simd`], where each lane is an independent output
+//! element combined with separate correctly rounded `mul`/`add` — never
+//! FMA — at the active `SimdLevel` (AVX2/SSE2/NEON). The reassociating
+//! intrinsics live in the integer kernels (`quant::kernels::simd`), where
+//! wrapping-`i32` associativity keeps any order exact.
 
 use crate::backend::{self, KernelBackend};
 use crate::{Result, Tensor, TensorError};
@@ -25,18 +23,18 @@ use crate::{Result, Tensor, TensorError};
 /// streamed row of `B` is reused `MR` times from L1 instead of being
 /// re-fetched per output row, and the `MR` live output rows (≤ `MR`·n·4
 /// bytes) stay cache-resident across the whole `k` loop.
-const MR: usize = 8;
+pub(crate) const MR: usize = 8;
 
 /// Columns-of-`A` (depth) block. Bounds the slice of `B` rows streamed per
 /// row block to `KC`·n·4 bytes so it survives in L2 across row blocks.
-const KC: usize = 256;
+pub(crate) const KC: usize = 256;
 
 /// `B` element count below which the row-blocked tiling is not worth it:
 /// a `B` this small stays cache-resident across the plain streaming loop,
 /// so blocking only adds loop overhead and a strided `A` access pattern.
 /// Both orders are bit-identical per output element, so this is purely a
 /// performance dispatch.
-const B_ELEMS_BLOCK_THRESHOLD: usize = 1 << 14;
+pub(crate) const B_ELEMS_BLOCK_THRESHOLD: usize = 1 << 14;
 
 /// Streaming-order (`ikj`) core shared by both compilation contexts of the
 /// small-`B` path: for each output row, dense stretches of the `a` row are
@@ -47,12 +45,11 @@ const B_ELEMS_BLOCK_THRESHOLD: usize = 1 << 14;
 /// four-step group falls back to the one-step loop so the reference
 /// zero-skip semantics are preserved exactly.
 ///
-/// `#[inline(always)]` so the portable entry and the AVX2
-/// `#[target_feature]` entry ([`stream_acc_avx2`]) each compile their own
-/// copy in their own instruction-set context. Neither copy may change
-/// bits: autovectorization keeps each element's operation sequence (no
+/// Autovectorization keeps each element's operation sequence (no
 /// reassociation without fast-math), and the `fma` feature stays disabled
-/// so no fused multiply-add (single rounding) can be emitted.
+/// so no fused multiply-add (single rounding) can be emitted. The `Simd`
+/// backend runs the explicitly vectorized equivalents in [`super::simd`]
+/// instead of this portable copy.
 #[inline(always)]
 fn stream_acc_body(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
     // Fully dense `a` (the compiled-plan conv path hands the conv *weight*
@@ -149,8 +146,17 @@ fn stream_row(orow: &mut [f32], arow: &[f32], b: &[f32], k: usize, n: usize) {
 
 /// Guarded four- and one-step tail of a streaming row, starting at `kk`:
 /// the reference accumulation order with exact zero-skip semantics.
+/// `pub(crate)` because the explicit-SIMD streaming rows ([`super::simd`])
+/// share this exact tail, so the two paths can never drift.
 #[inline(always)]
-fn stream_row_tail(orow: &mut [f32], arow: &[f32], b: &[f32], k: usize, n: usize, mut kk: usize) {
+pub(crate) fn stream_row_tail(
+    orow: &mut [f32],
+    arow: &[f32],
+    b: &[f32],
+    k: usize,
+    n: usize,
+    mut kk: usize,
+) {
     while kk + 4 <= k {
         let (a0, a1, a2, a3) = (arow[kk], arow[kk + 1], arow[kk + 2], arow[kk + 3]);
         if a0 != 0.0 && a1 != 0.0 && a2 != 0.0 && a3 != 0.0 {
@@ -185,46 +191,12 @@ fn stream_row_tail(orow: &mut [f32], arow: &[f32], b: &[f32], k: usize, n: usize
     }
 }
 
-/// [`stream_acc_body`] compiled with AVX2 enabled (8-wide `vmulps`/`vaddps`
-/// passes; `fma` stays off so every operation is separately rounded exactly
-/// like the portable copy — see the body's doc comment).
-///
-/// # Safety
-///
-/// AVX2 must be available on the running CPU.
-#[cfg(target_arch = "x86_64")]
-#[target_feature(enable = "avx2")]
-unsafe fn stream_acc_avx2(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
-    stream_acc_body(out, a, b, m, k, n);
-}
-
-/// Dispatches the streaming core: the AVX2-compiled copy on the `Simd`
-/// backend where the host has AVX2, the portable copy everywhere else.
-/// Purely a codegen choice — both copies are bit-identical.
-fn stream_acc(
-    backend: KernelBackend,
-    out: &mut [f32],
-    a: &[f32],
-    b: &[f32],
-    m: usize,
-    k: usize,
-    n: usize,
-) {
-    #[cfg(target_arch = "x86_64")]
-    if backend == KernelBackend::Simd && backend::simd_level() == backend::SimdLevel::Avx2 {
-        // SAFETY: AVX2 availability was just checked at runtime.
-        unsafe { stream_acc_avx2(out, a, b, m, k, n) };
-        return;
-    }
-    let _ = backend;
-    stream_acc_body(out, a, b, m, k, n);
-}
-
 /// Accumulates `a [m,k] × b [k,n]` on top of `out [m,n]` in place on an
 /// explicit backend. `Scalar` runs the reference `ikj` streaming order;
-/// `Tiled` and `Simd` run the cache-blocked order (explicit SIMD keeps
-/// f32 reductions in tiled fixed order — see the module docs). All are
-/// bit-identical per output element.
+/// `Tiled` runs the cache-blocked portable order; `Simd` runs the
+/// explicitly vectorized kernels in [`super::simd`] at the active
+/// `SimdLevel` (falling back to the portable tiled path when the level is
+/// `none`). All are bit-identical per output element.
 ///
 /// `out` may carry initial values (zeros for a plain matmul, a broadcast
 /// bias for the im2col convolution path). For each output element the
@@ -246,11 +218,14 @@ pub fn matmul_acc_with(
     debug_assert_eq!(out.len(), m * n);
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
+    if backend == KernelBackend::Simd && super::simd::matmul_acc(out, a, b, m, k, n) {
+        return;
+    }
     let scalar = backend == KernelBackend::Scalar;
     if scalar || k * n <= B_ELEMS_BLOCK_THRESHOLD || m < 2 {
         // Scalar backend, or small B where the streaming `ikj` order wins
         // (see threshold doc) on the blocked backends too.
-        stream_acc(backend, out, a, b, m, k, n);
+        stream_acc_body(out, a, b, m, k, n);
         return;
     }
     for ib in (0..m).step_by(MR) {
@@ -364,9 +339,11 @@ pub fn matvec(a: &Tensor, x: &Tensor) -> Result<Tensor> {
 }
 
 /// [`matvec`] on an explicit backend (`Scalar` runs [`matvec_scalar`]'s
-/// one-row loop; `Tiled`/`Simd` run the four-row pass). Bit-identical for
-/// every backend: each output row's dot product accumulates in ascending
-/// `k` order on all of them.
+/// one-row loop; `Tiled` runs the four-row pass; `Simd` runs the
+/// lane-per-row kernel in [`super::simd`], falling back to the four-row
+/// pass when the active level is `none`). Bit-identical for every
+/// backend: each output row's dot product accumulates in ascending `k`
+/// order on all of them.
 ///
 /// # Errors
 ///
@@ -385,6 +362,9 @@ pub fn matvec_with(backend: KernelBackend, a: &Tensor, x: &Tensor) -> Result<Ten
     let av = a.as_slice();
     let xv = x.as_slice();
     let ov = out.as_mut_slice();
+    if backend == KernelBackend::Simd && super::simd::matvec(ov, av, xv, m, k) {
+        return Ok(out);
+    }
     let mut i = 0;
     while i + 4 <= m {
         let r0 = &av[i * k..(i + 1) * k];
@@ -414,8 +394,9 @@ pub fn matvec_with(backend: KernelBackend, a: &Tensor, x: &Tensor) -> Result<Ten
 /// every matvec path (scalar, tail rows, four-row blocks) shares the same
 /// `-0.0` semantics. (`Iterator::sum` seeds from the first element, which
 /// would make a single `-0.0` product sum to `-0.0` while an accumulator
-/// loop yields `+0.0`.)
-fn dot(row: &[f32], xv: &[f32]) -> f32 {
+/// loop yields `+0.0`.) `pub(crate)` because the explicit-SIMD matvec
+/// ([`super::simd`]) reuses it for its remainder rows.
+pub(crate) fn dot(row: &[f32], xv: &[f32]) -> f32 {
     let mut acc = 0.0f32;
     for (&w, &v) in row.iter().zip(xv) {
         acc += w * v;

@@ -21,6 +21,7 @@ pub mod elementwise;
 pub mod matmul;
 pub mod norm;
 pub mod pool;
+pub(crate) mod simd;
 
 pub use activation::{
     gelu, gelu_into, sigmoid, sigmoid_into, silu, silu_into, softmax_rows, softmax_rows_into,

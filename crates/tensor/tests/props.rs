@@ -5,8 +5,23 @@
 //! is exercised here on randomized shapes and values.
 
 use proptest::prelude::*;
+use tensor::backend::{available_simd_levels, hw_simd_level, set_simd_level, SimdLevel};
 use tensor::ops::{self, Conv2dParams};
 use tensor::{stats, KernelBackend, Rng, Tensor};
+
+/// Backend × SIMD-level configurations for the bit-identity matrices: the
+/// portable backends, then the `simd` backend once per hardware-supported
+/// level — including `none`, which exercises the graceful-degradation
+/// seam (simd selected, no kernels available → the tiled path). This is
+/// exactly the sweep the `DITTO_SIMD_LEVEL` override makes CI-testable on
+/// hosts whose native level is higher.
+fn backend_level_matrix() -> Vec<(KernelBackend, Option<SimdLevel>)> {
+    let mut configs = vec![(KernelBackend::Scalar, None), (KernelBackend::Tiled, None)];
+    for level in available_simd_levels() {
+        configs.push((KernelBackend::Simd, Some(level)));
+    }
+    configs
+}
 
 fn approx_eq(a: &Tensor, b: &Tensor, tol: f32) -> bool {
     a.dims() == b.dims()
@@ -41,12 +56,17 @@ proptest! {
         prop_assert!(approx_eq(&lhs, &rhs, 1e-4));
     }
 
-    /// The f32 kernels are bit-identical on every available backend (the
-    /// explicit-SIMD backend keeps f32 reductions in the tiled fixed
-    /// order, so even it must not move a single bit).
+    /// The f32 kernels are bit-identical on every available backend at
+    /// every available SIMD level (the explicit-SIMD kernels keep f32
+    /// reductions in the scalar fixed order, so even they must not move
+    /// a single bit). Shape ranges straddle the lane boundaries: `n`
+    /// below one vector width, between one and two, and past the 2-vector
+    /// register tile; `k` across the 8-step streaming guard and odd
+    /// remainders. `zero_pct == 0` drives the dense register path (randn
+    /// essentially never emits exact 0.0).
     #[test]
     fn backend_matrix_is_bit_identical(
-        m in 1usize..10, k in 1usize..40, n in 1usize..10,
+        m in 1usize..10, k in 1usize..40, n in 1usize..24,
         zero_pct in 0u32..60, seed in any::<u64>(),
     ) {
         let mut rng = Rng::seed_from(seed);
@@ -60,20 +80,28 @@ proptest! {
         let x = Tensor::randn(&[k], &mut rng);
         let want = ops::matmul_with(KernelBackend::Scalar, &a, &b).unwrap();
         let want_v = ops::matvec_with(KernelBackend::Scalar, &a, &x).unwrap();
-        for backend in KernelBackend::available() {
+        for (backend, level) in backend_level_matrix() {
+            if let Some(level) = level {
+                set_simd_level(level).unwrap();
+            }
             let got = ops::matmul_with(backend, &a, &b).unwrap();
             for (p, q) in got.as_slice().iter().zip(want.as_slice()) {
-                prop_assert_eq!(p.to_bits(), q.to_bits(), "matmul diverged on {}", backend);
+                prop_assert_eq!(
+                    p.to_bits(), q.to_bits(), "matmul diverged on {} at {:?}", backend, level
+                );
             }
             let got_v = ops::matvec_with(backend, &a, &x).unwrap();
             for (p, q) in got_v.as_slice().iter().zip(want_v.as_slice()) {
-                prop_assert_eq!(p.to_bits(), q.to_bits(), "matvec diverged on {}", backend);
+                prop_assert_eq!(
+                    p.to_bits(), q.to_bits(), "matvec diverged on {} at {:?}", backend, level
+                );
             }
         }
+        set_simd_level(hw_simd_level()).unwrap();
     }
 
-    /// conv2d on every backend is bit-identical, across the direct/im2col
-    /// routing threshold.
+    /// conv2d on every backend at every available SIMD level is
+    /// bit-identical, across the direct/im2col routing threshold.
     #[test]
     fn conv_backend_matrix_is_bit_identical(
         c_in in 1usize..8, hw in 3usize..10, c_out in 1usize..12, seed in any::<u64>(),
@@ -84,12 +112,18 @@ proptest! {
         let weight = Tensor::randn(&[c_out, c_in, 3, 3], &mut rng);
         let bias = Tensor::randn(&[c_out], &mut rng);
         let want = ops::conv2d_with(KernelBackend::Scalar, &input, &weight, Some(&bias), p).unwrap();
-        for backend in KernelBackend::available() {
+        for (backend, level) in backend_level_matrix() {
+            if let Some(level) = level {
+                set_simd_level(level).unwrap();
+            }
             let got = ops::conv2d_with(backend, &input, &weight, Some(&bias), p).unwrap();
             for (x, y) in got.as_slice().iter().zip(want.as_slice()) {
-                prop_assert_eq!(x.to_bits(), y.to_bits(), "conv2d diverged on {}", backend);
+                prop_assert_eq!(
+                    x.to_bits(), y.to_bits(), "conv2d diverged on {} at {:?}", backend, level
+                );
             }
         }
+        set_simd_level(hw_simd_level()).unwrap();
     }
 
     /// conv2d(x + d) == conv2d(x) + conv2d(d) when bias is folded once.

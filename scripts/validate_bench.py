@@ -72,25 +72,45 @@ def hist_sane(h, path):
 
 
 def check_kernels(new, base):
-    if set(new["shapes"]) != set(base["shapes"]):
-        fail(f"shapes {new['shapes']} != baseline {base['shapes']}")
-    if "scalar" not in new["backends"]:
-        fail("the scalar backend must always be measured")
-    kernels = {r["kernel"] for r in base["results"]}
-    want = {
-        (k, s, b) for k in kernels for s in new["shapes"] for b in new["backends"]
-    }
+    for key in ("shapes", "conv_shapes"):
+        if set(new[key]) != set(base[key]):
+            fail(f"{key} {new[key]} != baseline {base[key]}")
+    for portable in ("scalar", "tiled"):
+        if portable not in new["backends"]:
+            fail(f"the {portable} backend must always be measured")
+    # Coverage: every (kernel, shape) pair the baseline measured must be
+    # measured for every backend the *new* run reports. Backends come from
+    # the new document because the SIMD-level rows are host-dependent (a
+    # host without AVX2 legitimately emits fewer of them); kernel/shape
+    # pairs come from the baseline because conv kernels only run at conv
+    # shapes (the grid is not a full cartesian product).
+    pairs = {(r["kernel"], r["shape"]) for r in base["results"]}
+    want = {(k, s, b) for (k, s) in pairs for b in new["backends"]}
     got = {(r["kernel"], r["shape"], r["backend"]) for r in new["results"]}
     if got != want:
         fail(
             f"results coverage mismatch (missing {sorted(want - got)}, "
             f"unexpected {sorted(got - want)})"
         )
+    by_pair = {}
+    for r in new["results"]:
+        by_pair[(r["kernel"], r["shape"], r["backend"])] = r["gflops"]
     for i, r in enumerate(new["results"]):
         sane(r["gflops"], f"results[{i}].gflops", 1e-3, 1e5)
-        sane(r["speedup_vs_scalar"], f"results[{i}].speedup_vs_scalar", 1e-3, 1e4)
-        if r["backend"] == "scalar" and r["speedup_vs_scalar"] != 1.0:
-            fail(f"results[{i}]: scalar speedup must be exactly 1.0")
+        # The speedup columns are derived, so recompute them: baselines
+        # are same-document rows and the JSON numbers round-trip exactly
+        # (shortest-representation float printing), so a tight relative
+        # tolerance only absorbs the division itself.
+        for column, baseline in (("speedup_vs_scalar", "scalar"), ("speedup_vs_tiled", "tiled")):
+            speedup = r[column]
+            sane(speedup, f"results[{i}].{column}", 1e-3, 1e4)
+            want_speedup = r["gflops"] / by_pair[(r["kernel"], r["shape"], baseline)]
+            if abs(speedup - want_speedup) > 1e-9 * want_speedup:
+                fail(
+                    f"results[{i}]: {column} {speedup} != recomputed {want_speedup}"
+                )
+            if r["backend"] == baseline and speedup != 1.0:
+                fail(f"results[{i}]: {baseline} {column} must be exactly 1.0")
     print(
         f"validate_bench: kernels OK — {len(new['results'])} points, "
         f"backends {new['backends']}"

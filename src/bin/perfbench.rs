@@ -6,11 +6,15 @@
 //! ranges) on every push:
 //!
 //! * **`BENCH_kernels.json`** — GFLOP/s per kernel backend per shape for
-//!   the three hot kernels (dense integer matmul, the temporal-difference
-//!   delta update at realistic sparsity, and f32 matmul) at the UNet
-//!   im2col shapes plus the classic delta-update bench shape. Every
-//!   backend is asserted bit-identical to the scalar reference *before*
-//!   it is timed. An `executor` section times one denoising model call
+//!   the hot kernels (integer matmul at near-dense and exactly-dense
+//!   sparsity, the temporal-difference delta update at realistic
+//!   sparsity, f32 matmul, and f32 conv2d via im2col) at the UNet im2col
+//!   shapes plus the classic delta-update bench shape. The `simd` backend
+//!   is measured once per *available* SIMD level (rows labeled with the
+//!   resolved name, e.g. `simd:avx2` / `simd:sse2`, exercised via the
+//!   same level override `DITTO_SIMD_LEVEL` uses). Every backend is
+//!   asserted bit-identical to the scalar reference *before* it is
+//!   timed. An `executor` section times one denoising model call
 //!   per Table I benchmark under both the tree walker and the compiled
 //!   trace plan (`diffusion::plan`), with bit-identity asserted in setup.
 //! * **`BENCH_serve.json`** — loopback `ditto-serve` latency percentiles
@@ -45,7 +49,10 @@ use ditto_core::jsonio::{self, ToJson, Value};
 use quant::kernels::{delta_matmul_update_with, int_matmul_with, reference, widen};
 use serve::server::{spawn, ServerConfig};
 use serve::{Obs, SuiteApp};
-use tensor::ops::{matmul_scalar, matmul_with};
+use tensor::backend::{available_simd_levels, hw_simd_level, set_simd_level, SimdLevel};
+use tensor::ops::{
+    conv2d_direct, conv2d_uses_im2col, conv2d_with, matmul_scalar, matmul_with, Conv2dParams,
+};
 use tensor::{KernelBackend, Rng, Tensor};
 
 /// Schema tag stamped into both documents (bump on breaking changes; the
@@ -166,36 +173,89 @@ fn sparse_deltas(n: usize, rng: &mut Rng) -> Vec<i16> {
     (0..n).map(|_| if rng.next_f64() < 0.7 { 0 } else { rng.next_below(15) as i16 - 7 }).collect()
 }
 
+/// One measured point, pre-derivation. The speedup columns are computed
+/// once all rows exist (the tiled baseline for a shape may be measured
+/// after a SIMD level on a re-ordered config list).
+struct KernelRow {
+    kernel: &'static str,
+    shape: String,
+    backend: String,
+    gflops: f64,
+}
+
+/// The measured backend configurations: the two portable backends at the
+/// hardware SIMD level, then the `simd` backend once per *available*
+/// SIMD level (so an AVX2 host also measures and commits the SSE2 rows).
+/// Labels are resolved names (`simd:avx2`), matching the serve protocol.
+fn kernel_configs() -> Vec<(KernelBackend, SimdLevel, String)> {
+    let hw = hw_simd_level();
+    let mut configs = vec![
+        (KernelBackend::Scalar, hw, "scalar".to_string()),
+        (KernelBackend::Tiled, hw, "tiled".to_string()),
+    ];
+    for lvl in available_simd_levels() {
+        if lvl != SimdLevel::None {
+            configs.push((KernelBackend::Simd, lvl, format!("simd:{lvl}")));
+        }
+    }
+    configs
+}
+
+/// The measured conv2d shapes `(c_in, h, w, c_out, params)`: a ResNet
+/// 3×3 block body and a stride-2 downsampling conv, both big enough to
+/// take the im2col route (where the f32 SIMD matmul applies).
+const CONV_SHAPES: [(usize, usize, usize, usize, Conv2dParams); 2] = [
+    (8, 16, 16, 16, Conv2dParams { kernel: 3, stride: 1, padding: 1 }),
+    (16, 16, 16, 32, Conv2dParams { kernel: 3, stride: 2, padding: 1 }),
+];
+
+fn conv_shape_name(c_in: usize, h: usize, w: usize, c_out: usize, p: Conv2dParams) -> String {
+    format!("c{c_in}-{c_out}_{h}x{w}_k{}s{}", p.kernel, p.stride)
+}
+
 fn bench_kernels(min_ms: u64) -> Value {
     use std::hint::black_box;
-    let backends = KernelBackend::available();
-    let mut results: Vec<Value> = Vec::new();
+    let configs = kernel_configs();
+    let mut rows: Vec<KernelRow> = Vec::new();
     let mut rng = Rng::seed_from(11);
     for &(m, k, n) in &SHAPES {
         let shape = format!("{m}x{k}x{n}");
         let flops = (2 * m * k * n) as f64;
         let a = widen(&rand_i8(m * k, &mut rng));
+        // The dense-path probe: exactly 0% sparsity, so every row takes
+        // the register-resident dense kernel instead of the zero-skip
+        // scan (`a` itself has ~0.4% zeros — enough to be realistic for
+        // a first frame, mixed-path for the dispatcher).
+        let a_dense: Vec<i16> = a.iter().map(|&v| if v == 0 { 1 } else { v }).collect();
         let w = rand_i8(k * n, &mut rng);
         let deltas = sparse_deltas(m * k, &mut rng);
         let fa = Tensor::randn(&[m, k], &mut rng);
         let fb = Tensor::randn(&[k, n], &mut rng);
         // Scalar references: the identity oracle and the speedup baseline.
         let want_int = reference::int_matmul(&a, &w, m, k, n);
+        let want_dense = reference::int_matmul(&a_dense, &w, m, k, n);
         let want_delta = reference::delta_matmul_update(&want_int, &deltas, &w, m, k, n);
         let want_f32 = matmul_scalar(&fa, &fb).expect("scalar f32 matmul");
-        let mut scalar_gflops: Vec<(String, f64)> = Vec::new();
-        for &backend in &backends {
-            // Bit-identity asserted in setup: a backend that drifts from
-            // the scalar reference must never produce a perf number.
+        for (backend, level, label) in &configs {
+            let (backend, level) = (*backend, *level);
+            set_simd_level(level).expect("measured levels are hardware-supported");
+            // Bit-identity asserted in setup: a backend (at a SIMD level)
+            // that drifts from the scalar reference must never produce a
+            // perf number.
             assert_eq!(
                 int_matmul_with(backend, &a, &w, m, k, n),
                 want_int,
-                "{backend} int_matmul diverged from the scalar reference at {shape}"
+                "{label} int_matmul diverged from the scalar reference at {shape}"
+            );
+            assert_eq!(
+                int_matmul_with(backend, &a_dense, &w, m, k, n),
+                want_dense,
+                "{label} dense int_matmul diverged from the scalar reference at {shape}"
             );
             assert_eq!(
                 delta_matmul_update_with(backend, &want_int, &deltas, &w, m, k, n),
                 want_delta,
-                "{backend} delta_matmul_update diverged from the reference at {shape}"
+                "{label} delta_matmul_update diverged from the reference at {shape}"
             );
             let got_f32 = matmul_with(backend, &fa, &fb).expect("f32 matmul");
             assert!(
@@ -204,13 +264,26 @@ fn bench_kernels(min_ms: u64) -> Value {
                     .iter()
                     .zip(want_f32.as_slice())
                     .all(|(x, y)| x.to_bits() == y.to_bits()),
-                "{backend} f32 matmul diverged bitwise from the scalar reference at {shape}"
+                "{label} f32 matmul diverged bitwise from the scalar reference at {shape}"
             );
-            let points: [(&str, f64); 3] = [
+            let points: [(&'static str, f64); 4] = [
                 (
                     "int_matmul",
                     gflops(flops, min_ms, || {
                         black_box(int_matmul_with(backend, black_box(&a), black_box(&w), m, k, n));
+                    }),
+                ),
+                (
+                    "int_matmul_dense",
+                    gflops(flops, min_ms, || {
+                        black_box(int_matmul_with(
+                            backend,
+                            black_box(&a_dense),
+                            black_box(&w),
+                            m,
+                            k,
+                            n,
+                        ));
                     }),
                 ),
                 (
@@ -235,36 +308,103 @@ fn bench_kernels(min_ms: u64) -> Value {
                 ),
             ];
             for (kernel, gf) in points {
-                let baseline =
-                    scalar_gflops.iter().find(|(key, _)| key == kernel).map(|(_, base)| *base);
-                if backend == KernelBackend::Scalar {
-                    scalar_gflops.push((kernel.to_string(), gf));
-                }
-                results.push(obj(vec![
-                    ("kernel", Value::Str(kernel.to_string())),
-                    ("shape", Value::Str(shape.clone())),
-                    ("backend", Value::Str(backend.name().to_string())),
-                    ("gflops", Value::Num(gf)),
-                    ("speedup_vs_scalar", Value::Num(baseline.map_or(1.0, |base| gf / base))),
-                ]));
-                println!(
-                    "perfbench: {kernel:>20} {shape:>11} {:>6}: {gf:8.3} GFLOP/s",
-                    backend.name()
-                );
+                println!("perfbench: {kernel:>20} {shape:>16} {label:>9}: {gf:8.3} GFLOP/s");
+                rows.push(KernelRow {
+                    kernel,
+                    shape: shape.clone(),
+                    backend: label.clone(),
+                    gflops: gf,
+                });
             }
         }
     }
+    for &(c_in, h, w, c_out, params) in &CONV_SHAPES {
+        let shape = conv_shape_name(c_in, h, w, c_out, params);
+        assert!(
+            conv2d_uses_im2col(c_in, h, w, c_out, params),
+            "committed conv shapes must exercise the im2col (matmul) route"
+        );
+        let kk = params.kernel;
+        let (ho, wo) = (params.out_extent(h), params.out_extent(w));
+        let flops = (2 * c_out * ho * wo * c_in * kk * kk) as f64;
+        let input = Tensor::randn(&[c_in, h, w], &mut rng);
+        let weight = Tensor::randn(&[c_out, c_in, kk, kk], &mut rng);
+        let bias = Tensor::randn(&[c_out], &mut rng);
+        let want = conv2d_direct(&input, &weight, Some(&bias), params).expect("direct conv2d");
+        for (backend, level, label) in &configs {
+            let (backend, level) = (*backend, *level);
+            set_simd_level(level).expect("measured levels are hardware-supported");
+            let got = conv2d_with(backend, &input, &weight, Some(&bias), params).expect("conv2d");
+            assert!(
+                got.as_slice().iter().zip(want.as_slice()).all(|(x, y)| x.to_bits() == y.to_bits()),
+                "{label} conv2d diverged bitwise from the direct reference at {shape}"
+            );
+            let gf = gflops(flops, min_ms, || {
+                black_box(
+                    conv2d_with(
+                        backend,
+                        black_box(&input),
+                        black_box(&weight),
+                        Some(&bias),
+                        params,
+                    )
+                    .unwrap(),
+                );
+            });
+            println!("perfbench: {:>20} {shape:>16} {label:>9}: {gf:8.3} GFLOP/s", "conv2d_f32");
+            rows.push(KernelRow {
+                kernel: "conv2d_f32",
+                shape: shape.clone(),
+                backend: label.clone(),
+                gflops: gf,
+            });
+        }
+    }
+    set_simd_level(hw_simd_level()).expect("hardware level is always available");
+    // Derive the speedup columns against the portable baselines measured
+    // for the same (kernel, shape).
+    let baseline = |kernel: &str, shape: &str, backend: &str| {
+        rows.iter()
+            .find(|r| r.kernel == kernel && r.shape == shape && r.backend == backend)
+            .map(|r| r.gflops)
+            .expect("every (kernel, shape) measures every config")
+    };
+    let results: Vec<Value> = rows
+        .iter()
+        .map(|r| {
+            obj(vec![
+                ("kernel", Value::Str(r.kernel.to_string())),
+                ("shape", Value::Str(r.shape.clone())),
+                ("backend", Value::Str(r.backend.clone())),
+                ("gflops", Value::Num(r.gflops)),
+                (
+                    "speedup_vs_scalar",
+                    Value::Num(r.gflops / baseline(r.kernel, &r.shape, "scalar")),
+                ),
+                ("speedup_vs_tiled", Value::Num(r.gflops / baseline(r.kernel, &r.shape, "tiled"))),
+            ])
+        })
+        .collect();
     obj(vec![
         ("schema", Value::Str(SCHEMA.into())),
         ("kind", Value::Str("kernels".into())),
         ("units", Value::Str("gflops = 2*m*k*n ops / second / 1e9".into())),
         (
             "backends",
-            Value::Arr(backends.iter().map(|b| Value::Str(b.name().to_string())).collect()),
+            Value::Arr(configs.iter().map(|(_, _, label)| Value::Str(label.clone())).collect()),
         ),
         (
             "shapes",
             Value::Arr(SHAPES.iter().map(|(m, k, n)| Value::Str(format!("{m}x{k}x{n}"))).collect()),
+        ),
+        (
+            "conv_shapes",
+            Value::Arr(
+                CONV_SHAPES
+                    .iter()
+                    .map(|&(c, h, w, co, p)| Value::Str(conv_shape_name(c, h, w, co, p)))
+                    .collect(),
+            ),
         ),
         ("results", Value::Arr(results)),
         ("executor", Value::Arr(bench_executor(min_ms))),
