@@ -43,6 +43,7 @@
 
 use ditto_core::binio::{BinError, FromBin, Reader, ToBin};
 use ditto_core::jsonio::{FromJson, JsonError, ToJson, Value};
+use ditto_core::telemetry;
 use ditto_core::trace::WorkloadTrace;
 
 use crate::design::Design;
@@ -261,9 +262,26 @@ pub fn run_with_workers(spec: &SweepSpec<'_>, workers: usize) -> Result<SweepRep
     // fan out over the shared work-stealing pool; every result is computed
     // entirely on one thread, so the grid is bit-identical to the
     // sequential nested loop.
-    let gpu = pool::run_indexed(spec.traces.len(), workers, |m| simulate_gpu(spec.traces[m]));
+    // Telemetry spans are pure observers: the sweep span brackets the whole
+    // grid on the calling thread, each cell span brackets exactly one
+    // `simulate_cell` on whichever worker claimed it. With telemetry off
+    // every guard is `None` and no name string is ever formatted.
+    let _sweep = telemetry::on().then(|| {
+        telemetry::span("grid", format!("sweep:{}x{}", spec.designs.len(), spec.traces.len()))
+    });
+    let gpu = pool::run_indexed(spec.traces.len(), workers, |m| {
+        let _span = telemetry::on()
+            .then(|| telemetry::span("grid", format!("gpu:{}", spec.traces[m].model)));
+        simulate_gpu(spec.traces[m])
+    });
     let cells = pool::run_indexed(spec.cell_count(), workers, |i| {
         let (model, design) = (i / d, i % d);
+        let _span = telemetry::on().then(|| {
+            telemetry::span(
+                "grid",
+                format!("cell:{}:{}", spec.designs[design].name, spec.traces[model].model),
+            )
+        });
         let (run, speedup_vs_gpu) =
             simulate_cell(&spec.designs[design], spec.traces[model], &gpu[model]);
         CellResult { design, model, run, speedup_vs_gpu }

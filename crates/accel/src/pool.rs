@@ -16,6 +16,8 @@ use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 
+use ditto_core::telemetry;
+
 /// The default worker count: one per available core.
 pub fn default_workers() -> usize {
     std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
@@ -34,24 +36,40 @@ where
 {
     let workers = workers.clamp(1, jobs.max(1));
     if workers <= 1 || jobs <= 1 {
+        if jobs > 0 {
+            telemetry::counter("pool.run_indexed.jobs", jobs as u64);
+        }
         return (0..jobs).map(f).collect();
     }
     let mut slots: Vec<Option<T>> = (0..jobs).map(|_| None).collect();
     let next = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         let (tx, rx) = mpsc::channel();
-        for _ in 0..workers {
+        for w in 0..workers {
             let tx = tx.clone();
             let next = &next;
             let f = &f;
-            scope.spawn(move || loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= jobs {
-                    break;
+            scope.spawn(move || {
+                let mut claimed = 0u64;
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= jobs {
+                        break;
+                    }
+                    // A send only fails if the receiver is gone, which
+                    // would mean the collection loop below panicked
+                    // already.
+                    let _ = tx.send((i, f(i)));
+                    claimed += 1;
                 }
-                // A send only fails if the receiver is gone, which would
-                // mean the collection loop below panicked already.
-                let _ = tx.send((i, f(i)));
+                // The per-worker claim count is the work-stealing balance
+                // signal: a skewed distribution means some jobs dominated
+                // the sweep. One gate check + two sends per worker per
+                // sweep, nothing on the per-job path.
+                if telemetry::on() {
+                    telemetry::counter(&format!("pool.worker{w}.jobs"), claimed);
+                    telemetry::series("pool.jobs_per_worker", claimed);
+                }
             });
         }
         drop(tx);
@@ -59,6 +77,7 @@ where
             slots[i] = Some(result);
         }
     });
+    telemetry::counter("pool.run_indexed.jobs", jobs as u64);
     slots.into_iter().map(|r| r.expect("every job index ran")).collect()
 }
 
@@ -172,6 +191,7 @@ impl PriorityPool {
         let depth = state.queue.len();
         drop(state);
         self.shared.available.notify_one();
+        telemetry::series("pool.queue_depth", depth as u64);
         depth
     }
 

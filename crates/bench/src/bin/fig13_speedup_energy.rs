@@ -1,4 +1,9 @@
 //! Regenerates the paper experiment; see DESIGN.md §3.
 fn main() {
+    // Resolve telemetry before any compute so the probe gates are on.
+    ditto_core::telemetry::init();
     bench::experiments::fig13();
+    // Drain telemetry sinks (DITTO_OBS_STREAM / DITTO_TRACE_FILE) before
+    // exit so the stream and the catapult trace are complete on disk.
+    ditto_core::telemetry::flush();
 }

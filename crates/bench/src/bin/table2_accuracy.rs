@@ -1,6 +1,12 @@
 //! Regenerates Table II (proxy quality metrics); see DESIGN.md §1/§3.
 //! Pass a sample-count argument to change set sizes (default 3).
 fn main() {
+    // Resolve telemetry before the first plan executes so the plan-profiling
+    // probe gate is on for the whole run.
+    ditto_core::telemetry::init();
     let samples = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(3);
     bench::experiments::table2(samples);
+    // Drain telemetry sinks (DITTO_OBS_STREAM / DITTO_TRACE_FILE) before
+    // exit so the stream and the catapult trace are complete on disk.
+    ditto_core::telemetry::flush();
 }

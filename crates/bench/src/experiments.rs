@@ -16,18 +16,19 @@ use accel::drift::inject_drift;
 use accel::grid::SweepReport;
 use accel::sim::RunResult;
 use accel::HwConfig;
-use diffusion::{metrics, ModelKind, ModelScale};
+use diffusion::{metrics, ModelKind};
 use ditto_core::analysis;
 use ditto_core::runner::{build_quantizer, DittoHook, ExecPolicy};
 use ditto_core::trace::StatView;
 
 use crate::report::{banner, banner_str, f2, f3, pct, Table};
 use crate::suite::{build_model, cached_similarity, Suite, MODELS};
-use crate::sweep::{paper_sweep, sweep_traces};
+use crate::sweep::{experiment_scale, paper_sweep, sweep_traces};
 
-/// The warm suite at the experiment scale.
+/// The warm suite at the experiment scale (see
+/// [`experiment_scale`](crate::sweep::experiment_scale)).
 fn suite() -> &'static Suite {
-    Suite::shared(ModelScale::Small)
+    Suite::shared(experiment_scale())
 }
 
 /// Table I: evaluated models, datasets and samplers.

@@ -27,11 +27,14 @@ pub mod report;
 pub mod suite;
 
 pub use suite::{
-    cached_similarity, cached_trace, cached_trace_scaled, sweep_cache_dir, Suite, TraceSource,
-    CACHE_DIR_ENV, CACHE_MAX_BYTES_ENV, MODELS,
+    cached_similarity, cached_trace, cached_trace_scaled, sweep_cache_dir, sweep_cache_dir_for,
+    Suite, TraceSource, CACHE_DIR_ENV, CACHE_MAX_BYTES_ENV, MODELS,
 };
 pub mod ablations;
 pub mod experiments;
 pub mod sweep;
 
-pub use sweep::{paper_sweep, scale_name, sweep_traces, HitAccounting, ServeRequest, SweepRequest};
+pub use sweep::{
+    experiment_scale, paper_sweep, scale_name, sweep_traces, HitAccounting, ServeRequest,
+    SweepRequest,
+};

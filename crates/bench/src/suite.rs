@@ -23,12 +23,17 @@
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::sync::OnceLock;
+use std::time::Instant;
 
 use diffusion::{DiffusionModel, ModelKind, ModelScale};
 use ditto_core::binio::{BinError, FromBin, Reader, ToBin};
+use ditto_core::jsonio::Value;
 use ditto_core::runner::{trace_model, ExecPolicy};
 use ditto_core::similarity::{SimilarityHook, SimilarityReport};
+use ditto_core::telemetry;
 use ditto_core::trace::WorkloadTrace;
+
+use crate::sweep::{experiment_scale, scale_name};
 
 /// The Table I benchmark order.
 pub const MODELS: [ModelKind; 7] = [
@@ -82,13 +87,47 @@ fn touch(path: &Path) {
     }
 }
 
+/// One telemetry event per trace-cache acquisition: how the trace was
+/// obtained (`hit` / `migrated` / `traced`), for which model at which
+/// scale, and how long the decode (or fresh trace) took. Counters
+/// (`bench.trace_cache.*`) and a per-outcome timing series ride along so
+/// `obs-report` can show hit rates without replaying the stream.
+fn note_trace_cache(kind: ModelKind, scale: ModelScale, outcome: &str, started: Instant) {
+    if !telemetry::on() {
+        return;
+    }
+    let us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+    telemetry::event(
+        "trace_cache",
+        vec![
+            ("model", Value::Str(kind.abbr().to_string())),
+            ("scale", Value::Str(scale_name(scale).to_string())),
+            ("outcome", Value::Str(outcome.to_string())),
+            ("us", Value::Int(i128::from(us))),
+        ],
+    );
+    telemetry::counter(&format!("bench.trace_cache.{outcome}"), 1);
+    telemetry::series(&format!("bench.trace_{outcome}_us"), us);
+}
+
 /// Bounds the cache directory's `trace-*.bin` footprint to `max_bytes` by
 /// deleting the least-recently-used entries first (LRU by mtime: a cache
 /// *hit* re-stamps the entry's mtime via [`touch`], so the timestamp
 /// tracks last use, not creation). Other cache artifacts —
 /// `similarity-*.bin`, legacy `trace-*.json` — are never touched. Returns
-/// how many files were evicted.
+/// how many files were evicted. Evictions are unattributed on the event
+/// stream; suite loads go through [`sweep_cache_dir_for`] so each evicted
+/// file is charged to the scale whose load forced it out.
 pub fn sweep_cache_dir(dir: &Path, max_bytes: u64) -> usize {
+    sweep_cache_dir_for(dir, max_bytes, "unattributed")
+}
+
+/// [`sweep_cache_dir`] attributing each eviction to `requester` — the
+/// scale (or driver) whose load pushed the cache over the cap. Earlier
+/// revisions only printed the evicted path to stderr, so a tiny-scale
+/// sweep evicting small-scale entries was indistinguishable from the
+/// reverse; the `trace_cache_evict` events carry the requester explicitly.
+pub fn sweep_cache_dir_for(dir: &Path, max_bytes: u64, requester: &str) -> usize {
     let Ok(entries) = fs::read_dir(dir) else { return 0 };
     let mut traces: Vec<(PathBuf, u64, std::time::SystemTime)> = entries
         .flatten()
@@ -116,6 +155,21 @@ pub fn sweep_cache_dir(dir: &Path, max_bytes: u64) -> usize {
         match fs::remove_file(&path) {
             Ok(()) => {
                 eprintln!("[suite] cache over {max_bytes} B cap: evicted {}", path.display());
+                if telemetry::on() {
+                    let name = path.file_name().map_or_else(
+                        || path.display().to_string(),
+                        |n| n.to_string_lossy().into_owned(),
+                    );
+                    telemetry::event(
+                        "trace_cache_evict",
+                        vec![
+                            ("file", Value::Str(name)),
+                            ("bytes", Value::Int(i128::from(size))),
+                            ("requester", Value::Str(requester.to_string())),
+                        ],
+                    );
+                    telemetry::counter("bench.trace_cache.evict", 1);
+                }
                 total -= size;
                 evicted += 1;
             }
@@ -174,9 +228,10 @@ fn load_json<T: ditto_core::jsonio::FromJson>(dir: &Path, name: &str) -> Option<
     ditto_core::jsonio::from_slice(&bytes).ok()
 }
 
-/// Builds the model instance used throughout the experiments.
+/// Builds the model instance used throughout the experiments, at the
+/// experiment scale (see [`experiment_scale`]).
 pub fn build_model(kind: ModelKind) -> DiffusionModel {
-    DiffusionModel::build(kind, ModelScale::Small, WEIGHT_SEED)
+    DiffusionModel::build(kind, experiment_scale(), WEIGHT_SEED)
 }
 
 /// On-disk form of a cached trace: the fingerprint of the model definition
@@ -232,6 +287,7 @@ fn trace_in_dir(
     kind: ModelKind,
     scale: ModelScale,
 ) -> (WorkloadTrace, TraceSource, u64) {
+    let started = Instant::now();
     let stem = cache_stem("trace", kind, scale);
     let bin_name = format!("{stem}.bin");
     let model = DiffusionModel::build(kind, scale, WEIGHT_SEED);
@@ -240,9 +296,11 @@ fn trace_in_dir(
     if let Some(c) = load_bin::<CachedTrace>(dir, &bin_name) {
         if c.fingerprint == fingerprint {
             touch(&dir.join(&bin_name));
+            note_trace_cache(kind, scale, "hit", started);
             return (c.trace, TraceSource::BinCache, fingerprint);
         }
         saw_stale_bin = true;
+        telemetry::counter("bench.trace_cache.stale", 1);
         eprintln!(
             "[suite] cache {bin_name} was traced from a different {} definition \
              ({:016x} != {:016x}); re-tracing",
@@ -261,6 +319,7 @@ fn trace_in_dir(
         if let Some(t) = load_json::<WorkloadTrace>(dir, &format!("{stem}.json")) {
             let cached = CachedTrace { fingerprint, trace: t };
             store_bin(dir, &bin_name, &cached);
+            note_trace_cache(kind, scale, "migrated", started);
             return (cached.trace, TraceSource::JsonMigrated, fingerprint);
         }
     }
@@ -268,6 +327,7 @@ fn trace_in_dir(
     let (trace, _) = trace_model(&model, SAMPLE_SEED, ExecPolicy::Dense).expect("trace");
     let cached = CachedTrace { fingerprint, trace };
     store_bin(dir, &bin_name, &cached);
+    note_trace_cache(kind, scale, "traced", started);
     (cached.trace, TraceSource::Traced, fingerprint)
 }
 
@@ -288,7 +348,7 @@ pub fn cached_trace_scaled(kind: ModelKind, scale: ModelScale) -> (WorkloadTrace
 /// Returns the cached similarity report for `kind` (Fig. 3 / Fig. 4 data).
 pub fn cached_similarity(kind: ModelKind) -> SimilarityReport {
     let dir = cache_dir();
-    let stem = cache_stem("similarity", kind, ModelScale::Small);
+    let stem = cache_stem("similarity", kind, experiment_scale());
     let bin_name = format!("{stem}.bin");
     if let Some(r) = load_bin::<SimilarityReport>(&dir, &bin_name) {
         return r;
@@ -343,9 +403,14 @@ impl Suite {
     /// across CPU cores, and reports cache hits vs fresh traces plus any
     /// LRU evictions the [`CACHE_MAX_BYTES_ENV`] cap forced.
     pub fn load_scaled(scale: ModelScale) -> Self {
+        let _span =
+            telemetry::on().then(|| telemetry::span("bench", format!("suite_load:{scale:?}")));
         let dir = cache_dir();
         let mut suite = Self::load_in_dir(&dir, scale);
-        suite.evictions = sweep_cache_dir(&dir, cache_max_bytes());
+        // The sweep runs on behalf of *this* load, so its evictions are
+        // attributed to the requesting scale even when the files it
+        // removes belong to the other scale's namespace.
+        suite.evictions = sweep_cache_dir_for(&dir, cache_max_bytes(), scale_name(scale));
         eprintln!(
             "[suite] {} traces loaded: {} cache hit(s), {} freshly traced, {} evicted by size cap",
             suite.traces.len(),
@@ -353,6 +418,18 @@ impl Suite {
             suite.traces.len() - suite.cache_hits(),
             suite.evictions
         );
+        if telemetry::on() {
+            let int = |n: usize| Value::Int(n as i128);
+            telemetry::event(
+                "suite_load",
+                vec![
+                    ("scale", Value::Str(scale_name(scale).to_string())),
+                    ("hits", int(suite.cache_hits())),
+                    ("traced", int(suite.traces.len() - suite.cache_hits())),
+                    ("evicted", int(suite.evictions)),
+                ],
+            );
+        }
         suite
     }
 

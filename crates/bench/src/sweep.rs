@@ -70,10 +70,21 @@ impl SweepRequest {
     }
 }
 
+/// The scale the experiment drivers run at: the paper's `Small`, unless
+/// `DITTO_EXPERIMENT_SCALE=tiny` selects the cheap smoke scale (the CI
+/// telemetry smoke runs the fig13 sweep there so a cold trace pass stays
+/// fast). Any other value falls back to `Small`.
+pub fn experiment_scale() -> ModelScale {
+    match std::env::var("DITTO_EXPERIMENT_SCALE").as_deref() {
+        Ok("tiny") => ModelScale::Tiny,
+        _ => ModelScale::Small,
+    }
+}
+
 /// Runs `designs` over the whole Table I suite at the experiment scale —
 /// the shape every fig13–fig19 driver declares.
 pub fn paper_sweep(designs: Vec<Design>) -> SweepReport {
-    SweepRequest::new(designs, MODELS.to_vec(), ModelScale::Small)
+    SweepRequest::new(designs, MODELS.to_vec(), experiment_scale())
         .run()
         .expect("paper sweeps have non-empty axes and suite-validated traces")
 }

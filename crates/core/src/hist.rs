@@ -274,6 +274,46 @@ mod tests {
     }
 
     #[test]
+    fn merge_across_disjoint_bucket_ranges() {
+        // `a` lives entirely in the exact unit buckets, `b` entirely in the
+        // high log octaves — no bucket is touched by both, so the merge must
+        // splice the distributions rather than blend them.
+        let (mut a, mut b, mut all) =
+            (LogHistogram::new(), LogHistogram::new(), LogHistogram::new());
+        for v in 0..8u64 {
+            a.record(v);
+            all.record(v);
+        }
+        for i in 0..8u64 {
+            let v = 1_000_000 + i * 250_000;
+            b.record(v);
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+        assert_eq!(a.mean(), all.mean());
+        for p in [1.0, 25.0, 50.0, 75.0, 99.0, 100.0] {
+            assert_eq!(a.percentile(p), all.percentile(p));
+        }
+        // The low half still resolves exactly (unit buckets), the high half
+        // lands above every low sample: the split point is preserved.
+        assert!(a.percentile(50.0) <= 7);
+        assert!(a.percentile(75.0) >= 1_000_000);
+
+        // Merging into an empty histogram is identity in the other order.
+        let mut empty = LogHistogram::new();
+        empty.merge(&all);
+        assert_eq!(empty.count(), all.count());
+        assert_eq!(empty.min(), all.min());
+        assert_eq!(empty.max(), all.max());
+        for p in [10.0, 90.0] {
+            assert_eq!(empty.percentile(p), all.percentile(p));
+        }
+    }
+
+    #[test]
     fn summary_json_has_the_stable_keys() {
         let mut h = LogHistogram::new();
         h.record(5);

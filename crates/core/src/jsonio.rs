@@ -387,6 +387,12 @@ pub struct LineFramer {
     buf: Vec<u8>,
     /// Start of the first unconsumed byte in `buf`.
     start: usize,
+    /// `buf[start..scanned]` is known to hold no `\n`: an incremental
+    /// scan cursor, so a reactor polling [`next_line`](Self::next_line)
+    /// after every socket read pays O(new bytes) per call instead of
+    /// rescanning a long partial line from its beginning (quadratic on a
+    /// multi-megabyte request).
+    scanned: usize,
 }
 
 impl LineFramer {
@@ -402,8 +408,10 @@ impl LineFramer {
         if self.start > 0 && self.start == self.buf.len() {
             self.buf.clear();
             self.start = 0;
+            self.scanned = 0;
         } else if self.start > 4096 {
             self.buf.drain(..self.start);
+            self.scanned -= self.start;
             self.start = 0;
         }
         self.buf.extend_from_slice(bytes);
@@ -413,14 +421,18 @@ impl LineFramer {
     /// replaced rather than erroring (the JSON parser downstream rejects
     /// such lines with a proper error response).
     pub fn next_line(&mut self) -> Option<String> {
-        let rest = &self.buf[self.start..];
-        let nl = rest.iter().position(|&b| b == b'\n')?;
-        let mut line = &rest[..nl];
+        let Some(rel) = self.buf[self.scanned..].iter().position(|&b| b == b'\n') else {
+            self.scanned = self.buf.len();
+            return None;
+        };
+        let nl = self.scanned + rel;
+        let mut line = &self.buf[self.start..nl];
         if line.last() == Some(&b'\r') {
             line = &line[..line.len() - 1];
         }
         let text = String::from_utf8_lossy(line).into_owned();
-        self.start += nl + 1;
+        self.start = nl + 1;
+        self.scanned = self.start;
         Some(text)
     }
 
@@ -432,9 +444,10 @@ impl LineFramer {
 
     /// Whether a complete (newline-terminated) line is currently buffered
     /// — i.e. whether [`next_line`](Self::next_line) would return `Some`
-    /// without consuming anything.
+    /// without consuming anything. Skips the already-scanned prefix, so
+    /// this stays cheap on a stalled partial line too.
     pub fn has_line(&self) -> bool {
-        self.buf[self.start..].contains(&b'\n')
+        self.buf[self.scanned..].contains(&b'\n')
     }
 }
 
@@ -921,6 +934,32 @@ mod tests {
         assert_eq!(f.next_line(), None);
         f.push(b"\n");
         assert_eq!(f.next_line(), Some("tail".into()));
+    }
+
+    #[test]
+    fn line_framer_scan_cursor_survives_compaction_and_has_line() {
+        // A long partial line polled between every push: each next_line
+        // miss advances the scan cursor, and the newline is still found
+        // when it finally arrives (cursor never skips past unscanned
+        // bytes, including across the start>4096 drain compaction).
+        let mut f = LineFramer::new();
+        f.push(format!("{}\n", "a".repeat(8192)).as_bytes());
+        assert_eq!(f.next_line(), Some("a".repeat(8192)));
+        assert!(!f.has_line());
+        for _ in 0..64 {
+            f.push(&[b'b'; 1024]);
+            assert!(!f.has_line());
+            assert_eq!(f.next_line(), None);
+        }
+        f.push(b"\rtail"); // CR without LF is ordinary payload so far
+        assert_eq!(f.next_line(), None);
+        f.push(b"\nrest\n");
+        assert!(f.has_line());
+        let long = f.next_line().expect("completed long line");
+        assert_eq!(long.len(), 64 * 1024 + 5); // CR stripped only before LF
+        assert!(long.ends_with("tail"));
+        assert_eq!(f.next_line(), Some("rest".into()));
+        assert_eq!(f.buffered(), 0);
     }
 
     #[test]

@@ -26,6 +26,11 @@
 //! * [`hist`] / [`jsonl`] — the fixed-bucket log-scale histogram and the
 //!   background JSONL writer thread underpinning the serve observability
 //!   layer (`serve::obs`) and the `perfbench` perf artifacts.
+//! * [`telemetry`] — the whole-stack telemetry core: scoped spans,
+//!   counters, histogram series, per-opcode plan profiles and
+//!   kernel-dispatch counts drained from the compute crates, exported as
+//!   the shared `DITTO_OBS_STREAM` JSONL stream and a `DITTO_TRACE_FILE`
+//!   chrome://tracing (catapult) JSON trace.
 //!
 //! # Example
 //!
@@ -50,6 +55,7 @@ pub mod jsonio;
 pub mod jsonl;
 pub mod runner;
 pub mod similarity;
+pub mod telemetry;
 pub mod trace;
 
 pub use defo::{analyze, DefoStatic, Domain, LayerBoundary};

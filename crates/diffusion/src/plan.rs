@@ -35,6 +35,7 @@
 
 use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 use crate::executor::{
     add_bias2d_into, add_row_bias, concat_cols_into, gate_into, modulate_into, slice_cols_into,
@@ -387,6 +388,82 @@ pub enum OpCode {
     },
 }
 
+/// Stable profiling names for every [`OpCode`] kind, in declaration order.
+/// Indexed by [`OpCode::kind_index`]; the fixed arity lets the profiled
+/// interpreter accumulate per-kind totals in a flat array with no hashing
+/// on the hot path.
+pub const KIND_NAMES: [&str; 28] = [
+    "copy_latent",
+    "copy_context",
+    "write_t",
+    "timestep_embed",
+    "conv2d",
+    "conv2d_im2col",
+    "linear",
+    "matmul_qk",
+    "matmul_pv",
+    "group_norm",
+    "layer_norm",
+    "silu",
+    "gelu",
+    "sigmoid",
+    "softmax",
+    "add",
+    "mul",
+    "scale",
+    "modulate",
+    "gate",
+    "add_bias2d",
+    "transpose",
+    "avg_pool",
+    "slice_cols",
+    "concat_rows",
+    "concat_cols",
+    "upsample2x",
+    "unpatchify",
+];
+
+impl OpCode {
+    /// Index of this opcode's kind into [`KIND_NAMES`].
+    pub fn kind_index(&self) -> usize {
+        match self {
+            OpCode::CopyLatent => 0,
+            OpCode::CopyContext => 1,
+            OpCode::WriteT => 2,
+            OpCode::TimestepEmbed { .. } => 3,
+            OpCode::Conv2d { .. } => 4,
+            OpCode::Conv2dIm2col { .. } => 5,
+            OpCode::Linear { .. } => 6,
+            OpCode::MatmulQk { .. } => 7,
+            OpCode::MatmulPv { .. } => 8,
+            OpCode::GroupNorm { .. } => 9,
+            OpCode::LayerNorm { .. } => 10,
+            OpCode::Silu => 11,
+            OpCode::Gelu => 12,
+            OpCode::Sigmoid => 13,
+            OpCode::Softmax { .. } => 14,
+            OpCode::Add => 15,
+            OpCode::Mul => 16,
+            OpCode::Scale { .. } => 17,
+            OpCode::Modulate { .. } => 18,
+            OpCode::Gate { .. } => 19,
+            OpCode::AddBias2d { .. } => 20,
+            OpCode::Transpose { .. } => 21,
+            OpCode::AvgPool { .. } => 22,
+            OpCode::SliceCols { .. } => 23,
+            OpCode::ConcatRows { .. } => 24,
+            OpCode::ConcatCols { .. } => 25,
+            OpCode::Upsample2x { .. } => 26,
+            OpCode::Unpatchify { .. } => 27,
+        }
+    }
+
+    /// Stable profiling name for this opcode's kind.
+    pub fn kind_name(&self) -> &'static str {
+        KIND_NAMES[self.kind_index()]
+    }
+}
+
 /// Max operand count of any [`LayerOp`] (Modulate).
 const MAX_ARITY: usize = 3;
 
@@ -715,11 +792,40 @@ impl TracePlan {
         let kb = backend::active();
         let buf = arena.buf.as_mut_slice();
 
-        for op in &self.ops {
-            exec_op(op, graph, bindings, kb, buf)?;
+        if profiling_enabled() {
+            self.execute_ops_profiled(graph, bindings, kb, buf)?;
+        } else {
+            for op in &self.ops {
+                exec_op(op, graph, bindings, kb, buf)?;
+            }
         }
         let out = &buf[self.out.off..self.out.end()];
         Tensor::from_vec(out.to_vec(), &self.out_dims)
+    }
+
+    /// The interpreter loop with per-opcode-kind timing folded into the
+    /// process-wide exec registry. Runs exactly the same `exec_op` calls in
+    /// the same order as the unprofiled loop, so results stay bit-identical;
+    /// timing is observed around each call, never inside it.
+    fn execute_ops_profiled(
+        &self,
+        graph: &LayerGraph,
+        bindings: &Bindings<'_>,
+        kb: backend::KernelBackend,
+        buf: &mut [f32],
+    ) -> Result<()> {
+        let step_start = Instant::now();
+        let mut kinds = [KindAccum { calls: 0, ns: 0, bytes: 0 }; KIND_NAMES.len()];
+        for op in &self.ops {
+            let t0 = Instant::now();
+            exec_op(op, graph, bindings, kb, buf)?;
+            let acc = &mut kinds[op.code.kind_index()];
+            acc.calls += 1;
+            acc.ns += t0.elapsed().as_nanos() as u64;
+            acc.bytes += (op.out.len * 4) as u64;
+        }
+        record_exec_step(self.digest, self.arena_len, step_start, &kinds);
+        Ok(())
     }
 }
 
@@ -1206,6 +1312,184 @@ pub fn drain_compile_events() -> Vec<CompileEvent> {
     std::mem::take(&mut *g)
 }
 
+// ---------------------------------------------------------------------------
+// Execute profiling registry (the `PlanProfile` side of the telemetry layer).
+// ---------------------------------------------------------------------------
+
+/// Gate for the profiled interpreter loop. Off by default: the only cost the
+/// unprofiled path pays is this one relaxed load + branch per `execute`.
+static PROFILING: AtomicBool = AtomicBool::new(false);
+
+/// Turns per-opcode execute profiling on or off process-wide. Profiling
+/// never changes results — the profiled loop runs the identical `exec_op`
+/// sequence and only observes wall-clock around each call.
+pub fn set_profiling(on: bool) {
+    PROFILING.store(on, Ordering::Relaxed);
+}
+
+/// Whether the profiled interpreter loop is active.
+#[inline]
+pub fn profiling_enabled() -> bool {
+    PROFILING.load(Ordering::Relaxed)
+}
+
+/// Per-kind accumulator cell used by the profiled loop and the registry.
+#[derive(Debug, Clone, Copy)]
+struct KindAccum {
+    calls: u64,
+    ns: u64,
+    bytes: u64,
+}
+
+/// Aggregated time/byte attribution for one opcode kind of one plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpKindProfile {
+    /// Kind name from [`KIND_NAMES`].
+    pub kind: &'static str,
+    /// `exec_op` invocations.
+    pub calls: u64,
+    /// Total wall-clock nanoseconds across those calls.
+    pub ns: u64,
+    /// Total output bytes written (`out.len · 4` per call).
+    pub bytes: u64,
+}
+
+/// Everything the profiled interpreter learned about one compiled plan:
+/// how many steps ran, their total latency, the arena high-water mark, and
+/// the per-opcode-kind time/byte split.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanProfile {
+    /// Structure digest of the profiled plan (joins with compile events).
+    pub digest: u64,
+    /// Forward passes folded into this profile.
+    pub steps: u64,
+    /// Total wall-clock nanoseconds across those passes.
+    pub total_ns: u64,
+    /// Largest arena (in `f32` elements) any profiled step resized to.
+    pub arena_f32: usize,
+    /// Per-kind attribution, declaration order, zero-call kinds omitted.
+    pub by_kind: Vec<OpKindProfile>,
+}
+
+/// One profiled forward pass, for span export (chrome://tracing).
+#[derive(Debug, Clone, Copy)]
+pub struct ExecSpan {
+    /// Plan digest the step executed.
+    pub digest: u64,
+    /// Monotonic start of the pass.
+    pub start: Instant,
+    /// Pass duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Small dense id of the executing thread — steps from one worker are
+    /// sequential, so exporters can lay spans out per thread without
+    /// false overlaps. The id space is this module's own (the telemetry
+    /// layer offsets it into its trace `tid` space).
+    pub tid: u64,
+}
+
+/// Dense per-thread id for [`ExecSpan::tid`].
+fn exec_tid() -> u64 {
+    use std::sync::atomic::AtomicU64;
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static TID: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    TID.with(|t| *t)
+}
+
+/// Newest per-step spans kept between drains; profiles aggregate forever
+/// (one slot per digest), so only the span list needs a cap.
+const MAX_EXEC_SPANS: usize = 4096;
+
+struct ProfAccum {
+    digest: u64,
+    steps: u64,
+    total_ns: u64,
+    arena_f32: usize,
+    kinds: [KindAccum; KIND_NAMES.len()],
+}
+
+struct ExecRegistry {
+    profiles: Vec<ProfAccum>,
+    spans: Vec<ExecSpan>,
+    spans_dropped: u64,
+}
+
+static EXEC: Mutex<ExecRegistry> =
+    Mutex::new(ExecRegistry { profiles: Vec::new(), spans: Vec::new(), spans_dropped: 0 });
+
+/// Drained snapshot of the execute-profiling registry.
+#[derive(Debug)]
+pub struct ExecTelemetry {
+    /// One aggregated profile per plan digest seen since the last drain.
+    pub profiles: Vec<PlanProfile>,
+    /// Per-step spans, oldest first (capped at [`MAX_EXEC_SPANS`]).
+    pub spans: Vec<ExecSpan>,
+    /// Spans discarded because the cap was hit between drains.
+    pub spans_dropped: u64,
+}
+
+fn record_exec_step(digest: u64, arena_f32: usize, start: Instant, kinds: &[KindAccum]) {
+    let dur_ns = start.elapsed().as_nanos() as u64;
+    let mut g = EXEC.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let prof = match g.profiles.iter_mut().find(|p| p.digest == digest) {
+        Some(p) => p,
+        None => {
+            g.profiles.push(ProfAccum {
+                digest,
+                steps: 0,
+                total_ns: 0,
+                arena_f32: 0,
+                kinds: [KindAccum { calls: 0, ns: 0, bytes: 0 }; KIND_NAMES.len()],
+            });
+            g.profiles.last_mut().unwrap()
+        }
+    };
+    prof.steps += 1;
+    prof.total_ns += dur_ns;
+    prof.arena_f32 = prof.arena_f32.max(arena_f32);
+    for (acc, k) in prof.kinds.iter_mut().zip(kinds) {
+        acc.calls += k.calls;
+        acc.ns += k.ns;
+        acc.bytes += k.bytes;
+    }
+    if g.spans.len() < MAX_EXEC_SPANS {
+        g.spans.push(ExecSpan { digest, start, dur_ns, tid: exec_tid() });
+    } else {
+        g.spans_dropped += 1;
+    }
+}
+
+/// Takes everything the profiled interpreter has recorded since the last
+/// drain. Cheap when profiling never ran (two empty `Vec`s).
+pub fn drain_exec_telemetry() -> ExecTelemetry {
+    let mut g = EXEC.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let profiles = std::mem::take(&mut g.profiles)
+        .into_iter()
+        .map(|p| PlanProfile {
+            digest: p.digest,
+            steps: p.steps,
+            total_ns: p.total_ns,
+            arena_f32: p.arena_f32,
+            by_kind: p
+                .kinds
+                .iter()
+                .enumerate()
+                .filter(|(_, k)| k.calls > 0)
+                .map(|(i, k)| OpKindProfile {
+                    kind: KIND_NAMES[i],
+                    calls: k.calls,
+                    ns: k.ns,
+                    bytes: k.bytes,
+                })
+                .collect(),
+        })
+        .collect();
+    let spans = std::mem::take(&mut g.spans);
+    let spans_dropped = std::mem::take(&mut g.spans_dropped);
+    ExecTelemetry { profiles, spans, spans_dropped }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1307,6 +1591,58 @@ mod tests {
         }
         g.set_output(cur);
         g
+    }
+
+    #[test]
+    fn kind_names_are_unique() {
+        for (i, a) in KIND_NAMES.iter().enumerate() {
+            for b in &KIND_NAMES[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn exec_profiling_is_gated_and_attributes_kinds() {
+        // Depth 7 is used by no other executing test, so the digest is ours
+        // alone even though the registry is process-wide.
+        let g = chain_graph(7);
+        let latent = Tensor::from_vec(vec![0.5; 16], &[4, 4]).unwrap();
+        let bindings = Bindings { latent: &latent, context: None, t: 1.0 };
+        let plan = TracePlan::compile(&g, &[4, 4], None).unwrap();
+        let digest = plan.digest();
+        let mut arena = PlanArena::new();
+
+        // Gated off: an execute leaves no trace in the registry.
+        set_profiling(false);
+        drain_exec_telemetry();
+        let baseline = plan.execute(&g, &bindings, &mut arena).unwrap();
+        let quiet = drain_exec_telemetry();
+        assert!(quiet.profiles.iter().all(|p| p.digest != digest));
+        assert!(quiet.spans.iter().all(|s| s.digest != digest));
+
+        // Enabled: two steps fold into one profile, bit-identical output.
+        set_profiling(true);
+        let a = plan.execute(&g, &bindings, &mut arena).unwrap();
+        let b = plan.execute(&g, &bindings, &mut arena).unwrap();
+        set_profiling(false);
+        assert_eq!(a.as_slice(), baseline.as_slice());
+        assert_eq!(b.as_slice(), baseline.as_slice());
+
+        let t = drain_exec_telemetry();
+        let p = t.profiles.iter().find(|p| p.digest == digest).expect("profile recorded");
+        assert!(p.steps >= 2);
+        assert_eq!(p.arena_f32, plan.arena_len());
+        let silu = p.by_kind.iter().find(|k| k.kind == "silu").expect("silu attributed");
+        assert!(silu.calls >= 14, "7 silu ops × 2 steps, got {}", silu.calls);
+        assert_eq!(silu.bytes, silu.calls * 16 * 4);
+        let copy = p.by_kind.iter().find(|k| k.kind == "copy_latent").expect("input attributed");
+        assert!(copy.calls >= 2);
+        let kind_ns: u64 = p.by_kind.iter().map(|k| k.ns).sum();
+        assert!(kind_ns <= p.total_ns, "per-kind time cannot exceed step total");
+        assert!(t.spans.iter().filter(|s| s.digest == digest).count() >= 2);
+        let span_ns: u64 = t.spans.iter().filter(|s| s.digest == digest).map(|s| s.dur_ns).sum();
+        assert!(span_ns <= p.total_ns || p.steps > 2);
     }
 
     fn attention_graph() -> LayerGraph {

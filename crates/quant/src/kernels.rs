@@ -180,6 +180,7 @@ pub fn int_matmul_with(
 ) -> Vec<i32> {
     assert_eq!(a.len(), m * k, "activation length");
     assert_eq!(w.len(), k * n, "weight length");
+    backend::count_dispatch(backend::DispatchKernel::IntMatmul, backend);
     let mut out = vec![0i32; m * n];
     accumulate_i8(backend, &mut out, a, w, m, k, n);
     out
@@ -230,6 +231,7 @@ pub fn delta_matmul_update_with(
     assert_eq!(prev_out.len(), m * n, "previous output length");
     assert_eq!(delta.len(), m * k, "delta length");
     assert_eq!(w.len(), k * n, "weight length");
+    backend::count_dispatch(backend::DispatchKernel::DeltaMatmulUpdate, backend);
     let mut out = prev_out.to_vec();
     accumulate_i8(backend, &mut out, delta, w, m, k, n);
     out
@@ -286,6 +288,7 @@ pub fn attention_delta_scores_with(
     assert_eq!(dq.len(), m * d);
     assert_eq!(k_prev_t.len(), d * n);
     assert_eq!(dk_t.len(), d * n);
+    backend::count_dispatch(backend::DispatchKernel::AttentionDeltaScores, backend);
     let mut out = prev_scores.to_vec();
     // Q_t · ΔK^T
     accumulate_i16(backend, &mut out, q_t, dk_t, m, d, n);
@@ -315,6 +318,7 @@ pub fn int_scores_with(
 ) -> Vec<i32> {
     assert_eq!(q.len(), m * d);
     assert_eq!(k_t.len(), d * n);
+    backend::count_dispatch(backend::DispatchKernel::IntScores, backend);
     let mut out = vec![0i32; m * n];
     accumulate_i16(backend, &mut out, q, k_t, m, d, n);
     out

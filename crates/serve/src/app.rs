@@ -66,6 +66,11 @@ impl App for SuiteApp {
                 return self.fail(&id, started, &e);
             }
         };
+        // One span per request on its handler thread: parse → suite →
+        // schedule → render, the socket-side anchor the per-cell sched/sim
+        // spans nest under in the trace timeline.
+        let _req_span = ditto_core::telemetry::on()
+            .then(|| ditto_core::telemetry::span("serve", format!("request:{}", req.id)));
         // Kernel-backend override first, so any tracing this request
         // triggers runs on the requested backend. Purely a perf knob:
         // results (and memo keys) are backend-invariant.

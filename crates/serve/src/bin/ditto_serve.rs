@@ -32,7 +32,13 @@
 //!   (default: unbounded); evictions are reported per response.
 //! * `DITTO_OBS_STREAM` — path for the per-request/per-cell JSONL
 //!   observability event stream (off by default; see the README
-//!   "Observability" section for the event schema).
+//!   "Observability" section for the event schema). Serve events share
+//!   the process-wide `ditto_core::telemetry` writer and clock, so
+//!   compute-stack spans interleave in the same file.
+//! * `DITTO_TRACE_FILE` — path for a Chrome trace-event (catapult) JSON
+//!   of every span (scheduler wait/sim, pool jobs, suite loads, plan
+//!   steps), checkpointed atomically on the writer's idle cadence;
+//!   open in `chrome://tracing` or Perfetto.
 //! * `DITTO_OBS_SUMMARY` — path for the checkpointed end-of-run
 //!   `summary.json` aggregate (latency percentiles, memo hit rate,
 //!   backpressure counts).

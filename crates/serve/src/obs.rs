@@ -5,14 +5,17 @@
 //! unmeasurably cheap when nobody is watching:
 //!
 //! * **`DITTO_OBS_STREAM=<path>`** — a per-request/per-cell JSONL event
-//!   stream: connection accept/drop, request accept/parse/complete, cell
-//!   memo hit/coalesce/enqueue (with the priority-pool queue depth
-//!   observed atomically at enqueue)/done (with scheduling-wait and
-//!   simulation latencies), memo evictions, and `max_pending_per_conn`
-//!   backpressure stalls with their reason. Producers render a line and
-//!   hand it to a [`ditto_core::jsonl::JsonlWriter`] channel; one writer
-//!   thread owns the file, flushing whenever the stream goes idle so
-//!   `tail -f` follows along live.
+//!   stream: connection accept/drop, request accept/parse/complete,
+//!   per-connection write-buffer depth, cell memo hit/coalesce/enqueue
+//!   (with the priority-pool queue depth observed atomically at
+//!   enqueue)/done (with scheduling-wait and simulation latencies), memo
+//!   evictions, and `max_pending_per_conn` backpressure stalls with their
+//!   reason. The stream file is owned by the process-wide
+//!   [`ditto_core::telemetry`] handle (which reads the same variable):
+//!   obs events share its writer thread and `t_us` epoch, so serve events
+//!   interleave with compute-stack spans and plan profiles on one clock
+//!   in one file, flushed whenever the stream goes idle so `tail -f`
+//!   follows along live.
 //! * **`DITTO_OBS_SUMMARY=<path>`** — an end-of-run `summary.json`
 //!   aggregate (request/cell counts, memo hit rate, and latency
 //!   histograms with p50/p90/p99 from the fixed-bucket log-scale
@@ -38,6 +41,7 @@ use std::time::Instant;
 use ditto_core::hist::LogHistogram;
 use ditto_core::jsonio::{self, ToJson, Value};
 use ditto_core::jsonl::{write_atomic, JsonlWriter};
+use ditto_core::telemetry::{self, Telemetry};
 
 /// Emits a stderr diagnostic only when the obs handle's log flag
 /// (`DITTO_SERVE_LOG`) is set — the format arguments are not even
@@ -158,13 +162,30 @@ fn obj(fields: Vec<(&str, Value)>) -> Value {
 // Obs handle
 // --------------------------------------------------------------------------
 
+/// Where rendered event lines go. Since the telemetry core landed
+/// (`ditto_core::telemetry`), the obs stream is the *same* JSONL stream
+/// the compute-stack spans and plan profiles land in: one writer thread,
+/// one file, one timebase.
+enum Sink {
+    /// Shares a [`Telemetry`] writer thread — the env-configured global
+    /// (`DITTO_OBS_STREAM`), or a private handle owning this `Obs`'s
+    /// stream file (explicit test handles). Lines are stamped with the
+    /// telemetry epoch so obs and telemetry events interleave on one
+    /// clock; the summary checkpoint rides the telemetry idle cadence.
+    Telemetry(Arc<Telemetry>),
+    /// Owns a bare writer thread with no stream file — summary-only mode,
+    /// where the thread exists purely for the idle checkpoint cadence.
+    Own(JsonlWriter),
+    /// No export at all: aggregates fold in memory and are read back via
+    /// [`Obs::summary_json`] (the `perfbench` serve harness).
+    Null,
+}
+
 /// The enabled interior: event sink, aggregate fold, and the summary
 /// checkpoint target. Present only when at least one artifact was asked
 /// for.
 struct ObsInner {
-    /// Owns the writer thread; dropped last so the final drain + summary
-    /// checkpoint happen before `Obs` is gone.
-    writer: JsonlWriter,
+    sink: Sink,
     agg: Arc<Mutex<Aggregates>>,
     start: Instant,
 }
@@ -207,50 +228,85 @@ impl Obs {
 
     /// Reads `DITTO_OBS_STREAM`, `DITTO_OBS_SUMMARY`, and
     /// `DITTO_SERVE_LOG` (set and non-empty ⇒ on).
+    ///
+    /// `DITTO_OBS_STREAM` is owned by the process-wide
+    /// [`ditto_core::telemetry::global`] handle (which reads the same
+    /// variable): when that handle is enabled, obs events share its
+    /// writer thread, its stream file, and its `t_us` epoch — so serve
+    /// events and compute-stack spans interleave on one clock — and the
+    /// summary checkpoint rides its idle cadence.
     pub fn from_env() -> Obs {
         let path = |k: &str| std::env::var(k).ok().filter(|v| !v.is_empty()).map(PathBuf::from);
-        Obs::to_files(
-            path("DITTO_OBS_STREAM").as_deref(),
-            path("DITTO_OBS_SUMMARY").as_deref(),
-            std::env::var("DITTO_SERVE_LOG").is_ok_and(|v| !v.is_empty()),
-        )
+        let log = std::env::var("DITTO_SERVE_LOG").is_ok_and(|v| !v.is_empty());
+        let summary = path("DITTO_OBS_SUMMARY");
+        let tel = telemetry::global();
+        if tel.enabled() && (tel.has_stream() || summary.is_some()) {
+            return Obs::over_telemetry(Arc::clone(tel), summary.as_deref(), log);
+        }
+        // Telemetry disabled (or trace-only with no summary asked for):
+        // fall back to summary-only mode, or fully disabled.
+        Obs::to_files(None, summary.as_deref(), log)
+    }
+
+    /// An enabled handle folding aggregates in memory only: no writer
+    /// thread, no files, the summary read back via
+    /// [`summary_json`](Self::summary_json). The `perfbench` serve harness
+    /// uses this to extract scheduling-wait vs simulation-latency
+    /// breakdowns without touching the filesystem.
+    pub fn in_memory() -> Obs {
+        Obs {
+            inner: Some(ObsInner {
+                sink: Sink::Null,
+                agg: Arc::new(Mutex::new(Aggregates::default())),
+                start: Instant::now(),
+            }),
+            log: false,
+        }
+    }
+
+    /// An enabled handle writing through an existing [`Telemetry`] handle,
+    /// checkpointing `summary` (if any) on its idle cadence.
+    fn over_telemetry(tel: Arc<Telemetry>, summary: Option<&Path>, log: bool) -> Obs {
+        let agg = Arc::new(Mutex::new(Aggregates::default()));
+        if let Some(path) = summary {
+            let path = path.to_path_buf();
+            let hook_agg = Arc::clone(&agg);
+            tel.on_idle(move || checkpoint_summary(&path, &hook_agg));
+        }
+        Obs {
+            inner: Some(ObsInner { sink: Sink::Telemetry(tel), agg, start: Instant::now() }),
+            log,
+        }
     }
 
     /// An explicit handle: `stream` receives the JSONL event stream,
     /// `summary` the checkpointed aggregate document, `log` gates
     /// [`diag!`]. Both `None` ⇒ disabled (no writer thread at all).
     ///
-    /// File-creation failures are reported once on stderr and degrade to
-    /// disabled rather than killing the server.
+    /// With a stream path the handle owns a private [`Telemetry`] writing
+    /// to that file, so explicit handles exercise the same shared-writer
+    /// path production uses. File-creation failures are reported once on
+    /// stderr and degrade to disabled rather than killing the server.
     pub fn to_files(stream: Option<&Path>, summary: Option<&Path>, log: bool) -> Obs {
         if stream.is_none() && summary.is_none() {
             return Obs { inner: None, log };
         }
-        let file = match stream {
-            None => None,
-            Some(p) => match std::fs::File::create(p) {
-                Ok(f) => Some(f),
-                Err(e) => {
-                    eprintln!("[ditto-serve] obs: cannot create stream {}: {e}", p.display());
-                    None
-                }
-            },
-        };
-        if file.is_none() && summary.is_none() {
-            return Obs { inner: None, log };
-        }
-        let agg = Arc::new(Mutex::new(Aggregates::default()));
-        let checkpoint = summary.map(Path::to_path_buf);
-        let hook_agg = Arc::clone(&agg);
-        let writer = JsonlWriter::spawn(file, move || {
-            if let Some(path) = checkpoint.as_ref() {
-                let doc = hook_agg.lock().expect("obs aggregates").to_summary_json();
-                if let Err(e) = write_atomic(path, &jsonio::to_vec_pretty(&doc)) {
-                    eprintln!("[ditto-serve] obs: summary checkpoint failed: {e}");
-                }
+        if stream.is_some() {
+            let tel = Arc::new(Telemetry::to_files(stream, None));
+            if tel.has_stream() {
+                return Obs::over_telemetry(tel, summary, log);
             }
-        });
-        Obs { inner: Some(ObsInner { writer, agg, start: Instant::now() }), log }
+            // Stream creation failed (already reported); degrade.
+            if summary.is_none() {
+                return Obs { inner: None, log };
+            }
+        }
+        // Summary-only: a bare writer thread provides the idle cadence.
+        let agg = Arc::new(Mutex::new(Aggregates::default()));
+        let checkpoint = summary.expect("reachable only with a summary path").to_path_buf();
+        let hook_agg = Arc::clone(&agg);
+        let writer = JsonlWriter::spawn(None, move || checkpoint_summary(&checkpoint, &hook_agg));
+        Obs { inner: Some(ObsInner { sink: Sink::Own(writer), agg, start: Instant::now() }), log }
     }
 
     /// Whether events are being recorded at all. Instrumentation points
@@ -267,19 +323,32 @@ impl Obs {
         self.log
     }
 
-    /// Microseconds since this handle was created — the `t_us` stamp on
-    /// every event (0 when disabled; don't call it then).
+    /// Microseconds for the `t_us` stamp: the shared telemetry epoch when
+    /// riding a telemetry writer (one clock across obs + compute events),
+    /// otherwise this handle's creation time.
     fn now_us(inner: &ObsInner) -> u64 {
-        u64::try_from(inner.start.elapsed().as_micros()).unwrap_or(u64::MAX)
+        match &inner.sink {
+            Sink::Telemetry(tel) => tel.epoch_us(Instant::now()),
+            Sink::Own(_) | Sink::Null => {
+                u64::try_from(inner.start.elapsed().as_micros()).unwrap_or(u64::MAX)
+            }
+        }
     }
 
     fn emit(inner: &ObsInner, event: &str, mut fields: Vec<(&str, Value)>) {
+        if matches!(inner.sink, Sink::Null) {
+            return;
+        }
         let mut all = Vec::with_capacity(fields.len() + 2);
         all.push(("event", Value::Str(event.to_string())));
         all.push(("t_us", Self::now_us(inner).to_json()));
         all.append(&mut fields);
-        let line = jsonio::to_vec(&obj(all));
-        inner.writer.write(String::from_utf8(line).expect("jsonio writes UTF-8"));
+        let line = String::from_utf8(jsonio::to_vec(&obj(all))).expect("jsonio writes UTF-8");
+        match &inner.sink {
+            Sink::Telemetry(tel) => tel.write_line(line),
+            Sink::Own(writer) => writer.write(line),
+            Sink::Null => unreachable!("filtered above"),
+        }
     }
 
     // -- connection / request events (server + app layers) -----------------
@@ -367,6 +436,17 @@ impl Obs {
                 ("cells", cells),
             ],
         );
+    }
+
+    /// The reactor buffered or drained response bytes for a connection:
+    /// `depth` is the bytes still unwritten after the operation. Emitted
+    /// when a response is appended to the write buffer (depth grows while
+    /// the peer reads slowly) and after each socket flush (depth falls
+    /// back to zero as the peer drains). Stream-only: depth is a
+    /// per-moment gauge, not a summable aggregate.
+    pub fn conn_wbuf(&self, conn: u64, depth: usize) {
+        let Some(inner) = self.inner.as_ref() else { return };
+        Self::emit(inner, "conn_wbuf", vec![("conn", conn.to_json()), ("depth", depth.to_json())]);
     }
 
     /// The reactor stalled or dropped a connection for `reason`
@@ -502,6 +582,15 @@ impl Obs {
     }
 }
 
+/// Atomically rewrites `summary.json` from the current aggregates — the
+/// idle-cadence hook shared by every sink that checkpoints a summary.
+fn checkpoint_summary(path: &Path, agg: &Mutex<Aggregates>) {
+    let doc = agg.lock().expect("obs aggregates").to_summary_json();
+    if let Err(e) = write_atomic(path, &jsonio::to_vec_pretty(&doc)) {
+        eprintln!("[ditto-serve] obs: summary checkpoint failed: {e}");
+    }
+}
+
 fn cell_fields(design: &str, model: &str, scale: &str) -> Vec<(&'static str, Value)> {
     vec![
         ("design", Value::Str(design.to_string())),
@@ -626,6 +715,21 @@ mod tests {
         let lat = requests.get("latency_us").unwrap();
         assert_eq!(lat.get("count").unwrap(), &Value::Int(1));
         std::fs::remove_file(&summary).unwrap();
+    }
+
+    #[test]
+    fn in_memory_handle_folds_aggregates_without_files() {
+        let obs = Obs::in_memory();
+        assert!(obs.enabled());
+        obs.cell_enqueued("D", "M", "tiny", 0, 2);
+        obs.cell_done("D", "M", "tiny", 40, 900, true);
+        obs.conn_wbuf(0, 128); // stream-only: folds nothing, writes nowhere
+        let doc = obs.summary_json().unwrap();
+        let cells = doc.get("cells").unwrap();
+        assert_eq!(cells.get("simulated").unwrap(), &Value::Int(1));
+        assert_eq!(cells.get("sched_wait_us").unwrap().get("count").unwrap(), &Value::Int(1));
+        assert_eq!(cells.get("sim_us").unwrap().get("max").unwrap(), &Value::Int(900));
+        assert_eq!(doc.get("queue_depth").unwrap().get("max").unwrap(), &Value::Int(2));
     }
 
     #[test]

@@ -533,6 +533,7 @@ impl Scheduler {
                                     .map_err(panic_message)
                                 }
                             };
+                            let sim = sim_started.elapsed();
                             match &value {
                                 Ok(_) => {
                                     shared.cells_simulated.fetch_add(1, Ordering::Relaxed);
@@ -542,13 +543,30 @@ impl Scheduler {
                                 // current waiters see the error.
                                 Err(_) => shared.cells.remove(&cell_key),
                             }
+                            // Retroactive trace spans: the worker is the
+                            // first place both the queued wait and the
+                            // simulation latency are known.
+                            if ditto_core::telemetry::on() {
+                                let label = format!("{}:{}", cell_key.design, cell_key.model);
+                                ditto_core::telemetry::record_span(
+                                    "sched",
+                                    &format!("wait:{label}"),
+                                    enqueued_at,
+                                    sched_wait,
+                                );
+                                ditto_core::telemetry::record_span(
+                                    "sched",
+                                    &format!("sim:{label}"),
+                                    sim_started,
+                                    sim,
+                                );
+                            }
                             shared.obs.cell_done(
                                 &cell_key.design,
                                 &cell_key.model,
                                 &cell_key.scale,
                                 u64::try_from(sched_wait.as_micros()).unwrap_or(u64::MAX),
-                                u64::try_from(sim_started.elapsed().as_micros())
-                                    .unwrap_or(u64::MAX),
+                                u64::try_from(sim.as_micros()).unwrap_or(u64::MAX),
                                 value.is_ok(),
                             );
                             job_slot.fulfill(value);

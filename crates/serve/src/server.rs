@@ -255,6 +255,9 @@ impl Reactor {
                     }
                     if alive && ev.writable && conn.wants_write() {
                         alive = flush_conn(conn);
+                        if alive {
+                            self.obs.conn_wbuf(conn.id, conn.wbuf.len() - conn.wpos);
+                        }
                     }
                     if alive {
                         touched.push(ev.fd);
@@ -279,12 +282,15 @@ impl Reactor {
                 conn.pending -= 1;
                 conn.wbuf.extend_from_slice(response.as_bytes());
                 conn.wbuf.push(b'\n');
+                // Depth at enqueue: how much a slow reader has let pile up.
+                self.obs.conn_wbuf(conn.id, conn.wbuf.len() - conn.wpos);
                 // A drained slot may unblock backlogged pipelined lines.
                 let alive = self.dispatch(conn, &done_tx)
                     // Opportunistic flush: most responses fit the socket
                     // buffer, skipping a poll round-trip.
                     && flush_conn(conn);
                 if alive {
+                    self.obs.conn_wbuf(conn.id, conn.wbuf.len() - conn.wpos);
                     touched.push(fd);
                 } else {
                     drop_conn(&mut self.poller, &mut conns, &mut fd_of, fd, &self.obs, "error");

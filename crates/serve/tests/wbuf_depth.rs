@@ -1,0 +1,155 @@
+//! Satellite test for the per-connection write-buffer depth events: a
+//! client that requests a multi-megabyte response but refuses to read lets
+//! the server's write buffer pile up (`conn_wbuf` depth rises past the
+//! socket buffers), and once the client drains the socket the depth falls
+//! back to zero. The request itself is one tiny line — the app *generates*
+//! the large response — so the response is enqueued within milliseconds of
+//! the dispatch, while the client is still deliberately not reading.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use ditto_core::jsonio::{self, Value};
+use serve::server::{spawn, ServerConfig};
+use serve::Obs;
+
+fn temp(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "ditto-wbuf-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ))
+}
+
+/// Connects with the client receive buffer capped *before* the handshake,
+/// so the kernel cannot absorb the whole response in flight: the TCP window
+/// scale is negotiated at SYN time from the receive buffer, and receive-side
+/// autotuning would otherwise grow it toward `tcp_rmem[2]` and drain the
+/// server's write buffer behind the test's back (capping after `connect`
+/// loses that race under load). Raw syscalls: the repo links no libc crate.
+fn connect_with_small_rcvbuf(addr: std::net::SocketAddr, bytes: i32) -> TcpStream {
+    use std::os::fd::FromRawFd;
+    extern "C" {
+        fn socket(domain: i32, ty: i32, protocol: i32) -> i32;
+        fn setsockopt(
+            fd: i32,
+            level: i32,
+            name: i32,
+            value: *const std::ffi::c_void,
+            len: u32,
+        ) -> i32;
+        fn connect(fd: i32, addr: *const SockaddrIn, len: u32) -> i32;
+        fn close(fd: i32) -> i32;
+    }
+    #[repr(C)]
+    struct SockaddrIn {
+        family: u16,
+        port: u16, // network byte order
+        addr: u32, // network byte order
+        zero: [u8; 8],
+    }
+    const AF_INET: i32 = 2;
+    const SOCK_STREAM: i32 = 1;
+    const SOL_SOCKET: i32 = 1;
+    const SO_RCVBUF: i32 = 8;
+    let std::net::SocketAddr::V4(v4) = addr else { panic!("server bound to non-IPv4 {addr}") };
+    let fd = unsafe { socket(AF_INET, SOCK_STREAM, 0) };
+    assert!(fd >= 0, "socket() failed");
+    let rc = unsafe {
+        setsockopt(
+            fd,
+            SOL_SOCKET,
+            SO_RCVBUF,
+            (&bytes as *const i32).cast(),
+            std::mem::size_of::<i32>() as u32,
+        )
+    };
+    if rc != 0 {
+        unsafe { close(fd) };
+        panic!("setsockopt(SO_RCVBUF) failed");
+    }
+    let sa = SockaddrIn {
+        family: AF_INET as u16,
+        port: v4.port().to_be(),
+        addr: u32::from(*v4.ip()).to_be(),
+        zero: [0; 8],
+    };
+    let rc = unsafe { connect(fd, &sa, std::mem::size_of::<SockaddrIn>() as u32) };
+    if rc != 0 {
+        unsafe { close(fd) };
+        panic!("connect() failed");
+    }
+    unsafe { TcpStream::from_raw_fd(fd) }
+}
+
+fn int_field(e: &Value, key: &str) -> u64 {
+    match e.get(key).unwrap_or_else(|_| panic!("{key} field on {e:?}")) {
+        Value::Int(i) => u64::try_from(*i).expect("non-negative"),
+        other => panic!("{key} must be an integer, got {other:?}"),
+    }
+}
+
+#[test]
+fn slow_reader_raises_then_drains_wbuf_depth() {
+    // One tiny request whose generated response is far larger than the
+    // in-flight socket capacity (server sndbuf autotunes up to tcp_wmem
+    // ~4MB; the client rcvbuf is pinned small below), so the reactor
+    // cannot flush it in one go while the client sits on it.
+    const PAYLOAD: usize = 8 * 1024 * 1024;
+    let stream = temp("stream");
+    let obs = Arc::new(Obs::to_files(Some(&stream), None, false));
+    let app = Arc::new(|_line: &str| "y".repeat(PAYLOAD));
+    let config = ServerConfig { obs: Arc::clone(&obs), ..ServerConfig::default() };
+    let handle = spawn(app, config).expect("spawn server");
+
+    let mut conn = connect_with_small_rcvbuf(handle.addr(), 64 * 1024);
+    conn.write_all(b"go\n").expect("send request");
+    // Refuse to read: the response backs up into the connection's write
+    // buffer. Give the reactor time to enqueue it and attempt flushes.
+    std::thread::sleep(Duration::from_millis(400));
+
+    // Now drain the whole response (payload + newline).
+    let want = PAYLOAD + 1;
+    let mut got = 0usize;
+    let mut buf = vec![0u8; 1 << 20];
+    while got < want {
+        let n = conn.read(&mut buf).expect("read response");
+        assert!(n > 0, "server closed early at {got}/{want} bytes");
+        got += n;
+    }
+    drop(conn);
+
+    // The final flush (depth 0) must reach the stream before we stop.
+    std::thread::sleep(Duration::from_millis(300));
+    handle.shutdown().expect("clean shutdown");
+    drop(obs); // last handle: drains the writer
+
+    let depths: Vec<u64> = std::fs::read_to_string(&stream)
+        .expect("stream file")
+        .lines()
+        .map(|l| jsonio::parse(l.as_bytes()).expect("valid JSONL"))
+        .filter(|e| matches!(e.get("event"), Ok(Value::Str(s)) if s == "conn_wbuf"))
+        .map(|e| int_field(&e, "depth"))
+        .collect();
+    assert!(!depths.is_empty(), "slow reader produced no conn_wbuf events");
+    // Rises: the enqueue-time event sees the full unflushed response.
+    let peak = *depths.iter().max().unwrap();
+    assert!(
+        peak as usize >= PAYLOAD,
+        "peak depth {peak} never reached the response size {PAYLOAD}"
+    );
+    // Stays backed up while the reader sleeps: at least one *post-flush*
+    // event (any event after the peak's first occurrence) still holds
+    // bytes the kernel would not take.
+    let peak_at = depths.iter().position(|&d| d == peak).unwrap();
+    assert!(
+        depths[peak_at..].iter().any(|&d| d > 0 && d < peak),
+        "depth never partially drained: {depths:?}"
+    );
+    // Drains: once the client reads, the last observation is empty.
+    assert_eq!(*depths.last().unwrap(), 0, "depth never drained: {depths:?}");
+    std::fs::remove_file(&stream).unwrap();
+}

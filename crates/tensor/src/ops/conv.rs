@@ -230,6 +230,7 @@ pub fn conv2d_into_with(
         return Err(TensorError::LengthMismatch { expected: c_out * ho * wo, actual: out.len() });
     }
     let bias = bias.map(Tensor::as_slice);
+    crate::backend::count_dispatch(crate::backend::DispatchKernel::Conv2dF32, backend);
     if conv2d_uses_im2col(c_in, h, w, c_out, params) {
         conv2d_im2col_into(backend, input, c_in, h, w, weight.as_slice(), c_out, bias, params, out);
     } else {

@@ -218,6 +218,7 @@ pub fn matmul_acc_with(
     debug_assert_eq!(out.len(), m * n);
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
+    backend::count_dispatch(backend::DispatchKernel::MatmulF32, backend);
     if backend == KernelBackend::Simd && super::simd::matmul_acc(out, a, b, m, k, n) {
         return;
     }
@@ -349,6 +350,7 @@ pub fn matvec(a: &Tensor, x: &Tensor) -> Result<Tensor> {
 ///
 /// Same error conditions as [`matvec`].
 pub fn matvec_with(backend: KernelBackend, a: &Tensor, x: &Tensor) -> Result<Tensor> {
+    backend::count_dispatch(backend::DispatchKernel::MatvecF32, backend);
     if backend == KernelBackend::Scalar {
         return matvec_scalar(a, x);
     }

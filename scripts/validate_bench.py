@@ -171,9 +171,25 @@ def check_serve(new, _base):
     if abs(c["memo_hit_rate"] - want_rate) > 1e-9:
         fail(f"memo_hit_rate {c['memo_hit_rate']} != recomputed {want_rate}")
     sane(new["throughput_rps"], "throughput_rps", 1e-3, 1e7)
+    # Server-side scheduling-wait vs simulation-latency breakdown (from the
+    # obs aggregates): every simulated cell records exactly one wait, one
+    # sim time, and one enqueue-time queue depth. The server also simulates
+    # the warm-up request's cells, so its sample count may exceed the
+    # burst's client-observed `cells.simulated`.
+    b = new["breakdown"]
+    for key in ("sched_wait_us", "sim_us", "queue_depth"):
+        hist_sane(b[key], f"breakdown.{key}")
+    if not b["sched_wait_us"]["count"] == b["sim_us"]["count"] == b["queue_depth"]["count"]:
+        fail(f"breakdown: wait/sim/depth sample counts must agree: {b}")
+    if b["sim_us"]["count"] < c["simulated"]:
+        fail(
+            f"breakdown: {b['sim_us']['count']} server-side sim samples < "
+            f"{c['simulated']} burst-simulated cells"
+        )
     print(
         f"validate_bench: serve OK — {new['requests']} requests, "
-        f"p50 {new['latency_us']['p50']}us, hit rate {c['memo_hit_rate']:.3f}"
+        f"p50 {new['latency_us']['p50']}us, hit rate {c['memo_hit_rate']:.3f}, "
+        f"sched wait p50 {b['sched_wait_us']['p50']}us vs sim p50 {b['sim_us']['p50']}us"
     )
 
 

@@ -20,7 +20,9 @@
 //! * **`BENCH_serve.json`** — loopback `ditto-serve` latency percentiles
 //!   (client-observed, from a fixed-bucket log-scale histogram) and the
 //!   cross-request memo hit rate under a deterministic overlapping
-//!   request burst at the tiny scale.
+//!   request burst at the tiny scale, plus the server-side breakdown of
+//!   scheduling wait vs simulation latency (and enqueue-time queue depth)
+//!   folded from an in-memory obs handle.
 //!
 //! ```bash
 //! cargo run --release -p ditto-repro --bin perfbench -- --out-dir .
@@ -494,12 +496,12 @@ fn one_request(port: u16, line: &str) -> (u64, [u64; 4]) {
 }
 
 fn bench_serve(clients: usize, repeat: usize) -> Value {
-    // The measurement server: in-process, obs disabled (we are measuring,
-    // not observing), default unbounded memo, one worker per core.
-    let app = Arc::new(SuiteApp::with_obs(
-        accel::pool::default_workers().max(1),
-        Arc::new(Obs::disabled()),
-    ));
+    // The measurement server: in-process, obs in pure in-memory mode — no
+    // stream file, no writer thread, just the fold-as-you-go aggregates,
+    // so the scheduling-wait vs simulation-latency split lands in the doc
+    // without perturbing what is being measured.
+    let obs = Arc::new(Obs::in_memory());
+    let app = Arc::new(SuiteApp::with_obs(accel::pool::default_workers().max(1), Arc::clone(&obs)));
     let handle = spawn(app, ServerConfig::default()).expect("spawn loopback server");
     let port = handle.addr().port();
 
@@ -536,6 +538,29 @@ fn bench_serve(clients: usize, repeat: usize) -> Value {
     assert_eq!(hist.count(), requests, "every request must be measured");
     assert_eq!(memo_hits + coalesced + simulated, total, "cell counters must partition");
     let hit_rate = if total == 0 { 0.0 } else { (memo_hits + coalesced) as f64 / total as f64 };
+    // Server-side breakdown from the obs aggregates: how long simulated
+    // cells sat queued behind other work vs how long the simulation itself
+    // took, plus the queue depth seen at each enqueue. Covers every
+    // simulated cell this server ran, warm-up request included (memo hits
+    // and coalesced waiters never reach the histograms).
+    let summary = obs.summary_json().expect("in-memory obs always has aggregates");
+    let cell_summary =
+        |key: &str| summary.get("cells").expect("cells").get(key).expect(key).clone();
+    let sched_wait_us = cell_summary("sched_wait_us");
+    let sim_us = cell_summary("sim_us");
+    let queue_depth = summary.get("queue_depth").expect("queue_depth").clone();
+    let wait_p50 = sched_wait_us.get("p50").map_or(0, |v| match v {
+        Value::Int(i) => *i,
+        _ => 0,
+    });
+    let sim_p50 = sim_us.get("p50").map_or(0, |v| match v {
+        Value::Int(i) => *i,
+        _ => 0,
+    });
+    println!(
+        "perfbench: serve breakdown: sched wait p50 {wait_p50}us, sim p50 {sim_p50}us per \
+         simulated cell"
+    );
     println!(
         "perfbench: serve burst {requests} reqs × {total} cells: p50 {}us p99 {}us, \
          memo hit rate {hit_rate:.3}, {:.1} req/s",
@@ -558,6 +583,14 @@ fn bench_serve(clients: usize, repeat: usize) -> Value {
                 ("coalesced", coalesced.to_json()),
                 ("simulated", simulated.to_json()),
                 ("memo_hit_rate", Value::Num(hit_rate)),
+            ]),
+        ),
+        (
+            "breakdown",
+            obj(vec![
+                ("sched_wait_us", sched_wait_us),
+                ("sim_us", sim_us),
+                ("queue_depth", queue_depth),
             ]),
         ),
         ("throughput_rps", Value::Num(requests as f64 / wall)),
