@@ -277,9 +277,18 @@ pub fn run_with_workers(spec: &SweepSpec<'_>, workers: usize) -> Result<SweepRep
     let cells = pool::run_indexed(spec.cell_count(), workers, |i| {
         let (model, design) = (i / d, i % d);
         let _span = telemetry::on().then(|| {
-            telemetry::span(
+            // Cell coordinates ride as structured catapult args so trace
+            // tooling can slice the grid by design/model without parsing
+            // span names.
+            telemetry::span_args(
                 "grid",
                 format!("cell:{}:{}", spec.designs[design].name, spec.traces[model].model),
+                vec![
+                    ("design".to_string(), Value::Str(spec.designs[design].name.clone())),
+                    ("model".to_string(), Value::Str(spec.traces[model].model.clone())),
+                    ("design_index".to_string(), design.to_json()),
+                    ("model_index".to_string(), model.to_json()),
+                ],
             )
         });
         let (run, speedup_vs_gpu) =

@@ -39,7 +39,9 @@ use crate::suite::{Suite, MODELS};
 ///   clients treat its absence as version 1).
 /// * **2** — adds `proto`, the `backend` request/response field (kernel
 ///   backend selection), and `cells.evictions` (serve memo LRU).
-pub const PROTO_VERSION: i64 = 2;
+/// * **3** — adds `plans {compiled, reused}` (process-wide compiled-plan
+///   cache counters).
+pub const PROTO_VERSION: i64 = 3;
 
 /// One declarative sweep: which designs, which models, at which scale.
 #[derive(Debug, Clone)]
@@ -371,6 +373,15 @@ pub fn response_ok(
         ("trace_cache_hits", hits.suite_cache_hits.to_json()),
         ("freshly_traced", hits.suite_fresh.to_json()),
     ]);
+    // Process-wide compiled-plan cache counters (structurally identical
+    // models across requests/sweep cells reuse one compilation): unlike
+    // the per-request cell counters these are cumulative, mirroring the
+    // legacy `cache_hits` convention for process-level caches.
+    let plan_stats = diffusion::plan::plan_cache_stats();
+    let plans = obj(vec![
+        ("compiled", plan_stats.compiled.to_json()),
+        ("reused", plan_stats.reused.to_json()),
+    ]);
     let v = obj(vec![
         ("id", Value::Str(id.to_string())),
         ("ok", Value::Bool(true)),
@@ -379,6 +390,7 @@ pub fn response_ok(
         ("cache_hits", hits.process_suite_hits.to_json()),
         ("cells", cells),
         ("suite", suite),
+        ("plans", plans),
         ("best_design", Value::Arr(best)),
         ("geomean", Value::Arr(geomean)),
         ("report", report.to_json()),
@@ -495,6 +507,11 @@ mod tests {
         assert_eq!(suite.get("warmed_by_this_request").unwrap(), &Value::Bool(true));
         assert_eq!(suite.get("trace_cache_hits").unwrap(), &Value::Int(7));
         assert_eq!(suite.get("freshly_traced").unwrap(), &Value::Int(0));
+        // Plan-cache counters are process-cumulative (other tests may be
+        // compiling concurrently), so assert presence and type only.
+        let plans = v.get("plans").unwrap();
+        assert!(matches!(plans.get("compiled").unwrap(), Value::Int(n) if *n >= 0));
+        assert!(matches!(plans.get("reused").unwrap(), Value::Int(n) if *n >= 0));
         assert!(matches!(v.get("report").unwrap(), Value::Obj(_)));
         // The embedded report round-trips through the typed decoder.
         let back: SweepReport =

@@ -108,7 +108,9 @@ const PLAN_TID_BASE: u64 = 1 << 32;
 // Trace sink (chrome://tracing)
 // --------------------------------------------------------------------------
 
-/// One complete (`ph:"X"`) trace event.
+/// One complete (`ph:"X"`) trace event. `args` is the catapult per-event
+/// argument object (shown in the chrome://tracing detail pane); empty means
+/// the `args` key is omitted entirely.
 #[derive(Debug, Clone)]
 struct TraceEvent {
     name: String,
@@ -116,6 +118,7 @@ struct TraceEvent {
     ts_us: u64,
     dur_us: u64,
     tid: u64,
+    args: Vec<(String, Value)>,
 }
 
 /// Span cap between checkpoints; beyond it events are counted, not kept
@@ -141,7 +144,7 @@ fn render_catapult(events: &[TraceEvent], dropped: u64) -> Vec<u8> {
     let arr = events
         .iter()
         .map(|e| {
-            obj(vec![
+            let mut fields = vec![
                 ("name", Value::Str(e.name.clone())),
                 ("cat", Value::Str(e.cat.to_string())),
                 ("ph", Value::Str("X".into())),
@@ -149,7 +152,11 @@ fn render_catapult(events: &[TraceEvent], dropped: u64) -> Vec<u8> {
                 ("dur", e.dur_us.to_json()),
                 ("pid", pid.to_json()),
                 ("tid", e.tid.to_json()),
-            ])
+            ];
+            if !e.args.is_empty() {
+                fields.push(("args", Value::Obj(e.args.clone())));
+            }
+            obj(fields)
         })
         .collect();
     let doc =
@@ -235,6 +242,10 @@ impl Shared {
                 ts_us: self.now_us(s.start),
                 dur_us: s.dur_ns / 1_000,
                 tid: PLAN_TID_BASE + s.tid,
+                // The digest also rides as a structured catapult arg so
+                // trace consumers can group steps by plan without parsing
+                // the span name.
+                args: vec![("digest".to_string(), Value::Str(format!("{:016x}", s.digest)))],
             });
         }
         if !t.profiles.is_empty() {
@@ -486,30 +497,65 @@ impl Telemetry {
     /// worker that dequeues the job). Lands in the catapult trace and, when
     /// a stream is attached, as a `span` event.
     pub fn record_span(&self, cat: &'static str, name: &str, start: Instant, dur: Duration) {
+        self.record_span_args(cat, name, start, dur, Vec::new());
+    }
+
+    /// [`Telemetry::record_span`] with structured catapult `args` attached
+    /// to the trace event (and an `args` object on the stream `span` event
+    /// when non-empty).
+    pub fn record_span_args(
+        &self,
+        cat: &'static str,
+        name: &str,
+        start: Instant,
+        dur: Duration,
+        args: Vec<(String, Value)>,
+    ) {
         let Some(inner) = self.inner.as_ref() else { return };
         let ts_us = inner.shared.now_us(start);
         let dur_us = u64::try_from(dur.as_micros()).unwrap_or(u64::MAX);
         let tid = current_tid();
-        inner.shared.push_trace(TraceEvent { name: name.to_string(), cat, ts_us, dur_us, tid });
+        let stream_args =
+            if inner.stream && !args.is_empty() { Some(Value::Obj(args.clone())) } else { None };
+        inner.shared.push_trace(TraceEvent {
+            name: name.to_string(),
+            cat,
+            ts_us,
+            dur_us,
+            tid,
+            args,
+        });
         if inner.stream {
-            inner.shared.emit(
-                "span",
-                vec![
-                    ("cat", Value::Str(cat.to_string())),
-                    ("name", Value::Str(name.to_string())),
-                    ("ts_us", ts_us.to_json()),
-                    ("dur_us", dur_us.to_json()),
-                    ("tid", tid.to_json()),
-                ],
-            );
+            let mut fields = vec![
+                ("cat", Value::Str(cat.to_string())),
+                ("name", Value::Str(name.to_string())),
+                ("ts_us", ts_us.to_json()),
+                ("dur_us", dur_us.to_json()),
+                ("tid", tid.to_json()),
+            ];
+            if let Some(a) = stream_args {
+                fields.push(("args", a));
+            }
+            inner.shared.emit("span", fields);
         }
     }
 
     /// Opens a scoped span; the guard records it on drop. Cheap no-op
     /// guard when disabled.
     pub fn span(self: &Arc<Self>, cat: &'static str, name: impl Into<String>) -> SpanGuard {
+        self.span_args(cat, name, Vec::new())
+    }
+
+    /// [`Telemetry::span`] with structured catapult `args` recorded on the
+    /// span when the guard drops.
+    pub fn span_args(
+        self: &Arc<Self>,
+        cat: &'static str,
+        name: impl Into<String>,
+        args: Vec<(String, Value)>,
+    ) -> SpanGuard {
         if self.enabled() {
-            SpanGuard { active: Some((Arc::clone(self), cat, name.into(), Instant::now())) }
+            SpanGuard { active: Some((Arc::clone(self), cat, name.into(), Instant::now(), args)) }
         } else {
             SpanGuard { active: None }
         }
@@ -578,17 +624,21 @@ impl Telemetry {
     }
 }
 
+/// Everything a live span needs to record itself at drop: the telemetry
+/// handle, category, name, start instant, and structured args.
+type ActiveSpan = (Arc<Telemetry>, &'static str, String, Instant, Vec<(String, Value)>);
+
 /// RAII guard from [`Telemetry::span`] / the module-level [`span`];
 /// records the span on drop.
 #[must_use = "a span measures until the guard drops"]
 pub struct SpanGuard {
-    active: Option<(Arc<Telemetry>, &'static str, String, Instant)>,
+    active: Option<ActiveSpan>,
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
-        if let Some((tel, cat, name, start)) = self.active.take() {
-            tel.record_span(cat, &name, start, start.elapsed());
+        if let Some((tel, cat, name, start, args)) = self.active.take() {
+            tel.record_span_args(cat, &name, start, start.elapsed(), args);
         }
     }
 }
@@ -612,6 +662,21 @@ pub fn init() -> bool {
 pub fn span(cat: &'static str, name: impl Into<String>) -> SpanGuard {
     if on() {
         global().span(cat, name)
+    } else {
+        SpanGuard { active: None }
+    }
+}
+
+/// Opens a scoped span on the global handle with structured catapult
+/// `args`; free when telemetry is off (the args vec is never built on the
+/// disabled path if the caller gates on [`on`] first).
+pub fn span_args(
+    cat: &'static str,
+    name: impl Into<String>,
+    args: Vec<(String, Value)>,
+) -> SpanGuard {
+    if on() {
+        global().span_args(cat, name, args)
     } else {
         SpanGuard { active: None }
     }
@@ -807,6 +872,58 @@ mod tests {
         }
         // The nested pair landed on one thread with inner inside outer.
         drop(tel);
+        let _ = std::fs::remove_file(&trace);
+    }
+
+    /// Span args ride both exporters: the catapult event carries an `args`
+    /// object (omitted entirely when empty), and the stream `span` event
+    /// mirrors it.
+    #[test]
+    fn span_args_land_in_catapult_and_stream() {
+        let stream = temp("args-stream");
+        let trace = temp("args-trace");
+        let tel = Arc::new(Telemetry::to_files(Some(&stream), Some(&trace)));
+        {
+            let _g = tel.span_args(
+                "unit",
+                "with-args",
+                vec![
+                    ("design".to_string(), Value::Str("edge".into())),
+                    ("model_index".to_string(), 3u64.to_json()),
+                ],
+            );
+        }
+        {
+            let _g = tel.span("unit", "no-args");
+        }
+        tel.flush();
+
+        let doc = jsonio::parse(&std::fs::read(&trace).unwrap()).expect("catapult parses");
+        let Value::Arr(events) = doc.get("traceEvents").unwrap() else { panic!("traceEvents") };
+        let find = |name: &str| {
+            events
+                .iter()
+                .find(|e| matches!(e.get("name"), Ok(Value::Str(s)) if s == name))
+                .unwrap_or_else(|| panic!("span {name} in trace"))
+        };
+        let with = find("with-args");
+        let args = with.get("args").expect("args object on with-args");
+        assert_eq!(args.get("design").unwrap(), &Value::Str("edge".into()));
+        assert_eq!(args.get("model_index").unwrap(), &Value::Int(3));
+        assert!(find("no-args").get("args").is_err(), "empty args must be omitted");
+
+        let text = std::fs::read_to_string(&stream).unwrap();
+        let span_ev = text
+            .lines()
+            .map(|l| jsonio::parse(l.as_bytes()).expect("valid JSONL"))
+            .find(|e| {
+                matches!(e.get("event"), Ok(Value::Str(s)) if s == "span")
+                    && matches!(e.get("name"), Ok(Value::Str(s)) if s == "with-args")
+            })
+            .expect("stream span event for with-args");
+        assert_eq!(span_ev.get("args").unwrap().get("design").unwrap(), &Value::Str("edge".into()));
+        drop(tel);
+        let _ = std::fs::remove_file(&stream);
         let _ = std::fs::remove_file(&trace);
     }
 

@@ -161,10 +161,12 @@ pub struct DiffusionModel {
     pub plan: Option<Arc<TracePlan>>,
 }
 
-/// Compiles the trace plan for a freshly built graph, recording a
-/// [`plan::CompileEvent`] for the observability stream. A compile failure
-/// is not an error: the model silently keeps the tree executor, which
-/// reports the authoritative diagnostics on first forward.
+/// Compiles (or, for a structurally identical model already compiled this
+/// process, reuses) the trace plan for a freshly built graph via the
+/// process-wide plan cache, recording a [`plan::CompileEvent`] for the
+/// observability stream only on fresh compilations. A compile failure is
+/// not an error: the model silently keeps the tree executor, which reports
+/// the authoritative diagnostics on first forward.
 fn compile_plan(
     label: &str,
     graph: &LayerGraph,
@@ -172,15 +174,17 @@ fn compile_plan(
     context_dims: Option<&[usize]>,
 ) -> Option<Arc<TracePlan>> {
     let start = std::time::Instant::now();
-    let compiled = TracePlan::compile(graph, latent_dims, context_dims).ok()?;
-    plan::record_compile_event(plan::CompileEvent {
-        label: label.to_string(),
-        nodes: graph.len(),
-        ops: compiled.op_count(),
-        arena_f32: compiled.arena_len(),
-        micros: u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX),
-    });
-    Some(Arc::new(compiled))
+    let (compiled, fresh) = plan::compile_cached(graph, latent_dims, context_dims).ok()?;
+    if fresh {
+        plan::record_compile_event(plan::CompileEvent {
+            label: label.to_string(),
+            nodes: graph.len(),
+            ops: compiled.op_count(),
+            arena_f32: compiled.arena_len(),
+            micros: u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX),
+        });
+    }
+    Some(compiled)
 }
 
 impl DiffusionModel {

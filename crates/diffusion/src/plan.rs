@@ -33,8 +33,8 @@
 //! node, so an op's output never overlaps any of its (still live) inputs;
 //! disjoint contiguous spans are then carved with `split_at_mut`.
 
-use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use crate::executor::{
@@ -190,10 +190,14 @@ pub enum OpCode {
         /// Embedding width.
         dim: usize,
     },
-    /// 2-D convolution on the direct sliding-window route (shapes below the
-    /// im2col MAC threshold); weight/bias/params borrowed from the graph
-    /// node.
-    Conv2d {
+    /// 2-D convolution on the lowering-free direct route (shapes the
+    /// dispatcher classes `DirectPointwise`/`DirectSmall` — see
+    /// `ops::conv2d_class`); weight/bias/params borrowed from the graph
+    /// node. Runs `ops::conv2d_direct_into_with` (the SIMD strip kernel on
+    /// the `Simd` backend) and needs **no** arena scratch span, which is
+    /// the arena-high-water win over [`OpCode::Conv2dIm2col`] on conv-heavy
+    /// UNets.
+    Conv2dDirect {
         /// Input channels.
         c_in: usize,
         /// Input height.
@@ -397,7 +401,7 @@ pub const KIND_NAMES: [&str; 28] = [
     "copy_context",
     "write_t",
     "timestep_embed",
-    "conv2d",
+    "conv2d_direct",
     "conv2d_im2col",
     "linear",
     "matmul_qk",
@@ -431,7 +435,7 @@ impl OpCode {
             OpCode::CopyContext => 1,
             OpCode::WriteT => 2,
             OpCode::TimestepEmbed { .. } => 3,
-            OpCode::Conv2d { .. } => 4,
+            OpCode::Conv2dDirect { .. } => 4,
             OpCode::Conv2dIm2col { .. } => 5,
             OpCode::Linear { .. } => 6,
             OpCode::MatmulQk { .. } => 7,
@@ -877,11 +881,13 @@ fn infer_node(
                 return Err(TensorError::InvalidArgument("plan: zero stride".into()));
             }
             let (ho, wo) = (params.out_extent(h), params.out_extent(w));
-            // Mirror the tensor layer's routing decision at compile time:
-            // shapes it would lower to im2col get the pre-lowered matmul
-            // opcode (plus arena scratch for the transposed im2col matrix);
-            // tiny shapes keep the direct loop.
-            if ops::conv2d_uses_im2col(c_in, h, w, c_out, *params) {
+            // Mirror the tensor layer's shape-class dispatch at compile
+            // time: shapes it would lower to im2col get the pre-lowered
+            // matmul opcode (plus arena scratch for the transposed im2col
+            // matrix); direct classes get the scratch-free direct opcode.
+            if ops::conv2d_class(c_in, h, w, c_out, *params).is_direct() {
+                Ok((vec![c_out, ho, wo], OpCode::Conv2dDirect { c_in, h, w }, no_scratch))
+            } else {
                 let ckk = c_in * params.kernel * params.kernel;
                 let pixels = ho * wo;
                 Ok((
@@ -897,8 +903,6 @@ fn infer_node(
                     },
                     ckk * pixels,
                 ))
-            } else {
-                Ok((vec![c_out, ho, wo], OpCode::Conv2d { c_in, h, w }, no_scratch))
             }
         }
         LayerOp::Linear { weight, bias } => {
@@ -1134,11 +1138,25 @@ fn exec_op(
         OpCode::TimestepEmbed { dim } => {
             crate::embed::timestep_embedding_into(arg(0)[0], dim, out);
         }
-        OpCode::Conv2d { c_in, h, w } => {
+        OpCode::Conv2dDirect { c_in, h, w } => {
             let LayerOp::Conv2d { weight, bias, params } = &graph.node(op.node).op else {
                 unreachable!("plan/graph opcode mismatch");
             };
-            ops::conv2d_into_with(kb, arg(0), c_in, h, w, weight, bias.as_ref(), *params, out)?;
+            // Pinned to the direct route: the class was decided at compile
+            // time, so a mid-run conv-mode flip cannot desync plan and
+            // kernel (and the dispatch telemetry attributes it to
+            // `conv2d_direct_f32`).
+            ops::conv2d_direct_into_with(
+                kb,
+                arg(0),
+                c_in,
+                h,
+                w,
+                weight,
+                bias.as_ref(),
+                *params,
+                out,
+            )?;
         }
         OpCode::Conv2dIm2col { c_in, h, w, c_out, ckk, pixels, scratch } => {
             let LayerOp::Conv2d { weight, bias, params } = &graph.node(op.node).op else {
@@ -1310,6 +1328,103 @@ pub fn record_compile_event(ev: CompileEvent) {
 pub fn drain_compile_events() -> Vec<CompileEvent> {
     let mut g = EVENTS.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
     std::mem::take(&mut *g)
+}
+
+// ---------------------------------------------------------------------------
+// Process-wide compiled-plan cache.
+// ---------------------------------------------------------------------------
+
+/// Everything a compilation depends on. The digest covers graph structure
+/// (op kinds, scalar params, wiring — not weight values, which the plan
+/// borrows from the *caller's* graph at execute time, so same-structure
+/// graphs with different weights share one plan soundly). The conv routing
+/// mode is part of the key because the shape-class dispatcher decides which
+/// conv opcode (and how much arena scratch) a shape compiles to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct PlanCacheKey {
+    digest: u64,
+    latent_dims: Vec<usize>,
+    context_dims: Option<Vec<usize>>,
+    conv_mode: ops::ConvMode,
+}
+
+/// Entries kept before the oldest is evicted. The workloads that benefit
+/// (serve request loops, sweep cells) cycle over a handful of models; 64
+/// bounds the worst case at a few KB of `PlanOp` vectors.
+const MAX_CACHED_PLANS: usize = 64;
+
+static PLAN_CACHE: Mutex<Vec<(PlanCacheKey, Arc<TracePlan>)>> = Mutex::new(Vec::new());
+static PLANS_COMPILED: AtomicU64 = AtomicU64::new(0);
+static PLANS_REUSED: AtomicU64 = AtomicU64::new(0);
+
+/// Cumulative [`compile_cached`] outcome counters since process start (or
+/// the last [`reset_plan_cache`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlanCacheStats {
+    /// Cache misses: plans actually compiled.
+    pub compiled: u64,
+    /// Cache hits: identical (structure, shapes, conv-mode) requests served
+    /// without recompiling.
+    pub reused: u64,
+}
+
+/// Snapshot of the plan-cache hit/miss counters.
+pub fn plan_cache_stats() -> PlanCacheStats {
+    PlanCacheStats {
+        compiled: PLANS_COMPILED.load(Ordering::Relaxed),
+        reused: PLANS_REUSED.load(Ordering::Relaxed),
+    }
+}
+
+/// Clears the plan cache and its counters (test isolation hook).
+pub fn reset_plan_cache() {
+    PLAN_CACHE.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clear();
+    PLANS_COMPILED.store(0, Ordering::Relaxed);
+    PLANS_REUSED.store(0, Ordering::Relaxed);
+}
+
+/// [`TracePlan::compile`] behind the process-wide cache: repeated builds of
+/// structurally identical models (serve requests, repeated sweep cells)
+/// reuse the first compilation instead of re-planning the arena. Returns
+/// the shared plan and whether this call compiled it fresh (`true`) or hit
+/// the cache (`false`) — callers use the flag to record compile events only
+/// for real compilations.
+///
+/// # Errors
+///
+/// Propagates [`TracePlan::compile`] errors; failures are never cached.
+pub fn compile_cached(
+    graph: &LayerGraph,
+    latent_dims: &[usize],
+    context_dims: Option<&[usize]>,
+) -> Result<(Arc<TracePlan>, bool)> {
+    let key = PlanCacheKey {
+        digest: graph.structure_digest(),
+        latent_dims: latent_dims.to_vec(),
+        context_dims: context_dims.map(<[usize]>::to_vec),
+        conv_mode: ops::conv_mode(),
+    };
+    {
+        let cache = PLAN_CACHE.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some((_, plan)) = cache.iter().find(|(k, _)| *k == key) {
+            PLANS_REUSED.fetch_add(1, Ordering::Relaxed);
+            return Ok((Arc::clone(plan), false));
+        }
+    }
+    // Compile outside the lock: a racing identical request may compile
+    // twice, but the result is deterministic and the second insert is
+    // dropped below, so the cache never holds duplicates.
+    let plan = Arc::new(TracePlan::compile(graph, latent_dims, context_dims)?);
+    PLANS_COMPILED.fetch_add(1, Ordering::Relaxed);
+    let mut cache = PLAN_CACHE.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    if let Some((_, cached)) = cache.iter().find(|(k, _)| *k == key) {
+        return Ok((Arc::clone(cached), true));
+    }
+    if cache.len() >= MAX_CACHED_PLANS {
+        cache.remove(0);
+    }
+    cache.push((key, Arc::clone(&plan)));
+    Ok((plan, true))
 }
 
 // ---------------------------------------------------------------------------
@@ -1697,27 +1812,68 @@ mod tests {
         assert_plan_matches_tree(&g, &latent, None, 100.0);
     }
 
+    /// Serializes tests that pin the process-wide conv routing mode (the
+    /// mode is one global; concurrent routing-asserting tests would race).
+    static MODE_LOCK: Mutex<()> = Mutex::new(());
+
+    /// Holds [`MODE_LOCK`] with the conv mode pinned, restoring the prior
+    /// mode on drop (also on panic) so routing assertions elsewhere — and
+    /// the CI `DITTO_CONV_MODE` legs — see the mode they expect.
+    struct ModePin {
+        _guard: std::sync::MutexGuard<'static, ()>,
+        prev: ops::ConvMode,
+    }
+
+    impl ModePin {
+        fn new(mode: ops::ConvMode) -> Self {
+            let guard = MODE_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            let prev = ops::conv_mode();
+            ops::set_conv_mode(mode);
+            ModePin { _guard: guard, prev }
+        }
+    }
+
+    impl Drop for ModePin {
+        fn drop(&mut self) {
+            ops::set_conv_mode(self.prev);
+        }
+    }
+
+    /// Single-conv graph over a `[c_in, hw, hw]` latent.
+    fn conv_graph(
+        rng: &mut Rng,
+        c_in: usize,
+        c_out: usize,
+        params: Conv2dParams,
+        with_bias: bool,
+    ) -> LayerGraph {
+        let mut g = LayerGraph::new();
+        let x = g.add("x", LayerOp::Input(InputKind::Latent), &[]);
+        let weight = Tensor::randn(&[c_out, c_in, params.kernel, params.kernel], rng);
+        let bias = with_bias.then(|| Tensor::randn(&[c_out], rng));
+        let conv = g.add("conv", LayerOp::Conv2d { weight, bias, params }, &[x]);
+        g.set_output(conv);
+        g
+    }
+
     #[test]
-    fn im2col_sized_conv_compiles_to_lowered_opcode_and_matches_tree() {
-        // A conv above the tensor layer's im2col MAC threshold must compile
-        // to the pre-lowered matmul opcode (the plan-side fast path), carry
-        // scratch for the transposed im2col matrix, and still match the
-        // tree walker bit for bit — with and without bias, and on a
-        // stride-2 shape whose padding margins exercise the lowering edges.
+    fn im2col_classed_conv_compiles_to_lowered_opcode_and_matches_tree() {
+        // A conv the dispatcher classes `Im2col` (wide-channel, above the
+        // MAC threshold) must compile to the pre-lowered matmul opcode
+        // (the plan-side fast path), carry scratch for the transposed
+        // im2col matrix, and still match the tree walker bit for bit —
+        // with and without bias, and on a stride-2 shape whose padding
+        // margins exercise the lowering edges.
+        let _pin = ModePin::new(ops::ConvMode::Auto);
         let mut rng = Rng::seed_from(41);
         let cases = [
-            (8usize, 12usize, 16usize, Conv2dParams::same3x3(), true),
-            (8, 12, 16, Conv2dParams::same3x3(), false),
-            (16, 16, 4, Conv2dParams { kernel: 3, stride: 2, padding: 1 }, true),
+            (8usize, 12usize, 32usize, Conv2dParams::same3x3(), true),
+            (8, 12, 32, Conv2dParams::same3x3(), false),
+            (16, 16, 32, Conv2dParams { kernel: 3, stride: 2, padding: 1 }, true),
         ];
         for &(c_in, hw, c_out, params, with_bias) in &cases {
             assert!(tensor::ops::conv2d_uses_im2col(c_in, hw, hw, c_out, params));
-            let mut g = LayerGraph::new();
-            let x = g.add("x", LayerOp::Input(InputKind::Latent), &[]);
-            let weight = Tensor::randn(&[c_out, c_in, params.kernel, params.kernel], &mut rng);
-            let bias = with_bias.then(|| Tensor::randn(&[c_out], &mut rng));
-            let conv = g.add("conv", LayerOp::Conv2d { weight, bias, params }, &[x]);
-            g.set_output(conv);
+            let g = conv_graph(&mut rng, c_in, c_out, params, with_bias);
             let latent = Tensor::randn(&[c_in, hw, hw], &mut rng);
             let plan = TracePlan::compile(&g, latent.dims(), None).unwrap();
             let lowered = plan.ops.iter().any(|op| {
@@ -1729,21 +1885,147 @@ mod tests {
                             && scratch.len == ckk * pixels
                 )
             });
-            assert!(lowered, "routing-sized conv did not compile to Conv2dIm2col");
+            assert!(lowered, "im2col-classed conv did not compile to Conv2dIm2col");
             assert_plan_matches_tree(&g, &latent, None, 0.25);
         }
-        // And the complement: a sub-threshold pointwise conv stays direct.
+        // And the complement: a pointwise conv stays direct.
+        let g = conv_graph(&mut rng, 4, 4, Conv2dParams::pointwise(), false);
+        let plan = TracePlan::compile(&g, &[4, 6, 6], None).unwrap();
+        assert!(plan.ops.iter().any(|op| matches!(op.code, OpCode::Conv2dDirect { .. })));
+    }
+
+    #[test]
+    fn direct_classed_convs_compile_scratch_free_and_shrink_the_arena() {
+        // A conv-heavy graph whose shapes the dispatcher classes direct —
+        // the gather-bound narrow-c_out 3×3s and a pointwise mix, all well
+        // above the old MAC threshold — must compile every conv to the
+        // scratch-free `Conv2dDirect` opcode, produce byte-identical
+        // plan-vs-tree output, and show a measurably lower arena
+        // high-water than the same graph forced onto the im2col route.
+        let pin = ModePin::new(ops::ConvMode::Auto);
+        let mut rng = Rng::seed_from(43);
         let mut g = LayerGraph::new();
         let x = g.add("x", LayerOp::Input(InputKind::Latent), &[]);
-        let weight = Tensor::randn(&[4, 4, 1, 1], &mut rng);
-        let conv = g.add(
-            "conv",
+        let p3 = Conv2dParams::same3x3();
+        let mut cur = x;
+        for (i, (c_in, c_out)) in [(8usize, 12usize), (12, 12), (12, 8)].into_iter().enumerate() {
+            assert!(
+                ops::conv2d_class(c_in, 12, 12, c_out, p3).is_direct(),
+                "test shape must be direct-classed"
+            );
+            let weight = Tensor::randn(&[c_out, c_in, 3, 3], &mut rng);
+            let bias = Tensor::randn(&[c_out], &mut rng);
+            cur = g.add(
+                format!("conv{i}"),
+                LayerOp::Conv2d { weight, bias: Some(bias), params: p3 },
+                &[cur],
+            );
+            cur = g.add(format!("act{i}"), LayerOp::SiLU, &[cur]);
+        }
+        let weight = Tensor::randn(&[8, 8, 1, 1], &mut rng);
+        cur = g.add(
+            "mix",
             LayerOp::Conv2d { weight, bias: None, params: Conv2dParams::pointwise() },
-            &[x],
+            &[cur],
         );
-        g.set_output(conv);
-        let plan = TracePlan::compile(&g, &[4, 6, 6], None).unwrap();
-        assert!(plan.ops.iter().any(|op| matches!(op.code, OpCode::Conv2d { .. })));
+        g.set_output(cur);
+
+        let direct_plan = TracePlan::compile(&g, &[8, 12, 12], None).unwrap();
+        let conv_ops: Vec<_> = direct_plan
+            .ops
+            .iter()
+            .filter(|op| matches!(graph_op(&g, op.node), LayerOp::Conv2d { .. }))
+            .collect();
+        assert_eq!(conv_ops.len(), 4);
+        for op in &conv_ops {
+            assert!(
+                matches!(op.code, OpCode::Conv2dDirect { .. }),
+                "direct-classed conv compiled to {:?}",
+                op.code
+            );
+            assert_eq!(op.scratch(), None, "direct conv must not hold arena scratch");
+        }
+        let latent = Tensor::randn(&[8, 12, 12], &mut rng);
+        assert_plan_matches_tree(&g, &latent, None, 50.0);
+
+        // The identical graph forced onto the im2col route needs the
+        // transposed-im2col scratch spans, so its arena high-water is
+        // strictly higher — the plan_profile `arena_f32` win.
+        ops::set_conv_mode(ops::ConvMode::Im2col);
+        let lowered_plan = TracePlan::compile(&g, &[8, 12, 12], None).unwrap();
+        assert!(lowered_plan
+            .ops
+            .iter()
+            .filter(|op| matches!(graph_op(&g, op.node), LayerOp::Conv2d { .. }))
+            .all(|op| op.scratch().is_some()));
+        assert!(
+            direct_plan.arena_len() < lowered_plan.arena_len(),
+            "direct plan arena {} should undercut im2col plan arena {}",
+            direct_plan.arena_len(),
+            lowered_plan.arena_len()
+        );
+        // Forced-im2col output still matches the tree bit for bit.
+        assert_plan_matches_tree(&g, &latent, None, 50.0);
+        drop(pin);
+    }
+
+    fn graph_op(g: &LayerGraph, node: NodeId) -> &LayerOp {
+        &g.node(node).op
+    }
+
+    #[test]
+    fn plan_cache_reuses_identical_structures_and_keys_on_mode() {
+        // Depth 9 is used by no other test, so the structure digest (and
+        // therefore the cache key) is this test's own.
+        let pin = ModePin::new(ops::ConvMode::Auto);
+        let g = chain_graph(9);
+        let before = plan_cache_stats();
+        let (p1, fresh1) = compile_cached(&g, &[4, 4], None).unwrap();
+        let (p2, fresh2) = compile_cached(&g, &[4, 4], None).unwrap();
+        assert!(fresh1, "first compile of a unique structure must miss");
+        assert!(!fresh2, "identical recompile must hit the cache");
+        assert!(Arc::ptr_eq(&p1, &p2));
+        let after = plan_cache_stats();
+        assert!(after.compiled > before.compiled);
+        assert!(after.reused > before.reused);
+
+        // Different latent dims are a different key (a fresh compile), as
+        // is a different conv routing mode on the same dims.
+        let (p3, fresh3) = compile_cached(&g, &[2, 8], None).unwrap();
+        assert!(fresh3);
+        assert!(!Arc::ptr_eq(&p1, &p3));
+        ops::set_conv_mode(ops::ConvMode::Im2col);
+        let (p4, fresh4) = compile_cached(&g, &[4, 4], None).unwrap();
+        assert!(fresh4, "conv mode must be part of the cache key");
+        assert!(!Arc::ptr_eq(&p1, &p4));
+        drop(pin);
+
+        // Same structure, different weights: the shared plan executes
+        // against each caller's own graph (weights are borrowed at execute
+        // time), bit-identical to the tree walk on both.
+        let mut rng = Rng::seed_from(47);
+        let mk = |rng: &mut Rng| {
+            let mut g = LayerGraph::new();
+            let x = g.add("x", LayerOp::Input(InputKind::Latent), &[]);
+            let w = Tensor::randn(&[3, 3], rng);
+            let lin = g.add("lin", LayerOp::Linear { weight: w, bias: None }, &[x]);
+            g.set_output(lin);
+            g
+        };
+        let ga = mk(&mut rng);
+        let gb = mk(&mut rng);
+        assert_eq!(ga.structure_digest(), gb.structure_digest());
+        let (pa, _) = compile_cached(&ga, &[3, 3], None).unwrap();
+        let (pb, _) = compile_cached(&gb, &[3, 3], None).unwrap();
+        assert!(Arc::ptr_eq(&pa, &pb));
+        let latent = Tensor::randn(&[3, 3], &mut rng);
+        let bindings = Bindings { latent: &latent, context: None, t: 0.0 };
+        let mut arena = PlanArena::new();
+        for graph in [&ga, &gb] {
+            let tree = forward(graph, &bindings, step0(), &mut NullHook).unwrap();
+            let fast = pa.execute(graph, &bindings, &mut arena).unwrap();
+            assert_eq!(fast.as_slice(), tree.as_slice());
+        }
     }
 
     #[test]

@@ -134,6 +134,32 @@ pub(super) fn accumulate_i16(out: &mut [i32], a: &[i16], b: &[i16], m: usize, k:
     }
 }
 
+/// Direct-conv AXPY at the active SIMD level: `out[j] += wv · arow[j]`
+/// over one contiguous activation-row slice. This is the inner step of
+/// [`super::int_conv2d_direct`]'s stride-1 path — one weight tap streamed
+/// against a shifted activation row — and reuses the same per-level
+/// `acc_row_i16` kernels as the matmul fold. Exactness is automatic:
+/// integer products are exact and wrapping `i32` addition is associative,
+/// so any accumulation order reproduces the scalar reference bit-for-bit.
+pub(super) fn conv_axpy_i16(out: &mut [i32], wv: i32, arow: &[i16]) {
+    debug_assert_eq!(out.len(), arow.len());
+    match simd_level() {
+        // SAFETY: the kernels require only their declared target feature,
+        // which `simd_level()` verified at runtime.
+        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+        SimdLevel::Avx2 => unsafe { avx2::acc_row_i16(out, wv, arow) },
+        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+        SimdLevel::Sse2 => unsafe { sse2::acc_row_i16(out, wv, arow) },
+        #[cfg(target_arch = "aarch64")]
+        SimdLevel::Neon => unsafe { neon::acc_row_i16(out, wv, arow) },
+        _ => {
+            for (o, &a) in out.iter_mut().zip(arow) {
+                *o += wv * a as i32;
+            }
+        }
+    }
+}
+
 /// Zeros-per-row threshold for the dense-row kernel: rows with fewer than
 /// `k/8` zero activations (⪅ 12.5% sparsity) take the register-resident
 /// dense kernel; sparser rows keep the scanning pair fold, whose zero-skip

@@ -514,10 +514,17 @@ pub enum DispatchKernel {
     MatmulF32,
     /// `tensor::ops::matvec_with`.
     MatvecF32,
-    /// `tensor::ops::conv2d_into_with` (direct or im2col route).
+    /// `tensor::ops::conv2d_into_with` (shape-classed route).
     Conv2dF32,
+    /// `tensor::ops::conv2d_direct_into_with` — the lowering-free direct
+    /// path the compiled-plan `Conv2dDirect` opcode dispatches (SIMD strip
+    /// kernel or the portable direct loop; never im2col).
+    Conv2dDirectF32,
     /// `quant::kernels::int_matmul_with`.
     IntMatmul,
+    /// `quant::kernels::int_conv2d_direct_with` — the integer lowering-free
+    /// direct convolution (row-AXPY SIMD or the scalar reference loop).
+    IntConv2dDirect,
     /// `quant::kernels::delta_matmul_update_with`.
     DeltaMatmulUpdate,
     /// `quant::kernels::attention_delta_scores_with`.
@@ -528,11 +535,13 @@ pub enum DispatchKernel {
 
 impl DispatchKernel {
     /// Every counted kernel, in table order.
-    pub const ALL: [DispatchKernel; 7] = [
+    pub const ALL: [DispatchKernel; 9] = [
         DispatchKernel::MatmulF32,
         DispatchKernel::MatvecF32,
         DispatchKernel::Conv2dF32,
+        DispatchKernel::Conv2dDirectF32,
         DispatchKernel::IntMatmul,
+        DispatchKernel::IntConv2dDirect,
         DispatchKernel::DeltaMatmulUpdate,
         DispatchKernel::AttentionDeltaScores,
         DispatchKernel::IntScores,
@@ -544,7 +553,9 @@ impl DispatchKernel {
             DispatchKernel::MatmulF32 => "matmul_f32",
             DispatchKernel::MatvecF32 => "matvec_f32",
             DispatchKernel::Conv2dF32 => "conv2d_f32",
+            DispatchKernel::Conv2dDirectF32 => "conv2d_direct_f32",
             DispatchKernel::IntMatmul => "int_matmul",
+            DispatchKernel::IntConv2dDirect => "int_conv2d_direct",
             DispatchKernel::DeltaMatmulUpdate => "delta_matmul_update",
             DispatchKernel::AttentionDeltaScores => "attention_delta_scores",
             DispatchKernel::IntScores => "int_scores",
@@ -560,14 +571,14 @@ static COUNTING: AtomicBool = AtomicBool::new(false);
 /// dispatches land in the `SimdLevel::None` slot (their level is
 /// irrelevant); `Simd` dispatches land in the slot of the level *resolved
 /// at call time*, so a mid-run `set_simd_level` shows up as separate rows.
-static DISPATCHES: [[[AtomicU64; 4]; 3]; 7] = {
+static DISPATCHES: [[[AtomicU64; 4]; 3]; 9] = {
     #[allow(clippy::declare_interior_mutable_const)]
     const Z: AtomicU64 = AtomicU64::new(0);
     #[allow(clippy::declare_interior_mutable_const)]
     const L: [AtomicU64; 4] = [Z; 4];
     #[allow(clippy::declare_interior_mutable_const)]
     const B: [[AtomicU64; 4]; 3] = [L; 3];
-    [B; 7]
+    [B; 9]
 };
 
 /// Turns kernel-dispatch counting on or off (the telemetry layer flips

@@ -1,14 +1,20 @@
 //! 2-D convolution for NCHW tensors.
 //!
-//! [`conv2d`] routes large convolutions through im2col + the tiled matmul
-//! ([`super::matmul`]'s accumulation kernel), which is the layout the Ditto
-//! hardware operates on anyway; tiny shapes stay on the direct loop
-//! ([`conv2d_direct`]) where the lowering overhead would dominate. Both
-//! paths accumulate each output element's products in the same order
-//! (bias first, then ascending `(c_in, ky, kx)`), so they produce exactly
-//! equal results — see the `im2col_route_bitwise_matches_direct` test.
+//! [`conv2d`] classes every shape ([`conv2d_class`]) and routes it to one
+//! of two formulations: the lowering-free **direct** path (the portable
+//! sliding-window loop [`conv2d_direct`], or its SIMD strip kernel in
+//! [`super::conv_direct_simd`] on the `Simd` backend), or the **im2col**
+//! path (gather + the tiled matmul, the layout the Ditto hardware operates
+//! on anyway). Pointwise 1×1 convs and gather-bound shapes stay direct;
+//! wide-channel large shapes lower to im2col. The auto heuristic can be
+//! overridden process-wide with `DITTO_CONV_MODE={auto,direct,im2col}`
+//! (see [`conv_mode`]). All routes accumulate each output element's
+//! products in the same order (bias first, then ascending `(c_in, ky,
+//! kx)`), so they produce exactly equal results — see the
+//! `im2col_route_bitwise_matches_direct` test.
 
 use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
 
 use crate::backend::{self, KernelBackend};
 use crate::ops::matmul::matmul_acc_with;
@@ -31,17 +37,220 @@ struct Im2colScratch {
     prod: Vec<f32>,
 }
 
-/// Dense-MAC threshold above which [`conv2d`] lowers to im2col + tiled
-/// matmul. Below it the im2col materialization (plus weight transpose and
-/// output de-interleave) costs more than the direct loops save.
+/// Dense-MAC threshold below which the auto-mode dispatcher keeps a shape
+/// on the direct path unconditionally: the im2col materialization (plus
+/// weight transpose and output de-interleave) costs more than any matmul
+/// tiling saves on shapes this small.
 const IM2COL_MAC_THRESHOLD: usize = 1 << 14;
 
-/// Whether [`conv2d`] routes this shape through the im2col + matmul path
-/// (`true`) or the direct sliding-window loop (`false`).
+/// Auto-mode `c_out` bound under which a multi-tap conv stays direct even
+/// above the MAC threshold. The im2col gather writes `c_in*k*k` scratch
+/// elements per output pixel while the matmul performs `c_in*k*k*c_out`
+/// MACs for that pixel, so the (scalar, per-element) gather is roughly a
+/// `8/c_out` fraction of the compute — for small `c_out` the lowering is
+/// gather-bound and the direct strip kernels win outright.
+const DIRECT_SMALL_C_OUT: usize = 16;
+
+/// How the [`conv2d`] dispatcher chooses between the direct and im2col
+/// routes. Resolved once per process from `DITTO_CONV_MODE` (see
+/// [`conv_mode`]); all modes are bit-identical, they only trade speed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConvMode {
+    /// Per-shape heuristic (the default): pointwise and gather-bound
+    /// shapes run direct, wide-channel large shapes lower to im2col.
+    Auto,
+    /// Every conv runs the lowering-free direct path.
+    Direct,
+    /// Every conv lowers to im2col + matmul (the pre-dispatcher route).
+    Im2col,
+}
+
+impl ConvMode {
+    /// Every mode, in declaration order.
+    pub const ALL: [ConvMode; 3] = [ConvMode::Auto, ConvMode::Direct, ConvMode::Im2col];
+
+    /// Stable lower-case name (the `DITTO_CONV_MODE` value).
+    pub fn name(self) -> &'static str {
+        match self {
+            ConvMode::Auto => "auto",
+            ConvMode::Direct => "direct",
+            ConvMode::Im2col => "im2col",
+        }
+    }
+
+    /// Parses a `DITTO_CONV_MODE` value (case-insensitive).
+    pub fn parse(s: &str) -> Option<ConvMode> {
+        ConvMode::ALL.into_iter().find(|m| s.eq_ignore_ascii_case(m.name()))
+    }
+
+    /// Non-zero encoding for the process-wide atomic (0 = unresolved).
+    fn encode(self) -> u8 {
+        match self {
+            ConvMode::Auto => 1,
+            ConvMode::Direct => 2,
+            ConvMode::Im2col => 3,
+        }
+    }
+
+    /// Inverse of [`ConvMode::encode`]; `None` for the unresolved 0.
+    fn decode(v: u8) -> Option<ConvMode> {
+        ConvMode::ALL.into_iter().find(|m| m.encode() == v)
+    }
+}
+
+impl std::fmt::Display for ConvMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The process-wide conv routing mode: 0 = unresolved, else
+/// `ConvMode::encode`.
+static ACTIVE_CONV_MODE: AtomicU8 = AtomicU8::new(0);
+
+/// The active conv routing mode every [`conv2d`] dispatch consults,
+/// resolving `DITTO_CONV_MODE` on first use. One relaxed atomic load on
+/// the hot path.
+pub fn conv_mode() -> ConvMode {
+    match ConvMode::decode(ACTIVE_CONV_MODE.load(Ordering::Relaxed)) {
+        Some(m) => m,
+        None => {
+            let resolved = resolve_conv_mode_from_env();
+            // Publish only if still unresolved, so a racing
+            // `set_conv_mode` override is never clobbered (same CAS
+            // pattern as the backend's `ACTIVE`).
+            match ACTIVE_CONV_MODE.compare_exchange(
+                0,
+                resolved.encode(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => resolved,
+                Err(winner) => ConvMode::decode(winner)
+                    .expect("non-zero ACTIVE_CONV_MODE values are encodings"),
+            }
+        }
+    }
+}
+
+/// Overrides the conv routing mode for the rest of the process (or until
+/// the next call) — the test/tooling hook behind `DITTO_CONV_MODE`. Every
+/// mode is bit-identical, so flipping this concurrently with running
+/// convolutions is benign — it changes speed, never values.
+pub fn set_conv_mode(mode: ConvMode) {
+    ACTIVE_CONV_MODE.store(mode.encode(), Ordering::Relaxed);
+}
+
+/// Resolves the startup conv mode from `DITTO_CONV_MODE`, falling back to
+/// [`ConvMode::Auto`] with a (once-only) stderr warning on unknown values.
+fn resolve_conv_mode_from_env() -> ConvMode {
+    static WARNED: AtomicBool = AtomicBool::new(false);
+    let warn_once = |msg: String| {
+        if !WARNED.swap(true, Ordering::Relaxed) {
+            eprintln!("{msg}");
+        }
+    };
+    match std::env::var("DITTO_CONV_MODE") {
+        Ok(raw) if !raw.trim().is_empty() => match ConvMode::parse(raw.trim()) {
+            Some(m) => m,
+            None => {
+                warn_once(format!(
+                    "[tensor] unknown DITTO_CONV_MODE `{raw}` \
+                     (expected auto|direct|im2col); using `auto`"
+                ));
+                ConvMode::Auto
+            }
+        },
+        _ => ConvMode::Auto,
+    }
+}
+
+/// The shape class the [`conv2d`] dispatcher assigns a convolution —
+/// which formulation runs, and (for ahead-of-time compilers) whether the
+/// shape needs im2col scratch at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConvClass {
+    /// Multi-tap direct: small shapes and gather-bound (narrow `c_out`)
+    /// shapes where the im2col materialization would dominate.
+    DirectSmall,
+    /// 1×1 stride-1 unpadded conv: a pure channel mix with no borders —
+    /// always direct (the strip kernel flattens the plane to one row).
+    DirectPointwise,
+    /// Wide-channel large shapes: lower to im2col + tiled matmul.
+    Im2col,
+}
+
+impl ConvClass {
+    /// Whether this class runs the lowering-free direct path (no im2col
+    /// scratch span in compiled plans).
+    pub fn is_direct(self) -> bool {
+        self != ConvClass::Im2col
+    }
+}
+
+/// [`conv2d_class`] under an explicit mode — the pure (globals-free)
+/// heuristic, usable from tests and plan compilers without touching the
+/// process-wide mode.
+pub fn conv2d_class_in_mode(
+    mode: ConvMode,
+    c_in: usize,
+    h: usize,
+    w: usize,
+    c_out: usize,
+    params: Conv2dParams,
+) -> ConvClass {
+    let k = params.kernel;
+    let pointwise = k == 1 && params.stride == 1 && params.padding == 0;
+    match mode {
+        ConvMode::Direct => {
+            if pointwise {
+                ConvClass::DirectPointwise
+            } else {
+                ConvClass::DirectSmall
+            }
+        }
+        ConvMode::Im2col => ConvClass::Im2col,
+        ConvMode::Auto => {
+            if pointwise {
+                return ConvClass::DirectPointwise;
+            }
+            let wo = params.out_extent(w);
+            let macs = c_out * params.out_extent(h) * wo * c_in * k * k;
+            // Gather-bound guard: narrow-c_out shapes with rows wide
+            // enough for vector strips beat the im2col gather at any MAC
+            // count; narrow rows (wo < 2k) would run part-scalar, so they
+            // keep the matmul tiling instead.
+            if macs < IM2COL_MAC_THRESHOLD || (k > 1 && c_out <= DIRECT_SMALL_C_OUT && wo >= 2 * k)
+            {
+                ConvClass::DirectSmall
+            } else {
+                ConvClass::Im2col
+            }
+        }
+    }
+}
+
+/// The shape class [`conv2d`] assigns this convolution under the active
+/// [`conv_mode`].
 ///
 /// Public so ahead-of-time compilers (`diffusion::plan`) can mirror the
-/// routing decision at plan-build time and pre-size scratch for exactly the
-/// convolutions that will lower to matmul.
+/// routing decision at plan-build time: direct classes compile to the
+/// scratch-free `Conv2dDirect` opcode, im2col classes pre-size scratch for
+/// exactly the convolutions that will lower to matmul.
+pub fn conv2d_class(
+    c_in: usize,
+    h: usize,
+    w: usize,
+    c_out: usize,
+    params: Conv2dParams,
+) -> ConvClass {
+    conv2d_class_in_mode(conv_mode(), c_in, h, w, c_out, params)
+}
+
+/// Whether [`conv2d`] routes this shape through the im2col + matmul path
+/// (`true`) or the lowering-free direct path (`false`) — shorthand for
+/// `conv2d_class(..) == ConvClass::Im2col`, kept for the plan compiler's
+/// scratch sizing.
 pub fn conv2d_uses_im2col(
     c_in: usize,
     h: usize,
@@ -49,9 +258,7 @@ pub fn conv2d_uses_im2col(
     c_out: usize,
     params: Conv2dParams,
 ) -> bool {
-    let k = params.kernel;
-    let macs = c_out * params.out_extent(h) * params.out_extent(w) * c_in * k * k;
-    macs >= IM2COL_MAC_THRESHOLD
+    conv2d_class(c_in, h, w, c_out, params) == ConvClass::Im2col
 }
 
 /// Parameters of a 2-D convolution.
@@ -147,8 +354,10 @@ fn check_conv2d_weight_shapes(
 /// `bias` is `[C_out]`; output is `[C_out, H_out, W_out]`. (Batch size is
 /// always 1 in the reproduction; the simulator scales counts instead.)
 ///
-/// Large shapes are lowered through [`conv2d_im2col`]; tiny ones run
-/// [`conv2d_direct`]. Both produce exactly equal results.
+/// The shape's [`conv2d_class`] picks the formulation: im2col-classed
+/// shapes lower through [`conv2d_im2col`]; direct classes run the
+/// lowering-free path ([`conv2d_direct`] or its SIMD strip kernel). All
+/// routes produce exactly equal results.
 ///
 /// # Errors
 ///
@@ -162,11 +371,12 @@ pub fn conv2d(
     conv2d_with(backend::active(), input, weight, bias, params)
 }
 
-/// [`conv2d`] on an explicit backend. The direct-vs-im2col routing
-/// threshold is backend-independent; the backend selects the accumulation
-/// kernel *inside* the im2col path (`Scalar` = streaming order, others =
-/// tiled), so all backends stay bit-identical — including the `-0.0` bias
-/// corner the direct loop differs in (see [`conv2d_im2col`]).
+/// [`conv2d`] on an explicit backend. The shape-class routing is
+/// backend-independent; the backend selects the kernel *inside* each
+/// route (im2col: `Scalar` = streaming order, others = tiled; direct:
+/// `Simd` = strip kernel, others = portable loop), so all backends stay
+/// bit-identical — including the `-0.0` bias corner the two formulations
+/// differ in (see [`conv2d_im2col`]).
 ///
 /// # Errors
 ///
@@ -231,12 +441,97 @@ pub fn conv2d_into_with(
     }
     let bias = bias.map(Tensor::as_slice);
     crate::backend::count_dispatch(crate::backend::DispatchKernel::Conv2dF32, backend);
-    if conv2d_uses_im2col(c_in, h, w, c_out, params) {
-        conv2d_im2col_into(backend, input, c_in, h, w, weight.as_slice(), c_out, bias, params, out);
+    if conv2d_class(c_in, h, w, c_out, params).is_direct() {
+        conv2d_direct_dispatch(
+            backend,
+            input,
+            c_in,
+            h,
+            w,
+            weight.as_slice(),
+            c_out,
+            bias,
+            params,
+            out,
+        );
     } else {
-        conv2d_direct_into(input, c_in, h, w, weight.as_slice(), c_out, bias, params, out);
+        conv2d_im2col_into(backend, input, c_in, h, w, weight.as_slice(), c_out, bias, params, out);
     }
     Ok(())
+}
+
+/// [`conv2d_into_with`] pinned to the lowering-free direct route, skipping
+/// the shape-class dispatcher — the entry point the compiled-plan
+/// `Conv2dDirect` opcode uses after classing the shape at plan-build time.
+/// Counts under the `conv2d_direct_f32` dispatch kernel and never touches
+/// the im2col scratch. Bit-identical to [`conv2d_direct`] on every backend.
+///
+/// # Errors
+///
+/// Returns shape errors if the weight/bias are inconsistent with `c_in` or
+/// the slice lengths disagree with the stated dims.
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_direct_into_with(
+    backend: KernelBackend,
+    input: &[f32],
+    c_in: usize,
+    h: usize,
+    w: usize,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    params: Conv2dParams,
+    out: &mut [f32],
+) -> Result<()> {
+    let c_out = check_conv2d_weight_shapes(c_in, weight, bias, params)?;
+    if input.len() != c_in * h * w {
+        return Err(TensorError::LengthMismatch { expected: c_in * h * w, actual: input.len() });
+    }
+    let ho = params.out_extent(h);
+    let wo = params.out_extent(w);
+    if out.len() != c_out * ho * wo {
+        return Err(TensorError::LengthMismatch { expected: c_out * ho * wo, actual: out.len() });
+    }
+    crate::backend::count_dispatch(crate::backend::DispatchKernel::Conv2dDirectF32, backend);
+    conv2d_direct_dispatch(
+        backend,
+        input,
+        c_in,
+        h,
+        w,
+        weight.as_slice(),
+        c_out,
+        bias.map(Tensor::as_slice),
+        params,
+        out,
+    );
+    Ok(())
+}
+
+/// Runs the direct formulation on the given backend: the `Simd` backend
+/// tries the register-strip kernel ([`super::conv_direct_simd`]), falling
+/// back to the portable loop when the active level has no vector kernel;
+/// `Scalar`/`Tiled` always run the portable loop. All routes are
+/// bit-identical — the strip kernel replays the exact reference
+/// accumulation order.
+#[allow(clippy::too_many_arguments)]
+fn conv2d_direct_dispatch(
+    backend: KernelBackend,
+    iv: &[f32],
+    c_in: usize,
+    h: usize,
+    w: usize,
+    wv: &[f32],
+    c_out: usize,
+    bias: Option<&[f32]>,
+    params: Conv2dParams,
+    ov: &mut [f32],
+) {
+    if backend == KernelBackend::Simd
+        && super::conv_direct_simd::conv2d_direct_simd(iv, c_in, h, w, wv, c_out, bias, params, ov)
+    {
+        return;
+    }
+    conv2d_direct_into(iv, c_in, h, w, wv, c_out, bias, params, ov);
 }
 
 /// Direct (sliding-window loop) 2-D convolution — the reference kernel, and
@@ -815,16 +1110,155 @@ mod tests {
     }
 
     #[test]
-    fn routing_predicate_matches_mac_threshold() {
-        // Below threshold: the tiny pointwise mixes the UNet blocks use.
-        assert!(!conv2d_uses_im2col(8, 8, 8, 8, Conv2dParams::pointwise()));
-        // Above: a bench-scale 3x3 (12*8*8*12*9 = 82944 MACs >= 2^14).
-        assert!(conv2d_uses_im2col(12, 8, 8, 12, Conv2dParams::same3x3()));
-        // The predicate must agree with what conv2d actually does: both
-        // sides of the boundary already byte-match in the routing tests, so
-        // here just pin the threshold arithmetic (out extents, not input).
+    fn auto_mode_shape_classes() {
+        use ConvClass::*;
+        let class =
+            |c_in, hw, c_out, p| conv2d_class_in_mode(ConvMode::Auto, c_in, hw, hw, c_out, p);
+        // Pointwise is always direct, at any size: no borders, no gather.
+        assert_eq!(class(8, 8, 8, Conv2dParams::pointwise()), DirectPointwise);
+        assert_eq!(class(256, 16, 256, Conv2dParams::pointwise()), DirectPointwise);
+        // Tiny multi-tap shapes below the MAC threshold stay direct.
+        assert_eq!(class(3, 6, 4, Conv2dParams::same3x3()), DirectSmall);
+        // Narrow-c_out shapes above the threshold are gather-bound: the
+        // im2col materialization is ~8/c_out of the compute, so they run
+        // the direct strips (12*8*8*12*9 = 82944 MACs, c_out=12 <= 16).
+        assert_eq!(class(12, 8, 12, Conv2dParams::same3x3()), DirectSmall);
+        // Wide-channel large shapes lower to im2col.
+        assert_eq!(class(32, 16, 32, Conv2dParams::same3x3()), Im2col);
+        assert_eq!(class(16, 16, 32, Conv2dParams { kernel: 3, stride: 2, padding: 1 }), Im2col);
+        // Narrow-row guard: c_out is small but wo < 2k would run the
+        // strips part-scalar, so a large shape keeps the matmul tiling.
+        assert_eq!(class(64, 4, 16, Conv2dParams::same3x3()), Im2col);
+        // MAC-threshold arithmetic uses *output* extents.
         let p = Conv2dParams { kernel: 3, stride: 2, padding: 1 };
-        assert_eq!(conv2d_uses_im2col(16, 16, 16, 4, p), 4 * 8 * 8 * 16 * 9 >= 1 << 14);
+        let macs = 4 * 8 * 8 * 16 * 9; // c_out=4 <= 16 and wo=8 >= 6: direct.
+        assert!(macs >= 1 << 14);
+        assert_eq!(class(16, 16, 4, p), DirectSmall);
+    }
+
+    #[test]
+    fn forced_modes_override_the_heuristic() {
+        let p = Conv2dParams::same3x3();
+        // A shape auto would run direct is forced onto the lowering...
+        assert_eq!(conv2d_class_in_mode(ConvMode::Im2col, 1, 4, 4, 1, p), ConvClass::Im2col);
+        // ...and an im2col-sized shape forced direct, preserving the
+        // pointwise/multi-tap split.
+        assert_eq!(
+            conv2d_class_in_mode(ConvMode::Direct, 64, 32, 32, 64, p),
+            ConvClass::DirectSmall
+        );
+        assert_eq!(
+            conv2d_class_in_mode(ConvMode::Direct, 64, 32, 32, 64, Conv2dParams::pointwise()),
+            ConvClass::DirectPointwise
+        );
+        assert!(ConvClass::DirectSmall.is_direct());
+        assert!(ConvClass::DirectPointwise.is_direct());
+        assert!(!ConvClass::Im2col.is_direct());
+    }
+
+    #[test]
+    fn conv_mode_names_roundtrip() {
+        for m in ConvMode::ALL {
+            assert_eq!(ConvMode::parse(m.name()), Some(m));
+            assert_eq!(ConvMode::decode(m.encode()), Some(m));
+            assert_eq!(format!("{m}"), m.name());
+        }
+        assert_eq!(ConvMode::parse("IM2COL"), Some(ConvMode::Im2col));
+        assert_eq!(ConvMode::decode(0), None);
+        assert!(ConvMode::parse("bogus").is_none());
+    }
+
+    #[test]
+    fn uses_im2col_is_the_im2col_class() {
+        // `conv2d_uses_im2col` is the plan compiler's scratch-sizing
+        // mirror: it must be exactly "the dispatcher classes this shape
+        // Im2col" under whatever mode the process is running.
+        let cases = [
+            (8usize, 8usize, 8usize, Conv2dParams::pointwise()),
+            (12, 8, 12, Conv2dParams::same3x3()),
+            (32, 16, 32, Conv2dParams::same3x3()),
+            (16, 16, 4, Conv2dParams { kernel: 3, stride: 2, padding: 1 }),
+        ];
+        for &(c_in, hw, c_out, p) in &cases {
+            assert_eq!(
+                conv2d_uses_im2col(c_in, hw, hw, c_out, p),
+                conv2d_class(c_in, hw, hw, c_out, p) == ConvClass::Im2col,
+            );
+        }
+    }
+
+    #[test]
+    fn direct_entry_point_matches_reference_and_checks_shapes() {
+        // `conv2d_direct_into_with` (the plan opcode's entry) must match
+        // `conv2d_direct` bitwise on every backend — including im2col-sized
+        // shapes it pins to the direct route — and validate like the
+        // routed entry.
+        let mut rng = Rng::seed_from(29);
+        let cases = [
+            (3usize, 6usize, 4usize, Conv2dParams::same3x3()),
+            (32, 16, 32, Conv2dParams::same3x3()),
+            (16, 16, 32, Conv2dParams { kernel: 3, stride: 2, padding: 1 }),
+            (8, 8, 8, Conv2dParams::pointwise()),
+        ];
+        for &(c_in, hw, c_out, p) in &cases {
+            let input = Tensor::randn(&[c_in, hw, hw], &mut rng);
+            let weight = Tensor::randn(&[c_out, c_in, p.kernel, p.kernel], &mut rng);
+            let bias = Tensor::randn(&[c_out], &mut rng);
+            for b in [None, Some(&bias)] {
+                let want = conv2d_direct(&input, &weight, b, p).unwrap();
+                for backend in crate::backend::KernelBackend::available() {
+                    let mut out = vec![f32::NAN; want.len()];
+                    conv2d_direct_into_with(
+                        backend,
+                        input.as_slice(),
+                        c_in,
+                        hw,
+                        hw,
+                        &weight,
+                        b,
+                        p,
+                        &mut out,
+                    )
+                    .unwrap();
+                    for (x, y) in out.iter().zip(want.as_slice()) {
+                        assert_eq!(
+                            x.to_bits(),
+                            y.to_bits(),
+                            "direct entry diverged on {backend} at c_in={c_in} hw={hw}"
+                        );
+                    }
+                }
+            }
+        }
+        // Error paths mirror the routed entry.
+        let input = Tensor::zeros(&[2, 4, 4]);
+        let weight = Tensor::zeros(&[3, 2, 3, 3]);
+        let mut out = vec![0.0; 3 * 4 * 4];
+        let bad_bias = Tensor::zeros(&[2]);
+        assert!(conv2d_direct_into_with(
+            crate::KernelBackend::Scalar,
+            input.as_slice(),
+            2,
+            4,
+            4,
+            &weight,
+            Some(&bad_bias),
+            Conv2dParams::same3x3(),
+            &mut out,
+        )
+        .is_err());
+        assert!(conv2d_direct_into_with(
+            crate::KernelBackend::Scalar,
+            &input.as_slice()[..7],
+            2,
+            4,
+            4,
+            &weight,
+            None,
+            Conv2dParams::same3x3(),
+            &mut out,
+        )
+        .is_err());
     }
 
     #[test]

@@ -1,0 +1,544 @@
+//! Explicit-SIMD **direct** (lowering-free) 2-D convolution — the `Simd`
+//! backend implementation of the direct conv classes, with no im2col
+//! scratch, no weight transpose, and no output de-interleave.
+//!
+//! # Bit-exactness strategy
+//!
+//! Same contract as [`super::simd`]: every SIMD lane is one independent
+//! output element, and per element the products arrive one at a time in
+//! the reference order of [`super::conv::conv2d_direct`] — bias seed
+//! first, then taps ascending in `(c_in, ky, kx)` with out-of-bounds
+//! (padding) taps *skipped*, each folded with a separate correctly
+//! rounded multiply and add (never FMA). Two observations make the strip
+//! kernel possible:
+//!
+//! * the **row** validity of a tap (`0 ≤ oy·s + ky − pad < h`) depends
+//!   only on `oy`, so for a fixed output row the in-bounds `ky` set is a
+//!   contiguous range shared by every lane;
+//! * the **column** validity (`0 ≤ ox·s + kx − pad < w`) is monotone in
+//!   `ox`, so the columns where *every* `kx` tap is in bounds form one
+//!   contiguous *interior* `[ox_lo, ox_hi)`. Interior strips take the
+//!   vector path (contiguous loads for stride 1, strided gathers
+//!   otherwise); border columns and the sub-vector tail run a scalar
+//!   loop with the identical tap order and per-tap bounds checks.
+//!
+//! An output-pixel strip of `C` vectors **per output channel**, for a
+//! block of `CB` channels at once, stays in registers while the whole
+//! `(c_in, ky, kx)` reduction streams through it. The channel blocking
+//! is what lets the direct path beat the lowered route: each input
+//! vector is loaded (or gathered) *once* per tap and folded into all
+//! `CB` channel accumulators off per-channel weight splats, so the
+//! MAC-per-load ratio scales with `CB` where an unblocked loop would
+//! re-stream the input plane for every output channel. Per output
+//! element nothing changes — each lane still folds its own taps one at
+//! a time in reference order — so blocking is invisible to the
+//! bit-exactness contract. `CB = 4, C = 2` fits the 16-register vector
+//! file (8 accumulators + 2 input vectors + 1 weight splat); leftover
+//! channels run the same kernel with `CB = 1`. A narrower vector type
+//! mops up interior columns the wide type cannot cover (on AVX2 the
+//! 4-lane SSE2 vector halves the scalar edge work of narrow planes —
+//! SSE2 is x86-64 baseline, so an AVX2-active process may always use
+//! it).
+//!
+//! Pointwise (`k == 1`, stride 1, no padding) convolutions are flattened
+//! to a single `h·w`-pixel row first: every pixel is interior, so the
+//! whole plane vectorizes with zero scalar columns.
+
+use crate::backend::{self, SimdLevel};
+use crate::ops::conv::Conv2dParams;
+
+/// Explicit-SIMD direct convolution at the active SIMD level. Writes every
+/// element of `ov` and returns `true`, or returns `false` (leaving `ov`
+/// untouched) when no kernel exists for the active level on this
+/// architecture — the caller falls back to the portable direct loop.
+///
+/// Operands are pre-validated by the caller ([`super::conv`] entry
+/// points): `iv` is `[c_in, h, w]`, `wv` is `[c_out, c_in, k, k]`, `ov`
+/// holds exactly `c_out · out_extent(h) · out_extent(w)` elements.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn conv2d_direct_simd(
+    iv: &[f32],
+    c_in: usize,
+    h: usize,
+    w: usize,
+    wv: &[f32],
+    c_out: usize,
+    bias: Option<&[f32]>,
+    params: Conv2dParams,
+    ov: &mut [f32],
+) -> bool {
+    // A 1×1 stride-1 unpadded conv is position-independent: flatten the
+    // spatial plane to one long row so every pixel is interior. The
+    // per-element tap order (the single `(ci, 0, 0)` tap per channel) is
+    // unchanged, so this is bit-identical to the unflattened walk.
+    let (h, w) = if params.kernel == 1 && params.stride == 1 && params.padding == 0 {
+        (1, h * w)
+    } else {
+        (h, w)
+    };
+    match backend::simd_level() {
+        // SAFETY (all arms): only hardware-supported levels can ever be
+        // active (`set_simd_level` and the env resolution both enforce
+        // `is_hw_supported`), so the matched level proves its feature.
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => {
+            unsafe { x86::conv_direct_avx2(iv, c_in, h, w, wv, c_out, bias, params, ov) };
+            true
+        }
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Sse2 => {
+            unsafe { x86::conv_direct_sse2(iv, c_in, h, w, wv, c_out, bias, params, ov) };
+            true
+        }
+        #[cfg(target_arch = "aarch64")]
+        SimdLevel::Neon => {
+            unsafe { neon::conv_direct_neon(iv, c_in, h, w, wv, c_out, bias, params, ov) };
+            true
+        }
+        _ => {
+            let _ = (iv, c_in, h, w, wv, c_out, bias, params, ov);
+            false
+        }
+    }
+}
+
+#[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+mod generic {
+    use super::Conv2dParams;
+    use crate::ops::simd::generic::VecF32;
+
+    /// Output channels folded per shared input load on the blocked pass.
+    /// With `C = 2` column strips this is 8 accumulators, 2 input
+    /// vectors, and 1 weight splat live at once — exactly filling a
+    /// 16-register vector file without spills.
+    const CB_MAX: usize = 4;
+
+    /// One register-resident strip of `C` vectors (`C · V::LANES` output
+    /// pixels at columns `ox, ox+1, …` of one output row) for each of
+    /// `CB` consecutive output channels: seeds every lane with its
+    /// channel's bias, then streams the full in-bounds tap reduction in
+    /// ascending `(ci, ky, kx)` order. Each input vector is loaded once
+    /// per tap and folded into all `CB` channel accumulators (one weight
+    /// splat each) — cross-channel sharing that never reorders any
+    /// single output element's own mul+add chain.
+    ///
+    /// # Safety
+    ///
+    /// Caller guarantees the strip is *interior*: for every lane column
+    /// `ox + i < ox_hi` and every `kx < k`, `ox·s + kx − pad ∈ [0, w)`,
+    /// and `ky ∈ [ky_lo, ky_hi)` keeps `iy0 + ky ∈ [0, h)`. The
+    /// instantiating instruction set must be enabled in the enclosing
+    /// `#[target_feature]` context.
+    #[allow(clippy::too_many_arguments)]
+    #[inline(always)]
+    unsafe fn strip<V: VecF32, const C: usize, const CB: usize>(
+        iv: &[f32],
+        wv: &[f32],
+        wbases: &[usize; CB],
+        c_in: usize,
+        h: usize,
+        w: usize,
+        k: usize,
+        stride: usize,
+        pad: isize,
+        iy0: isize,
+        ky_lo: usize,
+        ky_hi: usize,
+        ox: usize,
+        biases: &[f32; CB],
+    ) -> [[V; C]; CB] {
+        let mut acc: [[V; C]; CB] = std::array::from_fn(|b| [V::splat(biases[b]); C]);
+        let ip = iv.as_ptr();
+        // First lane's input column for kx = 0; interior ⇒ x0 + kx ≥ 0.
+        let x0 = (ox * stride) as isize - pad;
+        for ci in 0..c_in {
+            let plane = ip.add(ci * h * w);
+            for ky in ky_lo..ky_hi {
+                let rp = plane.add((iy0 + ky as isize) as usize * w);
+                for kx in 0..k {
+                    let widx = (ci * k + ky) * k + kx;
+                    for t in 0..C {
+                        let base = rp.offset(x0 + kx as isize + (t * V::LANES * stride) as isize);
+                        let v = if stride == 1 {
+                            V::load(base)
+                        } else {
+                            V::gather_stride(base, stride)
+                        };
+                        for (b, wb) in acc.iter_mut().zip(wbases) {
+                            let wvec = V::splat(*wv.get_unchecked(wb + widx));
+                            b[t] = b[t].muladd(wvec, v);
+                        }
+                    }
+                }
+            }
+        }
+        acc
+    }
+
+    /// One border/tail output element in the exact reference order: bias
+    /// seed, then in-bounds taps ascending `(ci, ky, kx)` with a per-tap
+    /// column bounds check (the row bounds are the caller's `ky` range).
+    #[allow(clippy::too_many_arguments)]
+    #[inline(always)]
+    fn scalar_out(
+        iv: &[f32],
+        wv: &[f32],
+        wbase: usize,
+        c_in: usize,
+        h: usize,
+        w: usize,
+        k: usize,
+        stride: usize,
+        pad: isize,
+        iy0: isize,
+        ky_lo: usize,
+        ky_hi: usize,
+        ox: usize,
+        bias_v: f32,
+    ) -> f32 {
+        let mut acc = bias_v;
+        let ix0 = (ox * stride) as isize - pad;
+        // In-bounds taps are the contiguous kx range with ix0 + kx ∈
+        // [0, w) — hoisting the column check out of the tap loop skips
+        // exactly the taps the branch version would, in the same order.
+        let kx_lo = (-ix0).clamp(0, k as isize) as usize;
+        let kx_hi = (w as isize - ix0).clamp(kx_lo as isize, k as isize) as usize;
+        for ci in 0..c_in {
+            let plane = &iv[ci * h * w..(ci + 1) * h * w];
+            for ky in ky_lo..ky_hi {
+                let base = ((iy0 + ky as isize) as usize * w) as isize + ix0;
+                for kx in kx_lo..kx_hi {
+                    acc +=
+                        wv[wbase + (ci * k + ky) * k + kx] * plane[(base + kx as isize) as usize];
+                }
+            }
+        }
+        acc
+    }
+
+    /// All output rows for the `CB` output channels starting at `co`:
+    /// wide 2-vector then 1-vector strips over the interior with an
+    /// overlapping back strip absorbing the ragged edge, a narrow-vector
+    /// (`N`) pass for interiors the wide type cannot enter at all, and
+    /// scalar reference loops on the borders. `N` may equal `V`
+    /// (SSE2/NEON) — its pass then never fires.
+    ///
+    /// # Safety
+    ///
+    /// Operands pre-validated (`iv` = `[c_in, h, w]`, `wv` =
+    /// `[c_out, c_in, k, k]`, `ov` = `[c_out, ho, wo]`), `co + CB ≤
+    /// c_out`, `ox_lo`/`ox_hi` the interior column range; instruction
+    /// set enabled in the enclosing `#[target_feature]` context.
+    #[allow(clippy::too_many_arguments)]
+    #[inline(always)]
+    unsafe fn channel_rows<V: VecF32, N: VecF32, const CB: usize>(
+        iv: &[f32],
+        c_in: usize,
+        h: usize,
+        w: usize,
+        wv: &[f32],
+        bias: Option<&[f32]>,
+        co: usize,
+        k: usize,
+        s: usize,
+        padi: isize,
+        ho: usize,
+        wo: usize,
+        ox_lo: usize,
+        ox_hi: usize,
+        ov: &mut [f32],
+    ) {
+        let wbases: [usize; CB] = std::array::from_fn(|t| (co + t) * c_in * k * k);
+        let biases: [f32; CB] = std::array::from_fn(|t| bias.map_or(0.0, |b| b[co + t]));
+        let op = ov.as_mut_ptr();
+        for oy in 0..ho {
+            let iy0 = (oy * s) as isize - padi;
+            // In-bounds tap rows: iy0 + ky ∈ [0, h), a contiguous range
+            // (uniform across the row's lanes).
+            let ky_lo = (-iy0).clamp(0, k as isize) as usize;
+            let ky_hi = (h as isize - iy0).clamp(ky_lo as isize, k as isize) as usize;
+            // Start of this output row in each channel's plane.
+            let rows: [usize; CB] = std::array::from_fn(|t| ((co + t) * ho + oy) * wo);
+            for ox in 0..ox_lo {
+                for ((&r, &wb), &bv) in rows.iter().zip(&wbases).zip(&biases) {
+                    *op.add(r + ox) =
+                        scalar_out(iv, wv, wb, c_in, h, w, k, s, padi, iy0, ky_lo, ky_hi, ox, bv);
+                }
+            }
+            let mut ox = ox_lo;
+            if ox_hi - ox_lo >= V::LANES {
+                while ox + 2 * V::LANES <= ox_hi {
+                    let accs = strip::<V, 2, CB>(
+                        iv, wv, &wbases, c_in, h, w, k, s, padi, iy0, ky_lo, ky_hi, ox, &biases,
+                    );
+                    for (a, &r) in accs.iter().zip(&rows) {
+                        a[0].store(op.add(r + ox));
+                        a[1].store(op.add(r + ox + V::LANES));
+                    }
+                    ox += 2 * V::LANES;
+                }
+                while ox + V::LANES <= ox_hi {
+                    let accs = strip::<V, 1, CB>(
+                        iv, wv, &wbases, c_in, h, w, k, s, padi, iy0, ky_lo, ky_hi, ox, &biases,
+                    );
+                    for (a, &r) in accs.iter().zip(&rows) {
+                        a[0].store(op.add(r + ox));
+                    }
+                    ox += V::LANES;
+                }
+                if ox < ox_hi {
+                    // Overlapping back strip: recompute the last full
+                    // vector of interior columns. The re-covered lanes
+                    // run the identical per-element chain, so the store
+                    // overwrites them with the same bits — cheaper than
+                    // a scalar mop-up of the ragged edge.
+                    let oxb = ox_hi - V::LANES;
+                    let accs = strip::<V, 1, CB>(
+                        iv, wv, &wbases, c_in, h, w, k, s, padi, iy0, ky_lo, ky_hi, oxb, &biases,
+                    );
+                    for (a, &r) in accs.iter().zip(&rows) {
+                        a[0].store(op.add(r + oxb));
+                    }
+                    ox = ox_hi;
+                }
+            } else if N::LANES < V::LANES && ox_hi - ox_lo >= N::LANES {
+                while ox + N::LANES <= ox_hi {
+                    let accs = strip::<N, 1, CB>(
+                        iv, wv, &wbases, c_in, h, w, k, s, padi, iy0, ky_lo, ky_hi, ox, &biases,
+                    );
+                    for (a, &r) in accs.iter().zip(&rows) {
+                        a[0].store(op.add(r + ox));
+                    }
+                    ox += N::LANES;
+                }
+                if ox < ox_hi {
+                    let oxb = ox_hi - N::LANES;
+                    let accs = strip::<N, 1, CB>(
+                        iv, wv, &wbases, c_in, h, w, k, s, padi, iy0, ky_lo, ky_hi, oxb, &biases,
+                    );
+                    for (a, &r) in accs.iter().zip(&rows) {
+                        a[0].store(op.add(r + oxb));
+                    }
+                    ox = ox_hi;
+                }
+            }
+            for oxx in ox..wo {
+                for ((&r, &wb), &bv) in rows.iter().zip(&wbases).zip(&biases) {
+                    *op.add(r + oxx) =
+                        scalar_out(iv, wv, wb, c_in, h, w, k, s, padi, iy0, ky_lo, ky_hi, oxx, bv);
+                }
+            }
+        }
+    }
+
+    /// The full direct convolution: channel blocks of [`CB_MAX`] share
+    /// every input load, leftover channels run the same kernel one at a
+    /// time.
+    ///
+    /// # Safety
+    ///
+    /// Operands pre-validated (`iv` = `[c_in, h, w]`, `wv` =
+    /// `[c_out, c_in, k, k]`, `ov` = `[c_out, ho, wo]`); instruction set
+    /// enabled in the enclosing `#[target_feature]` context.
+    #[allow(clippy::too_many_arguments)]
+    #[inline(always)]
+    pub(super) unsafe fn conv_direct_impl<V: VecF32, N: VecF32>(
+        iv: &[f32],
+        c_in: usize,
+        h: usize,
+        w: usize,
+        wv: &[f32],
+        c_out: usize,
+        bias: Option<&[f32]>,
+        params: Conv2dParams,
+        ov: &mut [f32],
+    ) {
+        let k = params.kernel;
+        let s = params.stride;
+        let pad = params.padding;
+        let ho = params.out_extent(h);
+        let wo = params.out_extent(w);
+        // Interior columns: every kx tap lands in [0, w) for the column.
+        // `ox ≥ ⌈pad/s⌉` keeps kx = 0 in bounds; `ox·s ≤ w + pad − k`
+        // keeps kx = k−1 in bounds.
+        let ox_lo = pad.div_ceil(s).min(wo);
+        let ox_hi = if w + pad >= k { ((w + pad - k) / s + 1).clamp(ox_lo, wo) } else { ox_lo };
+        let padi = pad as isize;
+        let mut co = 0;
+        while co + CB_MAX <= c_out {
+            channel_rows::<V, N, CB_MAX>(
+                iv, c_in, h, w, wv, bias, co, k, s, padi, ho, wo, ox_lo, ox_hi, ov,
+            );
+            co += CB_MAX;
+        }
+        while co < c_out {
+            channel_rows::<V, N, 1>(
+                iv, c_in, h, w, wv, bias, co, k, s, padi, ho, wo, ox_lo, ox_hi, ov,
+            );
+            co += 1;
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod x86 {
+    use super::generic::conv_direct_impl;
+    use super::Conv2dParams;
+    use crate::ops::simd::x86::{V128, V256};
+
+    /// # Safety
+    /// AVX2 must be available; operands per [`conv_direct_impl`].
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2")]
+    pub(crate) unsafe fn conv_direct_avx2(
+        iv: &[f32],
+        c_in: usize,
+        h: usize,
+        w: usize,
+        wv: &[f32],
+        c_out: usize,
+        bias: Option<&[f32]>,
+        params: Conv2dParams,
+        ov: &mut [f32],
+    ) {
+        // SSE2 is x86-64 baseline: the narrow V128 mop-up is always legal
+        // in an AVX2 process.
+        conv_direct_impl::<V256, V128>(iv, c_in, h, w, wv, c_out, bias, params, ov)
+    }
+
+    /// # Safety
+    /// SSE2 must be available; operands per [`conv_direct_impl`].
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "sse2")]
+    pub(crate) unsafe fn conv_direct_sse2(
+        iv: &[f32],
+        c_in: usize,
+        h: usize,
+        w: usize,
+        wv: &[f32],
+        c_out: usize,
+        bias: Option<&[f32]>,
+        params: Conv2dParams,
+        ov: &mut [f32],
+    ) {
+        conv_direct_impl::<V128, V128>(iv, c_in, h, w, wv, c_out, bias, params, ov)
+    }
+}
+
+#[cfg(target_arch = "aarch64")]
+pub(crate) mod neon {
+    use super::generic::conv_direct_impl;
+    use super::Conv2dParams;
+    use crate::ops::simd::neon::V128N;
+
+    /// # Safety
+    /// Operands per [`conv_direct_impl`] (NEON is aarch64 baseline).
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "neon")]
+    pub(crate) unsafe fn conv_direct_neon(
+        iv: &[f32],
+        c_in: usize,
+        h: usize,
+        w: usize,
+        wv: &[f32],
+        c_out: usize,
+        bias: Option<&[f32]>,
+        params: Conv2dParams,
+        ov: &mut [f32],
+    ) {
+        conv_direct_impl::<V128N, V128N>(iv, c_in, h, w, wv, c_out, bias, params, ov)
+    }
+}
+
+#[cfg(all(test, target_arch = "x86_64"))]
+mod tests {
+    use super::*;
+    use crate::ops::conv::{conv2d_direct, Conv2dParams};
+    use crate::{Rng, Tensor};
+
+    /// Every per-level direct-conv kernel (called directly, independent of
+    /// the mutable active-level global, so race-free under parallel tests)
+    /// matches the portable direct loop bitwise across stride, padding,
+    /// kernel size, lane-boundary plane widths, and bias modes.
+    #[test]
+    fn level_kernels_match_direct_bitwise() {
+        type ConvFn = unsafe fn(
+            &[f32],
+            usize,
+            usize,
+            usize,
+            &[f32],
+            usize,
+            Option<&[f32]>,
+            Conv2dParams,
+            &mut [f32],
+        );
+        let mut kernels: Vec<(&str, ConvFn)> = vec![("sse2", x86::conv_direct_sse2)];
+        if std::arch::is_x86_feature_detected!("avx2") {
+            kernels.push(("avx2", x86::conv_direct_avx2));
+        }
+        let mut rng = Rng::seed_from(53);
+        let cases = [
+            // (c_in, h, w, c_out, params) — straddling every boundary:
+            // 1×1 pointwise (flattened-plane path), 3×3 same on widths
+            // below/at/past one and two vectors, stride 2 (gathers),
+            // padding 0 (no borders), wide padding, k > w degenerate.
+            (1usize, 1usize, 1usize, 1usize, Conv2dParams::pointwise()),
+            (3, 5, 7, 4, Conv2dParams::pointwise()),
+            (8, 4, 4, 8, Conv2dParams::pointwise()),
+            (2, 6, 6, 3, Conv2dParams::same3x3()),
+            (4, 8, 8, 4, Conv2dParams::same3x3()),
+            (3, 9, 17, 5, Conv2dParams::same3x3()),
+            (2, 16, 18, 3, Conv2dParams::same3x3()),
+            (2, 7, 7, 3, Conv2dParams { kernel: 3, stride: 1, padding: 0 }),
+            (2, 8, 8, 3, Conv2dParams { kernel: 3, stride: 2, padding: 1 }),
+            (2, 16, 16, 3, Conv2dParams { kernel: 3, stride: 2, padding: 1 }),
+            (2, 5, 9, 3, Conv2dParams { kernel: 3, stride: 1, padding: 2 }),
+            (1, 5, 2, 2, Conv2dParams { kernel: 3, stride: 1, padding: 1 }),
+            (1, 5, 1, 1, Conv2dParams { kernel: 5, stride: 1, padding: 2 }),
+            (4, 8, 4, 2, Conv2dParams { kernel: 5, stride: 2, padding: 2 }),
+        ];
+        for &(c_in, h, w, c_out, p) in &cases {
+            let input = Tensor::randn(&[c_in, h, w], &mut rng);
+            let weight = Tensor::randn(&[c_out, c_in, p.kernel, p.kernel], &mut rng);
+            let bias = Tensor::randn(&[c_out], &mut rng);
+            for b in [None, Some(&bias)] {
+                let want = conv2d_direct(&input, &weight, b, p).unwrap();
+                for (name, kern) in &kernels {
+                    let mut got = vec![f32::NAN; want.len()];
+                    // The flattened pointwise reshape the dispatcher does.
+                    let (kh, kw) = if p.kernel == 1 && p.stride == 1 && p.padding == 0 {
+                        (1, h * w)
+                    } else {
+                        (h, w)
+                    };
+                    // SAFETY: SSE2 is x86-64 baseline; AVX2 entries are
+                    // only pushed after runtime detection.
+                    unsafe {
+                        kern(
+                            input.as_slice(),
+                            c_in,
+                            kh,
+                            kw,
+                            weight.as_slice(),
+                            c_out,
+                            b.map(Tensor::as_slice),
+                            p,
+                            &mut got,
+                        )
+                    };
+                    for (g, q) in got.iter().zip(want.as_slice()) {
+                        assert_eq!(
+                            g.to_bits(),
+                            q.to_bits(),
+                            "{name} direct conv diverged at c{c_in}-{c_out} {h}x{w} k{} s{} p{}",
+                            p.kernel,
+                            p.stride,
+                            p.padding
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

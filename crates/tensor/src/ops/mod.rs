@@ -17,6 +17,7 @@
 
 pub mod activation;
 pub mod conv;
+pub(crate) mod conv_direct_simd;
 pub mod elementwise;
 pub mod matmul;
 pub mod norm;
@@ -27,8 +28,9 @@ pub use activation::{
     gelu, gelu_into, sigmoid, sigmoid_into, silu, silu_into, softmax_rows, softmax_rows_into,
 };
 pub use conv::{
-    conv2d, conv2d_direct, conv2d_im2col, conv2d_im2col_with, conv2d_into_with, conv2d_uses_im2col,
-    conv2d_with, im2col, im2col_transposed_into, Conv2dParams,
+    conv2d, conv2d_class, conv2d_class_in_mode, conv2d_direct, conv2d_direct_into_with,
+    conv2d_im2col, conv2d_im2col_with, conv2d_into_with, conv2d_uses_im2col, conv2d_with,
+    conv_mode, im2col, im2col_transposed_into, set_conv_mode, Conv2dParams, ConvClass, ConvMode,
 };
 pub use elementwise::{add, mul, scale, sub};
 pub use matmul::{

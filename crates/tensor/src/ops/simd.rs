@@ -118,14 +118,17 @@ pub(crate) fn matvec(out: &mut [f32], a: &[f32], x: &[f32], m: usize, k: usize) 
 }
 
 #[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
-mod generic {
+pub(crate) mod generic {
     use crate::ops::matmul::{self, B_ELEMS_BLOCK_THRESHOLD, KC, MR};
 
     /// The minimal vector contract the generic kernels are written
     /// against. All operations are lane-wise; `muladd` must lower to a
     /// separate correctly rounded multiply and add (never a fused
     /// multiply-add), because one rounding vs two changes bits.
-    pub(super) trait VecF32: Copy {
+    /// `pub(crate)` so the direct-conv kernels
+    /// ([`crate::ops::conv_direct_simd`]) instantiate against the same
+    /// contract (and the same per-ISA vector types) as the matmul family.
+    pub(crate) trait VecF32: Copy {
         /// Lane count (vector width in `f32`s).
         const LANES: usize;
         /// # Safety
@@ -403,7 +406,7 @@ mod generic {
 }
 
 #[cfg(target_arch = "x86_64")]
-mod x86 {
+pub(crate) mod x86 {
     use core::arch::x86_64::*;
 
     use super::generic::{matmul_acc_impl, matvec_impl, VecF32};
@@ -412,7 +415,7 @@ mod x86 {
     /// AVX, but the kernels are gated behind the `Avx2` ladder rung to
     /// keep one detection axis for the integer and float kernels alike.
     #[derive(Clone, Copy)]
-    struct V256(__m256);
+    pub(crate) struct V256(__m256);
 
     impl VecF32 for V256 {
         const LANES: usize = 8;
@@ -451,7 +454,7 @@ mod x86 {
 
     /// 4-lane SSE2 vector.
     #[derive(Clone, Copy)]
-    struct V128(__m128);
+    pub(crate) struct V128(__m128);
 
     impl VecF32 for V128 {
         const LANES: usize = 4;
@@ -521,14 +524,14 @@ mod x86 {
 }
 
 #[cfg(target_arch = "aarch64")]
-mod neon {
+pub(crate) mod neon {
     use core::arch::aarch64::*;
 
     use super::generic::{matmul_acc_impl, matvec_impl, VecF32};
 
     /// 4-lane NEON vector (NEON is aarch64 baseline).
     #[derive(Clone, Copy)]
-    struct V128N(float32x4_t);
+    pub(crate) struct V128N(float32x4_t);
 
     impl VecF32 for V128N {
         const LANES: usize = 4;

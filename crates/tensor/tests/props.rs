@@ -126,6 +126,45 @@ proptest! {
         set_simd_level(hw_simd_level()).unwrap();
     }
 
+    /// The lowering-free direct route (`conv2d_direct_into_with`, the
+    /// compiled-plan `Conv2dDirect` entry) is bit-identical to the
+    /// portable reference on every backend at every available SIMD level,
+    /// across the full shape-class matrix: 1×1 and 3×3 kernels, stride
+    /// 1/2, padding 0/1, non-square spatial extents wide enough to cross
+    /// the 8-lane AVX2 strip boundary plus narrow-row/scalar tails, and
+    /// channel counts straddling the lane boundaries.
+    #[test]
+    fn direct_conv_level_matrix_is_bit_identical(
+        c_in in 1usize..10, h in 3usize..12, w in 3usize..20, c_out in 1usize..10,
+        kernel_is_3 in any::<bool>(), stride in 1usize..3, padding in 0usize..2,
+        with_bias in any::<bool>(), seed in any::<u64>(),
+    ) {
+        let p = Conv2dParams { kernel: if kernel_is_3 { 3 } else { 1 }, stride, padding };
+        let mut rng = Rng::seed_from(seed);
+        let input = Tensor::randn(&[c_in, h, w], &mut rng);
+        let weight = Tensor::randn(&[c_out, c_in, p.kernel, p.kernel], &mut rng);
+        let bias = Tensor::randn(&[c_out], &mut rng);
+        let b = with_bias.then_some(&bias);
+        let want = ops::conv2d_direct(&input, &weight, b, p).unwrap();
+        for (backend, level) in backend_level_matrix() {
+            if let Some(level) = level {
+                set_simd_level(level).unwrap();
+            }
+            let mut got = vec![f32::NAN; want.len()];
+            ops::conv2d_direct_into_with(
+                backend, input.as_slice(), c_in, h, w, &weight, b, p, &mut got,
+            ).unwrap();
+            for (x, y) in got.iter().zip(want.as_slice()) {
+                prop_assert_eq!(
+                    x.to_bits(), y.to_bits(),
+                    "direct conv diverged on {} at {:?} (k={} s={} p={})",
+                    backend, level, p.kernel, stride, padding
+                );
+            }
+        }
+        set_simd_level(hw_simd_level()).unwrap();
+    }
+
     /// conv2d(x + d) == conv2d(x) + conv2d(d) when bias is folded once.
     #[test]
     fn conv_distributes_over_addition(c_in in 1usize..3, hw in 2usize..6, seed in 0u64..1000) {

@@ -37,7 +37,9 @@ def typename(v):
 
 def same_structure(new, base, path):
     """Identical key sets and value types, recursively. Array elements are
-    checked against the baseline's first element (lengths may differ: a
+    checked against the baseline element with the same key set — rows may
+    be heterogeneous (conv result rows carry ``class`` and
+    ``speedup_vs_im2col``; matmul rows do not) and lengths may differ (a
     host without AVX2 legitimately emits fewer kernel result rows)."""
     if typename(new) != typename(base):
         fail(f"{path}: type {typename(new)} != baseline {typename(base)}")
@@ -51,8 +53,20 @@ def same_structure(new, base, path):
     elif isinstance(base, list) and base:
         if not new:
             fail(f"{path}: empty array (baseline has {len(base)} entries)")
+        exemplars = {
+            frozenset(item): item for item in base if isinstance(item, dict)
+        }
         for i, item in enumerate(new):
-            same_structure(item, base[0], f"{path}[{i}]")
+            if isinstance(item, dict) and exemplars:
+                exemplar = exemplars.get(frozenset(item))
+                if exemplar is None:
+                    fail(
+                        f"{path}[{i}]: key set {sorted(item)} matches no "
+                        f"baseline row shape"
+                    )
+                same_structure(item, exemplar, f"{path}[{i}]")
+            else:
+                same_structure(item, base[0], f"{path}[{i}]")
 
 
 def sane(x, path, lo, hi):
@@ -72,9 +86,16 @@ def hist_sane(h, path):
 
 
 def check_kernels(new, base):
-    for key in ("shapes", "conv_shapes"):
-        if set(new[key]) != set(base[key]):
-            fail(f"{key} {new[key]} != baseline {base[key]}")
+    if set(new["shapes"]) != set(base["shapes"]):
+        fail(f"shapes {new['shapes']} != baseline {base['shapes']}")
+    # conv_shapes entries are {shape, class} objects: the measured grid AND
+    # the committed shape-class routing must both match the baseline.
+    conv_classes = {c["shape"]: c["class"] for c in new["conv_shapes"]}
+    base_classes = {c["shape"]: c["class"] for c in base["conv_shapes"]}
+    if conv_classes != base_classes:
+        fail(f"conv_shapes {conv_classes} != baseline {base_classes}")
+    if not set(conv_classes.values()) <= {"direct_small", "direct_pointwise", "im2col"}:
+        fail(f"unknown conv class in {sorted(set(conv_classes.values()))}")
     for portable in ("scalar", "tiled"):
         if portable not in new["backends"]:
             fail(f"the {portable} backend must always be measured")
@@ -111,6 +132,28 @@ def check_kernels(new, base):
                 )
             if r["backend"] == baseline and speedup != 1.0:
                 fail(f"results[{i}]: {baseline} {column} must be exactly 1.0")
+        # Conv rows additionally carry the dispatch class (must agree with
+        # the conv_shapes table) and the direct-vs-lowered speedup column,
+        # whose baseline is the same shape+backend's forced-im2col row.
+        is_conv = r["kernel"].startswith("conv2d")
+        if is_conv != ("class" in r) or is_conv != ("speedup_vs_im2col" in r):
+            fail(f"results[{i}]: conv columns inconsistent with kernel {r['kernel']!r}")
+        if is_conv:
+            if r["class"] != conv_classes.get(r["shape"]):
+                fail(
+                    f"results[{i}]: class {r['class']!r} != conv_shapes entry "
+                    f"{conv_classes.get(r['shape'])!r} for {r['shape']}"
+                )
+            speedup = r["speedup_vs_im2col"]
+            sane(speedup, f"results[{i}].speedup_vs_im2col", 1e-3, 1e4)
+            want_speedup = r["gflops"] / by_pair[("conv2d_im2col", r["shape"], r["backend"])]
+            if abs(speedup - want_speedup) > 1e-9 * want_speedup:
+                fail(
+                    f"results[{i}]: speedup_vs_im2col {speedup} != "
+                    f"recomputed {want_speedup}"
+                )
+            if r["kernel"] == "conv2d_im2col" and speedup != 1.0:
+                fail(f"results[{i}]: im2col speedup_vs_im2col must be exactly 1.0")
     print(
         f"validate_bench: kernels OK — {len(new['results'])} points, "
         f"backends {new['backends']}"

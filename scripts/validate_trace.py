@@ -11,7 +11,12 @@ Checks, in order:
    ``dittoDroppedEvents`` overflow counter.
 2. Every event is well-formed: ``ph`` is ``"X"``, ``ts``/``dur`` are
    non-negative numbers, ``name``/``cat`` non-empty strings, ``pid``/``tid``
-   integers.
+   integers, and ``args`` (when present) a non-empty object. Events that
+   carry structured args by contract are checked field-by-field:
+   ``plan_step:<digest>`` spans must carry ``args.digest`` matching the
+   name suffix, and ``cell:<design>:<model>`` grid spans must carry
+   ``design``/``model`` strings matching the name plus integer
+   ``design_index``/``model_index``.
 3. Span nesting balances per thread for ``cat == "plan"`` events (each
    plan-executor tid runs steps sequentially, so spans must nest or abut —
    never partially overlap). Other categories are exempt: the scheduler's
@@ -61,7 +66,40 @@ def check_events(trace):
         for key in ("pid", "tid"):
             if not isinstance(e.get(key), int) or isinstance(e.get(key), bool):
                 fail(f"traceEvents[{i}].{key}: {e.get(key)!r} not an integer")
+        if "args" in e and (not isinstance(e["args"], dict) or not e["args"]):
+            fail(f"traceEvents[{i}].args: {e['args']!r} not a non-empty object")
+        check_args_contract(i, e)
     return events, dropped
+
+
+def check_args_contract(i, e):
+    """Spans that promise structured args must carry them, well-formed and
+    consistent with the span name."""
+    name = e["name"]
+    if name.startswith("plan_step:"):
+        digest = name.split(":", 1)[1]
+        args = e.get("args")
+        if not isinstance(args, dict):
+            fail(f"traceEvents[{i}]: plan_step span {name!r} has no args object")
+        if args.get("digest") != digest:
+            fail(
+                f"traceEvents[{i}]: plan_step args.digest {args.get('digest')!r} "
+                f"!= name digest {digest!r}"
+            )
+    elif e["cat"] == "grid" and name.startswith("cell:"):
+        design, _, model = name[len("cell:"):].partition(":")
+        args = e.get("args")
+        if not isinstance(args, dict):
+            fail(f"traceEvents[{i}]: grid cell span {name!r} has no args object")
+        if args.get("design") != design or args.get("model") != model:
+            fail(
+                f"traceEvents[{i}]: cell args ({args.get('design')!r}, "
+                f"{args.get('model')!r}) != name coords ({design!r}, {model!r})"
+            )
+        for key in ("design_index", "model_index"):
+            v = args.get(key)
+            if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+                fail(f"traceEvents[{i}]: cell args.{key}: {v!r} not a non-negative int")
 
 
 def check_plan_nesting(events):

@@ -8,7 +8,9 @@
 //! * **`BENCH_kernels.json`** — GFLOP/s per kernel backend per shape for
 //!   the hot kernels (integer matmul at near-dense and exactly-dense
 //!   sparsity, the temporal-difference delta update at realistic
-//!   sparsity, f32 matmul, and f32 conv2d via im2col) at the UNet im2col
+//!   sparsity, f32 matmul, and f32 conv2d via the auto dispatch plus the
+//!   forced direct and im2col routes, one shape per dispatch class with a
+//!   `speedup_vs_im2col` column) at the UNet im2col
 //!   shapes plus the classic delta-update bench shape. The `simd` backend
 //!   is measured once per *available* SIMD level (rows labeled with the
 //!   resolved name, e.g. `simd:avx2` / `simd:sse2`, exercised via the
@@ -53,7 +55,8 @@ use serve::server::{spawn, ServerConfig};
 use serve::{Obs, SuiteApp};
 use tensor::backend::{available_simd_levels, hw_simd_level, set_simd_level, SimdLevel};
 use tensor::ops::{
-    conv2d_direct, conv2d_uses_im2col, conv2d_with, matmul_scalar, matmul_with, Conv2dParams,
+    conv2d_class_in_mode, conv2d_direct, conv2d_direct_into_with, conv2d_im2col_with, conv2d_with,
+    matmul_scalar, matmul_with, Conv2dParams, ConvClass, ConvMode,
 };
 use tensor::{KernelBackend, Rng, Tensor};
 
@@ -183,6 +186,8 @@ struct KernelRow {
     shape: String,
     backend: String,
     gflops: f64,
+    /// Auto-mode dispatch class of the shape — conv rows only.
+    class: Option<&'static str>,
 }
 
 /// The measured backend configurations: the two portable backends at the
@@ -203,16 +208,36 @@ fn kernel_configs() -> Vec<(KernelBackend, SimdLevel, String)> {
     configs
 }
 
-/// The measured conv2d shapes `(c_in, h, w, c_out, params)`: a ResNet
-/// 3×3 block body and a stride-2 downsampling conv, both big enough to
-/// take the im2col route (where the f32 SIMD matmul applies).
-const CONV_SHAPES: [(usize, usize, usize, usize, Conv2dParams); 2] = [
-    (8, 16, 16, 16, Conv2dParams { kernel: 3, stride: 1, padding: 1 }),
-    (16, 16, 16, 32, Conv2dParams { kernel: 3, stride: 2, padding: 1 }),
+/// The measured conv2d shapes `(c_in, h, w, c_out, params, class)` — at
+/// least one per dispatch class of the shape-classed conv router, with the
+/// expected auto-mode class pinned so a heuristic change that re-routes a
+/// committed shape fails loudly here instead of silently shifting the
+/// baselines. Each shape measures all three conv kernels: the auto route
+/// (`conv2d_f32`), the forced lowering-free path (`conv2d_direct`), and
+/// the forced lowered path (`conv2d_im2col`).
+const CONV_SHAPES: [(usize, usize, usize, usize, Conv2dParams, ConvClass); 5] = [
+    // ResNet 3×3 block body — small c_out, now direct-classed.
+    (8, 16, 16, 16, Conv2dParams { kernel: 3, stride: 1, padding: 1 }, ConvClass::DirectSmall),
+    // Small-spatial UNet inner block.
+    (8, 12, 12, 8, Conv2dParams { kernel: 3, stride: 1, padding: 1 }, ConvClass::DirectSmall),
+    // 1×1 channel-mixing projection.
+    (32, 16, 16, 64, Conv2dParams { kernel: 1, stride: 1, padding: 0 }, ConvClass::DirectPointwise),
+    // Stride-2 downsampling conv — wide c_out, stays on the im2col route.
+    (16, 16, 16, 32, Conv2dParams { kernel: 3, stride: 2, padding: 1 }, ConvClass::Im2col),
+    // Wide 3×3 body where the lowered matmul's reuse wins.
+    (32, 16, 16, 32, Conv2dParams { kernel: 3, stride: 1, padding: 1 }, ConvClass::Im2col),
 ];
 
 fn conv_shape_name(c_in: usize, h: usize, w: usize, c_out: usize, p: Conv2dParams) -> String {
     format!("c{c_in}-{c_out}_{h}x{w}_k{}s{}", p.kernel, p.stride)
+}
+
+fn conv_class_name(class: ConvClass) -> &'static str {
+    match class {
+        ConvClass::DirectSmall => "direct_small",
+        ConvClass::DirectPointwise => "direct_pointwise",
+        ConvClass::Im2col => "im2col",
+    }
 }
 
 fn bench_kernels(min_ms: u64) -> Value {
@@ -316,16 +341,19 @@ fn bench_kernels(min_ms: u64) -> Value {
                     shape: shape.clone(),
                     backend: label.clone(),
                     gflops: gf,
+                    class: None,
                 });
             }
         }
     }
-    for &(c_in, h, w, c_out, params) in &CONV_SHAPES {
+    for &(c_in, h, w, c_out, params, class) in &CONV_SHAPES {
         let shape = conv_shape_name(c_in, h, w, c_out, params);
-        assert!(
-            conv2d_uses_im2col(c_in, h, w, c_out, params),
-            "committed conv shapes must exercise the im2col (matmul) route"
+        assert_eq!(
+            conv2d_class_in_mode(ConvMode::Auto, c_in, h, w, c_out, params),
+            class,
+            "committed conv shape {shape} re-routed: update CONV_SHAPES to match the heuristic"
         );
+        let class = conv_class_name(class);
         let kk = params.kernel;
         let (ho, wo) = (params.out_extent(h), params.out_extent(w));
         let flops = (2 * c_out * ho * wo * c_in * kk * kk) as f64;
@@ -336,30 +364,101 @@ fn bench_kernels(min_ms: u64) -> Value {
         for (backend, level, label) in &configs {
             let (backend, level) = (*backend, *level);
             set_simd_level(level).expect("measured levels are hardware-supported");
+            // Bit-identity asserted in setup for all three routes: the
+            // auto dispatch, the forced direct path, and the forced im2col
+            // path must agree with the scalar sliding-window reference
+            // before any of them produces a perf number.
+            let bitwise_eq = |got: &Tensor| {
+                got.as_slice().iter().zip(want.as_slice()).all(|(x, y)| x.to_bits() == y.to_bits())
+            };
             let got = conv2d_with(backend, &input, &weight, Some(&bias), params).expect("conv2d");
             assert!(
-                got.as_slice().iter().zip(want.as_slice()).all(|(x, y)| x.to_bits() == y.to_bits()),
+                bitwise_eq(&got),
                 "{label} conv2d diverged bitwise from the direct reference at {shape}"
             );
-            let gf = gflops(flops, min_ms, || {
-                black_box(
-                    conv2d_with(
-                        backend,
-                        black_box(&input),
-                        black_box(&weight),
-                        Some(&bias),
-                        params,
-                    )
-                    .unwrap(),
-                );
-            });
-            println!("perfbench: {:>20} {shape:>16} {label:>9}: {gf:8.3} GFLOP/s", "conv2d_f32");
-            rows.push(KernelRow {
-                kernel: "conv2d_f32",
-                shape: shape.clone(),
-                backend: label.clone(),
-                gflops: gf,
-            });
+            let mut direct_out = Tensor::zeros(&[c_out, ho, wo]);
+            conv2d_direct_into_with(
+                backend,
+                input.as_slice(),
+                c_in,
+                h,
+                w,
+                &weight,
+                Some(&bias),
+                params,
+                direct_out.as_mut_slice(),
+            )
+            .expect("direct conv2d route");
+            assert!(
+                bitwise_eq(&direct_out),
+                "{label} forced-direct conv2d diverged bitwise at {shape}"
+            );
+            let got_im2col = conv2d_im2col_with(backend, &input, &weight, Some(&bias), params)
+                .expect("im2col conv2d route");
+            assert!(
+                bitwise_eq(&got_im2col),
+                "{label} forced-im2col conv2d diverged bitwise at {shape}"
+            );
+            let mut scratch = vec![0.0f32; c_out * ho * wo];
+            let points: [(&'static str, f64); 3] = [
+                (
+                    "conv2d_f32",
+                    gflops(flops, min_ms, || {
+                        black_box(
+                            conv2d_with(
+                                backend,
+                                black_box(&input),
+                                black_box(&weight),
+                                Some(&bias),
+                                params,
+                            )
+                            .unwrap(),
+                        );
+                    }),
+                ),
+                (
+                    "conv2d_direct",
+                    gflops(flops, min_ms, || {
+                        conv2d_direct_into_with(
+                            backend,
+                            black_box(input.as_slice()),
+                            c_in,
+                            h,
+                            w,
+                            black_box(&weight),
+                            Some(&bias),
+                            params,
+                            black_box(&mut scratch),
+                        )
+                        .unwrap();
+                    }),
+                ),
+                (
+                    "conv2d_im2col",
+                    gflops(flops, min_ms, || {
+                        black_box(
+                            conv2d_im2col_with(
+                                backend,
+                                black_box(&input),
+                                black_box(&weight),
+                                Some(&bias),
+                                params,
+                            )
+                            .unwrap(),
+                        );
+                    }),
+                ),
+            ];
+            for (kernel, gf) in points {
+                println!("perfbench: {kernel:>20} {shape:>16} {label:>9}: {gf:8.3} GFLOP/s");
+                rows.push(KernelRow {
+                    kernel,
+                    shape: shape.clone(),
+                    backend: label.clone(),
+                    gflops: gf,
+                    class: Some(class),
+                });
+            }
         }
     }
     set_simd_level(hw_simd_level()).expect("hardware level is always available");
@@ -374,7 +473,7 @@ fn bench_kernels(min_ms: u64) -> Value {
     let results: Vec<Value> = rows
         .iter()
         .map(|r| {
-            obj(vec![
+            let mut fields = vec![
                 ("kernel", Value::Str(r.kernel.to_string())),
                 ("shape", Value::Str(r.shape.clone())),
                 ("backend", Value::Str(r.backend.clone())),
@@ -384,7 +483,18 @@ fn bench_kernels(min_ms: u64) -> Value {
                     Value::Num(r.gflops / baseline(r.kernel, &r.shape, "scalar")),
                 ),
                 ("speedup_vs_tiled", Value::Num(r.gflops / baseline(r.kernel, &r.shape, "tiled"))),
-            ])
+            ];
+            if let Some(class) = r.class {
+                // Conv rows: dispatch class plus the direct-vs-im2col
+                // ratio against the forced-im2col row measured on the
+                // *same* backend config (not the portable baselines).
+                fields.push(("class", Value::Str(class.to_string())));
+                fields.push((
+                    "speedup_vs_im2col",
+                    Value::Num(r.gflops / baseline("conv2d_im2col", &r.shape, &r.backend)),
+                ));
+            }
+            obj(fields)
         })
         .collect();
     obj(vec![
@@ -404,7 +514,12 @@ fn bench_kernels(min_ms: u64) -> Value {
             Value::Arr(
                 CONV_SHAPES
                     .iter()
-                    .map(|&(c, h, w, co, p)| Value::Str(conv_shape_name(c, h, w, co, p)))
+                    .map(|&(c, h, w, co, p, class)| {
+                        obj(vec![
+                            ("shape", Value::Str(conv_shape_name(c, h, w, co, p))),
+                            ("class", Value::Str(conv_class_name(class).to_string())),
+                        ])
+                    })
                     .collect(),
             ),
         ),
